@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DESIGN.md ablation 5: the free-slot queue implementation under
+ * checkpoint-like contention — the array-based lock-free queue
+ * (Vyukov/LCRQ family, the paper's choice via Morrison & Afek), the
+ * Michael–Scott linked queue, and a mutex-guarded deque. Google
+ * Benchmark binary; ops = one dequeue + one enqueue, hammered by
+ * several threads over a small slot set, exactly the commit
+ * protocol's access pattern.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/free_slot_queue.h"
+
+using namespace pccheck;
+
+namespace {
+
+void
+run_queue_bench(benchmark::State& state, SlotQueueKind kind)
+{
+    static std::unique_ptr<FreeSlotQueue> queue;
+    if (state.thread_index() == 0) {
+        queue = make_slot_queue(kind, 64);
+        for (std::uint32_t slot = 0; slot < 8; ++slot) {
+            queue->try_enqueue(slot);
+        }
+    }
+    for (auto _ : state) {
+        const auto slot = queue->try_dequeue();
+        if (slot.has_value()) {
+            benchmark::DoNotOptimize(*slot);
+            queue->try_enqueue(*slot);
+        }
+    }
+    if (state.thread_index() == 0) {
+        state.SetItemsProcessed(state.iterations() * state.threads());
+    }
+}
+
+void
+BM_VyukovQueue(benchmark::State& state)
+{
+    run_queue_bench(state, SlotQueueKind::kVyukov);
+}
+
+void
+BM_MichaelScottQueue(benchmark::State& state)
+{
+    run_queue_bench(state, SlotQueueKind::kMichaelScott);
+}
+
+void
+BM_MutexQueue(benchmark::State& state)
+{
+    run_queue_bench(state, SlotQueueKind::kMutex);
+}
+
+}  // namespace
+
+BENCHMARK(BM_VyukovQueue)->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK(BM_MichaelScottQueue)->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK(BM_MutexQueue)->Threads(1)->Threads(4)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#ifndef PCCHECK_BENCH_COMMON_H_
+#define PCCHECK_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared harness for the figure-reproduction benches: per-model
+ * scaling, paper-calibrated device construction, and measured
+ * throughput runs for every checkpointing system (single-GPU and
+ * pipeline-parallel clusters).
+ *
+ * Scaling: each model is translated so one iteration lasts about
+ * target_iteration (default 3 ms) and one checkpoint about target_m
+ * (default 1.5 MiB); device and PCIe bandwidths are multiplied by
+ * Kt/Ks, preserving every ratio in the paper's model (DESIGN.md §1).
+ */
+
+#include <string>
+#include <vector>
+
+#include "storage/device.h"
+#include "storage/throttled_storage.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "util/csv.h"
+
+namespace pccheck::bench {
+
+/** Systems the harness can measure. */
+inline const std::vector<std::string> kSingleGpuSystems = {
+    "checkfreq", "gpm", "pccheck"};
+inline const std::vector<std::string> kDistributedSystems = {
+    "checkfreq", "gpm", "gemini", "pccheck"};
+
+/** Scale a model so benches run in milliseconds (see file comment). */
+ScaleFactors auto_factors(const ModelSpec& spec,
+                          Seconds target_iteration = 3e-3,
+                          Bytes target_m = 1536 * kKiB);
+
+/** Knobs of one measured run. */
+struct RunSpec {
+    std::string system;            ///< none/sync/checkfreq/gpm/pccheck
+    std::string model;             ///< Table 3 name
+    std::uint64_t interval = 10;   ///< f; 0 = no checkpoints
+    StorageKind storage = StorageKind::kSsdMsync;
+    int concurrent = 2;            ///< N (pccheck)
+    int writers = 3;               ///< p (pccheck)
+    Bytes chunk_bytes = 0;         ///< pipelining (pccheck)
+    Bytes dram_bytes = 0;          ///< staging budget (pccheck)
+    std::uint64_t iterations = 0;  ///< 0 = auto (enough cycles)
+};
+
+/** Result of one measured run. */
+struct RunResult {
+    double throughput = 0;       ///< iterations/sec, bench scale
+    double ideal_throughput = 0; ///< 1/t at the same scale
+    double slowdown = 0;         ///< ideal / measured
+    CheckpointerStats stats;
+    ScaleFactors factors;
+    Seconds iteration_time = 0;  ///< scaled t
+};
+
+/**
+ * Measure one configuration. Single-stage models run the single-GPU
+ * loop; pipeline models (OPT-2.7B, BLOOM-7B) run the cluster harness
+ * with one checkpointer per stage ("gemini" only there).
+ */
+RunResult measure(const RunSpec& spec);
+
+/** Paper-scale full-device write time m/Ts (Tw floor), seconds. */
+Seconds full_scale_tw(const ModelSpec& spec, StorageKind kind);
+
+/** Print a CSV path notice (keeps bench outputs uniform). */
+void announce(const std::string& bench, const std::string& csv_path);
+
+}  // namespace pccheck::bench
+
+#endif  // PCCHECK_BENCH_COMMON_H_

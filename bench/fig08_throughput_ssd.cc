@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Paper Figure 8: training throughput vs. checkpoint frequency on
+ * SSD, for all Table 3 models, PCcheck vs. CheckFreq and GPM (plus
+ * Gemini on the distributed models). Measured on the scaled substrate
+ * (DESIGN.md §1); the expected shape is the paper's: CheckFreq
+ * collapses at high frequency, GPM degrades with checkpoint size,
+ * PCcheck stays within a few percent of ideal from f ≈ 10 up.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "trainsim/models.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    const std::vector<std::string> models = {
+        "vgg16", "transformerxl", "bert", "opt-1.3b", "opt-2.7b",
+        "bloom-7b"};
+    const std::vector<std::uint64_t> intervals = {1, 10, 25, 50, 100};
+
+    CsvWriter csv("fig08_throughput_ssd.csv",
+                  {"model", "system", "interval", "throughput_it_s",
+                   "ideal_it_s", "slowdown", "stall_s"});
+    announce("fig08_throughput_ssd", csv.path());
+
+    for (const auto& model : models) {
+        const bool distributed =
+            model_by_name(model).pipeline_stages > 1;
+        const auto& systems =
+            distributed ? kDistributedSystems : kSingleGpuSystems;
+        std::printf("\n=== %s (%s) — throughput [it/s], SSD ===\n",
+                    model.c_str(),
+                    distributed ? "pipeline-parallel" : "single GPU");
+        std::printf("%-10s", "interval");
+        for (const auto& system : systems) {
+            std::printf("%12s", system.c_str());
+        }
+        std::printf("%12s\n", "ideal");
+
+        for (const std::uint64_t interval : intervals) {
+            std::printf("%-10llu",
+                        static_cast<unsigned long long>(interval));
+            double ideal = 0;
+            for (const auto& system : systems) {
+                RunSpec spec;
+                spec.system = system;
+                spec.model = model;
+                spec.interval = interval;
+                const RunResult result = measure(spec);
+                ideal = result.ideal_throughput;
+                std::printf("%12.1f", result.throughput);
+                csv.row({model, system, std::to_string(interval),
+                         std::to_string(result.throughput),
+                         std::to_string(result.ideal_throughput),
+                         std::to_string(result.slowdown),
+                         std::to_string(result.stats.stall_time)});
+            }
+            std::printf("%12.1f\n", ideal);
+        }
+    }
+    return 0;
+}

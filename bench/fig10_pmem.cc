@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Paper Figure 10: BERT checkpointing on Intel Optane PMEM. The PMEM
+ * write path (nt-store + sfence, 4.01 GB/s) is much faster than the
+ * SSD, so every system improves — but PCcheck still wins at all
+ * frequencies. Also ablates the §3.3 nt-store vs clwb decision
+ * (DESIGN.md ablation 6).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    const std::vector<std::uint64_t> intervals = {1, 10, 25, 50, 100};
+
+    CsvWriter csv("fig10_pmem.csv",
+                  {"system", "storage", "interval", "throughput_it_s",
+                   "slowdown"});
+    announce("fig10_pmem", csv.path());
+
+    std::printf("=== BERT on PMEM (nt-store path) — throughput [it/s] "
+                "===\n%-10s", "interval");
+    for (const auto& system : kSingleGpuSystems) {
+        std::printf("%12s", system.c_str());
+    }
+    std::printf("%12s\n", "ideal");
+    for (const std::uint64_t interval : intervals) {
+        std::printf("%-10llu", static_cast<unsigned long long>(interval));
+        double ideal = 0;
+        for (const auto& system : kSingleGpuSystems) {
+            RunSpec spec;
+            spec.system = system;
+            spec.model = "bert";
+            spec.interval = interval;
+            spec.storage = StorageKind::kPmemNt;
+            const RunResult result = measure(spec);
+            ideal = result.ideal_throughput;
+            std::printf("%12.1f", result.throughput);
+            csv.row({system, "pmem-nt", std::to_string(interval),
+                     std::to_string(result.throughput),
+                     std::to_string(result.slowdown)});
+        }
+        std::printf("%12.1f\n", ideal);
+    }
+
+    // nt-store vs clwb persist path (4.01 vs 2.46 GB/s, §3.3). At
+    // f=1 the checkpoint demand (~16 GB/s) saturates either path, so
+    // the bandwidth difference is visible in training throughput.
+    std::printf("\n--- PCcheck persist-path ablation (f=1) ---\n");
+    for (const StorageKind kind :
+         {StorageKind::kPmemNt, StorageKind::kPmemClwb}) {
+        RunSpec spec;
+        spec.system = "pccheck";
+        spec.model = "bert";
+        spec.interval = 1;
+        spec.storage = kind;
+        const RunResult result = measure(spec);
+        const char* name =
+            kind == StorageKind::kPmemNt ? "nt-store" : "clwb";
+        std::printf("%-10s throughput %.1f it/s  slowdown %.3fx\n", name,
+                    result.throughput, result.slowdown);
+        csv.row({"pccheck", name, "1",
+                 std::to_string(result.throughput),
+                 std::to_string(result.slowdown)});
+    }
+    std::printf("(paper: by checkpointing every 10 instead of 100 "
+                "iterations, recovery drops 10x at equal overhead)\n");
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Paper Figure 11: end-to-end time to copy + persist ONE checkpoint
+ * of varying size, per system (log-scale y in the paper). Google
+ * Benchmark binary; times are at bench scale (sizes ÷2000, durations
+ * ÷60 ⇒ bandwidths ×(60/2000) of full scale), so multiply reported
+ * times by 60 for the paper-scale equivalent.
+ *
+ * Expected shape: Gemini fastest (writes no storage), PCcheck up to
+ * ~1.9× faster than CheckFreq/GPM thanks to parallel writers and the
+ * optimized copy path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/checkfreq.h"
+#include "baselines/gemini.h"
+#include "baselines/gpm.h"
+#include "baselines/sync_checkpoint.h"
+#include "bench/common.h"
+#include "core/orchestrator.h"
+#include "core/slot_store.h"
+#include "net/network.h"
+#include "storage/mem_storage.h"
+#include "trainsim/training_state.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+namespace {
+
+/** Paper sizes (GB) ÷ 2000 with durations ÷ 60. */
+const ScaleFactors kFactors{60.0, 2000.0};
+const Bytes kSizes[] = {
+    static_cast<Bytes>(1.1e9 / 2000),   // VGG16
+    static_cast<Bytes>(2.7e9 / 2000),   // TransformerXL
+    static_cast<Bytes>(4.0e9 / 2000),   // BERT
+    static_cast<Bytes>(16.2e9 / 2000),  // OPT-1.3B
+};
+
+struct Rig {
+    explicit Rig(Bytes state_bytes, std::uint32_t slots = 3)
+    {
+        GpuConfig gpu_config;
+        gpu_config.memory_bytes = state_bytes + 4 * kMiB;
+        gpu_config.pcie_bytes_per_sec =
+            kFactors.scale_bandwidth(12.8e9);
+        gpu = std::make_unique<SimGpu>(gpu_config);
+        state = std::make_unique<TrainingState>(*gpu, state_bytes);
+        const auto ssd = paper_bandwidth(StorageKind::kSsdMsync);
+        device = std::make_unique<ThrottledStorage>(
+            std::make_unique<MemStorage>(
+                SlotStore::required_size(slots, state_bytes)),
+            kFactors.scale_bandwidth(ssd.write_bytes_per_sec),
+            kFactors.scale_bandwidth(ssd.persist_bytes_per_sec),
+            kFactors.scale_bandwidth(ssd.read_bytes_per_sec));
+    }
+
+    std::unique_ptr<SimGpu> gpu;
+    std::unique_ptr<TrainingState> state;
+    std::unique_ptr<ThrottledStorage> device;
+};
+
+void
+BM_CheckFreqPersist(benchmark::State& bench_state)
+{
+    const Bytes size = kSizes[bench_state.range(0)];
+    Rig rig(size);
+    BaselineConfig config;
+    config.serialize_bytes_per_sec = kFactors.scale_bandwidth(1.0e9);
+    config.per_writer_bytes_per_sec = kFactors.scale_bandwidth(1.2e9);
+    CheckFreqCheckpointer checkpointer(*rig.state, *rig.device, config);
+    std::uint64_t iter = 0;
+    for (auto _ : bench_state) {
+        rig.state->stamp(++iter);
+        checkpointer.request_checkpoint(iter);
+        checkpointer.finish();
+    }
+    bench_state.counters["size_mb"] =
+        static_cast<double>(size) / 1e6;
+}
+
+void
+BM_GpmPersist(benchmark::State& bench_state)
+{
+    const Bytes size = kSizes[bench_state.range(0)];
+    Rig rig(size);
+    GpmCheckpointer checkpointer(*rig.state, *rig.device);
+    std::uint64_t iter = 0;
+    for (auto _ : bench_state) {
+        rig.state->stamp(++iter);
+        checkpointer.request_checkpoint(iter);
+    }
+    bench_state.counters["size_mb"] =
+        static_cast<double>(size) / 1e6;
+}
+
+void
+BM_PccheckPersist(benchmark::State& bench_state)
+{
+    const Bytes size = kSizes[bench_state.range(0)];
+    Rig rig(size);
+    PCcheckConfig config;
+    config.concurrent_checkpoints = 2;
+    config.writers_per_checkpoint = 3;
+    config.chunk_bytes = size / 4;
+    config.per_writer_bytes_per_sec = kFactors.scale_bandwidth(1.2e9);
+    PCcheckCheckpointer checkpointer(*rig.state, *rig.device, config);
+    std::uint64_t iter = 0;
+    for (auto _ : bench_state) {
+        rig.state->stamp(++iter);
+        checkpointer.request_checkpoint(iter);
+        checkpointer.finish();
+    }
+    bench_state.counters["size_mb"] =
+        static_cast<double>(size) / 1e6;
+}
+
+void
+BM_GeminiPersist(benchmark::State& bench_state)
+{
+    const Bytes size = kSizes[bench_state.range(0)];
+    Rig rig(size);
+    NetworkConfig net_config;
+    net_config.nodes = 2;
+    net_config.nic_bytes_per_sec = kFactors.scale_bandwidth(1.88e9);
+    net_config.latency = 0;
+    SimNetwork network(net_config);
+    MemStorage peer(size);
+    GeminiCheckpointer checkpointer(*rig.state, network, 0, 1, peer);
+    std::uint64_t iter = 0;
+    for (auto _ : bench_state) {
+        rig.state->stamp(++iter);
+        checkpointer.request_checkpoint(iter);
+        checkpointer.finish();
+    }
+    bench_state.counters["size_mb"] =
+        static_cast<double>(size) / 1e6;
+}
+
+}  // namespace
+
+BENCHMARK(BM_CheckFreqPersist)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_GpmPersist)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_PccheckPersist)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_GeminiPersist)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+int
+main(int argc, char** argv)
+{
+    set_log_level(LogLevel::kWarn);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

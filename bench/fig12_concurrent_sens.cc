@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Paper Figure 12: sensitivity to the number of concurrent
+ * checkpoints — slowdown over no-checkpointing for VGG16, varying
+ * the frequency and N ∈ {1, 2, 4} (DESIGN.md ablation 1).
+ *
+ * Expected shape: N > 1 is consistently better than N = 1 at high
+ * frequency; beyond ~4 the SSD is saturated and extra concurrency
+ * stops paying.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    const std::vector<int> concurrency = {1, 2, 4};
+    const std::vector<std::uint64_t> intervals = {1, 5, 10, 25, 50, 100};
+
+    CsvWriter csv("fig12_concurrent_sens.csv",
+                  {"interval", "n1_slowdown", "n2_slowdown",
+                   "n4_slowdown"});
+    announce("fig12_concurrent_sens", csv.path());
+
+    std::printf("=== VGG16 slowdown over no checkpointing, varying N "
+                "===\n%-10s", "interval");
+    for (const int n : concurrency) {
+        std::printf("       N=%-3d", n);
+    }
+    std::printf("\n");
+    for (const std::uint64_t interval : intervals) {
+        std::printf("%-10llu", static_cast<unsigned long long>(interval));
+        std::vector<double> row;
+        for (const int n : concurrency) {
+            RunSpec spec;
+            spec.system = "pccheck";
+            spec.model = "vgg16";
+            spec.interval = interval;
+            spec.concurrent = n;
+            const RunResult result = measure(spec);
+            row.push_back(result.slowdown);
+            std::printf("%12.2f", result.slowdown);
+        }
+        std::printf("\n");
+        csv.row_numeric(std::to_string(interval), row);
+    }
+    std::printf("\n(paper: more than one concurrent checkpoint is "
+                "consistently better; no more than 4 needed)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Figure 13: sensitivity to the number of parallel writer
+ * threads per checkpoint — OPT-350M at a fixed interval of 10,
+ * varying p ∈ {1, 2, 3} for N ∈ {1, 2, 3} (DESIGN.md ablation 2).
+ *
+ * Expected shape: 3 writers beat 1 by ~1.36×/1.16×/1.13× for
+ * N = 1/2/3 — the benefit of parallel writers shrinks as concurrent
+ * checkpoints already contend for the device.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    CsvWriter csv("fig13_threads_sens.csv",
+                  {"concurrent", "writers", "slowdown"});
+    announce("fig13_threads_sens", csv.path());
+
+    std::printf("=== OPT-350M slowdown (f=10), varying writers p and "
+                "concurrency N ===\n%-6s", "N\\p");
+    for (const int p : {1, 2, 3}) {
+        std::printf("      p=%-4d", p);
+    }
+    std::printf("%12s\n", "p1/p3 gain");
+    for (const int n : {1, 2, 3}) {
+        std::printf("%-6d", n);
+        std::vector<double> slowdowns;
+        for (const int p : {1, 2, 3}) {
+            RunSpec spec;
+            spec.system = "pccheck";
+            spec.model = "opt-350m";
+            spec.interval = 10;
+            spec.concurrent = n;
+            spec.writers = p;
+            const RunResult result = measure(spec);
+            slowdowns.push_back(result.slowdown);
+            std::printf("%12.3f", result.slowdown);
+            csv.row_numeric(std::to_string(n),
+                            {static_cast<double>(p), result.slowdown});
+        }
+        std::printf("%12.3f\n", slowdowns.front() / slowdowns.back());
+    }
+    std::printf("\n(paper: 3 threads vs 1 gives 1.36x / 1.16x / 1.13x "
+                "improvement for N = 1 / 2 / 3)\n");
+    return 0;
+}

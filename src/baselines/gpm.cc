@@ -1,0 +1,57 @@
+#include "baselines/gpm.h"
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+
+GpmCheckpointer::GpmCheckpointer(TrainingState& state,
+                                 StorageDevice& device, const Clock& clock,
+                                 bool compute_crc)
+    : state_(&state), clock_(&clock), compute_crc_(compute_crc)
+{
+    const Bytes m = state.size();
+    store_ = std::make_unique<SlotStore>(SlotStore::format(device, 2, m));
+    commit_ = std::make_unique<ConcurrentCommit>(
+        *store_, SlotQueueKind::kVyukov, clock);
+}
+
+void
+GpmCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    Stopwatch watch(*clock_);
+    ++stats_.requested;
+    const CheckpointTicket ticket = commit_->begin();
+    const Bytes len = state_->size();
+    // The copy kernel writes straight into the mmapped device region
+    // while holding the compute engine: training cannot proceed.
+    state_->gpu().kernel_copy_to_storage(
+        store_->device(), store_->slot_offset(ticket.slot),
+        state_->device_ptr(), 0, len);
+    // cudaDeviceSynchronize + msync (SSD) / fence (PMEM).
+    store_->persist_slot_range(ticket.slot, 0, len);
+    store_->device().fence();
+
+    // CRC for the recovery metadata, computed from the source bytes
+    // (identical to what the copy kernel wrote; avoids a modeled
+    // device read that real GPM does not perform).
+    const std::uint32_t crc =
+        compute_crc_
+            ? crc32c(state_->gpu().device_data(state_->device_ptr()),
+                     len)
+            : 0;
+    commit_->commit(ticket, len, iteration, crc);
+
+    ++stats_.completed;
+    const Seconds elapsed = watch.elapsed();
+    stats_.stall_time += elapsed;
+    stats_.checkpoint_latency.add(elapsed);
+}
+
+CheckpointerStats
+GpmCheckpointer::stats() const
+{
+    return stats_;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,51 @@
+#ifndef PCCHECK_BASELINES_GPM_H_
+#define PCCHECK_BASELINES_GPM_H_
+
+/**
+ * @file
+ * GPM baseline [Pandey et al., ASPLOS'22]: checkpoints with GPU copy
+ * kernels over UVM directly into the (memory-mapped) persistent
+ * device — no DRAM staging, but the copy kernels occupy the SMs, so
+ * training stalls for the entire checkpoint (§2.2; "similar to Fig. 3
+ * but without the intermediate DRAM copy"). Extended to SSD as the
+ * paper does: cudaDeviceSynchronize + msync of the mmapped file.
+ */
+
+#include <memory>
+
+#include "core/concurrent_commit.h"
+#include "core/slot_store.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** GPM: stall-and-persist via GPU copy kernels, no DRAM hop. */
+class GpmCheckpointer final : public Checkpointer {
+  public:
+    /**
+     * Formats @p device with the 2-slot (2×m, Table 1) layout.
+     * @param compute_crc checksum data for recovery validation (see
+     *        PCcheckConfig::compute_crc)
+     */
+    GpmCheckpointer(TrainingState& state, StorageDevice& device,
+                    const Clock& clock = MonotonicClock::instance(),
+                    bool compute_crc = true);
+
+    std::string name() const override { return "gpm"; }
+    void request_checkpoint(std::uint64_t iteration) override;
+    CheckpointerStats stats() const override;
+
+  private:
+    TrainingState* state_;
+    const Clock* clock_;
+    bool compute_crc_;
+    std::unique_ptr<SlotStore> store_;
+    std::unique_ptr<ConcurrentCommit> commit_;
+    CheckpointerStats stats_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_BASELINES_GPM_H_

@@ -1,0 +1,60 @@
+#include "baselines/sync_checkpoint.h"
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+
+SyncCheckpointer::SyncCheckpointer(TrainingState& state,
+                                   StorageDevice& device,
+                                   const BaselineConfig& config,
+                                   const Clock& clock)
+    : state_(&state), config_(config), clock_(&clock)
+{
+    const Bytes m = state.size();
+    store_ = std::make_unique<SlotStore>(SlotStore::format(device, 2, m));
+    commit_ = std::make_unique<ConcurrentCommit>(
+        *store_, SlotQueueKind::kVyukov, clock);
+    PersistEngineConfig engine_config;
+    engine_config.writer_threads = 1;
+    engine_config.per_writer_bytes_per_sec =
+        config.per_writer_bytes_per_sec;
+    engine_ = std::make_unique<PersistEngine>(*store_, engine_config,
+                                              clock);
+    staging_.resize(m);
+}
+
+void
+SyncCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    Stopwatch watch(*clock_);
+    ++stats_.requested;
+    // C: copy the whole state to DRAM, training blocked.
+    state_->gpu().copy_to_host(staging_.data(), state_->device_ptr(), 0,
+                               staging_.size(), config_.pinned_memory);
+    // torch.save serialization before bytes can be written out.
+    if (config_.serialize_bytes_per_sec > 0) {
+        clock_->sleep_for(static_cast<double>(staging_.size()) /
+                          config_.serialize_bytes_per_sec);
+    }
+    // P: persist on the calling thread; single writer.
+    const CheckpointTicket ticket = commit_->begin();
+    engine_->persist_range(ticket.slot, 0, staging_.data(),
+                           staging_.size(), /*parallel_writers=*/1);
+    const std::uint32_t crc =
+        config_.compute_crc ? crc32c(staging_.data(), staging_.size())
+                            : 0;
+    commit_->commit(ticket, staging_.size(), iteration, crc);
+    ++stats_.completed;
+    const Seconds elapsed = watch.elapsed();
+    stats_.stall_time += elapsed;
+    stats_.checkpoint_latency.add(elapsed);
+}
+
+CheckpointerStats
+SyncCheckpointer::stats() const
+{
+    return stats_;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,65 @@
+#ifndef PCCHECK_BASELINES_SYNC_CHECKPOINT_H_
+#define PCCHECK_BASELINES_SYNC_CHECKPOINT_H_
+
+/**
+ * @file
+ * Traditional synchronous checkpointing (paper Fig. 3): training
+ * stalls while the state is copied to DRAM and then persisted —
+ * the torch.save / tf.train.Checkpoint behaviour. Uses the standard
+ * 2×m slot layout (Table 1).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/concurrent_commit.h"
+#include "core/persist_engine.h"
+#include "core/slot_store.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Knobs shared by the single-checkpoint baselines. */
+struct BaselineConfig {
+    /**
+     * CPU-side serialization bandwidth, bytes/sec; models the
+     * torch.save tensor serialization cost CheckFreq and traditional
+     * checkpointing pay before bytes reach storage. 0 disables.
+     */
+    double serialize_bytes_per_sec = 0;
+    /** Per-writer storage bandwidth ceiling (see PersistEngine). */
+    double per_writer_bytes_per_sec = 0;
+    /** Pinned staging memory for GPU copies. */
+    bool pinned_memory = true;
+    /** Checksum checkpoint data (see PCcheckConfig::compute_crc). */
+    bool compute_crc = true;
+};
+
+/** Fully synchronous checkpointer (PyTorch/TF default). */
+class SyncCheckpointer final : public Checkpointer {
+  public:
+    /** Formats @p device with the 2-slot layout. */
+    SyncCheckpointer(TrainingState& state, StorageDevice& device,
+                     const BaselineConfig& config = {},
+                     const Clock& clock = MonotonicClock::instance());
+
+    std::string name() const override { return "sync"; }
+    void request_checkpoint(std::uint64_t iteration) override;
+    CheckpointerStats stats() const override;
+
+  private:
+    TrainingState* state_;
+    BaselineConfig config_;
+    const Clock* clock_;
+    std::unique_ptr<SlotStore> store_;
+    std::unique_ptr<ConcurrentCommit> commit_;
+    std::unique_ptr<PersistEngine> engine_;
+    std::vector<std::uint8_t> staging_;
+    CheckpointerStats stats_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_BASELINES_SYNC_CHECKPOINT_H_

@@ -1,0 +1,22 @@
+#ifndef PCCHECK_CONCURRENT_CACHELINE_H_
+#define PCCHECK_CONCURRENT_CACHELINE_H_
+
+/**
+ * @file
+ * Destructive-interference (cache line) size used to pad hot atomics.
+ */
+
+#include <cstddef>
+
+namespace pccheck {
+
+/**
+ * Fixed at 64 (x86-64 and most ARM cores) rather than
+ * std::hardware_destructive_interference_size, whose value is not
+ * ABI-stable across compiler versions and tuning flags.
+ */
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_CACHELINE_H_

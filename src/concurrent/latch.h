@@ -1,0 +1,91 @@
+#ifndef PCCHECK_CONCURRENT_LATCH_H_
+#define PCCHECK_CONCURRENT_LATCH_H_
+
+/**
+ * @file
+ * Reusable countdown latch and a cyclic barrier for coordinating the
+ * writer-thread pools and distributed-checkpoint rendezvous.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+/** One-shot countdown latch (like std::latch but reusable via reset). */
+class CountdownLatch {
+  public:
+    explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+    /** Decrement; wakes waiters when the count reaches zero. */
+    void
+    count_down()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PCCHECK_CHECK(count_ > 0);
+        if (--count_ == 0) {
+            cv_.notify_all();
+        }
+    }
+
+    /** Block until the count reaches zero. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return count_ == 0; });
+    }
+
+    /** Re-arm with a new count. Only valid when no waiters are blocked. */
+    void
+    reset(std::size_t count)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        count_ = count;
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t count_;
+};
+
+/** Cyclic barrier: @p parties threads rendezvous repeatedly. */
+class CyclicBarrier {
+  public:
+    explicit CyclicBarrier(std::size_t parties)
+        : parties_(parties), waiting_(0), generation_(0)
+    {
+        PCCHECK_CHECK(parties > 0);
+    }
+
+    /** Block until all parties arrive; returns the generation index. */
+    std::size_t
+    arrive_and_wait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const std::size_t gen = generation_;
+        if (++waiting_ == parties_) {
+            waiting_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return gen;
+        }
+        cv_.wait(lock, [this, gen] { return generation_ != gen; });
+        return gen;
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t parties_;
+    std::size_t waiting_;
+    std::size_t generation_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_LATCH_H_

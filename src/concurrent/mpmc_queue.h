@@ -1,0 +1,141 @@
+#ifndef PCCHECK_CONCURRENT_MPMC_QUEUE_H_
+#define PCCHECK_CONCURRENT_MPMC_QUEUE_H_
+
+/**
+ * @file
+ * Bounded multi-producer multi-consumer FIFO queue (Vyukov-style ring
+ * with per-cell sequence numbers). This is the "fast concurrent queue"
+ * substrate the paper builds its free-slot queue on [Morrison & Afek,
+ * PPoPP'13]; like LCRQ it is array-based and uses only fetch-add and
+ * CAS on cell sequence words, making enqueue/dequeue obstruction-free
+ * with bounded retries in practice.
+ *
+ * Elements must be trivially movable. Capacity is rounded up to a
+ * power of two. try_enqueue fails when full; try_dequeue fails when
+ * empty — exactly the semantics PCcheck's slot allocator needs.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "concurrent/cacheline.h"
+#include "util/check.h"
+
+namespace pccheck {
+
+/** Bounded lock-free MPMC FIFO queue. */
+template <typename T>
+class MpmcBoundedQueue {
+  public:
+    /** @param capacity maximum element count (rounded up to 2^k, >= 2) */
+    explicit MpmcBoundedQueue(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity) {
+            cap *= 2;
+        }
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (std::size_t i = 0; i < cap; ++i) {
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+        }
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    MpmcBoundedQueue(const MpmcBoundedQueue&) = delete;
+    MpmcBoundedQueue& operator=(const MpmcBoundedQueue&) = delete;
+
+    /** Capacity after rounding. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue @p value.
+     * @return false if the queue was full (value left unchanged).
+     */
+    bool
+    try_enqueue(T value)
+    {
+        Cell* cell;
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                              static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (tail_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (diff < 0) {
+                return false;  // full
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        cell->sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest element.
+     * @return std::nullopt if the queue was empty.
+     */
+    std::optional<T>
+    try_dequeue()
+    {
+        Cell* cell;
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                              static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (diff < 0) {
+                return std::nullopt;  // empty
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        T out = std::move(cell->value);
+        cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return out;
+    }
+
+    /** Approximate size (racy; for monitoring only). */
+    std::size_t
+    approx_size() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        return tail >= head ? tail - head : 0;
+    }
+
+  private:
+    struct Cell {
+        std::atomic<std::size_t> sequence;
+        T value;
+    };
+
+    std::size_t mask_;
+    std::unique_ptr<Cell[]> cells_;
+    alignas(kCacheLine) std::atomic<std::size_t> head_;
+    alignas(kCacheLine) std::atomic<std::size_t> tail_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_MPMC_QUEUE_H_

@@ -1,0 +1,182 @@
+#ifndef PCCHECK_CONCURRENT_MS_QUEUE_H_
+#define PCCHECK_CONCURRENT_MS_QUEUE_H_
+
+/**
+ * @file
+ * Michael–Scott lock-free FIFO queue over a fixed node pool.
+ *
+ * Nodes are identified by (index, tag) pairs packed into one 64-bit
+ * word; the tag is bumped on every reuse, which eliminates the ABA
+ * problem without hazard pointers. Because the pool is preallocated,
+ * the queue is bounded (enqueue fails when no node is free) — which is
+ * exactly what PCcheck's slot bookkeeping requires and lets us ablate
+ * the Vyukov ring against a linked design (DESIGN.md decision 5).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "concurrent/cacheline.h"
+#include "util/check.h"
+
+namespace pccheck {
+
+/** Bounded lock-free Michael–Scott queue with tagged node indices. */
+template <typename T>
+class MsQueue {
+  public:
+    /** @param capacity maximum queued elements (>= 1) */
+    explicit MsQueue(std::size_t capacity)
+        : nodes_(capacity + 1)  // +1 for the dummy node
+    {
+        PCCHECK_CHECK(capacity >= 1);
+        // Chain all nodes into the internal freelist; node 0 becomes
+        // the initial dummy.
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            nodes_[i].next.store(kNull, std::memory_order_relaxed);
+        }
+        free_head_.store(pack(1, 0), std::memory_order_relaxed);
+        for (std::size_t i = 1; i + 1 < nodes_.size(); ++i) {
+            nodes_[i].free_next.store(pack(i + 1, 0),
+                                      std::memory_order_relaxed);
+        }
+        nodes_.back().free_next.store(kNull, std::memory_order_relaxed);
+        const std::uint64_t dummy = pack(0, 0);
+        head_.store(dummy, std::memory_order_relaxed);
+        tail_.store(dummy, std::memory_order_relaxed);
+    }
+
+    MsQueue(const MsQueue&) = delete;
+    MsQueue& operator=(const MsQueue&) = delete;
+
+    /** @return false when the node pool is exhausted. */
+    bool
+    try_enqueue(T value)
+    {
+        const std::uint64_t node_ref = alloc_node();
+        if (node_ref == kNull) {
+            return false;
+        }
+        Node& node = nodes_[index_of(node_ref)];
+        node.value = std::move(value);
+        node.next.store(kNull, std::memory_order_release);
+
+        for (;;) {
+            std::uint64_t tail = tail_.load(std::memory_order_acquire);
+            Node& tail_node = nodes_[index_of(tail)];
+            std::uint64_t next = tail_node.next.load(
+                std::memory_order_acquire);
+            if (tail != tail_.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (next == kNull) {
+                if (tail_node.next.compare_exchange_weak(
+                        next, node_ref, std::memory_order_acq_rel)) {
+                    tail_.compare_exchange_strong(
+                        tail, node_ref, std::memory_order_acq_rel);
+                    return true;
+                }
+            } else {
+                // Help advance a lagging tail.
+                tail_.compare_exchange_strong(tail, next,
+                                              std::memory_order_acq_rel);
+            }
+        }
+    }
+
+    /** @return std::nullopt when empty. */
+    std::optional<T>
+    try_dequeue()
+    {
+        for (;;) {
+            std::uint64_t head = head_.load(std::memory_order_acquire);
+            std::uint64_t tail = tail_.load(std::memory_order_acquire);
+            Node& head_node = nodes_[index_of(head)];
+            std::uint64_t next = head_node.next.load(
+                std::memory_order_acquire);
+            if (head != head_.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (next == kNull) {
+                return std::nullopt;
+            }
+            if (index_of(head) == index_of(tail)) {
+                tail_.compare_exchange_strong(tail, next,
+                                              std::memory_order_acq_rel);
+                continue;
+            }
+            T value = nodes_[index_of(next)].value;
+            if (head_.compare_exchange_weak(head, next,
+                                            std::memory_order_acq_rel)) {
+                release_node(head);
+                return value;
+            }
+        }
+    }
+
+  private:
+    struct Node {
+        T value{};
+        std::atomic<std::uint64_t> next{0};
+        std::atomic<std::uint64_t> free_next{0};
+    };
+
+    static constexpr std::uint64_t kNull = ~0ULL;
+
+    static std::uint64_t
+    pack(std::uint64_t index, std::uint64_t tag)
+    {
+        return (tag << 24) | (index & 0xFFFFFF);
+    }
+
+    static std::size_t index_of(std::uint64_t ref) { return ref & 0xFFFFFF; }
+    static std::uint64_t tag_of(std::uint64_t ref) { return ref >> 24; }
+
+    /** Pop a node from the freelist (Treiber stack with tags). */
+    std::uint64_t
+    alloc_node()
+    {
+        for (;;) {
+            std::uint64_t head = free_head_.load(std::memory_order_acquire);
+            if (head == kNull) {
+                return kNull;
+            }
+            const std::uint64_t next =
+                nodes_[index_of(head)].free_next.load(
+                    std::memory_order_acquire);
+            if (free_head_.compare_exchange_weak(
+                    head, next, std::memory_order_acq_rel)) {
+                // Re-tag for the next lifetime of this node.
+                return pack(index_of(head), tag_of(head) + 1);
+            }
+        }
+    }
+
+    /** Push a retired node back onto the freelist. */
+    void
+    release_node(std::uint64_t ref)
+    {
+        Node& node = nodes_[index_of(ref)];
+        for (;;) {
+            std::uint64_t head = free_head_.load(std::memory_order_acquire);
+            node.free_next.store(head, std::memory_order_release);
+            if (free_head_.compare_exchange_weak(
+                    head, pack(index_of(ref), tag_of(ref) + 1),
+                    std::memory_order_acq_rel)) {
+                return;
+            }
+        }
+    }
+
+    std::vector<Node> nodes_;
+    alignas(kCacheLine) std::atomic<std::uint64_t> head_;
+    alignas(kCacheLine) std::atomic<std::uint64_t> tail_;
+    alignas(kCacheLine) std::atomic<std::uint64_t> free_head_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_MS_QUEUE_H_

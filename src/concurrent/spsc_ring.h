@@ -1,0 +1,79 @@
+#ifndef PCCHECK_CONCURRENT_SPSC_RING_H_
+#define PCCHECK_CONCURRENT_SPSC_RING_H_
+
+/**
+ * @file
+ * Wait-free single-producer single-consumer ring buffer. Used on the
+ * orchestrator → persist-manager handoff path where exactly one
+ * producer (the snapshot thread) feeds exactly one consumer (the
+ * persist dispatcher), so the cheaper SPSC protocol applies.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "concurrent/cacheline.h"
+
+namespace pccheck {
+
+/** Wait-free bounded SPSC FIFO. */
+template <typename T>
+class SpscRing {
+  public:
+    /** @param capacity maximum element count (rounded up to 2^k, >= 2) */
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity) {
+            cap *= 2;
+        }
+        mask_ = cap - 1;
+        slots_ = std::make_unique<T[]>(cap);
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /** Producer side. @return false when full. */
+    bool
+    try_push(T value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_) {
+            return false;
+        }
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return std::nullopt when empty. */
+    std::optional<T>
+    try_pop()
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) {
+            return std::nullopt;
+        }
+        T out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return out;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::size_t mask_;
+    std::unique_ptr<T[]> slots_;
+    alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+    alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_SPSC_RING_H_

@@ -1,0 +1,81 @@
+#include "concurrent/thread_pool.h"
+
+#include "util/affinity.h"
+#include "util/check.h"
+
+namespace pccheck {
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool pin_threads)
+{
+    PCCHECK_CHECK(num_threads > 0);
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this, i, pin_threads] {
+            if (pin_threads) {
+                pin_current_thread(static_cast<int>(i));
+            }
+            worker_loop();
+        });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    auto future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PCCHECK_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+        tasks_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                return;  // stopping and drained
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (tasks_.empty() && active_ == 0) {
+                idle_cv_.notify_all();
+            }
+        }
+    }
+}
+
+}  // namespace pccheck

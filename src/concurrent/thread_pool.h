@@ -1,0 +1,61 @@
+#ifndef PCCHECK_CONCURRENT_THREAD_POOL_H_
+#define PCCHECK_CONCURRENT_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size thread pool. PCcheck's persistent manager submits one
+ * persist task per writer thread per checkpoint; pooling avoids the
+ * per-checkpoint thread-spawn cost the paper's Listing 1 pseudo-code
+ * glosses over.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pccheck {
+
+/** Fixed-size FIFO thread pool; tasks are std::function<void()>. */
+class ThreadPool {
+  public:
+    /**
+     * Spawns @p num_threads workers immediately.
+     * @param pin_threads best-effort pin of worker i to CPU i (the
+     *        thread-pinning optimization the artifact describes)
+     */
+    explicit ThreadPool(std::size_t num_threads, bool pin_threads = false);
+
+    /** Drains outstanding tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task; returns a future completed when the task ran. */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has finished. */
+    void wait_idle();
+
+    std::size_t size() const { return workers_.size(); }
+
+  private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::packaged_task<void()>> tasks_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CONCURRENT_THREAD_POOL_H_

@@ -1,0 +1,162 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+AdaptiveController::AdaptiveController(const Options& options,
+                                       std::uint64_t initial_interval)
+    : options_(options), interval_(initial_interval)
+{
+    PCCHECK_CHECK(options.max_overhead >= 1.0);
+    PCCHECK_CHECK(options.concurrent >= 1);
+    PCCHECK_CHECK(options.ewma_alpha > 0 && options.ewma_alpha <= 1.0);
+    PCCHECK_CHECK(options.min_interval >= 1);
+    PCCHECK_CHECK(options.max_interval >= options.min_interval);
+    interval_ = std::clamp(interval_, options.min_interval,
+                           options.max_interval);
+}
+
+void
+AdaptiveController::observe_iteration(Seconds duration)
+{
+    if (duration <= 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!t_seeded_) {
+        t_ewma_ = duration;
+        t_seeded_ = true;
+    } else {
+        t_ewma_ += options_.ewma_alpha * (duration - t_ewma_);
+    }
+    maybe_adapt_locked();
+}
+
+void
+AdaptiveController::observe_checkpoint(Seconds tw)
+{
+    if (tw <= 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!tw_seeded_) {
+        tw_ewma_ = tw;
+        tw_seeded_ = true;
+    } else {
+        tw_ewma_ += options_.ewma_alpha * (tw - tw_ewma_);
+    }
+    maybe_adapt_locked();
+}
+
+void
+AdaptiveController::maybe_adapt_locked()
+{
+    if (!t_seeded_ || !tw_seeded_) {
+        return;
+    }
+    // Paper eq. (3): f* = ceil(Tw / (N q t)).
+    const double raw =
+        tw_ewma_ / (static_cast<double>(options_.concurrent) *
+                    options_.max_overhead * t_ewma_);
+    const auto target = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::ceil(std::max(raw, 1.0))),
+        options_.min_interval, options_.max_interval);
+    // Hysteresis: only move when materially different.
+    const double ratio = static_cast<double>(target) /
+                         static_cast<double>(interval_);
+    if (ratio > 1.0 + options_.hysteresis ||
+        ratio < 1.0 - options_.hysteresis) {
+        interval_ = target;
+        ++adaptations_;
+    }
+}
+
+std::uint64_t
+AdaptiveController::interval() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return interval_;
+}
+
+Seconds
+AdaptiveController::iteration_estimate() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return t_ewma_;
+}
+
+Seconds
+AdaptiveController::tw_estimate() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tw_ewma_;
+}
+
+std::uint64_t
+AdaptiveController::adaptations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return adaptations_;
+}
+
+AdaptiveCheckpointer::AdaptiveCheckpointer(Checkpointer& inner,
+                                           AdaptiveController& controller,
+                                           const Clock& clock)
+    : inner_(&inner), controller_(&controller), clock_(&clock)
+{
+}
+
+void
+AdaptiveCheckpointer::before_update(std::uint64_t iteration)
+{
+    inner_->before_update(iteration);
+}
+
+void
+AdaptiveCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    const Seconds now = clock_->now();
+    if (last_request_time_ >= 0) {
+        controller_->observe_iteration(now - last_request_time_);
+    }
+    last_request_time_ = now;
+
+    // Harvest completed-checkpoint latencies from the inner system.
+    const CheckpointerStats stats = inner_->stats();
+    if (stats.completed > completed_seen_ &&
+        stats.checkpoint_latency.count() > 0) {
+        controller_->observe_checkpoint(stats.checkpoint_latency.mean());
+        completed_seen_ = stats.completed;
+    }
+
+    if (iteration - last_checkpoint_iteration_ >=
+        controller_->interval()) {
+        inner_->request_checkpoint(iteration);
+        last_checkpoint_iteration_ = iteration;
+        ++taken_;
+    }
+}
+
+void
+AdaptiveCheckpointer::finish()
+{
+    inner_->finish();
+    const CheckpointerStats stats = inner_->stats();
+    if (stats.completed > completed_seen_ &&
+        stats.checkpoint_latency.count() > 0) {
+        controller_->observe_checkpoint(stats.checkpoint_latency.mean());
+        completed_seen_ = stats.completed;
+    }
+}
+
+CheckpointerStats
+AdaptiveCheckpointer::stats() const
+{
+    return inner_->stats();
+}
+
+}  // namespace pccheck

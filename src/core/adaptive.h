@@ -1,0 +1,122 @@
+#ifndef PCCHECK_CORE_ADAPTIVE_H_
+#define PCCHECK_CORE_ADAPTIVE_H_
+
+/**
+ * @file
+ * Adaptive checkpoint-interval control — the extension §3.4 sketches
+ * as future work: "We plan to extend PCcheck by monitoring training
+ * throughput and traffic between GPU, CPU, and storage, and adapt
+ * (3) accordingly."
+ *
+ * AdaptiveController keeps exponentially weighted averages of the
+ * iteration time t (which drifts with input-bound phases, activation
+ * offloading, and PCIe contention) and the checkpoint write time Tw
+ * (which drifts with storage contention), and re-evaluates the
+ * eq. (3) minimum interval
+ *
+ *     f* = ceil( Tw / (N · q · t) )
+ *
+ * with hysteresis so the interval does not flap on noise.
+ *
+ * AdaptiveCheckpointer wraps any Checkpointer: the training loop
+ * requests a checkpoint every iteration (interval 1) and the wrapper
+ * decides, from the controller, whether this iteration actually
+ * checkpoints.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "trainsim/checkpointer.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** EWMA-based re-evaluation of the §3.4 minimum interval. */
+class AdaptiveController {
+  public:
+    struct Options {
+        double max_overhead = 1.05;  ///< q
+        int concurrent = 2;          ///< N
+        double ewma_alpha = 0.2;     ///< smoothing for t and Tw
+        /** Interval changes only when the new f* differs from the
+         *  current one by more than this factor (hysteresis). */
+        double hysteresis = 0.25;
+        std::uint64_t min_interval = 1;
+        std::uint64_t max_interval = 1000;
+    };
+
+    explicit AdaptiveController(const Options& options,
+                                std::uint64_t initial_interval = 10);
+
+    /** Feed one measured iteration duration. */
+    void observe_iteration(Seconds duration);
+
+    /** Feed one measured checkpoint write time (request → durable). */
+    void observe_checkpoint(Seconds tw);
+
+    /** Current recommended checkpoint interval f. */
+    std::uint64_t interval() const;
+
+    /** Smoothed estimates (monitoring). */
+    Seconds iteration_estimate() const;
+    Seconds tw_estimate() const;
+
+    /** How many times the interval actually changed. */
+    std::uint64_t adaptations() const;
+
+  private:
+    void maybe_adapt_locked();
+
+    Options options_;
+    mutable std::mutex mu_;
+    double t_ewma_ = 0;
+    double tw_ewma_ = 0;
+    bool t_seeded_ = false;
+    bool tw_seeded_ = false;
+    std::uint64_t interval_;
+    std::uint64_t adaptations_ = 0;
+};
+
+/**
+ * Checkpointer adapter that turns per-iteration requests into
+ * controller-paced checkpoints. Drive it with checkpoint_interval = 1.
+ */
+class AdaptiveCheckpointer final : public Checkpointer {
+  public:
+    /**
+     * @param inner the real checkpointing system (not owned)
+     * @param controller interval policy (not owned)
+     * @param clock time source for the measurements fed back
+     */
+    AdaptiveCheckpointer(Checkpointer& inner,
+                         AdaptiveController& controller,
+                         const Clock& clock = MonotonicClock::instance());
+
+    std::string name() const override
+    {
+        return "adaptive-" + inner_->name();
+    }
+    void before_update(std::uint64_t iteration) override;
+    void request_checkpoint(std::uint64_t iteration) override;
+    void finish() override;
+    CheckpointerStats stats() const override;
+
+    /** Checkpoints actually forwarded to the inner system. */
+    std::uint64_t checkpoints_taken() const { return taken_; }
+
+  private:
+    Checkpointer* inner_;
+    AdaptiveController* controller_;
+    const Clock* clock_;
+    Seconds last_request_time_ = -1;
+    std::uint64_t last_checkpoint_iteration_ = 0;
+    std::uint64_t taken_ = 0;
+    Seconds pending_checkpoint_start_ = -1;
+    std::uint64_t completed_seen_ = 0;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_ADAPTIVE_H_

@@ -1,0 +1,111 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+PipelineCluster::PipelineCluster(const ClusterConfig& config,
+                                 const Clock& clock)
+    : config_(config), clock_(&clock)
+{
+    PCCHECK_CHECK(config.nodes >= 1);
+    NetworkConfig net = config.network;
+    net.nodes = std::max(net.nodes, config.nodes);
+    network_ = std::make_unique<SimNetwork>(net, clock);
+    gpus_.reserve(static_cast<std::size_t>(config.nodes));
+    states_.reserve(static_cast<std::size_t>(config.nodes));
+    for (int rank = 0; rank < config.nodes; ++rank) {
+        GpuConfig gpu_config = config.gpu;
+        gpu_config.memory_bytes = std::max(
+            gpu_config.memory_bytes, config.partition_bytes + kMiB);
+        gpus_.push_back(std::make_unique<SimGpu>(gpu_config, clock));
+        states_.push_back(std::make_unique<TrainingState>(
+            *gpus_.back(), config.partition_bytes));
+    }
+}
+
+PipelineCluster::~PipelineCluster() = default;
+
+ClusterResult
+PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
+                     const Factory& factory)
+{
+    PCCHECK_CHECK(iterations >= 1);
+    const int nodes = config_.nodes;
+    const Seconds train_time =
+        config_.stage_time * (1.0 - config_.update_fraction);
+    const Seconds update_time =
+        config_.stage_time * config_.update_fraction;
+
+    ClusterResult result;
+    result.node_stats.resize(static_cast<std::size_t>(nodes));
+    std::vector<std::uint64_t> consistent(
+        static_cast<std::size_t>(nodes), 0);
+
+    Stopwatch watch(*clock_);
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < nodes; ++rank) {
+        threads.emplace_back([&, rank] {
+            const auto index = static_cast<std::size_t>(rank);
+            SimGpu& gpu = *gpus_[index];
+            TrainingState& state = *states_[index];
+            ClusterNode node{rank, &gpu, &state, network_.get()};
+            NodeCheckpointer ck = factory(node);
+            PCCHECK_CHECK(ck.checkpointer != nullptr);
+            DistributedCoordinator coordinator(*network_, rank, nodes);
+
+            for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+                // Forward/backward for this stage's microbatches.
+                gpu.launch_kernel(train_time);
+                // Activation / gradient exchange with the next stage
+                // (shares the NIC with any checkpoint traffic).
+                if (rank + 1 < nodes) {
+                    network_->transfer(rank, rank + 1,
+                                       config_.activation_bytes);
+                }
+                ck.checkpointer->before_update(iter);
+                gpu.launch_kernel(update_time);
+                state.stamp(iter);
+                if (interval > 0 && iter % interval == 0) {
+                    ck.checkpointer->request_checkpoint(iter);
+                    if (config_.coordinate) {
+                        // §4.1: agree on the last iteration every
+                        // node has durably committed.
+                        const std::uint64_t mine =
+                            ck.latest_iteration ? ck.latest_iteration()
+                                                : 0;
+                        consistent[index] =
+                            coordinator.coordinate(mine);
+                    }
+                }
+            }
+            ck.checkpointer->finish();
+            if (config_.coordinate) {
+                // Final round so the last checkpoints are covered.
+                const std::uint64_t mine =
+                    ck.latest_iteration ? ck.latest_iteration() : 0;
+                consistent[index] = coordinator.coordinate(mine);
+            }
+            result.node_stats[index] = ck.checkpointer->stats();
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    result.wall_time = watch.elapsed();
+    result.throughput =
+        static_cast<double>(iterations) / result.wall_time;
+    if (config_.coordinate) {
+        result.consistent_iteration = consistent.front();
+        for (std::uint64_t value : consistent) {
+            PCCHECK_CHECK_MSG(value == result.consistent_iteration,
+                              "nodes disagree on consistent checkpoint");
+        }
+    }
+    return result;
+}
+
+}  // namespace pccheck

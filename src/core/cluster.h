@@ -1,0 +1,115 @@
+#ifndef PCCHECK_CORE_CLUSTER_H_
+#define PCCHECK_CORE_CLUSTER_H_
+
+/**
+ * @file
+ * Pipeline-parallel training cluster harness (§3.1 "Checkpointing for
+ * Distributed Training").
+ *
+ * Each node (one thread, one SimGpu) owns a partition of the model
+ * (OPT-2.7B: 2 stages, BLOOM-7B: 6 stages), trains in steady-state
+ * pipeline fashion, forwards activations to the next stage over the
+ * simulated network, and checkpoints its own partition through a
+ * per-node Checkpointer created by the caller's factory. Every
+ * checkpoint interval, the nodes run the rank-0 consensus of §4.1 on
+ * the latest locally committed iteration, yielding the globally
+ * consistent checkpoint the paper requires.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/distributed.h"
+#include "gpusim/gpu.h"
+#include "net/network.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/models.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Cluster-wide workload parameters. */
+struct ClusterConfig {
+    int nodes = 2;
+    /** Per-stage iteration time (steady-state pipeline), seconds. */
+    Seconds stage_time = 0.002;
+    double update_fraction = 0.1;
+    /** Checkpoint partition per node (m_total / nodes). */
+    Bytes partition_bytes = 64 * kKiB;
+    /** Activation bytes exchanged per iteration between stages. */
+    Bytes activation_bytes = 4 * kKiB;
+    GpuConfig gpu;          ///< per-node GPU configuration
+    NetworkConfig network;  ///< inter-node fabric
+    /** Run the rank-0 checkpoint-ID consensus every interval. */
+    bool coordinate = true;
+};
+
+/** Per-node view handed to the checkpointer factory. */
+struct ClusterNode {
+    int rank = 0;
+    SimGpu* gpu = nullptr;
+    TrainingState* state = nullptr;
+    SimNetwork* network = nullptr;
+};
+
+/** Outcome of a cluster run. */
+struct ClusterResult {
+    double throughput = 0;  ///< pipeline iterations per second
+    Seconds wall_time = 0;
+    std::vector<CheckpointerStats> node_stats;
+    /** Globally consistent checkpoint iteration (0 if none/disabled). */
+    std::uint64_t consistent_iteration = 0;
+};
+
+/** Pipeline-parallel training cluster over SimNetwork. */
+class PipelineCluster {
+  public:
+    /**
+     * Creates a Checkpointer for one node; also queried (through
+     * latest_iteration) for the node's newest durably committed
+     * iteration when coordination runs.
+     */
+    struct NodeCheckpointer {
+        std::unique_ptr<Checkpointer> checkpointer;
+        /** Latest locally committed iteration; 0 when none. */
+        std::function<std::uint64_t()> latest_iteration;
+    };
+    using Factory = std::function<NodeCheckpointer(const ClusterNode&)>;
+
+    explicit PipelineCluster(
+        const ClusterConfig& config,
+        const Clock& clock = MonotonicClock::instance());
+    ~PipelineCluster();
+
+    PipelineCluster(const PipelineCluster&) = delete;
+    PipelineCluster& operator=(const PipelineCluster&) = delete;
+
+    /**
+     * Train @p iterations pipeline iterations, checkpointing every
+     * @p interval (0 disables), one checkpointer per node from
+     * @p factory. Blocks until all nodes finish and all checkpoints
+     * drain.
+     */
+    ClusterResult run(std::uint64_t iterations, std::uint64_t interval,
+                      const Factory& factory);
+
+    SimNetwork& network() { return *network_; }
+    SimGpu& gpu(int rank) { return *gpus_[static_cast<std::size_t>(rank)]; }
+    TrainingState& state(int rank)
+    {
+        return *states_[static_cast<std::size_t>(rank)];
+    }
+
+  private:
+    ClusterConfig config_;
+    const Clock* clock_;
+    std::unique_ptr<SimNetwork> network_;
+    std::vector<std::unique_ptr<SimGpu>> gpus_;
+    std::vector<std::unique_ptr<TrainingState>> states_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_CLUSTER_H_

@@ -1,0 +1,168 @@
+#include "core/concurrent_commit.h"
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+/** Backoff between free-slot polls, seconds (short; slots free in ms). */
+constexpr Seconds kSlotBackoff = 20e-6;
+
+}  // namespace
+
+std::uint64_t
+ConcurrentCommit::pack(std::uint64_t counter, std::uint32_t slot)
+{
+    PCCHECK_CHECK(counter < (1ULL << 48));
+    return (counter << 16) | (slot & 0xFFFF);
+}
+
+std::uint64_t
+ConcurrentCommit::counter_of(std::uint64_t packed)
+{
+    return packed >> 16;
+}
+
+std::uint32_t
+ConcurrentCommit::slot_of(std::uint64_t packed)
+{
+    return static_cast<std::uint32_t>(packed & 0xFFFF);
+}
+
+ConcurrentCommit::ConcurrentCommit(SlotStore& store,
+                                   SlotQueueKind queue_kind,
+                                   const Clock& clock)
+    : store_(&store), clock_(&clock),
+      free_slots_(make_slot_queue(queue_kind, store.slot_count())),
+      check_addr_(pack(0, kNoSlot)), meta_(store.slot_count())
+{
+    PCCHECK_CHECK(store.slot_count() < kNoSlot);
+    // If the device already holds a checkpoint (reopen after crash),
+    // adopt it as the current CHECK_ADDR and keep its slot reserved.
+    const auto recovered = store.recover_pointer(/*validate_data=*/true);
+    std::uint32_t reserved = kNoSlot;
+    if (recovered.has_value()) {
+        check_addr_.store(pack(recovered->counter, recovered->slot),
+                          std::memory_order_relaxed);
+        g_counter_.store(recovered->counter, std::memory_order_relaxed);
+        meta_[recovered->slot] = {recovered->data_len, recovered->iteration,
+                                  recovered->data_crc};
+        reserved = recovered->slot;
+    }
+    for (std::uint32_t slot = 0; slot < store.slot_count(); ++slot) {
+        if (slot != reserved) {
+            PCCHECK_CHECK(free_slots_->try_enqueue(slot));
+        }
+    }
+}
+
+CheckpointTicket
+ConcurrentCommit::begin()
+{
+    CheckpointTicket ticket;
+    // Listing 1 line 3: sample CHECK_ADDR before taking the counter so
+    // the later CAS attempt is legal (our counter is strictly larger
+    // than the sampled one).
+    ticket.last_check = check_addr_.load(std::memory_order_acquire);
+    ticket.counter =
+        g_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Lines 8-11: wait for a free slot.
+    for (;;) {
+        const auto slot = free_slots_->try_dequeue();
+        if (slot.has_value()) {
+            ticket.slot = *slot;
+            return ticket;
+        }
+        clock_->sleep_for(kSlotBackoff);
+    }
+}
+
+bool
+ConcurrentCommit::try_begin(CheckpointTicket* ticket)
+{
+    const std::uint64_t last =
+        check_addr_.load(std::memory_order_acquire);
+    const auto slot = free_slots_->try_dequeue();
+    if (!slot.has_value()) {
+        return false;
+    }
+    ticket->last_check = last;
+    ticket->counter =
+        g_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    ticket->slot = *slot;
+    return true;
+}
+
+CommitResult
+ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
+                         std::uint64_t iteration, std::uint32_t data_crc)
+{
+    // Side-table entry is owned exclusively by this ticket until the
+    // slot is recycled; the CAS below publishes it.
+    meta_[ticket.slot] = {data_len, iteration, data_crc};
+    const std::uint64_t mine = pack(ticket.counter, ticket.slot);
+    std::uint64_t expected = ticket.last_check;
+
+    CommitResult result;
+    for (;;) {
+        if (check_addr_.compare_exchange_strong(
+                expected, mine, std::memory_order_acq_rel)) {
+            // Lines 22-25: winner — durably publish the new pointer
+            // (BARRIER), then recycle the superseded slot. Publishing
+            // before recycling is what keeps the latest durable record
+            // pointing at intact data.
+            store_->publish_pointer(CheckpointPointer{
+                ticket.counter, ticket.slot, data_len, iteration,
+                data_crc});
+            const std::uint32_t old_slot = slot_of(expected);
+            if (old_slot != kNoSlot) {
+                PCCHECK_CHECK(free_slots_->try_enqueue(old_slot));
+                result.freed_slot = old_slot;
+            }
+            wins_.fetch_add(1, std::memory_order_relaxed);
+            result.won = true;
+            return result;
+        }
+        // CAS failed; `expected` now holds the current CHECK_ADDR.
+        if (counter_of(expected) < ticket.counter) {
+            // Lines 26-28: the registered checkpoint is older than
+            // ours — retry against it.
+            continue;
+        }
+        // Lines 29-31: a more recent checkpoint is already registered
+        // (and its publisher persists it); our data is superseded, so
+        // recycle our own slot.
+        PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+        losses_.fetch_add(1, std::memory_order_relaxed);
+        result.freed_slot = ticket.slot;
+        return result;
+    }
+}
+
+void
+ConcurrentCommit::abort(const CheckpointTicket& ticket)
+{
+    PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+}
+
+std::uint64_t
+ConcurrentCommit::latest_counter() const
+{
+    return counter_of(check_addr_.load(std::memory_order_acquire));
+}
+
+std::optional<CheckpointPointer>
+ConcurrentCommit::latest_pointer() const
+{
+    const std::uint64_t packed =
+        check_addr_.load(std::memory_order_acquire);
+    const std::uint32_t slot = slot_of(packed);
+    if (slot == kNoSlot) {
+        return std::nullopt;
+    }
+    const SlotMeta& meta = meta_[slot];
+    return CheckpointPointer{counter_of(packed), slot, meta.data_len,
+                             meta.iteration, meta.data_crc};
+}
+
+}  // namespace pccheck

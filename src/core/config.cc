@@ -1,0 +1,40 @@
+#include "core/config.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+void
+PCcheckConfig::validate() const
+{
+    if (concurrent_checkpoints < 1) {
+        fatal("PCcheckConfig: concurrent_checkpoints must be >= 1");
+    }
+    if (concurrent_checkpoints > 0xFFFE) {
+        fatal("PCcheckConfig: concurrent_checkpoints too large");
+    }
+    if (writers_per_checkpoint < 1) {
+        fatal("PCcheckConfig: writers_per_checkpoint must be >= 1");
+    }
+    if (per_writer_bytes_per_sec < 0) {
+        fatal("PCcheckConfig: per_writer_bytes_per_sec must be >= 0");
+    }
+}
+
+std::string
+PCcheckConfig::to_string() const
+{
+    std::ostringstream oss;
+    oss << "pccheck N=" << concurrent_checkpoints << " p="
+        << writers_per_checkpoint;
+    if (chunk_bytes > 0) {
+        oss << " pipelined(" << format_bytes(chunk_bytes) << ")";
+    } else {
+        oss << " non-pipelined";
+    }
+    return oss.str();
+}
+
+}  // namespace pccheck

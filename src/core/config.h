@@ -1,0 +1,73 @@
+#ifndef PCCHECK_CORE_CONFIG_H_
+#define PCCHECK_CORE_CONFIG_H_
+
+/**
+ * @file
+ * PCcheck configuration — the knobs of paper Table 2.
+ */
+
+#include <string>
+
+#include "core/free_slot_queue.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Configuration parameters of Table 2 (plus modeling knobs). */
+struct PCcheckConfig {
+    /** N: maximum concurrent checkpoints; slot count on device = N+1. */
+    int concurrent_checkpoints = 2;
+    /** p: parallel writer threads persisting each checkpoint. */
+    int writers_per_checkpoint = 3;
+    /**
+     * b: pipeline chunk size in bytes. 0 disables pipelining: the
+     * whole checkpoint is staged before persisting starts (Fig. 6
+     * mode); > 0 enables the chunked overlap of Fig. 7.
+     */
+    Bytes chunk_bytes = 0;
+    /**
+     * M: DRAM dedicated to staging buffers. 0 defaults to 2×m as in
+     * the paper's evaluation setup (§5.2.1).
+     */
+    Bytes dram_bytes = 0;
+    /** Free-slot queue implementation (DESIGN.md ablation 5). */
+    SlotQueueKind queue_kind = SlotQueueKind::kVyukov;
+    /** Use pinned host staging memory for GPU copies (§3.3). */
+    bool pinned_memory = true;
+    /** Per-writer-thread storage bandwidth ceiling; 0 = uncapped. */
+    double per_writer_bytes_per_sec = 0;
+    /**
+     * GPUDirect-style mode: copy engines write straight into the
+     * persistent device, skipping DRAM staging (§3.3). Kept as an
+     * ablation — the staged path overlaps fast GPU→DRAM copies with
+     * slow persists and wins overall (DESIGN.md decision 4).
+     */
+    bool direct_to_storage = false;
+    /**
+     * Shard region of the training state this orchestrator owns
+     * (§3.1: with combined data and pipeline parallelism each stage's
+     * checkpoint is partitioned among its data-parallel replicas).
+     * region_bytes = 0 checkpoints the whole state.
+     */
+    Bytes region_offset = 0;
+    Bytes region_bytes = 0;
+    /** Pin writer threads to cores (artifact §A.2 optimization). */
+    bool pin_writer_threads = false;
+    /**
+     * Checksum checkpoint data (CRC-32C) so recovery can detect slots
+     * recycled under stale pointer records. Disable only for timing
+     * benches on CPU-starved hosts — a data_crc of 0 in the pointer
+     * record makes recovery skip the check.
+     */
+    bool compute_crc = true;
+
+    /** Validate ranges; throws FatalError on nonsense values. */
+    void validate() const;
+
+    /** One-line summary, e.g. "pccheck N=2 p=3 pipelined(4MiB)". */
+    std::string to_string() const;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_CONFIG_H_

@@ -1,0 +1,71 @@
+#include "core/distributed.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+constexpr std::uint64_t kTagAnnounce = 0xC0FFEE01;
+constexpr std::uint64_t kTagCommit = 0xC0FFEE02;
+
+std::vector<std::uint8_t>
+encode_u64(std::uint64_t value)
+{
+    std::vector<std::uint8_t> bytes(sizeof(value));
+    std::memcpy(bytes.data(), &value, sizeof(value));
+    return bytes;
+}
+
+std::uint64_t
+decode_u64(const std::vector<std::uint8_t>& bytes)
+{
+    PCCHECK_CHECK(bytes.size() == sizeof(std::uint64_t));
+    std::uint64_t value = 0;
+    std::memcpy(&value, bytes.data(), sizeof(value));
+    return value;
+}
+
+}  // namespace
+
+DistributedCoordinator::DistributedCoordinator(SimNetwork& network, int rank,
+                                               int world)
+    : network_(&network), rank_(rank), world_(world)
+{
+    PCCHECK_CHECK(world >= 1);
+    PCCHECK_CHECK(rank >= 0 && rank < world);
+    PCCHECK_CHECK(world <= network.nodes());
+}
+
+std::uint64_t
+DistributedCoordinator::coordinate(std::uint64_t checkpoint_id)
+{
+    if (world_ == 1) {
+        peer_check_ = checkpoint_id;
+        return checkpoint_id;
+    }
+    if (rank_ == 0) {
+        // Gather announcements from every other rank; ours is local.
+        std::uint64_t agreed = checkpoint_id;
+        for (int received = 0; received + 1 < world_; ++received) {
+            const NetMessage msg = network_->recv_msg(0);
+            PCCHECK_CHECK_MSG(msg.tag == kTagAnnounce,
+                              "unexpected tag " << msg.tag);
+            agreed = std::min(agreed, decode_u64(msg.payload));
+        }
+        for (int peer = 1; peer < world_; ++peer) {
+            network_->send_msg(0, peer, kTagCommit, encode_u64(agreed));
+        }
+        peer_check_ = agreed;
+        return agreed;
+    }
+    network_->send_msg(rank_, 0, kTagAnnounce, encode_u64(checkpoint_id));
+    const NetMessage msg = network_->recv_msg(rank_);
+    PCCHECK_CHECK(msg.tag == kTagCommit);
+    peer_check_ = decode_u64(msg.payload);
+    return peer_check_;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,58 @@
+#ifndef PCCHECK_CORE_DISTRIBUTED_H_
+#define PCCHECK_CORE_DISTRIBUTED_H_
+
+/**
+ * @file
+ * Distributed checkpoint coordination (§3.1, §4.1): with one
+ * orchestrator per node, all peers must agree on the latest globally
+ * consistent checkpoint so that every node's persistent partition
+ * corresponds to the same iteration.
+ *
+ * Protocol, as in the paper: after a successful local commit each peer
+ * sends its checkpoint ID to rank 0 and waits; once rank 0 has IDs
+ * from every peer it notifies them to continue, and each peer advances
+ * its peer_check to the agreed value.
+ */
+
+#include <cstdint>
+
+#include "net/network.h"
+
+namespace pccheck {
+
+/** Rank-0 rendezvous advancing the globally consistent checkpoint. */
+class DistributedCoordinator {
+  public:
+    /**
+     * @param network fabric shared by all ranks (must outlive this)
+     * @param rank this node's rank in [0, world)
+     * @param world total participating nodes
+     */
+    DistributedCoordinator(SimNetwork& network, int rank, int world);
+
+    /**
+     * Announce the locally committed checkpoint @p checkpoint_id
+     * (iteration number) and block until every rank has announced.
+     *
+     * @return the globally consistent checkpoint id — the minimum
+     *         announced value, which all ranks are guaranteed to have
+     *         persisted.
+     */
+    std::uint64_t coordinate(std::uint64_t checkpoint_id);
+
+    /** Last globally consistent checkpoint id (peer_check). */
+    std::uint64_t last_consistent() const { return peer_check_; }
+
+    int rank() const { return rank_; }
+    int world() const { return world_; }
+
+  private:
+    SimNetwork* network_;
+    int rank_;
+    int world_;
+    std::uint64_t peer_check_ = 0;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_DISTRIBUTED_H_

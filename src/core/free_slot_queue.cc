@@ -1,0 +1,22 @@
+#include "core/free_slot_queue.h"
+
+#include "util/check.h"
+
+namespace pccheck {
+
+std::unique_ptr<FreeSlotQueue>
+make_slot_queue(SlotQueueKind kind, std::size_t capacity)
+{
+    switch (kind) {
+      case SlotQueueKind::kVyukov:
+        return std::make_unique<VyukovSlotQueue>(capacity);
+      case SlotQueueKind::kMichaelScott:
+        return std::make_unique<MsSlotQueue>(capacity);
+      case SlotQueueKind::kMutex:
+        return std::make_unique<MutexSlotQueue>(capacity);
+    }
+    PCCHECK_CHECK(false);
+    return nullptr;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,112 @@
+#ifndef PCCHECK_CORE_FREE_SLOT_QUEUE_H_
+#define PCCHECK_CORE_FREE_SLOT_QUEUE_H_
+
+/**
+ * @file
+ * Free-slot queue used by the concurrent checkpoint algorithm (§4.1:
+ * "Queue is a lock-free queue based on [Morrison & Afek], holding
+ * available slots for storing checkpoints").
+ *
+ * Three interchangeable implementations back the DESIGN.md decision-5
+ * ablation: the Vyukov-style array queue (default), the Michael–Scott
+ * linked queue, and a mutex-guarded deque (non-lock-free reference).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "concurrent/mpmc_queue.h"
+#include "concurrent/ms_queue.h"
+
+namespace pccheck {
+
+/** Abstract MPMC queue of free slot indices. */
+class FreeSlotQueue {
+  public:
+    virtual ~FreeSlotQueue() = default;
+    virtual bool try_enqueue(std::uint32_t slot) = 0;
+    virtual std::optional<std::uint32_t> try_dequeue() = 0;
+    virtual std::string name() const = 0;
+};
+
+/** Which implementation to instantiate. */
+enum class SlotQueueKind { kVyukov, kMichaelScott, kMutex };
+
+/** Factory. @p capacity bounds the number of queued slots. */
+std::unique_ptr<FreeSlotQueue> make_slot_queue(SlotQueueKind kind,
+                                               std::size_t capacity);
+
+/** Array-based lock-free queue (default; LCRQ-family). */
+class VyukovSlotQueue final : public FreeSlotQueue {
+  public:
+    explicit VyukovSlotQueue(std::size_t capacity) : queue_(capacity) {}
+    bool try_enqueue(std::uint32_t slot) override
+    {
+        return queue_.try_enqueue(slot);
+    }
+    std::optional<std::uint32_t> try_dequeue() override
+    {
+        return queue_.try_dequeue();
+    }
+    std::string name() const override { return "vyukov"; }
+
+  private:
+    MpmcBoundedQueue<std::uint32_t> queue_;
+};
+
+/** Linked lock-free queue (Michael–Scott with tagged indices). */
+class MsSlotQueue final : public FreeSlotQueue {
+  public:
+    explicit MsSlotQueue(std::size_t capacity) : queue_(capacity) {}
+    bool try_enqueue(std::uint32_t slot) override
+    {
+        return queue_.try_enqueue(slot);
+    }
+    std::optional<std::uint32_t> try_dequeue() override
+    {
+        return queue_.try_dequeue();
+    }
+    std::string name() const override { return "michael-scott"; }
+
+  private:
+    MsQueue<std::uint32_t> queue_;
+};
+
+/** Mutex-based reference implementation (ablation baseline). */
+class MutexSlotQueue final : public FreeSlotQueue {
+  public:
+    explicit MutexSlotQueue(std::size_t capacity) : capacity_(capacity) {}
+    bool try_enqueue(std::uint32_t slot) override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (slots_.size() >= capacity_) {
+            return false;
+        }
+        slots_.push_back(slot);
+        return true;
+    }
+    std::optional<std::uint32_t> try_dequeue() override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (slots_.empty()) {
+            return std::nullopt;
+        }
+        const std::uint32_t slot = slots_.front();
+        slots_.pop_front();
+        return slot;
+    }
+    std::string name() const override { return "mutex"; }
+
+  private:
+    std::mutex mu_;
+    std::size_t capacity_;
+    std::deque<std::uint32_t> slots_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_FREE_SLOT_QUEUE_H_

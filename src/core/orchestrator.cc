@@ -1,0 +1,335 @@
+#include "core/orchestrator.h"
+
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+namespace {
+
+/** Backoff while waiting for a free staging buffer. */
+constexpr Seconds kBufferBackoff = 20e-6;
+
+/** Cap on the shared writer pool size. */
+constexpr int kMaxWriterThreads = 24;
+
+}  // namespace
+
+PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
+                                         StorageDevice& device,
+                                         const PCcheckConfig& config,
+                                         const Clock& clock)
+    : state_(&state), device_(&device), config_(config), clock_(&clock)
+{
+    config_.validate();
+    region_offset_ = config_.region_offset;
+    region_bytes_ = config_.region_bytes > 0 ? config_.region_bytes
+                                             : state.size();
+    if (region_offset_ + region_bytes_ > state.size()) {
+        fatal("PCcheck: shard region exceeds the training state");
+    }
+    const Bytes m = region_bytes_;
+    const Bytes dram = config_.dram_bytes > 0 ? config_.dram_bytes : 2 * m;
+    if (dram < std::min<Bytes>(m, config_.chunk_bytes > 0
+                                      ? config_.chunk_bytes
+                                      : m)) {
+        fatal("PCcheck: DRAM budget smaller than one staging chunk");
+    }
+    chunk_bytes_ = config_.chunk_bytes > 0 ? std::min(config_.chunk_bytes, m)
+                                           : m;
+    chunk_count_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(dram / chunk_bytes_));
+
+    const auto slot_count =
+        static_cast<std::uint32_t>(config_.concurrent_checkpoints + 1);
+    // Durability across restarts (invariant I1): never wipe an
+    // existing checkpoint. Reopen a compatible layout in place; when
+    // the geometry changed (different N or m), salvage the latest
+    // valid checkpoint, reformat, and republish it before any new
+    // checkpoint can start.
+    bool opened = false;
+    std::vector<std::uint8_t> salvaged;
+    std::optional<RecoveryResult> salvage_info;
+    try {
+        SlotStore existing = SlotStore::open(device);
+        if (existing.slot_count() == slot_count &&
+            existing.slot_size() == m) {
+            store_ = std::make_unique<SlotStore>(existing);
+            opened = true;
+        } else {
+            salvage_info = recover_to_buffer(device, &salvaged, clock);
+        }
+    } catch (const FatalError&) {
+        // Unformatted device: fresh format below.
+    }
+    if (!opened) {
+        store_ = std::make_unique<SlotStore>(
+            SlotStore::format(device, slot_count, m));
+        if (salvage_info.has_value() && salvaged.size() <= m) {
+            store_->write_slot(0, 0, salvaged.data(), salvaged.size());
+            store_->persist_slot_range(0, 0, salvaged.size());
+            device.fence();
+            store_->publish_pointer(CheckpointPointer{
+                salvage_info->counter, 0, salvaged.size(),
+                salvage_info->iteration,
+                crc32c(salvaged.data(), salvaged.size())});
+        }
+    }
+    commit_ = std::make_unique<ConcurrentCommit>(*store_,
+                                                 config_.queue_kind, clock);
+
+    PersistEngineConfig engine_config;
+    engine_config.writer_threads =
+        std::min(kMaxWriterThreads, config_.concurrent_checkpoints *
+                                        config_.writers_per_checkpoint);
+    engine_config.per_writer_bytes_per_sec =
+        config_.per_writer_bytes_per_sec;
+    engine_config.pin_writers = config_.pin_writer_threads;
+    engine_ = std::make_unique<PersistEngine>(*store_, engine_config,
+                                              clock);
+
+    staging_.resize(chunk_count_ * chunk_bytes_);
+    free_buffers_ =
+        std::make_unique<MpmcBoundedQueue<std::uint8_t*>>(chunk_count_);
+    for (std::size_t i = 0; i < chunk_count_; ++i) {
+        PCCHECK_CHECK(
+            free_buffers_->try_enqueue(staging_.data() + i * chunk_bytes_));
+    }
+
+    worker_ = std::thread([this] { snapshot_worker(); });
+}
+
+PCcheckCheckpointer::~PCcheckCheckpointer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        requests_.push_back(Request{0, 0, /*stop=*/true});
+    }
+    request_cv_.notify_all();
+    worker_.join();
+    // Drain async persists so pool tasks never outlive the staging
+    // arena (members are destroyed in reverse declaration order).
+    std::unique_lock<std::mutex> lock(mu_);
+    complete_cv_.wait(lock, [this] { return completed_ == requested_; });
+}
+
+void
+PCcheckCheckpointer::before_update(std::uint64_t iteration)
+{
+    (void)iteration;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (snapshots_pending_ == 0) {
+        return;
+    }
+    Stopwatch watch(*clock_);
+    snapshot_cv_.wait(lock, [this] { return snapshots_pending_ == 0; });
+    stall_time_ += watch.elapsed();
+}
+
+void
+PCcheckCheckpointer::request_checkpoint(std::uint64_t iteration)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requested_;
+        ++snapshots_pending_;
+        requests_.push_back(Request{iteration, clock_->now(), false});
+    }
+    MetricsRegistry::global()
+        .counter("pccheck.checkpoints.requested")
+        .add();
+    request_cv_.notify_all();
+}
+
+void
+PCcheckCheckpointer::finish()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    complete_cv_.wait(lock, [this] { return completed_ == requested_; });
+}
+
+CheckpointerStats
+PCcheckCheckpointer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CheckpointerStats stats;
+    stats.requested = requested_;
+    stats.completed = completed_;
+    stats.stall_time = stall_time_;
+    stats.checkpoint_latency = latency_;
+    return stats;
+}
+
+void
+PCcheckCheckpointer::snapshot_worker()
+{
+    for (;;) {
+        Request request;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            request_cv_.wait(lock, [this] { return !requests_.empty(); });
+            request = requests_.front();
+            requests_.pop_front();
+        }
+        if (request.stop) {
+            return;
+        }
+        run_snapshot(request);
+    }
+}
+
+std::uint8_t*
+PCcheckCheckpointer::acquire_chunk_buffer()
+{
+    for (;;) {
+        const auto buffer = free_buffers_->try_dequeue();
+        if (buffer.has_value()) {
+            return *buffer;
+        }
+        clock_->sleep_for(kBufferBackoff);
+    }
+}
+
+void
+PCcheckCheckpointer::release_chunk_buffer(std::uint8_t* buffer)
+{
+    PCCHECK_CHECK(free_buffers_->try_enqueue(buffer));
+}
+
+void
+PCcheckCheckpointer::run_snapshot(const Request& request)
+{
+    // ② Listing 1 lines 3-11: sample CHECK_ADDR, take a counter,
+    // reserve a slot. Blocks while N checkpoints are in flight, which
+    // stalls training through before_update — the §3.2 backpressure.
+    const CheckpointTicket ticket = commit_->begin();
+    const Bytes len = region_bytes_;
+    const DevPtr src = state_->device_ptr();
+    const std::uint64_t iteration = state_->iteration();
+
+    struct Inflight {
+        PCcheckCheckpointer* self;
+        CheckpointTicket ticket;
+        Bytes len;
+        std::uint64_t iteration;
+        Seconds request_time;
+        std::uint32_t crc = 0;  ///< final value set before last decrement
+        std::atomic<std::size_t> remaining;
+    };
+    const std::size_t chunks =
+        static_cast<std::size_t>((len + chunk_bytes_ - 1) / chunk_bytes_);
+    auto inflight = std::make_shared<Inflight>();
+    inflight->self = this;
+    inflight->ticket = ticket;
+    inflight->len = len;
+    inflight->iteration = iteration;
+    inflight->request_time = request.request_time;
+    // +1: the snapshot loop holds one reference until the CRC is final,
+    // so commit can never run with a partial CRC.
+    inflight->remaining.store(chunks + 1, std::memory_order_relaxed);
+
+    auto maybe_commit = [](const std::shared_ptr<Inflight>& shared) {
+        if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            // §4.1: the thread finishing the last chunk executes the
+            // commit protocol (Listing 1 lines 16-34).
+            shared->self->commit_->commit(shared->ticket, shared->len,
+                                          shared->iteration, shared->crc);
+            shared->self->on_checkpoint_complete(shared->iteration,
+                                                 shared->request_time);
+        }
+    };
+
+    if (config_.direct_to_storage) {
+        // §3.3 ablation: GPUDirect-style path. The copy engine writes
+        // each chunk straight into the slot; snapshotting and
+        // persisting cannot overlap, so the whole transfer sits on
+        // the snapshot critical path.
+        std::uint32_t crc = 0;
+        for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
+            const Bytes this_len = std::min(chunk_bytes_, len - offset);
+            state_->gpu().direct_copy_to_storage(
+                *device_, store_->slot_offset(ticket.slot) + offset, src,
+                region_offset_ + offset, this_len);
+            if (config_.compute_crc) {
+                crc = crc32c(state_->gpu().device_data(
+                                 src, region_offset_ + offset),
+                             this_len, crc);
+            }
+            store_->persist_slot_range(ticket.slot, offset, this_len);
+        }
+        device_->fence();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            PCCHECK_CHECK(snapshots_pending_ > 0);
+            --snapshots_pending_;
+        }
+        snapshot_cv_.notify_all();
+        inflight->crc = crc;
+        // Consume the chunk references and the CRC guard: commit now.
+        inflight->remaining.store(1, std::memory_order_release);
+        maybe_commit(inflight);
+        return;
+    }
+
+    std::uint32_t crc = 0;
+    for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
+        const Bytes this_len = std::min(chunk_bytes_, len - offset);
+        // ③ stage the chunk into pinned DRAM via the GPU copy engine.
+        std::uint8_t* buffer = acquire_chunk_buffer();
+        state_->gpu().copy_to_host(buffer, src, region_offset_ + offset,
+                                   this_len, config_.pinned_memory);
+        if (config_.compute_crc) {
+            crc = crc32c(buffer, this_len, crc);
+        }
+        // ④ hand the chunk to the persist engine; the buffer returns
+        // to the pool as soon as this chunk is durable, letting the
+        // next snapshot overwrite already-persisted chunks (§3.1).
+        engine_->persist_range_async(
+            ticket.slot, offset, buffer, this_len,
+            config_.writers_per_checkpoint,
+            [this, inflight, buffer, maybe_commit] {
+                release_chunk_buffer(buffer);
+                maybe_commit(inflight);
+            });
+    }
+
+    // GPU→DRAM copy finished: the training loop may mutate weights.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PCCHECK_CHECK(snapshots_pending_ > 0);
+        --snapshots_pending_;
+    }
+    snapshot_cv_.notify_all();
+
+    inflight->crc = crc;
+    maybe_commit(inflight);  // drop the CRC-guard reference
+}
+
+void
+PCcheckCheckpointer::on_checkpoint_complete(std::uint64_t iteration,
+                                            Seconds request_time)
+{
+    (void)iteration;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++completed_;
+        latency_.add(clock_->now() - request_time);
+        MetricsRegistry::global()
+            .gauge("pccheck.checkpoint.latency_s")
+            .set(clock_->now() - request_time);
+    }
+    MetricsRegistry::global()
+        .counter("pccheck.checkpoints.completed")
+        .add();
+    complete_cv_.notify_all();
+}
+
+}  // namespace pccheck

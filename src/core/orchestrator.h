@@ -1,0 +1,133 @@
+#ifndef PCCHECK_CORE_ORCHESTRATOR_H_
+#define PCCHECK_CORE_ORCHESTRATOR_H_
+
+/**
+ * @file
+ * The PCcheck orchestrator (§3.1 "Life of a Checkpoint") — the main
+ * public entry point of the library, implementing the Checkpointer
+ * interface used by the training loop.
+ *
+ * Data path per checkpoint:
+ *   ① training reaches a checkpoint iteration;
+ *   ② a ticket (global counter + free slot from the lock-free queue)
+ *     is taken — concurrently with up to N-1 other checkpoints;
+ *   ③ the snapshot thread drives the GPU copy engines to stage the
+ *     state into pinned DRAM chunk buffers;
+ *   ④ the persist engine writes each staged chunk to its slot with p
+ *     parallel writer threads; the last writer of the last chunk runs
+ *     the Listing-1 commit (CAS on CHECK_ADDR + durable pointer).
+ *
+ * Training interaction: request_checkpoint() only registers the
+ * request; the next before_update() blocks until the GPU→DRAM copy of
+ * every registered snapshot has finished (the T→U stall of Fig. 6) —
+ * never until persistence completes. Persist backpressure arises only
+ * through free-slot (N) and free-chunk (M) exhaustion, which is the
+ * throughput-memory tradeoff of §3.2.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/mpmc_queue.h"
+#include "core/concurrent_commit.h"
+#include "core/config.h"
+#include "core/persist_engine.h"
+#include "core/slot_store.h"
+#include "gpusim/gpu.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/training_state.h"
+
+namespace pccheck {
+
+/** PCcheck's concurrent checkpointing orchestrator. */
+class PCcheckCheckpointer final : public Checkpointer {
+  public:
+    /**
+     * Format @p device for the configured N and attach to the
+     * training state. All references must outlive the orchestrator.
+     *
+     * @param state training state to checkpoint (defines m)
+     * @param device persistent device; must hold (N+1)·m plus metadata
+     * @param config Table 2 knobs
+     * @param clock time source for stall accounting
+     */
+    PCcheckCheckpointer(TrainingState& state, StorageDevice& device,
+                        const PCcheckConfig& config,
+                        const Clock& clock = MonotonicClock::instance());
+
+    ~PCcheckCheckpointer() override;
+
+    std::string name() const override { return "pccheck"; }
+    void before_update(std::uint64_t iteration) override;
+    void request_checkpoint(std::uint64_t iteration) override;
+    void finish() override;
+    CheckpointerStats stats() const override;
+
+    /** The commit protocol (exposed for tests and tools). */
+    ConcurrentCommit& commit_protocol() { return *commit_; }
+    SlotStore& slot_store() { return *store_; }
+
+    /** DRAM actually allocated for staging buffers (Table 1 audit). */
+    Bytes staging_bytes() const { return staging_.size(); }
+    /** Device bytes the slot layout occupies (Table 1 audit). */
+    Bytes storage_bytes() const
+    {
+        return SlotStore::required_size(store_->slot_count(),
+                                        store_->slot_size());
+    }
+
+  private:
+    struct Request {
+        std::uint64_t iteration = 0;
+        Seconds request_time = 0;
+        bool stop = false;
+    };
+
+    void snapshot_worker();
+    void run_snapshot(const Request& request);
+    std::uint8_t* acquire_chunk_buffer();
+    void release_chunk_buffer(std::uint8_t* buffer);
+    void on_checkpoint_complete(std::uint64_t iteration,
+                                Seconds request_time);
+
+    TrainingState* state_;
+    StorageDevice* device_;
+    PCcheckConfig config_;
+    const Clock* clock_;
+
+    Bytes chunk_bytes_;        ///< effective chunk size (m if unpipelined)
+    std::size_t chunk_count_;  ///< staging buffers available (c = M / b)
+    Bytes region_offset_ = 0;  ///< shard start within the state (§3.1)
+    Bytes region_bytes_ = 0;   ///< shard length (m)
+
+    std::unique_ptr<SlotStore> store_;
+    std::unique_ptr<ConcurrentCommit> commit_;
+    std::unique_ptr<PersistEngine> engine_;
+
+    /** Staging arena + free-buffer queue (step ② of Fig. 5). */
+    std::vector<std::uint8_t> staging_;
+    std::unique_ptr<MpmcBoundedQueue<std::uint8_t*>> free_buffers_;
+
+    /** Request queue feeding the snapshot worker. */
+    mutable std::mutex mu_;
+    std::condition_variable request_cv_;    ///< worker wakeups
+    std::condition_variable snapshot_cv_;   ///< before_update wakeups
+    std::condition_variable complete_cv_;   ///< finish() wakeups
+    std::deque<Request> requests_;
+    std::size_t snapshots_pending_ = 0;  ///< requested, GPU copy not done
+    std::uint64_t requested_ = 0;
+    std::uint64_t completed_ = 0;
+    Seconds stall_time_ = 0;
+    RunningStat latency_;
+
+    std::thread worker_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,124 @@
+#include "core/persist_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+
+PersistEngine::PersistEngine(SlotStore& store,
+                             const PersistEngineConfig& config,
+                             const Clock& clock)
+    : store_(&store), config_(config), clock_(&clock),
+      pool_(std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(std::max(config.writer_threads, 1)),
+          config.pin_writers))
+{
+}
+
+void
+PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
+                            const std::uint8_t* src, Bytes len,
+                            bool is_pmem)
+{
+    static Counter& bytes_persisted =
+        MetricsRegistry::global().counter("pccheck.persist.bytes");
+    Stopwatch watch(*clock_);
+    store_->write_slot(slot, offset, src, len);
+    bytes_persisted.add(len);
+    if (is_pmem) {
+        // §4.1: each writer must persist and fence its own data; the
+        // fence is internal to each CPU.
+        store_->persist_slot_range(slot, offset, len);
+        store_->device().fence();
+    }
+    if (config_.per_writer_bytes_per_sec > 0) {
+        const Seconds floor = static_cast<double>(len) /
+                              config_.per_writer_bytes_per_sec;
+        const Seconds elapsed = watch.elapsed();
+        if (elapsed < floor) {
+            clock_->sleep_for(floor - elapsed);
+        }
+    }
+}
+
+Seconds
+PersistEngine::persist_range(std::uint32_t slot, Bytes offset,
+                             const std::uint8_t* src, Bytes len,
+                             int parallel_writers)
+{
+    PCCHECK_CHECK(parallel_writers >= 1);
+    const bool is_pmem = needs_fence(store_->device().kind());
+    Stopwatch watch(*clock_);
+
+    const auto writers = static_cast<Bytes>(parallel_writers);
+    const Bytes stripe = align_up((len + writers - 1) / writers, 64);
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(parallel_writers));
+    for (Bytes start = 0; start < len; start += stripe) {
+        const Bytes this_len = std::min(stripe, len - start);
+        futures.push_back(pool_->submit(
+            [this, slot, offset, src, start, this_len, is_pmem] {
+                write_stripe(slot, offset + start, src + start, this_len,
+                             is_pmem);
+            }));
+    }
+    for (auto& future : futures) {
+        future.get();
+    }
+    if (!is_pmem) {
+        // §4.1: on SSD the main thread issues a single msync covering
+        // the checkpoint range.
+        store_->persist_slot_range(slot, offset, len);
+    }
+    return watch.elapsed();
+}
+
+void
+PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
+                                   const std::uint8_t* src, Bytes len,
+                                   int parallel_writers,
+                                   std::function<void()> done)
+{
+    PCCHECK_CHECK(parallel_writers >= 1);
+    const bool is_pmem = needs_fence(store_->device().kind());
+
+    const auto writers = static_cast<Bytes>(parallel_writers);
+    const Bytes stripe = align_up((len + writers - 1) / writers, 64);
+    std::size_t stripe_count = 0;
+    for (Bytes start = 0; start < len; start += stripe) {
+        ++stripe_count;
+    }
+    if (stripe_count == 0) {
+        done();
+        return;
+    }
+    struct Shared {
+        std::atomic<std::size_t> remaining;
+        std::function<void()> done;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->remaining.store(stripe_count, std::memory_order_relaxed);
+    shared->done = std::move(done);
+
+    for (Bytes start = 0; start < len; start += stripe) {
+        const Bytes this_len = std::min(stripe, len - start);
+        pool_->submit([this, shared, slot, offset, src, start, this_len,
+                       len, is_pmem] {
+            write_stripe(slot, offset + start, src + start, this_len,
+                         is_pmem);
+            if (shared->remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                if (!is_pmem) {
+                    store_->persist_slot_range(slot, offset, len);
+                }
+                shared->done();
+            }
+        });
+    }
+}
+
+}  // namespace pccheck

@@ -1,0 +1,66 @@
+#include "core/recovery.h"
+
+#include "core/slot_store.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+
+std::optional<RecoveryResult>
+recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
+                  const Clock& clock)
+{
+    PCCHECK_CHECK(out != nullptr);
+    Stopwatch watch(clock);
+    SlotStore store = SlotStore::open(device);
+    // Newest-first over the valid pointer records; one slot read per
+    // candidate, CRC-validated against that same read (no double read
+    // on the common path).
+    for (const CheckpointPointer& pointer : store.candidate_pointers()) {
+        out->resize(pointer.data_len);
+        store.read_slot(pointer.slot, 0, out->data(), pointer.data_len);
+        if (pointer.data_crc != 0 &&
+            crc32c(out->data(), out->size()) != pointer.data_crc) {
+            continue;  // slot recycled under a stale record; fall back
+        }
+        RecoveryResult result;
+        result.iteration = pointer.iteration;
+        result.counter = pointer.counter;
+        result.data_len = pointer.data_len;
+        result.load_time = watch.elapsed();
+        return result;
+    }
+    return std::nullopt;
+}
+
+std::optional<RecoveryResult>
+recover_into_state(StorageDevice& device, TrainingState& state, bool pinned,
+                   const Clock& clock)
+{
+    Stopwatch watch(clock);
+    std::vector<std::uint8_t> buffer;
+    auto result = recover_to_buffer(device, &buffer, clock);
+    if (!result.has_value()) {
+        return std::nullopt;
+    }
+    PCCHECK_CHECK_MSG(buffer.size() <= state.size(),
+                      "checkpoint larger than training state: "
+                          << buffer.size() << " > " << state.size());
+    // Validate the stamp before touching GPU memory: a checkpoint the
+    // markers reject must never be restored.
+    const auto stamped =
+        TrainingState::verify_buffer(buffer.data(), buffer.size());
+    if (!stamped.has_value()) {
+        return std::nullopt;
+    }
+    PCCHECK_CHECK_MSG(*stamped == result->iteration,
+                      "pointer iteration " << result->iteration
+                                           << " != stamped " << *stamped);
+    state.gpu().copy_to_device(state.device_ptr(), 0, buffer.data(),
+                               buffer.size(), pinned);
+    state.stamp(result->iteration);
+    result->load_time = watch.elapsed();
+    return result;
+}
+
+}  // namespace pccheck

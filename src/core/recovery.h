@@ -1,0 +1,48 @@
+#ifndef PCCHECK_CORE_RECOVERY_H_
+#define PCCHECK_CORE_RECOVERY_H_
+
+/**
+ * @file
+ * Recovery path (§4.2): locate the latest consistent checkpoint via
+ * the durable CHECK_ADDR records, validate it, and load it back into
+ * GPU memory so training can resume.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/device.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** What recovery found and how long loading took. */
+struct RecoveryResult {
+    std::uint64_t iteration = 0;  ///< training iteration to resume from
+    std::uint64_t counter = 0;    ///< checkpoint counter that survived
+    Bytes data_len = 0;
+    Seconds load_time = 0;        ///< l in the §4.2 recovery bound
+};
+
+/**
+ * Read the latest valid checkpoint from @p device into a host buffer.
+ * @return std::nullopt when the device holds no valid checkpoint.
+ */
+std::optional<RecoveryResult> recover_to_buffer(
+    StorageDevice& device, std::vector<std::uint8_t>* out,
+    const Clock& clock = MonotonicClock::instance());
+
+/**
+ * Full recovery: load the latest valid checkpoint into @p state's GPU
+ * memory (paying the PCIe H2D transfer) and re-mark the state's
+ * iteration. @return std::nullopt when no valid checkpoint exists.
+ */
+std::optional<RecoveryResult> recover_into_state(
+    StorageDevice& device, TrainingState& state, bool pinned = true,
+    const Clock& clock = MonotonicClock::instance());
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_RECOVERY_H_

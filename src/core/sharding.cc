@@ -1,0 +1,71 @@
+#include "core/sharding.h"
+
+#include <cstring>
+
+#include "core/recovery.h"
+#include "trainsim/training_state.h"
+#include "util/check.h"
+
+namespace pccheck {
+
+std::vector<ShardRange>
+plan_shards(Bytes stage_bytes, int replicas, Bytes align)
+{
+    PCCHECK_CHECK(replicas >= 1);
+    PCCHECK_CHECK(align > 0);
+    const auto count = static_cast<Bytes>(replicas);
+    const Bytes base = align_down(stage_bytes / count, align);
+    if (base == 0) {
+        fatal("plan_shards: stage too small for replica count");
+    }
+    std::vector<ShardRange> plan;
+    plan.reserve(static_cast<std::size_t>(replicas));
+    Bytes offset = 0;
+    for (int replica = 0; replica < replicas; ++replica) {
+        const bool last = replica + 1 == replicas;
+        const Bytes length = last ? stage_bytes - offset : base;
+        plan.push_back(ShardRange{offset, length});
+        offset += length;
+    }
+    return plan;
+}
+
+std::optional<AssembledStage>
+assemble_shards(const std::vector<StorageDevice*>& devices,
+                const std::vector<ShardRange>& plan)
+{
+    PCCHECK_CHECK(devices.size() == plan.size());
+    PCCHECK_CHECK(!plan.empty());
+    AssembledStage stage;
+    stage.data.resize(plan.back().offset + plan.back().length);
+
+    bool first = true;
+    std::vector<std::uint8_t> shard;
+    for (std::size_t replica = 0; replica < plan.size(); ++replica) {
+        PCCHECK_CHECK(devices[replica] != nullptr);
+        const auto recovered =
+            recover_to_buffer(*devices[replica], &shard);
+        if (!recovered.has_value() ||
+            recovered->data_len != plan[replica].length) {
+            return std::nullopt;  // shard missing or wrong shape
+        }
+        // Each shard must be internally consistent AND placed at its
+        // planned offset (the markers encode absolute positions).
+        const auto stamped = TrainingState::verify_buffer(
+            shard.data(), shard.size(), plan[replica].offset);
+        if (!stamped.has_value()) {
+            return std::nullopt;
+        }
+        if (first) {
+            stage.iteration = *stamped;
+            first = false;
+        } else if (*stamped != stage.iteration) {
+            return std::nullopt;  // replicas disagree on the iteration
+        }
+        std::memcpy(stage.data.data() + plan[replica].offset,
+                    shard.data(), shard.size());
+    }
+    return stage;
+}
+
+}  // namespace pccheck

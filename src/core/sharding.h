@@ -1,0 +1,65 @@
+#ifndef PCCHECK_CORE_SHARDING_H_
+#define PCCHECK_CORE_SHARDING_H_
+
+/**
+ * @file
+ * Checkpoint sharding for combined data + pipeline parallelism
+ * (§3.1): "the checkpoint state of each pipeline stage is partitioned
+ * among the data parallel replicas of this stage, reducing the
+ * overall checkpointing overhead."
+ *
+ * plan_shards() splits one stage's state into marker-aligned shard
+ * ranges, one per data-parallel replica; each replica runs its own
+ * PCcheck orchestrator with PCcheckConfig::region_* set to its range.
+ * assemble_shards() reconstructs the stage state from the replicas'
+ * devices after a failure, requiring all shards to carry the same
+ * iteration (which the rank-0 coordination guarantees at every
+ * globally consistent checkpoint).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** One replica's shard of a stage's checkpoint state. */
+struct ShardRange {
+    Bytes offset = 0;
+    Bytes length = 0;
+};
+
+/**
+ * Split @p stage_bytes into @p replicas contiguous shards, each
+ * aligned to @p align (the training-state marker stride by default).
+ * The last shard absorbs the remainder. Throws FatalError when the
+ * stage is too small for the replica count.
+ */
+std::vector<ShardRange> plan_shards(Bytes stage_bytes, int replicas,
+                                    Bytes align = 4096);
+
+/** Result of reassembling a stage from its shard devices. */
+struct AssembledStage {
+    std::uint64_t iteration = 0;
+    std::vector<std::uint8_t> data;  ///< the full stage state
+};
+
+/**
+ * Recover every replica's shard from its device and reassemble the
+ * stage. All shards must verify and agree on one iteration.
+ *
+ * @param devices one formatted device per replica, in plan order
+ * @param plan the shard plan the replicas checkpointed with
+ * @return the reassembled stage, or std::nullopt if any shard is
+ *         missing/corrupt or iterations disagree
+ */
+std::optional<AssembledStage> assemble_shards(
+    const std::vector<StorageDevice*>& devices,
+    const std::vector<ShardRange>& plan);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_SHARDING_H_

@@ -1,0 +1,226 @@
+#include "core/slot_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50434348454B3031ULL;  // "PCCHEK01"
+constexpr std::uint32_t kVersion = 1;
+constexpr Bytes kHeaderOffset = 0;
+constexpr Bytes kRecordBase = 64;
+constexpr Bytes kRecordStride = 64;
+constexpr Bytes kDataAlign = 4096;
+
+/** Raw on-device header (64 bytes). */
+struct DeviceHeader {
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t slot_count;
+    std::uint64_t slot_size;
+    std::uint64_t data_offset;
+    std::uint8_t pad[32];
+};
+static_assert(sizeof(DeviceHeader) == 64);
+
+/** Raw on-device pointer record (64 bytes, checksum-protected). */
+struct RawRecord {
+    std::uint64_t counter;
+    std::uint32_t slot;
+    std::uint32_t data_crc;
+    std::uint64_t data_len;
+    std::uint64_t iteration;
+    std::uint8_t pad[28];
+    std::uint32_t record_checksum;  ///< CRC of all preceding fields
+};
+static_assert(sizeof(RawRecord) == 64);
+
+std::uint32_t
+record_crc(const RawRecord& rec)
+{
+    return crc32c(&rec, offsetof(RawRecord, record_checksum));
+}
+
+}  // namespace
+
+SlotStore::SlotStore(StorageDevice& device, std::uint32_t slot_count,
+                     Bytes slot_size)
+    : device_(&device), slot_count_(slot_count), slot_size_(slot_size),
+      data_offset_(kDataAlign)
+{
+}
+
+Bytes
+SlotStore::required_size(std::uint32_t slot_count, Bytes slot_size)
+{
+    return kDataAlign + static_cast<Bytes>(slot_count) *
+                            align_up(slot_size, kDataAlign);
+}
+
+Bytes
+SlotStore::record_offset(int index)
+{
+    return kRecordBase + static_cast<Bytes>(index) * kRecordStride;
+}
+
+SlotStore
+SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
+                  Bytes slot_size)
+{
+    PCCHECK_CHECK(slot_count >= 2);  // N >= 1 concurrent + 1 guaranteed
+    PCCHECK_CHECK(slot_size > 0);
+    if (device.size() < required_size(slot_count, slot_size)) {
+        fatal("SlotStore: device too small: " + format_bytes(device.size()) +
+              " < " + format_bytes(required_size(slot_count, slot_size)));
+    }
+    DeviceHeader header{};
+    header.magic = kMagic;
+    header.version = kVersion;
+    header.slot_count = slot_count;
+    header.slot_size = slot_size;
+    header.data_offset = kDataAlign;
+    device.write(kHeaderOffset, &header, sizeof(header));
+
+    // Invalidate both pointer records.
+    RawRecord empty{};
+    empty.record_checksum = ~record_crc(empty);  // deliberately bad
+    device.write(record_offset(0), &empty, sizeof(empty));
+    device.write(record_offset(1), &empty, sizeof(empty));
+
+    device.persist(0, kDataAlign);
+    device.fence();
+    return SlotStore(device, slot_count, slot_size);
+}
+
+SlotStore
+SlotStore::open(StorageDevice& device)
+{
+    DeviceHeader header{};
+    if (device.size() < sizeof(header)) {
+        fatal("SlotStore: device smaller than header");
+    }
+    device.read(kHeaderOffset, &header, sizeof(header));
+    if (header.magic != kMagic) {
+        fatal("SlotStore: bad magic (device not formatted)");
+    }
+    if (header.version != kVersion) {
+        fatal("SlotStore: unsupported version");
+    }
+    if (device.size() <
+        required_size(header.slot_count, header.slot_size)) {
+        fatal("SlotStore: header inconsistent with device size");
+    }
+    return SlotStore(device, header.slot_count, header.slot_size);
+}
+
+Bytes
+SlotStore::slot_offset(std::uint32_t slot) const
+{
+    PCCHECK_CHECK_MSG(slot < slot_count_, "slot " << slot << " out of range");
+    return data_offset_ +
+           static_cast<Bytes>(slot) * align_up(slot_size_, kDataAlign);
+}
+
+void
+SlotStore::write_slot(std::uint32_t slot, Bytes offset, const void* src,
+                      Bytes len)
+{
+    PCCHECK_CHECK_MSG(offset + len <= slot_size_,
+                      "slot write overflow off=" << offset << " len=" << len);
+    device_->write(slot_offset(slot) + offset, src, len);
+}
+
+void
+SlotStore::persist_slot_range(std::uint32_t slot, Bytes offset, Bytes len)
+{
+    PCCHECK_CHECK(offset + len <= slot_size_);
+    device_->persist(slot_offset(slot) + offset, len);
+}
+
+void
+SlotStore::read_slot(std::uint32_t slot, Bytes offset, void* dst,
+                     Bytes len) const
+{
+    PCCHECK_CHECK(offset + len <= slot_size_);
+    device_->read(slot_offset(slot) + offset, dst, len);
+}
+
+void
+SlotStore::publish_pointer(const CheckpointPointer& ptr)
+{
+    PCCHECK_CHECK(ptr.slot < slot_count_);
+    PCCHECK_CHECK(ptr.data_len <= slot_size_);
+    RawRecord rec{};
+    rec.counter = ptr.counter;
+    rec.slot = ptr.slot;
+    rec.data_crc = ptr.data_crc;
+    rec.data_len = ptr.data_len;
+    rec.iteration = ptr.iteration;
+    rec.record_checksum = record_crc(rec);
+    const Bytes off = record_offset(static_cast<int>(ptr.counter % 2));
+    device_->write(off, &rec, sizeof(rec));
+    device_->persist(off, sizeof(rec));
+    device_->fence();
+}
+
+std::vector<CheckpointPointer>
+SlotStore::candidate_pointers() const
+{
+    std::vector<CheckpointPointer> candidates;
+    for (int index = 0; index < 2; ++index) {
+        RawRecord rec{};
+        device_->read(record_offset(index), &rec, sizeof(rec));
+        if (rec.record_checksum != record_crc(rec)) {
+            continue;
+        }
+        if (rec.slot >= slot_count_ || rec.data_len > slot_size_) {
+            continue;
+        }
+        candidates.push_back(CheckpointPointer{
+            rec.counter, rec.slot, rec.data_len, rec.iteration,
+            rec.data_crc});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CheckpointPointer& a, const CheckpointPointer& b) {
+                  return a.counter > b.counter;
+              });
+    return candidates;
+}
+
+std::optional<CheckpointPointer>
+SlotStore::recover_pointer(bool validate_data) const
+{
+    std::optional<CheckpointPointer> best;
+    for (int index = 0; index < 2; ++index) {
+        RawRecord rec{};
+        device_->read(record_offset(index), &rec, sizeof(rec));
+        if (rec.record_checksum != record_crc(rec)) {
+            continue;  // torn or never written
+        }
+        if (rec.slot >= slot_count_ || rec.data_len > slot_size_) {
+            continue;  // stale garbage that happened to checksum? reject
+        }
+        CheckpointPointer ptr{rec.counter, rec.slot, rec.data_len,
+                              rec.iteration, rec.data_crc};
+        // data_crc == 0 marks "checksum disabled" (PCcheckConfig::
+        // compute_crc = false); skip the data validation then.
+        if (validate_data && ptr.data_crc != 0) {
+            std::vector<std::uint8_t> data(ptr.data_len);
+            read_slot(ptr.slot, 0, data.data(), ptr.data_len);
+            if (crc32c(data.data(), data.size()) != ptr.data_crc) {
+                continue;  // slot was recycled under this stale record
+            }
+        }
+        if (!best.has_value() || ptr.counter > best->counter) {
+            best = ptr;
+        }
+    }
+    return best;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,120 @@
+#ifndef PCCHECK_CORE_SLOT_STORE_H_
+#define PCCHECK_CORE_SLOT_STORE_H_
+
+/**
+ * @file
+ * On-device checkpoint layout and the persistent CHECK_ADDR pointer.
+ *
+ * A storage device is formatted as:
+ *
+ *   [ DeviceHeader | PointerRecord[2] | slot 0 | slot 1 | ... | slot N ]
+ *
+ * giving N+1 slots of slot_size bytes each — §3.2: "(N+1)·m to allow N
+ * concurrent checkpoints and guarantee at least one valid checkpoint
+ * at any time".
+ *
+ * The persistent CHECK_ADDR is represented by TWO alternating
+ * PointerRecords protected by record checksums (superblock-pair
+ * technique): record (counter mod 2) is rewritten for each committed
+ * checkpoint, so a crash that tears the in-flight record still leaves
+ * the previous record intact, and the slot it references is only
+ * recycled after the newer record is durable. Each record additionally
+ * carries a CRC of the checkpoint data, letting recovery detect a slot
+ * that was recycled under a stale record.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Committed-checkpoint descriptor (what CHECK_ADDR points to). */
+struct CheckpointPointer {
+    std::uint64_t counter = 0;    ///< global checkpoint counter value
+    std::uint32_t slot = 0;       ///< slot holding the data
+    std::uint64_t data_len = 0;   ///< valid bytes within the slot
+    std::uint64_t iteration = 0;  ///< training iteration of the state
+    std::uint32_t data_crc = 0;   ///< CRC-32C of the slot data
+};
+
+/** Checkpoint slot arena + durable pointer records on one device. */
+class SlotStore {
+  public:
+    /**
+     * Format @p device with @p slot_count slots of @p slot_size bytes.
+     * Pre-existing content is discarded. @p device must outlive this.
+     */
+    static SlotStore format(StorageDevice& device, std::uint32_t slot_count,
+                            Bytes slot_size);
+
+    /**
+     * Open an already formatted device (recovery path). Throws
+     * FatalError if the header is missing or corrupt.
+     */
+    static SlotStore open(StorageDevice& device);
+
+    std::uint32_t slot_count() const { return slot_count_; }
+    Bytes slot_size() const { return slot_size_; }
+    StorageDevice& device() { return *device_; }
+
+    /** Device offset of the first byte of @p slot. */
+    Bytes slot_offset(std::uint32_t slot) const;
+
+    /** Write @p len bytes into @p slot at @p offset (volatile). */
+    void write_slot(std::uint32_t slot, Bytes offset, const void* src,
+                    Bytes len);
+
+    /** Persist [offset, offset+len) of @p slot (no fence). */
+    void persist_slot_range(std::uint32_t slot, Bytes offset, Bytes len);
+
+    /** Read @p len bytes of @p slot at @p offset. */
+    void read_slot(std::uint32_t slot, Bytes offset, void* dst,
+                   Bytes len) const;
+
+    /**
+     * Durably publish @p ptr as the latest checkpoint: writes the
+     * alternating pointer record, persists it, and fences. The caller
+     * must have already persisted (and fenced, on PMEM) the slot data.
+     */
+    void publish_pointer(const CheckpointPointer& ptr);
+
+    /**
+     * Read back the newest valid pointer record, validating the
+     * record checksum and, if @p validate_data, the data CRC against
+     * the slot contents. Falls back to the older record when the
+     * newer one is torn or its data does not verify.
+     *
+     * @return std::nullopt when no valid checkpoint exists.
+     */
+    std::optional<CheckpointPointer> recover_pointer(
+        bool validate_data = true) const;
+
+    /**
+     * All syntactically valid pointer records, newest first, WITHOUT
+     * reading the slot data. Callers that will read the data anyway
+     * (recovery) validate the CRC themselves against the single read.
+     */
+    std::vector<CheckpointPointer> candidate_pointers() const;
+
+    /** Bytes of device capacity this layout requires. */
+    static Bytes required_size(std::uint32_t slot_count, Bytes slot_size);
+
+  private:
+    SlotStore(StorageDevice& device, std::uint32_t slot_count,
+              Bytes slot_size);
+
+    static Bytes record_offset(int index);
+
+    StorageDevice* device_;
+    std::uint32_t slot_count_;
+    Bytes slot_size_;
+    Bytes data_offset_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_SLOT_STORE_H_

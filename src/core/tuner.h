@@ -1,0 +1,81 @@
+#ifndef PCCHECK_CORE_TUNER_H_
+#define PCCHECK_CORE_TUNER_H_
+
+/**
+ * @file
+ * Configuration tuner (§3.4): given user constraints (DRAM budget M,
+ * storage budget S, acceptable slowdown q) and workload parameters
+ * (iteration time t, checkpoint size m), find the number of concurrent
+ * checkpoints N* minimizing Tw/N and the minimum checkpoint interval
+ *
+ *     f* = ceil( Tw / (N* · q · t) )            (paper eq. 3)
+ *
+ * Tw is measured empirically: the tuner issues checkpoints against the
+ * real device through the orchestrator, exactly like the paper's
+ * profiling round, for each candidate N.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "storage/device.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** User constraints (Table 2 right column). */
+struct TunerConstraints {
+    Bytes dram_budget = 0;      ///< M; 0 = 2m default
+    Bytes storage_budget = 0;   ///< S; bounds N <= S/m - 1
+    double max_overhead = 1.05; ///< q >= 1
+};
+
+/** Per-candidate profiling measurement. */
+struct TunerSample {
+    int concurrent_checkpoints = 0;  ///< N probed
+    Seconds tw = 0;                  ///< measured checkpoint time
+    double tw_over_n = 0;            ///< the §3.4 objective
+};
+
+/** Tuner output. */
+struct TunerResult {
+    int concurrent_checkpoints = 1;       ///< N*
+    std::uint64_t checkpoint_interval = 1; ///< f*
+    Seconds tw = 0;                        ///< Tw at N*
+    std::vector<TunerSample> samples;      ///< full profiling data
+};
+
+/** §3.4 closed form: minimum f for a given Tw, N, q, t. */
+std::uint64_t min_checkpoint_interval(Seconds tw, int n, double q,
+                                      Seconds t);
+
+/** PCcheck's profiling-based configuration tool. */
+class Tuner {
+  public:
+    /**
+     * @param base orchestration knobs reused for every probe (p,
+     *        chunking, queue kind, per-writer ceiling)
+     */
+    explicit Tuner(const PCcheckConfig& base) : base_(base) {}
+
+    /**
+     * Profile @p device with checkpoints of @p state issued every
+     * @p iteration_time seconds, varying N in [1, S/m - 1], and return
+     * the optimal configuration. The device is reformatted per probe.
+     *
+     * @param probes_per_n checkpoints issued per candidate N
+     */
+    TunerResult optimize(TrainingState& state, StorageDevice& device,
+                         const TunerConstraints& constraints,
+                         Seconds iteration_time, int probes_per_n = 4,
+                         const Clock& clock = MonotonicClock::instance());
+
+  private:
+    PCcheckConfig base_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_CORE_TUNER_H_

@@ -1,0 +1,27 @@
+#include "goodput/footprint.h"
+
+#include "util/check.h"
+
+namespace pccheck {
+
+Footprint
+model_footprint(const std::string& system, int n,
+                double gemini_buffer_fraction)
+{
+    if (system == "sync" || system == "checkfreq") {
+        return Footprint{1.0, 1.0, 1.0, 2.0};
+    }
+    if (system == "gpm") {
+        return Footprint{1.0, 0.0, 0.0, 2.0};
+    }
+    if (system == "gemini") {
+        return Footprint{1.0 + gemini_buffer_fraction, 1.0, 1.0, 0.0};
+    }
+    if (system == "pccheck") {
+        PCCHECK_CHECK(n >= 1);
+        return Footprint{1.0, 1.0, 2.0, static_cast<double>(n + 1)};
+    }
+    fatal("model_footprint: unknown system " + system);
+}
+
+}  // namespace pccheck

@@ -1,0 +1,44 @@
+#ifndef PCCHECK_GOODPUT_FOOTPRINT_H_
+#define PCCHECK_GOODPUT_FOOTPRINT_H_
+
+/**
+ * @file
+ * Memory/storage footprint model of paper Table 1, in units of the
+ * checkpoint size m:
+ *
+ *   | system    | GPU mem     | DRAM     | storage   |
+ *   | checkfreq | m           | m        | 2m        |
+ *   | gpm       | m           | 0        | 2m        |
+ *   | gemini    | m + buffer  | m        | 0         |
+ *   | pccheck   | m           | m..2m    | (N+1)·m   |
+ *
+ * The bench verifies these numbers against the instrumented
+ * allocations of the actual implementations.
+ */
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Footprint in multiples of the checkpoint size m. */
+struct Footprint {
+    double gpu_mem = 0;
+    double dram_min = 0;
+    double dram_max = 0;
+    double storage = 0;
+};
+
+/**
+ * Table 1 entry for @p system ("sync", "checkfreq", "gpm", "gemini",
+ * "pccheck"). @p n is PCcheck's concurrent-checkpoint count.
+ * Gemini's extra GPU buffer (32 MB at full scale) is reported via
+ * @p gemini_buffer_fraction of m.
+ */
+Footprint model_footprint(const std::string& system, int n = 1,
+                          double gemini_buffer_fraction = 0.0);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_GOODPUT_FOOTPRINT_H_

@@ -1,0 +1,26 @@
+#include "goodput/goodput.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+GoodputResult
+replay_goodput(const PreemptionTrace& trace, const GoodputInputs& inputs)
+{
+    PCCHECK_CHECK(trace.duration > 0);
+    PCCHECK_CHECK(inputs.throughput >= 0);
+    GoodputResult result;
+    result.failures = trace.events.size();
+    result.recovery_total =
+        static_cast<double>(result.failures) *
+        (inputs.expected_recovery + inputs.reattach_time);
+    const Seconds progress_time =
+        std::max(0.0, trace.duration - result.recovery_total);
+    result.effective_iterations = progress_time * inputs.throughput;
+    result.goodput = result.effective_iterations / trace.duration;
+    return result;
+}
+
+}  // namespace pccheck

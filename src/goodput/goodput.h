@@ -1,0 +1,46 @@
+#ifndef PCCHECK_GOODPUT_GOODPUT_H_
+#define PCCHECK_GOODPUT_GOODPUT_H_
+
+/**
+ * @file
+ * Goodput replay (§5.2.3): given a preemption trace, the failure-free
+ * training throughput at a checkpoint interval, and the expected
+ * recovery cost per failure, compute useful throughput:
+ *
+ *   rec  = Σ_failures (expected_recovery + reattach)
+ *   prog = T − rec
+ *   goodput = (prog · throughput) / T          [batches per second]
+ *
+ * This mirrors the paper exactly, including the pd-ssd reattach cost
+ * (≈5.5 s, waived for Gemini, which recovers from remote DRAM).
+ */
+
+#include <string>
+
+#include "trace/preemption_trace.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Inputs to one goodput evaluation. */
+struct GoodputInputs {
+    double throughput = 0;        ///< iters/sec with ckpt, no failures
+    Seconds expected_recovery = 0; ///< per-failure rollback + load
+    Seconds reattach_time = 5.5;   ///< pd-ssd reattach (0 for Gemini)
+};
+
+/** Output of the replay. */
+struct GoodputResult {
+    double goodput = 0;              ///< useful iterations per second
+    double effective_iterations = 0; ///< prog · throughput
+    Seconds recovery_total = 0;      ///< total time lost to failures
+    std::size_t failures = 0;
+};
+
+/** Replay @p trace against one system's profile. */
+GoodputResult replay_goodput(const PreemptionTrace& trace,
+                             const GoodputInputs& inputs);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_GOODPUT_GOODPUT_H_

@@ -1,0 +1,76 @@
+#include "goodput/jit.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+/**
+ * Sample @p lost distinct VMs out of @p total and report whether some
+ * partition (consecutive groups of @p replicas VMs) lost every
+ * replica.
+ */
+bool
+bulky_kills_partition(int total, int replicas, int lost, Rng& rng)
+{
+    if (lost >= total) {
+        return true;
+    }
+    std::vector<bool> dead(static_cast<std::size_t>(total), false);
+    int killed = 0;
+    while (killed < lost) {
+        const auto vm = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(total)));
+        if (!dead[vm]) {
+            dead[vm] = true;
+            ++killed;
+        }
+    }
+    const int partitions = total / replicas;
+    for (int partition = 0; partition < partitions; ++partition) {
+        bool all_dead = true;
+        for (int replica = 0; replica < replicas; ++replica) {
+            const auto vm = static_cast<std::size_t>(
+                partition * replicas + replica);
+            all_dead = all_dead && dead[vm];
+        }
+        if (all_dead) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+JitGoodputResult
+replay_jit_goodput(const PreemptionTrace& trace, const JitInputs& inputs,
+                   Rng& rng)
+{
+    PCCHECK_CHECK(trace.duration > 0);
+    PCCHECK_CHECK(inputs.replicas >= 1);
+    PCCHECK_CHECK(inputs.total_vms >= inputs.replicas);
+
+    JitGoodputResult result;
+    for (const PreemptionEvent& event : trace.events) {
+        const bool catastrophic = bulky_kills_partition(
+            inputs.total_vms, inputs.replicas,
+            std::max(event.vms_lost, 1), rng);
+        if (catastrophic) {
+            ++result.catastrophic_failures;
+            result.recovery_total += inputs.fallback_recovery;
+        } else {
+            ++result.survivable_failures;
+            result.recovery_total += inputs.jit_recovery;
+        }
+    }
+    const Seconds progress =
+        std::max(0.0, trace.duration - result.recovery_total);
+    result.goodput = progress * inputs.throughput / trace.duration;
+    return result;
+}
+
+}  // namespace pccheck

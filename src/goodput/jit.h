@@ -1,0 +1,58 @@
+#ifndef PCCHECK_GOODPUT_JIT_H_
+#define PCCHECK_GOODPUT_JIT_H_
+
+/**
+ * @file
+ * Just-in-time checkpointing model [Gupta et al., EuroSys'24],
+ * discussed in §2.2: instead of periodic checkpoints, healthy workers
+ * dump their GPU state only when a failure is detected, relying on
+ * data-parallel replication so the failed worker's state survives in
+ * a peer's memory.
+ *
+ * The paper's argument against JIT on preemptible resources: "this
+ * might not be true when training over preemptible resources, where
+ * bulky VM preemptions are very common" — a single bulky preemption
+ * that takes out every replica of some partition loses state that no
+ * healthy worker holds, forcing a fall back to the last (rare)
+ * periodic checkpoint or to scratch. This module replays a preemption
+ * trace against that failure model so bench/ablation_jit can show the
+ * crossover.
+ */
+
+#include "goodput/goodput.h"
+#include "trace/preemption_trace.h"
+#include "util/rng.h"
+
+namespace pccheck {
+
+/** JIT configuration and costs. */
+struct JitInputs {
+    int total_vms = 64;        ///< cluster size the trace was taken on
+    int replicas = 2;          ///< data-parallel copies per partition
+    double throughput = 0;     ///< failure-free iters/s (≈ ideal: JIT
+                               ///< has no steady-state overhead)
+    Seconds jit_recovery = 60; ///< dump + redeploy + restore on a
+                               ///< survivable failure
+    Seconds fallback_recovery = 3600;  ///< cost when a partition loses
+                                       ///< ALL replicas at once
+};
+
+/** Replay outcome, including how often the fallback was needed. */
+struct JitGoodputResult {
+    double goodput = 0;
+    std::size_t survivable_failures = 0;
+    std::size_t catastrophic_failures = 0;
+    Seconds recovery_total = 0;
+};
+
+/**
+ * Replay @p trace against the JIT failure model. Which VMs a bulky
+ * preemption takes is sampled with @p rng (deterministic per seed):
+ * a failure is catastrophic iff some partition loses all replicas.
+ */
+JitGoodputResult replay_jit_goodput(const PreemptionTrace& trace,
+                                    const JitInputs& inputs, Rng& rng);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_GOODPUT_JIT_H_

@@ -1,0 +1,62 @@
+#include "goodput/recovery_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+Seconds
+rollback_span(const std::string& system, const RecoveryModelInputs& in)
+{
+    // Max recovery = l + rollback; the expected rollback is half the
+    // span (failures land uniformly within a checkpoint period).
+    if (system == "pccheck") {
+        return pccheck_max_recovery(in) - in.load_time;
+    }
+    if (system == "checkfreq" || system == "gemini") {
+        return one_async_max_recovery(in) - in.load_time;
+    }
+    if (system == "gpm" || system == "sync") {
+        return sync_max_recovery(in) - in.load_time;
+    }
+    fatal("expected_recovery: unknown system " + system);
+}
+
+}  // namespace
+
+Seconds
+pccheck_max_recovery(const RecoveryModelInputs& in)
+{
+    PCCHECK_CHECK(in.concurrent >= 1);
+    const double nf = static_cast<double>(in.concurrent) *
+                      static_cast<double>(in.interval);
+    const double tw_iters =
+        in.iteration_time > 0 ? in.checkpoint_time / in.iteration_time : 0;
+    return in.load_time +
+           static_cast<double>(in.interval) * in.iteration_time +
+           in.iteration_time * std::min(nf, tw_iters);
+}
+
+Seconds
+one_async_max_recovery(const RecoveryModelInputs& in)
+{
+    return in.load_time +
+           2.0 * static_cast<double>(in.interval) * in.iteration_time;
+}
+
+Seconds
+sync_max_recovery(const RecoveryModelInputs& in)
+{
+    return in.load_time +
+           static_cast<double>(in.interval) * in.iteration_time;
+}
+
+Seconds
+expected_recovery(const std::string& system, const RecoveryModelInputs& in)
+{
+    return in.load_time + 0.5 * rollback_span(system, in);
+}
+
+}  // namespace pccheck

@@ -1,0 +1,54 @@
+#ifndef PCCHECK_GOODPUT_RECOVERY_MODEL_H_
+#define PCCHECK_GOODPUT_RECOVERY_MODEL_H_
+
+/**
+ * @file
+ * Recovery-time models of §4.2.
+ *
+ * With iteration time t, checkpoint interval f, checkpoint write time
+ * Tw, load time l, and N concurrent checkpoints:
+ *
+ *   PCcheck:   0 <= recovery <= l + f·t + t·min(N·f, Tw/t)   (eq. 4)
+ *   CheckFreq / Gemini: 0 <= recovery <= l + 2·f·t
+ *   GPM (synchronous):  0 <= recovery <= l + f·t
+ *
+ * The goodput replay uses the midpoint of each bound as the expected
+ * recovery cost, exactly as §5.2.3 does ("we use the average recovery
+ * time from 4.2 for each baseline").
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Inputs of the §4.2 bounds. */
+struct RecoveryModelInputs {
+    Seconds iteration_time = 0;    ///< t
+    std::uint64_t interval = 1;    ///< f
+    Seconds checkpoint_time = 0;   ///< Tw
+    Seconds load_time = 0;         ///< l
+    int concurrent = 1;            ///< N (PCcheck only)
+};
+
+/** Upper bound on recovery time for PCcheck (paper eq. 4). */
+Seconds pccheck_max_recovery(const RecoveryModelInputs& in);
+
+/** Upper bound for CheckFreq and Gemini: l + 2·f·t. */
+Seconds one_async_max_recovery(const RecoveryModelInputs& in);
+
+/** Upper bound for GPM / synchronous systems: l + f·t. */
+Seconds sync_max_recovery(const RecoveryModelInputs& in);
+
+/**
+ * Expected recovery for a named system ("pccheck", "checkfreq",
+ * "gemini", "gpm", "sync"): load time plus half the maximum rollback.
+ */
+Seconds expected_recovery(const std::string& system,
+                          const RecoveryModelInputs& in);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_GOODPUT_RECOVERY_MODEL_H_

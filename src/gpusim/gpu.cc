@@ -1,0 +1,154 @@
+#include "gpusim/gpu.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/device.h"
+#include "util/check.h"
+
+namespace pccheck {
+
+SimGpu::SimGpu(const GpuConfig& config, const Clock& clock)
+    : config_(config), clock_(clock), arena_(config.memory_bytes, 0),
+      pcie_(config.pcie_bytes_per_sec, clock),
+      copy_pool_(std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(std::max(config.copy_engines, 1))))
+{
+    PCCHECK_CHECK(config.pcie_bytes_per_sec >= 0);
+    PCCHECK_CHECK(config.unpinned_penalty > 0 &&
+                  config.unpinned_penalty <= 1.0);
+}
+
+SimGpu::~SimGpu() = default;
+
+DevPtr
+SimGpu::alloc(Bytes size)
+{
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    const Bytes aligned = align_up(size, 256);
+    if (alloc_cursor_ + aligned > arena_.size()) {
+        fatal("SimGpu: out of device memory (asked " + format_bytes(size) +
+              ", used " + format_bytes(alloc_cursor_) + " of " +
+              format_bytes(arena_.size()) + ")");
+    }
+    DevPtr ptr{alloc_cursor_, size};
+    alloc_cursor_ += aligned;
+    return ptr;
+}
+
+void
+SimGpu::reset_allocations()
+{
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    alloc_cursor_ = 0;
+}
+
+Bytes
+SimGpu::memory_used() const
+{
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    return alloc_cursor_;
+}
+
+double
+SimGpu::effective_bw(bool pinned) const
+{
+    return pinned ? 1.0 : config_.unpinned_penalty;
+}
+
+void
+SimGpu::dma_transfer(Bytes len, bool pinned)
+{
+    // Unpinned copies occupy the channel longer (staging copy), which
+    // we model by inflating the charged byte count.
+    const auto charged =
+        static_cast<Bytes>(static_cast<double>(len) / effective_bw(pinned));
+    pcie_.acquire(charged);
+    pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
+}
+
+void
+SimGpu::copy_to_host(void* dst, DevPtr src, Bytes offset, Bytes len,
+                     bool pinned)
+{
+    PCCHECK_CHECK_MSG(offset + len <= src.size,
+                      "copy_to_host out of range off=" << offset
+                                                       << " len=" << len);
+    dma_transfer(len, pinned);
+    std::memcpy(dst, arena_.data() + src.offset + offset, len);
+}
+
+void
+SimGpu::copy_to_device(DevPtr dst, Bytes offset, const void* src, Bytes len,
+                       bool pinned)
+{
+    PCCHECK_CHECK(offset + len <= dst.size);
+    dma_transfer(len, pinned);
+    std::memcpy(arena_.data() + dst.offset + offset, src, len);
+}
+
+std::future<void>
+SimGpu::copy_to_host_async(void* dst, DevPtr src, Bytes offset, Bytes len,
+                           bool pinned)
+{
+    return copy_pool_->submit([this, dst, src, offset, len, pinned] {
+        copy_to_host(dst, src, offset, len, pinned);
+    });
+}
+
+void
+SimGpu::launch_kernel(Seconds duration)
+{
+    std::lock_guard<std::mutex> lock(compute_mu_);
+    clock_.sleep_for(duration);
+}
+
+void
+SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
+                               DevPtr src, Bytes src_offset, Bytes len)
+{
+    PCCHECK_CHECK(src_offset + len <= src.size);
+    std::lock_guard<std::mutex> lock(compute_mu_);
+    // The copy kernel streams over PCIe at a reduced rate and keeps
+    // the SMs busy for the whole transfer (GPM's UVM path).
+    const auto charged = static_cast<Bytes>(static_cast<double>(len) /
+                                            config_.kernel_copy_factor);
+    pcie_.acquire(charged);
+    pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
+    storage.write(dst_offset, arena_.data() + src.offset + src_offset, len);
+}
+
+void
+SimGpu::direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
+                               DevPtr src, Bytes src_offset, Bytes len)
+{
+    PCCHECK_CHECK(src_offset + len <= src.size);
+    // P2P transfer: PCIe time is paid, then the device write (its own
+    // throttle models the medium). No DRAM hop, no compute engine.
+    pcie_.acquire(len);
+    pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
+    storage.write(dst_offset, arena_.data() + src.offset + src_offset,
+                  len);
+}
+
+std::uint8_t*
+SimGpu::device_data(DevPtr ptr, Bytes offset)
+{
+    PCCHECK_CHECK(offset < ptr.size);
+    return arena_.data() + ptr.offset + offset;
+}
+
+const std::uint8_t*
+SimGpu::device_data(DevPtr ptr, Bytes offset) const
+{
+    PCCHECK_CHECK(offset < ptr.size);
+    return arena_.data() + ptr.offset + offset;
+}
+
+Bytes
+SimGpu::pcie_bytes_moved() const
+{
+    return pcie_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pccheck

@@ -1,0 +1,155 @@
+#ifndef PCCHECK_GPUSIM_GPU_H_
+#define PCCHECK_GPUSIM_GPU_H_
+
+/**
+ * @file
+ * Simulated GPU.
+ *
+ * Replaces CUDA for this reproduction (see DESIGN.md §1). The model
+ * keeps exactly the properties the checkpointing path depends on:
+ *
+ *  - Device memory is a host arena addressed by DevPtr handles, so
+ *    checkpoints contain real, verifiable bytes.
+ *  - DMA copy engines move data between device and host over a shared
+ *    PCIe bandwidth throttle, on their own threads — copies overlap
+ *    with compute, like real copy engines (§2.3 "Data Copy Engines").
+ *  - Copies from unpinned host memory pay a pinning penalty, modeling
+ *    the staging copy cudaMemcpy performs for pageable memory.
+ *  - The compute engine executes one "kernel" at a time; training
+ *    iterations and GPM-style copy kernels contend for it, which is
+ *    precisely why GPM stalls training while PCcheck does not.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "concurrent/thread_pool.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/throttle.h"
+
+namespace pccheck {
+
+class StorageDevice;
+
+/** Handle to device memory (offset into the device arena). */
+struct DevPtr {
+    Bytes offset = 0;
+    Bytes size = 0;
+
+    bool valid() const { return size > 0; }
+};
+
+/** Host buffer wrapper carrying the pinned-memory attribute. */
+struct HostBuffer {
+    std::uint8_t* data = nullptr;
+    Bytes size = 0;
+    bool pinned = false;
+};
+
+/** Static configuration of a simulated GPU. */
+struct GpuConfig {
+    Bytes memory_bytes = 512 * kMiB;
+    /** PCIe copy-engine bandwidth, bytes/sec (paper: PCIe3 x16 ≈ 12.8e9
+     *  effective on the A100 VM; x8 ≈ 6.4e9 on the RTX box). */
+    double pcie_bytes_per_sec = 12.8e9;
+    /** Number of DMA copy engines (A100 exposes several; 2 suffices). */
+    int copy_engines = 2;
+    /** Bandwidth factor for unpinned (pageable) host memory. */
+    double unpinned_penalty = 0.45;
+    /** Bandwidth factor for copy kernels (GPM-style, uses SMs). */
+    double kernel_copy_factor = 0.85;
+};
+
+/**
+ * Simulated GPU with device memory, DMA copy engines, and a compute
+ * engine. Thread safe: any host thread may launch kernels or copies.
+ */
+class SimGpu {
+  public:
+    explicit SimGpu(const GpuConfig& config,
+                    const Clock& clock = MonotonicClock::instance());
+    ~SimGpu();
+
+    SimGpu(const SimGpu&) = delete;
+    SimGpu& operator=(const SimGpu&) = delete;
+
+    /** Allocate device memory; throws FatalError when exhausted. */
+    DevPtr alloc(Bytes size);
+
+    /** Release device memory (bump allocator: only full reset frees). */
+    void reset_allocations();
+
+    Bytes memory_used() const;
+    const GpuConfig& config() const { return config_; }
+
+    /**
+     * Synchronous DMA copy device→host. Pays PCIe bandwidth; runs on
+     * the calling thread but does NOT occupy the compute engine.
+     */
+    void copy_to_host(void* dst, DevPtr src, Bytes offset, Bytes len,
+                      bool pinned = true);
+
+    /** Synchronous DMA copy host→device. */
+    void copy_to_device(DevPtr dst, Bytes offset, const void* src,
+                        Bytes len, bool pinned = true);
+
+    /** Asynchronous DMA copy device→host on a copy engine thread. */
+    std::future<void> copy_to_host_async(void* dst, DevPtr src,
+                                         Bytes offset, Bytes len,
+                                         bool pinned = true);
+
+    /**
+     * Occupy the compute engine for @p duration modeled seconds (a
+     * training step's forward/backward or update kernel).
+     */
+    void launch_kernel(Seconds duration);
+
+    /**
+     * GPM-style copy kernel: moves device data directly into a
+     * storage device while HOLDING the compute engine (no DMA). This
+     * is the §2.2 behaviour that makes GPM stall training.
+     */
+    void kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
+                                DevPtr src, Bytes src_offset, Bytes len);
+
+    /**
+     * GPUDirect-style peer-to-peer DMA: the copy engine writes device
+     * data straight into the storage device, bypassing DRAM staging
+     * (§3.3 "using peer-to-peer PCIe technologies such as GPUDirect
+     * Storage"). Does NOT hold the compute engine, but serializes the
+     * PCIe channel with the storage write for the whole transfer —
+     * the reason §3.3 finds staging + overlap faster overall.
+     */
+    void direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
+                                DevPtr src, Bytes src_offset, Bytes len);
+
+    /** Direct pointer into the device arena (fill/verify helpers). */
+    std::uint8_t* device_data(DevPtr ptr, Bytes offset = 0);
+    const std::uint8_t* device_data(DevPtr ptr, Bytes offset = 0) const;
+
+    /** Total bytes moved over PCIe so far (monitoring). */
+    Bytes pcie_bytes_moved() const;
+
+  private:
+    double effective_bw(bool pinned) const;
+    void dma_transfer(Bytes len, bool pinned);
+
+    GpuConfig config_;
+    const Clock& clock_;
+    std::vector<std::uint8_t> arena_;
+    mutable std::mutex alloc_mu_;
+    Bytes alloc_cursor_ = 0;
+    BandwidthThrottle pcie_;
+    std::mutex compute_mu_;  ///< the single compute engine
+    std::unique_ptr<ThreadPool> copy_pool_;
+    std::atomic<Bytes> pcie_bytes_{0};
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_GPUSIM_GPU_H_

@@ -1,0 +1,96 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+SimNetwork::SimNetwork(const NetworkConfig& config, const Clock& clock)
+    : config_(config), clock_(clock)
+{
+    PCCHECK_CHECK(config.nodes >= 1);
+    egress_.reserve(config.nodes);
+    ingress_.reserve(config.nodes);
+    mailboxes_.reserve(config.nodes);
+    for (int i = 0; i < config.nodes; ++i) {
+        egress_.push_back(std::make_unique<BandwidthThrottle>(
+            config.nic_bytes_per_sec, clock));
+        ingress_.push_back(std::make_unique<BandwidthThrottle>(
+            config.nic_bytes_per_sec, clock));
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+void
+SimNetwork::check_node(int node) const
+{
+    PCCHECK_CHECK_MSG(node >= 0 && node < config_.nodes,
+                      "invalid node id " << node);
+}
+
+Seconds
+SimNetwork::transfer(int from, int to, Bytes len)
+{
+    check_node(from);
+    check_node(to);
+    Stopwatch watch(clock_);
+    clock_.sleep_for(config_.latency);
+    if (from != to) {
+        const Seconds egress_time = egress_[from]->acquire(len);
+        const Seconds ingress_time = ingress_[to]->acquire(len);
+        (void)egress_time;
+        (void)ingress_time;
+    }
+    bytes_moved_.fetch_add(len, std::memory_order_relaxed);
+    return watch.elapsed();
+}
+
+void
+SimNetwork::send_msg(int from, int to, std::uint64_t tag,
+                     std::vector<std::uint8_t> payload)
+{
+    check_node(from);
+    check_node(to);
+    clock_.sleep_for(config_.latency);
+    Mailbox& box = *mailboxes_[to];
+    {
+        std::lock_guard<std::mutex> lock(box.mu);
+        box.messages.push_back(NetMessage{from, tag, std::move(payload)});
+    }
+    box.cv.notify_one();
+}
+
+NetMessage
+SimNetwork::recv_msg(int node)
+{
+    check_node(node);
+    Mailbox& box = *mailboxes_[node];
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait(lock, [&box] { return !box.messages.empty(); });
+    NetMessage msg = std::move(box.messages.front());
+    box.messages.pop_front();
+    return msg;
+}
+
+bool
+SimNetwork::try_recv_msg(int node, NetMessage* out)
+{
+    check_node(node);
+    Mailbox& box = *mailboxes_[node];
+    std::lock_guard<std::mutex> lock(box.mu);
+    if (box.messages.empty()) {
+        return false;
+    }
+    *out = std::move(box.messages.front());
+    box.messages.pop_front();
+    return true;
+}
+
+Bytes
+SimNetwork::bytes_moved() const
+{
+    return bytes_moved_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pccheck

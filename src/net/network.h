@@ -1,0 +1,99 @@
+#ifndef PCCHECK_NET_NETWORK_H_
+#define PCCHECK_NET_NETWORK_H_
+
+/**
+ * @file
+ * In-process simulated cluster network.
+ *
+ * Replaces the inter-VM network (DESIGN.md §1). Each node has an
+ * ingress and an egress NIC channel modeled with bandwidth throttles;
+ * every transfer additionally pays a propagation latency. The paper's
+ * Gemini analysis hinges on the measured 15 Gbps (1.88 GB/s) VM NIC
+ * bandwidth — that is the default here.
+ *
+ * Two facilities:
+ *  - bulk transfer(): blocking, bandwidth-paced byte movement (Gemini
+ *    checkpoint traffic, pipeline activations);
+ *  - small control messages via per-node mailboxes (checkpoint-ID
+ *    consensus in distributed PCcheck).
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/throttle.h"
+
+namespace pccheck {
+
+/** Small control-plane message. */
+struct NetMessage {
+    int from = -1;
+    std::uint64_t tag = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Configuration of the simulated cluster fabric. */
+struct NetworkConfig {
+    int nodes = 1;
+    /** Per-node NIC bandwidth, bytes/sec (paper GCP: 15 Gbps). */
+    double nic_bytes_per_sec = 1.88e9;
+    /** One-way propagation latency, seconds. */
+    Seconds latency = 100e-6;
+};
+
+/** Simulated cluster network; thread safe. */
+class SimNetwork {
+  public:
+    explicit SimNetwork(const NetworkConfig& config,
+                        const Clock& clock = MonotonicClock::instance());
+
+    int nodes() const { return config_.nodes; }
+    const NetworkConfig& config() const { return config_; }
+
+    /**
+     * Blocking bulk transfer of @p len bytes from @p from to @p to,
+     * paying sender-egress and receiver-ingress bandwidth plus
+     * latency. Returns the modeled transfer time in seconds.
+     */
+    Seconds transfer(int from, int to, Bytes len);
+
+    /** Post a control message into @p to's mailbox (pays latency only). */
+    void send_msg(int from, int to, std::uint64_t tag,
+                  std::vector<std::uint8_t> payload = {});
+
+    /** Blocking receive from this node's mailbox. */
+    NetMessage recv_msg(int node);
+
+    /** Non-blocking receive; false when the mailbox is empty. */
+    bool try_recv_msg(int node, NetMessage* out);
+
+    /** Total bytes moved through the fabric (monitoring). */
+    Bytes bytes_moved() const;
+
+  private:
+    struct Mailbox {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<NetMessage> messages;
+    };
+
+    void check_node(int node) const;
+
+    NetworkConfig config_;
+    const Clock& clock_;
+    std::vector<std::unique_ptr<BandwidthThrottle>> egress_;
+    std::vector<std::unique_ptr<BandwidthThrottle>> ingress_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::atomic<Bytes> bytes_moved_{0};
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_NET_NETWORK_H_

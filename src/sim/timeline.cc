@@ -1,0 +1,227 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+/** Min-heap of next-free times for a pooled resource. */
+class ResourcePool {
+  public:
+    ResourcePool(int count, Seconds initial)
+    {
+        for (int i = 0; i < count; ++i) {
+            free_times_.push(initial);
+        }
+    }
+
+    /** Earliest time a unit is free; removes it from the pool. */
+    Seconds
+    acquire()
+    {
+        PCCHECK_CHECK(!free_times_.empty());
+        const Seconds t = free_times_.top();
+        free_times_.pop();
+        return t;
+    }
+
+    /** Return a unit that frees at @p time. */
+    void release(Seconds time) { free_times_.push(time); }
+
+  private:
+    std::priority_queue<Seconds, std::vector<Seconds>,
+                        std::greater<Seconds>>
+        free_times_;
+};
+
+struct Scheduler {
+    const TimelineParams& params;
+    Timeline timeline;
+    Seconds compute_free = 0;
+    Seconds copy_free = 0;
+    Seconds storage_free = 0;
+    Seconds snapshot_barrier = 0;  ///< U may not start before this
+    Seconds prev_persist_end = 0;  ///< CheckFreq single-checkpoint gate
+
+    void
+    add(PhaseKind kind, std::uint64_t iter, std::uint64_t chunk,
+        Seconds start, Seconds end)
+    {
+        timeline.phases.push_back(Phase{kind, iter, chunk, start, end});
+        timeline.makespan = std::max(timeline.makespan, end);
+        if (kind == PhaseKind::kTrain || kind == PhaseKind::kUpdate) {
+            timeline.gpu_busy += end - start;
+        }
+    }
+};
+
+void
+schedule(Discipline discipline, Scheduler& s)
+{
+    const TimelineParams& p = s.params;
+    ResourcePool slots(std::max(p.concurrent, 1), 0.0);
+    ResourcePool buffers(std::max(p.staging_buffers, 1), 0.0);
+    const int chunks = std::max(p.chunks, 1);
+    const Seconds chunk_snap = p.snapshot_time / chunks;
+    const Seconds chunk_persist = p.persist_time / chunks;
+
+    for (std::uint64_t iter = 1; iter <= p.iterations; ++iter) {
+        const Seconds t_start = s.compute_free;
+        const Seconds t_end = t_start + p.train_time;
+        s.add(PhaseKind::kTrain, iter, 0, t_start, t_end);
+
+        const Seconds u_start = std::max(t_end, s.snapshot_barrier);
+        const Seconds u_end = u_start + p.update_time;
+        s.add(PhaseKind::kUpdate, iter, 0, u_start, u_end);
+        s.compute_free = u_end;
+
+        if (p.interval == 0 || iter % p.interval != 0) {
+            continue;
+        }
+        ++s.timeline.checkpoints;
+
+        switch (discipline) {
+          case Discipline::kSync: {
+            const Seconds c_end = u_end + p.snapshot_time;
+            s.add(PhaseKind::kSnapshot, iter, 0, u_end, c_end);
+            const Seconds p_end = c_end + p.persist_time;
+            s.add(PhaseKind::kPersist, iter, 0, c_end, p_end);
+            s.compute_free = p_end;  // training fully blocked
+            break;
+          }
+          case Discipline::kGpm: {
+            // Copy kernel + persist hold the compute engine; no DRAM
+            // snapshot phase exists.
+            const Seconds p_end = u_end + p.persist_time;
+            s.add(PhaseKind::kPersist, iter, 0, u_end, p_end);
+            s.compute_free = p_end;
+            break;
+          }
+          case Discipline::kCheckFreq: {
+            const Seconds c_start =
+                std::max({u_end, s.copy_free, s.prev_persist_end});
+            const Seconds c_end = c_start + p.snapshot_time;
+            s.add(PhaseKind::kSnapshot, iter, 0, c_start, c_end);
+            s.copy_free = c_end;
+            s.snapshot_barrier = c_end;
+            const Seconds p_start = std::max(c_end, s.storage_free);
+            const Seconds p_end = p_start + p.persist_time;
+            s.add(PhaseKind::kPersist, iter, 0, p_start, p_end);
+            s.storage_free = p_end;
+            s.prev_persist_end = p_end;
+            break;
+          }
+          case Discipline::kPCcheck: {
+            const Seconds slot_ready = slots.acquire();
+            Seconds prev_chunk_copy = std::max(u_end, slot_ready);
+            Seconds last_persist_end = 0;
+            Seconds last_copy_end = 0;
+            for (int chunk = 0; chunk < chunks; ++chunk) {
+                const Seconds buf_ready = buffers.acquire();
+                const Seconds c_start =
+                    std::max({prev_chunk_copy, s.copy_free, buf_ready});
+                const Seconds c_end = c_start + chunk_snap;
+                s.add(PhaseKind::kSnapshot, iter,
+                      static_cast<std::uint64_t>(chunk), c_start, c_end);
+                s.copy_free = c_end;
+                prev_chunk_copy = c_end;
+                last_copy_end = c_end;
+                const Seconds p_start = std::max(c_end, s.storage_free);
+                const Seconds p_end = p_start + chunk_persist;
+                s.add(PhaseKind::kPersist, iter,
+                      static_cast<std::uint64_t>(chunk), p_start, p_end);
+                s.storage_free = p_end;
+                buffers.release(p_end);
+                last_persist_end = p_end;
+            }
+            s.snapshot_barrier = last_copy_end;
+            slots.release(last_persist_end);
+            break;
+          }
+        }
+    }
+    s.timeline.gpu_stall = s.timeline.makespan - s.timeline.gpu_busy;
+}
+
+char
+phase_char(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::kTrain: return 'T';
+      case PhaseKind::kUpdate: return 'U';
+      case PhaseKind::kSnapshot: return 'C';
+      case PhaseKind::kPersist: return 'P';
+    }
+    return '?';
+}
+
+int
+phase_row(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::kTrain:
+      case PhaseKind::kUpdate:
+        return 0;  // GPU
+      case PhaseKind::kSnapshot:
+        return 1;  // copy engine
+      case PhaseKind::kPersist:
+        return 2;  // storage
+    }
+    return 0;
+}
+
+}  // namespace
+
+Timeline
+simulate_timeline(Discipline discipline, const TimelineParams& params)
+{
+    PCCHECK_CHECK(params.iterations >= 1);
+    Scheduler scheduler{params, {}, 0, 0, 0, 0, 0};
+    schedule(discipline, scheduler);
+    return std::move(scheduler.timeline);
+}
+
+std::string
+Timeline::render(Seconds step) const
+{
+    PCCHECK_CHECK(step > 0);
+    const auto width =
+        static_cast<std::size_t>(makespan / step) + 1;
+    std::vector<std::string> rows(3, std::string(width, '.'));
+    for (const auto& phase : phases) {
+        const int row = phase_row(phase.kind);
+        auto begin = static_cast<std::size_t>(phase.start / step);
+        auto end = static_cast<std::size_t>(phase.end / step);
+        end = std::min(end, width - 1);
+        for (std::size_t i = begin; i <= end && i < width; ++i) {
+            rows[static_cast<std::size_t>(row)][i] =
+                phase_char(phase.kind);
+        }
+    }
+    std::ostringstream oss;
+    oss << "GPU   |" << rows[0] << "|\n"
+        << "COPY  |" << rows[1] << "|\n"
+        << "STORE |" << rows[2] << "|";
+    return oss.str();
+}
+
+Seconds
+paper_runtime_model(const TimelineParams& params)
+{
+    const Seconds t = params.train_time + params.update_time;
+    const double f = static_cast<double>(params.interval);
+    const double a = static_cast<double>(params.iterations);
+    const double n = static_cast<double>(std::max(params.concurrent, 1));
+    // §3.4 defines Tw as the per-checkpoint time at WORST CASE, i.e.
+    // with all N checkpoints contending for the storage channel: on a
+    // bandwidth-bound device that is N × the uncontended channel time.
+    const Seconds tw = n * params.persist_time + params.snapshot_time;
+    const double periods = std::max(a / (f * n) - 1.0, 0.0);
+    return f * t + std::max(tw, n * f * t) * periods + tw;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,84 @@
+#ifndef PCCHECK_SIM_TIMELINE_H_
+#define PCCHECK_SIM_TIMELINE_H_
+
+/**
+ * @file
+ * Virtual-time timeline simulator of the checkpointing disciplines,
+ * reproducing the paper's schedule diagrams (Fig. 3 sync, Fig. 4
+ * CheckFreq, Fig. 6 PCcheck, Fig. 7 PCcheck-pipelined) and validating
+ * the §3.4 runtime formulas against constructed schedules.
+ *
+ * The simulation is constructive: resources (GPU compute, copy
+ * engine, storage channel, N checkpoint slots, c staging buffers) are
+ * tracked by their next-free times, and each phase of each iteration
+ * is placed at the earliest instant consistent with the discipline's
+ * dependency rules. No wall-clock time passes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Kind of a scheduled phase. */
+enum class PhaseKind { kTrain, kUpdate, kSnapshot, kPersist };
+
+/** One scheduled phase of the timeline. */
+struct Phase {
+    PhaseKind kind;
+    std::uint64_t iteration;
+    std::uint64_t chunk;  ///< chunk index for pipelined C/P, else 0
+    Seconds start;
+    Seconds end;
+};
+
+/** Checkpointing discipline to schedule. */
+enum class Discipline {
+    kSync,       ///< Fig. 3: T U C P all serial
+    kGpm,        ///< C+P on the compute engine (no DRAM hop)
+    kCheckFreq,  ///< Fig. 4: C overlaps T; one checkpoint at a time
+    kPCcheck,    ///< Fig. 6: N concurrent checkpoints
+};
+
+/** Workload/hardware parameters in virtual seconds. */
+struct TimelineParams {
+    Seconds train_time = 0.9;     ///< T phase
+    Seconds update_time = 0.1;    ///< U phase
+    Seconds snapshot_time = 0.5;  ///< C: GPU→DRAM for the whole state
+    Seconds persist_time = 2.0;   ///< Tw: DRAM→storage for the state
+    std::uint64_t iterations = 8;
+    std::uint64_t interval = 1;   ///< f
+    int concurrent = 2;           ///< N (PCcheck)
+    int chunks = 1;               ///< >1 enables Fig. 7 pipelining
+    int staging_buffers = 2;      ///< c: DRAM chunk buffers available
+};
+
+/** Result: the schedule plus summary metrics. */
+struct Timeline {
+    std::vector<Phase> phases;
+    Seconds makespan = 0;
+    Seconds gpu_busy = 0;    ///< time compute engine worked (T+U)
+    Seconds gpu_stall = 0;   ///< makespan − gpu_busy
+    std::uint64_t checkpoints = 0;
+
+    /** ASCII rendering (one row per resource) for the bench output. */
+    std::string render(Seconds step) const;
+};
+
+/** Build the schedule for @p discipline under @p params. */
+Timeline simulate_timeline(Discipline discipline,
+                           const TimelineParams& params);
+
+/**
+ * §3.4 runtime_2 prediction:
+ *   f·t + max(Tw, N·f·t) · (A/(f·N) − 1) + Tw
+ * with runtime_1 as the N = 1 special case.
+ */
+Seconds paper_runtime_model(const TimelineParams& params);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_SIM_TIMELINE_H_

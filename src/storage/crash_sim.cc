@@ -1,0 +1,145 @@
+#include "storage/crash_sim.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+constexpr Bytes kCacheLineBytes = 64;
+constexpr Bytes kPageBytes = 4096;
+
+Bytes
+line_size_for(StorageKind kind)
+{
+    switch (kind) {
+      case StorageKind::kSsdMsync:
+        return kPageBytes;
+      case StorageKind::kPmemClwb:
+      case StorageKind::kPmemNt:
+      case StorageKind::kCxlPmem:
+        return kCacheLineBytes;
+      case StorageKind::kDram:
+        return kCacheLineBytes;
+    }
+    return kCacheLineBytes;
+}
+
+}  // namespace
+
+CrashSimStorage::CrashSimStorage(Bytes size, StorageKind kind,
+                                 std::uint64_t seed,
+                                 double eviction_probability)
+    : kind_(kind), line_size_(line_size_for(kind)), volatile_(size, 0),
+      durable_(size, 0), rng_(seed),
+      eviction_probability_(eviction_probability)
+{
+    PCCHECK_CHECK(kind != StorageKind::kDram);
+    PCCHECK_CHECK(eviction_probability >= 0.0 &&
+                  eviction_probability <= 1.0);
+}
+
+void
+CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
+{
+    PCCHECK_CHECK_MSG(offset + len <= volatile_.size(),
+                      "write out of range off=" << offset << " len=" << len);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::memcpy(volatile_.data() + offset, src, len);
+    const Bytes first = line_of(offset);
+    const Bytes last = len ? line_of(offset + len - 1) : first;
+    for (Bytes line = first; line <= last; ++line) {
+        dirty_.insert(line);
+        // Rewriting a line invalidates any in-flight write-back of the
+        // previous value; it must be persisted again.
+        pending_.erase(line);
+    }
+}
+
+void
+CrashSimStorage::read(Bytes offset, void* dst, Bytes len) const
+{
+    PCCHECK_CHECK_MSG(offset + len <= volatile_.size(),
+                      "read out of range off=" << offset << " len=" << len);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::memcpy(dst, volatile_.data() + offset, len);
+}
+
+void
+CrashSimStorage::persist(Bytes offset, Bytes len)
+{
+    PCCHECK_CHECK(offset + len <= volatile_.size());
+    if (len == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const Bytes first = line_of(offset);
+    const Bytes last = line_of(offset + len - 1);
+    for (Bytes line = first; line <= last; ++line) {
+        if (kind_ == StorageKind::kSsdMsync) {
+            // msync is synchronously durable.
+            commit_line(line);
+            dirty_.erase(line);
+        } else if (dirty_.erase(line) > 0) {
+            // clwb / nt-store: write-back initiated, durable at fence.
+            pending_.insert(line);
+        }
+    }
+}
+
+void
+CrashSimStorage::fence()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Bytes line : pending_) {
+        commit_line(line);
+    }
+    pending_.clear();
+}
+
+void
+CrashSimStorage::crash()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unfenced-but-flushed lines and plain dirty lines may each have
+    // reached the media, in arbitrary order.
+    auto maybe_evict = [this](const std::unordered_set<Bytes>& lines) {
+        for (Bytes line : lines) {
+            if (rng_.chance(eviction_probability_)) {
+                commit_line(line);
+            }
+        }
+    };
+    maybe_evict(pending_);
+    maybe_evict(dirty_);
+    pending_.clear();
+    dirty_.clear();
+    // Post-crash reads observe exactly the durable image.
+    volatile_ = durable_;
+}
+
+std::size_t
+CrashSimStorage::dirty_lines() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dirty_.size();
+}
+
+std::size_t
+CrashSimStorage::pending_lines() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+}
+
+void
+CrashSimStorage::commit_line(Bytes line)
+{
+    const Bytes start = line * line_size_;
+    const Bytes len = std::min(line_size_, volatile_.size() - start);
+    std::memcpy(durable_.data() + start, volatile_.data() + start, len);
+}
+
+}  // namespace pccheck

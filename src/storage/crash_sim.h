@@ -1,0 +1,87 @@
+#ifndef PCCHECK_STORAGE_CRASH_SIM_H_
+#define PCCHECK_STORAGE_CRASH_SIM_H_
+
+/**
+ * @file
+ * Crash-consistency simulation device.
+ *
+ * Maintains two images: a volatile one (CPU cache / page cache) that
+ * all writes and reads touch, and a durable one that only receives
+ * data through the persistence protocol of the configured kind.
+ *
+ * The adversarial part (what real hardware cannot do deterministically):
+ * on crash(), every line that was written but never explicitly
+ * persisted may or may not have reached the durable image — decided by
+ * a seeded RNG per line, modeling arbitrary cache-eviction order
+ * (paper §2.3: "the order in which data is written to the cache may
+ * differ from the order in which the content reaches PMEM"). After a
+ * crash the volatile image is reset to the durable one, so recovery
+ * observes exactly what survived.
+ *
+ * This device is the oracle for the paper's central invariant: at any
+ * crash point, recovery must find one fully persisted checkpoint.
+ */
+
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/rng.h"
+
+namespace pccheck {
+
+/** Storage with volatile/durable shadow images and adversarial crash. */
+class CrashSimStorage final : public StorageDevice {
+  public:
+    /**
+     * @param size device capacity
+     * @param kind persistence semantics (SSD or one of the PMEM modes)
+     * @param seed RNG seed for eviction decisions
+     * @param eviction_probability chance an unpersisted dirty line
+     *        reached durable media before the crash, in [0,1]
+     */
+    CrashSimStorage(Bytes size, StorageKind kind, std::uint64_t seed = 1,
+                    double eviction_probability = 0.5);
+
+    Bytes size() const override { return volatile_.size(); }
+    void write(Bytes offset, const void* src, Bytes len) override;
+    void read(Bytes offset, void* dst, Bytes len) const override;
+    void persist(Bytes offset, Bytes len) override;
+    void fence() override;
+    StorageKind kind() const override { return kind_; }
+
+    /**
+     * Simulate a power failure: unpersisted lines survive only with
+     * eviction probability, the volatile image is replaced by the
+     * durable one, and all tracking state is cleared.
+     */
+    void crash();
+
+    /** Number of lines currently dirty (written, not yet persisted). */
+    std::size_t dirty_lines() const;
+
+    /** Number of lines persisted but awaiting a fence (PMEM only). */
+    std::size_t pending_lines() const;
+
+    /** Persistence line granularity for the configured kind. */
+    Bytes line_size() const { return line_size_; }
+
+  private:
+    Bytes line_of(Bytes offset) const { return offset / line_size_; }
+    void commit_line(Bytes line);
+
+    StorageKind kind_;
+    Bytes line_size_;
+    mutable std::mutex mu_;
+    std::vector<std::uint8_t> volatile_;
+    std::vector<std::uint8_t> durable_;
+    std::unordered_set<Bytes> dirty_;    ///< written, not persisted
+    std::unordered_set<Bytes> pending_;  ///< persisted, awaiting fence
+    Rng rng_;
+    double eviction_probability_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_CRASH_SIM_H_

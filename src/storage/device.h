@@ -1,0 +1,81 @@
+#ifndef PCCHECK_STORAGE_DEVICE_H_
+#define PCCHECK_STORAGE_DEVICE_H_
+
+/**
+ * @file
+ * Abstract persistent storage device.
+ *
+ * The device exposes the programming model the paper depends on (§2.3):
+ * writes land in a volatile domain (CPU cache / OS page cache) and only
+ * become durable after an explicit persist step —
+ *  - SSD:  persist() models msync() on an mmapped file and is
+ *          synchronously durable; fence() is a no-op.
+ *  - PMEM: persist() models clwb / non-temporal stores (initiates
+ *          write-back) and data is durable only after the following
+ *          fence(), modeling sfence.
+ *
+ * Implementations: MemStorage (DRAM, trivially "durable"),
+ * CrashSimStorage (volatile+durable shadow images with adversarial
+ * cache-eviction on crash — see crash_sim.h), FileStorage (real
+ * mmap+msync), ThrottledStorage (bandwidth decorator).
+ */
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Persistence semantics of a device. */
+enum class StorageKind {
+    kDram,      ///< volatile memory; persist is a no-op
+    kSsdMsync,  ///< mmap + msync: persist() is synchronously durable
+    kPmemClwb,  ///< cache write-back + fence (2.46 GB/s on paper HW)
+    kPmemNt,    ///< non-temporal store + fence (4.01 GB/s on paper HW)
+    kCxlPmem,   ///< persistent memory behind CXL (§2.3): PMEM
+                ///< semantics at PCIe-attached bandwidth
+};
+
+/** Byte-addressable storage device with explicit persistence. */
+class StorageDevice {
+  public:
+    virtual ~StorageDevice() = default;
+
+    /** Device capacity in bytes. */
+    virtual Bytes size() const = 0;
+
+    /**
+     * Write @p len bytes from @p src at @p offset. The data is visible
+     * to subsequent read() calls but not durable until persisted.
+     * Thread safe for non-overlapping ranges.
+     */
+    virtual void write(Bytes offset, const void* src, Bytes len) = 0;
+
+    /** Read @p len bytes at @p offset into @p dst (sees latest writes). */
+    virtual void read(Bytes offset, void* dst, Bytes len) const = 0;
+
+    /**
+     * Initiate durability for [offset, offset+len). For kSsdMsync the
+     * range is durable on return; for PMEM kinds it is durable only
+     * after the next fence().
+     */
+    virtual void persist(Bytes offset, Bytes len) = 0;
+
+    /** Persistence ordering fence (sfence). No-op for SSD/DRAM. */
+    virtual void fence() = 0;
+
+    /** The persistence semantics this device implements. */
+    virtual StorageKind kind() const = 0;
+};
+
+/** True when the kind requires an explicit fence after persist(). */
+constexpr bool
+needs_fence(StorageKind kind)
+{
+    return kind == StorageKind::kPmemClwb ||
+           kind == StorageKind::kPmemNt || kind == StorageKind::kCxlPmem;
+}
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_DEVICE_H_

@@ -1,0 +1,80 @@
+#include "storage/file_storage.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+constexpr Bytes kPage = 4096;
+
+}  // namespace
+
+FileStorage::FileStorage(const std::string& path, Bytes size)
+    : path_(path), size_(size)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+        fatal("FileStorage: open(" + path + "): " + std::strerror(errno));
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+        ::close(fd_);
+        fatal("FileStorage: ftruncate(" + path +
+              "): " + std::strerror(errno));
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd_, 0);
+    if (map == MAP_FAILED) {
+        ::close(fd_);
+        fatal("FileStorage: mmap(" + path + "): " + std::strerror(errno));
+    }
+    map_ = static_cast<std::uint8_t*>(map);
+}
+
+FileStorage::~FileStorage()
+{
+    if (map_ != nullptr) {
+        ::munmap(map_, size_);
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+void
+FileStorage::write(Bytes offset, const void* src, Bytes len)
+{
+    PCCHECK_CHECK_MSG(offset + len <= size_,
+                      "write out of range off=" << offset << " len=" << len);
+    std::memcpy(map_ + offset, src, len);
+}
+
+void
+FileStorage::read(Bytes offset, void* dst, Bytes len) const
+{
+    PCCHECK_CHECK_MSG(offset + len <= size_,
+                      "read out of range off=" << offset << " len=" << len);
+    std::memcpy(dst, map_ + offset, len);
+}
+
+void
+FileStorage::persist(Bytes offset, Bytes len)
+{
+    if (len == 0) {
+        return;
+    }
+    PCCHECK_CHECK(offset + len <= size_);
+    const Bytes start = align_down(offset, kPage);
+    const Bytes end = align_up(offset + len, kPage);
+    if (::msync(map_ + start, std::min(end, size_) - start, MS_SYNC) != 0) {
+        fatal("FileStorage: msync: " + std::string(std::strerror(errno)));
+    }
+}
+
+}  // namespace pccheck

@@ -1,0 +1,51 @@
+#ifndef PCCHECK_STORAGE_FILE_STORAGE_H_
+#define PCCHECK_STORAGE_FILE_STORAGE_H_
+
+/**
+ * @file
+ * Real file-backed storage: the exact mmap + msync path PCcheck uses
+ * for SSD checkpoints (§3.3 "PCcheck writes to an mmapped memory
+ * region and persists using msync()"). Contents survive process
+ * restart, which the recovery tests and examples exercise.
+ */
+
+#include <string>
+
+#include "storage/device.h"
+
+namespace pccheck {
+
+/** mmap-backed persistent storage on a real file. */
+class FileStorage final : public StorageDevice {
+  public:
+    /**
+     * Create or open @p path and map @p size bytes (the file is
+     * extended with ftruncate if needed).
+     * Throws FatalError on any system-call failure.
+     */
+    FileStorage(const std::string& path, Bytes size);
+    ~FileStorage() override;
+
+    FileStorage(const FileStorage&) = delete;
+    FileStorage& operator=(const FileStorage&) = delete;
+
+    Bytes size() const override { return size_; }
+    void write(Bytes offset, const void* src, Bytes len) override;
+    void read(Bytes offset, void* dst, Bytes len) const override;
+    /** msync(MS_SYNC) over the page-aligned covering range. */
+    void persist(Bytes offset, Bytes len) override;
+    void fence() override {}
+    StorageKind kind() const override { return StorageKind::kSsdMsync; }
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    Bytes size_;
+    int fd_ = -1;
+    std::uint8_t* map_ = nullptr;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_FILE_STORAGE_H_

@@ -1,0 +1,35 @@
+#include "storage/mem_storage.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+MemStorage::MemStorage(Bytes size) : data_(size, 0) {}
+
+void
+MemStorage::write(Bytes offset, const void* src, Bytes len)
+{
+    PCCHECK_CHECK_MSG(offset + len <= data_.size(),
+                      "write out of range: off=" << offset << " len=" << len
+                                                 << " size=" << data_.size());
+    std::memcpy(data_.data() + offset, src, len);
+}
+
+void
+MemStorage::read(Bytes offset, void* dst, Bytes len) const
+{
+    PCCHECK_CHECK_MSG(offset + len <= data_.size(),
+                      "read out of range: off=" << offset << " len=" << len
+                                                << " size=" << data_.size());
+    std::memcpy(dst, data_.data() + offset, len);
+}
+
+void
+MemStorage::persist(Bytes offset, Bytes len)
+{
+    PCCHECK_CHECK(offset + len <= data_.size());
+}
+
+}  // namespace pccheck

@@ -1,0 +1,39 @@
+#ifndef PCCHECK_STORAGE_MEM_STORAGE_H_
+#define PCCHECK_STORAGE_MEM_STORAGE_H_
+
+/**
+ * @file
+ * Plain DRAM-backed storage. persist()/fence() are no-ops; contents do
+ * NOT survive a simulated crash. Used for Gemini's remote-CPU-memory
+ * checkpoint target and as the staging-buffer arena in tests.
+ */
+
+#include <vector>
+
+#include "storage/device.h"
+
+namespace pccheck {
+
+/** Volatile in-memory storage device. */
+class MemStorage final : public StorageDevice {
+  public:
+    explicit MemStorage(Bytes size);
+
+    Bytes size() const override { return data_.size(); }
+    void write(Bytes offset, const void* src, Bytes len) override;
+    void read(Bytes offset, void* dst, Bytes len) const override;
+    void persist(Bytes offset, Bytes len) override;
+    void fence() override {}
+    StorageKind kind() const override { return StorageKind::kDram; }
+
+    /** Direct pointer into the arena (tests / zero-copy paths). */
+    std::uint8_t* raw() { return data_.data(); }
+    const std::uint8_t* raw() const { return data_.data(); }
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_MEM_STORAGE_H_

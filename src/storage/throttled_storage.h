@@ -1,0 +1,76 @@
+#ifndef PCCHECK_STORAGE_THROTTLED_STORAGE_H_
+#define PCCHECK_STORAGE_THROTTLED_STORAGE_H_
+
+/**
+ * @file
+ * Bandwidth-modeling decorator around any StorageDevice.
+ *
+ * Two channels are modeled independently, matching the two physical
+ * paths of §2.3:
+ *  - the write channel (store instructions into the medium / page
+ *    cache) — dominant for PMEM, where nt-stores pay the DIMM
+ *    bandwidth directly;
+ *  - the persist channel (msync write-back to flash) — dominant for
+ *    SSD, where writes land in the page cache at DRAM speed and the
+ *    flush pays device bandwidth.
+ *
+ * All concurrent writers share each channel, so adding writer threads
+ * beyond device saturation yields no speedup — the effect behind the
+ * paper's Figures 12 and 13.
+ */
+
+#include <memory>
+
+#include "storage/device.h"
+#include "util/throttle.h"
+
+namespace pccheck {
+
+/** Device decorator that paces write() and persist() bandwidth. */
+class ThrottledStorage final : public StorageDevice {
+  public:
+    /**
+     * @param inner decorated device (owned)
+     * @param write_bytes_per_sec write-channel bandwidth; 0 = unthrottled
+     * @param persist_bytes_per_sec persist-channel bandwidth; 0 = unthrottled
+     * @param clock pacing time source
+     */
+    ThrottledStorage(std::unique_ptr<StorageDevice> inner,
+                     double write_bytes_per_sec,
+                     double persist_bytes_per_sec,
+                     double read_bytes_per_sec = 0,
+                     const Clock& clock = MonotonicClock::instance());
+
+    Bytes size() const override { return inner_->size(); }
+    void write(Bytes offset, const void* src, Bytes len) override;
+    void read(Bytes offset, void* dst, Bytes len) const override;
+    void persist(Bytes offset, Bytes len) override;
+    void fence() override { inner_->fence(); }
+    StorageKind kind() const override { return inner_->kind(); }
+
+    StorageDevice& inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<StorageDevice> inner_;
+    BandwidthThrottle write_throttle_;
+    BandwidthThrottle persist_throttle_;
+    mutable BandwidthThrottle read_throttle_;
+};
+
+/** Bandwidth profile of a storage medium (bytes/sec per channel). */
+struct StorageBandwidth {
+    double write_bytes_per_sec;
+    double persist_bytes_per_sec;
+    double read_bytes_per_sec;
+};
+
+/**
+ * Paper-calibrated bandwidth profiles (§3.3, §5.1), at full scale:
+ * GCP pd-ssd ≈ 0.45 GB/s effective; PMEM nt-store 4.01 GB/s; PMEM
+ * clwb 2.46 GB/s. Divide via scaled clocks for fast benches.
+ */
+StorageBandwidth paper_bandwidth(StorageKind kind);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_THROTTLED_STORAGE_H_

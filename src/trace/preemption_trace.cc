@@ -1,0 +1,118 @@
+#include "trace/preemption_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+Seconds
+PreemptionTrace::mtbf() const
+{
+    if (events.empty()) {
+        return duration;
+    }
+    return duration / static_cast<double>(events.size());
+}
+
+SpotProfile
+gcp_a100_profile()
+{
+    // André et al.: 26 preemptions over 3.5 h => 7.43 events/hour,
+    // observed over a 16-hour request window (paper Fig. 2).
+    return SpotProfile{"gcp-a100", 16.0 * 3600.0, 26.0 / 3.5, 0.25, 8};
+}
+
+SpotProfile
+aws_spot_profile()
+{
+    // Thorpe et al. (Bamboo): 127 distinct preemptions in 24 h.
+    return SpotProfile{"aws-spot", 24.0 * 3600.0, 127.0 / 24.0, 0.35, 12};
+}
+
+PreemptionTrace
+generate_trace(const SpotProfile& profile, std::uint64_t seed)
+{
+    PCCHECK_CHECK(profile.events_per_hour > 0);
+    PCCHECK_CHECK(profile.duration > 0);
+    Rng rng(seed);
+    PreemptionTrace trace;
+    trace.duration = profile.duration;
+    const Seconds mean_gap = 3600.0 / profile.events_per_hour;
+    Seconds t = 0;
+    for (;;) {
+        t += rng.exponential(mean_gap);
+        if (t >= profile.duration) {
+            break;
+        }
+        PreemptionEvent event;
+        event.time = t;
+        event.vms_lost = 1;
+        if (rng.chance(profile.burst_probability) && profile.burst_max > 1) {
+            event.vms_lost = 1 + static_cast<int>(rng.next_below(
+                                     static_cast<std::uint64_t>(
+                                         profile.burst_max)));
+        }
+        trace.events.push_back(event);
+    }
+    return trace;
+}
+
+void
+save_trace_csv(const PreemptionTrace& trace, const std::string& path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        fatal("save_trace_csv: cannot open " + path);
+    }
+    out.precision(12);
+    out << "time_s,vms_lost\n";
+    out << "# duration_s=" << trace.duration << "\n";
+    for (const auto& event : trace.events) {
+        out << event.time << ',' << event.vms_lost << '\n';
+    }
+}
+
+PreemptionTrace
+load_trace_csv(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal("load_trace_csv: cannot open " + path);
+    }
+    PreemptionTrace trace;
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        if (line[0] == '#') {
+            const auto pos = line.find("duration_s=");
+            if (pos != std::string::npos) {
+                trace.duration = std::stod(line.substr(pos + 11));
+            }
+            continue;
+        }
+        std::istringstream iss(line);
+        PreemptionEvent event;
+        char comma = 0;
+        if (!(iss >> event.time >> comma >> event.vms_lost) ||
+            comma != ',') {
+            fatal("load_trace_csv: malformed line: " + line);
+        }
+        trace.events.push_back(event);
+    }
+    std::sort(trace.events.begin(), trace.events.end(),
+              [](const PreemptionEvent& a, const PreemptionEvent& b) {
+                  return a.time < b.time;
+              });
+    if (trace.duration == 0 && !trace.events.empty()) {
+        trace.duration = trace.events.back().time;
+    }
+    return trace;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,73 @@
+#ifndef PCCHECK_TRAINSIM_CHECKPOINTER_H_
+#define PCCHECK_TRAINSIM_CHECKPOINTER_H_
+
+/**
+ * @file
+ * The interface every checkpointing system implements (PCcheck and all
+ * baselines), mirroring how the paper's framework hooks into the
+ * PyTorch training loop.
+ *
+ * The training loop calls:
+ *  - before_update(i): block until the model weights may be mutated —
+ *    i.e. until any in-progress GPU→DRAM snapshot of the previous
+ *    state has finished (the T→U stall discussed in §3.1);
+ *  - request_checkpoint(i): after the update on checkpoint iterations;
+ *    systems without concurrent-checkpoint support may block here
+ *    until a previous checkpoint persists (the CheckFreq stall of
+ *    Fig. 4).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace pccheck {
+
+/** Aggregated checkpointer metrics for one training run. */
+struct CheckpointerStats {
+    std::uint64_t requested = 0;     ///< checkpoints initiated
+    std::uint64_t completed = 0;     ///< checkpoints fully persisted
+    Seconds stall_time = 0;          ///< training time lost to blocking
+    RunningStat checkpoint_latency;  ///< request → durable, seconds
+};
+
+/** Abstract checkpointing system plugged into the training loop. */
+class Checkpointer {
+  public:
+    virtual ~Checkpointer() = default;
+
+    /** Human-readable system name ("pccheck", "checkfreq", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Block until the weights may be mutated by update @p iteration.
+     * Default: never blocks.
+     */
+    virtual void before_update(std::uint64_t iteration) { (void)iteration; }
+
+    /**
+     * Initiate (or perform) a checkpoint of the state stamped with
+     * @p iteration. May block depending on the system's semantics.
+     */
+    virtual void request_checkpoint(std::uint64_t iteration) = 0;
+
+    /** Drain all outstanding checkpoint work (end of run). */
+    virtual void finish() {}
+
+    /** Metrics accumulated so far. */
+    virtual CheckpointerStats stats() const = 0;
+};
+
+/** Null checkpointer: the paper's "ideal" / no-checkpoint baseline. */
+class NoCheckpointer final : public Checkpointer {
+  public:
+    std::string name() const override { return "none"; }
+    void request_checkpoint(std::uint64_t) override {}
+    CheckpointerStats stats() const override { return {}; }
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_TRAINSIM_CHECKPOINTER_H_

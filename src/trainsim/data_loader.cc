@@ -1,0 +1,70 @@
+#include "trainsim/data_loader.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+DataLoader::DataLoader(std::uint64_t dataset_size, std::uint64_t batch_size,
+                       std::uint64_t seed)
+    : dataset_size_(dataset_size), batch_size_(batch_size), seed_(seed)
+{
+    PCCHECK_CHECK(dataset_size > 0);
+    PCCHECK_CHECK(batch_size > 0);
+}
+
+std::uint64_t
+DataLoader::batches_per_epoch() const
+{
+    return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+void
+DataLoader::ensure_epoch(std::uint64_t epoch)
+{
+    if (epoch == loaded_epoch_) {
+        return;
+    }
+    // Fisher–Yates with a per-epoch deterministic PRNG: any replica
+    // (and any resumed run) derives the identical permutation.
+    permutation_.resize(dataset_size_);
+    std::iota(permutation_.begin(), permutation_.end(), 0ULL);
+    Rng rng(seed_ ^ (epoch * 0x9E3779B97F4A7C15ULL + 1));
+    for (std::uint64_t i = dataset_size_ - 1; i > 0; --i) {
+        const std::uint64_t j = rng.next_below(i + 1);
+        std::swap(permutation_[i], permutation_[j]);
+    }
+    loaded_epoch_ = epoch;
+}
+
+Batch
+DataLoader::next()
+{
+    const std::uint64_t per_epoch = batches_per_epoch();
+    const std::uint64_t epoch = iteration_ / per_epoch;
+    const std::uint64_t batch_in_epoch = iteration_ % per_epoch;
+    ensure_epoch(epoch);
+
+    Batch batch;
+    batch.epoch = epoch;
+    const std::uint64_t start = batch_in_epoch * batch_size_;
+    const std::uint64_t end =
+        std::min(start + batch_size_, dataset_size_);
+    batch.samples.assign(permutation_.begin() +
+                             static_cast<std::ptrdiff_t>(start),
+                         permutation_.begin() +
+                             static_cast<std::ptrdiff_t>(end));
+    ++iteration_;
+    batch.iteration = iteration_;
+    return batch;
+}
+
+void
+DataLoader::seek(std::uint64_t iteration)
+{
+    iteration_ = iteration;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,74 @@
+#ifndef PCCHECK_TRAINSIM_DATA_LOADER_H_
+#define PCCHECK_TRAINSIM_DATA_LOADER_H_
+
+/**
+ * @file
+ * Deterministic, resumable data loader — the "persistent iterator"
+ * of §4.2: recovery must resume the input pipeline exactly where the
+ * checkpointed iteration left off, or the model trains on duplicated
+ * or skipped samples.
+ *
+ * The loader derives every batch purely from (seed, iteration): each
+ * epoch's permutation of the dataset is generated from a per-epoch
+ * PRNG, so seek(iteration) reproduces the exact state of an
+ * uninterrupted run with O(epoch) work and no persistent log — the
+ * iterator's durable state is just the iteration number already
+ * stored in every checkpoint record.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pccheck {
+
+/** One batch of sample indices. */
+struct Batch {
+    std::uint64_t iteration = 0;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> samples;
+};
+
+/** Deterministic shuffled loader over [0, dataset_size). */
+class DataLoader {
+  public:
+    /**
+     * @param dataset_size number of samples (> 0)
+     * @param batch_size samples per iteration (> 0; the tail batch of
+     *        an epoch may be short)
+     * @param seed shuffle seed shared by all replicas
+     */
+    DataLoader(std::uint64_t dataset_size, std::uint64_t batch_size,
+               std::uint64_t seed);
+
+    /** Batches per epoch (ceil of dataset/batch). */
+    std::uint64_t batches_per_epoch() const;
+
+    /** The next batch; advances the iterator. Iterations are 1-based
+     *  to match the training loop. */
+    Batch next();
+
+    /**
+     * Position the iterator as if @p iteration batches had already
+     * been consumed (recovery: pass the recovered iteration). next()
+     * then returns batch iteration+1.
+     */
+    void seek(std::uint64_t iteration);
+
+    std::uint64_t iteration() const { return iteration_; }
+
+  private:
+    void ensure_epoch(std::uint64_t epoch);
+
+    std::uint64_t dataset_size_;
+    std::uint64_t batch_size_;
+    std::uint64_t seed_;
+    std::uint64_t iteration_ = 0;  ///< batches consumed so far
+    std::uint64_t loaded_epoch_ = ~0ULL;
+    std::vector<std::uint64_t> permutation_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_TRAINSIM_DATA_LOADER_H_

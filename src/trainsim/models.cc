@@ -1,0 +1,69 @@
+#include "trainsim/models.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+const std::vector<ModelSpec>&
+model_catalog()
+{
+    using namespace literals;
+    // Checkpoint sizes from paper Table 3 (decimal GB as printed).
+    // Iteration times calibrated from the paper's reported numbers:
+    // VGG16 60 ms (§5.2.3); OPT-1.3B 0.5 iters/s with PCcheck ≈ 2 s
+    // (§5.2.3); others interpolated by model size / batch.
+    static const std::vector<ModelSpec> kCatalog = {
+        {"vgg16", static_cast<Bytes>(1.1e9), 0.060, 0.10, 1, 32},
+        {"transformerxl", static_cast<Bytes>(2.7e9), 0.180, 0.10, 1, 64},
+        {"bert", static_cast<Bytes>(4.0e9), 0.250, 0.10, 1, 3},
+        {"opt-350m", static_cast<Bytes>(4.2e9), 0.450, 0.10, 1, 4},
+        {"opt-1.3b", static_cast<Bytes>(16.2e9), 2.000, 0.10, 1, 1},
+        {"opt-2.7b", static_cast<Bytes>(45.0e9), 2.400, 0.10, 2, 1},
+        {"bloom-7b", static_cast<Bytes>(108.0e9), 3.500, 0.10, 6, 1},
+    };
+    return kCatalog;
+}
+
+const ModelSpec&
+model_by_name(const std::string& name)
+{
+    const auto& catalog = model_catalog();
+    const auto it = std::find_if(
+        catalog.begin(), catalog.end(),
+        [&name](const ModelSpec& spec) { return spec.name == name; });
+    if (it == catalog.end()) {
+        fatal("unknown model: " + name);
+    }
+    return *it;
+}
+
+double
+ScaleFactors::scale_bandwidth(double bytes_per_sec) const
+{
+    if (bytes_per_sec <= 0) {
+        return bytes_per_sec;
+    }
+    return bytes_per_sec * time / size;
+}
+
+Bytes
+ScaleFactors::scale_size(Bytes n) const
+{
+    const auto scaled = static_cast<Bytes>(static_cast<double>(n) / size);
+    return std::max<Bytes>(scaled, 4096);
+}
+
+ScaledModel
+scale_model(const ModelSpec& spec, const ScaleFactors& factors)
+{
+    ScaledModel scaled;
+    scaled.spec = spec;
+    scaled.checkpoint_bytes = factors.scale_size(spec.checkpoint_bytes);
+    scaled.iteration_time = factors.scale_time(spec.iteration_time);
+    scaled.factors = factors;
+    return scaled;
+}
+
+}  // namespace pccheck

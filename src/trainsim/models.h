@@ -1,0 +1,68 @@
+#ifndef PCCHECK_TRAINSIM_MODELS_H_
+#define PCCHECK_TRAINSIM_MODELS_H_
+
+/**
+ * @file
+ * Catalog of the evaluated models (paper Table 3) with full-scale
+ * checkpoint sizes and calibrated iteration times, plus the scaling
+ * helper used to run paper-scale workloads in milliseconds.
+ *
+ * Scaling rule (DESIGN.md §1): dividing every *time* by a factor Kt
+ * and every *size* by Ks while multiplying bandwidths by Kt/Ks keeps
+ * every ratio in the paper's analytical model (Tw / f·t, C / t, ...)
+ * unchanged, so the figures keep their shape.
+ */
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** One evaluated model (paper Table 3 plus calibrated timing). */
+struct ModelSpec {
+    std::string name;
+    Bytes checkpoint_bytes;   ///< model + optimizer state, full scale
+    Seconds iteration_time;   ///< A100 forward+backward+update, no ckpt
+    double update_fraction;   ///< share of iteration_time spent in U
+    int pipeline_stages;      ///< >1 => pipeline-parallel across nodes
+    int batch_size;           ///< microbatch used in the paper
+};
+
+/** All Table 3 models (plus OPT-350M used in Fig. 13). */
+const std::vector<ModelSpec>& model_catalog();
+
+/** Lookup by name; throws FatalError when unknown. */
+const ModelSpec& model_by_name(const std::string& name);
+
+/** Scale factors translating full-scale workloads to bench scale. */
+struct ScaleFactors {
+    double time = 20.0;   ///< Kt: all durations divided by this
+    double size = 2000.0; ///< Ks: all byte counts divided by this
+
+    /** Multiply a full-scale bandwidth for use at bench scale. */
+    double scale_bandwidth(double bytes_per_sec) const;
+
+    /** Divide a full-scale duration. */
+    Seconds scale_time(Seconds t) const { return t / time; }
+
+    /** Divide a full-scale size (floor at 4 KiB to stay meaningful). */
+    Bytes scale_size(Bytes n) const;
+};
+
+/** A model translated to bench scale. */
+struct ScaledModel {
+    ModelSpec spec;           ///< original full-scale numbers
+    Bytes checkpoint_bytes;   ///< scaled
+    Seconds iteration_time;   ///< scaled
+    ScaleFactors factors;
+};
+
+/** Apply @p factors to @p spec. */
+ScaledModel scale_model(const ModelSpec& spec, const ScaleFactors& factors);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_TRAINSIM_MODELS_H_

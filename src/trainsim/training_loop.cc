@@ -1,0 +1,70 @@
+#include "trainsim/training_loop.h"
+
+#include "util/check.h"
+
+namespace pccheck {
+
+double
+TrainingResult::slowdown_vs(double ideal) const
+{
+    if (throughput <= 0) {
+        return 0;
+    }
+    return ideal / throughput;
+}
+
+TrainingLoop::TrainingLoop(SimGpu& gpu, TrainingState& state,
+                           const ScaledModel& model, const Clock& clock)
+    : gpu_(&gpu), state_(&state), model_(model), clock_(&clock)
+{
+}
+
+TrainingResult
+TrainingLoop::run(std::uint64_t iterations,
+                  std::uint64_t checkpoint_interval,
+                  Checkpointer& checkpointer,
+                  std::uint64_t start_iteration)
+{
+    PCCHECK_CHECK(iterations > 0);
+    const Seconds train_time =
+        model_.iteration_time * (1.0 - model_.spec.update_fraction);
+    const Seconds update_time =
+        model_.iteration_time * model_.spec.update_fraction;
+
+    Stopwatch watch(*clock_);
+    const std::uint64_t end = start_iteration + iterations;
+    for (std::uint64_t iter = start_iteration; iter < end; ++iter) {
+        // T: forward + backward passes occupy the compute engine.
+        gpu_->launch_kernel(train_time);
+        // The update may not mutate weights while a snapshot of the
+        // previous state is still being copied out.
+        checkpointer.before_update(iter);
+        // U: optimizer step mutates (re-stamps) the training state.
+        gpu_->launch_kernel(update_time);
+        state_->stamp(iter);
+        if (checkpoint_interval > 0 && iter % checkpoint_interval == 0) {
+            checkpointer.request_checkpoint(iter);
+        }
+    }
+    // Steady-state throughput: the timed window covers the training
+    // iterations themselves. Draining the last in-flight checkpoints
+    // is excluded — in a long run that work overlaps with subsequent
+    // training, so charging it to a finite window would bias short
+    // measurements against asynchronous checkpointers.
+    TrainingResult result;
+    result.iterations = iterations;
+    result.wall_time = watch.elapsed();
+    checkpointer.finish();
+    result.throughput =
+        static_cast<double>(iterations) / result.wall_time;
+    result.checkpointer = checkpointer.stats();
+    return result;
+}
+
+double
+ideal_throughput(const ScaledModel& model)
+{
+    return 1.0 / model.iteration_time;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,66 @@
+#ifndef PCCHECK_TRAINSIM_TRAINING_LOOP_H_
+#define PCCHECK_TRAINSIM_TRAINING_LOOP_H_
+
+/**
+ * @file
+ * Single-GPU training loop driving a Checkpointer, reproducing the
+ * T (train) / U (update) iteration structure of paper Figures 3–7.
+ */
+
+#include <cstdint>
+
+#include "trainsim/checkpointer.h"
+#include "trainsim/models.h"
+#include "trainsim/training_state.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Outcome of one training run. */
+struct TrainingResult {
+    std::uint64_t iterations = 0;
+    Seconds wall_time = 0;
+    double throughput = 0;          ///< iterations per second
+    CheckpointerStats checkpointer; ///< final checkpointer metrics
+
+    /** Slowdown factor versus an ideal run at @p ideal_throughput. */
+    double slowdown_vs(double ideal_throughput) const;
+};
+
+/** Drives T/U iterations on a SimGpu and hooks in a Checkpointer. */
+class TrainingLoop {
+  public:
+    /**
+     * @param gpu simulated GPU executing the kernels
+     * @param state stamped training state (on @p gpu)
+     * @param model scaled workload parameters
+     * @param clock time source for measurement
+     */
+    TrainingLoop(SimGpu& gpu, TrainingState& state, const ScaledModel& model,
+                 const Clock& clock = MonotonicClock::instance());
+
+    /**
+     * Run @p iterations iterations, requesting a checkpoint every
+     * @p checkpoint_interval iterations (0 disables checkpointing).
+     * Calls checkpointer.finish() before returning.
+     *
+     * @param start_iteration first iteration index (for resume runs)
+     */
+    TrainingResult run(std::uint64_t iterations,
+                       std::uint64_t checkpoint_interval,
+                       Checkpointer& checkpointer,
+                       std::uint64_t start_iteration = 1);
+
+  private:
+    SimGpu* gpu_;
+    TrainingState* state_;
+    ScaledModel model_;
+    const Clock* clock_;
+};
+
+/** Ideal (no-checkpoint) throughput for a scaled model, iters/sec. */
+double ideal_throughput(const ScaledModel& model);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_TRAINSIM_TRAINING_LOOP_H_

@@ -1,0 +1,68 @@
+#include "trainsim/training_state.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+constexpr std::uint64_t kMarkerMagic = 0x50436368654B5031ULL;  // "PCcheKP1"
+
+struct Marker {
+    std::uint64_t magic_xor_offset;
+    std::uint64_t iteration;
+};
+
+static_assert(sizeof(Marker) == 16);
+
+}  // namespace
+
+TrainingState::TrainingState(SimGpu& gpu, Bytes bytes)
+    : gpu_(&gpu), ptr_(gpu.alloc(bytes))
+{
+    PCCHECK_CHECK_MSG(bytes >= sizeof(Marker),
+                      "training state too small: " << bytes);
+    stamp(0);
+}
+
+void
+TrainingState::stamp(std::uint64_t iteration)
+{
+    stamp_buffer(gpu_->device_data(ptr_), ptr_.size, iteration);
+    iteration_ = iteration;
+}
+
+void
+TrainingState::stamp_buffer(std::uint8_t* data, Bytes len,
+                            std::uint64_t iteration)
+{
+    for (Bytes off = 0; off + sizeof(Marker) <= len; off += kMarkerStride) {
+        Marker marker{kMarkerMagic ^ off, iteration};
+        std::memcpy(data + off, &marker, sizeof(marker));
+    }
+}
+
+std::optional<std::uint64_t>
+TrainingState::verify_buffer(const std::uint8_t* data, Bytes len,
+                             Bytes base_offset)
+{
+    PCCHECK_CHECK_MSG(base_offset % kMarkerStride == 0,
+                      "shard base offset must be marker-aligned");
+    std::optional<std::uint64_t> iteration;
+    for (Bytes off = 0; off + sizeof(Marker) <= len; off += kMarkerStride) {
+        Marker marker;
+        std::memcpy(&marker, data + off, sizeof(marker));
+        if (marker.magic_xor_offset !=
+            (kMarkerMagic ^ (base_offset + off))) {
+            return std::nullopt;  // misplaced or corrupt
+        }
+        if (iteration.has_value() && *iteration != marker.iteration) {
+            return std::nullopt;  // torn across iterations
+        }
+        iteration = marker.iteration;
+    }
+    return iteration;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,71 @@
+#ifndef PCCHECK_TRAINSIM_TRAINING_STATE_H_
+#define PCCHECK_TRAINSIM_TRAINING_STATE_H_
+
+/**
+ * @file
+ * Device-resident training state (model weights + optimizer state)
+ * with built-in integrity stamping.
+ *
+ * Every update step stamps the whole buffer with (iteration, offset)
+ * markers at a fixed stride. A checkpoint read back from storage can
+ * then be verified: all markers must agree on one iteration and sit at
+ * their correct offsets. A torn checkpoint (bytes from two different
+ * iterations, or misplaced chunks) fails verification — this is the
+ * oracle behind the crash-consistency property tests (DESIGN.md I1).
+ */
+
+#include <cstdint>
+#include <optional>
+
+#include "gpusim/gpu.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Stamped training state living in simulated GPU memory. */
+class TrainingState {
+  public:
+    /** Marker stride; every marker is 16 bytes at offsets k*stride. */
+    static constexpr Bytes kMarkerStride = 4096;
+
+    /**
+     * Allocate @p bytes of device memory on @p gpu and stamp it as
+     * iteration 0. @p gpu must outlive this object.
+     */
+    TrainingState(SimGpu& gpu, Bytes bytes);
+
+    /** Model-update side effect: stamp the state as @p iteration. */
+    void stamp(std::uint64_t iteration);
+
+    std::uint64_t iteration() const { return iteration_; }
+    DevPtr device_ptr() const { return ptr_; }
+    Bytes size() const { return ptr_.size; }
+    SimGpu& gpu() { return *gpu_; }
+
+    /**
+     * Stamp an arbitrary host buffer with the same marker scheme
+     * (used by recovery tests to fabricate checkpoints).
+     */
+    static void stamp_buffer(std::uint8_t* data, Bytes len,
+                             std::uint64_t iteration);
+
+    /**
+     * Verify a buffer holds one consistent checkpoint.
+     * @param base_offset position of data[0] within the full training
+     *        state — nonzero when verifying a shard (§3.1 data+pipeline
+     *        parallel partitioning). Must be marker-aligned.
+     * @return the stamped iteration, or std::nullopt if the buffer is
+     *         torn, misplaced, or corrupt.
+     */
+    static std::optional<std::uint64_t> verify_buffer(
+        const std::uint8_t* data, Bytes len, Bytes base_offset = 0);
+
+  private:
+    SimGpu* gpu_;
+    DevPtr ptr_;
+    std::uint64_t iteration_ = 0;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_TRAINSIM_TRAINING_STATE_H_

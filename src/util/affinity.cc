@@ -1,0 +1,43 @@
+#include "util/affinity.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace pccheck {
+
+int
+available_cpus()
+{
+    const long count = ::sysconf(_SC_NPROCESSORS_ONLN);
+    return count > 0 ? static_cast<int>(count) : 1;
+}
+
+bool
+pin_current_thread(int cpu)
+{
+    const int cpus = available_cpus();
+    if (cpus <= 0 || cpu < 0) {
+        return false;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu % cpus), &set);
+    return ::pthread_setaffinity_np(pthread_self(), sizeof(set), &set) ==
+           0;
+}
+
+bool
+unpin_current_thread()
+{
+    const int cpus = available_cpus();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int cpu = 0; cpu < cpus; ++cpu) {
+        CPU_SET(static_cast<unsigned>(cpu), &set);
+    }
+    return ::pthread_setaffinity_np(pthread_self(), sizeof(set), &set) ==
+           0;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,30 @@
+#ifndef PCCHECK_UTIL_AFFINITY_H_
+#define PCCHECK_UTIL_AFFINITY_H_
+
+/**
+ * @file
+ * Thread-affinity helpers. The artifact appendix notes "PCcheck uses
+ * thread pinning to specific cores for higher performance" — writer
+ * threads benefit from staying on the NUMA node of the staging
+ * buffers and the PMEM DIMMs. Pinning is best effort: on machines
+ * with fewer cores than requested (or non-Linux), calls degrade to
+ * no-ops and report false.
+ */
+
+namespace pccheck {
+
+/** Number of CPUs available to this process. */
+int available_cpus();
+
+/**
+ * Pin the calling thread to @p cpu (modulo the available CPUs).
+ * @return true if the affinity change took effect
+ */
+bool pin_current_thread(int cpu);
+
+/** Remove any affinity restriction from the calling thread. */
+bool unpin_current_thread();
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_AFFINITY_H_

@@ -1,0 +1,29 @@
+#include "util/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace pccheck {
+
+std::string
+format_bytes(Bytes n)
+{
+    static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                          "GiB", "TiB"};
+    double value = static_cast<double>(n);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[32];
+    if (unit == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(n));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+    }
+    return buf;
+}
+
+}  // namespace pccheck

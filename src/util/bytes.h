@@ -1,0 +1,61 @@
+#ifndef PCCHECK_UTIL_BYTES_H_
+#define PCCHECK_UTIL_BYTES_H_
+
+/**
+ * @file
+ * Byte-size literals, conversion helpers, and human-readable formatting.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace pccheck {
+
+/** Byte count. Signed arithmetic on sizes is avoided by construction. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+
+/** 1.5_gib style helpers (paper sizes are decimal GB; we keep both). */
+inline constexpr Bytes kKB = 1000ULL;
+inline constexpr Bytes kMB = 1000ULL * kKB;
+inline constexpr Bytes kGB = 1000ULL * kMB;
+
+namespace literals {
+
+constexpr Bytes operator""_kib(unsigned long long v) { return v * kKiB; }
+constexpr Bytes operator""_mib(unsigned long long v) { return v * kMiB; }
+constexpr Bytes operator""_gib(unsigned long long v) { return v * kGiB; }
+constexpr Bytes operator""_kb(unsigned long long v) { return v * kKB; }
+constexpr Bytes operator""_mb(unsigned long long v) { return v * kMB; }
+constexpr Bytes operator""_gb(unsigned long long v) { return v * kGB; }
+
+}  // namespace literals
+
+/**
+ * Format a byte count with a binary-unit suffix, e.g. "1.50 GiB".
+ *
+ * @param n byte count
+ * @return human-readable string with two decimals
+ */
+std::string format_bytes(Bytes n);
+
+/** Round @p n up to the next multiple of @p align (align must be > 0). */
+constexpr Bytes
+align_up(Bytes n, Bytes align)
+{
+    return (n + align - 1) / align * align;
+}
+
+/** Round @p n down to a multiple of @p align (align must be > 0). */
+constexpr Bytes
+align_down(Bytes n, Bytes align)
+{
+    return n / align * align;
+}
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_BYTES_H_

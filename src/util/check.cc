@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pccheck {
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+namespace detail {
+
+void
+check_failed(const char* file, int line, const char* expr,
+             const std::string& msg)
+{
+    std::fprintf(stderr, "PCCHECK_CHECK failed at %s:%d: %s%s%s\n", file,
+                 line, expr, msg.empty() ? "" : " — ", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace pccheck

@@ -1,0 +1,61 @@
+#ifndef PCCHECK_UTIL_CHECK_H_
+#define PCCHECK_UTIL_CHECK_H_
+
+/**
+ * @file
+ * Assertion and fatal-error helpers.
+ *
+ * Two severities, following the panic/fatal split used by systems
+ * simulators:
+ *  - PCCHECK_CHECK: internal invariant; a failure is a library bug.
+ *    Aborts via std::terminate after printing.
+ *  - pccheck::fatal(): user/environment error (bad configuration,
+ *    unusable file, ...). Throws pccheck::FatalError so callers and
+ *    tests can observe it.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pccheck {
+
+/** Error thrown for unrecoverable user/environment problems. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] void fatal(const std::string& msg);
+
+namespace detail {
+
+/** Print an invariant-violation message and terminate. */
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace pccheck
+
+/** Abort-on-failure invariant check (always on, even in release). */
+#define PCCHECK_CHECK(expr)                                                  \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::pccheck::detail::check_failed(__FILE__, __LINE__, #expr, "");  \
+        }                                                                    \
+    } while (0)
+
+/** Invariant check with a streamed message: PCCHECK_CHECK_MSG(x>0, "x=" << x) */
+#define PCCHECK_CHECK_MSG(expr, stream_expr)                                 \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            std::ostringstream pccheck_oss_;                                 \
+            pccheck_oss_ << stream_expr;                                     \
+            ::pccheck::detail::check_failed(__FILE__, __LINE__, #expr,       \
+                                            pccheck_oss_.str());             \
+        }                                                                    \
+    } while (0)
+
+#endif  // PCCHECK_UTIL_CHECK_H_

@@ -1,0 +1,63 @@
+#include "util/clock.h"
+
+#include <thread>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+Seconds
+MonotonicClock::now() const
+{
+    auto tp = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(tp).count();
+}
+
+void
+MonotonicClock::sleep_for(Seconds duration) const
+{
+    if (duration <= 0) {
+        return;
+    }
+    // OS sleeps overshoot by scheduler slack (~100 µs here), which
+    // would systematically inflate every modeled duration. Sleep
+    // coarsely, then yield-spin the final slack for precision; yields
+    // keep sibling threads runnable on small machines.
+    constexpr Seconds kSlack = 300e-6;
+    const Seconds deadline = now() + duration;
+    if (duration > kSlack) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(duration - kSlack));
+    }
+    while (now() < deadline) {
+        std::this_thread::yield();
+    }
+}
+
+const MonotonicClock&
+MonotonicClock::instance()
+{
+    static const MonotonicClock clock;
+    return clock;
+}
+
+ScaledClock::ScaledClock(const Clock& base, double factor)
+    : base_(base), factor_(factor)
+{
+    PCCHECK_CHECK_MSG(factor > 0, "scale factor must be positive, got "
+                                      << factor);
+}
+
+Seconds
+ScaledClock::now() const
+{
+    return base_.now() * factor_;
+}
+
+void
+ScaledClock::sleep_for(Seconds duration) const
+{
+    base_.sleep_for(duration / factor_);
+}
+
+}  // namespace pccheck

@@ -1,0 +1,91 @@
+#ifndef PCCHECK_UTIL_CLOCK_H_
+#define PCCHECK_UTIL_CLOCK_H_
+
+/**
+ * @file
+ * Time sources.
+ *
+ * The library measures everything against a Clock interface so that the
+ * same code can run under the real monotonic clock (tests, examples,
+ * microbenchmarks) or under an accelerated clock (scaled benchmark
+ * sweeps). Durations are kept in double seconds at API boundaries for
+ * readability of the performance-model code, which mirrors the paper's
+ * notation (t, Tw, l, ...).
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace pccheck {
+
+/** Duration in seconds, matching the paper's analytical notation. */
+using Seconds = double;
+
+/** Abstract monotonic time source. */
+class Clock {
+  public:
+    virtual ~Clock() = default;
+
+    /** Seconds since an arbitrary, fixed epoch. */
+    virtual Seconds now() const = 0;
+
+    /** Block the calling thread for @p duration seconds. */
+    virtual void sleep_for(Seconds duration) const = 0;
+};
+
+/** Real monotonic clock backed by std::chrono::steady_clock. */
+class MonotonicClock final : public Clock {
+  public:
+    Seconds now() const override;
+    void sleep_for(Seconds duration) const override;
+
+    /** Process-wide instance (stateless, safe to share). */
+    static const MonotonicClock& instance();
+};
+
+/**
+ * Scaled wrapper: time appears to pass @p factor times faster than the
+ * underlying clock, and sleeps are shortened accordingly. Used to run
+ * paper-scale experiments (minutes of modeled time) in milliseconds
+ * while preserving every duration ratio.
+ */
+class ScaledClock final : public Clock {
+  public:
+    /**
+     * @param base underlying clock (not owned; must outlive this)
+     * @param factor acceleration factor (> 0); 1000 means one real
+     *        millisecond counts as one modeled second
+     */
+    ScaledClock(const Clock& base, double factor);
+
+    Seconds now() const override;
+    void sleep_for(Seconds duration) const override;
+
+    double factor() const { return factor_; }
+
+  private:
+    const Clock& base_;
+    double factor_;
+};
+
+/** Stopwatch over an arbitrary clock. */
+class Stopwatch {
+  public:
+    /** Starts immediately. @p clock must outlive the stopwatch. */
+    explicit Stopwatch(const Clock& clock = MonotonicClock::instance())
+        : clock_(&clock), start_(clock.now()) {}
+
+    /** Seconds elapsed since construction or the last reset(). */
+    Seconds elapsed() const { return clock_->now() - start_; }
+
+    /** Restart timing from now. */
+    void reset() { start_ = clock_->now(); }
+
+  private:
+    const Clock* clock_;
+    Seconds start_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_CLOCK_H_

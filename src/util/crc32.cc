@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace pccheck {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C
+
+std::array<std::uint32_t, 256>
+make_table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t
+crc32c(const void* data, std::size_t len, std::uint32_t seed)
+{
+    static const auto kTable = make_table();
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+    }
+    return ~crc;
+}
+
+}  // namespace pccheck

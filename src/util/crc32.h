@@ -1,0 +1,24 @@
+#ifndef PCCHECK_UTIL_CRC32_H_
+#define PCCHECK_UTIL_CRC32_H_
+
+/**
+ * @file
+ * CRC-32C (Castagnoli) used to validate checkpoint data and pointer
+ * records during recovery. Table-driven; no hardware dependency.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pccheck {
+
+/**
+ * Compute CRC-32C over @p len bytes at @p data.
+ * @param seed previous crc for incremental computation (0 to start)
+ */
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_CRC32_H_

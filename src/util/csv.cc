@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+std::string
+csv_escape(const std::string& field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+        return field;
+    }
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path, std::ios::trunc), arity_(header.size())
+{
+    if (!out_) {
+        fatal("CsvWriter: cannot open " + path);
+    }
+    write_line(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& values)
+{
+    PCCHECK_CHECK_MSG(values.size() == arity_,
+                      "CSV row arity " << values.size() << " != header arity "
+                                       << arity_);
+    write_line(values);
+}
+
+void
+CsvWriter::row_numeric(const std::string& label,
+                       const std::vector<double>& values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size() + 1);
+    fields.push_back(label);
+    for (double v : values) {
+        std::ostringstream oss;
+        oss << v;
+        fields.push_back(oss.str());
+    }
+    row(fields);
+}
+
+void
+CsvWriter::write_line(const std::vector<std::string>& values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) {
+            out_ << ',';
+        }
+        out_ << csv_escape(values[i]);
+    }
+    out_ << '\n';
+    out_.flush();
+}
+
+}  // namespace pccheck

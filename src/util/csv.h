@@ -1,0 +1,49 @@
+#ifndef PCCHECK_UTIL_CSV_H_
+#define PCCHECK_UTIL_CSV_H_
+
+/**
+ * @file
+ * Minimal CSV writer used by the benchmark harness to emit the per-
+ * figure result files referenced in EXPERIMENTS.md. Values are written
+ * row by row; strings containing separators or quotes are escaped per
+ * RFC 4180.
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pccheck {
+
+/** Appends rows to a CSV file, writing the header once on creation. */
+class CsvWriter {
+  public:
+    /**
+     * Open (truncate) @p path and write @p header.
+     * Throws FatalError if the file cannot be opened.
+     */
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    /** Write one row; must have the same arity as the header. */
+    void row(const std::vector<std::string>& values);
+
+    /** Convenience: stringify a mixed row of doubles. */
+    void row_numeric(const std::string& label,
+                     const std::vector<double>& values);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    void write_line(const std::vector<std::string>& values);
+
+    std::string path_;
+    std::ofstream out_;
+    std::size_t arity_;
+};
+
+/** Escape one CSV field per RFC 4180. */
+std::string csv_escape(const std::string& field);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_CSV_H_

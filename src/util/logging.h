@@ -1,0 +1,44 @@
+#ifndef PCCHECK_UTIL_LOGGING_H_
+#define PCCHECK_UTIL_LOGGING_H_
+
+/**
+ * @file
+ * Leveled logging to stderr. Thread safe (each message is emitted with
+ * one formatted write). The level is process-global and defaults to
+ * kInfo; benchmarks lower it to kWarn to keep output clean.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace pccheck {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Set the process-global minimum level that gets emitted. */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg);
+
+}  // namespace detail
+}  // namespace pccheck
+
+#define PCCHECK_LOG(level, stream_expr)                                      \
+    do {                                                                     \
+        if (static_cast<int>(level) >=                                       \
+            static_cast<int>(::pccheck::log_level())) {                      \
+            std::ostringstream pccheck_log_oss_;                             \
+            pccheck_log_oss_ << stream_expr;                                 \
+            ::pccheck::detail::log_emit(level, pccheck_log_oss_.str());      \
+        }                                                                    \
+    } while (0)
+
+#define LOG_DEBUG(expr) PCCHECK_LOG(::pccheck::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) PCCHECK_LOG(::pccheck::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) PCCHECK_LOG(::pccheck::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) PCCHECK_LOG(::pccheck::LogLevel::kError, expr)
+
+#endif  // PCCHECK_UTIL_LOGGING_H_

@@ -1,0 +1,71 @@
+#include "util/metrics.h"
+
+namespace pccheck {
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters_.size() + gauges_.size());
+    for (const auto& [name, counter] : counters_) {
+        out.emplace_back(name, static_cast<double>(counter->value()));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        out.emplace_back(name, gauge->value());
+    }
+    return out;
+}
+
+void
+MetricsRegistry::dump(std::ostream& out) const
+{
+    for (const auto& [name, value] : snapshot()) {
+        out << name << " = " << value << '\n';
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) {
+        (void)name;
+        counter = std::make_unique<Counter>();
+    }
+    for (auto& [name, gauge] : gauges_) {
+        (void)name;
+        gauge = std::make_unique<Gauge>();
+    }
+}
+
+}  // namespace pccheck

@@ -1,0 +1,88 @@
+#ifndef PCCHECK_UTIL_METRICS_H_
+#define PCCHECK_UTIL_METRICS_H_
+
+/**
+ * @file
+ * Lightweight metrics registry: named monotonic counters and gauges
+ * that subsystems (GPU, storage, orchestrator) register and the
+ * benches/examples dump. Counters are lock-free on the hot path;
+ * registration and enumeration take a registry mutex.
+ *
+ * Usage:
+ *   Counter& bytes = MetricsRegistry::global().counter("ssd.bytes");
+ *   bytes.add(n);
+ *   MetricsRegistry::global().dump(std::cout);
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pccheck {
+
+/** Monotonic counter; thread safe, relaxed ordering. */
+class Counter {
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-value gauge (double); thread safe. */
+class Gauge {
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0};
+};
+
+/** Named registry of counters and gauges. */
+class MetricsRegistry {
+  public:
+    /** Process-wide registry (modules default to this). */
+    static MetricsRegistry& global();
+
+    /** Find-or-create; returned reference lives as long as the
+     *  registry. Thread safe. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+
+    /** Snapshot of (name, value) pairs, sorted by name. */
+    std::vector<std::pair<std::string, double>> snapshot() const;
+
+    /** Human-readable dump, one metric per line. */
+    void dump(std::ostream& out) const;
+
+    /** Reset every counter/gauge to zero (test isolation). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_METRICS_H_

@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    for (auto& s : state_) {
+        s = splitmix64(seed);
+    }
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    PCCHECK_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+double
+Rng::next_double()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * next_double();
+}
+
+double
+Rng::exponential(double mean)
+{
+    PCCHECK_CHECK(mean > 0);
+    double u;
+    do {
+        u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    double u1;
+    do {
+        u1 = next_double();
+    } while (u1 <= 0.0);
+    const double u2 = next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+bool
+Rng::chance(double p)
+{
+    return next_double() < p;
+}
+
+}  // namespace pccheck

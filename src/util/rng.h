@@ -1,0 +1,52 @@
+#ifndef PCCHECK_UTIL_RNG_H_
+#define PCCHECK_UTIL_RNG_H_
+
+/**
+ * @file
+ * Deterministic, seedable random number generator.
+ *
+ * All stochastic behaviour in the repository (trace generation,
+ * failure injection, property tests) flows through Rng so that every
+ * experiment is reproducible from a single seed. Implementation is
+ * xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+ * no global state.
+ */
+
+#include <cstdint>
+
+namespace pccheck {
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng {
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform in [0, bound). @p bound must be > 0. */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal via Box–Muller. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_RNG_H_

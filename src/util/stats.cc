@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat& other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    PCCHECK_CHECK(hi > lo);
+    PCCHECK_CHECK(buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+double
+Histogram::quantile(double q) const
+{
+    PCCHECK_CHECK(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) {
+        return lo_;
+    }
+    const double target = q * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= target && underflow_ > 0) {
+        return lo_;
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double in_bucket = static_cast<double>(buckets_[i]);
+        if (cumulative + in_bucket >= target && in_bucket > 0) {
+            const double frac = (target - cumulative) / in_bucket;
+            return lo_ + width_ * (static_cast<double>(i) + frac);
+        }
+        cumulative += in_bucket;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::to_string() const
+{
+    std::ostringstream oss;
+    oss << "histogram n=" << total_ << " p50=" << quantile(0.5)
+        << " p90=" << quantile(0.9) << " p99=" << quantile(0.99);
+    return oss.str();
+}
+
+}  // namespace pccheck

@@ -1,0 +1,80 @@
+#ifndef PCCHECK_UTIL_STATS_H_
+#define PCCHECK_UTIL_STATS_H_
+
+/**
+ * @file
+ * Lightweight statistics accumulators used by the benchmark harness:
+ * a running mean/stddev (Welford) and a fixed-resolution histogram for
+ * latency distributions.
+ */
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pccheck {
+
+/** Online mean / variance / min / max accumulator (Welford). */
+class RunningStat {
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat& other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram with uniform bucket width over [lo, hi); out-of-range
+ * samples land in saturating under/overflow buckets. Quantiles are
+ * estimated by linear interpolation within the containing bucket.
+ */
+class Histogram {
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound of the tracked range (> lo)
+     * @param buckets number of uniform buckets (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+    std::size_t count() const { return total_; }
+
+    /** Estimated q-quantile, q in [0, 1]. Returns lo/hi at the edges. */
+    double quantile(double q) const;
+
+    /** Multi-line textual rendering for logs. */
+    std::string to_string() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> buckets_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_STATS_H_

@@ -1,0 +1,45 @@
+#include "util/throttle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+BandwidthThrottle::BandwidthThrottle(double bytes_per_sec, const Clock& clock)
+    : clock_(clock), bytes_per_sec_(bytes_per_sec)
+{
+    PCCHECK_CHECK(bytes_per_sec >= 0.0);
+}
+
+Seconds
+BandwidthThrottle::acquire(Bytes n)
+{
+    if (bytes_per_sec_ <= 0.0 || n == 0) {
+        return 0.0;
+    }
+    const Seconds arrival = clock_.now();
+    Seconds wake;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const Seconds duration = static_cast<double>(n) / bytes_per_sec_;
+        const Seconds start = std::max(arrival, cursor_);
+        cursor_ = start + duration;
+        wake = cursor_;
+    }
+    const Seconds now = clock_.now();
+    if (wake > now) {
+        clock_.sleep_for(wake - now);
+    }
+    return wake - arrival;
+}
+
+void
+BandwidthThrottle::set_bytes_per_sec(double bytes_per_sec)
+{
+    PCCHECK_CHECK(bytes_per_sec >= 0.0);
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_per_sec_ = bytes_per_sec;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,53 @@
+#ifndef PCCHECK_UTIL_THROTTLE_H_
+#define PCCHECK_UTIL_THROTTLE_H_
+
+/**
+ * @file
+ * Bandwidth throttle modeling a shared transfer channel (PCIe link,
+ * SSD, PMEM, network). Concurrent callers share the channel: each
+ * acquire() reserves the next slice of channel time and blocks until
+ * that slice has elapsed, so aggregate throughput never exceeds the
+ * configured bandwidth regardless of thread count. This is the single
+ * mechanism by which the repository emulates device speeds.
+ */
+
+#include <mutex>
+
+#include "util/bytes.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Shared-channel bandwidth limiter; thread safe. */
+class BandwidthThrottle {
+  public:
+    /**
+     * @param bytes_per_sec channel bandwidth; 0 disables throttling
+     * @param clock time source used for pacing (must outlive this)
+     */
+    explicit BandwidthThrottle(
+        double bytes_per_sec,
+        const Clock& clock = MonotonicClock::instance());
+
+    /**
+     * Account for a transfer of @p n bytes, blocking until the channel
+     * has "moved" them. Returns the modeled transfer duration for this
+     * request in seconds (including queueing behind other callers).
+     */
+    Seconds acquire(Bytes n);
+
+    double bytes_per_sec() const { return bytes_per_sec_; }
+
+    /** Change the channel bandwidth; affects future acquisitions. */
+    void set_bytes_per_sec(double bytes_per_sec);
+
+  private:
+    const Clock& clock_;
+    double bytes_per_sec_;
+    std::mutex mu_;
+    Seconds cursor_ = 0.0;  ///< time at which the channel becomes free
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_THROTTLE_H_

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the baseline checkpointers (sync, CheckFreq, GPM, Gemini):
+ * correctness of the persisted state and their characteristic
+ * blocking behaviour versus PCcheck.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/checkfreq.h"
+#include "baselines/gemini.h"
+#include "baselines/gpm.h"
+#include "baselines/sync_checkpoint.h"
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/slot_store.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled_storage.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "trainsim/training_state.h"
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+constexpr Bytes kStateBytes = 64 * 1024;
+
+GpuConfig
+gpu_config(double pcie = 0)
+{
+    GpuConfig config;
+    config.memory_bytes = 2 * kMiB;
+    config.pcie_bytes_per_sec = pcie;
+    return config;
+}
+
+Bytes
+device_bytes()
+{
+    return SlotStore::required_size(2, kStateBytes);
+}
+
+TEST(SyncCheckpointerTest, PersistsVerifiableState)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    MemStorage device(device_bytes());
+    SyncCheckpointer checkpointer(state, device);
+    state.stamp(3);
+    checkpointer.request_checkpoint(3);
+    const auto stats = checkpointer.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_GT(stats.stall_time, 0.0);
+
+    std::vector<std::uint8_t> buffer;
+    const auto recovered = recover_to_buffer(device, &buffer);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->iteration, 3u);
+    EXPECT_EQ(TrainingState::verify_buffer(buffer.data(), buffer.size()),
+              std::make_optional<std::uint64_t>(3));
+}
+
+TEST(SyncCheckpointerTest, SerializationCostAddsStall)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    MemStorage device_fast(device_bytes());
+    MemStorage device_slow(device_bytes());
+
+    SyncCheckpointer fast(state, device_fast);
+    state.stamp(1);
+    fast.request_checkpoint(1);
+
+    BaselineConfig config;
+    config.serialize_bytes_per_sec = 2e6;  // 64 KiB ≈ 33 ms
+    SyncCheckpointer slow(state, device_slow, config);
+    state.stamp(2);
+    slow.request_checkpoint(2);
+
+    EXPECT_GT(slow.stats().stall_time,
+              fast.stats().stall_time + 0.02);
+}
+
+TEST(CheckFreqTest, PersistsLatestOfManyCheckpoints)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    MemStorage device(device_bytes());
+    {
+        CheckFreqCheckpointer checkpointer(state, device);
+        for (std::uint64_t i = 1; i <= 8; ++i) {
+            checkpointer.before_update(i);
+            state.stamp(i);
+            checkpointer.request_checkpoint(i);
+        }
+        checkpointer.finish();
+        EXPECT_EQ(checkpointer.stats().completed, 8u);
+    }
+    std::vector<std::uint8_t> buffer;
+    const auto recovered = recover_to_buffer(device, &buffer);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->iteration, 8u);
+    EXPECT_EQ(TrainingState::verify_buffer(buffer.data(), buffer.size()),
+              std::make_optional<std::uint64_t>(8));
+}
+
+TEST(CheckFreqTest, SecondCheckpointWaitsForFirstPersist)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    // Slow persist channel: ~33 ms per 64 KiB checkpoint.
+    ThrottledStorage device(std::make_unique<MemStorage>(device_bytes()),
+                            0, 2e6, 0);
+    CheckFreqCheckpointer checkpointer(state, device);
+    state.stamp(1);
+    checkpointer.request_checkpoint(1);
+    Stopwatch watch;
+    state.stamp(2);
+    checkpointer.request_checkpoint(2);  // must stall behind persist 1
+    EXPECT_GE(watch.elapsed(), 0.02);
+    checkpointer.finish();
+    EXPECT_GE(checkpointer.stats().stall_time, 0.02);
+}
+
+TEST(CheckFreqTest, PCcheckDoesNotStallWhereCheckFreqDoes)
+{
+    // Identical slow-persist setup; PCcheck's request returns without
+    // waiting for the previous persist (the headline difference).
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    ThrottledStorage device(
+        std::make_unique<MemStorage>(
+            SlotStore::required_size(3, kStateBytes)),
+        0, 2e6, 0);
+    PCcheckConfig config;
+    config.concurrent_checkpoints = 2;
+    PCcheckCheckpointer checkpointer(state, device, config);
+    state.stamp(1);
+    checkpointer.request_checkpoint(1);
+    checkpointer.before_update(2);
+    state.stamp(2);
+    Stopwatch watch;
+    checkpointer.request_checkpoint(2);
+    EXPECT_LT(watch.elapsed(), 0.01);  // no persist-completion wait
+    checkpointer.finish();
+}
+
+TEST(GpmTest, StallsTrainingForWholeCheckpoint)
+{
+    // PCIe throttled so the direct copy takes a visible time.
+    SimGpu gpu(gpu_config(5e6));  // 64 KiB ≈ 13 ms
+    TrainingState state(gpu, kStateBytes);
+    MemStorage device(device_bytes());
+    GpmCheckpointer checkpointer(state, device);
+    state.stamp(4);
+    Stopwatch watch;
+    checkpointer.request_checkpoint(4);
+    EXPECT_GE(watch.elapsed(), 0.01);
+    const auto stats = checkpointer.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_GE(stats.stall_time, 0.01);
+
+    std::vector<std::uint8_t> buffer;
+    const auto recovered = recover_to_buffer(device, &buffer);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->iteration, 4u);
+    EXPECT_EQ(TrainingState::verify_buffer(buffer.data(), buffer.size()),
+              std::make_optional<std::uint64_t>(4));
+}
+
+TEST(GeminiTest, SnapshotsLandOnPeerMemory)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    NetworkConfig net_config;
+    net_config.nodes = 2;
+    net_config.nic_bytes_per_sec = 0;
+    net_config.latency = 0;
+    SimNetwork network(net_config);
+    MemStorage peer_memory(kStateBytes);
+    {
+        GeminiCheckpointer checkpointer(state, network, 0, 1, peer_memory);
+        for (std::uint64_t i = 1; i <= 5; ++i) {
+            checkpointer.before_update(i);
+            state.stamp(i);
+            checkpointer.request_checkpoint(i);
+        }
+        checkpointer.finish();
+        EXPECT_EQ(checkpointer.stats().completed, 5u);
+        EXPECT_EQ(checkpointer.latest_remote_iteration(), 5u);
+    }
+    EXPECT_EQ(TrainingState::verify_buffer(peer_memory.raw(), kStateBytes),
+              std::make_optional<std::uint64_t>(5));
+}
+
+TEST(GeminiTest, NetworkBandwidthGatesNextCheckpoint)
+{
+    SimGpu gpu(gpu_config());
+    TrainingState state(gpu, kStateBytes);
+    NetworkConfig net_config;
+    net_config.nodes = 2;
+    net_config.nic_bytes_per_sec = 2e6;  // 64 KiB ≈ 33 ms
+    net_config.latency = 0;
+    SimNetwork network(net_config);
+    MemStorage peer_memory(kStateBytes);
+    GeminiCheckpointer checkpointer(state, network, 0, 1, peer_memory);
+    state.stamp(1);
+    checkpointer.request_checkpoint(1);
+    Stopwatch watch;
+    state.stamp(2);
+    checkpointer.request_checkpoint(2);  // waits for transfer 1
+    EXPECT_GE(watch.elapsed(), 0.02);
+    checkpointer.finish();
+}
+
+/** End-to-end sanity: under a fast device all baselines keep training
+ *  correct and complete the requested checkpoints. */
+TEST(BaselinesIntegrationTest, AllSystemsTrainAndPersist)
+{
+    const ScaledModel model =
+        scale_model(model_by_name("vgg16"), ScaleFactors{60.0, 20000.0});
+
+    for (int system = 0; system < 3; ++system) {
+        SimGpu gpu(gpu_config());
+        TrainingState state(gpu, kStateBytes);
+        MemStorage device(device_bytes());
+        TrainingLoop loop(gpu, state, model);
+        std::unique_ptr<Checkpointer> checkpointer;
+        switch (system) {
+          case 0:
+            checkpointer =
+                std::make_unique<SyncCheckpointer>(state, device);
+            break;
+          case 1:
+            checkpointer =
+                std::make_unique<CheckFreqCheckpointer>(state, device);
+            break;
+          case 2:
+            checkpointer = std::make_unique<GpmCheckpointer>(state, device);
+            break;
+        }
+        const TrainingResult result = loop.run(20, 5, *checkpointer);
+        EXPECT_EQ(result.checkpointer.completed, 4u);
+        std::vector<std::uint8_t> buffer;
+        const auto recovered = recover_to_buffer(device, &buffer);
+        ASSERT_TRUE(recovered.has_value());
+        EXPECT_EQ(recovered->iteration, 20u);
+    }
+}
+
+}  // namespace
+}  // namespace pccheck

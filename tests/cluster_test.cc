@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the pipeline-parallel cluster harness: node scaling,
+ * activation traffic on the shared fabric, per-node checkpointer
+ * wiring, and the rank-0 consistency result (TEST_P over cluster
+ * sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/slot_store.h"
+#include "storage/mem_storage.h"
+#include "trainsim/checkpointer.h"
+
+namespace pccheck {
+namespace {
+
+ClusterConfig
+base_config(int nodes)
+{
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.stage_time = 0.002;
+    config.partition_bytes = 16 * 1024;
+    config.activation_bytes = 1024;
+    config.gpu.memory_bytes = kMiB;
+    config.gpu.pcie_bytes_per_sec = 0;
+    config.network.nic_bytes_per_sec = 0;
+    config.network.latency = 0;
+    config.coordinate = false;
+    return config;
+}
+
+PipelineCluster::Factory
+none_factory()
+{
+    return [](const ClusterNode&) -> PipelineCluster::NodeCheckpointer {
+        return {std::make_unique<NoCheckpointer>(), nullptr};
+    };
+}
+
+class ClusterSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSizeProperty, AllNodesTrainInLockstep)
+{
+    const int nodes = GetParam();
+    PipelineCluster cluster(base_config(nodes));
+    const ClusterResult result = cluster.run(10, 0, none_factory());
+    EXPECT_GT(result.throughput, 0);
+    EXPECT_EQ(result.node_stats.size(),
+              static_cast<std::size_t>(nodes));
+    for (int rank = 0; rank < nodes; ++rank) {
+        EXPECT_EQ(cluster.state(rank).iteration(), 10u);
+    }
+}
+
+TEST_P(ClusterSizeProperty, CoordinationYieldsCommonIteration)
+{
+    const int nodes = GetParam();
+    ClusterConfig config = base_config(nodes);
+    config.coordinate = true;
+    PipelineCluster cluster(config);
+    std::vector<std::unique_ptr<MemStorage>> devices(
+        static_cast<std::size_t>(nodes));
+    const auto factory =
+        [&](const ClusterNode& node) -> PipelineCluster::NodeCheckpointer {
+        const auto index = static_cast<std::size_t>(node.rank);
+        devices[index] = std::make_unique<MemStorage>(
+            SlotStore::required_size(3, config.partition_bytes));
+        PCcheckConfig pc;
+        auto checkpointer = std::make_unique<PCcheckCheckpointer>(
+            *node.state, *devices[index], pc);
+        PCcheckCheckpointer* raw = checkpointer.get();
+        return {std::move(checkpointer), [raw] {
+                    const auto latest =
+                        raw->commit_protocol().latest_pointer();
+                    return latest ? latest->iteration : 0;
+                }};
+    };
+    const ClusterResult result = cluster.run(12, 4, factory);
+    EXPECT_GT(result.consistent_iteration, 0u);
+    EXPECT_EQ(result.consistent_iteration % 4, 0u);
+    // Every node's durable partition covers the agreed iteration.
+    for (int rank = 0; rank < nodes; ++rank) {
+        std::vector<std::uint8_t> buffer;
+        const auto recovered = recover_to_buffer(
+            *devices[static_cast<std::size_t>(rank)], &buffer);
+        ASSERT_TRUE(recovered.has_value());
+        EXPECT_GE(recovered->iteration, result.consistent_iteration);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterSizeProperty,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(ClusterTest, ActivationTrafficSlowsPipeline)
+{
+    // With a slow NIC the per-iteration activation hop gates the
+    // pipeline rate; the cluster must expose that contention.
+    ClusterConfig fast = base_config(2);
+    PipelineCluster fast_cluster(fast);
+    const double fast_tp =
+        fast_cluster.run(20, 0, none_factory()).throughput;
+
+    ClusterConfig slow = base_config(2);
+    slow.activation_bytes = 64 * 1024;
+    slow.network.nic_bytes_per_sec = 16e6;  // 64 KiB → 4 ms per hop
+    PipelineCluster slow_cluster(slow);
+    const double slow_tp =
+        slow_cluster.run(20, 0, none_factory()).throughput;
+
+    EXPECT_LT(slow_tp, fast_tp * 0.7);
+}
+
+TEST(ClusterTest, GpuAccessorsWork)
+{
+    PipelineCluster cluster(base_config(2));
+    EXPECT_EQ(cluster.state(0).size(), 16u * 1024u);
+    EXPECT_EQ(cluster.state(1).size(), 16u * 1024u);
+    EXPECT_GE(cluster.network().nodes(), 2);
+    // Each node has its own GPU arena.
+    cluster.gpu(0).device_data(cluster.state(0).device_ptr())[0] = 1;
+    EXPECT_EQ(
+        cluster.gpu(1).device_data(cluster.state(1).device_ptr())[0],
+        cluster.gpu(1)
+            .device_data(cluster.state(1).device_ptr())[0]);
+}
+
+TEST(ClusterTest, StatsAggregatePerNode)
+{
+    ClusterConfig config = base_config(3);
+    PipelineCluster cluster(config);
+    std::vector<std::unique_ptr<MemStorage>> devices(3);
+    const auto factory =
+        [&](const ClusterNode& node) -> PipelineCluster::NodeCheckpointer {
+        const auto index = static_cast<std::size_t>(node.rank);
+        devices[index] = std::make_unique<MemStorage>(
+            SlotStore::required_size(3, config.partition_bytes));
+        PCcheckConfig pc;
+        return {std::make_unique<PCcheckCheckpointer>(
+                    *node.state, *devices[index], pc),
+                nullptr};
+    };
+    const ClusterResult result = cluster.run(9, 3, factory);
+    for (const auto& stats : result.node_stats) {
+        EXPECT_EQ(stats.requested, 3u);
+        EXPECT_EQ(stats.completed, 3u);
+    }
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Tests for the extension modules: adaptive interval control (§3.4
+ * future work), checkpoint sharding (§3.1 data+pipeline parallelism),
+ * the JIT-checkpointing goodput model (§2.2), the GPUDirect-style
+ * direct path (§3.3 ablation), CXL-attached PMEM (§2.3), and the
+ * metrics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/sharding.h"
+#include "core/slot_store.h"
+#include "goodput/jit.h"
+#include "storage/crash_sim.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled_storage.h"
+#include "trace/preemption_trace.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "trainsim/training_state.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+namespace {
+
+GpuConfig
+fast_gpu(Bytes memory = 2 * kMiB)
+{
+    GpuConfig config;
+    config.memory_bytes = memory;
+    config.pcie_bytes_per_sec = 0;
+    return config;
+}
+
+// ------------------------------------------------------------- adaptive
+
+TEST(AdaptiveControllerTest, Eq3Reevaluation)
+{
+    AdaptiveController::Options options;
+    options.max_overhead = 1.05;
+    options.concurrent = 2;
+    options.ewma_alpha = 1.0;  // no smoothing: direct response
+    options.hysteresis = 0.0;
+    AdaptiveController controller(options, 10);
+    // Tw = 2.1 s, t = 0.1 s: f* = ceil(2.1 / (2·1.05·0.1)) = 10.
+    controller.observe_iteration(0.1);
+    controller.observe_checkpoint(2.1);
+    EXPECT_EQ(controller.interval(), 10u);
+    // Iterations slow 3×: f* = ceil(2.1 / 0.63) = 4.
+    controller.observe_iteration(0.3);
+    EXPECT_EQ(controller.interval(), 4u);
+    // Storage gets congested, Tw 4×: f* = ceil(8.4/0.63) = 14.
+    controller.observe_checkpoint(8.4);
+    EXPECT_EQ(controller.interval(), 14u);
+    EXPECT_GE(controller.adaptations(), 2u);
+}
+
+TEST(AdaptiveControllerTest, HysteresisSuppressesSmallMoves)
+{
+    AdaptiveController::Options options;
+    options.ewma_alpha = 1.0;
+    options.hysteresis = 0.5;
+    AdaptiveController controller(options, 10);
+    controller.observe_iteration(0.1);
+    controller.observe_checkpoint(2.1);  // target 10 == current
+    controller.observe_checkpoint(2.4);  // target 12, within 50%
+    EXPECT_EQ(controller.interval(), 10u);
+    controller.observe_checkpoint(8.0);  // target 39: adapt
+    EXPECT_NE(controller.interval(), 10u);
+}
+
+TEST(AdaptiveControllerTest, ClampsToBounds)
+{
+    AdaptiveController::Options options;
+    options.ewma_alpha = 1.0;
+    options.hysteresis = 0.0;
+    options.min_interval = 5;
+    options.max_interval = 50;
+    AdaptiveController controller(options, 10);
+    controller.observe_iteration(1.0);
+    controller.observe_checkpoint(0.001);  // wants f*=1
+    EXPECT_EQ(controller.interval(), 5u);
+    controller.observe_checkpoint(10000.0);  // wants huge f*
+    EXPECT_EQ(controller.interval(), 50u);
+}
+
+TEST(AdaptiveCheckpointerTest, PacesInnerSystem)
+{
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, 32 * 1024);
+    MemStorage device(SlotStore::required_size(3, 32 * 1024));
+    PCcheckConfig config;
+    PCcheckCheckpointer inner(state, device, config);
+
+    AdaptiveController::Options options;
+    options.hysteresis = 10.0;  // effectively frozen at initial f
+    AdaptiveController controller(options, /*initial_interval=*/7);
+    AdaptiveCheckpointer adaptive(inner, controller);
+
+    const ScaledModel model =
+        scale_model(model_by_name("vgg16"), ScaleFactors{600.0, 30000.0});
+    TrainingLoop loop(gpu, state, model);
+    loop.run(21, /*request every iteration*/ 1, adaptive);
+    // Only iterations 7, 14, 21 actually checkpointed.
+    EXPECT_EQ(adaptive.checkpoints_taken(), 3u);
+    EXPECT_EQ(adaptive.stats().completed, 3u);
+}
+
+// ------------------------------------------------------------- sharding
+
+TEST(ShardingTest, PlanCoversStageExactly)
+{
+    const auto plan = plan_shards(100 * 4096, 3);
+    ASSERT_EQ(plan.size(), 3u);
+    Bytes expected_offset = 0;
+    Bytes total = 0;
+    for (const auto& shard : plan) {
+        EXPECT_EQ(shard.offset, expected_offset);
+        EXPECT_EQ(shard.offset % 4096, 0u);
+        expected_offset += shard.length;
+        total += shard.length;
+    }
+    EXPECT_EQ(total, 100u * 4096u);
+}
+
+TEST(ShardingTest, TooManyReplicasThrows)
+{
+    EXPECT_THROW(plan_shards(4096, 3), FatalError);
+}
+
+TEST(ShardingTest, ShardedCheckpointReassembles)
+{
+    constexpr Bytes kStage = 96 * 1024;
+    constexpr int kReplicas = 3;
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, kStage);
+    state.stamp(77);
+
+    const auto plan = plan_shards(kStage, kReplicas);
+    std::vector<std::unique_ptr<MemStorage>> devices;
+    for (int replica = 0; replica < kReplicas; ++replica) {
+        const auto& shard = plan[static_cast<std::size_t>(replica)];
+        devices.push_back(std::make_unique<MemStorage>(
+            SlotStore::required_size(3, shard.length)));
+        PCcheckConfig config;
+        config.region_offset = shard.offset;
+        config.region_bytes = shard.length;
+        PCcheckCheckpointer checkpointer(state, *devices.back(), config);
+        checkpointer.request_checkpoint(77);
+        checkpointer.finish();
+    }
+
+    std::vector<StorageDevice*> device_ptrs;
+    for (const auto& device : devices) {
+        device_ptrs.push_back(device.get());
+    }
+    const auto assembled = assemble_shards(device_ptrs, plan);
+    ASSERT_TRUE(assembled.has_value());
+    EXPECT_EQ(assembled->iteration, 77u);
+    EXPECT_EQ(assembled->data.size(), kStage);
+    EXPECT_EQ(TrainingState::verify_buffer(assembled->data.data(),
+                                           assembled->data.size()),
+              std::make_optional<std::uint64_t>(77));
+}
+
+TEST(ShardingTest, DisagreeingIterationsRejected)
+{
+    constexpr Bytes kStage = 64 * 1024;
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, kStage);
+    const auto plan = plan_shards(kStage, 2);
+    std::vector<std::unique_ptr<MemStorage>> devices;
+    for (int replica = 0; replica < 2; ++replica) {
+        const auto& shard = plan[static_cast<std::size_t>(replica)];
+        devices.push_back(std::make_unique<MemStorage>(
+            SlotStore::required_size(3, shard.length)));
+        // Replica 0 checkpoints iteration 10, replica 1 iteration 20.
+        state.stamp(replica == 0 ? 10 : 20);
+        PCcheckConfig config;
+        config.region_offset = shard.offset;
+        config.region_bytes = shard.length;
+        PCcheckCheckpointer checkpointer(state, *devices.back(), config);
+        checkpointer.request_checkpoint(state.iteration());
+        checkpointer.finish();
+    }
+    std::vector<StorageDevice*> device_ptrs = {devices[0].get(),
+                                               devices[1].get()};
+    EXPECT_FALSE(assemble_shards(device_ptrs, plan).has_value());
+}
+
+TEST(ShardingTest, ShardSurvivesCrash)
+{
+    constexpr Bytes kStage = 64 * 1024;
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, kStage);
+    state.stamp(5);
+    const auto plan = plan_shards(kStage, 2);
+    CrashSimStorage device(
+        SlotStore::required_size(3, plan[1].length),
+        StorageKind::kPmemNt, 3, 0.5);
+    {
+        PCcheckConfig config;
+        config.region_offset = plan[1].offset;
+        config.region_bytes = plan[1].length;
+        PCcheckCheckpointer checkpointer(state, device, config);
+        checkpointer.request_checkpoint(5);
+        checkpointer.finish();
+    }
+    device.crash();
+    std::vector<std::uint8_t> shard;
+    const auto recovered = recover_to_buffer(device, &shard);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(TrainingState::verify_buffer(shard.data(), shard.size(),
+                                           plan[1].offset),
+              std::make_optional<std::uint64_t>(5));
+}
+
+// ------------------------------------------------------------------ JIT
+
+TEST(JitGoodputTest, NoBurstsMeansNoFallbacks)
+{
+    PreemptionTrace trace;
+    trace.duration = 10000;
+    for (int i = 0; i < 10; ++i) {
+        trace.events.push_back({i * 1000.0, 1});  // single-VM losses
+    }
+    JitInputs inputs;
+    inputs.total_vms = 64;
+    inputs.replicas = 2;
+    inputs.throughput = 1.0;
+    inputs.jit_recovery = 10;
+    inputs.fallback_recovery = 5000;
+    Rng rng(1);
+    const auto result = replay_jit_goodput(trace, inputs, rng);
+    EXPECT_EQ(result.catastrophic_failures, 0u);
+    EXPECT_EQ(result.survivable_failures, 10u);
+    EXPECT_NEAR(result.goodput, (10000.0 - 100.0) / 10000.0, 1e-9);
+}
+
+TEST(JitGoodputTest, FullClusterLossIsCatastrophic)
+{
+    PreemptionTrace trace;
+    trace.duration = 10000;
+    trace.events.push_back({100.0, 64});  // everything preempted
+    JitInputs inputs;
+    inputs.total_vms = 64;
+    inputs.replicas = 2;
+    inputs.throughput = 1.0;
+    Rng rng(1);
+    const auto result = replay_jit_goodput(trace, inputs, rng);
+    EXPECT_EQ(result.catastrophic_failures, 1u);
+}
+
+TEST(JitGoodputTest, BulkierBurstsIncreaseCatastrophes)
+{
+    JitInputs inputs;
+    inputs.total_vms = 64;
+    inputs.replicas = 2;
+    inputs.throughput = 1.0;
+    auto catastrophes = [&inputs](int burst) {
+        SpotProfile profile = gcp_a100_profile();
+        profile.burst_probability = burst > 1 ? 0.5 : 0.0;
+        profile.burst_max = burst;
+        const auto trace = generate_trace(profile, 4);
+        Rng rng(4);
+        return replay_jit_goodput(trace, inputs, rng)
+            .catastrophic_failures;
+    };
+    EXPECT_LE(catastrophes(1), catastrophes(16));
+    EXPECT_LE(catastrophes(16), catastrophes(48));
+    EXPECT_GT(catastrophes(48), 0u);
+}
+
+// ---------------------------------------------------------- direct path
+
+TEST(DirectPathTest, ProducesValidCheckpoints)
+{
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, 64 * 1024);
+    MemStorage device(SlotStore::required_size(3, 64 * 1024));
+    PCcheckConfig config;
+    config.direct_to_storage = true;
+    PCcheckCheckpointer checkpointer(state, device, config);
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+        checkpointer.before_update(i);
+        state.stamp(i);
+        checkpointer.request_checkpoint(i);
+    }
+    checkpointer.finish();
+    EXPECT_EQ(checkpointer.stats().completed, 6u);
+    std::vector<std::uint8_t> buffer;
+    const auto recovered = recover_to_buffer(device, &buffer);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->iteration, 6u);
+    EXPECT_EQ(TrainingState::verify_buffer(buffer.data(), buffer.size()),
+              std::make_optional<std::uint64_t>(6));
+}
+
+TEST(DirectPathTest, StagedOverlapsButDirectDoesNot)
+{
+    // With a slow persist channel, the staged path releases the
+    // training loop after the fast GPU→DRAM copy, while the direct
+    // path keeps the snapshot (and hence before_update) blocked for
+    // the full device write.
+    auto run = [](bool direct) {
+        SimGpu gpu(fast_gpu());
+        TrainingState state(gpu, 64 * 1024);
+        ThrottledStorage device(
+            std::make_unique<MemStorage>(
+                SlotStore::required_size(3, 64 * 1024)),
+            /*write=*/2e6, /*persist=*/0, /*read=*/0);  // ~33 ms
+        PCcheckConfig config;
+        config.direct_to_storage = direct;
+        PCcheckCheckpointer checkpointer(state, device, config);
+        state.stamp(1);
+        checkpointer.request_checkpoint(1);
+        Stopwatch watch;
+        checkpointer.before_update(2);
+        const Seconds stall = watch.elapsed();
+        checkpointer.finish();
+        return stall;
+    };
+    const Seconds staged_stall = run(false);
+    const Seconds direct_stall = run(true);
+    EXPECT_GT(direct_stall, 0.02);
+    EXPECT_LT(staged_stall, direct_stall / 2);
+}
+
+// ------------------------------------------------------------------ CXL
+
+TEST(CxlTest, BehavesLikePmem)
+{
+    EXPECT_TRUE(needs_fence(StorageKind::kCxlPmem));
+    CrashSimStorage device(8192, StorageKind::kCxlPmem, 1, 0.0);
+    EXPECT_EQ(device.line_size(), 64u);
+    std::uint8_t byte = 0x42;
+    device.write(0, &byte, 1);
+    device.persist(0, 1);
+    device.crash();  // not fenced: lost
+    std::uint8_t out = 0xFF;
+    device.read(0, &out, 1);
+    EXPECT_EQ(out, 0);
+}
+
+TEST(CxlTest, BandwidthBelowLocalPmem)
+{
+    const auto cxl = paper_bandwidth(StorageKind::kCxlPmem);
+    const auto local = paper_bandwidth(StorageKind::kPmemNt);
+    EXPECT_LT(cxl.write_bytes_per_sec, local.write_bytes_per_sec);
+    EXPECT_GT(cxl.write_bytes_per_sec, 0);
+}
+
+TEST(CxlTest, EndToEndCheckpointing)
+{
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, 32 * 1024);
+    CrashSimStorage device(SlotStore::required_size(3, 32 * 1024),
+                           StorageKind::kCxlPmem, 2, 0.5);
+    {
+        PCcheckConfig config;
+        PCcheckCheckpointer checkpointer(state, device, config);
+        for (std::uint64_t i = 1; i <= 4; ++i) {
+            checkpointer.before_update(i);
+            state.stamp(i);
+            checkpointer.request_checkpoint(i);
+        }
+        checkpointer.finish();
+    }
+    device.crash();
+    std::vector<std::uint8_t> buffer;
+    const auto recovered = recover_to_buffer(device, &buffer);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_GE(recovered->iteration, 1u);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAccumulates)
+{
+    MetricsRegistry registry;
+    Counter& counter = registry.counter("test.counter");
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+    // Same name returns the same counter.
+    EXPECT_EQ(registry.counter("test.counter").value(), 42u);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue)
+{
+    MetricsRegistry registry;
+    registry.gauge("test.gauge").set(1.5);
+    registry.gauge("test.gauge").set(2.5);
+    EXPECT_DOUBLE_EQ(registry.gauge("test.gauge").value(), 2.5);
+}
+
+TEST(MetricsTest, SnapshotAndDumpSorted)
+{
+    MetricsRegistry registry;
+    registry.counter("b.count").add(2);
+    registry.counter("a.count").add(1);
+    registry.gauge("c.gauge").set(3);
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 3u);
+    EXPECT_EQ(snapshot[0].first, "a.count");
+    EXPECT_EQ(snapshot[1].first, "b.count");
+    std::ostringstream oss;
+    registry.dump(oss);
+    EXPECT_NE(oss.str().find("a.count = 1"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroes)
+{
+    MetricsRegistry registry;
+    registry.counter("x").add(9);
+    registry.reset();
+    EXPECT_EQ(registry.counter("x").value(), 0u);
+}
+
+TEST(MetricsTest, OrchestratorPublishesMetrics)
+{
+    const std::uint64_t before = MetricsRegistry::global()
+                                     .counter("pccheck.checkpoints.completed")
+                                     .value();
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, 16 * 1024);
+    MemStorage device(SlotStore::required_size(3, 16 * 1024));
+    PCcheckConfig config;
+    PCcheckCheckpointer checkpointer(state, device, config);
+    state.stamp(1);
+    checkpointer.request_checkpoint(1);
+    checkpointer.finish();
+    EXPECT_EQ(MetricsRegistry::global()
+                  .counter("pccheck.checkpoints.completed")
+                  .value(),
+              before + 1);
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the goodput module: §4.2 recovery bounds, §5.2.3 replay,
+ * Table 1 footprints, and the analytical throughput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "goodput/analytic.h"
+#include "goodput/footprint.h"
+#include "goodput/goodput.h"
+#include "goodput/recovery_model.h"
+#include "trace/preemption_trace.h"
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+TEST(RecoveryModelTest, PaperBounds)
+{
+    RecoveryModelInputs in;
+    in.iteration_time = 0.1;
+    in.interval = 10;
+    in.checkpoint_time = 0.5;  // Tw/t = 5 iterations
+    in.load_time = 2.0;
+    in.concurrent = 2;
+    // PCcheck: l + f·t + t·min(N·f, Tw/t) = 2 + 1 + 0.1·min(20,5) = 3.5.
+    EXPECT_NEAR(pccheck_max_recovery(in), 3.5, 1e-9);
+    // CheckFreq/Gemini: l + 2·f·t = 4.
+    EXPECT_NEAR(one_async_max_recovery(in), 4.0, 1e-9);
+    // GPM: l + f·t = 3.
+    EXPECT_NEAR(sync_max_recovery(in), 3.0, 1e-9);
+}
+
+TEST(RecoveryModelTest, PccheckBoundCappedByConcurrency)
+{
+    RecoveryModelInputs in;
+    in.iteration_time = 1.0;
+    in.interval = 2;
+    in.checkpoint_time = 100.0;  // Tw/t = 100 iterations, N·f = 4
+    in.load_time = 0.0;
+    in.concurrent = 2;
+    EXPECT_NEAR(pccheck_max_recovery(in), 2.0 + 4.0, 1e-9);
+}
+
+TEST(RecoveryModelTest, ExpectedIsLoadPlusHalfSpan)
+{
+    RecoveryModelInputs in;
+    in.iteration_time = 0.1;
+    in.interval = 10;
+    in.checkpoint_time = 0.5;
+    in.load_time = 2.0;
+    in.concurrent = 2;
+    EXPECT_NEAR(expected_recovery("gpm", in), 2.0 + 0.5, 1e-9);
+    EXPECT_NEAR(expected_recovery("checkfreq", in), 2.0 + 1.0, 1e-9);
+    EXPECT_NEAR(expected_recovery("pccheck", in), 2.0 + 0.75, 1e-9);
+    EXPECT_THROW(expected_recovery("unknown", in), FatalError);
+}
+
+TEST(GoodputTest, NoFailuresMeansFullThroughput)
+{
+    PreemptionTrace trace;
+    trace.duration = 1000.0;
+    GoodputInputs inputs;
+    inputs.throughput = 2.0;
+    inputs.expected_recovery = 100.0;
+    const auto result = replay_goodput(trace, inputs);
+    EXPECT_DOUBLE_EQ(result.goodput, 2.0);
+    EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(GoodputTest, FailuresReduceGoodputProportionally)
+{
+    PreemptionTrace trace;
+    trace.duration = 1000.0;
+    trace.events = {{100, 1}, {500, 1}};
+    GoodputInputs inputs;
+    inputs.throughput = 2.0;
+    inputs.expected_recovery = 94.5;
+    inputs.reattach_time = 5.5;
+    // rec = 2 × 100 = 200 → prog = 800 → goodput = 1600/1000 = 1.6.
+    const auto result = replay_goodput(trace, inputs);
+    EXPECT_DOUBLE_EQ(result.goodput, 1.6);
+    EXPECT_DOUBLE_EQ(result.recovery_total, 200.0);
+}
+
+TEST(GoodputTest, RecoveryCannotExceedDuration)
+{
+    PreemptionTrace trace;
+    trace.duration = 100.0;
+    for (int i = 0; i < 50; ++i) {
+        trace.events.push_back({i * 2.0, 1});
+    }
+    GoodputInputs inputs;
+    inputs.throughput = 1.0;
+    inputs.expected_recovery = 10.0;
+    const auto result = replay_goodput(trace, inputs);
+    EXPECT_DOUBLE_EQ(result.goodput, 0.0);  // clamped, not negative
+}
+
+TEST(FootprintTest, MatchesTable1)
+{
+    const auto checkfreq = model_footprint("checkfreq");
+    EXPECT_DOUBLE_EQ(checkfreq.dram_max, 1.0);
+    EXPECT_DOUBLE_EQ(checkfreq.storage, 2.0);
+
+    const auto gpm = model_footprint("gpm");
+    EXPECT_DOUBLE_EQ(gpm.dram_max, 0.0);
+    EXPECT_DOUBLE_EQ(gpm.storage, 2.0);
+
+    const auto gemini = model_footprint("gemini", 1, 0.03);
+    EXPECT_DOUBLE_EQ(gemini.storage, 0.0);
+    EXPECT_GT(gemini.gpu_mem, 1.0);
+
+    const auto pccheck = model_footprint("pccheck", 3);
+    EXPECT_DOUBLE_EQ(pccheck.storage, 4.0);  // (N+1)·m
+    EXPECT_DOUBLE_EQ(pccheck.dram_min, 1.0);
+    EXPECT_DOUBLE_EQ(pccheck.dram_max, 2.0);
+
+    EXPECT_THROW(model_footprint("nope"), FatalError);
+}
+
+AnalyticInputs
+opt13b_inputs(std::uint64_t interval)
+{
+    AnalyticInputs in;
+    in.iteration_time = 2.0;
+    in.checkpoint_bytes = static_cast<Bytes>(16.2e9);
+    in.interval = interval;
+    in.per_writer_bytes_per_sec = 1.2e9;
+    return in;
+}
+
+TEST(AnalyticTest, IdealIsUnaffectedByInterval)
+{
+    EXPECT_DOUBLE_EQ(analytic_throughput("ideal", opt13b_inputs(1)), 0.5);
+    EXPECT_DOUBLE_EQ(analytic_throughput("ideal", opt13b_inputs(100)),
+                     0.5);
+}
+
+TEST(AnalyticTest, OrderingAtHighFrequency)
+{
+    // Checkpointing every iteration: PCcheck > CheckFreq > sync, and
+    // every system is below ideal.
+    const auto in = opt13b_inputs(1);
+    const double ideal = analytic_throughput("ideal", in);
+    const double pccheck = analytic_throughput("pccheck", in);
+    const double checkfreq = analytic_throughput("checkfreq", in);
+    const double sync = analytic_throughput("sync", in);
+    EXPECT_LT(pccheck, ideal);
+    EXPECT_GT(pccheck, checkfreq);
+    EXPECT_GT(checkfreq, sync);
+}
+
+TEST(AnalyticTest, AllSystemsApproachIdealAtLowFrequency)
+{
+    const auto in = opt13b_inputs(1000);
+    for (const char* system :
+         {"pccheck", "checkfreq", "gpm", "gemini", "sync"}) {
+        const double throughput = analytic_throughput(system, in);
+        EXPECT_GT(throughput, 0.45) << system;
+        EXPECT_LE(throughput, 0.5 + 1e-9) << system;
+    }
+}
+
+TEST(AnalyticTest, ConcurrencyRaisesPccheckThroughput)
+{
+    auto in = opt13b_inputs(5);
+    in.concurrent = 1;
+    const double n1 = analytic_throughput("pccheck", in);
+    in.concurrent = 4;
+    const double n4 = analytic_throughput("pccheck", in);
+    EXPECT_GE(n4, n1);
+}
+
+TEST(AnalyticTest, GeminiGatedByNetworkBandwidth)
+{
+    // At f=1 the transfer gates the period (c + m/net > f·t).
+    auto in = opt13b_inputs(1);
+    in.network_bytes_per_sec = 1.88e9;
+    const double slow_net = analytic_throughput("gemini", in);
+    in.network_bytes_per_sec = 100e9;  // datacenter-grade network
+    const double fast_net = analytic_throughput("gemini", in);
+    EXPECT_GT(fast_net, slow_net);
+}
+
+TEST(AnalyticTest, CheckpointTimeComposition)
+{
+    const auto in = opt13b_inputs(10);
+    // CheckFreq pays serialization; PCcheck does not.
+    EXPECT_GT(analytic_checkpoint_time("checkfreq", in),
+              analytic_checkpoint_time("pccheck", in));
+    // Gemini writes no storage: Tw = m / network.
+    EXPECT_NEAR(analytic_checkpoint_time("gemini", in), 16.2 / 1.88,
+                0.01);
+}
+
+TEST(AnalyticGoodputIntegrationTest, PccheckWinsOnSpotTrace)
+{
+    // Fig. 2 shape: on the GCP trace PCcheck's goodput at f=10 beats
+    // CheckFreq's at any comparable frequency.
+    const auto trace = generate_trace(gcp_a100_profile(), 42);
+    auto evaluate = [&trace](const std::string& system,
+                             std::uint64_t interval) {
+        const auto in = opt13b_inputs(interval);
+        RecoveryModelInputs rec;
+        rec.iteration_time = in.iteration_time;
+        rec.interval = interval;
+        rec.checkpoint_time = analytic_checkpoint_time(
+            system == "ideal" ? "pccheck" : system, in);
+        rec.load_time = 16.2 / 0.9;  // m / read bandwidth
+        rec.concurrent = in.concurrent;
+        GoodputInputs gp;
+        gp.throughput = analytic_throughput(system, in);
+        gp.expected_recovery = expected_recovery(
+            system == "ideal" ? "pccheck" : system, rec);
+        return replay_goodput(trace, gp).goodput;
+    };
+    const double pccheck = evaluate("pccheck", 10);
+    const double checkfreq = evaluate("checkfreq", 10);
+    EXPECT_GT(pccheck, checkfreq);
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the simulated GPU: allocation, DMA copies (sync/async,
+ * pinned/unpinned), compute-engine contention, and the GPM-style copy
+ * kernel that stalls compute.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "storage/mem_storage.h"
+#include "util/check.h"
+#include "util/clock.h"
+
+namespace pccheck {
+namespace {
+
+GpuConfig
+fast_config(Bytes memory = 8 * kMiB)
+{
+    GpuConfig config;
+    config.memory_bytes = memory;
+    config.pcie_bytes_per_sec = 0;  // unthrottled unless a test sets it
+    return config;
+}
+
+TEST(SimGpuTest, AllocTracksUsage)
+{
+    SimGpu gpu(fast_config());
+    const DevPtr a = gpu.alloc(1000);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.size, 1000u);
+    const DevPtr b = gpu.alloc(1000);
+    EXPECT_NE(a.offset, b.offset);
+    EXPECT_GE(gpu.memory_used(), 2000u);
+    gpu.reset_allocations();
+    EXPECT_EQ(gpu.memory_used(), 0u);
+}
+
+TEST(SimGpuTest, AllocExhaustionThrows)
+{
+    SimGpu gpu(fast_config(1 * kMiB));
+    gpu.alloc(kMiB / 2);
+    EXPECT_THROW(gpu.alloc(kMiB), FatalError);
+}
+
+TEST(SimGpuTest, CopyRoundTrip)
+{
+    SimGpu gpu(fast_config());
+    const DevPtr ptr = gpu.alloc(4096);
+    std::vector<std::uint8_t> in(4096);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    gpu.copy_to_device(ptr, 0, in.data(), in.size());
+    std::vector<std::uint8_t> out(4096, 0);
+    gpu.copy_to_host(out.data(), ptr, 0, out.size());
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(gpu.pcie_bytes_moved(), 8192u);
+}
+
+TEST(SimGpuTest, PartialOffsetCopy)
+{
+    SimGpu gpu(fast_config());
+    const DevPtr ptr = gpu.alloc(4096);
+    std::uint8_t byte = 0x5A;
+    gpu.copy_to_device(ptr, 1000, &byte, 1);
+    std::uint8_t out = 0;
+    gpu.copy_to_host(&out, ptr, 1000, 1);
+    EXPECT_EQ(out, 0x5A);
+}
+
+TEST(SimGpuTest, PcieThrottlePacesCopies)
+{
+    GpuConfig config = fast_config();
+    config.pcie_bytes_per_sec = 10e6;  // 10 MB/s
+    SimGpu gpu(config);
+    const DevPtr ptr = gpu.alloc(200'000);
+    std::vector<std::uint8_t> host(200'000);
+    Stopwatch watch;
+    gpu.copy_to_host(host.data(), ptr, 0, host.size());  // ~20 ms
+    EXPECT_GE(watch.elapsed(), 0.015);
+}
+
+TEST(SimGpuTest, UnpinnedCopySlower)
+{
+    GpuConfig config = fast_config();
+    config.pcie_bytes_per_sec = 50e6;
+    config.unpinned_penalty = 0.5;
+    SimGpu gpu(config);
+    const DevPtr ptr = gpu.alloc(500'000);
+    std::vector<std::uint8_t> host(500'000);
+
+    Stopwatch pinned_watch;
+    gpu.copy_to_host(host.data(), ptr, 0, host.size(), /*pinned=*/true);
+    const Seconds pinned_time = pinned_watch.elapsed();
+
+    Stopwatch unpinned_watch;
+    gpu.copy_to_host(host.data(), ptr, 0, host.size(), /*pinned=*/false);
+    const Seconds unpinned_time = unpinned_watch.elapsed();
+
+    EXPECT_GT(unpinned_time, pinned_time * 1.4);
+}
+
+TEST(SimGpuTest, AsyncCopyCompletes)
+{
+    SimGpu gpu(fast_config());
+    const DevPtr ptr = gpu.alloc(4096);
+    std::vector<std::uint8_t> in(4096, 0x42);
+    gpu.copy_to_device(ptr, 0, in.data(), in.size());
+    std::vector<std::uint8_t> out(4096, 0);
+    auto future = gpu.copy_to_host_async(out.data(), ptr, 0, out.size());
+    future.get();
+    EXPECT_EQ(out, in);
+}
+
+TEST(SimGpuTest, KernelsSerializeOnComputeEngine)
+{
+    SimGpu gpu(fast_config());
+    Stopwatch watch;
+    std::thread other([&gpu] { gpu.launch_kernel(0.03); });
+    MonotonicClock::instance().sleep_for(0.005);  // let it start
+    gpu.launch_kernel(0.005);  // must wait for the other kernel
+    other.join();
+    EXPECT_GE(watch.elapsed(), 0.03);
+}
+
+TEST(SimGpuTest, DmaCopyOverlapsCompute)
+{
+    GpuConfig config = fast_config();
+    config.pcie_bytes_per_sec = 10e6;
+    SimGpu gpu(config);
+    const DevPtr ptr = gpu.alloc(200'000);
+    std::vector<std::uint8_t> host(200'000);
+    Stopwatch watch;
+    std::thread compute([&gpu] { gpu.launch_kernel(0.02); });
+    gpu.copy_to_host(host.data(), ptr, 0, host.size());  // ~20 ms DMA
+    compute.join();
+    // Overlapped: total well below the 40 ms serial sum.
+    EXPECT_LT(watch.elapsed(), 0.036);
+}
+
+TEST(SimGpuTest, KernelCopyToStorageHoldsCompute)
+{
+    GpuConfig config = fast_config();
+    config.pcie_bytes_per_sec = 10e6;
+    config.kernel_copy_factor = 1.0;
+    SimGpu gpu(config);
+    const DevPtr ptr = gpu.alloc(200'000);
+    MemStorage storage(200'000);
+
+    Stopwatch watch;
+    std::thread copier([&] {
+        gpu.kernel_copy_to_storage(storage, 0, ptr, 0, 200'000);
+    });
+    MonotonicClock::instance().sleep_for(0.004);
+    gpu.launch_kernel(0.001);  // blocked behind the ~20 ms copy kernel
+    copier.join();
+    EXPECT_GE(watch.elapsed(), 0.02);
+}
+
+TEST(SimGpuTest, DirectCopyToStorageBypassesCompute)
+{
+    GpuConfig config = fast_config();
+    config.pcie_bytes_per_sec = 10e6;
+    SimGpu gpu(config);
+    const DevPtr ptr = gpu.alloc(200'000);
+    for (Bytes i = 0; i < 200'000; ++i) {
+        gpu.device_data(ptr)[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    MemStorage storage(200'000);
+    Stopwatch watch;
+    std::thread copier([&] {
+        gpu.direct_copy_to_storage(storage, 0, ptr, 0, 200'000);
+    });
+    // Unlike the GPM copy kernel, a P2P DMA leaves the compute engine
+    // free: this kernel must not wait for the ~20 ms transfer.
+    MonotonicClock::instance().sleep_for(0.002);
+    Stopwatch kernel_watch;
+    gpu.launch_kernel(0.001);
+    EXPECT_LT(kernel_watch.elapsed(), 0.01);
+    copier.join();
+    EXPECT_GE(watch.elapsed(), 0.015);  // PCIe still paid
+    std::vector<std::uint8_t> out(200'000);
+    storage.read(0, out.data(), out.size());
+    EXPECT_EQ(out[123], static_cast<std::uint8_t>(123 * 3));
+}
+
+TEST(SimGpuTest, DeviceDataDirectAccess)
+{
+    SimGpu gpu(fast_config());
+    const DevPtr ptr = gpu.alloc(128);
+    gpu.device_data(ptr)[5] = 0x77;
+    std::uint8_t out = 0;
+    gpu.copy_to_host(&out, ptr, 5, 1);
+    EXPECT_EQ(out, 0x77);
+}
+
+}  // namespace
+}  // namespace pccheck

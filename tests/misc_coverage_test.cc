@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Coverage for the remaining small surfaces: logging levels, config
+ * formatting, histogram/timeline rendering, CSV arity enforcement,
+ * adaptive-controller edge states, and clock composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/adaptive.h"
+#include "core/config.h"
+#include "sim/timeline.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace pccheck {
+namespace {
+
+TEST(LoggingTest, LevelGateIsGlobal)
+{
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(before);
+}
+
+TEST(ConfigTest, ToStringDescribesPipelining)
+{
+    PCcheckConfig config;
+    config.concurrent_checkpoints = 3;
+    config.writers_per_checkpoint = 2;
+    EXPECT_NE(config.to_string().find("N=3"), std::string::npos);
+    EXPECT_NE(config.to_string().find("non-pipelined"),
+              std::string::npos);
+    config.chunk_bytes = 4 * kMiB;
+    EXPECT_NE(config.to_string().find("pipelined(4.00 MiB)"),
+              std::string::npos);
+}
+
+TEST(ConfigTest, ValidationCatchesEachField)
+{
+    PCcheckConfig config;
+    config.concurrent_checkpoints = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+    config = PCcheckConfig{};
+    config.writers_per_checkpoint = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+    config = PCcheckConfig{};
+    config.per_writer_bytes_per_sec = -1;
+    EXPECT_THROW(config.validate(), FatalError);
+    config = PCcheckConfig{};
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(HistogramTest, ToStringReportsQuantiles)
+{
+    Histogram hist(0, 10, 10);
+    for (int i = 0; i < 100; ++i) {
+        hist.add(i % 10 + 0.5);
+    }
+    const std::string text = hist.to_string();
+    EXPECT_NE(text.find("n=100"), std::string::npos);
+    EXPECT_NE(text.find("p50"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchAborts)
+{
+    CsvWriter writer("/tmp/pccheck_misc_csv.csv", {"a", "b"});
+    EXPECT_DEATH(writer.row({"only-one"}), "arity");
+}
+
+TEST(CsvTest, UnwritablePathThrows)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), FatalError);
+}
+
+TEST(AdaptiveControllerTest, NoObservationsKeepsInitialInterval)
+{
+    AdaptiveController controller({}, 17);
+    EXPECT_EQ(controller.interval(), 17u);
+    // Only one side observed: still no adaptation.
+    controller.observe_iteration(0.1);
+    EXPECT_EQ(controller.interval(), 17u);
+    EXPECT_EQ(controller.adaptations(), 0u);
+    EXPECT_DOUBLE_EQ(controller.tw_estimate(), 0.0);
+}
+
+TEST(AdaptiveControllerTest, NonPositiveObservationsIgnored)
+{
+    AdaptiveController controller({}, 10);
+    controller.observe_iteration(-1.0);
+    controller.observe_checkpoint(0.0);
+    EXPECT_EQ(controller.interval(), 10u);
+}
+
+TEST(ClockTest, ScaledClockComposition)
+{
+    const auto& base = MonotonicClock::instance();
+    ScaledClock x10(base, 10.0);
+    ScaledClock x100(x10, 10.0);  // 100× total
+    const Seconds a = x100.now();
+    base.sleep_for(0.002);
+    EXPECT_GE(x100.now() - a, 0.15);
+    EXPECT_DOUBLE_EQ(x10.factor(), 10.0);
+}
+
+TEST(TimelineTest, RenderScalesWithStep)
+{
+    TimelineParams params;
+    params.iterations = 2;
+    const Timeline timeline =
+        simulate_timeline(Discipline::kSync, params);
+    const std::string coarse = timeline.render(1.0);
+    const std::string fine = timeline.render(0.25);
+    EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(TimelineTest, ZeroIntervalMeansNoCheckpoints)
+{
+    TimelineParams params;
+    params.iterations = 5;
+    params.interval = 0;
+    const Timeline timeline =
+        simulate_timeline(Discipline::kPCcheck, params);
+    EXPECT_EQ(timeline.checkpoints, 0u);
+    EXPECT_NEAR(timeline.makespan, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pccheck

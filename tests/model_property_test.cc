@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Parameterized property sweeps over the analytical layers: the
+ * throughput model (goodput/analytic), the §4.2 recovery bounds, the
+ * §5.2.3 goodput replay, the §3.4 tuner formula, and the timeline
+ * scheduler — cross-cutting invariants that must hold for every
+ * (system, model, interval) combination, not just the figures'
+ * sampled points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "goodput/analytic.h"
+#include "goodput/goodput.h"
+#include "goodput/recovery_model.h"
+#include "core/tuner.h"
+#include "sim/timeline.h"
+#include "trace/preemption_trace.h"
+#include "trainsim/models.h"
+
+namespace pccheck {
+namespace {
+
+AnalyticInputs
+inputs_for(const std::string& model_name, std::uint64_t interval)
+{
+    const ModelSpec& spec = model_by_name(model_name);
+    AnalyticInputs in;
+    in.iteration_time = spec.iteration_time;
+    in.checkpoint_bytes =
+        spec.checkpoint_bytes /
+        static_cast<Bytes>(std::max(spec.pipeline_stages, 1));
+    in.interval = interval;
+    in.per_writer_bytes_per_sec = 1.2e9;
+    return in;
+}
+
+// -------------------------------------------- analytic model properties
+
+using SystemModel = std::tuple<const char*, const char*>;
+
+class AnalyticProperty : public ::testing::TestWithParam<SystemModel> {};
+
+/** Throughput never exceeds ideal and never hits zero. */
+TEST_P(AnalyticProperty, BoundedByIdeal)
+{
+    const auto [system, model] = GetParam();
+    for (const std::uint64_t interval :
+         {1ULL, 2ULL, 5ULL, 10ULL, 50ULL, 200ULL, 1000ULL}) {
+        const auto in = inputs_for(model, interval);
+        const double throughput = analytic_throughput(system, in);
+        EXPECT_GT(throughput, 0) << system << "/" << model;
+        EXPECT_LE(throughput, analytic_throughput("ideal", in) + 1e-12)
+            << system << "/" << model << " f=" << interval;
+    }
+}
+
+/** Less frequent checkpoints never reduce throughput. */
+TEST_P(AnalyticProperty, MonotonicInInterval)
+{
+    const auto [system, model] = GetParam();
+    double previous = 0;
+    for (const std::uint64_t interval :
+         {1ULL, 2ULL, 5ULL, 10ULL, 25ULL, 50ULL, 100ULL, 500ULL}) {
+        const double throughput =
+            analytic_throughput(system, inputs_for(model, interval));
+        EXPECT_GE(throughput, previous - 1e-12)
+            << system << "/" << model << " f=" << interval;
+        previous = throughput;
+    }
+}
+
+/** PCcheck dominates CheckFreq and sync at every frequency. */
+TEST_P(AnalyticProperty, PccheckDominatesSingleCheckpointSystems)
+{
+    const auto [system, model] = GetParam();
+    (void)system;
+    for (const std::uint64_t interval :
+         {1ULL, 5ULL, 10ULL, 50ULL, 100ULL}) {
+        const auto in = inputs_for(model, interval);
+        const double pccheck = analytic_throughput("pccheck", in);
+        EXPECT_GE(pccheck, analytic_throughput("checkfreq", in) - 1e-12)
+            << model << " f=" << interval;
+        EXPECT_GE(pccheck, analytic_throughput("sync", in) - 1e-12)
+            << model << " f=" << interval;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemsAndModels, AnalyticProperty,
+    ::testing::Combine(::testing::Values("sync", "gpm", "checkfreq",
+                                         "gemini", "pccheck"),
+                       ::testing::Values("vgg16", "bert", "opt-1.3b",
+                                         "bloom-7b")));
+
+// ------------------------------------------------ recovery-bound sweeps
+
+class RecoveryBoundProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+/** Bounds grow with the interval; PCcheck's is capped by Tw/t. */
+TEST_P(RecoveryBoundProperty, MonotonicAndCapped)
+{
+    const auto [concurrent, interval] = GetParam();
+    RecoveryModelInputs in;
+    in.iteration_time = 0.5;
+    in.checkpoint_time = 12.0;  // Tw/t = 24 iterations
+    in.load_time = 3.0;
+    in.concurrent = concurrent;
+    in.interval = interval;
+    const Seconds here = pccheck_max_recovery(in);
+    in.interval = interval * 2;
+    const Seconds coarser = pccheck_max_recovery(in);
+    EXPECT_GE(coarser, here);
+    // The concurrent-rollback term never exceeds Tw/t iterations.
+    in.interval = interval;
+    const Seconds cap = in.load_time +
+                        static_cast<double>(interval) * 0.5 + 24.0 * 0.5;
+    EXPECT_LE(pccheck_max_recovery(in), cap + 1e-9);
+    // Expected recovery sits inside [load, max].
+    const Seconds expected = expected_recovery("pccheck", in);
+    EXPECT_GE(expected, in.load_time);
+    EXPECT_LE(expected, pccheck_max_recovery(in));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RecoveryBoundProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(1, 10, 100)));
+
+// ------------------------------------------------- goodput replay sweep
+
+class GoodputProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+/** More failures or costlier recovery never increase goodput. */
+TEST_P(GoodputProperty, MonotonicInFailureCost)
+{
+    const std::uint64_t seed = GetParam();
+    const auto trace = generate_trace(gcp_a100_profile(), seed);
+    GoodputInputs inputs;
+    inputs.throughput = 0.5;
+    double previous = 1e9;
+    for (const Seconds recovery : {10.0, 50.0, 200.0, 1000.0}) {
+        inputs.expected_recovery = recovery;
+        const double goodput = replay_goodput(trace, inputs).goodput;
+        EXPECT_LE(goodput, previous + 1e-12);
+        EXPECT_GE(goodput, 0.0);
+        EXPECT_LE(goodput, inputs.throughput);
+        previous = goodput;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoodputProperty,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------- tuner formula
+
+class TunerFormulaProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+/** f* decreases with N and q, increases with Tw, decreases with t. */
+TEST_P(TunerFormulaProperty, Monotonicities)
+{
+    const auto [n, q] = GetParam();
+    const Seconds t = 0.25;
+    EXPECT_LE(min_checkpoint_interval(10.0, n + 1, q, t),
+              min_checkpoint_interval(10.0, n, q, t));
+    EXPECT_LE(min_checkpoint_interval(10.0, n, q + 0.5, t),
+              min_checkpoint_interval(10.0, n, q, t));
+    EXPECT_GE(min_checkpoint_interval(20.0, n, q, t),
+              min_checkpoint_interval(10.0, n, q, t));
+    EXPECT_LE(min_checkpoint_interval(10.0, n, q, t * 2),
+              min_checkpoint_interval(10.0, n, q, t));
+    EXPECT_GE(min_checkpoint_interval(10.0, n, q, t), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TunerFormulaProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1.01, 1.05, 1.25)));
+
+// ----------------------------------------------- timeline legality sweep
+
+using TimelineCase = std::tuple<Discipline, std::uint64_t, int>;
+
+class TimelineProperty : public ::testing::TestWithParam<TimelineCase> {};
+
+/** Every schedule is legal: GPU work conserved, makespan >= ideal. */
+TEST_P(TimelineProperty, ScheduleLegality)
+{
+    const auto [discipline, interval, chunks] = GetParam();
+    TimelineParams params;
+    params.train_time = 0.8;
+    params.update_time = 0.2;
+    params.snapshot_time = 0.4;
+    params.persist_time = 1.7;
+    params.iterations = 24;
+    params.interval = interval;
+    params.concurrent = 2;
+    params.chunks = chunks;
+    params.staging_buffers = chunks;
+    const Timeline timeline = simulate_timeline(discipline, params);
+
+    // GPU busy time is exactly A·t (no work lost or duplicated).
+    EXPECT_NEAR(timeline.gpu_busy, 24.0 * 1.0, 1e-9);
+    // Makespan is at least the pure-compute lower bound.
+    EXPECT_GE(timeline.makespan, 24.0 * 1.0 - 1e-9);
+    // Every phase has positive length and lies within the makespan.
+    for (const Phase& phase : timeline.phases) {
+        EXPECT_LT(phase.start, phase.end);
+        EXPECT_LE(phase.end, timeline.makespan + 1e-9);
+    }
+    // Checkpoint count matches the interval.
+    EXPECT_EQ(timeline.checkpoints, 24 / interval);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Disciplines, TimelineProperty,
+    ::testing::Combine(::testing::Values(Discipline::kSync,
+                                         Discipline::kGpm,
+                                         Discipline::kCheckFreq,
+                                         Discipline::kPCcheck),
+                       ::testing::Values<std::uint64_t>(1, 2, 4, 8),
+                       ::testing::Values(1, 3)));
+
+}  // namespace
+}  // namespace pccheck

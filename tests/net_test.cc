@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the simulated cluster network: bandwidth pacing, latency,
+ * mailboxes, and multi-node messaging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/network.h"
+#include "util/clock.h"
+
+namespace pccheck {
+namespace {
+
+NetworkConfig
+config(int nodes, double bw, Seconds latency = 0)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.nic_bytes_per_sec = bw;
+    cfg.latency = latency;
+    return cfg;
+}
+
+TEST(SimNetworkTest, TransferPaysBandwidth)
+{
+    SimNetwork net(config(2, 10e6));
+    Stopwatch watch;
+    net.transfer(0, 1, 200'000);  // ~20 ms at 10 MB/s
+    EXPECT_GE(watch.elapsed(), 0.015);
+    EXPECT_EQ(net.bytes_moved(), 200'000u);
+}
+
+TEST(SimNetworkTest, TransferPaysLatency)
+{
+    SimNetwork net(config(2, 0, 0.01));
+    Stopwatch watch;
+    net.transfer(0, 1, 1);
+    EXPECT_GE(watch.elapsed(), 0.008);
+}
+
+TEST(SimNetworkTest, SelfTransferSkipsNic)
+{
+    SimNetwork net(config(2, 1e3));  // 1 KB/s — would take forever
+    Stopwatch watch;
+    net.transfer(0, 0, 100'000);
+    EXPECT_LT(watch.elapsed(), 0.1);
+}
+
+TEST(SimNetworkTest, MailboxDeliversInOrder)
+{
+    SimNetwork net(config(2, 0));
+    net.send_msg(0, 1, 10);
+    net.send_msg(0, 1, 20);
+    EXPECT_EQ(net.recv_msg(1).tag, 10u);
+    EXPECT_EQ(net.recv_msg(1).tag, 20u);
+}
+
+TEST(SimNetworkTest, TryRecvNonBlocking)
+{
+    SimNetwork net(config(2, 0));
+    NetMessage msg;
+    EXPECT_FALSE(net.try_recv_msg(0, &msg));
+    net.send_msg(1, 0, 7, {1, 2, 3});
+    EXPECT_TRUE(net.try_recv_msg(0, &msg));
+    EXPECT_EQ(msg.from, 1);
+    EXPECT_EQ(msg.tag, 7u);
+    EXPECT_EQ(msg.payload.size(), 3u);
+}
+
+TEST(SimNetworkTest, BlockingRecvWakesOnSend)
+{
+    SimNetwork net(config(2, 0));
+    std::thread receiver([&net] {
+        const NetMessage msg = net.recv_msg(1);
+        EXPECT_EQ(msg.tag, 42u);
+    });
+    MonotonicClock::instance().sleep_for(0.005);
+    net.send_msg(0, 1, 42);
+    receiver.join();
+}
+
+TEST(SimNetworkTest, SendersShareEgressNic)
+{
+    SimNetwork net(config(3, 10e6));
+    Stopwatch watch;
+    std::thread a([&net] { net.transfer(0, 1, 100'000); });
+    std::thread b([&net] { net.transfer(0, 2, 100'000); });
+    a.join();
+    b.join();
+    // Both leave node 0: the shared egress NIC makes this ~20 ms.
+    EXPECT_GE(watch.elapsed(), 0.015);
+}
+
+TEST(SimNetworkTest, InvalidNodeAborts)
+{
+    SimNetwork net(config(2, 0));
+    EXPECT_DEATH(net.transfer(0, 5, 1), "invalid node");
+}
+
+}  // namespace
+}  // namespace pccheck

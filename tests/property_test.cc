@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P) over the DESIGN.md §5
+ * invariants:
+ *
+ *  I1/I2 — crash-recovery durability and monotonicity, swept over
+ *          storage kinds, eviction probabilities, concurrency levels,
+ *          queue implementations, and pipelining configurations;
+ *  I3    — slot safety under concurrent commit traffic;
+ *  I4    — progress with bounded writers;
+ *  plus round-trip properties of the storage stack and scaling rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/concurrent_commit.h"
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/slot_store.h"
+#include "storage/crash_sim.h"
+#include "storage/mem_storage.h"
+#include "trainsim/models.h"
+#include "trainsim/training_state.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace pccheck {
+namespace {
+
+// ----------------------------------------------------- crash properties
+
+/** (storage kind, eviction probability, N, queue kind, chunked). */
+using CrashParams =
+    std::tuple<StorageKind, double, int, SlotQueueKind, bool>;
+
+class CrashRecoveryProperty
+    : public ::testing::TestWithParam<CrashParams> {};
+
+/**
+ * I1 + I2: run a full orchestrator against the adversarial device,
+ * crash after a prefix of checkpoints, and require recovery to yield
+ * a consistent checkpoint at least as new as the last drained one.
+ */
+TEST_P(CrashRecoveryProperty, RecoversConsistentAndMonotonic)
+{
+    const auto [kind, eviction, concurrency, queue_kind, chunked] =
+        GetParam();
+    constexpr Bytes kState = 64 * 1024;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        CrashSimStorage device(
+            SlotStore::required_size(
+                static_cast<std::uint32_t>(concurrency + 1), kState),
+            kind, seed, eviction);
+        std::uint64_t drained_iteration = 0;
+        {
+            GpuConfig gpu_config;
+            gpu_config.memory_bytes = 2 * kMiB;
+            gpu_config.pcie_bytes_per_sec = 0;
+            SimGpu gpu(gpu_config);
+            TrainingState state(gpu, kState);
+            PCcheckConfig config;
+            config.concurrent_checkpoints = concurrency;
+            config.queue_kind = queue_kind;
+            if (chunked) {
+                config.chunk_bytes = 16 * 1024;
+                config.dram_bytes = 48 * 1024;
+            }
+            PCcheckCheckpointer checkpointer(state, device, config);
+            Rng rng(seed * 77);
+            const int checkpoints =
+                2 + static_cast<int>(rng.next_below(6));
+            for (int i = 1; i <= checkpoints; ++i) {
+                checkpointer.before_update(
+                    static_cast<std::uint64_t>(i));
+                state.stamp(static_cast<std::uint64_t>(i));
+                checkpointer.request_checkpoint(
+                    static_cast<std::uint64_t>(i));
+            }
+            checkpointer.finish();
+            const auto latest =
+                checkpointer.commit_protocol().latest_pointer();
+            ASSERT_TRUE(latest.has_value());
+            drained_iteration = latest->iteration;
+        }
+        device.crash();
+
+        std::vector<std::uint8_t> buffer;
+        const auto recovered = recover_to_buffer(device, &buffer);
+        ASSERT_TRUE(recovered.has_value()) << "seed " << seed;
+        EXPECT_GE(recovered->iteration, drained_iteration)
+            << "seed " << seed;
+        const auto stamped =
+            TrainingState::verify_buffer(buffer.data(), buffer.size());
+        ASSERT_TRUE(stamped.has_value()) << "seed " << seed;
+        EXPECT_EQ(*stamped, recovered->iteration) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndEviction, CrashRecoveryProperty,
+    ::testing::Combine(
+        ::testing::Values(StorageKind::kSsdMsync, StorageKind::kPmemNt,
+                          StorageKind::kPmemClwb),
+        ::testing::Values(0.0, 0.5, 1.0),
+        ::testing::Values(2),
+        ::testing::Values(SlotQueueKind::kVyukov),
+        ::testing::Values(false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    ConcurrencyLevels, CrashRecoveryProperty,
+    ::testing::Combine(::testing::Values(StorageKind::kPmemNt),
+                       ::testing::Values(0.5),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(SlotQueueKind::kVyukov),
+                       ::testing::Values(false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    QueueKinds, CrashRecoveryProperty,
+    ::testing::Combine(::testing::Values(StorageKind::kPmemNt),
+                       ::testing::Values(0.5),
+                       ::testing::Values(2),
+                       ::testing::Values(SlotQueueKind::kVyukov,
+                                         SlotQueueKind::kMichaelScott,
+                                         SlotQueueKind::kMutex),
+                       ::testing::Values(false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelined, CrashRecoveryProperty,
+    ::testing::Combine(::testing::Values(StorageKind::kPmemNt,
+                                         StorageKind::kSsdMsync),
+                       ::testing::Values(0.5),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(SlotQueueKind::kVyukov),
+                       ::testing::Values(true)));
+
+// ------------------------------------------------- slot-safety property
+
+class SlotSafetyProperty : public ::testing::TestWithParam<int> {};
+
+/**
+ * I3: under heavy concurrent begin/commit traffic, a slot is never
+ * held by two in-flight checkpoints and the committed pointer's slot
+ * is never handed out. Detection: every in-flight ticket stamps its
+ * slot with its unique counter and verifies the stamp just before
+ * commit — a double allocation would overwrite it.
+ */
+TEST_P(SlotSafetyProperty, NoDoubleAllocation)
+{
+    const int writers = GetParam();
+    constexpr Bytes kState = 8 * 1024;
+    MemStorage device(SlotStore::required_size(
+        static_cast<std::uint32_t>(writers + 1), kState));
+    SlotStore store = SlotStore::format(
+        device, static_cast<std::uint32_t>(writers + 1), kState);
+    ConcurrentCommit commit(store);
+
+    std::atomic<bool> violation{false};
+    std::vector<std::thread> threads;
+    for (int writer = 0; writer < writers; ++writer) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 40; ++i) {
+                const CheckpointTicket ticket = commit.begin();
+                std::vector<std::uint8_t> data(kState);
+                TrainingState::stamp_buffer(data.data(), data.size(),
+                                            ticket.counter);
+                store.write_slot(ticket.slot, 0, data.data(),
+                                 data.size());
+                // Re-read: if another ticket got the same slot, the
+                // stamp no longer matches our counter.
+                std::vector<std::uint8_t> readback(kState);
+                store.read_slot(ticket.slot, 0, readback.data(),
+                                readback.size());
+                const auto stamped = TrainingState::verify_buffer(
+                    readback.data(), readback.size());
+                if (!stamped.has_value() ||
+                    *stamped != ticket.counter) {
+                    violation.store(true);
+                }
+                store.persist_slot_range(ticket.slot, 0, kState);
+                store.device().fence();
+                commit.commit(ticket, kState, ticket.counter,
+                              crc32c(data.data(), data.size()));
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    EXPECT_FALSE(violation.load());
+    // I2 at quiescence: final pointer is the max committed counter.
+    const auto final_ptr = store.recover_pointer();
+    ASSERT_TRUE(final_ptr.has_value());
+    EXPECT_EQ(final_ptr->counter, commit.latest_counter());
+}
+
+INSTANTIATE_TEST_SUITE_P(WriterCounts, SlotSafetyProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// -------------------------------------------------- progress property
+
+class ProgressProperty : public ::testing::TestWithParam<SlotQueueKind> {
+};
+
+/**
+ * I4: with N writers over N+1 slots, every begin() eventually obtains
+ * a slot — the run terminates (no livelock). A generous watchdog
+ * converts a hang into a failure instead of a stuck test run.
+ */
+TEST_P(ProgressProperty, BoundedWritersTerminate)
+{
+    constexpr Bytes kState = 4 * 1024;
+    constexpr int kWriters = 4;
+    MemStorage device(
+        SlotStore::required_size(kWriters + 1, kState));
+    SlotStore store = SlotStore::format(device, kWriters + 1, kState);
+    ConcurrentCommit commit(store, GetParam());
+
+    std::atomic<int> completed{0};
+    std::vector<std::thread> threads;
+    for (int writer = 0; writer < kWriters; ++writer) {
+        threads.emplace_back([&] {
+            std::vector<std::uint8_t> data(kState, 0x5C);
+            const std::uint32_t crc = crc32c(data.data(), data.size());
+            for (int i = 0; i < 50; ++i) {
+                const CheckpointTicket ticket = commit.begin();
+                store.write_slot(ticket.slot, 0, data.data(),
+                                 data.size());
+                store.persist_slot_range(ticket.slot, 0, kState);
+                store.device().fence();
+                commit.commit(ticket, kState, ticket.counter, crc);
+                completed.fetch_add(1);
+            }
+        });
+    }
+    // Watchdog: the whole run should finish in well under 30 s.
+    const Seconds deadline =
+        MonotonicClock::instance().now() + 30.0;
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    EXPECT_LT(MonotonicClock::instance().now(), deadline);
+    EXPECT_EQ(completed.load(), kWriters * 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueues, ProgressProperty,
+                         ::testing::Values(SlotQueueKind::kVyukov,
+                                           SlotQueueKind::kMichaelScott,
+                                           SlotQueueKind::kMutex));
+
+// ------------------------------------------- storage round-trip sweep
+
+class StorageRoundTrip
+    : public ::testing::TestWithParam<std::tuple<StorageKind, Bytes>> {};
+
+/** Persisted data always survives crash, byte-exactly, at any size. */
+TEST_P(StorageRoundTrip, PersistedBytesSurvive)
+{
+    const auto [kind, size] = GetParam();
+    CrashSimStorage device(size + 8192, kind, /*seed=*/3,
+                           /*eviction=*/0.0);
+    Rng rng(size);
+    std::vector<std::uint8_t> data(size);
+    for (auto& byte : data) {
+        byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    device.write(4096, data.data(), data.size());
+    device.persist(4096, data.size());
+    device.fence();
+    device.crash();
+    std::vector<std::uint8_t> out(size);
+    device.read(4096, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, StorageRoundTrip,
+    ::testing::Combine(::testing::Values(StorageKind::kSsdMsync,
+                                         StorageKind::kPmemNt,
+                                         StorageKind::kPmemClwb),
+                       ::testing::Values<Bytes>(1, 63, 64, 65, 4095,
+                                                4096, 40000)));
+
+// ------------------------------------------------ scaling-law property
+
+class ScalingProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, double,
+                                                 double>> {};
+
+/** Tw/(f·t) is invariant under any (Kt, Ks) scaling (DESIGN.md §1). */
+TEST_P(ScalingProperty, CheckpointToIterationRatioInvariant)
+{
+    const auto [model_name, kt, ks] = GetParam();
+    const ModelSpec& spec = model_by_name(model_name);
+    const ScaleFactors factors{kt, ks};
+    const ScaledModel scaled = scale_model(spec, factors);
+
+    const double full_bw = 0.45e9;
+    const double full_ratio =
+        (static_cast<double>(spec.checkpoint_bytes) / full_bw) /
+        spec.iteration_time;
+    const double scaled_ratio =
+        (static_cast<double>(scaled.checkpoint_bytes) /
+         factors.scale_bandwidth(full_bw)) /
+        scaled.iteration_time;
+    // The 4 KiB size floor distorts only absurd scales; these stay
+    // within a percent.
+    EXPECT_NEAR(scaled_ratio / full_ratio, 1.0, 0.01)
+        << model_name << " kt=" << kt << " ks=" << ks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndScales, ScalingProperty,
+    ::testing::Combine(::testing::Values("vgg16", "bert", "opt-1.3b",
+                                         "bloom-7b"),
+                       ::testing::Values(10.0, 100.0, 667.0),
+                       ::testing::Values(100.0, 2000.0, 10000.0)));
+
+// ------------------------------------- marker-stamp detection property
+
+class StampDetectionProperty
+    : public ::testing::TestWithParam<Bytes> {};
+
+/** Any single torn 4 KiB page from another iteration is detected. */
+TEST_P(StampDetectionProperty, SingleTornPageDetected)
+{
+    const Bytes size = GetParam();
+    std::vector<std::uint8_t> buffer(size);
+    TrainingState::stamp_buffer(buffer.data(), size, 10);
+    // Tear one marker page with a different iteration.
+    Rng rng(size);
+    const Bytes pages = size / TrainingState::kMarkerStride;
+    const Bytes victim =
+        rng.next_below(pages) * TrainingState::kMarkerStride;
+    TrainingState::stamp_buffer(buffer.data() + victim,
+                                TrainingState::kMarkerStride, 11);
+    EXPECT_FALSE(
+        TrainingState::verify_buffer(buffer.data(), size).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StampDetectionProperty,
+                         ::testing::Values<Bytes>(8192, 65536, 262144));
+
+}  // namespace
+}  // namespace pccheck

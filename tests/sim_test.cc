@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the virtual-time timeline simulator: schedule legality,
+ * the characteristic stalls of each discipline (Figs. 3/4/6/7), and
+ * agreement with the §3.4 runtime model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/timeline.h"
+
+namespace pccheck {
+namespace {
+
+TimelineParams
+base_params()
+{
+    TimelineParams params;
+    params.train_time = 0.9;
+    params.update_time = 0.1;
+    params.snapshot_time = 0.5;
+    params.persist_time = 2.0;
+    params.iterations = 8;
+    params.interval = 1;
+    params.concurrent = 2;
+    return params;
+}
+
+/** No two phases on the same resource may overlap. */
+void
+expect_no_resource_overlap(const Timeline& timeline)
+{
+    auto overlaps = [&timeline](PhaseKind a, PhaseKind b) {
+        for (const auto& x : timeline.phases) {
+            if (x.kind != a) {
+                continue;
+            }
+            for (const auto& y : timeline.phases) {
+                if (&x == &y || y.kind != b) {
+                    continue;
+                }
+                if (x.start < y.end - 1e-12 && y.start < x.end - 1e-12) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+    // GPU compute: T and U never overlap each other.
+    EXPECT_FALSE(overlaps(PhaseKind::kTrain, PhaseKind::kTrain));
+    EXPECT_FALSE(overlaps(PhaseKind::kTrain, PhaseKind::kUpdate));
+    EXPECT_FALSE(overlaps(PhaseKind::kUpdate, PhaseKind::kUpdate));
+    // Copy engine and storage channel are single resources.
+    EXPECT_FALSE(overlaps(PhaseKind::kSnapshot, PhaseKind::kSnapshot));
+    EXPECT_FALSE(overlaps(PhaseKind::kPersist, PhaseKind::kPersist));
+}
+
+TEST(TimelineTest, SyncSerializesEverything)
+{
+    const Timeline timeline =
+        simulate_timeline(Discipline::kSync, base_params());
+    expect_no_resource_overlap(timeline);
+    // Makespan = A · (t + c + Tw) exactly.
+    EXPECT_NEAR(timeline.makespan, 8 * (1.0 + 0.5 + 2.0), 1e-9);
+}
+
+TEST(TimelineTest, GpmSkipsSnapshotPhase)
+{
+    const Timeline timeline =
+        simulate_timeline(Discipline::kGpm, base_params());
+    const bool any_snapshot = std::any_of(
+        timeline.phases.begin(), timeline.phases.end(),
+        [](const Phase& p) { return p.kind == PhaseKind::kSnapshot; });
+    EXPECT_FALSE(any_snapshot);
+    EXPECT_NEAR(timeline.makespan, 8 * (1.0 + 2.0), 1e-9);
+}
+
+TEST(TimelineTest, CheckFreqFasterThanSyncSlowerThanPCcheck)
+{
+    const auto params = base_params();
+    const Seconds sync =
+        simulate_timeline(Discipline::kSync, params).makespan;
+    const Seconds checkfreq =
+        simulate_timeline(Discipline::kCheckFreq, params).makespan;
+    const Seconds pccheck =
+        simulate_timeline(Discipline::kPCcheck, params).makespan;
+    EXPECT_LT(checkfreq, sync);
+    EXPECT_LT(pccheck, checkfreq);
+}
+
+TEST(TimelineTest, CheckFreqGatedByPersist)
+{
+    // Fig. 4: with Tw >> f·t, CheckFreq's period per checkpoint is
+    // c + Tw (next C waits for previous P).
+    const auto params = base_params();
+    const Timeline timeline =
+        simulate_timeline(Discipline::kCheckFreq, params);
+    // Steady state: P_k ends at 3.5 + 2.5·(k−1) (period c + Tw), so
+    // the 8th persist completes at 21.0.
+    EXPECT_NEAR(timeline.makespan, 21.0, 0.25);
+}
+
+TEST(TimelineTest, PCcheckOverlapsNPersists)
+{
+    // Fig. 6: with Tw = 2 > f·t = 1 and a bandwidth-bound channel,
+    // N=1 pays period c + Tw = 2.5 (the next snapshot waits for its
+    // slot), while N=2 hides the snapshot behind the second slot and
+    // runs at the channel rate Tw = 2.0 per checkpoint.
+    auto params = base_params();
+    params.iterations = 20;
+    const Timeline n2 = simulate_timeline(Discipline::kPCcheck, params);
+    params.concurrent = 1;
+    const Timeline n1 = simulate_timeline(Discipline::kPCcheck, params);
+    EXPECT_LT(n2.makespan, n1.makespan * 0.85);
+    expect_no_resource_overlap(n2);
+}
+
+TEST(TimelineTest, MoreConcurrencyNeverHurts)
+{
+    auto params = base_params();
+    params.iterations = 16;
+    Seconds prev = 1e9;
+    for (int n : {1, 2, 3, 4}) {
+        params.concurrent = n;
+        const Seconds makespan =
+            simulate_timeline(Discipline::kPCcheck, params).makespan;
+        EXPECT_LE(makespan, prev + 1e-9) << "N=" << n;
+        prev = makespan;
+    }
+}
+
+TEST(TimelineTest, PipeliningReducesMakespan)
+{
+    auto params = base_params();
+    params.iterations = 12;
+    params.snapshot_time = 1.0;  // make the C/P overlap meaningful
+    const Seconds mono =
+        simulate_timeline(Discipline::kPCcheck, params).makespan;
+    params.chunks = 4;
+    params.staging_buffers = 4;
+    const Seconds piped =
+        simulate_timeline(Discipline::kPCcheck, params).makespan;
+    EXPECT_LE(piped, mono + 1e-9);
+}
+
+TEST(TimelineTest, InfrequentCheckpointsApproachIdeal)
+{
+    auto params = base_params();
+    params.iterations = 100;
+    params.interval = 50;
+    const Timeline timeline =
+        simulate_timeline(Discipline::kPCcheck, params);
+    const Seconds ideal = 100 * 1.0;
+    EXPECT_LT(timeline.makespan, ideal * 1.1);
+}
+
+TEST(TimelineTest, GpuStallAccounting)
+{
+    const Timeline timeline =
+        simulate_timeline(Discipline::kSync, base_params());
+    EXPECT_NEAR(timeline.gpu_busy, 8 * 1.0, 1e-9);
+    EXPECT_NEAR(timeline.gpu_stall, 8 * 2.5, 1e-9);
+}
+
+TEST(TimelineTest, RenderProducesThreeRows)
+{
+    const Timeline timeline =
+        simulate_timeline(Discipline::kPCcheck, base_params());
+    const std::string art = timeline.render(0.5);
+    EXPECT_NE(art.find("GPU"), std::string::npos);
+    EXPECT_NE(art.find("COPY"), std::string::npos);
+    EXPECT_NE(art.find("STORE"), std::string::npos);
+    EXPECT_NE(art.find('T'), std::string::npos);
+    EXPECT_NE(art.find('P'), std::string::npos);
+}
+
+TEST(TimelineTest, PaperRuntimeModelTracksSimulatedPCcheck)
+{
+    // In the stall regime (Tw > N·f·t) the §3.4 runtime_2 model should
+    // be within ~25% of the constructed schedule.
+    auto params = base_params();
+    params.iterations = 40;
+    params.persist_time = 4.0;
+    params.snapshot_time = 0.25;
+    const Timeline timeline =
+        simulate_timeline(Discipline::kPCcheck, params);
+    const Seconds model = paper_runtime_model(params);
+    EXPECT_NEAR(timeline.makespan / model, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for preemption-trace generation, statistics, and CSV
+ * round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/preemption_trace.h"
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+TEST(TraceTest, ProfilesMatchPublishedStats)
+{
+    const SpotProfile gcp = gcp_a100_profile();
+    EXPECT_DOUBLE_EQ(gcp.duration, 16.0 * 3600.0);
+    EXPECT_NEAR(gcp.events_per_hour, 26.0 / 3.5, 1e-9);
+    const SpotProfile aws = aws_spot_profile();
+    EXPECT_NEAR(aws.events_per_hour, 127.0 / 24.0, 1e-9);
+}
+
+TEST(TraceTest, GeneratedTraceIsDeterministic)
+{
+    const auto a = generate_trace(gcp_a100_profile(), 99);
+    const auto b = generate_trace(gcp_a100_profile(), 99);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.events[i].time, b.events[i].time);
+        EXPECT_EQ(a.events[i].vms_lost, b.events[i].vms_lost);
+    }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer)
+{
+    const auto a = generate_trace(gcp_a100_profile(), 1);
+    const auto b = generate_trace(gcp_a100_profile(), 2);
+    bool differs = a.events.size() != b.events.size();
+    for (std::size_t i = 0;
+         !differs && i < a.events.size() && i < b.events.size(); ++i) {
+        differs = a.events[i].time != b.events[i].time;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceTest, EventRateConverges)
+{
+    // Average over several seeds: expect ~16 h × 7.43/h ≈ 119 events.
+    double total = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        total += static_cast<double>(
+            generate_trace(gcp_a100_profile(), seed).events.size());
+    }
+    const double mean = total / 20.0;
+    EXPECT_NEAR(mean, 16.0 * 26.0 / 3.5, 20.0);
+}
+
+TEST(TraceTest, EventsSortedWithinDuration)
+{
+    const auto trace = generate_trace(aws_spot_profile(), 5);
+    Seconds prev = 0;
+    for (const auto& event : trace.events) {
+        EXPECT_GE(event.time, prev);
+        EXPECT_LT(event.time, trace.duration);
+        EXPECT_GE(event.vms_lost, 1);
+        prev = event.time;
+    }
+}
+
+TEST(TraceTest, BurstsOccur)
+{
+    const auto trace = generate_trace(gcp_a100_profile(), 3);
+    bool any_burst = false;
+    for (const auto& event : trace.events) {
+        any_burst |= event.vms_lost > 1;
+    }
+    EXPECT_TRUE(any_burst);  // burst_probability = 0.25
+}
+
+TEST(TraceTest, MtbfMatchesDefinition)
+{
+    PreemptionTrace trace;
+    trace.duration = 100.0;
+    trace.events = {{10, 1}, {50, 1}, {90, 1}, {95, 1}};
+    EXPECT_DOUBLE_EQ(trace.mtbf(), 25.0);
+    PreemptionTrace empty;
+    empty.duration = 42.0;
+    EXPECT_DOUBLE_EQ(empty.mtbf(), 42.0);
+}
+
+TEST(TraceTest, CsvRoundTrip)
+{
+    const std::string path = "/tmp/pccheck_trace_test.csv";
+    const auto original = generate_trace(gcp_a100_profile(), 7);
+    save_trace_csv(original, path);
+    const auto loaded = load_trace_csv(path);
+    EXPECT_DOUBLE_EQ(loaded.duration, original.duration);
+    ASSERT_EQ(loaded.events.size(), original.events.size());
+    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+        EXPECT_NEAR(loaded.events[i].time, original.events[i].time, 1e-3);
+        EXPECT_EQ(loaded.events[i].vms_lost, original.events[i].vms_lost);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingFileThrows)
+{
+    EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"), FatalError);
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the training simulator: model catalog (Table 3), scaling
+ * rules, stamped training state, and the T/U training loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "util/check.h"
+#include "trainsim/checkpointer.h"
+#include "trainsim/data_loader.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "trainsim/training_state.h"
+
+namespace pccheck {
+namespace {
+
+TEST(ModelsTest, CatalogMatchesTable3)
+{
+    EXPECT_EQ(model_by_name("vgg16").checkpoint_bytes,
+              static_cast<Bytes>(1.1e9));
+    EXPECT_EQ(model_by_name("bert").checkpoint_bytes,
+              static_cast<Bytes>(4.0e9));
+    EXPECT_EQ(model_by_name("opt-1.3b").checkpoint_bytes,
+              static_cast<Bytes>(16.2e9));
+    EXPECT_EQ(model_by_name("bloom-7b").checkpoint_bytes,
+              static_cast<Bytes>(108.0e9));
+    EXPECT_EQ(model_by_name("bloom-7b").pipeline_stages, 6);
+    EXPECT_EQ(model_by_name("opt-2.7b").pipeline_stages, 2);
+}
+
+TEST(ModelsTest, UnknownModelThrows)
+{
+    EXPECT_THROW(model_by_name("gpt-17"), FatalError);
+}
+
+TEST(ModelsTest, ScalingPreservesTimeRatios)
+{
+    // Tw / (f·t) must be invariant: bandwidth scaled by Kt/Ks, size by
+    // 1/Ks, time by 1/Kt.
+    const ModelSpec& spec = model_by_name("opt-1.3b");
+    ScaleFactors factors{/*time=*/20.0, /*size=*/2000.0};
+    const ScaledModel scaled = scale_model(spec, factors);
+
+    const double full_bw = 0.45e9;
+    const double scaled_bw = factors.scale_bandwidth(full_bw);
+    const double full_ratio =
+        (static_cast<double>(spec.checkpoint_bytes) / full_bw) /
+        spec.iteration_time;
+    const double scaled_ratio =
+        (static_cast<double>(scaled.checkpoint_bytes) / scaled_bw) /
+        scaled.iteration_time;
+    EXPECT_NEAR(scaled_ratio / full_ratio, 1.0, 0.01);
+}
+
+TEST(ModelsTest, ScaledSizeFloor)
+{
+    ScaleFactors factors{10.0, 1e15};
+    using namespace literals;
+    EXPECT_EQ(factors.scale_size(1_gb), 4096u);
+}
+
+TEST(TrainingStateTest, StampAndVerify)
+{
+    GpuConfig config;
+    config.memory_bytes = 4 * kMiB;
+    config.pcie_bytes_per_sec = 0;
+    SimGpu gpu(config);
+    TrainingState state(gpu, 1 * kMiB);
+    state.stamp(42);
+    EXPECT_EQ(state.iteration(), 42u);
+    const auto verified = TrainingState::verify_buffer(
+        gpu.device_data(state.device_ptr()), state.size());
+    ASSERT_TRUE(verified.has_value());
+    EXPECT_EQ(*verified, 42u);
+}
+
+TEST(TrainingStateTest, TornBufferRejected)
+{
+    std::vector<std::uint8_t> buffer(64 * 1024);
+    TrainingState::stamp_buffer(buffer.data(), buffer.size(), 5);
+    // Overwrite the second half with a different iteration: torn.
+    TrainingState::stamp_buffer(buffer.data() + 32 * 1024, 32 * 1024, 6);
+    EXPECT_FALSE(
+        TrainingState::verify_buffer(buffer.data(), buffer.size())
+            .has_value());
+}
+
+TEST(TrainingStateTest, MisplacedChunkRejected)
+{
+    std::vector<std::uint8_t> buffer(64 * 1024);
+    TrainingState::stamp_buffer(buffer.data(), buffer.size(), 5);
+    // Swap two 4 KiB chunks: same iteration but wrong offsets.
+    std::vector<std::uint8_t> tmp(4096);
+    std::memcpy(tmp.data(), buffer.data(), 4096);
+    std::memcpy(buffer.data(), buffer.data() + 4096, 4096);
+    std::memcpy(buffer.data() + 4096, tmp.data(), 4096);
+    EXPECT_FALSE(
+        TrainingState::verify_buffer(buffer.data(), buffer.size())
+            .has_value());
+}
+
+TEST(TrainingStateTest, CorruptMarkerRejected)
+{
+    std::vector<std::uint8_t> buffer(16 * 1024);
+    TrainingState::stamp_buffer(buffer.data(), buffer.size(), 9);
+    buffer[4096] ^= 0xFF;  // corrupt a marker byte
+    EXPECT_FALSE(
+        TrainingState::verify_buffer(buffer.data(), buffer.size())
+            .has_value());
+}
+
+TEST(TrainingLoopTest, IdealThroughputMatchesIterationTime)
+{
+    GpuConfig config;
+    config.memory_bytes = 2 * kMiB;
+    config.pcie_bytes_per_sec = 0;
+    SimGpu gpu(config);
+    TrainingState state(gpu, 64 * kKiB);
+    ModelSpec spec = model_by_name("vgg16");
+    ScaledModel model = scale_model(spec, ScaleFactors{20.0, 20000.0});
+    // 60 ms / 20 = 3 ms per iteration.
+    TrainingLoop loop(gpu, state, model);
+    NoCheckpointer none;
+    const TrainingResult result = loop.run(50, 0, none);
+    EXPECT_EQ(result.iterations, 50u);
+    const double ideal = ideal_throughput(model);
+    EXPECT_GT(result.throughput, 0.7 * ideal);
+    EXPECT_LE(result.throughput, 1.1 * ideal);
+}
+
+TEST(TrainingLoopTest, StateStampedEachIteration)
+{
+    GpuConfig config;
+    config.memory_bytes = 2 * kMiB;
+    config.pcie_bytes_per_sec = 0;
+    SimGpu gpu(config);
+    TrainingState state(gpu, 64 * kKiB);
+    ScaledModel model =
+        scale_model(model_by_name("vgg16"), ScaleFactors{600.0, 20000.0});
+    TrainingLoop loop(gpu, state, model);
+    NoCheckpointer none;
+    loop.run(10, 0, none);
+    EXPECT_EQ(state.iteration(), 10u);
+    loop.run(5, 0, none, /*start_iteration=*/11);
+    EXPECT_EQ(state.iteration(), 15u);
+}
+
+/** Counts checkpoint requests to verify interval semantics. */
+class CountingCheckpointer final : public Checkpointer {
+  public:
+    std::string name() const override { return "counting"; }
+    void
+    request_checkpoint(std::uint64_t iteration) override
+    {
+        iterations.push_back(iteration);
+    }
+    CheckpointerStats stats() const override { return {}; }
+    std::vector<std::uint64_t> iterations;
+};
+
+TEST(TrainingLoopTest, CheckpointIntervalHonored)
+{
+    GpuConfig config;
+    config.memory_bytes = 2 * kMiB;
+    config.pcie_bytes_per_sec = 0;
+    SimGpu gpu(config);
+    TrainingState state(gpu, 64 * kKiB);
+    ScaledModel model =
+        scale_model(model_by_name("vgg16"), ScaleFactors{600.0, 20000.0});
+    TrainingLoop loop(gpu, state, model);
+    CountingCheckpointer counter;
+    loop.run(20, 5, counter);
+    EXPECT_EQ(counter.iterations,
+              (std::vector<std::uint64_t>{5, 10, 15, 20}));
+}
+
+TEST(TrainingLoopTest, SlowdownComputation)
+{
+    TrainingResult result;
+    result.throughput = 5.0;
+    EXPECT_DOUBLE_EQ(result.slowdown_vs(10.0), 2.0);
+}
+
+// ---------------------------------------- persistent iterator (§4.2)
+
+TEST(DataLoaderTest, EpochIsAPermutation)
+{
+    DataLoader loader(100, 10, /*seed=*/7);
+    std::vector<bool> seen(100, false);
+    for (int batch = 0; batch < 10; ++batch) {
+        for (const std::uint64_t sample : loader.next().samples) {
+            ASSERT_LT(sample, 100u);
+            EXPECT_FALSE(seen[sample]) << "duplicate within epoch";
+            seen[sample] = true;
+        }
+    }
+    for (bool sample_seen : seen) {
+        EXPECT_TRUE(sample_seen);
+    }
+}
+
+TEST(DataLoaderTest, EpochsShuffleDifferently)
+{
+    DataLoader loader(64, 64, 3);
+    const auto epoch0 = loader.next().samples;
+    const auto epoch1 = loader.next().samples;
+    EXPECT_NE(epoch0, epoch1);
+}
+
+TEST(DataLoaderTest, TailBatchIsShort)
+{
+    DataLoader loader(25, 10, 1);
+    EXPECT_EQ(loader.batches_per_epoch(), 3u);
+    EXPECT_EQ(loader.next().samples.size(), 10u);
+    EXPECT_EQ(loader.next().samples.size(), 10u);
+    EXPECT_EQ(loader.next().samples.size(), 5u);
+    const Batch next_epoch = loader.next();
+    EXPECT_EQ(next_epoch.epoch, 1u);
+    EXPECT_EQ(next_epoch.samples.size(), 10u);
+}
+
+TEST(DataLoaderTest, SeekResumesExactSequence)
+{
+    // The §4.2 recovery property: resuming at the checkpointed
+    // iteration reproduces the uninterrupted sample stream.
+    DataLoader uninterrupted(1000, 32, 42);
+    std::vector<Batch> reference;
+    for (int batch = 0; batch < 80; ++batch) {
+        reference.push_back(uninterrupted.next());
+    }
+    // "Crash" after iteration 47; a fresh loader seeks and resumes.
+    DataLoader resumed(1000, 32, 42);
+    resumed.seek(47);
+    for (std::size_t batch = 47; batch < 80; ++batch) {
+        const Batch got = resumed.next();
+        EXPECT_EQ(got.iteration, reference[batch].iteration);
+        EXPECT_EQ(got.epoch, reference[batch].epoch);
+        EXPECT_EQ(got.samples, reference[batch].samples);
+    }
+}
+
+TEST(DataLoaderTest, SeekAcrossEpochBoundary)
+{
+    DataLoader reference(30, 10, 5);
+    for (int batch = 0; batch < 7; ++batch) {
+        reference.next();  // into epoch 2
+    }
+    const Batch expected = reference.next();
+    DataLoader resumed(30, 10, 5);
+    resumed.seek(7);
+    const Batch got = resumed.next();
+    EXPECT_EQ(got.epoch, expected.epoch);
+    EXPECT_EQ(got.samples, expected.samples);
+}
+
+}  // namespace
+}  // namespace pccheck

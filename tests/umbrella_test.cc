@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Compilation test for the umbrella header: pccheck.h must be
+ * self-contained, and one symbol from every area must be reachable
+ * through it alone.
+ */
+
+#include "pccheck.h"
+
+#include <gtest/gtest.h>
+
+namespace pccheck {
+namespace {
+
+TEST(UmbrellaTest, EveryAreaReachable)
+{
+    // util
+    EXPECT_EQ(format_bytes(kMiB), "1.00 MiB");
+    Rng rng(1);
+    EXPECT_LT(rng.next_double(), 1.0);
+    // storage
+    MemStorage mem(4096);
+    EXPECT_EQ(mem.kind(), StorageKind::kDram);
+    // gpusim + trainsim
+    GpuConfig gpu_config;
+    gpu_config.memory_bytes = kMiB;
+    gpu_config.pcie_bytes_per_sec = 0;
+    SimGpu gpu(gpu_config);
+    TrainingState state(gpu, 8192);
+    EXPECT_EQ(state.iteration(), 0u);
+    DataLoader loader(10, 5, 1);
+    EXPECT_EQ(loader.batches_per_epoch(), 2u);
+    // core
+    PCcheckConfig config;
+    config.validate();
+    EXPECT_EQ(config.to_string().substr(0, 7), "pccheck");
+    EXPECT_EQ(min_checkpoint_interval(1.0, 1, 1.0, 1.0), 1u);
+    EXPECT_EQ(plan_shards(8192, 2).size(), 2u);
+    // goodput + trace + sim
+    EXPECT_GT(analytic_throughput("ideal",
+                                  AnalyticInputs{.iteration_time = 1.0,
+                                                 .checkpoint_bytes = 1,
+                                                 .interval = 1}),
+              0.0);
+    EXPECT_EQ(gcp_a100_profile().name, "gcp-a100");
+    TimelineParams params;
+    params.iterations = 1;
+    EXPECT_GT(simulate_timeline(Discipline::kSync, params).makespan, 0);
+    // baselines exist
+    EXPECT_DOUBLE_EQ(model_footprint("gpm").dram_max, 0.0);
+}
+
+}  // namespace
+}  // namespace pccheck
