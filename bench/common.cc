@@ -5,6 +5,9 @@
 #include <map>
 #include <memory>
 
+#include <cstring>
+#include <iostream>
+
 #include "baselines/checkfreq.h"
 #include "baselines/gemini.h"
 #include "baselines/gpm.h"
@@ -13,9 +16,11 @@
 #include "core/orchestrator.h"
 #include "core/slot_store.h"
 #include "goodput/analytic.h"
+#include "obs/trace.h"
 #include "storage/mem_storage.h"
 #include "trainsim/training_state.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace pccheck::bench {
 namespace {
@@ -361,6 +366,44 @@ announce(const std::string& bench, const std::string& csv_path)
 {
     std::printf("# %s — results written to %s\n", bench.c_str(),
                 csv_path.c_str());
+}
+
+BenchOptions
+parse_bench_args(int argc, char** argv)
+{
+    BenchOptions options;
+    constexpr const char* kTracePrefix = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], kTracePrefix,
+                         std::strlen(kTracePrefix)) == 0) {
+            options.trace_out = argv[i] + std::strlen(kTracePrefix);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            options.smoke = true;
+        }
+    }
+    if (!options.trace_out.empty()) {
+        Tracer::global().set_enabled(true);
+    }
+    return options;
+}
+
+void
+finish_observability(const BenchOptions& options)
+{
+    if (!options.trace_out.empty()) {
+        Tracer::global().set_enabled(false);
+        if (Tracer::global().write_file(options.trace_out)) {
+            std::printf("# trace: %zu spans (%zu dropped) -> %s\n",
+                        Tracer::global().event_count(),
+                        Tracer::global().dropped_count(),
+                        options.trace_out.c_str());
+        } else {
+            std::printf("# trace: failed to write %s\n",
+                        options.trace_out.c_str());
+        }
+    }
+    std::printf("# stage metrics:\n");
+    MetricsRegistry::global().dump(std::cout);
 }
 
 }  // namespace pccheck::bench

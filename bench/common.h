@@ -72,6 +72,24 @@ Seconds full_scale_tw(const ModelSpec& spec, StorageKind kind);
 /** Print a CSV path notice (keeps bench outputs uniform). */
 void announce(const std::string& bench, const std::string& csv_path);
 
+/** Observability knobs every bench accepts on its command line. */
+struct BenchOptions {
+    std::string trace_out;  ///< --trace-out=FILE; empty = tracing off
+    bool smoke = false;     ///< --smoke: reduced iterations for CI
+};
+
+/**
+ * Parse --trace-out=FILE and --smoke from @p argv (unknown args are
+ * ignored) and enable span capture when a trace path was given.
+ */
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/**
+ * Bench epilogue: write the Chrome trace (when --trace-out was given)
+ * and dump the stage-latency metrics (p50/p95/p99) to stdout.
+ */
+void finish_observability(const BenchOptions& options);
+
 }  // namespace pccheck::bench
 
 #endif  // PCCHECK_BENCH_COMMON_H_

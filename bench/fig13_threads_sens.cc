@@ -20,29 +20,45 @@ using namespace pccheck;
 using namespace pccheck::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
     set_log_level(LogLevel::kWarn);
+    const BenchOptions options = parse_bench_args(argc, argv);
     CsvWriter csv("fig13_threads_sens.csv",
                   {"concurrent", "writers", "slowdown"});
     announce("fig13_threads_sens", csv.path());
 
+    // CI smoke: one cell of the matrix at reduced iterations, enough
+    // to exercise concurrent snapshots/persists and emit a trace.
+    const std::vector<int> ns = options.smoke
+                                    ? std::vector<int>{2}
+                                    : std::vector<int>{1, 2, 3};
+    const std::vector<int> ps = options.smoke
+                                    ? std::vector<int>{3}
+                                    : std::vector<int>{1, 2, 3};
+
     std::printf("=== OPT-350M slowdown (f=10), varying writers p and "
                 "concurrency N ===\n%-6s", "N\\p");
-    for (const int p : {1, 2, 3}) {
+    for (const int p : ps) {
         std::printf("      p=%-4d", p);
     }
     std::printf("%12s\n", "p1/p3 gain");
-    for (const int n : {1, 2, 3}) {
+    for (const int n : ns) {
         std::printf("%-6d", n);
         std::vector<double> slowdowns;
-        for (const int p : {1, 2, 3}) {
+        for (const int p : ps) {
             RunSpec spec;
             spec.system = "pccheck";
             spec.model = "opt-350m";
-            spec.interval = 10;
+            // Smoke runs checkpoint every 2 iterations so persists
+            // back up behind snapshots and the trace shows ≥2
+            // checkpoints genuinely in flight.
+            spec.interval = options.smoke ? 2 : 10;
             spec.concurrent = n;
             spec.writers = p;
+            if (options.smoke) {
+                spec.iterations = 60;
+            }
             const RunResult result = measure(spec);
             slowdowns.push_back(result.slowdown);
             std::printf("%12.3f", result.slowdown);
@@ -53,5 +69,6 @@ main()
     }
     std::printf("\n(paper: 3 threads vs 1 gives 1.36x / 1.16x / 1.13x "
                 "improvement for N = 1 / 2 / 3)\n");
+    finish_observability(options);
     return 0;
 }

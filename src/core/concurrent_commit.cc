@@ -1,6 +1,8 @@
 #include "core/concurrent_commit.h"
 
+#include "obs/stage.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace pccheck {
 namespace {
@@ -67,6 +69,10 @@ ConcurrentCommit::begin()
     ticket.counter =
         g_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
     // Lines 8-11: wait for a free slot.
+    static LatencyHistogram& wait_hist =
+        MetricsRegistry::global().histogram("pccheck.stage.slot_wait");
+    StageSpan span("commit.slot_wait", wait_hist, "counter",
+                   ticket.counter);
     for (;;) {
         const auto slot = free_slots_->try_dequeue();
         if (slot.has_value()) {
@@ -97,6 +103,10 @@ CommitResult
 ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
                          std::uint64_t iteration, std::uint32_t data_crc)
 {
+    static LatencyHistogram& commit_hist =
+        MetricsRegistry::global().histogram("pccheck.stage.commit");
+    StageSpan span("commit.cas", commit_hist, "counter",
+                   ticket.counter, "slot", ticket.slot);
     // Side-table entry is owned exclusively by this ticket until the
     // slot is recycled; the CAS below publishes it.
     meta_[ticket.slot] = {data_len, iteration, data_crc};

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/stage.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -110,7 +111,9 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        requests_.push_back(Request{0, 0, /*stop=*/true});
+        Request stop_request;
+        stop_request.stop = true;
+        requests_.push_back(stop_request);
     }
     request_cv_.notify_all();
     worker_.join();
@@ -123,11 +126,15 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
 void
 PCcheckCheckpointer::before_update(std::uint64_t iteration)
 {
-    (void)iteration;
     std::unique_lock<std::mutex> lock(mu_);
     if (snapshots_pending_ == 0) {
         return;
     }
+    static LatencyHistogram& stall_hist =
+        MetricsRegistry::global().histogram(
+            "pccheck.stage.update_stall");
+    StageSpan span("train.update_stall", stall_hist, "iteration",
+                   iteration);
     Stopwatch watch(*clock_);
     snapshot_cv_.wait(lock, [this] { return snapshots_pending_ == 0; });
     stall_time_ += watch.elapsed();
@@ -140,7 +147,8 @@ PCcheckCheckpointer::request_checkpoint(std::uint64_t iteration)
         std::lock_guard<std::mutex> lock(mu_);
         ++requested_;
         ++snapshots_pending_;
-        requests_.push_back(Request{iteration, clock_->now(), false});
+        requests_.push_back(
+            Request{iteration, clock_->now(), Tracer::now_ns(), false});
     }
     MetricsRegistry::global()
         .counter("pccheck.checkpoints.requested")
@@ -188,6 +196,10 @@ PCcheckCheckpointer::snapshot_worker()
 std::uint8_t*
 PCcheckCheckpointer::acquire_chunk_buffer()
 {
+    static LatencyHistogram& wait_hist =
+        MetricsRegistry::global().histogram(
+            "pccheck.stage.buffer_wait");
+    StageSpan span("snapshot.buffer_wait", wait_hist);
     for (;;) {
         const auto buffer = free_buffers_->try_dequeue();
         if (buffer.has_value()) {
@@ -220,6 +232,7 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         Bytes len;
         std::uint64_t iteration;
         Seconds request_time;
+        std::uint64_t trace_begin_ns;
         std::uint32_t crc = 0;  ///< final value set before last decrement
         std::atomic<std::size_t> remaining;
     };
@@ -231,6 +244,7 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     inflight->len = len;
     inflight->iteration = iteration;
     inflight->request_time = request.request_time;
+    inflight->trace_begin_ns = request.trace_begin_ns;
     // +1: the snapshot loop holds one reference until the CRC is final,
     // so commit can never run with a partial CRC.
     inflight->remaining.store(chunks + 1, std::memory_order_relaxed);
@@ -244,6 +258,16 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
                                           shared->iteration, shared->crc);
             shared->self->on_checkpoint_complete(shared->iteration,
                                                  shared->request_time);
+            if (Tracer::global().enabled()) {
+                // Whole request→durable lifecycle; spans threads, so it
+                // is recorded manually on the completing thread.
+                const TraceArg args[2] = {
+                    {"iteration", shared->iteration},
+                    {"slot", shared->ticket.slot}};
+                Tracer::global().record("checkpoint.lifecycle",
+                                        shared->trace_begin_ns,
+                                        Tracer::now_ns(), args, 2);
+            }
         }
     };
 
@@ -253,19 +277,28 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         // persisting cannot overlap, so the whole transfer sits on
         // the snapshot critical path.
         std::uint32_t crc = 0;
-        for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
-            const Bytes this_len = std::min(chunk_bytes_, len - offset);
-            state_->gpu().direct_copy_to_storage(
-                *device_, store_->slot_offset(ticket.slot) + offset, src,
-                region_offset_ + offset, this_len);
-            if (config_.compute_crc) {
-                crc = crc32c(state_->gpu().device_data(
-                                 src, region_offset_ + offset),
-                             this_len, crc);
+        {
+            static LatencyHistogram& snap_hist =
+                MetricsRegistry::global().histogram(
+                    "pccheck.stage.snapshot");
+            StageSpan snap_span("checkpoint.snapshot", snap_hist,
+                                "iteration", iteration, "slot",
+                                ticket.slot);
+            for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
+                const Bytes this_len =
+                    std::min(chunk_bytes_, len - offset);
+                state_->gpu().direct_copy_to_storage(
+                    *device_, store_->slot_offset(ticket.slot) + offset,
+                    src, region_offset_ + offset, this_len);
+                if (config_.compute_crc) {
+                    crc = crc32c(state_->gpu().device_data(
+                                     src, region_offset_ + offset),
+                                 this_len, crc);
+                }
+                store_->persist_slot_range(ticket.slot, offset, this_len);
             }
-            store_->persist_slot_range(ticket.slot, offset, this_len);
+            device_->fence();
         }
-        device_->fence();
         {
             std::lock_guard<std::mutex> lock(mu_);
             PCCHECK_CHECK(snapshots_pending_ > 0);
@@ -280,25 +313,35 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     }
 
     std::uint32_t crc = 0;
-    for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
-        const Bytes this_len = std::min(chunk_bytes_, len - offset);
-        // ③ stage the chunk into pinned DRAM via the GPU copy engine.
-        std::uint8_t* buffer = acquire_chunk_buffer();
-        state_->gpu().copy_to_host(buffer, src, region_offset_ + offset,
-                                   this_len, config_.pinned_memory);
-        if (config_.compute_crc) {
-            crc = crc32c(buffer, this_len, crc);
+    {
+        static LatencyHistogram& snap_hist =
+            MetricsRegistry::global().histogram(
+                "pccheck.stage.snapshot");
+        StageSpan snap_span("checkpoint.snapshot", snap_hist,
+                            "iteration", iteration, "slot", ticket.slot);
+        for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
+            const Bytes this_len = std::min(chunk_bytes_, len - offset);
+            // ③ stage the chunk into pinned DRAM via the GPU copy
+            // engine.
+            std::uint8_t* buffer = acquire_chunk_buffer();
+            state_->gpu().copy_to_host(buffer, src,
+                                       region_offset_ + offset, this_len,
+                                       config_.pinned_memory);
+            if (config_.compute_crc) {
+                crc = crc32c(buffer, this_len, crc);
+            }
+            // ④ hand the chunk to the persist engine; the buffer
+            // returns to the pool as soon as this chunk is durable,
+            // letting the next snapshot overwrite already-persisted
+            // chunks (§3.1).
+            engine_->persist_range_async(
+                ticket.slot, offset, buffer, this_len,
+                config_.writers_per_checkpoint,
+                [this, inflight, buffer, maybe_commit] {
+                    release_chunk_buffer(buffer);
+                    maybe_commit(inflight);
+                });
         }
-        // ④ hand the chunk to the persist engine; the buffer returns
-        // to the pool as soon as this chunk is durable, letting the
-        // next snapshot overwrite already-persisted chunks (§3.1).
-        engine_->persist_range_async(
-            ticket.slot, offset, buffer, this_len,
-            config_.writers_per_checkpoint,
-            [this, inflight, buffer, maybe_commit] {
-                release_chunk_buffer(buffer);
-                maybe_commit(inflight);
-            });
     }
 
     // GPU→DRAM copy finished: the training loop may mutate weights.
@@ -318,18 +361,25 @@ PCcheckCheckpointer::on_checkpoint_complete(std::uint64_t iteration,
                                             Seconds request_time)
 {
     (void)iteration;
+    static LatencyHistogram& latency_hist =
+        MetricsRegistry::global().histogram(
+            "pccheck.stage.checkpoint_latency");
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++completed_;
         latency_.add(clock_->now() - request_time);
+        latency_hist.observe(clock_->now() - request_time);
         MetricsRegistry::global()
             .gauge("pccheck.checkpoint.latency_s")
             .set(clock_->now() - request_time);
+        // Notify under the lock: the destructor destroys this cv as
+        // soon as its predicate holds, so an unlocked broadcast could
+        // still be executing on a pool thread when the cv dies.
+        complete_cv_.notify_all();
     }
     MetricsRegistry::global()
         .counter("pccheck.checkpoints.completed")
         .add();
-    complete_cv_.notify_all();
 }
 
 }  // namespace pccheck

@@ -85,6 +85,7 @@ class PCcheckCheckpointer final : public Checkpointer {
     struct Request {
         std::uint64_t iteration = 0;
         Seconds request_time = 0;
+        std::uint64_t trace_begin_ns = 0;  ///< lifecycle span anchor
         bool stop = false;
     };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/stage.h"
 #include "util/check.h"
 #include "util/metrics.h"
 
@@ -26,6 +27,11 @@ PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
 {
     static Counter& bytes_persisted =
         MetricsRegistry::global().counter("pccheck.persist.bytes");
+    static LatencyHistogram& chunk_hist =
+        MetricsRegistry::global().histogram(
+            "pccheck.stage.persist_chunk");
+    StageSpan span("persist.chunk", chunk_hist, "slot", slot, "len",
+                   len);
     Stopwatch watch(*clock_);
     store_->write_slot(slot, offset, src, len);
     bytes_persisted.add(len);
@@ -52,6 +58,7 @@ PersistEngine::persist_range(std::uint32_t slot, Bytes offset,
 {
     PCCHECK_CHECK(parallel_writers >= 1);
     const bool is_pmem = needs_fence(store_->device().kind());
+    PCCHECK_TRACE_SPAN("persist.range", "slot", slot, "len", len);
     Stopwatch watch(*clock_);
 
     const auto writers = static_cast<Bytes>(parallel_writers);

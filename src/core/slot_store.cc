@@ -51,7 +51,8 @@ record_crc(const RawRecord& rec)
 SlotStore::SlotStore(StorageDevice& device, std::uint32_t slot_count,
                      Bytes slot_size)
     : device_(&device), slot_count_(slot_count), slot_size_(slot_size),
-      data_offset_(kDataAlign)
+      data_offset_(kDataAlign),
+      publish_(std::make_shared<PublishState>())
 {
 }
 
@@ -155,6 +156,16 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
 {
     PCCHECK_CHECK(ptr.slot < slot_count_);
     PCCHECK_CHECK(ptr.data_len <= slot_size_);
+    // Serialize with concurrent commit winners: two in-flight
+    // publishes with counters of equal parity target the SAME record,
+    // and a delayed older publish must not overwrite a newer durable
+    // record whose predecessor slot has already been recycled.
+    std::lock_guard<std::mutex> lock(publish_->mu);
+    if (publish_->any && ptr.counter < publish_->last_counter) {
+        return;
+    }
+    publish_->any = true;
+    publish_->last_counter = ptr.counter;
     RawRecord rec{};
     rec.counter = ptr.counter;
     rec.slot = ptr.slot;

@@ -24,6 +24,8 @@
  */
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -79,6 +81,11 @@ class SlotStore {
      * Durably publish @p ptr as the latest checkpoint: writes the
      * alternating pointer record, persists it, and fences. The caller
      * must have already persisted (and fenced, on PMEM) the slot data.
+     *
+     * Thread-safe: concurrent commit winners are serialized, and a
+     * publish that arrives after a higher-counter record is already
+     * durable is dropped — its slot may have been recycled, so writing
+     * it would point the record at data being overwritten.
      */
     void publish_pointer(const CheckpointPointer& ptr);
 
@@ -109,10 +116,20 @@ class SlotStore {
 
     static Bytes record_offset(int index);
 
+    // Shared by copies of this SlotStore (which alias the same device):
+    // serializes pointer-record writes and remembers the newest
+    // published counter so stale publishes can be dropped.
+    struct PublishState {
+        std::mutex mu;
+        std::uint64_t last_counter = 0;
+        bool any = false;
+    };
+
     StorageDevice* device_;
     std::uint32_t slot_count_;
     Bytes slot_size_;
     Bytes data_offset_;
+    std::shared_ptr<PublishState> publish_;
 };
 
 }  // namespace pccheck

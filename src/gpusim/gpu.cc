@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "storage/device.h"
 #include "util/check.h"
 
@@ -74,6 +75,8 @@ SimGpu::copy_to_host(void* dst, DevPtr src, Bytes offset, Bytes len,
     PCCHECK_CHECK_MSG(offset + len <= src.size,
                       "copy_to_host out of range off=" << offset
                                                        << " len=" << len);
+    PCCHECK_TRACE_SPAN("gpu.copy_to_host", "len", len, "pinned",
+                       pinned ? 1 : 0);
     dma_transfer(len, pinned);
     std::memcpy(dst, arena_.data() + src.offset + offset, len);
 }
@@ -83,6 +86,8 @@ SimGpu::copy_to_device(DevPtr dst, Bytes offset, const void* src, Bytes len,
                        bool pinned)
 {
     PCCHECK_CHECK(offset + len <= dst.size);
+    PCCHECK_TRACE_SPAN("gpu.copy_to_device", "len", len, "pinned",
+                       pinned ? 1 : 0);
     dma_transfer(len, pinned);
     std::memcpy(arena_.data() + dst.offset + offset, src, len);
 }
@@ -100,6 +105,7 @@ void
 SimGpu::launch_kernel(Seconds duration)
 {
     std::lock_guard<std::mutex> lock(compute_mu_);
+    PCCHECK_TRACE_SPAN("gpu.kernel");
     clock_.sleep_for(duration);
 }
 
@@ -109,6 +115,7 @@ SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
 {
     PCCHECK_CHECK(src_offset + len <= src.size);
     std::lock_guard<std::mutex> lock(compute_mu_);
+    PCCHECK_TRACE_SPAN("gpu.kernel_copy_to_storage", "len", len);
     // The copy kernel streams over PCIe at a reduced rate and keeps
     // the SMs busy for the whole transfer (GPM's UVM path).
     const auto charged = static_cast<Bytes>(static_cast<double>(len) /
@@ -123,6 +130,7 @@ SimGpu::direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
                                DevPtr src, Bytes src_offset, Bytes len)
 {
     PCCHECK_CHECK(src_offset + len <= src.size);
+    PCCHECK_TRACE_SPAN("gpu.direct_copy_to_storage", "len", len);
     // P2P transfer: PCIe time is paid, then the device write (its own
     // throttle models the medium). No DRAM hop, no compute engine.
     pcie_.acquire(len);

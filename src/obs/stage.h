@@ -1,0 +1,76 @@
+#ifndef PCCHECK_OBS_STAGE_H_
+#define PCCHECK_OBS_STAGE_H_
+
+/**
+ * @file
+ * StageSpan: one RAII scope that feeds both observability sinks with a
+ * single pair of clock reads — the always-on stage LatencyHistogram in
+ * MetricsRegistry (p50/p95/p99 per stage) and, when tracing is
+ * enabled, a span in the Chrome-trace capture.
+ *
+ * Usage at a hot-path stage boundary:
+ *   static LatencyHistogram& hist =
+ *       MetricsRegistry::global().histogram("pccheck.stage.commit");
+ *   StageSpan span("commit.cas", hist, "counter", ticket.counter);
+ */
+
+#include "obs/trace.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+
+/** Times a scope into a stage histogram and (optionally) the tracer. */
+class StageSpan {
+  public:
+    StageSpan(const char* span_name, LatencyHistogram& hist)
+        : hist_(&hist), name_(span_name),
+          traced_(Tracer::global().enabled()),
+          begin_ns_(Tracer::now_ns())
+    {
+    }
+    StageSpan(const char* span_name, LatencyHistogram& hist,
+              const char* k0, std::uint64_t v0)
+        : StageSpan(span_name, hist)
+    {
+        arg(k0, v0);
+    }
+    StageSpan(const char* span_name, LatencyHistogram& hist,
+              const char* k0, std::uint64_t v0, const char* k1,
+              std::uint64_t v1)
+        : StageSpan(span_name, hist)
+    {
+        arg(k0, v0);
+        arg(k1, v1);
+    }
+    ~StageSpan()
+    {
+        const std::uint64_t end_ns = Tracer::now_ns();
+        hist_->observe(static_cast<double>(end_ns - begin_ns_) / 1e9);
+        if (traced_) {
+            Tracer::global().record(name_, begin_ns_, end_ns, args_,
+                                    nargs_);
+        }
+    }
+    StageSpan(const StageSpan&) = delete;
+    StageSpan& operator=(const StageSpan&) = delete;
+
+    /** Attach a key/value after construction (ignored past two). */
+    void arg(const char* key, std::uint64_t value)
+    {
+        if (nargs_ < 2) {
+            args_[nargs_++] = TraceArg{key, value};
+        }
+    }
+
+  private:
+    LatencyHistogram* hist_;
+    const char* name_;
+    bool traced_;
+    std::uint64_t begin_ns_;
+    std::uint32_t nargs_ = 0;
+    TraceArg args_[2];
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_OBS_STAGE_H_

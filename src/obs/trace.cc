@@ -1,0 +1,237 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+
+namespace pccheck {
+namespace {
+
+/** Distinguishes tracer instances so a thread-local buffer pointer
+ *  cached against a destroyed tracer is never reused, even if a new
+ *  tracer lands at the same address. */
+std::atomic<std::uint64_t> g_tracer_generation{1};
+
+struct ThreadCache {
+    std::uint64_t generation = 0;
+    void* buffer = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+void
+append_json_escaped(std::string& out, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u0020";  // control chars never appear in span names
+        } else {
+            out.push_back(c);
+        }
+    }
+}
+
+}  // namespace
+
+/**
+ * Single-writer event buffer. The owning thread stores events[i] then
+ * publishes with a release store of count = i + 1; readers acquire
+ * count and may touch only events[0, count).
+ */
+struct Tracer::ThreadBuffer {
+    explicit ThreadBuffer(std::uint32_t tid_in) : tid(tid_in)
+    {
+        events.resize(kEventsPerThread);
+    }
+
+    std::uint32_t tid;
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::size_t> dropped{0};
+    std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer()
+    : generation_(
+          g_tracer_generation.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer&
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::set_enabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Tracer::ThreadBuffer*
+Tracer::buffer_for_this_thread()
+{
+    if (t_cache.generation == generation_) {
+        return static_cast<ThreadBuffer*>(t_cache.buffer);
+    }
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto buffer = std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(buffers_.size()));
+    ThreadBuffer* raw = buffer.get();
+    buffers_.push_back(std::move(buffer));
+    t_cache.generation = generation_;
+    t_cache.buffer = raw;
+    return raw;
+}
+
+void
+Tracer::record(const char* name, std::uint64_t begin_ns,
+               std::uint64_t end_ns, const TraceArg* args,
+               std::uint32_t nargs)
+{
+    if (!enabled()) {
+        return;
+    }
+    ThreadBuffer* buffer = buffer_for_this_thread();
+    const std::size_t index =
+        buffer->count.load(std::memory_order_relaxed);
+    if (index >= buffer->events.size()) {
+        buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    TraceEvent& event = buffer->events[index];
+    event.name = name;
+    event.begin_ns = begin_ns;
+    event.end_ns = end_ns;
+    event.nargs = nargs > 2 ? 2 : nargs;
+    for (std::uint32_t i = 0; i < event.nargs; ++i) {
+        event.args[i] = args[i];
+    }
+    buffer->count.store(index + 1, std::memory_order_release);
+}
+
+std::size_t
+Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+        total += buffer->count.load(std::memory_order_acquire);
+    }
+    return total;
+}
+
+std::size_t
+Tracer::dropped_count() const
+{
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+        total += buffer->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    std::vector<TraceEvent> out;
+    for (const auto& buffer : buffers_) {
+        const std::size_t n =
+            buffer->count.load(std::memory_order_acquire);
+        out.insert(out.end(), buffer->events.begin(),
+                   buffer->events.begin() +
+                       static_cast<std::ptrdiff_t>(n));
+    }
+    return out;
+}
+
+void
+Tracer::export_chrome_json(std::ostream& out) const
+{
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    std::string json;
+    json.reserve(1 << 16);
+    json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& buffer : buffers_) {
+        const std::size_t n =
+            buffer->count.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent& event = buffer->events[i];
+            if (!first) {
+                json += ",";
+            }
+            first = false;
+            json += "\n{\"name\":\"";
+            append_json_escaped(json, event.name);
+            json += "\",\"cat\":\"pccheck\",\"ph\":\"X\",\"pid\":1,"
+                    "\"tid\":";
+            json += std::to_string(buffer->tid);
+            // Chrome trace timestamps are microseconds; keep ns
+            // resolution with a fractional part.
+            json += ",\"ts\":";
+            json += std::to_string(
+                static_cast<double>(event.begin_ns) / 1e3);
+            json += ",\"dur\":";
+            json += std::to_string(
+                static_cast<double>(event.end_ns - event.begin_ns) /
+                1e3);
+            if (event.nargs > 0) {
+                json += ",\"args\":{";
+                for (std::uint32_t a = 0; a < event.nargs; ++a) {
+                    if (a > 0) {
+                        json += ",";
+                    }
+                    json += "\"";
+                    append_json_escaped(json, event.args[a].key);
+                    json += "\":";
+                    json += std::to_string(event.args[a].value);
+                }
+                json += "}";
+            }
+            json += "}";
+        }
+    }
+    json += "\n]}\n";
+    out << json;
+}
+
+bool
+Tracer::write_file(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    export_chrome_json(out);
+    return out.good();
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& buffer : buffers_) {
+        buffer->count.store(0, std::memory_order_release);
+        buffer->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace pccheck

@@ -1,0 +1,197 @@
+#ifndef PCCHECK_OBS_TRACE_H_
+#define PCCHECK_OBS_TRACE_H_
+
+/**
+ * @file
+ * Low-overhead span tracer for the checkpointing hot paths.
+ *
+ * Each instrumented scope records one complete span (begin/end
+ * timestamp, thread id, up to two integer key/value args) into a
+ * per-thread fixed-capacity buffer. Writers never take a lock and
+ * never allocate on the hot path: a thread registers its buffer once
+ * (under the registry mutex) and from then on appends with a single
+ * release store of the buffer count. The exporter reads counts with
+ * acquire loads, so concurrent capture while a run is still in flight
+ * observes only fully written events.
+ *
+ * Tracing is off by default. The disabled path is a relaxed atomic
+ * load and two pointer-sized stores — no clock read, no allocation —
+ * so instrumentation can stay compiled into release builds.
+ *
+ * Usage:
+ *   Tracer::global().set_enabled(true);
+ *   {
+ *       PCCHECK_TRACE_SPAN("persist.chunk", "slot", slot, "len", len);
+ *       ... hot work ...
+ *   }
+ *   Tracer::global().write_file("trace.json");  // Chrome trace JSON
+ *
+ * The emitted JSON uses the Chrome trace-event format ("ph":"X"
+ * complete events) and loads directly in ui.perfetto.dev or
+ * chrome://tracing.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pccheck {
+
+/** One integer span annotation; the key must be a string literal. */
+struct TraceArg {
+    const char* key = nullptr;
+    std::uint64_t value = 0;
+};
+
+/** One closed span. The name must be a string literal (stored by
+ *  pointer; never copied). */
+struct TraceEvent {
+    const char* name = nullptr;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint32_t nargs = 0;
+    TraceArg args[2];
+};
+
+/**
+ * Process-wide span collector. All methods are thread safe; record()
+ * is wait-free after a thread's first event (single-writer buffer,
+ * release-store publication).
+ */
+class Tracer {
+  public:
+    /** Events retained per thread; later events are counted as
+     *  dropped, never torn. */
+    static constexpr std::size_t kEventsPerThread = 1 << 16;
+
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /** Process-wide instance used by the PCCHECK_TRACE_SPAN macro. */
+    static Tracer& global();
+
+    /** Turn capture on/off. Spans opened while disabled record
+     *  nothing even if tracing is re-enabled before they close. */
+    void set_enabled(bool enabled);
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Monotonic nanoseconds (steady clock; shared epoch for every
+     *  thread in the process). */
+    static std::uint64_t now_ns();
+
+    /** Append one closed span for the calling thread. @p name and the
+     *  arg keys must be string literals. No-op while disabled. */
+    void record(const char* name, std::uint64_t begin_ns,
+                std::uint64_t end_ns, const TraceArg* args,
+                std::uint32_t nargs);
+
+    /** Total events currently captured across all threads. */
+    std::size_t event_count() const;
+
+    /** Events discarded because a thread buffer filled up. */
+    std::size_t dropped_count() const;
+
+    /** Snapshot of every captured event (acquire-ordered; safe while
+     *  writers are still recording). */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Write the capture as Chrome trace-event JSON. */
+    void export_chrome_json(std::ostream& out) const;
+
+    /** export_chrome_json to @p path; false on I/O failure. */
+    bool write_file(const std::string& path) const;
+
+    /**
+     * Discard every captured event (buffers stay registered to their
+     * threads). Only call while no instrumented code is running —
+     * test isolation, not hot-path use.
+     */
+    void reset();
+
+  private:
+    struct ThreadBuffer;
+
+    ThreadBuffer* buffer_for_this_thread();
+
+    std::atomic<bool> enabled_{false};
+    const std::uint64_t generation_;
+
+    mutable std::mutex registry_mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII span: samples the clock at construction and records a complete
+ * event at destruction. When the tracer is disabled at construction
+ * the span is inert (its destructor does nothing).
+ */
+class TraceSpan {
+  public:
+    explicit TraceSpan(const char* name)
+    {
+        if (Tracer::global().enabled()) {
+            name_ = name;
+            begin_ns_ = Tracer::now_ns();
+        }
+    }
+    TraceSpan(const char* name, const char* k0, std::uint64_t v0)
+        : TraceSpan(name)
+    {
+        arg(k0, v0);
+    }
+    TraceSpan(const char* name, const char* k0, std::uint64_t v0,
+              const char* k1, std::uint64_t v1)
+        : TraceSpan(name)
+    {
+        arg(k0, v0);
+        arg(k1, v1);
+    }
+    ~TraceSpan()
+    {
+        if (name_ != nullptr) {
+            Tracer::global().record(name_, begin_ns_, Tracer::now_ns(),
+                                    args_, nargs_);
+        }
+    }
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /** Attach a key/value after construction (e.g. an outcome flag).
+     *  Silently ignored past two args or while inert. */
+    void arg(const char* key, std::uint64_t value)
+    {
+        if (name_ != nullptr && nargs_ < 2) {
+            args_[nargs_++] = TraceArg{key, value};
+        }
+    }
+
+  private:
+    const char* name_ = nullptr;
+    std::uint64_t begin_ns_ = 0;
+    std::uint32_t nargs_ = 0;
+    TraceArg args_[2];
+};
+
+#define PCCHECK_TRACE_CONCAT_IMPL(a, b) a##b
+#define PCCHECK_TRACE_CONCAT(a, b) PCCHECK_TRACE_CONCAT_IMPL(a, b)
+
+/** Open a span for the rest of the enclosing scope:
+ *  PCCHECK_TRACE_SPAN("name") or
+ *  PCCHECK_TRACE_SPAN("name", "key", value[, "key2", value2]). */
+#define PCCHECK_TRACE_SPAN(...)                                          \
+    ::pccheck::TraceSpan PCCHECK_TRACE_CONCAT(pccheck_trace_span_,       \
+                                              __COUNTER__)(__VA_ARGS__)
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pccheck {
@@ -70,6 +71,7 @@ FileStorage::persist(Bytes offset, Bytes len)
         return;
     }
     PCCHECK_CHECK(offset + len <= size_);
+    PCCHECK_TRACE_SPAN("storage.msync", "len", len);
     const Bytes start = align_down(offset, kPage);
     const Bytes end = align_up(offset + len, kPage);
     if (::msync(map_ + start, std::min(end, size_) - start, MS_SYNC) != 0) {

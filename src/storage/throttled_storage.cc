@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pccheck {
@@ -22,6 +23,7 @@ ThrottledStorage::ThrottledStorage(std::unique_ptr<StorageDevice> inner,
 void
 ThrottledStorage::write(Bytes offset, const void* src, Bytes len)
 {
+    PCCHECK_TRACE_SPAN("storage.write", "len", len);
     write_throttle_.acquire(len);
     inner_->write(offset, src, len);
 }
@@ -36,6 +38,7 @@ ThrottledStorage::read(Bytes offset, void* dst, Bytes len) const
 void
 ThrottledStorage::persist(Bytes offset, Bytes len)
 {
+    PCCHECK_TRACE_SPAN("storage.persist", "len", len);
     persist_throttle_.acquire(len);
     inner_->persist(offset, len);
 }

@@ -1,5 +1,6 @@
 #include "trainsim/training_loop.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pccheck {
@@ -34,6 +35,7 @@ TrainingLoop::run(std::uint64_t iterations,
     Stopwatch watch(*clock_);
     const std::uint64_t end = start_iteration + iterations;
     for (std::uint64_t iter = start_iteration; iter < end; ++iter) {
+        PCCHECK_TRACE_SPAN("train.iteration", "iteration", iter);
         // T: forward + backward passes occupy the compute engine.
         gpu_->launch_kernel(train_time);
         // The update may not mutate weights while a snapshot of the

@@ -1,6 +1,35 @@
 #include "util/metrics.h"
 
+#include <algorithm>
+
 namespace pccheck {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi,
+                                   std::size_t buckets)
+    : hist_(lo, hi, buckets)
+{
+}
+
+void
+LatencyHistogram::observe(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(seconds);
+}
+
+std::size_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.count();
+}
+
+HistogramSummary
+LatencyHistogram::summary() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.summary();
+}
 
 MetricsRegistry&
 MetricsRegistry::global()
@@ -31,6 +60,17 @@ MetricsRegistry::gauge(const std::string& name)
     return *slot;
 }
 
+LatencyHistogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<LatencyHistogram>();
+    }
+    return *slot;
+}
+
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::snapshot() const
 {
@@ -43,6 +83,15 @@ MetricsRegistry::snapshot() const
     for (const auto& [name, gauge] : gauges_) {
         out.emplace_back(name, gauge->value());
     }
+    for (const auto& [name, hist] : histograms_) {
+        const HistogramSummary s = hist->summary();
+        out.emplace_back(name + ".count",
+                         static_cast<double>(s.count));
+        out.emplace_back(name + ".p50", s.p50);
+        out.emplace_back(name + ".p95", s.p95);
+        out.emplace_back(name + ".p99", s.p99);
+    }
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -65,6 +114,10 @@ MetricsRegistry::reset()
     for (auto& [name, gauge] : gauges_) {
         (void)name;
         gauge = std::make_unique<Gauge>();
+    }
+    for (auto& [name, hist] : histograms_) {
+        (void)name;
+        hist = std::make_unique<LatencyHistogram>();
     }
 }
 

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "util/stats.h"
+
 namespace pccheck {
 
 /** Monotonic counter; thread safe, relaxed ordering. */
@@ -57,7 +59,30 @@ class Gauge {
     std::atomic<double> value_{0};
 };
 
-/** Named registry of counters and gauges. */
+/**
+ * Mutex-wrapped latency Histogram for stage timings (seconds).
+ * Observations are expected to be sub-second; samples past the range
+ * saturate into the overflow bucket, so quantiles clamp at the upper
+ * bound instead of losing data silently.
+ */
+class LatencyHistogram {
+  public:
+    /** Default range: [0, 2) s, ~0.24 ms resolution. */
+    LatencyHistogram(double lo = 0.0, double hi = 2.0,
+                     std::size_t buckets = 8192);
+
+    void observe(double seconds);
+    std::size_t count() const;
+
+    /** p50/p95/p99 digest under the lock. */
+    HistogramSummary summary() const;
+
+  private:
+    mutable std::mutex mu_;
+    Histogram hist_;
+};
+
+/** Named registry of counters, gauges, and stage histograms. */
 class MetricsRegistry {
   public:
     /** Process-wide registry (modules default to this). */
@@ -67,20 +92,24 @@ class MetricsRegistry {
      *  registry. Thread safe. */
     Counter& counter(const std::string& name);
     Gauge& gauge(const std::string& name);
+    LatencyHistogram& histogram(const std::string& name);
 
-    /** Snapshot of (name, value) pairs, sorted by name. */
+    /** Snapshot of (name, value) pairs, sorted by name. Histograms
+     *  contribute <name>.count/.p50/.p95/.p99 entries. */
     std::vector<std::pair<std::string, double>> snapshot() const;
 
-    /** Human-readable dump, one metric per line. */
+    /** Human-readable dump, one metric per line; histograms print
+     *  count and p50/p95/p99. */
     void dump(std::ostream& out) const;
 
-    /** Reset every counter/gauge to zero (test isolation). */
+    /** Reset every counter/gauge/histogram to zero (test isolation). */
     void reset();
 
   private:
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 
 }  // namespace pccheck

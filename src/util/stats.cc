@@ -103,6 +103,30 @@ Histogram::quantile(double q) const
     return hi_;
 }
 
+HistogramSummary
+Histogram::summary() const
+{
+    HistogramSummary s;
+    s.count = total_;
+    s.p50 = quantile(0.5);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+    return s;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    PCCHECK_CHECK(other.lo_ == lo_ && other.hi_ == hi_ &&
+                  other.buckets_.size() == buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 std::string
 Histogram::to_string() const
 {

@@ -42,6 +42,14 @@ class RunningStat {
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/** Tail-latency digest of a Histogram (see Histogram::summary). */
+struct HistogramSummary {
+    std::size_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
 /**
  * Histogram with uniform bucket width over [lo, hi); out-of-range
  * samples land in saturating under/overflow buckets. Quantiles are
@@ -61,6 +69,12 @@ class Histogram {
 
     /** Estimated q-quantile, q in [0, 1]. Returns lo/hi at the edges. */
     double quantile(double q) const;
+
+    /** Count / p50 / p95 / p99 in one pass (metrics dumps). */
+    HistogramSummary summary() const;
+
+    /** Merge another histogram with identical geometry into this one. */
+    void merge(const Histogram& other);
 
     /** Multi-line textual rendering for logs. */
     std::string to_string() const;

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the observability layer: span nesting, concurrent
+ * lock-free emission, Chrome-JSON well-formedness, stage histograms
+ * through MetricsRegistry, and the cost of the disabled path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stage.h"
+#include "obs/trace.h"
+#include "util/metrics.h"
+#include "util/stats.h"
+
+namespace pccheck {
+namespace {
+
+/** Allocation counter for the zero-allocation-when-disabled test. */
+std::atomic<std::size_t> g_allocations{0};
+
+}  // namespace
+}  // namespace pccheck
+
+void*
+operator new(std::size_t size)
+{
+    pccheck::g_allocations.fetch_add(1, std::memory_order_relaxed);
+    void* p = std::malloc(size);
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace pccheck {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker for the
+ * subset the exporter emits (objects, arrays, strings, numbers).
+ */
+class JsonChecker {
+  public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool valid()
+    {
+        skip_ws();
+        if (!value()) {
+            return false;
+        }
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            return object();
+        }
+        if (c == '[') {
+            return array();
+        }
+        if (c == '"') {
+            return string();
+        }
+        return number();
+    }
+    bool object()
+    {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!string()) {
+                return false;
+            }
+            skip_ws();
+            if (peek() != ':') {
+                return false;
+            }
+            ++pos_;
+            skip_ws();
+            if (!value()) {
+                return false;
+            }
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+    bool array()
+    {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!value()) {
+                return false;
+            }
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+    bool string()
+    {
+        if (peek() != '"') {
+            return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) {
+            return false;
+        }
+        ++pos_;  // closing quote
+        return true;
+    }
+    bool number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    char peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        Tracer::global().reset();
+        Tracer::global().set_enabled(true);
+    }
+    void TearDown() override
+    {
+        Tracer::global().set_enabled(false);
+        Tracer::global().reset();
+    }
+};
+
+TEST_F(ObsTest, RecordsSpanWithArgs)
+{
+    {
+        PCCHECK_TRACE_SPAN("unit.span", "slot", 7, "len", 4096);
+    }
+    const auto events = Tracer::global().snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "unit.span");
+    EXPECT_LE(events[0].begin_ns, events[0].end_ns);
+    ASSERT_EQ(events[0].nargs, 2u);
+    EXPECT_STREQ(events[0].args[0].key, "slot");
+    EXPECT_EQ(events[0].args[0].value, 7u);
+    EXPECT_STREQ(events[0].args[1].key, "len");
+    EXPECT_EQ(events[0].args[1].value, 4096u);
+}
+
+TEST_F(ObsTest, NestedSpansCloseInnerFirstAndStayContained)
+{
+    {
+        PCCHECK_TRACE_SPAN("outer");
+        {
+            PCCHECK_TRACE_SPAN("inner");
+        }
+    }
+    const auto events = Tracer::global().snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    // Destruction order records the inner span first.
+    EXPECT_STREQ(events[0].name, "inner");
+    EXPECT_STREQ(events[1].name, "outer");
+    EXPECT_GE(events[0].begin_ns, events[1].begin_ns);
+    EXPECT_LE(events[0].end_ns, events[1].end_ns);
+}
+
+TEST_F(ObsTest, SpanOpenedWhileDisabledRecordsNothing)
+{
+    Tracer::global().set_enabled(false);
+    {
+        PCCHECK_TRACE_SPAN("ghost");
+        Tracer::global().set_enabled(true);
+    }  // closes after re-enable; must still record nothing
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentEmissionLosesNoEventsAndTearsNone)
+{
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                PCCHECK_TRACE_SPAN("mt.span", "thread",
+                                   static_cast<std::uint64_t>(t), "i",
+                                   static_cast<std::uint64_t>(i));
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(Tracer::global().dropped_count(), 0u);
+    const auto events = Tracer::global().snapshot();
+    std::size_t mine = 0;
+    std::vector<std::size_t> per_thread(kThreads, 0);
+    for (const auto& event : events) {
+        if (std::string(event.name) != "mt.span") {
+            continue;
+        }
+        ++mine;
+        ASSERT_EQ(event.nargs, 2u);          // never torn
+        ASSERT_LE(event.begin_ns, event.end_ns);
+        ASSERT_LT(event.args[0].value, static_cast<std::uint64_t>(kThreads));
+        ++per_thread[event.args[0].value];
+    }
+    EXPECT_EQ(mine, static_cast<std::size_t>(kThreads) * kSpansPerThread);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(per_thread[t], static_cast<std::size_t>(kSpansPerThread));
+    }
+}
+
+TEST_F(ObsTest, BufferOverflowCountsDropsInsteadOfTearing)
+{
+    for (std::size_t i = 0; i < Tracer::kEventsPerThread + 100; ++i) {
+        PCCHECK_TRACE_SPAN("flood");
+    }
+    // This thread may have recorded earlier events in this process;
+    // drops are at least the overshoot and nothing is torn.
+    EXPECT_GE(Tracer::global().dropped_count(), 100u);
+    for (const auto& event : Tracer::global().snapshot()) {
+        EXPECT_NE(event.name, nullptr);
+    }
+}
+
+TEST_F(ObsTest, ExportedJsonIsWellFormedAndCarriesEvents)
+{
+    {
+        PCCHECK_TRACE_SPAN("persist.chunk", "slot", 1, "len", 64);
+        PCCHECK_TRACE_SPAN("quote\"backslash\\name");
+    }
+    std::ostringstream out;
+    Tracer::global().export_chrome_json(out);
+    const std::string json = out.str();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("persist.chunk"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("quote\\\"backslash\\\\name"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledPathAllocatesNothing)
+{
+    Tracer::global().set_enabled(false);
+    // Warm the thread-local registration path while enabled first.
+    Tracer::global().set_enabled(true);
+    {
+        PCCHECK_TRACE_SPAN("warm");
+    }
+    Tracer::global().set_enabled(false);
+    const std::size_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 10000; ++i) {
+        PCCHECK_TRACE_SPAN("cold", "k", 1);
+    }
+    const std::size_t after =
+        g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(Tracer::global().event_count(), 1u);  // just the warm span
+}
+
+TEST_F(ObsTest, StageSpanFeedsHistogramAlwaysAndTracerWhenEnabled)
+{
+    LatencyHistogram hist;
+    {
+        StageSpan span("stage.unit", hist, "slot", 3);
+    }
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_EQ(Tracer::global().event_count(), 1u);
+
+    Tracer::global().set_enabled(false);
+    {
+        StageSpan span("stage.unit", hist);
+    }
+    EXPECT_EQ(hist.count(), 2u);                    // histogram always on
+    EXPECT_EQ(Tracer::global().event_count(), 1u);  // tracer gated
+}
+
+TEST(HistogramTest, QuantilesMatchUniformDistribution)
+{
+    Histogram hist(0.0, 100.0, 1000);
+    for (int i = 0; i < 10000; ++i) {
+        hist.add(static_cast<double>(i % 100) + 0.5);
+    }
+    EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(hist.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(hist.quantile(0.99), 99.0, 1.0);
+    const HistogramSummary s = hist.summary();
+    EXPECT_EQ(s.count, 10000u);
+    EXPECT_NEAR(s.p50, 50.0, 1.0);
+    EXPECT_NEAR(s.p95, 95.0, 1.0);
+    EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts)
+{
+    Histogram a(0.0, 10.0, 100);
+    Histogram b(0.0, 10.0, 100);
+    for (int i = 0; i < 50; ++i) {
+        a.add(2.0);
+        b.add(8.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_NEAR(a.quantile(0.25), 2.0, 0.2);
+    EXPECT_NEAR(a.quantile(0.75), 8.0, 0.2);
+}
+
+TEST(MetricsHistogramTest, RegistrySurfacesPercentiles)
+{
+    MetricsRegistry registry;
+    LatencyHistogram& hist = registry.histogram("stage.test");
+    for (int i = 0; i < 1000; ++i) {
+        hist.observe(0.001 * static_cast<double>(i % 100));
+    }
+    EXPECT_EQ(&registry.histogram("stage.test"), &hist);
+
+    std::ostringstream out;
+    registry.dump(out);
+    const std::string dump = out.str();
+    EXPECT_NE(dump.find("stage.test.count"), std::string::npos);
+    EXPECT_NE(dump.find("stage.test.p50"), std::string::npos);
+    EXPECT_NE(dump.find("stage.test.p95"), std::string::npos);
+    EXPECT_NE(dump.find("stage.test.p99"), std::string::npos);
+
+    bool found = false;
+    for (const auto& [name, value] : registry.snapshot()) {
+        if (name == "stage.test.p50") {
+            EXPECT_NEAR(value, 0.05, 0.005);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+
+    registry.reset();
+    EXPECT_EQ(registry.histogram("stage.test").count(), 0u);
+}
+
+TEST(MetricsHistogramTest, ConcurrentObserveKeepsEverySample)
+{
+    MetricsRegistry registry;
+    LatencyHistogram& hist = registry.histogram("stage.mt");
+    constexpr int kThreads = 8;
+    constexpr int kSamples = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist] {
+            for (int i = 0; i < kSamples; ++i) {
+                hist.observe(0.001);
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(hist.count(),
+              static_cast<std::size_t>(kThreads) * kSamples);
+}
+
+}  // namespace
+}  // namespace pccheck
