@@ -28,7 +28,7 @@ CheckFreqCheckpointer::CheckFreqCheckpointer(TrainingState& state,
 CheckFreqCheckpointer::~CheckFreqCheckpointer()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -39,28 +39,29 @@ void
 CheckFreqCheckpointer::before_update(std::uint64_t iteration)
 {
     (void)iteration;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!snapshot_in_progress_ && !has_request_) {
         return;
     }
     Stopwatch watch(*clock_);
-    cv_.wait(lock,
-             [this] { return !snapshot_in_progress_ && !has_request_; });
+    while (snapshot_in_progress_ || has_request_) {
+        cv_.wait(mu_);
+    }
     stats_.stall_time += watch.elapsed();
 }
 
 void
 CheckFreqCheckpointer::request_checkpoint(std::uint64_t iteration)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Fig. 4: only one checkpoint at a time — the next snapshot may
     // not start until the previous checkpoint has fully persisted.
     if (snapshot_in_progress_ || persist_in_progress_ || has_request_) {
         Stopwatch watch(*clock_);
-        cv_.wait(lock, [this] {
-            return !snapshot_in_progress_ && !persist_in_progress_ &&
-                   !has_request_;
-        });
+        while (snapshot_in_progress_ || persist_in_progress_ ||
+               has_request_) {
+            cv_.wait(mu_);
+        }
         stats_.stall_time += watch.elapsed();
     }
     ++stats_.requested;
@@ -73,17 +74,17 @@ CheckFreqCheckpointer::request_checkpoint(std::uint64_t iteration)
 void
 CheckFreqCheckpointer::finish()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-        return !has_request_ && !snapshot_in_progress_ &&
-               !persist_in_progress_;
-    });
+    MutexLock lock(mu_);
+    while (has_request_ || snapshot_in_progress_ ||
+           persist_in_progress_) {
+        cv_.wait(mu_);
+    }
 }
 
 CheckpointerStats
 CheckFreqCheckpointer::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
 }
 
@@ -94,8 +95,10 @@ CheckFreqCheckpointer::worker()
         std::uint64_t iteration = 0;
         Seconds request_time = 0;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return has_request_ || stopping_; });
+            MutexLock lock(mu_);
+            while (!has_request_ && !stopping_) {
+                cv_.wait(mu_);
+            }
             if (!has_request_ && stopping_) {
                 return;
             }
@@ -125,7 +128,7 @@ CheckFreqCheckpointer::run_checkpoint(std::uint64_t iteration,
                           config_.serialize_bytes_per_sec);
     }
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         snapshot_in_progress_ = false;
         persist_in_progress_ = true;
     }
@@ -140,7 +143,7 @@ CheckFreqCheckpointer::run_checkpoint(std::uint64_t iteration,
     commit_->commit(ticket, staging_.size(), iteration, crc);
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         persist_in_progress_ = false;
         ++stats_.completed;
         stats_.checkpoint_latency.add(clock_->now() - request_time);

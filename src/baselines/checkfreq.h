@@ -12,9 +12,7 @@
  * checkpoint is persisted, leaving the GPU idle").
  */
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,6 +22,7 @@
 #include "core/slot_store.h"
 #include "trainsim/checkpointer.h"
 #include "trainsim/training_state.h"
+#include "util/annotations.h"
 
 namespace pccheck {
 
@@ -54,15 +53,17 @@ class CheckFreqCheckpointer final : public Checkpointer {
     std::unique_ptr<PersistEngine> engine_;
     std::vector<std::uint8_t> staging_;
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    bool snapshot_in_progress_ = false;  ///< C phase running
-    bool persist_in_progress_ = false;   ///< P phase running
-    bool has_request_ = false;
-    bool stopping_ = false;
-    std::uint64_t request_iteration_ = 0;
-    Seconds request_time_ = 0;
-    CheckpointerStats stats_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    /** C phase running */
+    bool snapshot_in_progress_ PCCHECK_GUARDED_BY(mu_) = false;
+    /** P phase running */
+    bool persist_in_progress_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool has_request_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool stopping_ PCCHECK_GUARDED_BY(mu_) = false;
+    std::uint64_t request_iteration_ PCCHECK_GUARDED_BY(mu_) = 0;
+    Seconds request_time_ PCCHECK_GUARDED_BY(mu_) = 0;
+    CheckpointerStats stats_ PCCHECK_GUARDED_BY(mu_);
     std::thread worker_;
 };
 

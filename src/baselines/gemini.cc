@@ -22,7 +22,7 @@ GeminiCheckpointer::GeminiCheckpointer(TrainingState& state,
 GeminiCheckpointer::~GeminiCheckpointer()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -33,28 +33,29 @@ void
 GeminiCheckpointer::before_update(std::uint64_t iteration)
 {
     (void)iteration;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!snapshot_in_progress_ && !has_request_) {
         return;
     }
     Stopwatch watch(*clock_);
-    cv_.wait(lock,
-             [this] { return !snapshot_in_progress_ && !has_request_; });
+    while (snapshot_in_progress_ || has_request_) {
+        cv_.wait(mu_);
+    }
     stats_.stall_time += watch.elapsed();
 }
 
 void
 GeminiCheckpointer::request_checkpoint(std::uint64_t iteration)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // One checkpoint at a time: the next snapshot waits until the
     // previous network transfer finishes.
     if (snapshot_in_progress_ || transfer_in_progress_ || has_request_) {
         Stopwatch watch(*clock_);
-        cv_.wait(lock, [this] {
-            return !snapshot_in_progress_ && !transfer_in_progress_ &&
-                   !has_request_;
-        });
+        while (snapshot_in_progress_ || transfer_in_progress_ ||
+               has_request_) {
+            cv_.wait(mu_);
+        }
         stats_.stall_time += watch.elapsed();
     }
     ++stats_.requested;
@@ -67,24 +68,24 @@ GeminiCheckpointer::request_checkpoint(std::uint64_t iteration)
 void
 GeminiCheckpointer::finish()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-        return !has_request_ && !snapshot_in_progress_ &&
-               !transfer_in_progress_;
-    });
+    MutexLock lock(mu_);
+    while (has_request_ || snapshot_in_progress_ ||
+           transfer_in_progress_) {
+        cv_.wait(mu_);
+    }
 }
 
 CheckpointerStats
 GeminiCheckpointer::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
 }
 
 std::uint64_t
 GeminiCheckpointer::latest_remote_iteration() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return latest_remote_iteration_;
 }
 
@@ -95,8 +96,10 @@ GeminiCheckpointer::worker()
         std::uint64_t iteration = 0;
         Seconds request_time = 0;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return has_request_ || stopping_; });
+            MutexLock lock(mu_);
+            while (!has_request_ && !stopping_) {
+                cv_.wait(mu_);
+            }
             if (!has_request_ && stopping_) {
                 return;
             }
@@ -118,7 +121,7 @@ GeminiCheckpointer::run_checkpoint(std::uint64_t iteration,
     state_->gpu().copy_to_host(gpu_staging_.data(), state_->device_ptr(),
                                0, gpu_staging_.size(), /*pinned=*/true);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         snapshot_in_progress_ = false;
         transfer_in_progress_ = true;
     }
@@ -129,7 +132,7 @@ GeminiCheckpointer::run_checkpoint(std::uint64_t iteration,
     peer_memory_->write(0, gpu_staging_.data(), gpu_staging_.size());
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         transfer_in_progress_ = false;
         latest_remote_iteration_ = iteration;
         ++stats_.completed;

@@ -16,9 +16,7 @@
  * model) but not a simulated cluster-wide crash.
  */
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -26,6 +24,7 @@
 #include "storage/mem_storage.h"
 #include "trainsim/checkpointer.h"
 #include "trainsim/training_state.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace pccheck {
@@ -66,16 +65,16 @@ class GeminiCheckpointer final : public Checkpointer {
     const Clock* clock_;
     std::vector<std::uint8_t> gpu_staging_;  ///< local bounce buffer
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    bool snapshot_in_progress_ = false;
-    bool transfer_in_progress_ = false;
-    bool has_request_ = false;
-    bool stopping_ = false;
-    std::uint64_t request_iteration_ = 0;
-    Seconds request_time_ = 0;
-    std::uint64_t latest_remote_iteration_ = 0;
-    CheckpointerStats stats_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    bool snapshot_in_progress_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool transfer_in_progress_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool has_request_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool stopping_ PCCHECK_GUARDED_BY(mu_) = false;
+    std::uint64_t request_iteration_ PCCHECK_GUARDED_BY(mu_) = 0;
+    Seconds request_time_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t latest_remote_iteration_ PCCHECK_GUARDED_BY(mu_) = 0;
+    CheckpointerStats stats_ PCCHECK_GUARDED_BY(mu_);
     std::thread worker_;
 };
 

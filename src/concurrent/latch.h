@@ -7,10 +7,9 @@
  * writer-thread pools and distributed-checkpoint rendezvous.
  */
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 
+#include "util/annotations.h"
 #include "util/check.h"
 
 namespace pccheck {
@@ -24,7 +23,7 @@ class CountdownLatch {
     void
     count_down()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         PCCHECK_CHECK(count_ > 0);
         if (--count_ == 0) {
             cv_.notify_all();
@@ -35,22 +34,24 @@ class CountdownLatch {
     void
     wait()
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return count_ == 0; });
+        MutexLock lock(mu_);
+        while (count_ != 0) {
+            cv_.wait(mu_);
+        }
     }
 
     /** Re-arm with a new count. Only valid when no waiters are blocked. */
     void
     reset(std::size_t count)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         count_ = count;
     }
 
   private:
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::size_t count_;
+    Mutex mu_;
+    CondVar cv_;
+    std::size_t count_ PCCHECK_GUARDED_BY(mu_);
 };
 
 /** Cyclic barrier: @p parties threads rendezvous repeatedly. */
@@ -66,7 +67,7 @@ class CyclicBarrier {
     std::size_t
     arrive_and_wait()
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const std::size_t gen = generation_;
         if (++waiting_ == parties_) {
             waiting_ = 0;
@@ -74,16 +75,18 @@ class CyclicBarrier {
             cv_.notify_all();
             return gen;
         }
-        cv_.wait(lock, [this, gen] { return generation_ != gen; });
+        while (generation_ == gen) {
+            cv_.wait(mu_);
+        }
         return gen;
     }
 
   private:
-    std::mutex mu_;
-    std::condition_variable cv_;
+    Mutex mu_;
+    CondVar cv_;
     std::size_t parties_;
-    std::size_t waiting_;
-    std::size_t generation_;
+    std::size_t waiting_ PCCHECK_GUARDED_BY(mu_);
+    std::size_t generation_ PCCHECK_GUARDED_BY(mu_);
 };
 
 }  // namespace pccheck

@@ -41,8 +41,11 @@ class MpmcBoundedQueue {
         mask_ = cap - 1;
         cells_ = std::make_unique<Cell[]>(cap);
         for (std::size_t i = 0; i < cap; ++i) {
+            // relaxed: constructor, no concurrent access yet.
             cells_[i].sequence.store(i, std::memory_order_relaxed);
         }
+        // relaxed: constructor, no concurrent access yet; the object
+        // handoff to other threads provides the ordering.
         head_.store(0, std::memory_order_relaxed);
         tail_.store(0, std::memory_order_relaxed);
     }
@@ -61,6 +64,9 @@ class MpmcBoundedQueue {
     try_enqueue(T value)
     {
         Cell* cell;
+        // relaxed: the tail index is only a claim hint; the cell's
+        // sequence word (acquire/release below) carries the data
+        // ordering, so stale tail reads just retry.
         std::size_t pos = tail_.load(std::memory_order_relaxed);
         for (;;) {
             cell = &cells_[pos & mask_];
@@ -69,6 +75,8 @@ class MpmcBoundedQueue {
             const auto diff = static_cast<std::ptrdiff_t>(seq) -
                               static_cast<std::ptrdiff_t>(pos);
             if (diff == 0) {
+                // relaxed: CAS only claims the index; publication of
+                // the value happens via the sequence release store.
                 if (tail_.compare_exchange_weak(pos, pos + 1,
                                                 std::memory_order_relaxed)) {
                     break;
@@ -76,6 +84,7 @@ class MpmcBoundedQueue {
             } else if (diff < 0) {
                 return false;  // full
             } else {
+                // relaxed: refreshed hint, see load above.
                 pos = tail_.load(std::memory_order_relaxed);
             }
         }
@@ -92,6 +101,8 @@ class MpmcBoundedQueue {
     try_dequeue()
     {
         Cell* cell;
+        // relaxed: the head index is only a claim hint; the cell's
+        // sequence word (acquire/release) carries the data ordering.
         std::size_t pos = head_.load(std::memory_order_relaxed);
         for (;;) {
             cell = &cells_[pos & mask_];
@@ -100,6 +111,8 @@ class MpmcBoundedQueue {
             const auto diff = static_cast<std::ptrdiff_t>(seq) -
                               static_cast<std::ptrdiff_t>(pos + 1);
             if (diff == 0) {
+                // relaxed: CAS only claims the index; the value was
+                // already acquired via the sequence load above.
                 if (head_.compare_exchange_weak(pos, pos + 1,
                                                 std::memory_order_relaxed)) {
                     break;
@@ -107,6 +120,7 @@ class MpmcBoundedQueue {
             } else if (diff < 0) {
                 return std::nullopt;  // empty
             } else {
+                // relaxed: refreshed hint, see load above.
                 pos = head_.load(std::memory_order_relaxed);
             }
         }
@@ -119,6 +133,8 @@ class MpmcBoundedQueue {
     std::size_t
     approx_size() const
     {
+        // relaxed: monitoring only — the size is stale by the time
+        // the caller sees it anyway.
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         const std::size_t head = head_.load(std::memory_order_relaxed);
         return tail >= head ? tail - head : 0;

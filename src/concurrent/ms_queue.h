@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "concurrent/cacheline.h"
@@ -36,15 +37,21 @@ class MsQueue {
         // Chain all nodes into the internal freelist; node 0 becomes
         // the initial dummy.
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            // relaxed: constructor, no concurrent access yet.
             nodes_[i].next.store(kNull, std::memory_order_relaxed);
         }
+        // relaxed: constructor, no concurrent access yet.
         free_head_.store(pack(1, 0), std::memory_order_relaxed);
         for (std::size_t i = 1; i + 1 < nodes_.size(); ++i) {
+            // relaxed: constructor, no concurrent access yet.
             nodes_[i].free_next.store(pack(i + 1, 0),
                                       std::memory_order_relaxed);
         }
+        // relaxed: constructor, no concurrent access yet.
         nodes_.back().free_next.store(kNull, std::memory_order_relaxed);
         const std::uint64_t dummy = pack(0, 0);
+        // relaxed: constructor, no concurrent access yet; the object
+        // handoff to other threads provides the ordering.
         head_.store(dummy, std::memory_order_relaxed);
         tail_.store(dummy, std::memory_order_relaxed);
     }
@@ -61,7 +68,11 @@ class MsQueue {
             return false;
         }
         Node& node = nodes_[index_of(node_ref)];
-        node.value = std::move(value);
+        // Atomic because a lagging dequeuer may still read a recycled
+        // node's value concurrently — it discards the stale read when
+        // its head CAS fails, but the access must be race-free.
+        // relaxed: the release store of `next` below publishes it.
+        node.value.store(std::move(value), std::memory_order_relaxed);
         node.next.store(kNull, std::memory_order_release);
 
         for (;;) {
@@ -108,7 +119,10 @@ class MsQueue {
                                               std::memory_order_acq_rel);
                 continue;
             }
-            T value = nodes_[index_of(next)].value;
+            // relaxed: `next` was acquire-loaded above; a recycled
+            // node's stale value is dropped when the head CAS fails.
+            T value = nodes_[index_of(next)].value.load(
+                std::memory_order_relaxed);
             if (head_.compare_exchange_weak(head, next,
                                             std::memory_order_acq_rel)) {
                 release_node(head);
@@ -118,8 +132,12 @@ class MsQueue {
     }
 
   private:
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "MsQueue stores values in atomics; T must be "
+                  "trivially copyable");
+
     struct Node {
-        T value{};
+        std::atomic<T> value{};
         std::atomic<std::uint64_t> next{0};
         std::atomic<std::uint64_t> free_next{0};
     };

@@ -41,6 +41,7 @@ class SpscRing {
     bool
     try_push(T value)
     {
+        // relaxed: tail_ is written only by this (producer) thread.
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         const std::size_t head = head_.load(std::memory_order_acquire);
         if (tail - head > mask_) {
@@ -55,6 +56,7 @@ class SpscRing {
     std::optional<T>
     try_pop()
     {
+        // relaxed: head_ is written only by this (consumer) thread.
         const std::size_t head = head_.load(std::memory_order_relaxed);
         const std::size_t tail = tail_.load(std::memory_order_acquire);
         if (head == tail) {

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads, bool pin_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -37,7 +37,7 @@ ThreadPool::submit(std::function<void()> task)
     std::packaged_task<void()> packaged(std::move(task));
     auto future = packaged.get_future();
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         PCCHECK_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
         tasks_.push_back(std::move(packaged));
     }
@@ -48,8 +48,10 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait_idle()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+    MutexLock lock(mu_);
+    while (!tasks_.empty() || active_ != 0) {
+        idle_cv_.wait(mu_);
+    }
 }
 
 void
@@ -58,8 +60,10 @@ ThreadPool::worker_loop()
     for (;;) {
         std::packaged_task<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            MutexLock lock(mu_);
+            while (!stopping_ && tasks_.empty()) {
+                cv_.wait(mu_);
+            }
             if (tasks_.empty()) {
                 return;  // stopping and drained
             }
@@ -69,7 +73,7 @@ ThreadPool::worker_loop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             --active_;
             if (tasks_.empty() && active_ == 0) {
                 idle_cv_.notify_all();

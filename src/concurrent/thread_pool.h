@@ -9,14 +9,14 @@
  * glosses over.
  */
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace pccheck {
 
@@ -47,12 +47,12 @@ class ThreadPool {
   private:
     void worker_loop();
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::condition_variable idle_cv_;
-    std::deque<std::packaged_task<void()>> tasks_;
-    std::size_t active_ = 0;
-    bool stopping_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    CondVar idle_cv_;
+    std::deque<std::packaged_task<void()>> tasks_ PCCHECK_GUARDED_BY(mu_);
+    std::size_t active_ PCCHECK_GUARDED_BY(mu_) = 0;
+    bool stopping_ PCCHECK_GUARDED_BY(mu_) = false;
     std::vector<std::thread> workers_;
 };
 

@@ -26,7 +26,7 @@ AdaptiveController::observe_iteration(Seconds duration)
     if (duration <= 0) {
         return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!t_seeded_) {
         t_ewma_ = duration;
         t_seeded_ = true;
@@ -42,7 +42,7 @@ AdaptiveController::observe_checkpoint(Seconds tw)
     if (tw <= 0) {
         return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!tw_seeded_) {
         tw_ewma_ = tw;
         tw_seeded_ = true;
@@ -78,28 +78,28 @@ AdaptiveController::maybe_adapt_locked()
 std::uint64_t
 AdaptiveController::interval() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return interval_;
 }
 
 Seconds
 AdaptiveController::iteration_estimate() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return t_ewma_;
 }
 
 Seconds
 AdaptiveController::tw_estimate() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return tw_ewma_;
 }
 
 std::uint64_t
 AdaptiveController::adaptations() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return adaptations_;
 }
 

@@ -26,9 +26,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "trainsim/checkpointer.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace pccheck {
@@ -67,16 +67,16 @@ class AdaptiveController {
     std::uint64_t adaptations() const;
 
   private:
-    void maybe_adapt_locked();
+    void maybe_adapt_locked() PCCHECK_REQUIRES(mu_);
 
     Options options_;
-    mutable std::mutex mu_;
-    double t_ewma_ = 0;
-    double tw_ewma_ = 0;
-    bool t_seeded_ = false;
-    bool tw_seeded_ = false;
-    std::uint64_t interval_;
-    std::uint64_t adaptations_ = 0;
+    mutable Mutex mu_;
+    double t_ewma_ PCCHECK_GUARDED_BY(mu_) = 0;
+    double tw_ewma_ PCCHECK_GUARDED_BY(mu_) = 0;
+    bool t_seeded_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool tw_seeded_ PCCHECK_GUARDED_BY(mu_) = false;
+    std::uint64_t interval_ PCCHECK_GUARDED_BY(mu_);
+    std::uint64_t adaptations_ PCCHECK_GUARDED_BY(mu_) = 0;
 };
 
 /**

@@ -44,8 +44,13 @@ ConcurrentCommit::ConcurrentCommit(SlotStore& store,
     const auto recovered = store.recover_pointer(/*validate_data=*/true);
     std::uint32_t reserved = kNoSlot;
     if (recovered.has_value()) {
+        // pre-concurrency: constructor recovery path — no other thread
+        // can observe CHECK_ADDR yet, so a plain store (not the CAS
+        // the commit protocol mandates) is safe here and only here.
+        // relaxed: same reason; handoff of `this` publishes the value.
         check_addr_.store(pack(recovered->counter, recovered->slot),
                           std::memory_order_relaxed);
+        // relaxed: constructor, no concurrent access yet.
         g_counter_.store(recovered->counter, std::memory_order_relaxed);
         meta_[recovered->slot] = {recovered->data_len, recovered->iteration,
                                   recovered->data_crc};
@@ -129,6 +134,7 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
                 PCCHECK_CHECK(free_slots_->try_enqueue(old_slot));
                 result.freed_slot = old_slot;
             }
+            // relaxed: monitoring counter, no ordering required.
             wins_.fetch_add(1, std::memory_order_relaxed);
             result.won = true;
             return result;
@@ -143,6 +149,7 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
         // (and its publisher persists it); our data is superseded, so
         // recycle our own slot.
         PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+        // relaxed: monitoring counter, no ordering required.
         losses_.fetch_add(1, std::memory_order_relaxed);
         result.freed_slot = ticket.slot;
         return result;

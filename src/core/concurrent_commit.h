@@ -116,12 +116,14 @@ class ConcurrentCommit {
     /** Number of checkpoints that won commit so far. */
     std::uint64_t commits_won() const
     {
+        // relaxed: monitoring counter, no ordering required.
         return wins_.load(std::memory_order_relaxed);
     }
 
     /** Number of commits superseded by a newer concurrent one. */
     std::uint64_t commits_superseded() const
     {
+        // relaxed: monitoring counter, no ordering required.
         return losses_.load(std::memory_order_relaxed);
     }
 

@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "concurrent/mpmc_queue.h"
 #include "concurrent/ms_queue.h"
+#include "util/annotations.h"
 
 namespace pccheck {
 
@@ -82,7 +82,7 @@ class MutexSlotQueue final : public FreeSlotQueue {
     explicit MutexSlotQueue(std::size_t capacity) : capacity_(capacity) {}
     bool try_enqueue(std::uint32_t slot) override
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (slots_.size() >= capacity_) {
             return false;
         }
@@ -91,7 +91,7 @@ class MutexSlotQueue final : public FreeSlotQueue {
     }
     std::optional<std::uint32_t> try_dequeue() override
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (slots_.empty()) {
             return std::nullopt;
         }
@@ -102,9 +102,9 @@ class MutexSlotQueue final : public FreeSlotQueue {
     std::string name() const override { return "mutex"; }
 
   private:
-    std::mutex mu_;
+    Mutex mu_;
     std::size_t capacity_;
-    std::deque<std::uint32_t> slots_;
+    std::deque<std::uint32_t> slots_ PCCHECK_GUARDED_BY(mu_);
 };
 
 }  // namespace pccheck

@@ -110,7 +110,7 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
 PCcheckCheckpointer::~PCcheckCheckpointer()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         Request stop_request;
         stop_request.stop = true;
         requests_.push_back(stop_request);
@@ -119,14 +119,16 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
     worker_.join();
     // Drain async persists so pool tasks never outlive the staging
     // arena (members are destroyed in reverse declaration order).
-    std::unique_lock<std::mutex> lock(mu_);
-    complete_cv_.wait(lock, [this] { return completed_ == requested_; });
+    MutexLock lock(mu_);
+    while (completed_ != requested_) {
+        complete_cv_.wait(mu_);
+    }
 }
 
 void
 PCcheckCheckpointer::before_update(std::uint64_t iteration)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (snapshots_pending_ == 0) {
         return;
     }
@@ -136,7 +138,9 @@ PCcheckCheckpointer::before_update(std::uint64_t iteration)
     StageSpan span("train.update_stall", stall_hist, "iteration",
                    iteration);
     Stopwatch watch(*clock_);
-    snapshot_cv_.wait(lock, [this] { return snapshots_pending_ == 0; });
+    while (snapshots_pending_ != 0) {
+        snapshot_cv_.wait(mu_);
+    }
     stall_time_ += watch.elapsed();
 }
 
@@ -144,7 +148,7 @@ void
 PCcheckCheckpointer::request_checkpoint(std::uint64_t iteration)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++requested_;
         ++snapshots_pending_;
         requests_.push_back(
@@ -159,14 +163,16 @@ PCcheckCheckpointer::request_checkpoint(std::uint64_t iteration)
 void
 PCcheckCheckpointer::finish()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    complete_cv_.wait(lock, [this] { return completed_ == requested_; });
+    MutexLock lock(mu_);
+    while (completed_ != requested_) {
+        complete_cv_.wait(mu_);
+    }
 }
 
 CheckpointerStats
 PCcheckCheckpointer::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CheckpointerStats stats;
     stats.requested = requested_;
     stats.completed = completed_;
@@ -181,8 +187,10 @@ PCcheckCheckpointer::snapshot_worker()
     for (;;) {
         Request request;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            request_cv_.wait(lock, [this] { return !requests_.empty(); });
+            MutexLock lock(mu_);
+            while (requests_.empty()) {
+                request_cv_.wait(mu_);
+            }
             request = requests_.front();
             requests_.pop_front();
         }
@@ -247,6 +255,8 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     inflight->trace_begin_ns = request.trace_begin_ns;
     // +1: the snapshot loop holds one reference until the CRC is final,
     // so commit can never run with a partial CRC.
+    // relaxed: store precedes the task submissions that share the
+    // counter; the pool's queue handoff publishes it.
     inflight->remaining.store(chunks + 1, std::memory_order_relaxed);
 
     auto maybe_commit = [](const std::shared_ptr<Inflight>& shared) {
@@ -300,7 +310,7 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
             device_->fence();
         }
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             PCCHECK_CHECK(snapshots_pending_ > 0);
             --snapshots_pending_;
         }
@@ -346,7 +356,7 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
 
     // GPU→DRAM copy finished: the training loop may mutate weights.
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         PCCHECK_CHECK(snapshots_pending_ > 0);
         --snapshots_pending_;
     }
@@ -365,7 +375,7 @@ PCcheckCheckpointer::on_checkpoint_complete(std::uint64_t iteration,
         MetricsRegistry::global().histogram(
             "pccheck.stage.checkpoint_latency");
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++completed_;
         latency_.add(clock_->now() - request_time);
         latency_hist.observe(clock_->now() - request_time);

@@ -25,11 +25,9 @@
  * throughput-memory tradeoff of §3.2.
  */
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -41,6 +39,7 @@
 #include "gpusim/gpu.h"
 #include "trainsim/checkpointer.h"
 #include "trainsim/training_state.h"
+#include "util/annotations.h"
 
 namespace pccheck {
 
@@ -115,16 +114,17 @@ class PCcheckCheckpointer final : public Checkpointer {
     std::unique_ptr<MpmcBoundedQueue<std::uint8_t*>> free_buffers_;
 
     /** Request queue feeding the snapshot worker. */
-    mutable std::mutex mu_;
-    std::condition_variable request_cv_;    ///< worker wakeups
-    std::condition_variable snapshot_cv_;   ///< before_update wakeups
-    std::condition_variable complete_cv_;   ///< finish() wakeups
-    std::deque<Request> requests_;
-    std::size_t snapshots_pending_ = 0;  ///< requested, GPU copy not done
-    std::uint64_t requested_ = 0;
-    std::uint64_t completed_ = 0;
-    Seconds stall_time_ = 0;
-    RunningStat latency_;
+    mutable Mutex mu_;
+    CondVar request_cv_;   ///< worker wakeups
+    CondVar snapshot_cv_;  ///< before_update wakeups
+    CondVar complete_cv_;  ///< finish() wakeups
+    std::deque<Request> requests_ PCCHECK_GUARDED_BY(mu_);
+    /** requested, GPU copy not done */
+    std::size_t snapshots_pending_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t requested_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ PCCHECK_GUARDED_BY(mu_) = 0;
+    Seconds stall_time_ PCCHECK_GUARDED_BY(mu_) = 0;
+    RunningStat latency_ PCCHECK_GUARDED_BY(mu_);
 
     std::thread worker_;
 };

@@ -108,6 +108,8 @@ PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
         std::function<void()> done;
     };
     auto shared = std::make_shared<Shared>();
+    // relaxed: store precedes the stripe-task submissions that share
+    // the counter; the pool's queue handoff publishes it.
     shared->remaining.store(stripe_count, std::memory_order_relaxed);
     shared->done = std::move(done);
 

@@ -160,7 +160,7 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     // publishes with counters of equal parity target the SAME record,
     // and a delayed older publish must not overwrite a newer durable
     // record whose predecessor slot has already been recycled.
-    std::lock_guard<std::mutex> lock(publish_->mu);
+    MutexLock lock(publish_->mu);
     if (publish_->any && ptr.counter < publish_->last_counter) {
         return;
     }

@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "storage/device.h"
+#include "util/annotations.h"
 #include "util/bytes.h"
 
 namespace pccheck {
@@ -120,9 +120,9 @@ class SlotStore {
     // serializes pointer-record writes and remembers the newest
     // published counter so stale publishes can be dropped.
     struct PublishState {
-        std::mutex mu;
-        std::uint64_t last_counter = 0;
-        bool any = false;
+        Mutex mu;
+        std::uint64_t last_counter PCCHECK_GUARDED_BY(mu) = 0;
+        bool any PCCHECK_GUARDED_BY(mu) = false;
     };
 
     StorageDevice* device_;

@@ -25,7 +25,7 @@ SimGpu::~SimGpu() = default;
 DevPtr
 SimGpu::alloc(Bytes size)
 {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     const Bytes aligned = align_up(size, 256);
     if (alloc_cursor_ + aligned > arena_.size()) {
         fatal("SimGpu: out of device memory (asked " + format_bytes(size) +
@@ -40,14 +40,14 @@ SimGpu::alloc(Bytes size)
 void
 SimGpu::reset_allocations()
 {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     alloc_cursor_ = 0;
 }
 
 Bytes
 SimGpu::memory_used() const
 {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(alloc_mu_);
     return alloc_cursor_;
 }
 
@@ -65,6 +65,7 @@ SimGpu::dma_transfer(Bytes len, bool pinned)
     const auto charged =
         static_cast<Bytes>(static_cast<double>(len) / effective_bw(pinned));
     pcie_.acquire(charged);
+    // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
 }
 
@@ -104,7 +105,7 @@ SimGpu::copy_to_host_async(void* dst, DevPtr src, Bytes offset, Bytes len,
 void
 SimGpu::launch_kernel(Seconds duration)
 {
-    std::lock_guard<std::mutex> lock(compute_mu_);
+    MutexLock lock(compute_mu_);
     PCCHECK_TRACE_SPAN("gpu.kernel");
     clock_.sleep_for(duration);
 }
@@ -114,13 +115,14 @@ SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
                                DevPtr src, Bytes src_offset, Bytes len)
 {
     PCCHECK_CHECK(src_offset + len <= src.size);
-    std::lock_guard<std::mutex> lock(compute_mu_);
+    MutexLock lock(compute_mu_);
     PCCHECK_TRACE_SPAN("gpu.kernel_copy_to_storage", "len", len);
     // The copy kernel streams over PCIe at a reduced rate and keeps
     // the SMs busy for the whole transfer (GPM's UVM path).
     const auto charged = static_cast<Bytes>(static_cast<double>(len) /
                                             config_.kernel_copy_factor);
     pcie_.acquire(charged);
+    // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
     storage.write(dst_offset, arena_.data() + src.offset + src_offset, len);
 }
@@ -134,6 +136,7 @@ SimGpu::direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
     // P2P transfer: PCIe time is paid, then the device write (its own
     // throttle models the medium). No DRAM hop, no compute engine.
     pcie_.acquire(len);
+    // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
     storage.write(dst_offset, arena_.data() + src.offset + src_offset,
                   len);
@@ -156,6 +159,7 @@ SimGpu::device_data(DevPtr ptr, Bytes offset) const
 Bytes
 SimGpu::pcie_bytes_moved() const
 {
+    // relaxed: monitoring read; staleness is acceptable.
     return pcie_bytes_.load(std::memory_order_relaxed);
 }
 

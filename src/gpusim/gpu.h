@@ -24,10 +24,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "concurrent/thread_pool.h"
+#include "util/annotations.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/throttle.h"
@@ -142,10 +142,12 @@ class SimGpu {
     GpuConfig config_;
     const Clock& clock_;
     std::vector<std::uint8_t> arena_;
-    mutable std::mutex alloc_mu_;
-    Bytes alloc_cursor_ = 0;
+    mutable Mutex alloc_mu_;
+    Bytes alloc_cursor_ PCCHECK_GUARDED_BY(alloc_mu_) = 0;
     BandwidthThrottle pcie_;
-    std::mutex compute_mu_;  ///< the single compute engine
+    Mutex compute_mu_;  ///< the single compute engine (a capability
+                        ///< with no data: holding it IS occupying the
+                        ///< SMs)
     std::unique_ptr<ThreadPool> copy_pool_;
     std::atomic<Bytes> pcie_bytes_{0};
 };

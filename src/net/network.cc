@@ -42,6 +42,7 @@ SimNetwork::transfer(int from, int to, Bytes len)
         (void)egress_time;
         (void)ingress_time;
     }
+    // relaxed: monitoring counter, no ordering with transfers needed.
     bytes_moved_.fetch_add(len, std::memory_order_relaxed);
     return watch.elapsed();
 }
@@ -55,7 +56,7 @@ SimNetwork::send_msg(int from, int to, std::uint64_t tag,
     clock_.sleep_for(config_.latency);
     Mailbox& box = *mailboxes_[to];
     {
-        std::lock_guard<std::mutex> lock(box.mu);
+        MutexLock lock(box.mu);
         box.messages.push_back(NetMessage{from, tag, std::move(payload)});
     }
     box.cv.notify_one();
@@ -66,8 +67,10 @@ SimNetwork::recv_msg(int node)
 {
     check_node(node);
     Mailbox& box = *mailboxes_[node];
-    std::unique_lock<std::mutex> lock(box.mu);
-    box.cv.wait(lock, [&box] { return !box.messages.empty(); });
+    MutexLock lock(box.mu);
+    while (box.messages.empty()) {
+        box.cv.wait(box.mu);
+    }
     NetMessage msg = std::move(box.messages.front());
     box.messages.pop_front();
     return msg;
@@ -78,7 +81,7 @@ SimNetwork::try_recv_msg(int node, NetMessage* out)
 {
     check_node(node);
     Mailbox& box = *mailboxes_[node];
-    std::lock_guard<std::mutex> lock(box.mu);
+    MutexLock lock(box.mu);
     if (box.messages.empty()) {
         return false;
     }
@@ -90,6 +93,7 @@ SimNetwork::try_recv_msg(int node, NetMessage* out)
 Bytes
 SimNetwork::bytes_moved() const
 {
+    // relaxed: monitoring read; staleness is acceptable.
     return bytes_moved_.load(std::memory_order_relaxed);
 }
 

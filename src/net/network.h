@@ -19,13 +19,12 @@
  */
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 #include "util/throttle.h"
@@ -79,9 +78,9 @@ class SimNetwork {
 
   private:
     struct Mailbox {
-        std::mutex mu;
-        std::condition_variable cv;
-        std::deque<NetMessage> messages;
+        Mutex mu;
+        CondVar cv;
+        std::deque<NetMessage> messages PCCHECK_GUARDED_BY(mu);
     };
 
     void check_node(int node) const;

@@ -54,6 +54,7 @@ struct Tracer::ThreadBuffer {
 };
 
 Tracer::Tracer()
+    // relaxed: only uniqueness of the generation id matters.
     : generation_(
           g_tracer_generation.fetch_add(1, std::memory_order_relaxed))
 {
@@ -71,6 +72,7 @@ Tracer::global()
 void
 Tracer::set_enabled(bool enabled)
 {
+    // relaxed: see enabled() — coarse switch, no data ordering.
     enabled_.store(enabled, std::memory_order_relaxed);
 }
 
@@ -89,7 +91,7 @@ Tracer::buffer_for_this_thread()
     if (t_cache.generation == generation_) {
         return static_cast<ThreadBuffer*>(t_cache.buffer);
     }
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto buffer = std::make_unique<ThreadBuffer>(
         static_cast<std::uint32_t>(buffers_.size()));
     ThreadBuffer* raw = buffer.get();
@@ -108,9 +110,12 @@ Tracer::record(const char* name, std::uint64_t begin_ns,
         return;
     }
     ThreadBuffer* buffer = buffer_for_this_thread();
+    // relaxed: count is only ever advanced by this (owner) thread;
+    // readers use the acquire load in the snapshot paths.
     const std::size_t index =
         buffer->count.load(std::memory_order_relaxed);
     if (index >= buffer->events.size()) {
+        // relaxed: independent statistic, no ordering required.
         buffer->dropped.fetch_add(1, std::memory_order_relaxed);
         return;
     }
@@ -128,7 +133,7 @@ Tracer::record(const char* name, std::uint64_t begin_ns,
 std::size_t
 Tracer::event_count() const
 {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     std::size_t total = 0;
     for (const auto& buffer : buffers_) {
         total += buffer->count.load(std::memory_order_acquire);
@@ -139,9 +144,10 @@ Tracer::event_count() const
 std::size_t
 Tracer::dropped_count() const
 {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     std::size_t total = 0;
     for (const auto& buffer : buffers_) {
+        // relaxed: independent statistic, no ordering required.
         total += buffer->dropped.load(std::memory_order_relaxed);
     }
     return total;
@@ -150,7 +156,7 @@ Tracer::dropped_count() const
 std::vector<TraceEvent>
 Tracer::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     std::vector<TraceEvent> out;
     for (const auto& buffer : buffers_) {
         const std::size_t n =
@@ -165,7 +171,7 @@ Tracer::snapshot() const
 void
 Tracer::export_chrome_json(std::ostream& out) const
 {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     std::string json;
     json.reserve(1 << 16);
     json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -227,9 +233,10 @@ Tracer::write_file(const std::string& path) const
 void
 Tracer::reset()
 {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     for (auto& buffer : buffers_) {
         buffer->count.store(0, std::memory_order_release);
+        // relaxed: independent statistic, no ordering required.
         buffer->dropped.store(0, std::memory_order_relaxed);
     }
 }

@@ -35,10 +35,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace pccheck {
 
@@ -82,6 +83,8 @@ class Tracer {
     void set_enabled(bool enabled);
     bool enabled() const
     {
+        // relaxed: enable/disable is a coarse switch; a span racing
+        // the flip harmlessly records or skips one event.
         return enabled_.load(std::memory_order_relaxed);
     }
 
@@ -126,8 +129,9 @@ class Tracer {
     std::atomic<bool> enabled_{false};
     const std::uint64_t generation_;
 
-    mutable std::mutex registry_mu_;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    mutable Mutex registry_mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        PCCHECK_GUARDED_BY(registry_mu_);
 };
 
 /**

@@ -32,8 +32,8 @@ line_size_for(StorageKind kind)
 CrashSimStorage::CrashSimStorage(Bytes size, StorageKind kind,
                                  std::uint64_t seed,
                                  double eviction_probability)
-    : kind_(kind), line_size_(line_size_for(kind)), volatile_(size, 0),
-      durable_(size, 0), rng_(seed),
+    : kind_(kind), line_size_(line_size_for(kind)), size_(size),
+      volatile_(size, 0), durable_(size, 0), rng_(seed),
       eviction_probability_(eviction_probability)
 {
     PCCHECK_CHECK(kind != StorageKind::kDram);
@@ -44,9 +44,9 @@ CrashSimStorage::CrashSimStorage(Bytes size, StorageKind kind,
 void
 CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
 {
-    PCCHECK_CHECK_MSG(offset + len <= volatile_.size(),
+    PCCHECK_CHECK_MSG(offset + len <= size_,
                       "write out of range off=" << offset << " len=" << len);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::memcpy(volatile_.data() + offset, src, len);
     const Bytes first = line_of(offset);
     const Bytes last = len ? line_of(offset + len - 1) : first;
@@ -61,20 +61,20 @@ CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
 void
 CrashSimStorage::read(Bytes offset, void* dst, Bytes len) const
 {
-    PCCHECK_CHECK_MSG(offset + len <= volatile_.size(),
+    PCCHECK_CHECK_MSG(offset + len <= size_,
                       "read out of range off=" << offset << " len=" << len);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::memcpy(dst, volatile_.data() + offset, len);
 }
 
 void
 CrashSimStorage::persist(Bytes offset, Bytes len)
 {
-    PCCHECK_CHECK(offset + len <= volatile_.size());
+    PCCHECK_CHECK(offset + len <= size_);
     if (len == 0) {
         return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const Bytes first = line_of(offset);
     const Bytes last = line_of(offset + len - 1);
     for (Bytes line = first; line <= last; ++line) {
@@ -92,7 +92,7 @@ CrashSimStorage::persist(Bytes offset, Bytes len)
 void
 CrashSimStorage::fence()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (Bytes line : pending_) {
         commit_line(line);
     }
@@ -102,7 +102,7 @@ CrashSimStorage::fence()
 void
 CrashSimStorage::crash()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Unfenced-but-flushed lines and plain dirty lines may each have
     // reached the media, in arbitrary order.
     auto maybe_evict = [this](const std::unordered_set<Bytes>& lines) {
@@ -123,14 +123,14 @@ CrashSimStorage::crash()
 std::size_t
 CrashSimStorage::dirty_lines() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dirty_.size();
 }
 
 std::size_t
 CrashSimStorage::pending_lines() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_.size();
 }
 
@@ -138,7 +138,7 @@ void
 CrashSimStorage::commit_line(Bytes line)
 {
     const Bytes start = line * line_size_;
-    const Bytes len = std::min(line_size_, volatile_.size() - start);
+    const Bytes len = std::min(line_size_, size_ - start);
     std::memcpy(durable_.data() + start, volatile_.data() + start, len);
 }
 

@@ -22,11 +22,11 @@
  * crash point, recovery must find one fully persisted checkpoint.
  */
 
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "storage/device.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace pccheck {
@@ -44,7 +44,7 @@ class CrashSimStorage final : public StorageDevice {
     CrashSimStorage(Bytes size, StorageKind kind, std::uint64_t seed = 1,
                     double eviction_probability = 0.5);
 
-    Bytes size() const override { return volatile_.size(); }
+    Bytes size() const override { return size_; }
     void write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
     void persist(Bytes offset, Bytes len) override;
@@ -69,16 +69,21 @@ class CrashSimStorage final : public StorageDevice {
 
   private:
     Bytes line_of(Bytes offset) const { return offset / line_size_; }
-    void commit_line(Bytes line);
+    void commit_line(Bytes line) PCCHECK_REQUIRES(mu_);
 
     StorageKind kind_;
     Bytes line_size_;
-    mutable std::mutex mu_;
-    std::vector<std::uint8_t> volatile_;
-    std::vector<std::uint8_t> durable_;
-    std::unordered_set<Bytes> dirty_;    ///< written, not persisted
-    std::unordered_set<Bytes> pending_;  ///< persisted, awaiting fence
-    Rng rng_;
+    /** Immutable capacity: lets size() and bounds checks run without
+     *  the lock (the images are never resized after construction). */
+    Bytes size_;
+    mutable Mutex mu_;
+    std::vector<std::uint8_t> volatile_ PCCHECK_GUARDED_BY(mu_);
+    std::vector<std::uint8_t> durable_ PCCHECK_GUARDED_BY(mu_);
+    std::unordered_set<Bytes> dirty_
+        PCCHECK_GUARDED_BY(mu_);  ///< written, not persisted
+    std::unordered_set<Bytes> pending_
+        PCCHECK_GUARDED_BY(mu_);  ///< persisted, awaiting fence
+    Rng rng_ PCCHECK_GUARDED_BY(mu_);
     double eviction_probability_;
 };
 

@@ -1,0 +1,163 @@
+#ifndef PCCHECK_UTIL_ANNOTATIONS_H_
+#define PCCHECK_UTIL_ANNOTATIONS_H_
+
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations and the annotated locking
+ * primitives every PCcheck component must use.
+ *
+ * The commit protocol's invariants (persist-before-publish, "one
+ * durable checkpoint always exists", slot recycling only after the
+ * newer pointer record is durable) are easy to violate silently —
+ * checkpointing bugs surface as corrupt recovery state, not crashes.
+ * This header turns the lock-discipline half of those invariants into
+ * compile-time checks: build with a Clang toolchain and
+ * -DPCCHECK_THREAD_SAFETY=ON and every access to a PCCHECK_GUARDED_BY
+ * member outside its mutex is a hard error (-Werror=thread-safety-
+ * analysis). Under GCC the macros expand to nothing and the wrappers
+ * cost exactly one std::mutex / std::condition_variable_any.
+ *
+ * Conventions (enforced by tools/pccheck_lint.py, see
+ * docs/STATIC_ANALYSIS.md):
+ *  - never use std::mutex / std::lock_guard / std::condition_variable
+ *    directly outside this header — use Mutex / MutexLock / CondVar;
+ *  - annotate every mutex-protected member with PCCHECK_GUARDED_BY;
+ *  - functions that expect the caller to hold a lock take
+ *    PCCHECK_REQUIRES(mu) (name them *_locked);
+ *  - condition-variable waits re-check their predicate in a while
+ *    loop directly in the annotated function body (no predicate
+ *    lambdas — the analysis cannot see a lambda's lock context).
+ */
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define PCCHECK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PCCHECK_THREAD_ANNOTATION(x)  // no-op: GCC has no TSA
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define PCCHECK_CAPABILITY(x) PCCHECK_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires on construction, releases on
+ *  destruction. */
+#define PCCHECK_SCOPED_CAPABILITY PCCHECK_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define PCCHECK_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define PCCHECK_PT_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the capability held. */
+#define PCCHECK_REQUIRES(...) \
+    PCCHECK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capability (held on return). */
+#define PCCHECK_ACQUIRE(...) \
+    PCCHECK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that conditionally acquires; first arg is the success
+ *  return value. */
+#define PCCHECK_TRY_ACQUIRE(...) \
+    PCCHECK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define PCCHECK_RELEASE(...) \
+    PCCHECK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that must be called WITHOUT the capability held
+ *  (deadlock prevention, e.g. callbacks that re-enter). */
+#define PCCHECK_EXCLUDES(...) \
+    PCCHECK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (trusted). */
+#define PCCHECK_ASSERT_CAPABILITY(x) \
+    PCCHECK_THREAD_ANNOTATION(assert_capability(x))
+
+/** Accessor returning a reference to the capability. */
+#define PCCHECK_RETURN_CAPABILITY(x) \
+    PCCHECK_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; every use needs a justification comment. */
+#define PCCHECK_NO_THREAD_SAFETY_ANALYSIS \
+    PCCHECK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pccheck {
+
+/**
+ * Capability-annotated mutex. A thin shim over std::mutex (same
+ * layout, same cost) that the analysis can track. Also a
+ * BasicLockable, so CondVar can unlock/relock it while waiting.
+ */
+class PCCHECK_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() PCCHECK_ACQUIRE() { mu_.lock(); }
+    void unlock() PCCHECK_RELEASE() { mu_.unlock(); }
+    bool try_lock() PCCHECK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over Mutex (the annotated std::lock_guard). Scope blocks
+ * delimit the critical section:
+ *
+ *   {
+ *       MutexLock lock(mu_);
+ *       guarded_member_ = ...;   // OK: analysis sees mu_ held
+ *   }
+ */
+class PCCHECK_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mu) PCCHECK_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() PCCHECK_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+/**
+ * Condition variable paired with Mutex. wait() takes the Mutex (not
+ * the MutexLock) so the REQUIRES annotation names the capability the
+ * caller already holds. Always re-check the predicate in a while
+ * loop around wait():
+ *
+ *   MutexLock lock(mu_);
+ *   while (count_ != 0) {
+ *       cv_.wait(mu_);
+ *   }
+ */
+class CondVar {
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /** Atomically release @p mu, sleep, and re-acquire before
+     *  returning. Spurious wakeups possible — loop on the predicate. */
+    void wait(Mutex& mu) PCCHECK_REQUIRES(mu) { cv_.wait(mu); }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_UTIL_ANNOTATIONS_H_

@@ -25,12 +25,15 @@ level_name(LogLevel level)
 void
 set_log_level(LogLevel level)
 {
+    // relaxed: the level is an independent filter flag; a logger
+    // observing it one message late is harmless.
     g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel
 log_level()
 {
+    // relaxed: see set_log_level — no ordering with logged data needed.
     return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 

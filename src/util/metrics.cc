@@ -13,21 +13,21 @@ LatencyHistogram::LatencyHistogram(double lo, double hi,
 void
 LatencyHistogram::observe(double seconds)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.add(seconds);
 }
 
 std::size_t
 LatencyHistogram::count() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_.count();
 }
 
 HistogramSummary
 LatencyHistogram::summary() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_.summary();
 }
 
@@ -41,7 +41,7 @@ MetricsRegistry::global()
 Counter&
 MetricsRegistry::counter(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = counters_[name];
     if (!slot) {
         slot = std::make_unique<Counter>();
@@ -52,7 +52,7 @@ MetricsRegistry::counter(const std::string& name)
 Gauge&
 MetricsRegistry::gauge(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = gauges_[name];
     if (!slot) {
         slot = std::make_unique<Gauge>();
@@ -63,7 +63,7 @@ MetricsRegistry::gauge(const std::string& name)
 LatencyHistogram&
 MetricsRegistry::histogram(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = histograms_[name];
     if (!slot) {
         slot = std::make_unique<LatencyHistogram>();
@@ -74,7 +74,7 @@ MetricsRegistry::histogram(const std::string& name)
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::pair<std::string, double>> out;
     out.reserve(counters_.size() + gauges_.size());
     for (const auto& [name, counter] : counters_) {
@@ -106,7 +106,7 @@ MetricsRegistry::dump(std::ostream& out) const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [name, counter] : counters_) {
         (void)name;
         counter = std::make_unique<Counter>();

@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/stats.h"
 
 namespace pccheck {
@@ -32,10 +32,13 @@ class Counter {
   public:
     void add(std::uint64_t delta = 1)
     {
+        // relaxed: independent monotonic counter; readers only need an
+        // eventually consistent total, no ordering with other data.
         value_.fetch_add(delta, std::memory_order_relaxed);
     }
     std::uint64_t value() const
     {
+        // relaxed: monitoring read; staleness is acceptable.
         return value_.load(std::memory_order_relaxed);
     }
 
@@ -48,10 +51,12 @@ class Gauge {
   public:
     void set(double value)
     {
+        // relaxed: last-writer-wins gauge; no ordering with other data.
         value_.store(value, std::memory_order_relaxed);
     }
     double value() const
     {
+        // relaxed: monitoring read; staleness is acceptable.
         return value_.load(std::memory_order_relaxed);
     }
 
@@ -78,8 +83,8 @@ class LatencyHistogram {
     HistogramSummary summary() const;
 
   private:
-    mutable std::mutex mu_;
-    Histogram hist_;
+    mutable Mutex mu_;
+    Histogram hist_ PCCHECK_GUARDED_BY(mu_);
 };
 
 /** Named registry of counters, gauges, and stage histograms. */
@@ -106,10 +111,13 @@ class MetricsRegistry {
     void reset();
 
   private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+    mutable Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        PCCHECK_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        PCCHECK_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+        PCCHECK_GUARDED_BY(mu_);
 };
 
 }  // namespace pccheck

@@ -15,13 +15,18 @@ BandwidthThrottle::BandwidthThrottle(double bytes_per_sec, const Clock& clock)
 Seconds
 BandwidthThrottle::acquire(Bytes n)
 {
-    if (bytes_per_sec_ <= 0.0 || n == 0) {
+    if (n == 0) {
         return 0.0;
     }
     const Seconds arrival = clock_.now();
     Seconds wake;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        // The bandwidth is read under the same lock that guards it:
+        // set_bytes_per_sec() may run concurrently (tuner adjustments).
+        MutexLock lock(mu_);
+        if (bytes_per_sec_ <= 0.0) {
+            return 0.0;
+        }
         const Seconds duration = static_cast<double>(n) / bytes_per_sec_;
         const Seconds start = std::max(arrival, cursor_);
         cursor_ = start + duration;
@@ -34,11 +39,18 @@ BandwidthThrottle::acquire(Bytes n)
     return wake - arrival;
 }
 
+double
+BandwidthThrottle::bytes_per_sec() const
+{
+    MutexLock lock(mu_);
+    return bytes_per_sec_;
+}
+
 void
 BandwidthThrottle::set_bytes_per_sec(double bytes_per_sec)
 {
     PCCHECK_CHECK(bytes_per_sec >= 0.0);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bytes_per_sec_ = bytes_per_sec;
 }
 

@@ -11,8 +11,7 @@
  * mechanism by which the repository emulates device speeds.
  */
 
-#include <mutex>
-
+#include "util/annotations.h"
 #include "util/bytes.h"
 #include "util/clock.h"
 
@@ -36,16 +35,19 @@ class BandwidthThrottle {
      */
     Seconds acquire(Bytes n);
 
-    double bytes_per_sec() const { return bytes_per_sec_; }
+    double bytes_per_sec() const;
 
     /** Change the channel bandwidth; affects future acquisitions. */
     void set_bytes_per_sec(double bytes_per_sec);
 
   private:
     const Clock& clock_;
-    double bytes_per_sec_;
-    std::mutex mu_;
-    Seconds cursor_ = 0.0;  ///< time at which the channel becomes free
+    mutable Mutex mu_;
+    /** Guarded: set_bytes_per_sec() may race acquire() otherwise (the
+     *  unguarded read was a real race the thread-safety pass flagged). */
+    double bytes_per_sec_ PCCHECK_GUARDED_BY(mu_);
+    Seconds cursor_ PCCHECK_GUARDED_BY(mu_) =
+        0.0;  ///< time at which the channel becomes free
 };
 
 }  // namespace pccheck

@@ -1,0 +1,22 @@
+// BAD: plain store to CHECK_ADDR on a running system — the commit
+// protocol only ever advances it with compare_exchange, otherwise a
+// concurrent winner can be silently overwritten.
+
+#include <atomic>
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+class Committer {
+  public:
+    void
+    force_pointer(std::uint64_t value)
+    {
+        check_addr_.store(value, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint64_t> check_addr_{0};
+};
+
+}  // namespace pccheck_lint_fixture

@@ -1,0 +1,24 @@
+// BAD: publishes the pointer record with no fence() after the data
+// persist — a reordered device flush can make the record durable
+// before the slot bytes it points at.
+
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+struct Store {
+    void persist_slot_range(std::uint32_t slot, std::uint64_t off,
+                            std::uint64_t len);
+    void fence();
+    void publish_pointer(std::uint64_t counter);
+};
+
+void
+commit_without_fence(Store& store, std::uint64_t counter,
+                     std::uint64_t len)
+{
+    store.persist_slot_range(0, 0, len);
+    store.publish_pointer(counter);  // missing store.fence()
+}
+
+}  // namespace pccheck_lint_fixture

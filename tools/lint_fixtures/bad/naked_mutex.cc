@@ -1,0 +1,22 @@
+// BAD: raw std locking primitives outside util/annotations.h are
+// invisible to Clang thread-safety analysis.
+
+#include <mutex>
+
+namespace pccheck_lint_fixture {
+
+class NakedCounter {
+  public:
+    void
+    add()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++value_;
+    }
+
+  private:
+    std::mutex mu_;
+    std::uint64_t value_ = 0;
+};
+
+}  // namespace pccheck_lint_fixture

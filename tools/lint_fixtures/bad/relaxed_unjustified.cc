@@ -1,0 +1,18 @@
+// BAD: memory_order_relaxed with no "relaxed:" justification comment
+// nearby — the reviewer cannot tell a benign statistic from a racy
+// publication.
+
+#include <atomic>
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+std::atomic<std::uint64_t> g_counter{0};
+
+std::uint64_t
+bump()
+{
+    return g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pccheck_lint_fixture

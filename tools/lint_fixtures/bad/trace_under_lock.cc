@@ -1,0 +1,26 @@
+// pccheck-lint: hot-path
+// BAD: opens a trace span while holding the commit-path lock, adding
+// span bookkeeping to the serialized critical section.
+
+#include <cstdint>
+
+#include "util/annotations.h"
+
+namespace pccheck_lint_fixture {
+
+class HotPath {
+  public:
+    void
+    commit(std::uint64_t counter)
+    {
+        MutexLock lock(mu_);
+        PCCHECK_TRACE_SPAN("commit.locked", "counter", counter);
+        ++commits_;
+    }
+
+  private:
+    pccheck::Mutex mu_;
+    std::uint64_t commits_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pccheck_lint_fixture

@@ -1,0 +1,55 @@
+// pccheck-lint: hot-path
+// Exemplar of a clean commit path: persist, fence, then publish; the
+// lifecycle span is opened before the lock; relaxed uses justified;
+// CHECK_ADDR advanced only by CAS (plus an annotated init store).
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/annotations.h"
+
+namespace pccheck_lint_fixture {
+
+struct Store {
+    void persist_slot_range(std::uint32_t slot, std::uint64_t off,
+                            std::uint64_t len);
+    void fence();
+    void publish_pointer(std::uint64_t counter);
+};
+
+class Committer {
+  public:
+    explicit Committer(std::uint64_t recovered)
+    {
+        // pre-concurrency: constructor; no other thread can observe
+        // CHECK_ADDR yet, so a plain store is safe here.
+        check_addr_.store(recovered, std::memory_order_release);
+    }
+
+    void
+    commit(Store& store, std::uint64_t counter, std::uint64_t len)
+    {
+        PCCHECK_TRACE_SPAN("commit", "counter", counter);
+        store.persist_slot_range(0, 0, len);
+        store.fence();
+        std::uint64_t expected =
+            // relaxed: hint only; the CAS below carries the ordering.
+            check_addr_.load(std::memory_order_relaxed);
+        while (!check_addr_.compare_exchange_strong(
+            expected, counter, std::memory_order_acq_rel)) {
+            if (expected >= counter) {
+                return;
+            }
+        }
+        store.publish_pointer(counter);
+        MutexLock lock(mu_);
+        ++commits_;
+    }
+
+  private:
+    std::atomic<std::uint64_t> check_addr_{0};
+    pccheck::Mutex mu_;
+    std::uint64_t commits_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pccheck_lint_fixture

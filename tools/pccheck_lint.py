@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""pccheck-lint: persistence-ordering and concurrency-hygiene checks.
+
+Fast, dependency-free (regex-based, no compiler needed) linter for the
+invariants the PCcheck commit protocol relies on but no compiler
+enforces:
+
+  persist-fence-publish    A pointer-record publish must be ordered
+                           after the slot data is durable: the nearest
+                           preceding persist_slot_range()/msync() in
+                           the same function must be separated from
+                           publish_pointer() by a fence() call.
+  naked-mutex              std::mutex / std::lock_guard / friends are
+                           banned outside util/annotations.h; use the
+                           capability-annotated Mutex/MutexLock/CondVar
+                           wrappers so Clang thread-safety analysis
+                           sees every locking site.
+  relaxed-justification    Every std::memory_order_relaxed use needs a
+                           "relaxed:" justification comment on the same
+                           line or within the 3 preceding lines.
+  trace-span-under-lock    In commit-hot files, PCCHECK_TRACE_SPAN must
+                           not be opened while a MutexLock is held
+                           (span bookkeeping inside the critical
+                           section lengthens the serialized region).
+  check-addr-cas-only      CHECK_ADDR is only ever advanced by the
+                           Listing-1 CAS; a plain .store() needs a
+                           "pre-concurrency:" comment within the 5
+                           preceding lines (constructor recovery path).
+
+Usage:
+  tools/pccheck_lint.py [--rule RULE] [paths...]
+
+Paths default to src/. Directories are walked for *.h/*.cc files.
+Exit status is 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, List, NamedTuple
+
+# Files where the commit fast path lives; the trace-span rule applies
+# only here. Fixture/test files opt in with a "pccheck-lint: hot-path"
+# marker comment anywhere in the file.
+HOT_PATH_BASENAMES = {
+    "concurrent_commit.cc",
+    "slot_store.cc",
+    "persist_engine.cc",
+}
+HOT_PATH_MARKER = "pccheck-lint: hot-path"
+
+# The one place raw std primitives are allowed: the annotation shims.
+NAKED_MUTEX_ALLOWLIST_SUFFIXES = (os.path.join("util", "annotations.h"),)
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+def is_comment_line(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*") or \
+        stripped.startswith("/*")
+
+
+def code_of(line: str) -> str:
+    """Strip a trailing // comment (best-effort; ignores strings)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+# --------------------------------------------------------------------------
+# persist-fence-publish
+
+
+PUBLISH_CALL_RE = re.compile(r"[.>]\s*publish_pointer\s*\(")
+PERSIST_RE = re.compile(r"\b(persist_slot_range|msync)\s*\(")
+FENCE_RE = re.compile(r"\bfence\s*\(\s*\)")
+FUNCTION_TOP_RE = re.compile(r"^[{}]\s*$|^\S.*[{;]\s*$")
+
+
+def rule_persist_fence_publish(path: str, lines: List[str]) -> List[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line) or not PUBLISH_CALL_RE.search(code_of(line)):
+            continue
+        # Walk back to the start of the enclosing function (first line
+        # at column 0 that opens a block), looking for the nearest
+        # persist and whether a fence separates it from the publish.
+        fence_seen = False
+        for j in range(i - 1, -1, -1):
+            prev = lines[j]
+            if is_comment_line(prev):
+                continue
+            prev_code = code_of(prev)
+            if FENCE_RE.search(prev_code):
+                fence_seen = True
+            if PERSIST_RE.search(prev_code):
+                if not fence_seen:
+                    findings.append(Finding(
+                        path, i + 1, "persist-fence-publish",
+                        "publish_pointer() reachable from "
+                        f"{PERSIST_RE.search(prev_code).group(1)}() at line "
+                        f"{j + 1} with no fence() in between: the pointer "
+                        "record could become durable before the slot data"))
+                break
+            # Function boundary: a line starting at column 0 that opens
+            # a new definition ends the backward scan.
+            if prev_code and not prev_code[0].isspace() and \
+                    prev_code.rstrip().endswith("{"):
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# naked-mutex
+
+
+NAKED_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable(?:_any)?)\b")
+
+
+def rule_naked_mutex(path: str, lines: List[str]) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if any(norm.endswith(sfx.replace(os.sep, "/"))
+           for sfx in NAKED_MUTEX_ALLOWLIST_SUFFIXES):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        match = NAKED_RE.search(code_of(line))
+        if match:
+            findings.append(Finding(
+                path, i + 1, "naked-mutex",
+                f"raw std::{match.group(1)} outside util/annotations.h; "
+                "use the annotated Mutex/MutexLock/CondVar so thread-"
+                "safety analysis covers this site"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# relaxed-justification
+
+
+RELAXED_RE = re.compile(r"\bstd::memory_order_relaxed\b")
+RELAXED_WINDOW = 3  # lines above that may carry the justification
+
+
+def rule_relaxed_justification(path: str, lines: List[str]) -> List[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line) or not RELAXED_RE.search(code_of(line)):
+            continue  # no use, or only mentioned in a comment
+        window = lines[max(0, i - RELAXED_WINDOW):i + 1]
+        if not any("relaxed:" in w for w in window):
+            findings.append(Finding(
+                path, i + 1, "relaxed-justification",
+                "std::memory_order_relaxed without a nearby "
+                "\"relaxed:\" justification comment (same line or "
+                f"≤{RELAXED_WINDOW} lines above)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# trace-span-under-lock
+
+
+LOCK_ACQ_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+TRACE_SPAN_RE = re.compile(r"\bPCCHECK_TRACE_SPAN\s*\(")
+
+
+def rule_trace_span_under_lock(path: str, lines: List[str]) -> List[Finding]:
+    basename = os.path.basename(path)
+    text = "\n".join(lines)
+    if basename not in HOT_PATH_BASENAMES and HOT_PATH_MARKER not in text:
+        return []
+    findings = []
+    depth = 0
+    lock_depths: List[int] = []  # brace depth at which each lock lives
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        code = code_of(line)
+        # Scope exits first: a closing brace pops locks opened at the
+        # now-dead depth.
+        for ch in code:
+            if ch == "}":
+                depth -= 1
+                while lock_depths and lock_depths[-1] > depth:
+                    lock_depths.pop()
+            elif ch == "{":
+                depth += 1
+        if LOCK_ACQ_RE.search(code):
+            lock_depths.append(depth)
+        if TRACE_SPAN_RE.search(code) and lock_depths:
+            findings.append(Finding(
+                path, i + 1, "trace-span-under-lock",
+                "PCCHECK_TRACE_SPAN opened while a MutexLock is held "
+                f"(acquired at brace depth {lock_depths[-1]}); move the "
+                "span outside the critical section on the commit path"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# check-addr-cas-only
+
+
+CHECK_ADDR_STORE_RE = re.compile(r"\bcheck_addr_\s*(?:\.\s*store\s*\(|=[^=])")
+CHECK_ADDR_WINDOW = 5
+CHECK_ADDR_MARKER = "pre-concurrency:"
+
+
+def rule_check_addr_cas_only(path: str, lines: List[str]) -> List[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        if not CHECK_ADDR_STORE_RE.search(code_of(line)):
+            continue
+        window = lines[max(0, i - CHECK_ADDR_WINDOW):i + 1]
+        if not any(CHECK_ADDR_MARKER in w for w in window):
+            findings.append(Finding(
+                path, i + 1, "check-addr-cas-only",
+                "plain store/assignment to check_addr_: the commit "
+                "protocol only advances CHECK_ADDR via "
+                "compare_exchange; annotate genuinely single-threaded "
+                f"init paths with a \"{CHECK_ADDR_MARKER}\" comment "
+                f"within {CHECK_ADDR_WINDOW} lines"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+
+
+RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
+    "persist-fence-publish": rule_persist_fence_publish,
+    "naked-mutex": rule_naked_mutex,
+    "relaxed-justification": rule_relaxed_justification,
+    "trace-span-under-lock": rule_trace_span_under_lock,
+    "check-addr-cas-only": rule_check_addr_cas_only,
+}
+
+
+def collect_files(paths: List[str]) -> List[str]:
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"pccheck-lint: no such path: {path}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def lint_file(path: str, rules: List[str]) -> List[Finding]:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    findings = []
+    for rule in rules:
+        findings.extend(RULES[rule](path, lines))
+    return findings
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pccheck-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(sorted(RULES)))
+        return 0
+
+    rules = args.rule if args.rule else sorted(RULES)
+    findings: List[Finding] = []
+    for path in collect_files(args.paths or ["src"]):
+        findings.extend(lint_file(path, rules))
+
+    for f in sorted(findings):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"pccheck-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Unit tests for pccheck_lint: each bad fixture trips exactly its
+rule, the good fixtures are clean, and the real src/ tree is clean."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pccheck_lint  # noqa: E402
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
+
+ALL_RULES = sorted(pccheck_lint.RULES)
+
+# fixture basename -> rule it must trip
+BAD_EXPECTATIONS = {
+    "fence_missing.cc": "persist-fence-publish",
+    "naked_mutex.cc": "naked-mutex",
+    "relaxed_unjustified.cc": "relaxed-justification",
+    "trace_under_lock.cc": "trace-span-under-lock",
+    "check_addr_store.cc": "check-addr-cas-only",
+}
+
+
+def lint(path, rules=None):
+    return pccheck_lint.lint_file(path, rules or ALL_RULES)
+
+
+class BadFixtureTests(unittest.TestCase):
+    def test_every_bad_fixture_trips_its_rule(self):
+        for name, rule in BAD_EXPECTATIONS.items():
+            path = os.path.join(FIXTURES, "bad", name)
+            with self.subTest(fixture=name):
+                findings = lint(path)
+                self.assertTrue(findings,
+                                f"{name}: expected findings, got none")
+                self.assertIn(rule, {f.rule for f in findings},
+                              f"{name}: expected rule {rule}, got "
+                              f"{sorted({f.rule for f in findings})}")
+
+    def test_every_rule_is_covered_by_a_fixture(self):
+        self.assertEqual(sorted(set(BAD_EXPECTATIONS.values())), ALL_RULES)
+
+    def test_bad_fixtures_exit_nonzero_via_main(self):
+        for name in BAD_EXPECTATIONS:
+            path = os.path.join(FIXTURES, "bad", name)
+            with self.subTest(fixture=name):
+                self.assertEqual(pccheck_lint.main([path]), 1)
+
+
+class GoodFixtureTests(unittest.TestCase):
+    def test_good_fixtures_are_clean(self):
+        good = os.path.join(FIXTURES, "good")
+        for name in sorted(os.listdir(good)):
+            with self.subTest(fixture=name):
+                self.assertEqual(lint(os.path.join(good, name)), [])
+
+
+class SourceTreeTests(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        self.assertEqual(
+            pccheck_lint.main([os.path.join(REPO_ROOT, "src")]), 0)
+
+
+class RuleDetailTests(unittest.TestCase):
+    """Inline-snippet behaviors not worth a fixture file each."""
+
+    def _lint_lines(self, rule, lines, path="snippet.cc"):
+        return pccheck_lint.RULES[rule](path, lines)
+
+    def test_fence_rule_ignores_publish_without_prior_persist(self):
+        lines = [
+            "void f(Store& s) {",
+            "    s.publish_pointer(1);",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("persist-fence-publish", lines), [])
+
+    def test_fence_rule_scan_stops_at_function_boundary(self):
+        lines = [
+            "void other(Store& s) {",
+            "    s.persist_slot_range(0, 0, 8);",
+            "}",
+            "void f(Store& s) {",
+            "    s.publish_pointer(1);",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("persist-fence-publish", lines), [])
+
+    def test_fence_rule_skips_declaration(self):
+        lines = ["    void publish_pointer(const CheckpointPointer&);"]
+        self.assertEqual(
+            self._lint_lines("persist-fence-publish", lines), [])
+
+    def test_relaxed_comment_on_same_line_counts(self):
+        lines = ["x.load(std::memory_order_relaxed);  // relaxed: stat."]
+        self.assertEqual(
+            self._lint_lines("relaxed-justification", lines), [])
+
+    def test_relaxed_comment_four_lines_up_is_too_far(self):
+        lines = [
+            "// relaxed: too far away.",
+            "",
+            "",
+            "",
+            "x.load(std::memory_order_relaxed);",
+        ]
+        self.assertEqual(
+            len(self._lint_lines("relaxed-justification", lines)), 1)
+
+    def test_trace_rule_skips_cold_files(self):
+        lines = [
+            "void f() {",
+            "    MutexLock lock(mu_);",
+            "    PCCHECK_TRACE_SPAN(\"x\");",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("trace-span-under-lock", lines,
+                             path="cold_file.cc"), [])
+
+    def test_trace_rule_lock_released_by_scope_exit(self):
+        lines = [
+            "// pccheck-lint: hot-path",
+            "void f() {",
+            "    {",
+            "        MutexLock lock(mu_);",
+            "    }",
+            "    PCCHECK_TRACE_SPAN(\"x\");",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("trace-span-under-lock", lines), [])
+
+    def test_check_addr_cas_is_allowed(self):
+        lines = ["check_addr_.compare_exchange_strong(e, v);"]
+        self.assertEqual(
+            self._lint_lines("check-addr-cas-only", lines), [])
+
+    def test_check_addr_load_is_allowed(self):
+        lines = ["auto v = check_addr_.load(std::memory_order_acquire);"]
+        self.assertEqual(
+            self._lint_lines("check-addr-cas-only", lines), [])
+
+    def test_naked_mutex_allowlisted_in_annotations_header(self):
+        lines = ["    std::mutex mu_;"]
+        self.assertEqual(
+            self._lint_lines("naked-mutex", lines,
+                             path="src/util/annotations.h"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
