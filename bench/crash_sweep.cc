@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Crash-monkey sweep at bench scale: hundreds of seeded runs of the
+ * full training loop with N concurrent checkpoints over the
+ * adversarial CrashSimStorage, each crashing at a random storage-op
+ * index, recovering from the captured media image, and validating the
+ * paper's invariant — at any crash point at least one fully persisted,
+ * CRC-valid checkpoint exists.
+ *
+ * Usage: crash_sweep [--seeds=N] [--smoke]
+ *   --seeds=N  number of crash seeds (default 200)
+ *   --smoke    32 seeds, for CI
+ * Any invariant violation prints its seed and crash-op index so the
+ * failing run can be replayed exactly.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/orchestrator.h"
+#include "core/recovery.h"
+#include "core/slot_store.h"
+#include "faults/fault.h"
+#include "faults/faulty_storage.h"
+#include "storage/crash_sim.h"
+#include "storage/mem_storage.h"
+#include "trainsim/models.h"
+#include "trainsim/training_loop.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+namespace {
+
+constexpr Bytes kState = 16 * 1024;
+constexpr int kConcurrent = 2;
+constexpr int kSlots = kConcurrent + 1;
+constexpr std::uint64_t kWarmupIters = 4;
+constexpr std::uint64_t kMainIters = 14;
+constexpr std::uint64_t kInterval = 2;
+
+GpuConfig
+fast_gpu()
+{
+    GpuConfig config;
+    config.memory_bytes = 2 * kMiB;
+    config.pcie_bytes_per_sec = 0;
+    return config;
+}
+
+ScaledModel
+tiny_model()
+{
+    return scale_model(model_by_name("vgg16"),
+                       ScaleFactors{600.0, 20000.0});
+}
+
+struct SeedRun {
+    std::uint64_t ops_after_warmup = 0;
+    std::uint64_t ops_total = 0;
+    bool crashed = false;
+    std::uint64_t warm_iteration = 0;
+    std::vector<std::uint8_t> image;
+};
+
+SeedRun
+run_training(std::uint64_t seed, std::uint64_t crash_op)
+{
+    SeedRun out;
+    auto injector = std::make_shared<FaultInjector>(seed);
+    auto media_owned = std::make_unique<CrashSimStorage>(
+        SlotStore::required_size(kSlots, kState), StorageKind::kPmemNt,
+        seed, 0.5);
+    CrashSimStorage* media = media_owned.get();
+    FaultyStorage device(std::move(media_owned), injector);
+
+    SimGpu gpu(fast_gpu());
+    TrainingState state(gpu, kState);
+    PCcheckConfig config;
+    config.concurrent_checkpoints = kConcurrent;
+    config.retry_seed = seed;
+
+    {
+        PCcheckCheckpointer warm(state, device, config);
+        TrainingLoop loop(gpu, state, tiny_model());
+        loop.run(kWarmupIters, kInterval, warm);
+        const auto latest = warm.commit_protocol().latest_pointer();
+        PCCHECK_CHECK(latest.has_value());
+        out.warm_iteration = latest->iteration;
+    }
+    out.ops_after_warmup = injector->ops();
+
+    if (crash_op > 0) {
+        FaultRule crash;
+        crash.point = "*";
+        crash.action = FaultAction::kCrash;
+        crash.trigger = FaultTrigger::kNthOp;
+        crash.nth = crash_op;
+        crash.limit = 1;
+        injector->set_crash_handler([&out, media] {
+            out.image = media->crash_image();
+        });
+        injector->set_plan(FaultPlan{}.add(crash));
+    }
+
+    {
+        PCcheckCheckpointer main_ck(state, device, config);
+        TrainingLoop loop(gpu, state, tiny_model());
+        loop.run(kMainIters, kInterval, main_ck, kWarmupIters + 1);
+    }
+    out.ops_total = injector->ops();
+    out.crashed = injector->crashes() > 0;
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    set_log_level(LogLevel::kWarn);
+    int seeds = 200;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--seeds=", 0) == 0) {
+            seeds = std::atoi(arg.c_str() + 8);
+        } else if (arg == "--smoke") {
+            seeds = 32;
+        }
+    }
+    PCCHECK_CHECK_MSG(seeds >= 1, "--seeds must be positive");
+
+    CsvWriter csv("crash_sweep.csv",
+                  {"seed", "crash_op", "crashed", "recovered_iteration",
+                   "warm_iteration"});
+    announce("crash_sweep", csv.path());
+
+    const SeedRun calib = run_training(12345, 0);
+    PCCHECK_CHECK(calib.ops_total > calib.ops_after_warmup);
+    std::printf("op stream: %llu warmup + %llu faultable ops/run\n",
+                static_cast<unsigned long long>(calib.ops_after_warmup),
+                static_cast<unsigned long long>(
+                    calib.ops_total - calib.ops_after_warmup));
+
+    int crashed = 0;
+    int violations = 0;
+    std::uint64_t worst_loss = 0;
+    for (int s = 1; s <= seeds; ++s) {
+        const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s);
+        Rng pick(seed * 0x9E3779B97F4A7C15ULL);
+        const std::uint64_t crash_op =
+            calib.ops_after_warmup + 1 +
+            pick.next_below(calib.ops_total - calib.ops_after_warmup);
+        const SeedRun run = run_training(seed, crash_op);
+        std::uint64_t recovered_iteration = 0;
+        if (run.crashed) {
+            ++crashed;
+            MemStorage dead(run.image.size());
+            std::memcpy(dead.raw(), run.image.data(), run.image.size());
+            std::vector<std::uint8_t> buffer;
+            const auto recovered = recover_to_buffer(dead, &buffer);
+            const bool valid =
+                recovered.has_value() &&
+                recovered->iteration >= run.warm_iteration &&
+                TrainingState::verify_buffer(buffer.data(),
+                                             buffer.size()) ==
+                    std::make_optional(recovered->iteration);
+            if (!valid) {
+                ++violations;
+                std::printf("VIOLATION seed=%llu crash_op=%llu\n",
+                            static_cast<unsigned long long>(seed),
+                            static_cast<unsigned long long>(crash_op));
+            } else {
+                recovered_iteration = recovered->iteration;
+                const std::uint64_t newest_possible =
+                    kWarmupIters + kMainIters;
+                worst_loss = std::max(
+                    worst_loss, newest_possible - recovered->iteration);
+            }
+        }
+        csv.row({std::to_string(seed), std::to_string(crash_op),
+                 run.crashed ? "1" : "0",
+                 std::to_string(recovered_iteration),
+                 std::to_string(run.warm_iteration)});
+    }
+
+    std::printf("seeds=%d crashed=%d violations=%d worst_loss=%llu "
+                "iterations\n",
+                seeds, crashed, violations,
+                static_cast<unsigned long long>(worst_loss));
+    return violations == 0 ? 0 : 1;
+}

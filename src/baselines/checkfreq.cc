@@ -135,18 +135,30 @@ CheckFreqCheckpointer::run_checkpoint(std::uint64_t iteration,
     cv_.notify_all();
     // P: persist on the background thread, single writer.
     const CheckpointTicket ticket = commit_->begin();
-    engine_->persist_range(ticket.slot, 0, staging_.data(),
-                           staging_.size(), /*parallel_writers=*/1);
-    const std::uint32_t crc =
-        config_.compute_crc ? crc32c(staging_.data(), staging_.size())
-                            : 0;
-    commit_->commit(ticket, staging_.size(), iteration, crc);
+    const PersistResult persisted = engine_->persist_range(
+        ticket.slot, 0, staging_.data(), staging_.size(),
+        /*parallel_writers=*/1);
+    if (persisted.ok()) {
+        const std::uint32_t crc =
+            config_.compute_crc
+                ? crc32c(staging_.data(), staging_.size())
+                : 0;
+        commit_->commit(ticket, staging_.size(), iteration, crc);
+    } else {
+        // Slot holds partial data: recycle it, keep the previous
+        // checkpoint as the recovery target.
+        commit_->abort(ticket);
+    }
 
     {
         MutexLock lock(mu_);
         persist_in_progress_ = false;
-        ++stats_.completed;
-        stats_.checkpoint_latency.add(clock_->now() - request_time);
+        if (persisted.ok()) {
+            ++stats_.completed;
+            stats_.checkpoint_latency.add(clock_->now() - request_time);
+        } else {
+            ++stats_.aborted;
+        }
     }
     cv_.notify_all();
 }

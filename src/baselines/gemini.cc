@@ -127,9 +127,11 @@ GeminiCheckpointer::run_checkpoint(std::uint64_t iteration,
     }
     cv_.notify_all();
 
-    // Ship the snapshot to the peer's CPU memory over the NIC.
+    // Ship the snapshot to the peer's CPU memory over the NIC. The
+    // peer "device" is plain DRAM, so the write cannot fail.
     network_->transfer(rank_, peer_rank_, gpu_staging_.size());
-    peer_memory_->write(0, gpu_staging_.data(), gpu_staging_.size());
+    PCCHECK_MUST(
+        peer_memory_->write(0, gpu_staging_.data(), gpu_staging_.size()));
 
     {
         MutexLock lock(mu_);

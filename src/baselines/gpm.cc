@@ -25,24 +25,33 @@ GpmCheckpointer::request_checkpoint(std::uint64_t iteration)
     const Bytes len = state_->size();
     // The copy kernel writes straight into the mmapped device region
     // while holding the compute engine: training cannot proceed.
-    state_->gpu().kernel_copy_to_storage(
+    StorageStatus status = state_->gpu().kernel_copy_to_storage(
         store_->device(), store_->slot_offset(ticket.slot),
         state_->device_ptr(), 0, len);
-    // cudaDeviceSynchronize + msync (SSD) / fence (PMEM).
-    store_->persist_slot_range(ticket.slot, 0, len);
-    store_->device().fence();
-
-    // CRC for the recovery metadata, computed from the source bytes
-    // (identical to what the copy kernel wrote; avoids a modeled
-    // device read that real GPM does not perform).
-    const std::uint32_t crc =
-        compute_crc_
-            ? crc32c(state_->gpu().device_data(state_->device_ptr()),
-                     len)
-            : 0;
-    commit_->commit(ticket, len, iteration, crc);
-
-    ++stats_.completed;
+    if (status.ok()) {
+        // cudaDeviceSynchronize + msync (SSD) / fence (PMEM).
+        status = store_->persist_slot_range(ticket.slot, 0, len);
+    }
+    if (status.ok()) {
+        status = store_->device().fence();
+    }
+    if (status.ok()) {
+        // CRC for the recovery metadata, computed from the source bytes
+        // (identical to what the copy kernel wrote; avoids a modeled
+        // device read that real GPM does not perform).
+        const std::uint32_t crc =
+            compute_crc_
+                ? crc32c(state_->gpu().device_data(state_->device_ptr()),
+                         len)
+                : 0;
+        commit_->commit(ticket, len, iteration, crc);
+        ++stats_.completed;
+    } else {
+        // Slot holds partial data: recycle it, keep the previous
+        // checkpoint as the recovery target.
+        commit_->abort(ticket);
+        ++stats_.aborted;
+    }
     const Seconds elapsed = watch.elapsed();
     stats_.stall_time += elapsed;
     stats_.checkpoint_latency.add(elapsed);

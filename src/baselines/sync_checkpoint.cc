@@ -39,13 +39,22 @@ SyncCheckpointer::request_checkpoint(std::uint64_t iteration)
     }
     // P: persist on the calling thread; single writer.
     const CheckpointTicket ticket = commit_->begin();
-    engine_->persist_range(ticket.slot, 0, staging_.data(),
-                           staging_.size(), /*parallel_writers=*/1);
-    const std::uint32_t crc =
-        config_.compute_crc ? crc32c(staging_.data(), staging_.size())
-                            : 0;
-    commit_->commit(ticket, staging_.size(), iteration, crc);
-    ++stats_.completed;
+    const PersistResult persisted = engine_->persist_range(
+        ticket.slot, 0, staging_.data(), staging_.size(),
+        /*parallel_writers=*/1);
+    if (persisted.ok()) {
+        const std::uint32_t crc =
+            config_.compute_crc
+                ? crc32c(staging_.data(), staging_.size())
+                : 0;
+        commit_->commit(ticket, staging_.size(), iteration, crc);
+        ++stats_.completed;
+    } else {
+        // Slot holds partial data: recycle it, keep the previous
+        // checkpoint as the recovery target.
+        commit_->abort(ticket);
+        ++stats_.aborted;
+    }
     const Seconds elapsed = watch.elapsed();
     stats_.stall_time += elapsed;
     stats_.checkpoint_latency.add(elapsed);

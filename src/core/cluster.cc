@@ -34,6 +34,10 @@ PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
                      const Factory& factory)
 {
     PCCHECK_CHECK(iterations >= 1);
+    PCCHECK_CHECK_MSG(config_.kill_rank < 0 || !config_.coordinate ||
+                          config_.coordinate_timeout > 0,
+                      "killing a rank with blocking coordination would "
+                      "hang the survivors; set coordinate_timeout");
     const int nodes = config_.nodes;
     const Seconds train_time =
         config_.stage_time * (1.0 - config_.update_fraction);
@@ -44,6 +48,9 @@ PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
     result.node_stats.resize(static_cast<std::size_t>(nodes));
     std::vector<std::uint64_t> consistent(
         static_cast<std::size_t>(nodes), 0);
+    std::vector<std::uint64_t> timeouts(static_cast<std::size_t>(nodes),
+                                        0);
+    std::vector<char> degraded(static_cast<std::size_t>(nodes), 0);
 
     Stopwatch watch(*clock_);
     std::vector<std::thread> threads;
@@ -55,7 +62,9 @@ PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
             ClusterNode node{rank, &gpu, &state, network_.get()};
             NodeCheckpointer ck = factory(node);
             PCCHECK_CHECK(ck.checkpointer != nullptr);
-            DistributedCoordinator coordinator(*network_, rank, nodes);
+            DistributedCoordinator coordinator(
+                *network_, rank, nodes, config_.coordinate_timeout);
+            bool killed = false;
 
             for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
                 // Forward/backward for this stage's microbatches.
@@ -81,14 +90,25 @@ PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
                             coordinator.coordinate(mine);
                     }
                 }
+                if (rank == config_.kill_rank &&
+                    iter >= config_.kill_at_iter) {
+                    // Simulated node failure: this rank stops training
+                    // and never speaks on the network again. Its
+                    // survivors detect the silence via the round
+                    // timeout and degrade to local checkpointing.
+                    killed = true;
+                    break;
+                }
             }
             ck.checkpointer->finish();
-            if (config_.coordinate) {
+            if (config_.coordinate && !killed) {
                 // Final round so the last checkpoints are covered.
                 const std::uint64_t mine =
                     ck.latest_iteration ? ck.latest_iteration() : 0;
                 consistent[index] = coordinator.coordinate(mine);
             }
+            timeouts[index] = coordinator.timeouts();
+            degraded[index] = coordinator.degraded() ? 1 : 0;
             result.node_stats[index] = ck.checkpointer->stats();
         });
     }
@@ -98,11 +118,20 @@ PipelineCluster::run(std::uint64_t iterations, std::uint64_t interval,
     result.wall_time = watch.elapsed();
     result.throughput =
         static_cast<double>(iterations) / result.wall_time;
+    for (std::size_t index = 0; index < consistent.size(); ++index) {
+        result.coordinate_timeouts += timeouts[index];
+        result.degraded = result.degraded || degraded[index] != 0;
+    }
     if (config_.coordinate) {
+        // Rank 0 only advances the consistent id on full agreement, so
+        // its view is authoritative even after a degraded round.
         result.consistent_iteration = consistent.front();
-        for (std::uint64_t value : consistent) {
-            PCCHECK_CHECK_MSG(value == result.consistent_iteration,
-                              "nodes disagree on consistent checkpoint");
+        if (!result.degraded) {
+            for (std::uint64_t value : consistent) {
+                PCCHECK_CHECK_MSG(
+                    value == result.consistent_iteration,
+                    "nodes disagree on consistent checkpoint");
+            }
         }
     }
     return result;

@@ -44,6 +44,20 @@ struct ClusterConfig {
     NetworkConfig network;  ///< inter-node fabric
     /** Run the rank-0 checkpoint-ID consensus every interval. */
     bool coordinate = true;
+    /**
+     * Per-message coordination timeout (modeled seconds); 0 waits
+     * forever. With a timeout, surviving ranks degrade to local-only
+     * checkpointing when a peer goes silent instead of hanging.
+     */
+    Seconds coordinate_timeout = 0;
+    /**
+     * Fault injection: rank @p kill_rank stops training (and never
+     * coordinates again) after completing iteration @p kill_at_iter.
+     * -1 disables. Requires coordinate_timeout > 0 when coordination
+     * is enabled, else the survivors would block forever.
+     */
+    int kill_rank = -1;
+    std::uint64_t kill_at_iter = 0;
 };
 
 /** Per-node view handed to the checkpointer factory. */
@@ -61,6 +75,10 @@ struct ClusterResult {
     std::vector<CheckpointerStats> node_stats;
     /** Globally consistent checkpoint iteration (0 if none/disabled). */
     std::uint64_t consistent_iteration = 0;
+    /** True when any rank's coordination degraded (peer timeout). */
+    bool degraded = false;
+    /** Total coordination rounds that timed out across all ranks. */
+    std::uint64_t coordinate_timeouts = 0;
 };
 
 /** Pipeline-parallel training cluster over SimNetwork. */

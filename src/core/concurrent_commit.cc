@@ -125,14 +125,33 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
             // Lines 22-25: winner — durably publish the new pointer
             // (BARRIER), then recycle the superseded slot. Publishing
             // before recycling is what keeps the latest durable record
-            // pointing at intact data.
-            store_->publish_pointer(CheckpointPointer{
-                ticket.counter, ticket.slot, data_len, iteration,
-                data_crc});
+            // pointing at intact data. Transient record-write failures
+            // retry with deterministic backoff.
+            const Backoff backoff(retry_, retry_seed_ ^ ticket.counter);
+            const StorageStatus published = retry_storage_op(
+                [this, &ticket, data_len, iteration, data_crc] {
+                    return store_->publish_pointer(CheckpointPointer{
+                        ticket.counter, ticket.slot, data_len, iteration,
+                        data_crc});
+                },
+                backoff);
             const std::uint32_t old_slot = slot_of(expected);
-            if (old_slot != kNoSlot) {
-                PCCHECK_CHECK(free_slots_->try_enqueue(old_slot));
-                result.freed_slot = old_slot;
+            if (published.ok()) {
+                if (old_slot != kNoSlot) {
+                    PCCHECK_CHECK(free_slots_->try_enqueue(old_slot));
+                    result.freed_slot = old_slot;
+                }
+                result.published = true;
+            } else {
+                // The durable record still references old_slot, so it
+                // must NOT be recycled — overwriting it would destroy
+                // the only fully persisted checkpoint. The slot stays
+                // reserved (one slot of capacity lost) until a later
+                // winner publishes durably; that is the price of
+                // keeping the paper's invariant under media failure.
+                // relaxed: monitoring counter, no ordering required.
+                publish_failures_.fetch_add(1,
+                                            std::memory_order_relaxed);
             }
             // relaxed: monitoring counter, no ordering required.
             wins_.fetch_add(1, std::memory_order_relaxed);
@@ -160,6 +179,15 @@ void
 ConcurrentCommit::abort(const CheckpointTicket& ticket)
 {
     PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+    // relaxed: monitoring counter, no ordering required.
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ConcurrentCommit::set_retry(const RetryPolicy& policy, std::uint64_t seed)
+{
+    retry_ = policy;
+    retry_seed_ = seed;
 }
 
 std::uint64_t

@@ -41,6 +41,7 @@
 
 #include "core/free_slot_queue.h"
 #include "core/slot_store.h"
+#include "faults/retry.h"
 #include "util/clock.h"
 
 namespace pccheck {
@@ -55,6 +56,11 @@ struct CheckpointTicket {
 /** Outcome of a commit() call. */
 struct CommitResult {
     bool won = false;            ///< became the latest checkpoint
+    /** Winner only: the new pointer record is durable. A winner with
+     *  published == false advanced the in-memory CHECK_ADDR but could
+     *  not persist the record (storage failure after retries); the
+     *  previously durable checkpoint remains the recovery target. */
+    bool published = false;
     std::uint32_t freed_slot = 0;
 };
 
@@ -97,10 +103,18 @@ class ConcurrentCommit {
                         std::uint64_t iteration, std::uint32_t data_crc);
 
     /**
-     * Abort an in-flight ticket (failure injection in tests): returns
-     * the slot to the free queue without publishing.
+     * Abort an in-flight ticket: returns the slot to the free queue
+     * without publishing. This is the production error path — when the
+     * persist engine reports a permanent storage failure (or exhausts
+     * its transient retries) the orchestrator aborts the attempt so
+     * the slot is recycled instead of leaking, and the previously
+     * committed checkpoint remains the recovery target.
      */
     void abort(const CheckpointTicket& ticket);
+
+    /** Retry schedule for the durable pointer-record publish inside
+     *  commit(); jitter is derived from (seed, ticket counter). */
+    void set_retry(const RetryPolicy& policy, std::uint64_t seed);
 
     /** In-memory view of the latest committed checkpoint counter. */
     std::uint64_t latest_counter() const;
@@ -127,6 +141,20 @@ class ConcurrentCommit {
         return losses_.load(std::memory_order_relaxed);
     }
 
+    /** Number of tickets aborted without publishing. */
+    std::uint64_t commits_aborted() const
+    {
+        // relaxed: monitoring counter, no ordering required.
+        return aborts_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of winner publishes that failed after retries. */
+    std::uint64_t publish_failures() const
+    {
+        // relaxed: monitoring counter, no ordering required.
+        return publish_failures_.load(std::memory_order_relaxed);
+    }
+
     SlotStore& store() { return *store_; }
 
   private:
@@ -150,6 +178,10 @@ class ConcurrentCommit {
     std::vector<SlotMeta> meta_;             ///< side table, one per slot
     std::atomic<std::uint64_t> wins_{0};
     std::atomic<std::uint64_t> losses_{0};
+    std::atomic<std::uint64_t> aborts_{0};
+    std::atomic<std::uint64_t> publish_failures_{0};
+    RetryPolicy retry_;
+    std::uint64_t retry_seed_ = 1;
 };
 
 }  // namespace pccheck

@@ -6,9 +6,11 @@
  * PCcheck configuration — the knobs of paper Table 2.
  */
 
+#include <cstdint>
 #include <string>
 
 #include "core/free_slot_queue.h"
+#include "faults/retry.h"
 #include "util/bytes.h"
 
 namespace pccheck {
@@ -60,6 +62,15 @@ struct PCcheckConfig {
      * record makes recovery skip the check.
      */
     bool compute_crc = true;
+    /**
+     * Transient-storage-error retry schedule (persist stripes and the
+     * commit-time pointer publish). Defaults keep checkpoints alive
+     * through sporadic EIO-class failures; a permanent error or
+     * retry exhaustion aborts the attempt and recycles its slot.
+     */
+    RetryPolicy storage_retry;
+    /** Seed for deterministic backoff jitter (fault experiments). */
+    std::uint64_t retry_seed = 1;
 
     /** Validate ranges; throws FatalError on nonsense values. */
     void validate() const;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 
 namespace pccheck {
 namespace {
@@ -11,61 +14,155 @@ namespace {
 constexpr std::uint64_t kTagAnnounce = 0xC0FFEE01;
 constexpr std::uint64_t kTagCommit = 0xC0FFEE02;
 
+/** Payload: (round, checkpoint id), 16 bytes little-endian native. */
 std::vector<std::uint8_t>
-encode_u64(std::uint64_t value)
+encode_pair(std::uint64_t round, std::uint64_t value)
 {
-    std::vector<std::uint8_t> bytes(sizeof(value));
-    std::memcpy(bytes.data(), &value, sizeof(value));
+    std::vector<std::uint8_t> bytes(2 * sizeof(std::uint64_t));
+    std::memcpy(bytes.data(), &round, sizeof(round));
+    std::memcpy(bytes.data() + sizeof(round), &value, sizeof(value));
     return bytes;
 }
 
-std::uint64_t
-decode_u64(const std::vector<std::uint8_t>& bytes)
+void
+decode_pair(const std::vector<std::uint8_t>& bytes, std::uint64_t* round,
+            std::uint64_t* value)
 {
-    PCCHECK_CHECK(bytes.size() == sizeof(std::uint64_t));
-    std::uint64_t value = 0;
-    std::memcpy(&value, bytes.data(), sizeof(value));
-    return value;
+    PCCHECK_CHECK(bytes.size() == 2 * sizeof(std::uint64_t));
+    std::memcpy(round, bytes.data(), sizeof(*round));
+    std::memcpy(value, bytes.data() + sizeof(*round), sizeof(*value));
 }
 
 }  // namespace
 
 DistributedCoordinator::DistributedCoordinator(SimNetwork& network, int rank,
-                                               int world)
-    : network_(&network), rank_(rank), world_(world)
+                                               int world, Seconds timeout)
+    : network_(&network), rank_(rank), world_(world), timeout_(timeout)
 {
     PCCHECK_CHECK(world >= 1);
     PCCHECK_CHECK(rank >= 0 && rank < world);
     PCCHECK_CHECK(world <= network.nodes());
+    PCCHECK_CHECK(timeout >= 0);
+}
+
+void
+DistributedCoordinator::note_timeout()
+{
+    ++timeouts_;
+    degraded_ = true;
+    MetricsRegistry::global()
+        .counter("pccheck.coordinate.timeouts")
+        .add();
+    LOG_WARN("pccheck: rank " << rank_ << " coordination round " << round_
+                              << " timed out; continuing degraded with "
+                                 "peer_check="
+                              << peer_check_);
 }
 
 std::uint64_t
 DistributedCoordinator::coordinate(std::uint64_t checkpoint_id)
 {
+    ++round_;
     if (world_ == 1) {
         peer_check_ = checkpoint_id;
         return checkpoint_id;
     }
-    if (rank_ == 0) {
-        // Gather announcements from every other rank; ours is local.
-        std::uint64_t agreed = checkpoint_id;
-        for (int received = 0; received + 1 < world_; ++received) {
-            const NetMessage msg = network_->recv_msg(0);
-            PCCHECK_CHECK_MSG(msg.tag == kTagAnnounce,
-                              "unexpected tag " << msg.tag);
-            agreed = std::min(agreed, decode_u64(msg.payload));
+    PCCHECK_TRACE_SPAN("coordinate", "rank", rank_, "round", round_);
+    return rank_ == 0 ? coordinate_rank0(checkpoint_id)
+                      : coordinate_peer(checkpoint_id);
+}
+
+std::uint64_t
+DistributedCoordinator::coordinate_rank0(std::uint64_t checkpoint_id)
+{
+    // Gather announcements from every other rank; ours is local.
+    std::uint64_t agreed = checkpoint_id;
+    int received = 0;
+    // Announces that arrived early: survivors of a timed-out round run
+    // ahead and announce the next round while we were still draining
+    // the previous one.
+    if (const auto it = pending_.find(round_); it != pending_.end()) {
+        for (const std::uint64_t value : it->second) {
+            agreed = std::min(agreed, value);
+            ++received;
         }
-        for (int peer = 1; peer < world_; ++peer) {
-            network_->send_msg(0, peer, kTagCommit, encode_u64(agreed));
-        }
-        peer_check_ = agreed;
-        return agreed;
+        pending_.erase(it);
     }
-    network_->send_msg(rank_, 0, kTagAnnounce, encode_u64(checkpoint_id));
-    const NetMessage msg = network_->recv_msg(rank_);
-    PCCHECK_CHECK(msg.tag == kTagCommit);
-    peer_check_ = decode_u64(msg.payload);
-    return peer_check_;
+    bool timed_out = false;
+    while (received + 1 < world_) {
+        std::optional<NetMessage> msg;
+        if (timeout_ > 0) {
+            msg = network_->recv_msg_for(0, timeout_);
+            if (!msg.has_value()) {
+                timed_out = true;
+                break;
+            }
+        } else {
+            msg = network_->recv_msg(0);
+        }
+        PCCHECK_CHECK_MSG(msg->tag == kTagAnnounce,
+                          "unexpected tag " << msg->tag);
+        std::uint64_t round = 0;
+        std::uint64_t value = 0;
+        decode_pair(msg->payload, &round, &value);
+        if (round < round_) {
+            continue;  // announce for a round that already timed out
+        }
+        if (round > round_) {
+            pending_[round].push_back(value);
+            continue;
+        }
+        agreed = std::min(agreed, value);
+        ++received;
+    }
+    if (timed_out) {
+        // Unblock any peer that did announce this round, WITHOUT
+        // advancing the consistent id — a silent peer may not have
+        // persisted anything newer.
+        for (int peer = 1; peer < world_; ++peer) {
+            network_->send_msg(0, peer, kTagCommit,
+                               encode_pair(round_, peer_check_));
+        }
+        note_timeout();
+        return peer_check_;
+    }
+    for (int peer = 1; peer < world_; ++peer) {
+        network_->send_msg(0, peer, kTagCommit,
+                           encode_pair(round_, agreed));
+    }
+    peer_check_ = agreed;
+    return agreed;
+}
+
+std::uint64_t
+DistributedCoordinator::coordinate_peer(std::uint64_t checkpoint_id)
+{
+    network_->send_msg(rank_, 0, kTagAnnounce,
+                       encode_pair(round_, checkpoint_id));
+    for (;;) {
+        std::optional<NetMessage> msg;
+        if (timeout_ > 0) {
+            msg = network_->recv_msg_for(rank_, timeout_);
+            if (!msg.has_value()) {
+                note_timeout();
+                return peer_check_;
+            }
+        } else {
+            msg = network_->recv_msg(rank_);
+        }
+        PCCHECK_CHECK(msg->tag == kTagCommit);
+        std::uint64_t round = 0;
+        std::uint64_t value = 0;
+        decode_pair(msg->payload, &round, &value);
+        if (round < round_) {
+            continue;  // late commit for a round we already timed out
+        }
+        PCCHECK_CHECK_MSG(round == round_, "commit from future round "
+                                               << round << " at round "
+                                               << round_);
+        peer_check_ = value;
+        return peer_check_;
+    }
 }
 
 }  // namespace pccheck

@@ -12,9 +12,18 @@
  * sends its checkpoint ID to rank 0 and waits; once rank 0 has IDs
  * from every peer it notifies them to continue, and each peer advances
  * its peer_check to the agreed value.
+ *
+ * Graceful degradation: with a non-zero timeout a rank that stops
+ * hearing from its peers (peer process died, network partition) does
+ * not hang — the round times out, the rank keeps its last consistent
+ * id, flags itself degraded, and continues checkpointing locally.
+ * Every message carries a round number so a late message from a
+ * timed-out round can never be confused with the current round.
  */
 
 #include <cstdint>
+#include <map>
+#include <vector>
 
 #include "net/network.h"
 
@@ -27,30 +36,52 @@ class DistributedCoordinator {
      * @param network fabric shared by all ranks (must outlive this)
      * @param rank this node's rank in [0, world)
      * @param world total participating nodes
+     * @param timeout max modeled seconds to wait for any single peer
+     *        message inside coordinate(); 0 = wait forever
      */
-    DistributedCoordinator(SimNetwork& network, int rank, int world);
+    DistributedCoordinator(SimNetwork& network, int rank, int world,
+                           Seconds timeout = 0);
 
     /**
      * Announce the locally committed checkpoint @p checkpoint_id
-     * (iteration number) and block until every rank has announced.
+     * (iteration number) and block until every rank has announced or
+     * the round times out.
      *
      * @return the globally consistent checkpoint id — the minimum
      *         announced value, which all ranks are guaranteed to have
-     *         persisted.
+     *         persisted; on timeout, the previous consistent id
+     *         (unchanged), with the rank marked degraded.
      */
     std::uint64_t coordinate(std::uint64_t checkpoint_id);
 
     /** Last globally consistent checkpoint id (peer_check). */
     std::uint64_t last_consistent() const { return peer_check_; }
 
+    /** True once any coordination round has timed out on this rank. */
+    bool degraded() const { return degraded_; }
+
+    /** Number of coordination rounds that timed out on this rank. */
+    std::uint64_t timeouts() const { return timeouts_; }
+
     int rank() const { return rank_; }
     int world() const { return world_; }
 
   private:
+    void note_timeout();
+    std::uint64_t coordinate_rank0(std::uint64_t checkpoint_id);
+    std::uint64_t coordinate_peer(std::uint64_t checkpoint_id);
+
     SimNetwork* network_;
     int rank_;
     int world_;
+    Seconds timeout_;
     std::uint64_t peer_check_ = 0;
+    std::uint64_t round_ = 0;
+    bool degraded_ = false;
+    std::uint64_t timeouts_ = 0;
+    /** Rank 0 only: announces received for rounds ahead of ours
+     *  (survivors race ahead after a timed-out round). */
+    std::map<std::uint64_t, std::vector<std::uint64_t>> pending_;
 };
 
 }  // namespace pccheck

@@ -74,17 +74,22 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
         store_ = std::make_unique<SlotStore>(
             SlotStore::format(device, slot_count, m));
         if (salvage_info.has_value() && salvaged.size() <= m) {
-            store_->write_slot(0, 0, salvaged.data(), salvaged.size());
-            store_->persist_slot_range(0, 0, salvaged.size());
-            device.fence();
-            store_->publish_pointer(CheckpointPointer{
+            // Salvage runs before training starts; a device that fails
+            // here cannot host checkpoints at all, so escalate.
+            PCCHECK_MUST(store_->write_slot(0, 0, salvaged.data(),
+                                            salvaged.size()));
+            PCCHECK_MUST(
+                store_->persist_slot_range(0, 0, salvaged.size()));
+            PCCHECK_MUST(device.fence());
+            PCCHECK_MUST(store_->publish_pointer(CheckpointPointer{
                 salvage_info->counter, 0, salvaged.size(),
                 salvage_info->iteration,
-                crc32c(salvaged.data(), salvaged.size())});
+                crc32c(salvaged.data(), salvaged.size())}));
         }
     }
     commit_ = std::make_unique<ConcurrentCommit>(*store_,
                                                  config_.queue_kind, clock);
+    commit_->set_retry(config_.storage_retry, config_.retry_seed);
 
     PersistEngineConfig engine_config;
     engine_config.writer_threads =
@@ -93,6 +98,8 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
     engine_config.per_writer_bytes_per_sec =
         config_.per_writer_bytes_per_sec;
     engine_config.pin_writers = config_.pin_writer_threads;
+    engine_config.retry = config_.storage_retry;
+    engine_config.retry_seed = config_.retry_seed;
     engine_ = std::make_unique<PersistEngine>(*store_, engine_config,
                                               clock);
 
@@ -120,7 +127,7 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
     // Drain async persists so pool tasks never outlive the staging
     // arena (members are destroyed in reverse declaration order).
     MutexLock lock(mu_);
-    while (completed_ != requested_) {
+    while (completed_ + aborted_ != requested_) {
         complete_cv_.wait(mu_);
     }
 }
@@ -164,7 +171,7 @@ void
 PCcheckCheckpointer::finish()
 {
     MutexLock lock(mu_);
-    while (completed_ != requested_) {
+    while (completed_ + aborted_ != requested_) {
         complete_cv_.wait(mu_);
     }
 }
@@ -176,6 +183,7 @@ PCcheckCheckpointer::stats() const
     CheckpointerStats stats;
     stats.requested = requested_;
     stats.completed = completed_;
+    stats.aborted = aborted_;
     stats.stall_time = stall_time_;
     stats.checkpoint_latency = latency_;
     return stats;
@@ -243,6 +251,8 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         std::uint64_t trace_begin_ns;
         std::uint32_t crc = 0;  ///< final value set before last decrement
         std::atomic<std::size_t> remaining;
+        /** Any chunk hit a non-retryable storage failure. */
+        std::atomic<bool> failed{false};
     };
     const std::size_t chunks =
         static_cast<std::size_t>((len + chunk_bytes_ - 1) / chunk_bytes_);
@@ -262,6 +272,18 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     auto maybe_commit = [](const std::shared_ptr<Inflight>& shared) {
         if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
+            // relaxed: the acq_rel fetch_sub above orders this load
+            // after every chunk's failure store.
+            if (shared->failed.load(std::memory_order_relaxed)) {
+                // A chunk could not be made durable even after retries:
+                // the slot holds partial data, so publishing would
+                // violate the paper's invariant. Abort the attempt —
+                // the slot returns to the free queue and the previous
+                // checkpoint remains the recovery target.
+                shared->self->commit_->abort(shared->ticket);
+                shared->self->on_checkpoint_aborted(shared->iteration);
+                return;
+            }
             // §4.1: the thread finishing the last chunk executes the
             // commit protocol (Listing 1 lines 16-34).
             shared->self->commit_->commit(shared->ticket, shared->len,
@@ -294,20 +316,44 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
             StageSpan snap_span("checkpoint.snapshot", snap_hist,
                                 "iteration", iteration, "slot",
                                 ticket.slot);
+            const Backoff backoff(config_.storage_retry,
+                                  config_.retry_seed ^ ticket.counter);
             for (Bytes offset = 0; offset < len; offset += chunk_bytes_) {
                 const Bytes this_len =
                     std::min(chunk_bytes_, len - offset);
-                state_->gpu().direct_copy_to_storage(
-                    *device_, store_->slot_offset(ticket.slot) + offset,
-                    src, region_offset_ + offset, this_len);
+                const StorageStatus status = retry_storage_op(
+                    [this, &ticket, src, offset, this_len] {
+                        StorageStatus s =
+                            state_->gpu().direct_copy_to_storage(
+                                *device_,
+                                store_->slot_offset(ticket.slot) + offset,
+                                src, region_offset_ + offset, this_len);
+                        if (s.ok()) {
+                            s = store_->persist_slot_range(
+                                ticket.slot, offset, this_len);
+                        }
+                        return s;
+                    },
+                    backoff);
+                if (!status.ok()) {
+                    // relaxed: published to the committing thread by
+                    // the acq_rel reference-count decrement.
+                    inflight->failed.store(true,
+                                           std::memory_order_relaxed);
+                    break;
+                }
                 if (config_.compute_crc) {
                     crc = crc32c(state_->gpu().device_data(
                                      src, region_offset_ + offset),
                                  this_len, crc);
                 }
-                store_->persist_slot_range(ticket.slot, offset, this_len);
             }
-            device_->fence();
+            // relaxed: same thread that stored it above.
+            if (!inflight->failed.load(std::memory_order_relaxed) &&
+                !device_->fence().ok()) {
+                // relaxed: published by the acq_rel decrement below.
+                inflight->failed.store(true, std::memory_order_relaxed);
+            }
         }
         {
             MutexLock lock(mu_);
@@ -347,7 +393,14 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
             engine_->persist_range_async(
                 ticket.slot, offset, buffer, this_len,
                 config_.writers_per_checkpoint,
-                [this, inflight, buffer, maybe_commit] {
+                [this, inflight, buffer,
+                 maybe_commit](StorageStatus status) {
+                    if (!status.ok()) {
+                        // relaxed: published to the committing thread
+                        // by the acq_rel reference-count decrement.
+                        inflight->failed.store(
+                            true, std::memory_order_relaxed);
+                    }
                     release_chunk_buffer(buffer);
                     maybe_commit(inflight);
                 });
@@ -389,6 +442,22 @@ PCcheckCheckpointer::on_checkpoint_complete(std::uint64_t iteration,
     }
     MetricsRegistry::global()
         .counter("pccheck.checkpoints.completed")
+        .add();
+}
+
+void
+PCcheckCheckpointer::on_checkpoint_aborted(std::uint64_t iteration)
+{
+    LOG_WARN("pccheck: aborted checkpoint attempt for iteration "
+             << iteration << " after storage failure");
+    {
+        MutexLock lock(mu_);
+        ++aborted_;
+        // Notify under the lock: see on_checkpoint_complete.
+        complete_cv_.notify_all();
+    }
+    MetricsRegistry::global()
+        .counter("pccheck.checkpoints.aborted")
         .add();
 }
 

@@ -94,6 +94,7 @@ class PCcheckCheckpointer final : public Checkpointer {
     void release_chunk_buffer(std::uint8_t* buffer);
     void on_checkpoint_complete(std::uint64_t iteration,
                                 Seconds request_time);
+    void on_checkpoint_aborted(std::uint64_t iteration);
 
     TrainingState* state_;
     StorageDevice* device_;
@@ -123,6 +124,8 @@ class PCcheckCheckpointer final : public Checkpointer {
     std::size_t snapshots_pending_ PCCHECK_GUARDED_BY(mu_) = 0;
     std::uint64_t requested_ PCCHECK_GUARDED_BY(mu_) = 0;
     std::uint64_t completed_ PCCHECK_GUARDED_BY(mu_) = 0;
+    /** Attempts abandoned on storage failure (slot recycled). */
+    std::uint64_t aborted_ PCCHECK_GUARDED_BY(mu_) = 0;
     Seconds stall_time_ PCCHECK_GUARDED_BY(mu_) = 0;
     RunningStat latency_ PCCHECK_GUARDED_BY(mu_);
 

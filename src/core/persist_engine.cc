@@ -9,6 +9,22 @@
 #include "util/metrics.h"
 
 namespace pccheck {
+namespace {
+
+/** Range-level status aggregation: permanent beats transient beats ok. */
+StorageStatus
+merge_status(const StorageStatus& a, const StorageStatus& b)
+{
+    if (a.is_permanent()) {
+        return a;
+    }
+    if (b.is_permanent()) {
+        return b;
+    }
+    return a.ok() ? b : a;
+}
+
+}  // namespace
 
 PersistEngine::PersistEngine(SlotStore& store,
                              const PersistEngineConfig& config,
@@ -20,7 +36,19 @@ PersistEngine::PersistEngine(SlotStore& store,
 {
 }
 
-void
+Backoff
+PersistEngine::stripe_backoff(std::uint32_t slot, Bytes offset) const
+{
+    // Per-stripe seed: the retry timeline of one stripe must not
+    // depend on which other stripes failed first.
+    const std::uint64_t seed =
+        config_.retry_seed ^
+        (static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ULL) ^
+        ((offset + 1) * 0xBF58476D1CE4E5B9ULL);
+    return Backoff(config_.retry, seed);
+}
+
+StorageStatus
 PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
                             const std::uint8_t* src, Bytes len,
                             bool is_pmem)
@@ -33,13 +61,25 @@ PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
     StageSpan span("persist.chunk", chunk_hist, "slot", slot, "len",
                    len);
     Stopwatch watch(*clock_);
-    store_->write_slot(slot, offset, src, len);
-    bytes_persisted.add(len);
-    if (is_pmem) {
-        // §4.1: each writer must persist and fence its own data; the
-        // fence is internal to each CPU.
-        store_->persist_slot_range(slot, offset, len);
-        store_->device().fence();
+    // A transient error anywhere in the write→persist→fence sequence
+    // retries the whole stripe: the write may not have reached the
+    // medium, so persisting the old contents would be meaningless.
+    const StorageStatus status = retry_storage_op(
+        [this, slot, offset, src, len, is_pmem] {
+            StorageStatus s = store_->write_slot(slot, offset, src, len);
+            if (s.ok() && is_pmem) {
+                // §4.1: each writer must persist and fence its own
+                // data; the fence is internal to each CPU.
+                s = store_->persist_slot_range(slot, offset, len);
+                if (s.ok()) {
+                    s = store_->device().fence();
+                }
+            }
+            return s;
+        },
+        stripe_backoff(slot, offset));
+    if (status.ok()) {
+        bytes_persisted.add(len);
     }
     if (config_.per_writer_bytes_per_sec > 0) {
         const Seconds floor = static_cast<double>(len) /
@@ -49,9 +89,10 @@ PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
             clock_->sleep_for(floor - elapsed);
         }
     }
+    return status;
 }
 
-Seconds
+PersistResult
 PersistEngine::persist_range(std::uint32_t slot, Bytes offset,
                              const std::uint8_t* src, Bytes len,
                              int parallel_writers)
@@ -63,32 +104,50 @@ PersistEngine::persist_range(std::uint32_t slot, Bytes offset,
 
     const auto writers = static_cast<Bytes>(parallel_writers);
     const Bytes stripe = align_up((len + writers - 1) / writers, 64);
+    std::size_t stripe_count = 0;
+    for (Bytes start = 0; start < len; start += stripe) {
+        ++stripe_count;
+    }
+    // Each stripe writes its own element; future.get() below
+    // synchronizes the read back.
+    std::vector<StorageStatus> statuses(stripe_count);
     std::vector<std::future<void>> futures;
-    futures.reserve(static_cast<std::size_t>(parallel_writers));
+    futures.reserve(stripe_count);
+    std::size_t index = 0;
     for (Bytes start = 0; start < len; start += stripe) {
         const Bytes this_len = std::min(stripe, len - start);
+        StorageStatus* out = &statuses[index++];
         futures.push_back(pool_->submit(
-            [this, slot, offset, src, start, this_len, is_pmem] {
-                write_stripe(slot, offset + start, src + start, this_len,
-                             is_pmem);
+            [this, slot, offset, src, start, this_len, is_pmem, out] {
+                *out = write_stripe(slot, offset + start, src + start,
+                                    this_len, is_pmem);
             }));
     }
+    PersistResult result;
     for (auto& future : futures) {
         future.get();
     }
-    if (!is_pmem) {
+    for (const StorageStatus& status : statuses) {
+        result.status = merge_status(result.status, status);
+    }
+    if (!is_pmem && result.status.ok()) {
         // §4.1: on SSD the main thread issues a single msync covering
         // the checkpoint range.
-        store_->persist_slot_range(slot, offset, len);
+        result.status = retry_storage_op(
+            [this, slot, offset, len] {
+                return store_->persist_slot_range(slot, offset, len);
+            },
+            stripe_backoff(slot, offset));
     }
-    return watch.elapsed();
+    result.elapsed = watch.elapsed();
+    return result;
 }
 
 void
 PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
                                    const std::uint8_t* src, Bytes len,
                                    int parallel_writers,
-                                   std::function<void()> done)
+                                   std::function<void(StorageStatus)> done)
 {
     PCCHECK_CHECK(parallel_writers >= 1);
     const bool is_pmem = needs_fence(store_->device().kind());
@@ -100,12 +159,14 @@ PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
         ++stripe_count;
     }
     if (stripe_count == 0) {
-        done();
+        done(StorageStatus::success());
         return;
     }
     struct Shared {
         std::atomic<std::size_t> remaining;
-        std::function<void()> done;
+        std::function<void(StorageStatus)> done;
+        Mutex mu;
+        StorageStatus error PCCHECK_GUARDED_BY(mu);
     };
     auto shared = std::make_shared<Shared>();
     // relaxed: store precedes the stripe-task submissions that share
@@ -117,14 +178,29 @@ PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
         const Bytes this_len = std::min(stripe, len - start);
         pool_->submit([this, shared, slot, offset, src, start, this_len,
                        len, is_pmem] {
-            write_stripe(slot, offset + start, src + start, this_len,
-                         is_pmem);
+            const StorageStatus stripe_status = write_stripe(
+                slot, offset + start, src + start, this_len, is_pmem);
+            if (!stripe_status.ok()) {
+                MutexLock lock(shared->mu);
+                shared->error =
+                    merge_status(shared->error, stripe_status);
+            }
             if (shared->remaining.fetch_sub(
                     1, std::memory_order_acq_rel) == 1) {
-                if (!is_pmem) {
-                    store_->persist_slot_range(slot, offset, len);
+                StorageStatus range_status = StorageStatus::success();
+                {
+                    MutexLock lock(shared->mu);
+                    range_status = shared->error;
                 }
-                shared->done();
+                if (!is_pmem && range_status.ok()) {
+                    range_status = retry_storage_op(
+                        [this, slot, offset, len] {
+                            return store_->persist_slot_range(slot,
+                                                              offset, len);
+                        },
+                        stripe_backoff(slot, offset));
+                }
+                shared->done(range_status);
             }
         });
     }

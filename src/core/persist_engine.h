@@ -26,6 +26,7 @@
 
 #include "concurrent/thread_pool.h"
 #include "core/slot_store.h"
+#include "faults/retry.h"
 #include "util/clock.h"
 
 namespace pccheck {
@@ -39,6 +40,21 @@ struct PersistEngineConfig {
     /** Pin writer threads to cores (artifact: "PCcheck uses thread
      *  pinning to specific cores for higher performance"). */
     bool pin_writers = false;
+    /** Transient-error retry schedule for every stripe. */
+    RetryPolicy retry;
+    /** Seed for the deterministic backoff jitter; each stripe derives
+     *  its own schedule from (retry_seed, slot, offset). */
+    std::uint64_t retry_seed = 1;
+};
+
+/** Outcome of a synchronous persist_range call. */
+struct [[nodiscard]] PersistResult {
+    /** Success, or the aggregated stripe error (permanent wins over
+     *  transient; transient means retries were exhausted). */
+    StorageStatus status = StorageStatus::success();
+    /** Modeled wall time of the persist, seconds. */
+    Seconds elapsed = 0;
+    bool ok() const { return status.ok(); }
 };
 
 /** Striped, multi-threaded write+persist executor over a SlotStore. */
@@ -55,13 +71,13 @@ class PersistEngine {
     /**
      * Durably write @p len bytes from @p src into @p slot at
      * @p offset, striped across @p parallel_writers tasks. Blocks
-     * until the range is durable (including fences on PMEM).
-     *
-     * @return modeled wall time of the persist, seconds
+     * until the range is durable (including fences on PMEM) or every
+     * stripe has exhausted its transient-error retries / hit a
+     * permanent error — see PersistResult::status.
      */
-    Seconds persist_range(std::uint32_t slot, Bytes offset,
-                          const std::uint8_t* src, Bytes len,
-                          int parallel_writers);
+    PersistResult persist_range(std::uint32_t slot, Bytes offset,
+                                const std::uint8_t* src, Bytes len,
+                                int parallel_writers);
 
     /**
      * Asynchronous variant used by the pipelined orchestrator: the
@@ -69,19 +85,22 @@ class PersistEngine {
      * immediately. The stripe that finishes last makes the range
      * durable (msync on SSD) and then invokes @p done on its own
      * thread — §4.1: "the thread responsible for this batch will
-     * execute Lines 16-34". @p src must stay valid until @p done runs.
+     * execute Lines 16-34" — passing the aggregated range status.
+     * @p src must stay valid until @p done runs.
      */
     void persist_range_async(std::uint32_t slot, Bytes offset,
                              const std::uint8_t* src, Bytes len,
                              int parallel_writers,
-                             std::function<void()> done);
+                             std::function<void(StorageStatus)> done);
 
     SlotStore& store() { return *store_; }
     const PersistEngineConfig& config() const { return config_; }
 
   private:
-    void write_stripe(std::uint32_t slot, Bytes offset,
-                      const std::uint8_t* src, Bytes len, bool is_pmem);
+    StorageStatus write_stripe(std::uint32_t slot, Bytes offset,
+                               const std::uint8_t* src, Bytes len,
+                               bool is_pmem);
+    Backoff stripe_backoff(std::uint32_t slot, Bytes offset) const;
 
     SlotStore* store_;
     PersistEngineConfig config_;

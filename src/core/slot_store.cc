@@ -85,16 +85,18 @@ SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
     header.slot_count = slot_count;
     header.slot_size = slot_size;
     header.data_offset = kDataAlign;
-    device.write(kHeaderOffset, &header, sizeof(header));
+    // Formatting is a setup path: a device that cannot even hold its
+    // header is unusable, so errors escalate instead of retrying.
+    PCCHECK_MUST(device.write(kHeaderOffset, &header, sizeof(header)));
 
     // Invalidate both pointer records.
     RawRecord empty{};
     empty.record_checksum = ~record_crc(empty);  // deliberately bad
-    device.write(record_offset(0), &empty, sizeof(empty));
-    device.write(record_offset(1), &empty, sizeof(empty));
+    PCCHECK_MUST(device.write(record_offset(0), &empty, sizeof(empty)));
+    PCCHECK_MUST(device.write(record_offset(1), &empty, sizeof(empty)));
 
-    device.persist(0, kDataAlign);
-    device.fence();
+    PCCHECK_MUST(device.persist(0, kDataAlign));
+    PCCHECK_MUST(device.fence());
     return SlotStore(device, slot_count, slot_size);
 }
 
@@ -127,20 +129,20 @@ SlotStore::slot_offset(std::uint32_t slot) const
            static_cast<Bytes>(slot) * align_up(slot_size_, kDataAlign);
 }
 
-void
+StorageStatus
 SlotStore::write_slot(std::uint32_t slot, Bytes offset, const void* src,
                       Bytes len)
 {
     PCCHECK_CHECK_MSG(offset + len <= slot_size_,
                       "slot write overflow off=" << offset << " len=" << len);
-    device_->write(slot_offset(slot) + offset, src, len);
+    return device_->write(slot_offset(slot) + offset, src, len);
 }
 
-void
+StorageStatus
 SlotStore::persist_slot_range(std::uint32_t slot, Bytes offset, Bytes len)
 {
     PCCHECK_CHECK(offset + len <= slot_size_);
-    device_->persist(slot_offset(slot) + offset, len);
+    return device_->persist(slot_offset(slot) + offset, len);
 }
 
 void
@@ -151,7 +153,7 @@ SlotStore::read_slot(std::uint32_t slot, Bytes offset, void* dst,
     device_->read(slot_offset(slot) + offset, dst, len);
 }
 
-void
+StorageStatus
 SlotStore::publish_pointer(const CheckpointPointer& ptr)
 {
     PCCHECK_CHECK(ptr.slot < slot_count_);
@@ -162,10 +164,8 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     // record whose predecessor slot has already been recycled.
     MutexLock lock(publish_->mu);
     if (publish_->any && ptr.counter < publish_->last_counter) {
-        return;
+        return StorageStatus::success();
     }
-    publish_->any = true;
-    publish_->last_counter = ptr.counter;
     RawRecord rec{};
     rec.counter = ptr.counter;
     rec.slot = ptr.slot;
@@ -174,9 +174,23 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     rec.iteration = ptr.iteration;
     rec.record_checksum = record_crc(rec);
     const Bytes off = record_offset(static_cast<int>(ptr.counter % 2));
-    device_->write(off, &rec, sizeof(rec));
-    device_->persist(off, sizeof(rec));
-    device_->fence();
+    StorageStatus status = device_->write(off, &rec, sizeof(rec));
+    if (status.ok()) {
+        status = device_->persist(off, sizeof(rec));
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    if (!status.ok()) {
+        // Not durable: leave last_counter alone so a retry of this very
+        // publish is not dropped as stale. The previous record is
+        // untouched on media (tearing the new record's slot is handled
+        // by recovery's checksum fallback).
+        return status;
+    }
+    publish_->any = true;
+    publish_->last_counter = ptr.counter;
+    return StorageStatus::success();
 }
 
 std::vector<CheckpointPointer>

@@ -67,11 +67,12 @@ class SlotStore {
     Bytes slot_offset(std::uint32_t slot) const;
 
     /** Write @p len bytes into @p slot at @p offset (volatile). */
-    void write_slot(std::uint32_t slot, Bytes offset, const void* src,
-                    Bytes len);
+    StorageStatus write_slot(std::uint32_t slot, Bytes offset,
+                             const void* src, Bytes len);
 
     /** Persist [offset, offset+len) of @p slot (no fence). */
-    void persist_slot_range(std::uint32_t slot, Bytes offset, Bytes len);
+    StorageStatus persist_slot_range(std::uint32_t slot, Bytes offset,
+                                     Bytes len);
 
     /** Read @p len bytes of @p slot at @p offset. */
     void read_slot(std::uint32_t slot, Bytes offset, void* dst,
@@ -85,9 +86,13 @@ class SlotStore {
      * Thread-safe: concurrent commit winners are serialized, and a
      * publish that arrives after a higher-counter record is already
      * durable is dropped — its slot may have been recycled, so writing
-     * it would point the record at data being overwritten.
+     * it would point the record at data being overwritten. (A dropped
+     * stale publish returns success: a newer record is durable.)
+     *
+     * On storage error nothing is considered published: last_counter
+     * is not advanced, so the caller may retry this same publish.
      */
-    void publish_pointer(const CheckpointPointer& ptr);
+    StorageStatus publish_pointer(const CheckpointPointer& ptr);
 
     /**
      * Read back the newest valid pointer record, validating the

@@ -1,0 +1,270 @@
+#include "faults/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "faults/retry.h"
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+/** Splits @p s on @p sep, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t end = s.find(sep, start);
+        const std::string piece =
+            s.substr(start, end == std::string::npos ? end : end - start);
+        if (!piece.empty()) {
+            out.push_back(piece);
+        }
+        if (end == std::string::npos) {
+            break;
+        }
+        start = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parse_u64(const std::string& s, const std::string& what)
+{
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') {
+        fatal("FaultPlan: bad " + what + " '" + s + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parse_f64(const std::string& s, const std::string& what)
+{
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') {
+        fatal("FaultPlan: bad " + what + " '" + s + "'");
+    }
+    return v;
+}
+
+void
+parse_action(const std::string& spec, FaultRule* rule)
+{
+    const std::size_t eq = spec.find('=');
+    const std::string name = spec.substr(0, eq);
+    if (name == "transient") {
+        rule->action = FaultAction::kTransient;
+    } else if (name == "permanent") {
+        rule->action = FaultAction::kPermanent;
+    } else if (name == "stall") {
+        rule->action = FaultAction::kStall;
+        if (eq == std::string::npos) {
+            fatal("FaultPlan: stall needs a duration, e.g. stall=0.001");
+        }
+        rule->stall_seconds = parse_f64(spec.substr(eq + 1), "stall seconds");
+    } else if (name == "crash") {
+        rule->action = FaultAction::kCrash;
+    } else {
+        fatal("FaultPlan: unknown action '" + name + "'");
+    }
+    if (name != "stall" && eq != std::string::npos) {
+        fatal("FaultPlan: action '" + name + "' takes no argument");
+    }
+}
+
+void
+parse_trigger(const std::string& spec, FaultRule* rule)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+        fatal("FaultPlan: trigger needs a value: '" + spec + "'");
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string arg = spec.substr(eq + 1);
+    if (name == "nth") {
+        rule->trigger = FaultTrigger::kNthOp;
+        rule->nth = parse_u64(arg, "nth");
+        PCCHECK_CHECK_MSG(rule->nth >= 1, "nth is 1-based");
+    } else if (name == "every") {
+        rule->trigger = FaultTrigger::kEveryNthOp;
+        rule->nth = parse_u64(arg, "every");
+        PCCHECK_CHECK_MSG(rule->nth >= 1, "every needs period >= 1");
+    } else if (name == "p") {
+        rule->trigger = FaultTrigger::kProbability;
+        rule->probability = parse_f64(arg, "probability");
+        PCCHECK_CHECK_MSG(
+            rule->probability >= 0.0 && rule->probability <= 1.0,
+            "probability must be in [0,1]");
+    } else if (name == "window") {
+        rule->trigger = FaultTrigger::kOpWindow;
+        const std::size_t dash = arg.find('-');
+        if (dash == std::string::npos) {
+            fatal("FaultPlan: window needs LO-HI: '" + arg + "'");
+        }
+        rule->window_lo = parse_u64(arg.substr(0, dash), "window lo");
+        rule->window_hi = parse_u64(arg.substr(dash + 1), "window hi");
+        PCCHECK_CHECK_MSG(rule->window_lo >= 1 &&
+                              rule->window_lo <= rule->window_hi,
+                          "window bounds must satisfy 1 <= lo <= hi");
+    } else {
+        fatal("FaultPlan: unknown trigger '" + name + "'");
+    }
+}
+
+FaultRule
+parse_rule(const std::string& spec)
+{
+    FaultRule rule;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0) {
+        fatal("FaultPlan: rule needs point:action@trigger: '" + spec + "'");
+    }
+    rule.point = spec.substr(0, colon);
+    const std::size_t at = spec.find('@', colon + 1);
+    if (at == std::string::npos) {
+        fatal("FaultPlan: rule needs @trigger: '" + spec + "'");
+    }
+    parse_action(spec.substr(colon + 1, at - colon - 1), &rule);
+    std::string trigger = spec.substr(at + 1);
+    const std::size_t comma = trigger.find(',');
+    if (comma != std::string::npos) {
+        const std::string extra = trigger.substr(comma + 1);
+        trigger = trigger.substr(0, comma);
+        if (extra.rfind("limit=", 0) != 0) {
+            fatal("FaultPlan: unknown rule option '" + extra + "'");
+        }
+        rule.limit = parse_u64(extra.substr(6), "limit");
+    }
+    parse_trigger(trigger, &rule);
+    return rule;
+}
+
+}  // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    for (const std::string& rule : split(spec, ';')) {
+        plan.add(parse_rule(rule));
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
+    : plan_(std::move(plan)), rng_(seed),
+      fired_(plan_.rules().size(), 0)
+{
+}
+
+void
+FaultInjector::set_plan(FaultPlan plan)
+{
+    MutexLock lock(mu_);
+    plan_ = std::move(plan);
+    fired_.assign(plan_.rules().size(), 0);
+}
+
+void
+FaultInjector::set_crash_handler(std::function<void()> handler)
+{
+    MutexLock lock(mu_);
+    crash_handler_ = std::move(handler);
+}
+
+StorageStatus
+FaultInjector::on_op(const char* point)
+{
+    double stall_seconds = 0.0;
+    std::function<void()> crash;
+    StorageStatus status = StorageStatus::success();
+    {
+        MutexLock lock(mu_);
+        ++op_index_;
+        const std::vector<FaultRule>& rules = plan_.rules();
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            const FaultRule& rule = rules[i];
+            if (rule.point != "*" && rule.point != point) {
+                continue;
+            }
+            if (rule.limit != 0 && fired_[i] >= rule.limit) {
+                continue;
+            }
+            bool fires = false;
+            switch (rule.trigger) {
+              case FaultTrigger::kNthOp:
+                fires = op_index_ == rule.nth;
+                break;
+              case FaultTrigger::kEveryNthOp:
+                fires = op_index_ % rule.nth == 0;
+                break;
+              case FaultTrigger::kProbability:
+                fires = rng_.chance(rule.probability);
+                break;
+              case FaultTrigger::kOpWindow:
+                fires = op_index_ >= rule.window_lo &&
+                        op_index_ <= rule.window_hi;
+                break;
+            }
+            if (!fires) {
+                continue;
+            }
+            ++fired_[i];
+            ++injected_;
+            switch (rule.action) {
+              case FaultAction::kTransient:
+                status = StorageStatus::transient_error(point);
+                break;
+              case FaultAction::kPermanent:
+                status = StorageStatus::permanent_error(point);
+                break;
+              case FaultAction::kStall:
+                stall_seconds = rule.stall_seconds;
+                break;
+              case FaultAction::kCrash:
+                ++crashes_;
+                crash = crash_handler_;
+                break;
+            }
+            break;  // first firing rule wins
+        }
+    }
+    // Side effects run outside the lock: the crash handler typically
+    // snapshots the storage device (its own mutex), and a stall must
+    // not serialize every other fault point behind this op.
+    if (crash) {
+        crash();
+    }
+    if (stall_seconds > 0.0) {
+        backoff_sleep(stall_seconds);
+    }
+    return status;
+}
+
+std::uint64_t
+FaultInjector::ops() const
+{
+    MutexLock lock(mu_);
+    return op_index_;
+}
+
+std::uint64_t
+FaultInjector::injected() const
+{
+    MutexLock lock(mu_);
+    return injected_;
+}
+
+std::uint64_t
+FaultInjector::crashes() const
+{
+    MutexLock lock(mu_);
+    return crashes_;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,155 @@
+#ifndef PCCHECK_FAULTS_FAULT_H_
+#define PCCHECK_FAULTS_FAULT_H_
+
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * The checkpoint path is instrumented with named fault points
+ * ("storage.write", "storage.persist", ...). A FaultPlan is a list of
+ * rules — which point, what action, on what schedule — and a
+ * FaultInjector evaluates the plan at every op, entirely driven by a
+ * seed and a global op counter. Same plan + same seed + same op order
+ * → exactly the same faults, which is what makes crash-sweep failures
+ * replayable (`--seed=N` reproduces the run bit for bit).
+ *
+ * Actions model the failure taxonomy of the persist path:
+ *  - transient: one-shot retryable error (EIO under pressure);
+ *  - permanent: non-retryable error (device gone) — escalates to a
+ *    checkpoint-attempt abort upstream;
+ *  - stall:     the op succeeds but takes extra wall time (tail
+ *    latency / a competing flush);
+ *  - crash:     fires the registered crash handler (the sweep harness
+ *    snapshots the CrashSimStorage durable image there).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/status.h"
+#include "util/annotations.h"
+#include "util/rng.h"
+
+namespace pccheck {
+
+/** What a firing rule does to the instrumented op. */
+enum class FaultAction {
+    kTransient,  ///< return a retryable error
+    kPermanent,  ///< return a non-retryable error
+    kStall,      ///< delay the op, then let it succeed
+    kCrash,      ///< invoke the crash handler, op proceeds
+};
+
+/** When a rule fires, relative to the injector's global op counter. */
+enum class FaultTrigger {
+    kNthOp,       ///< exactly op index n (1-based)
+    kEveryNthOp,  ///< every n-th op (n, 2n, 3n, ...)
+    kProbability, ///< independently per op with probability p
+    kOpWindow,    ///< every op with index in [lo, hi] (1-based, incl.)
+};
+
+/** One fault rule: point filter + action + schedule. */
+struct FaultRule {
+    /** Fault-point name to match; "*" matches every point. */
+    std::string point = "*";
+    FaultAction action = FaultAction::kTransient;
+    /** Stall duration (seconds); kStall only. */
+    double stall_seconds = 0.0;
+    FaultTrigger trigger = FaultTrigger::kNthOp;
+    /** kNthOp index or kEveryNthOp period (1-based). */
+    std::uint64_t nth = 1;
+    /** kProbability per-op chance in [0,1]. */
+    double probability = 0.0;
+    /** kOpWindow bounds, 1-based inclusive. */
+    std::uint64_t window_lo = 0;
+    std::uint64_t window_hi = 0;
+    /** Max firings; 0 = unlimited. */
+    std::uint64_t limit = 0;
+};
+
+/**
+ * Ordered list of fault rules. The first rule that matches and fires
+ * wins for a given op.
+ */
+class FaultPlan {
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse a plan from a compact spec — rules joined by ';', each
+     *
+     *     point:action[=arg]@trigger[,limit=N]
+     *
+     * with action one of `transient`, `permanent`, `stall=SECONDS`,
+     * `crash`, and trigger one of `nth=N`, `every=N`, `p=P`,
+     * `window=LO-HI`. Examples:
+     *
+     *     storage.persist:transient@p=0.01
+     *     *:crash@nth=1234
+     *     storage.write:stall=0.005@every=100,limit=3
+     *
+     * Calls fatal() on malformed specs.
+     */
+    static FaultPlan parse(const std::string& spec);
+
+    FaultPlan& add(FaultRule rule)
+    {
+        rules_.push_back(std::move(rule));
+        return *this;
+    }
+
+    const std::vector<FaultRule>& rules() const { return rules_; }
+    bool empty() const { return rules_.empty(); }
+
+  private:
+    std::vector<FaultRule> rules_;
+};
+
+/**
+ * Evaluates a FaultPlan at every instrumented op. Thread safe; with
+ * serialized ops the firing sequence is a pure function of (plan,
+ * seed). The global op counter advances on every on_op() call whether
+ * or not a rule fires, so "crash at op N" addresses a well-defined
+ * point in the storage-op stream.
+ */
+class FaultInjector {
+  public:
+    explicit FaultInjector(std::uint64_t seed = 1, FaultPlan plan = {});
+
+    /** Replace the plan (e.g. arm faults only after formatting). */
+    void set_plan(FaultPlan plan);
+
+    /** Handler invoked (outside the injector lock) by kCrash rules. */
+    void set_crash_handler(std::function<void()> handler);
+
+    /**
+     * Evaluate one op at fault point @p point (a literal with static
+     * lifetime; it is kept as error context). Returns the injected
+     * error, or success — after applying any stall and firing any
+     * crash handler.
+     */
+    StorageStatus on_op(const char* point);
+
+    /** Total ops observed. */
+    std::uint64_t ops() const;
+    /** Total rule firings (all actions). */
+    std::uint64_t injected() const;
+    /** kCrash firings. */
+    std::uint64_t crashes() const;
+
+  private:
+    mutable Mutex mu_;
+    FaultPlan plan_ PCCHECK_GUARDED_BY(mu_);
+    Rng rng_ PCCHECK_GUARDED_BY(mu_);
+    std::uint64_t op_index_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t injected_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t crashes_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::vector<std::uint64_t> fired_ PCCHECK_GUARDED_BY(mu_);
+    std::function<void()> crash_handler_ PCCHECK_GUARDED_BY(mu_);
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_FAULTS_FAULT_H_

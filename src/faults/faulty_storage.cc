@@ -1,0 +1,53 @@
+#include "faults/faulty_storage.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+FaultyStorage::FaultyStorage(std::unique_ptr<StorageDevice> inner,
+                             std::shared_ptr<FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector))
+{
+    PCCHECK_CHECK(inner_ != nullptr);
+    PCCHECK_CHECK(injector_ != nullptr);
+}
+
+StorageStatus
+FaultyStorage::write(Bytes offset, const void* src, Bytes len)
+{
+    StorageStatus injected = injector_->on_op(kFaultStorageWrite);
+    if (!injected.ok()) {
+        return injected;
+    }
+    return inner_->write(offset, src, len);
+}
+
+void
+FaultyStorage::read(Bytes offset, void* dst, Bytes len) const
+{
+    inner_->read(offset, dst, len);
+}
+
+StorageStatus
+FaultyStorage::persist(Bytes offset, Bytes len)
+{
+    StorageStatus injected = injector_->on_op(kFaultStoragePersist);
+    if (!injected.ok()) {
+        return injected;
+    }
+    return inner_->persist(offset, len);
+}
+
+StorageStatus
+FaultyStorage::fence()
+{
+    StorageStatus injected = injector_->on_op(kFaultStorageFence);
+    if (!injected.ok()) {
+        return injected;
+    }
+    return inner_->fence();
+}
+
+}  // namespace pccheck

@@ -1,0 +1,60 @@
+#ifndef PCCHECK_FAULTS_FAULTY_STORAGE_H_
+#define PCCHECK_FAULTS_FAULTY_STORAGE_H_
+
+/**
+ * @file
+ * Fault-injecting decorator around any StorageDevice.
+ *
+ * Routes every write/persist/fence through a FaultInjector fault point
+ * before delegating to the inner device. An injected error is returned
+ * without touching the inner device (the op never happened, matching a
+ * failed syscall); stalls and crash triggers let the op proceed after
+ * the side effect. Reads are passed through untouched — recovery must
+ * be able to inspect the media even when the write path is unhealthy.
+ *
+ * Stacks with the other decorators, e.g.
+ * FaultyStorage(ThrottledStorage(CrashSimStorage)) gives bandwidth
+ * modeling + adversarial crash images + fault schedules in one device.
+ */
+
+#include <memory>
+
+#include "faults/fault.h"
+#include "storage/device.h"
+
+namespace pccheck {
+
+/** Fault-point names used by FaultyStorage (static lifetime). */
+inline constexpr const char kFaultStorageWrite[] = "storage.write";
+inline constexpr const char kFaultStoragePersist[] = "storage.persist";
+inline constexpr const char kFaultStorageFence[] = "storage.fence";
+
+/** Device decorator that evaluates a FaultInjector on the write path. */
+class FaultyStorage final : public StorageDevice {
+  public:
+    /**
+     * @param inner decorated device (owned)
+     * @param injector shared fault injector — the harness keeps its
+     *        own reference to set plans and crash handlers mid-run
+     */
+    FaultyStorage(std::unique_ptr<StorageDevice> inner,
+                  std::shared_ptr<FaultInjector> injector);
+
+    Bytes size() const override { return inner_->size(); }
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override;
+    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus persist(Bytes offset, Bytes len) override;
+    StorageStatus fence() override;
+    StorageKind kind() const override { return inner_->kind(); }
+
+    StorageDevice& inner() { return *inner_; }
+    FaultInjector& injector() { return *injector_; }
+
+  private:
+    std::unique_ptr<StorageDevice> inner_;
+    std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_FAULTS_FAULTY_STORAGE_H_

@@ -1,0 +1,73 @@
+#include "faults/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/trace.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace pccheck {
+
+double
+Backoff::delay(int attempt) const
+{
+    if (attempt < 0) {
+        attempt = 0;
+    }
+    double base = policy_.base_delay;
+    for (int i = 0; i < attempt; ++i) {
+        base *= policy_.multiplier;
+        if (base >= policy_.max_delay) {
+            base = policy_.max_delay;
+            break;
+        }
+    }
+    base = std::min(base, policy_.max_delay);
+    // Fresh generator per (seed, attempt): the jitter draw cannot
+    // depend on how many delays were computed before, which keeps the
+    // schedule identical across thread interleavings.
+    Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                     (static_cast<std::uint64_t>(attempt) + 1)));
+    const double factor =
+        1.0 + policy_.jitter * (2.0 * rng.next_double() - 1.0);
+    return std::max(0.0, base * factor);
+}
+
+void
+backoff_sleep(double seconds)
+{
+    if (seconds <= 0.0) {
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+StorageStatus
+detail_retry_storage_op(StorageStatus (*call)(void*), void* ctx,
+                        const Backoff& backoff)
+{
+    Counter& transients =
+        MetricsRegistry::global().counter("pccheck.storage.transient_errors");
+    Counter& retries =
+        MetricsRegistry::global().counter("pccheck.storage.retries");
+    const int attempts = std::max(1, backoff.policy().max_attempts);
+    StorageStatus status = StorageStatus::success();
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        status = call(ctx);
+        if (status.ok() || status.is_permanent()) {
+            return status;
+        }
+        transients.add();
+        if (attempt + 1 >= attempts) {
+            break;  // exhausted: surface the transient error
+        }
+        retries.add();
+        PCCHECK_TRACE_SPAN("persist.retry", "attempt", attempt);
+        backoff_sleep(backoff.delay(attempt));
+    }
+    return status;
+}
+
+}  // namespace pccheck

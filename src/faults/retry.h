@@ -1,0 +1,99 @@
+#ifndef PCCHECK_FAULTS_RETRY_H_
+#define PCCHECK_FAULTS_RETRY_H_
+
+/**
+ * @file
+ * Bounded retry with deterministic exponential backoff.
+ *
+ * Storage media fail in two ways the checkpoint path must tell apart:
+ * transient errors (EIO under memory pressure, a slow msync, a flaky
+ * CXL link) that a short wait cures, and permanent errors (device gone,
+ * media worn out) that no amount of retrying fixes. The persist engine
+ * retries transients through this policy and escalates permanents to a
+ * checkpoint-attempt abort.
+ *
+ * Determinism contract: the jittered delay for attempt k depends only
+ * on (seed, k) — not on how many other retry loops ran before, nor on
+ * thread interleaving. Every fault-injection experiment therefore
+ * replays the same retry timeline from its seed.
+ */
+
+#include <cstdint>
+
+#include "storage/status.h"
+
+namespace pccheck {
+
+/** Knobs for a bounded exponential-backoff retry loop. */
+struct RetryPolicy {
+    /** Total tries including the first (so 4 = 1 try + 3 retries). */
+    int max_attempts = 4;
+    /** Delay before the first retry, seconds. */
+    double base_delay = 20e-6;
+    /** Delay growth factor per retry. */
+    double multiplier = 2.0;
+    /** Ceiling on any single delay, seconds. */
+    double max_delay = 2e-3;
+    /** Jitter fraction: delay is scaled by a factor uniform in
+     *  [1 - jitter, 1 + jitter]. */
+    double jitter = 0.25;
+};
+
+/**
+ * Deterministic backoff schedule: delay(k) is a pure function of the
+ * construction seed and k. Stateless between calls, so concurrent
+ * retry loops sharing a policy never perturb each other's timelines.
+ */
+class Backoff {
+  public:
+    Backoff(const RetryPolicy& policy, std::uint64_t seed)
+        : policy_(policy), seed_(seed)
+    {
+    }
+
+    /** Jittered delay in seconds before retry @p attempt (0-based:
+     *  attempt 0 is the delay after the first failure). */
+    double delay(int attempt) const;
+
+    const RetryPolicy& policy() const { return policy_; }
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    RetryPolicy policy_;
+    std::uint64_t seed_;
+};
+
+/** Sleeps for @p seconds of real time (granularity ~µs). */
+void backoff_sleep(double seconds);
+
+/**
+ * Runs @p op up to policy().max_attempts times, sleeping the backoff
+ * delay between attempts while the result is a transient error.
+ * Returns the first success or permanent error, or the last transient
+ * error once attempts are exhausted. Bumps the
+ * pccheck.storage.transient_errors / pccheck.storage.retries counters
+ * and wraps each backoff wait in a "persist.retry" trace span.
+ */
+template <typename Op>
+StorageStatus
+retry_storage_op(Op&& op, const Backoff& backoff)
+{
+    // Implemented via the type-erased helper so the counter/trace
+    // plumbing lives in one translation unit.
+    struct Thunk {
+        Op& op;
+        static StorageStatus call(void* self)
+        {
+            return static_cast<Thunk*>(self)->op();
+        }
+    } thunk{op};
+    return detail_retry_storage_op(&Thunk::call, &thunk, backoff);
+}
+
+/** Type-erased body of retry_storage_op (see retry.cc). */
+StorageStatus detail_retry_storage_op(StorageStatus (*call)(void*),
+                                      void* ctx, const Backoff& backoff);
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_FAULTS_RETRY_H_

@@ -110,7 +110,7 @@ SimGpu::launch_kernel(Seconds duration)
     clock_.sleep_for(duration);
 }
 
-void
+StorageStatus
 SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
                                DevPtr src, Bytes src_offset, Bytes len)
 {
@@ -124,10 +124,11 @@ SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
     pcie_.acquire(charged);
     // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
-    storage.write(dst_offset, arena_.data() + src.offset + src_offset, len);
+    return storage.write(dst_offset,
+                         arena_.data() + src.offset + src_offset, len);
 }
 
-void
+StorageStatus
 SimGpu::direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
                                DevPtr src, Bytes src_offset, Bytes len)
 {
@@ -138,8 +139,8 @@ SimGpu::direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
     pcie_.acquire(len);
     // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);
-    storage.write(dst_offset, arena_.data() + src.offset + src_offset,
-                  len);
+    return storage.write(dst_offset,
+                         arena_.data() + src.offset + src_offset, len);
 }
 
 std::uint8_t*

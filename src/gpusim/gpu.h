@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "concurrent/thread_pool.h"
+#include "storage/status.h"
 #include "util/annotations.h"
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -113,9 +114,11 @@ class SimGpu {
      * GPM-style copy kernel: moves device data directly into a
      * storage device while HOLDING the compute engine (no DMA). This
      * is the §2.2 behaviour that makes GPM stall training.
+     * Returns the storage write's status.
      */
-    void kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
-                                DevPtr src, Bytes src_offset, Bytes len);
+    StorageStatus kernel_copy_to_storage(StorageDevice& storage,
+                                         Bytes dst_offset, DevPtr src,
+                                         Bytes src_offset, Bytes len);
 
     /**
      * GPUDirect-style peer-to-peer DMA: the copy engine writes device
@@ -124,9 +127,11 @@ class SimGpu {
      * Storage"). Does NOT hold the compute engine, but serializes the
      * PCIe channel with the storage write for the whole transfer —
      * the reason §3.3 finds staging + overlap faster overall.
+     * Returns the storage write's status.
      */
-    void direct_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
-                                DevPtr src, Bytes src_offset, Bytes len);
+    StorageStatus direct_copy_to_storage(StorageDevice& storage,
+                                         Bytes dst_offset, DevPtr src,
+                                         Bytes src_offset, Bytes len);
 
     /** Direct pointer into the device arena (fill/verify helpers). */
     std::uint8_t* device_data(DevPtr ptr, Bytes offset = 0);

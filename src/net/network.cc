@@ -76,6 +76,27 @@ SimNetwork::recv_msg(int node)
     return msg;
 }
 
+std::optional<NetMessage>
+SimNetwork::recv_msg_for(int node, Seconds timeout)
+{
+    check_node(node);
+    Mailbox& box = *mailboxes_[node];
+    // The deadline is in modeled time; the cv waits in short real-time
+    // slices so a scaled clock's faster modeled progress is observed.
+    constexpr Seconds kSlice = 500e-6;
+    const Seconds deadline = clock_.now() + timeout;
+    MutexLock lock(box.mu);
+    while (box.messages.empty()) {
+        if (clock_.now() >= deadline) {
+            return std::nullopt;
+        }
+        box.cv.wait_for(box.mu, kSlice);
+    }
+    NetMessage msg = std::move(box.messages.front());
+    box.messages.pop_front();
+    return msg;
+}
+
 bool
 SimNetwork::try_recv_msg(int node, NetMessage* out)
 {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "util/annotations.h"
@@ -69,6 +70,16 @@ class SimNetwork {
 
     /** Blocking receive from this node's mailbox. */
     NetMessage recv_msg(int node);
+
+    /**
+     * Receive with a deadline: blocks until a message arrives or
+     * @p timeout (modeled) seconds elapse, returning std::nullopt on
+     * expiry. The timeout is measured against the network's clock, so
+     * scaled-clock experiments time out at the modeled rate. This is
+     * what lets a surviving rank detect a dead peer instead of hanging
+     * forever in coordination.
+     */
+    std::optional<NetMessage> recv_msg_for(int node, Seconds timeout);
 
     /** Non-blocking receive; false when the mailbox is empty. */
     bool try_recv_msg(int node, NetMessage* out);

@@ -41,7 +41,7 @@ CrashSimStorage::CrashSimStorage(Bytes size, StorageKind kind,
                   eviction_probability <= 1.0);
 }
 
-void
+StorageStatus
 CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
 {
     PCCHECK_CHECK_MSG(offset + len <= size_,
@@ -56,6 +56,7 @@ CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
         // previous value; it must be persisted again.
         pending_.erase(line);
     }
+    return StorageStatus::success();
 }
 
 void
@@ -67,12 +68,12 @@ CrashSimStorage::read(Bytes offset, void* dst, Bytes len) const
     std::memcpy(dst, volatile_.data() + offset, len);
 }
 
-void
+StorageStatus
 CrashSimStorage::persist(Bytes offset, Bytes len)
 {
     PCCHECK_CHECK(offset + len <= size_);
     if (len == 0) {
-        return;
+        return StorageStatus::success();
     }
     MutexLock lock(mu_);
     const Bytes first = line_of(offset);
@@ -87,9 +88,10 @@ CrashSimStorage::persist(Bytes offset, Bytes len)
             pending_.insert(line);
         }
     }
+    return StorageStatus::success();
 }
 
-void
+StorageStatus
 CrashSimStorage::fence()
 {
     MutexLock lock(mu_);
@@ -97,6 +99,7 @@ CrashSimStorage::fence()
         commit_line(line);
     }
     pending_.clear();
+    return StorageStatus::success();
 }
 
 void
@@ -118,6 +121,27 @@ CrashSimStorage::crash()
     dirty_.clear();
     // Post-crash reads observe exactly the durable image.
     volatile_ = durable_;
+}
+
+std::vector<std::uint8_t>
+CrashSimStorage::crash_image()
+{
+    MutexLock lock(mu_);
+    std::vector<std::uint8_t> image = durable_;
+    auto maybe_evict = [this, &image](
+                           const std::unordered_set<Bytes>& lines) {
+        for (Bytes line : lines) {
+            if (rng_.chance(eviction_probability_)) {
+                const Bytes start = line * line_size_;
+                const Bytes len = std::min(line_size_, size_ - start);
+                std::memcpy(image.data() + start,
+                            volatile_.data() + start, len);
+            }
+        }
+    };
+    maybe_evict(pending_);
+    maybe_evict(dirty_);
+    return image;
 }
 
 std::size_t

@@ -45,10 +45,10 @@ class CrashSimStorage final : public StorageDevice {
                     double eviction_probability = 0.5);
 
     Bytes size() const override { return size_; }
-    void write(Bytes offset, const void* src, Bytes len) override;
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
-    void persist(Bytes offset, Bytes len) override;
-    void fence() override;
+    StorageStatus persist(Bytes offset, Bytes len) override;
+    StorageStatus fence() override;
     StorageKind kind() const override { return kind_; }
 
     /**
@@ -57,6 +57,17 @@ class CrashSimStorage final : public StorageDevice {
      * durable one, and all tracking state is cleared.
      */
     void crash();
+
+    /**
+     * What the durable media would hold if the machine lost power at
+     * this instant: the durable image with every dirty/pending line
+     * independently evicted with the configured probability. Unlike
+     * crash(), does NOT mutate the device (beyond advancing the RNG),
+     * so the crash-sweep harness can capture the post-crash state at
+     * an arbitrary operation index while the protocol threads keep
+     * running, then recover from the copy.
+     */
+    std::vector<std::uint8_t> crash_image();
 
     /** Number of lines currently dirty (written, not yet persisted). */
     std::size_t dirty_lines() const;

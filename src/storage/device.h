@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "storage/status.h"
 #include "util/bytes.h"
 
 namespace pccheck {
@@ -47,9 +48,11 @@ class StorageDevice {
     /**
      * Write @p len bytes from @p src at @p offset. The data is visible
      * to subsequent read() calls but not durable until persisted.
-     * Thread safe for non-overlapping ranges.
+     * Thread safe for non-overlapping ranges. On failure nothing is
+     * guaranteed about the target range beyond "not durable".
      */
-    virtual void write(Bytes offset, const void* src, Bytes len) = 0;
+    virtual StorageStatus write(Bytes offset, const void* src,
+                                Bytes len) = 0;
 
     /** Read @p len bytes at @p offset into @p dst (sees latest writes). */
     virtual void read(Bytes offset, void* dst, Bytes len) const = 0;
@@ -59,10 +62,10 @@ class StorageDevice {
      * range is durable on return; for PMEM kinds it is durable only
      * after the next fence().
      */
-    virtual void persist(Bytes offset, Bytes len) = 0;
+    virtual StorageStatus persist(Bytes offset, Bytes len) = 0;
 
     /** Persistence ordering fence (sfence). No-op for SSD/DRAM. */
-    virtual void fence() = 0;
+    virtual StorageStatus fence() = 0;
 
     /** The persistence semantics this device implements. */
     virtual StorageKind kind() const = 0;

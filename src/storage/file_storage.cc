@@ -48,12 +48,13 @@ FileStorage::~FileStorage()
     }
 }
 
-void
+StorageStatus
 FileStorage::write(Bytes offset, const void* src, Bytes len)
 {
     PCCHECK_CHECK_MSG(offset + len <= size_,
                       "write out of range off=" << offset << " len=" << len);
     std::memcpy(map_ + offset, src, len);
+    return StorageStatus::success();
 }
 
 void
@@ -64,19 +65,22 @@ FileStorage::read(Bytes offset, void* dst, Bytes len) const
     std::memcpy(dst, map_ + offset, len);
 }
 
-void
+StorageStatus
 FileStorage::persist(Bytes offset, Bytes len)
 {
     if (len == 0) {
-        return;
+        return StorageStatus::success();
     }
     PCCHECK_CHECK(offset + len <= size_);
     PCCHECK_TRACE_SPAN("storage.msync", "len", len);
     const Bytes start = align_down(offset, kPage);
     const Bytes end = align_up(offset + len, kPage);
     if (::msync(map_ + start, std::min(end, size_) - start, MS_SYNC) != 0) {
-        fatal("FileStorage: msync: " + std::string(std::strerror(errno)));
+        // EIO-class failure: the page cache still holds the data, so a
+        // retry can succeed — let the persist engine's backoff decide.
+        return StorageStatus::transient_error("file.msync");
     }
+    return StorageStatus::success();
 }
 
 }  // namespace pccheck

@@ -30,11 +30,12 @@ class FileStorage final : public StorageDevice {
     FileStorage& operator=(const FileStorage&) = delete;
 
     Bytes size() const override { return size_; }
-    void write(Bytes offset, const void* src, Bytes len) override;
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
-    /** msync(MS_SYNC) over the page-aligned covering range. */
-    void persist(Bytes offset, Bytes len) override;
-    void fence() override {}
+    /** msync(MS_SYNC) over the page-aligned covering range; a failed
+     *  msync surfaces as a transient error (retryable EIO class). */
+    StorageStatus persist(Bytes offset, Bytes len) override;
+    StorageStatus fence() override { return StorageStatus::success(); }
     StorageKind kind() const override { return StorageKind::kSsdMsync; }
 
     const std::string& path() const { return path_; }

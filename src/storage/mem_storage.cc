@@ -8,13 +8,14 @@ namespace pccheck {
 
 MemStorage::MemStorage(Bytes size) : data_(size, 0) {}
 
-void
+StorageStatus
 MemStorage::write(Bytes offset, const void* src, Bytes len)
 {
     PCCHECK_CHECK_MSG(offset + len <= data_.size(),
                       "write out of range: off=" << offset << " len=" << len
                                                  << " size=" << data_.size());
     std::memcpy(data_.data() + offset, src, len);
+    return StorageStatus::success();
 }
 
 void
@@ -26,10 +27,11 @@ MemStorage::read(Bytes offset, void* dst, Bytes len) const
     std::memcpy(dst, data_.data() + offset, len);
 }
 
-void
+StorageStatus
 MemStorage::persist(Bytes offset, Bytes len)
 {
     PCCHECK_CHECK(offset + len <= data_.size());
+    return StorageStatus::success();
 }
 
 }  // namespace pccheck

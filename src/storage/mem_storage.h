@@ -20,10 +20,10 @@ class MemStorage final : public StorageDevice {
     explicit MemStorage(Bytes size);
 
     Bytes size() const override { return data_.size(); }
-    void write(Bytes offset, const void* src, Bytes len) override;
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
-    void persist(Bytes offset, Bytes len) override;
-    void fence() override {}
+    StorageStatus persist(Bytes offset, Bytes len) override;
+    StorageStatus fence() override { return StorageStatus::success(); }
     StorageKind kind() const override { return StorageKind::kDram; }
 
     /** Direct pointer into the arena (tests / zero-copy paths). */

@@ -1,0 +1,73 @@
+#ifndef PCCHECK_STORAGE_STATUS_H_
+#define PCCHECK_STORAGE_STATUS_H_
+
+/**
+ * @file
+ * Status type for the storage write path.
+ *
+ * Real devices fail: an NVMe write can return EIO once and succeed on
+ * retry (media/transport glitch), or fail forever (dead namespace,
+ * revoked mapping). The checkpoint protocol reacts differently to the
+ * two classes — transient errors are retried with backoff inside the
+ * persist engine, permanent errors abort the checkpoint attempt and
+ * recycle its slot — so the error class is part of the API, not a
+ * message string.
+ *
+ * The type is [[nodiscard]]: dropping a storage status silently turns
+ * an I/O failure into a torn checkpoint. Call sites that genuinely
+ * cannot fail (DRAM-backed test devices) assert with PCCHECK_MUST.
+ * tools/pccheck_lint.py rule storage-status-checked additionally
+ * rejects discarded statuses in src/core/.
+ */
+
+namespace pccheck {
+
+/** Error class of a storage operation. */
+enum class StorageErr {
+    kNone = 0,   ///< success
+    kTransient,  ///< failed now, retry may succeed (EIO-style glitch)
+    kPermanent,  ///< device/region is gone; retrying is pointless
+};
+
+/** Result of a storage write/persist/fence operation. */
+class [[nodiscard]] StorageStatus {
+  public:
+    /** Default-constructed status is success (container-friendly). */
+    StorageStatus() = default;
+
+    /** Successful operation. */
+    static StorageStatus success() { return StorageStatus(); }
+
+    /** Transient failure at @p context (static string, not owned). */
+    static StorageStatus transient_error(const char* context)
+    {
+        return StorageStatus(StorageErr::kTransient, context);
+    }
+
+    /** Permanent failure at @p context (static string, not owned). */
+    static StorageStatus permanent_error(const char* context)
+    {
+        return StorageStatus(StorageErr::kPermanent, context);
+    }
+
+    bool ok() const { return err_ == StorageErr::kNone; }
+    bool is_transient() const { return err_ == StorageErr::kTransient; }
+    bool is_permanent() const { return err_ == StorageErr::kPermanent; }
+    StorageErr err() const { return err_; }
+
+    /** Fault-point / operation name the error originated at ("" if ok). */
+    const char* context() const { return context_; }
+
+  private:
+    StorageStatus(StorageErr err, const char* context)
+        : err_(err), context_(context)
+    {
+    }
+
+    StorageErr err_ = StorageErr::kNone;
+    const char* context_ = "";
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_STORAGE_STATUS_H_

@@ -20,12 +20,12 @@ ThrottledStorage::ThrottledStorage(std::unique_ptr<StorageDevice> inner,
     PCCHECK_CHECK(inner_ != nullptr);
 }
 
-void
+StorageStatus
 ThrottledStorage::write(Bytes offset, const void* src, Bytes len)
 {
     PCCHECK_TRACE_SPAN("storage.write", "len", len);
     write_throttle_.acquire(len);
-    inner_->write(offset, src, len);
+    return inner_->write(offset, src, len);
 }
 
 void
@@ -35,12 +35,12 @@ ThrottledStorage::read(Bytes offset, void* dst, Bytes len) const
     inner_->read(offset, dst, len);
 }
 
-void
+StorageStatus
 ThrottledStorage::persist(Bytes offset, Bytes len)
 {
     PCCHECK_TRACE_SPAN("storage.persist", "len", len);
     persist_throttle_.acquire(len);
-    inner_->persist(offset, len);
+    return inner_->persist(offset, len);
 }
 
 StorageBandwidth

@@ -42,10 +42,10 @@ class ThrottledStorage final : public StorageDevice {
                      const Clock& clock = MonotonicClock::instance());
 
     Bytes size() const override { return inner_->size(); }
-    void write(Bytes offset, const void* src, Bytes len) override;
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
-    void persist(Bytes offset, Bytes len) override;
-    void fence() override { inner_->fence(); }
+    StorageStatus persist(Bytes offset, Bytes len) override;
+    StorageStatus fence() override { return inner_->fence(); }
     StorageKind kind() const override { return inner_->kind(); }
 
     StorageDevice& inner() { return *inner_; }

@@ -29,6 +29,8 @@ namespace pccheck {
 struct CheckpointerStats {
     std::uint64_t requested = 0;     ///< checkpoints initiated
     std::uint64_t completed = 0;     ///< checkpoints fully persisted
+    std::uint64_t aborted = 0;       ///< attempts abandoned on storage
+                                     ///< failure (slot recycled)
     Seconds stall_time = 0;          ///< training time lost to blocking
     RunningStat checkpoint_latency;  ///< request → durable, seconds
 };

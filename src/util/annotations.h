@@ -29,6 +29,7 @@
  *    lambdas — the analysis cannot see a lambda's lock context).
  */
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -150,6 +151,17 @@ class CondVar {
     /** Atomically release @p mu, sleep, and re-acquire before
      *  returning. Spurious wakeups possible — loop on the predicate. */
     void wait(Mutex& mu) PCCHECK_REQUIRES(mu) { cv_.wait(mu); }
+
+    /**
+     * Timed wait (real time): returns false on timeout, true when
+     * notified. Spurious wakeups possible either way — loop on the
+     * predicate AND a deadline, never on this return value alone.
+     */
+    bool wait_for(Mutex& mu, double seconds) PCCHECK_REQUIRES(mu)
+    {
+        return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+               std::cv_status::no_timeout;
+    }
 
     void notify_one() { cv_.notify_one(); }
     void notify_all() { cv_.notify_all(); }

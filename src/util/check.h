@@ -58,4 +58,19 @@ namespace detail {
         }                                                                    \
     } while (0)
 
+/**
+ * Consume a [[nodiscard]] status that cannot fail in this context
+ * (e.g. MemStorage writes in tests, setup paths where a failure is a
+ * harness bug). Aborts if the status is not ok() — never use it on the
+ * checkpoint hot path, where errors must flow to the retry/abort
+ * machinery instead.
+ */
+#define PCCHECK_MUST(status_expr)                                            \
+    do {                                                                     \
+        auto pccheck_status_ = (status_expr);                                \
+        PCCHECK_CHECK_MSG(pccheck_status_.ok(),                              \
+                          "must-succeed op failed: "                         \
+                              << pccheck_status_.context());                 \
+    } while (0)
+
 #endif  // PCCHECK_UTIL_CHECK_H_

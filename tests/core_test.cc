@@ -73,8 +73,8 @@ TEST(SlotStoreTest, SlotsDoNotOverlap)
     SlotStore store = SlotStore::format(device, 3, 5000);
     const auto a = pattern(5000, 1);
     const auto b = pattern(5000, 2);
-    store.write_slot(0, 0, a.data(), a.size());
-    store.write_slot(1, 0, b.data(), b.size());
+    PCCHECK_MUST(store.write_slot(0, 0, a.data(), a.size()));
+    PCCHECK_MUST(store.write_slot(1, 0, b.data(), b.size()));
     std::vector<std::uint8_t> out(5000);
     store.read_slot(0, 0, out.data(), out.size());
     EXPECT_EQ(out, a);
@@ -94,11 +94,11 @@ TEST(SlotStoreTest, PublishAndRecoverPointer)
     MemStorage device(SlotStore::required_size(2, 4096));
     SlotStore store = SlotStore::format(device, 2, 4096);
     const auto data = pattern(4096, 3);
-    store.write_slot(1, 0, data.data(), data.size());
-    store.persist_slot_range(1, 0, data.size());
-    store.device().fence();
+    PCCHECK_MUST(store.write_slot(1, 0, data.data(), data.size()));
+    PCCHECK_MUST(store.persist_slot_range(1, 0, data.size()));
+    PCCHECK_MUST(store.device().fence());
     const std::uint32_t crc = crc32c(data.data(), data.size());
-    store.publish_pointer({7, 1, 4096, 123, crc});
+    PCCHECK_MUST(store.publish_pointer({7, 1, 4096, 123, crc}));
 
     const auto recovered = store.recover_pointer();
     ASSERT_TRUE(recovered.has_value());
@@ -114,10 +114,10 @@ TEST(SlotStoreTest, NewerRecordWins)
     SlotStore store = SlotStore::format(device, 3, 4096);
     const auto a = pattern(4096, 4);
     const auto b = pattern(4096, 5);
-    store.write_slot(0, 0, a.data(), a.size());
-    store.write_slot(1, 0, b.data(), b.size());
-    store.publish_pointer({1, 0, 4096, 10, crc32c(a.data(), a.size())});
-    store.publish_pointer({2, 1, 4096, 20, crc32c(b.data(), b.size())});
+    PCCHECK_MUST(store.write_slot(0, 0, a.data(), a.size()));
+    PCCHECK_MUST(store.write_slot(1, 0, b.data(), b.size()));
+    PCCHECK_MUST(store.publish_pointer({1, 0, 4096, 10, crc32c(a.data(), a.size())}));
+    PCCHECK_MUST(store.publish_pointer({2, 1, 4096, 20, crc32c(b.data(), b.size())}));
     const auto recovered = store.recover_pointer();
     ASSERT_TRUE(recovered.has_value());
     EXPECT_EQ(recovered->counter, 2u);
@@ -130,13 +130,13 @@ TEST(SlotStoreTest, FallsBackWhenNewerDataCorrupt)
     SlotStore store = SlotStore::format(device, 3, 4096);
     const auto a = pattern(4096, 6);
     const auto b = pattern(4096, 7);
-    store.write_slot(0, 0, a.data(), a.size());
-    store.write_slot(1, 0, b.data(), b.size());
-    store.publish_pointer({1, 0, 4096, 10, crc32c(a.data(), a.size())});
-    store.publish_pointer({2, 1, 4096, 20, crc32c(b.data(), b.size())});
+    PCCHECK_MUST(store.write_slot(0, 0, a.data(), a.size()));
+    PCCHECK_MUST(store.write_slot(1, 0, b.data(), b.size()));
+    PCCHECK_MUST(store.publish_pointer({1, 0, 4096, 10, crc32c(a.data(), a.size())}));
+    PCCHECK_MUST(store.publish_pointer({2, 1, 4096, 20, crc32c(b.data(), b.size())}));
     // Corrupt the newer checkpoint's data (slot recycled / torn).
     const auto garbage = pattern(100, 99);
-    store.write_slot(1, 50, garbage.data(), garbage.size());
+    PCCHECK_MUST(store.write_slot(1, 50, garbage.data(), garbage.size()));
     const auto recovered = store.recover_pointer();
     ASSERT_TRUE(recovered.has_value());
     EXPECT_EQ(recovered->counter, 1u);  // fell back to the older one
@@ -159,9 +159,9 @@ TEST(ConcurrentCommitTest, SequentialCommits)
     const auto data = pattern(4096, 1);
     for (std::uint64_t i = 1; i <= 10; ++i) {
         const CheckpointTicket ticket = commit.begin();
-        store.write_slot(ticket.slot, 0, data.data(), data.size());
-        store.persist_slot_range(ticket.slot, 0, data.size());
-        store.device().fence();
+        PCCHECK_MUST(store.write_slot(ticket.slot, 0, data.data(), data.size()));
+        PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, data.size()));
+        PCCHECK_MUST(store.device().fence());
         const auto result = commit.commit(
             ticket, data.size(), i, crc32c(data.data(), data.size()));
         EXPECT_TRUE(result.won);
@@ -218,11 +218,11 @@ TEST(ConcurrentCommitTest, OutOfOrderCommitSupersedes)
 
     const CheckpointTicket older = commit.begin();
     const CheckpointTicket newer = commit.begin();
-    store.write_slot(older.slot, 0, data.data(), data.size());
-    store.write_slot(newer.slot, 0, data.data(), data.size());
-    store.persist_slot_range(older.slot, 0, data.size());
-    store.persist_slot_range(newer.slot, 0, data.size());
-    store.device().fence();
+    PCCHECK_MUST(store.write_slot(older.slot, 0, data.data(), data.size()));
+    PCCHECK_MUST(store.write_slot(newer.slot, 0, data.data(), data.size()));
+    PCCHECK_MUST(store.persist_slot_range(older.slot, 0, data.size()));
+    PCCHECK_MUST(store.persist_slot_range(newer.slot, 0, data.size()));
+    PCCHECK_MUST(store.device().fence());
 
     // The newer one lands first; the older must recognize it has been
     // superseded and recycle its own slot (Listing 1 lines 29-31).
@@ -245,9 +245,9 @@ TEST(ConcurrentCommitTest, AdoptsExistingCheckpointOnReopen)
         SlotStore store = SlotStore::format(*device, 3, 1024);
         ConcurrentCommit commit(store);
         const CheckpointTicket ticket = commit.begin();
-        store.write_slot(ticket.slot, 0, data.data(), data.size());
-        store.persist_slot_range(ticket.slot, 0, data.size());
-        store.device().fence();
+        PCCHECK_MUST(store.write_slot(ticket.slot, 0, data.data(), data.size()));
+        PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, data.size()));
+        PCCHECK_MUST(store.device().fence());
         commit.commit(ticket, data.size(), 42,
                       crc32c(data.data(), data.size()));
     }
@@ -284,10 +284,11 @@ TEST(ConcurrentCommitTest, ParallelWritersMonotonicPointer)
                 std::vector<std::uint8_t> data(4096);
                 TrainingState::stamp_buffer(data.data(), data.size(),
                                             ticket.counter);
-                store.write_slot(ticket.slot, 0, data.data(),
-                                 data.size());
-                store.persist_slot_range(ticket.slot, 0, data.size());
-                store.device().fence();
+                PCCHECK_MUST(store.write_slot(ticket.slot, 0,
+                                              data.data(),
+                                              data.size()));
+                PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, data.size()));
+                PCCHECK_MUST(store.device().fence());
                 commit.commit(ticket, data.size(), ticket.counter,
                               crc32c(data.data(), data.size()));
                 (void)writer;
@@ -340,9 +341,9 @@ TEST(CrashPropertyTest, RecoveryAlwaysFindsValidCheckpoint)
             std::vector<std::uint8_t> data(kSize);
             TrainingState::stamp_buffer(data.data(), data.size(),
                                         ticket.counter);
-            store.write_slot(ticket.slot, 0, data.data(), data.size());
-            store.persist_slot_range(ticket.slot, 0, data.size());
-            store.device().fence();
+            PCCHECK_MUST(store.write_slot(ticket.slot, 0, data.data(), data.size()));
+            PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, data.size()));
+            PCCHECK_MUST(store.device().fence());
             if (commit.commit(ticket, data.size(), ticket.counter,
                               crc32c(data.data(), data.size()))
                     .won) {
@@ -355,7 +356,7 @@ TEST(CrashPropertyTest, RecoveryAlwaysFindsValidCheckpoint)
         std::vector<std::uint8_t> half(kSize / 2);
         TrainingState::stamp_buffer(half.data(), half.size(),
                                     torn.counter);
-        store.write_slot(torn.slot, 0, half.data(), half.size());
+        PCCHECK_MUST(store.write_slot(torn.slot, 0, half.data(), half.size()));
         device.crash();
 
         SlotStore reopened = SlotStore::open(device);
@@ -383,7 +384,7 @@ TEST(CrashPropertyTest, CrashBeforeFirstCommitRecoversNothing)
     const CheckpointTicket ticket = commit.begin();
     std::vector<std::uint8_t> data(kSize);
     TrainingState::stamp_buffer(data.data(), data.size(), 1);
-    store.write_slot(ticket.slot, 0, data.data(), data.size());
+    PCCHECK_MUST(store.write_slot(ticket.slot, 0, data.data(), data.size()));
     // Crash with the data written but never persisted/fenced and the
     // pointer never published.
     device.crash();
@@ -397,9 +398,12 @@ TEST(PersistEngineTest, BlockingPersistWritesAllData)
 {
     auto device = make_device(3, 64 * 1024);
     SlotStore store = SlotStore::format(*device, 3, 64 * 1024);
-    PersistEngine engine(store, PersistEngineConfig{4, 0});
+    PersistEngineConfig blocking_config;
+    blocking_config.writer_threads = 4;
+    PersistEngine engine(store, blocking_config);
     const auto data = pattern(64 * 1024, 9);
-    engine.persist_range(1, 0, data.data(), data.size(), 3);
+    ASSERT_TRUE(
+        engine.persist_range(1, 0, data.data(), data.size(), 3).ok());
     std::vector<std::uint8_t> out(64 * 1024);
     store.read_slot(1, 0, out.data(), out.size());
     EXPECT_EQ(out, data);
@@ -409,11 +413,16 @@ TEST(PersistEngineTest, AsyncPersistInvokesDone)
 {
     auto device = make_device(3, 64 * 1024);
     SlotStore store = SlotStore::format(*device, 3, 64 * 1024);
-    PersistEngine engine(store, PersistEngineConfig{4, 0});
+    PersistEngineConfig async_config;
+    async_config.writer_threads = 4;
+    PersistEngine engine(store, async_config);
     const auto data = pattern(64 * 1024, 10);
     std::atomic<bool> done{false};
     engine.persist_range_async(0, 0, data.data(), data.size(), 3,
-                               [&done] { done.store(true); });
+                               [&done](StorageStatus status) {
+                                   EXPECT_TRUE(status.ok());
+                                   done.store(true);
+                               });
     while (!done.load()) {
         std::this_thread::yield();
     }
@@ -433,11 +442,13 @@ TEST(PersistEngineTest, PerWriterCeilingSlowsSingleWriter)
     const auto data = pattern(256 * 1024, 11);
 
     Stopwatch one_watch;
-    engine.persist_range(0, 0, data.data(), data.size(), 1);
+    ASSERT_TRUE(
+        engine.persist_range(0, 0, data.data(), data.size(), 1).ok());
     const Seconds one = one_watch.elapsed();  // ~26 ms
 
     Stopwatch four_watch;
-    engine.persist_range(0, 0, data.data(), data.size(), 4);
+    ASSERT_TRUE(
+        engine.persist_range(0, 0, data.data(), data.size(), 4).ok());
     const Seconds four = four_watch.elapsed();  // ~6.5 ms
 
     EXPECT_GT(one, four * 2.0);
@@ -451,9 +462,12 @@ TEST(PersistEngineTest, PmemPathFencesEachStripe)
         0.0);
     crash_device = owned.get();
     SlotStore store = SlotStore::format(*owned, 2, 16 * 1024);
-    PersistEngine engine(store, PersistEngineConfig{2, 0});
+    PersistEngineConfig pmem_config;
+    pmem_config.writer_threads = 2;
+    PersistEngine engine(store, pmem_config);
     const auto data = pattern(16 * 1024, 12);
-    engine.persist_range(0, 0, data.data(), data.size(), 2);
+    ASSERT_TRUE(
+        engine.persist_range(0, 0, data.data(), data.size(), 2).ok());
     // Everything the engine wrote must already be durable.
     crash_device->crash();
     std::vector<std::uint8_t> out(16 * 1024);

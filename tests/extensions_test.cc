@@ -27,6 +27,7 @@
 #include "trainsim/training_loop.h"
 #include "trainsim/training_state.h"
 #include "util/metrics.h"
+#include "util/check.h"
 
 namespace pccheck {
 namespace {
@@ -342,8 +343,8 @@ TEST(CxlTest, BehavesLikePmem)
     CrashSimStorage device(8192, StorageKind::kCxlPmem, 1, 0.0);
     EXPECT_EQ(device.line_size(), 64u);
     std::uint8_t byte = 0x42;
-    device.write(0, &byte, 1);
-    device.persist(0, 1);
+    PCCHECK_MUST(device.write(0, &byte, 1));
+    PCCHECK_MUST(device.persist(0, 1));
     device.crash();  // not fenced: lost
     std::uint8_t out = 0xFF;
     device.read(0, &out, 1);

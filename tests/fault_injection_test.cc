@@ -40,9 +40,9 @@ device_with_two_checkpoints()
         const CheckpointTicket ticket = commit.begin();
         std::vector<std::uint8_t> data(kState);
         TrainingState::stamp_buffer(data.data(), data.size(), i);
-        store.write_slot(ticket.slot, 0, data.data(), data.size());
-        store.persist_slot_range(ticket.slot, 0, data.size());
-        store.device().fence();
+        PCCHECK_MUST(store.write_slot(ticket.slot, 0, data.data(), data.size()));
+        PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, data.size()));
+        PCCHECK_MUST(store.device().fence());
         commit.commit(ticket, data.size(), i,
                       crc32c(data.data(), data.size()));
     }
@@ -54,7 +54,7 @@ void
 smash(StorageDevice& device, Bytes offset, Bytes len, std::uint8_t value)
 {
     std::vector<std::uint8_t> garbage(len, value);
-    device.write(offset, garbage.data(), garbage.size());
+    PCCHECK_MUST(device.write(offset, garbage.data(), garbage.size()));
 }
 
 TEST(FaultInjectionTest, CleanDeviceRecoversNewest)
@@ -97,12 +97,12 @@ TEST(FaultInjectionTest, SingleBitFlipInRecordDetected)
         std::uint8_t original = 0;
         device->read(64 + byte, &original, 1);
         const std::uint8_t flipped = original ^ 0x01;
-        device->write(64 + byte, &flipped, 1);
+        PCCHECK_MUST(device->write(64 + byte, &flipped, 1));
         std::vector<std::uint8_t> buffer;
         const auto recovered = recover_to_buffer(*device, &buffer);
         ASSERT_TRUE(recovered.has_value()) << "byte " << byte;
         EXPECT_EQ(recovered->iteration, 1u) << "byte " << byte;
-        device->write(64 + byte, &original, 1);  // restore
+        PCCHECK_MUST(device->write(64 + byte, &original, 1));  // restore
     }
 }
 
@@ -136,7 +136,7 @@ TEST(FaultInjectionTest, HeaderGeometryLiesAreRejected)
     auto device = device_with_two_checkpoints();
     // Inflate slot_count so slots would extend past the device end.
     std::uint32_t huge = 1000;
-    device->write(12, &huge, sizeof(huge));  // header.slot_count
+    PCCHECK_MUST(device->write(12, &huge, sizeof(huge)));  // header.slot_count
     EXPECT_THROW(SlotStore::open(*device), FatalError);
 }
 
@@ -156,7 +156,7 @@ TEST(FaultInjectionTest, RecordPointingPastSlotsRejected)
     } forged;
     forged.record_checksum =
         crc32c(&forged, offsetof(ForgedRecord, record_checksum));
-    device->write(64, &forged, sizeof(forged));
+    PCCHECK_MUST(device->write(64, &forged, sizeof(forged)));
     std::vector<std::uint8_t> buffer;
     const auto recovered = recover_to_buffer(*device, &buffer);
     ASSERT_TRUE(recovered.has_value());

@@ -154,7 +154,7 @@ TEST(SimGpuTest, KernelCopyToStorageHoldsCompute)
 
     Stopwatch watch;
     std::thread copier([&] {
-        gpu.kernel_copy_to_storage(storage, 0, ptr, 0, 200'000);
+        PCCHECK_MUST(gpu.kernel_copy_to_storage(storage, 0, ptr, 0, 200'000));
     });
     MonotonicClock::instance().sleep_for(0.004);
     gpu.launch_kernel(0.001);  // blocked behind the ~20 ms copy kernel
@@ -174,7 +174,7 @@ TEST(SimGpuTest, DirectCopyToStorageBypassesCompute)
     MemStorage storage(200'000);
     Stopwatch watch;
     std::thread copier([&] {
-        gpu.direct_copy_to_storage(storage, 0, ptr, 0, 200'000);
+        PCCHECK_MUST(gpu.direct_copy_to_storage(storage, 0, ptr, 0, 200'000));
     });
     // Unlike the GPM copy kernel, a P2P DMA leaves the compute engine
     // free: this kernel must not wait for the ~20 ms transfer.

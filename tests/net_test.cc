@@ -100,5 +100,41 @@ TEST(SimNetworkTest, InvalidNodeAborts)
     EXPECT_DEATH(net.transfer(0, 5, 1), "invalid node");
 }
 
+TEST(SimNetworkTest, RecvForReturnsQueuedMessageImmediately)
+{
+    SimNetwork net(config(2, 0));
+    net.send_msg(0, 1, 5, {9});
+    const auto msg = net.recv_msg_for(1, 0.5);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->tag, 5u);
+    EXPECT_EQ(msg->payload.size(), 1u);
+}
+
+TEST(SimNetworkTest, RecvForTimesOutOnSilence)
+{
+    SimNetwork net(config(2, 0));
+    Stopwatch watch;
+    const auto msg = net.recv_msg_for(0, 0.02);
+    EXPECT_FALSE(msg.has_value());
+    // The deadline is against the modeled clock, so the wait is
+    // bounded: well past the timeout, well under a blocking hang.
+    EXPECT_GE(watch.elapsed(), 0.015);
+    EXPECT_LT(watch.elapsed(), 1.0);
+}
+
+TEST(SimNetworkTest, RecvForWakesOnLateSend)
+{
+    SimNetwork net(config(2, 0));
+    std::thread receiver([&net] {
+        const auto msg = net.recv_msg_for(1, 5.0);
+        ASSERT_TRUE(msg.has_value());
+        EXPECT_EQ(msg->tag, 42u);
+        EXPECT_EQ(msg->from, 0);
+    });
+    MonotonicClock::instance().sleep_for(0.005);
+    net.send_msg(0, 1, 42);
+    receiver.join();
+}
+
 }  // namespace
 }  // namespace pccheck

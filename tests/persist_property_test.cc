@@ -21,6 +21,7 @@
 #include "storage/crash_sim.h"
 #include "storage/mem_storage.h"
 #include "storage/throttled_storage.h"
+#include "util/check.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 
@@ -55,7 +56,9 @@ TEST_P(PersistEngineProperty, DurableAndExact)
     PersistEngine engine(store, config);
     const auto data = random_data(size, size + writers);
 
-    engine.persist_range(1, 0, data.data(), data.size(), writers);
+    ASSERT_TRUE(
+        engine.persist_range(1, 0, data.data(), data.size(), writers)
+            .ok());
     // persist_range's contract: durable on return — even a crash with
     // zero eviction luck must preserve every byte.
     device.crash();
@@ -71,12 +74,17 @@ TEST_P(PersistEngineProperty, AsyncDurableAndExact)
     CrashSimStorage device(SlotStore::required_size(2, size), kind,
                            size, 0.0);
     SlotStore store = SlotStore::format(device, 2, size);
-    PersistEngine engine(store, PersistEngineConfig{4, 0});
+    PersistEngineConfig async_config;
+    async_config.writer_threads = 4;
+    PersistEngine engine(store, async_config);
     const auto data = random_data(size, size * 3 + writers);
 
     std::atomic<bool> done{false};
     engine.persist_range_async(0, 0, data.data(), data.size(), writers,
-                               [&done] { done.store(true); });
+                               [&done](StorageStatus status) {
+                                   EXPECT_TRUE(status.ok());
+                                   done.store(true);
+                               });
     while (!done.load()) {
         std::this_thread::yield();
     }
@@ -105,12 +113,16 @@ TEST_P(OffsetPersistProperty, NeighborsUntouched)
     constexpr Bytes kSlot = 64 * 1024;
     MemStorage device(SlotStore::required_size(2, kSlot));
     SlotStore store = SlotStore::format(device, 2, kSlot);
-    PersistEngine engine(store, PersistEngineConfig{3, 0});
+    PersistEngineConfig offset_config;
+    offset_config.writer_threads = 3;
+    PersistEngine engine(store, offset_config);
 
     const auto background = random_data(kSlot, 1);
-    store.write_slot(0, 0, background.data(), background.size());
+    PCCHECK_MUST(
+        store.write_slot(0, 0, background.data(), background.size()));
     const auto patch = random_data(len, 2);
-    engine.persist_range(0, offset, patch.data(), len, 3);
+    ASSERT_TRUE(engine.persist_range(0, offset, patch.data(), len, 3)
+                    .ok());
 
     std::vector<std::uint8_t> out(kSlot);
     store.read_slot(0, 0, out.data(), out.size());
@@ -159,12 +171,12 @@ publish_checkpoint(SlotStore& store, StorageDevice& device,
                    std::uint64_t iteration)
 {
     const auto data = random_data(len, counter * 7919 + slot);
-    store.write_slot(slot, 0, data.data(), data.size());
-    store.persist_slot_range(slot, 0, data.size());
-    device.fence();
-    store.publish_pointer(CheckpointPointer{
+    PCCHECK_MUST(store.write_slot(slot, 0, data.data(), data.size()));
+    PCCHECK_MUST(store.persist_slot_range(slot, 0, data.size()));
+    PCCHECK_MUST(device.fence());
+    PCCHECK_MUST(store.publish_pointer(CheckpointPointer{
         counter, slot, data.size(), iteration,
-        crc32c(data.data(), data.size())});
+        crc32c(data.data(), data.size())}));
     return data;
 }
 
@@ -199,9 +211,9 @@ TEST_P(TornRecordProperty, FallsBackToOlderRecord)
     std::uint8_t byte = 0;
     device.read(record_offset_for(2) + byte_index, &byte, 1);
     byte ^= static_cast<std::uint8_t>(1u << bit);
-    device.write(record_offset_for(2) + byte_index, &byte, 1);
-    device.persist(record_offset_for(2) + byte_index, 1);
-    device.fence();
+    PCCHECK_MUST(device.write(record_offset_for(2) + byte_index, &byte, 1));
+    PCCHECK_MUST(device.persist(record_offset_for(2) + byte_index, 1));
+    PCCHECK_MUST(device.fence());
 
     const auto recovered = store.recover_pointer(/*validate_data=*/true);
     ASSERT_TRUE(recovered.has_value())
@@ -242,7 +254,7 @@ TEST(TornRecordProperty, CorruptDataFallsBackWhenValidating)
     std::uint8_t byte = 0;
     store.read_slot(1, kSlotSize / 2, &byte, 1);
     byte ^= 0xFF;
-    store.write_slot(1, kSlotSize / 2, &byte, 1);
+    PCCHECK_MUST(store.write_slot(1, kSlotSize / 2, &byte, 1));
 
     const auto validated = store.recover_pointer(/*validate_data=*/true);
     ASSERT_TRUE(validated.has_value());
@@ -272,7 +284,7 @@ TEST(TornRecordProperty, BothRecordsTornMeansNoCheckpoint)
         std::uint8_t byte = 0;
         device.read(record_offset_for(counter), &byte, 1);
         byte ^= 0x01;
-        device.write(record_offset_for(counter), &byte, 1);
+        PCCHECK_MUST(device.write(record_offset_for(counter), &byte, 1));
     }
     EXPECT_FALSE(store.recover_pointer(true).has_value());
 }

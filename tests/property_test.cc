@@ -28,6 +28,7 @@
 #include "trainsim/training_state.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/check.h"
 
 namespace pccheck {
 namespace {
@@ -168,8 +169,9 @@ TEST_P(SlotSafetyProperty, NoDoubleAllocation)
                 std::vector<std::uint8_t> data(kState);
                 TrainingState::stamp_buffer(data.data(), data.size(),
                                             ticket.counter);
-                store.write_slot(ticket.slot, 0, data.data(),
-                                 data.size());
+                PCCHECK_MUST(store.write_slot(ticket.slot, 0,
+                                              data.data(),
+                                              data.size()));
                 // Re-read: if another ticket got the same slot, the
                 // stamp no longer matches our counter.
                 std::vector<std::uint8_t> readback(kState);
@@ -181,8 +183,8 @@ TEST_P(SlotSafetyProperty, NoDoubleAllocation)
                     *stamped != ticket.counter) {
                     violation.store(true);
                 }
-                store.persist_slot_range(ticket.slot, 0, kState);
-                store.device().fence();
+                PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, kState));
+                PCCHECK_MUST(store.device().fence());
                 commit.commit(ticket, kState, ticket.counter,
                               crc32c(data.data(), data.size()));
             }
@@ -228,10 +230,11 @@ TEST_P(ProgressProperty, BoundedWritersTerminate)
             const std::uint32_t crc = crc32c(data.data(), data.size());
             for (int i = 0; i < 50; ++i) {
                 const CheckpointTicket ticket = commit.begin();
-                store.write_slot(ticket.slot, 0, data.data(),
-                                 data.size());
-                store.persist_slot_range(ticket.slot, 0, kState);
-                store.device().fence();
+                PCCHECK_MUST(store.write_slot(ticket.slot, 0,
+                                              data.data(),
+                                              data.size()));
+                PCCHECK_MUST(store.persist_slot_range(ticket.slot, 0, kState));
+                PCCHECK_MUST(store.device().fence());
                 commit.commit(ticket, kState, ticket.counter, crc);
                 completed.fetch_add(1);
             }
@@ -268,9 +271,9 @@ TEST_P(StorageRoundTrip, PersistedBytesSurvive)
     for (auto& byte : data) {
         byte = static_cast<std::uint8_t>(rng.next_u64());
     }
-    device.write(4096, data.data(), data.size());
-    device.persist(4096, data.size());
-    device.fence();
+    PCCHECK_MUST(device.write(4096, data.data(), data.size()));
+    PCCHECK_MUST(device.persist(4096, data.size()));
+    PCCHECK_MUST(device.fence());
     device.crash();
     std::vector<std::uint8_t> out(size);
     device.read(4096, out.data(), out.size());

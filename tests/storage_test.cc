@@ -17,6 +17,7 @@
 #include "storage/throttled_storage.h"
 #include "util/clock.h"
 #include "util/rng.h"
+#include "util/check.h"
 
 namespace pccheck {
 namespace {
@@ -35,7 +36,7 @@ TEST(MemStorageTest, WriteReadRoundTrip)
 {
     MemStorage mem(4096);
     const auto data = pattern(100, 7);
-    mem.write(123, data.data(), data.size());
+    PCCHECK_MUST(mem.write(123, data.data(), data.size()));
     std::vector<std::uint8_t> out(100);
     mem.read(123, out.data(), out.size());
     EXPECT_EQ(out, data);
@@ -53,9 +54,9 @@ TEST(CrashSimTest, PersistedDataSurvivesCrash)
     CrashSimStorage dev(8192, StorageKind::kPmemNt, /*seed=*/1,
                         /*eviction_probability=*/0.0);
     const auto data = pattern(256, 1);
-    dev.write(0, data.data(), data.size());
-    dev.persist(0, data.size());
-    dev.fence();
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
+    PCCHECK_MUST(dev.persist(0, data.size()));
+    PCCHECK_MUST(dev.fence());
     dev.crash();
     std::vector<std::uint8_t> out(256);
     dev.read(0, out.data(), out.size());
@@ -66,7 +67,7 @@ TEST(CrashSimTest, UnpersistedDataLostWithZeroEviction)
 {
     CrashSimStorage dev(8192, StorageKind::kPmemNt, 1, 0.0);
     const auto data = pattern(256, 2);
-    dev.write(0, data.data(), data.size());
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     // No persist. With eviction probability 0 nothing reaches media.
     dev.crash();
     std::vector<std::uint8_t> out(256, 0xFF);
@@ -78,8 +79,8 @@ TEST(CrashSimTest, PmemRequiresFenceForDurability)
 {
     CrashSimStorage dev(8192, StorageKind::kPmemNt, 1, 0.0);
     const auto data = pattern(64, 3);
-    dev.write(0, data.data(), data.size());
-    dev.persist(0, data.size());  // write-back initiated, NOT fenced
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
+    PCCHECK_MUST(dev.persist(0, data.size()));  // write-back initiated, NOT fenced
     EXPECT_EQ(dev.pending_lines(), 1u);
     dev.crash();
     std::vector<std::uint8_t> out(64, 0xFF);
@@ -91,8 +92,8 @@ TEST(CrashSimTest, SsdMsyncIsSynchronouslyDurable)
 {
     CrashSimStorage dev(16384, StorageKind::kSsdMsync, 1, 0.0);
     const auto data = pattern(4096, 4);
-    dev.write(0, data.data(), data.size());
-    dev.persist(0, data.size());  // msync — durable without fence
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
+    PCCHECK_MUST(dev.persist(0, data.size()));  // msync — durable without fence
     dev.crash();
     std::vector<std::uint8_t> out(4096);
     dev.read(0, out.data(), out.size());
@@ -103,12 +104,12 @@ TEST(CrashSimTest, RewriteInvalidatesPendingWriteback)
 {
     CrashSimStorage dev(8192, StorageKind::kPmemNt, 1, 0.0);
     const auto first = pattern(64, 5);
-    dev.write(0, first.data(), first.size());
-    dev.persist(0, 64);
+    PCCHECK_MUST(dev.write(0, first.data(), first.size()));
+    PCCHECK_MUST(dev.persist(0, 64));
     // Overwrite before the fence: the old write-back must not count.
     const auto second = pattern(64, 6);
-    dev.write(0, second.data(), second.size());
-    dev.fence();  // nothing pending for this line anymore
+    PCCHECK_MUST(dev.write(0, second.data(), second.size()));
+    PCCHECK_MUST(dev.fence());  // nothing pending for this line anymore
     dev.crash();
     std::vector<std::uint8_t> out(64, 0xFF);
     dev.read(0, out.data(), out.size());
@@ -121,7 +122,7 @@ TEST(CrashSimTest, EvictionMayPersistUnflushedLines)
     // without persist — modeling arbitrary cache eviction order.
     CrashSimStorage dev(8192, StorageKind::kPmemNt, 1, 1.0);
     const auto data = pattern(256, 7);
-    dev.write(0, data.data(), data.size());
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     dev.crash();
     std::vector<std::uint8_t> out(256);
     dev.read(0, out.data(), out.size());
@@ -134,7 +135,7 @@ TEST(CrashSimTest, PartialEvictionTearsData)
     // and others do not — the torn-state hazard of §2.3.
     CrashSimStorage dev(64 * 1024, StorageKind::kPmemNt, 12345, 0.5);
     const auto data = pattern(32 * 1024, 8);
-    dev.write(0, data.data(), data.size());
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     dev.crash();
     std::vector<std::uint8_t> out(32 * 1024);
     dev.read(0, out.data(), out.size());
@@ -156,13 +157,13 @@ TEST(CrashSimTest, DirtyTrackingCounts)
     CrashSimStorage dev(8192, StorageKind::kPmemNt, 1, 0.0);
     EXPECT_EQ(dev.dirty_lines(), 0u);
     std::uint8_t byte = 1;
-    dev.write(0, &byte, 1);
-    dev.write(64, &byte, 1);
+    PCCHECK_MUST(dev.write(0, &byte, 1));
+    PCCHECK_MUST(dev.write(64, &byte, 1));
     EXPECT_EQ(dev.dirty_lines(), 2u);
-    dev.persist(0, 1);
+    PCCHECK_MUST(dev.persist(0, 1));
     EXPECT_EQ(dev.dirty_lines(), 1u);
     EXPECT_EQ(dev.pending_lines(), 1u);
-    dev.fence();
+    PCCHECK_MUST(dev.fence());
     EXPECT_EQ(dev.pending_lines(), 0u);
 }
 
@@ -172,8 +173,8 @@ TEST(FileStorageTest, PersistsAcrossReopen)
     const auto data = pattern(8192, 9);
     {
         FileStorage file(path, 16384);
-        file.write(100, data.data(), data.size());
-        file.persist(100, data.size());
+        PCCHECK_MUST(file.write(100, data.data(), data.size()));
+        PCCHECK_MUST(file.persist(100, data.size()));
         EXPECT_EQ(file.kind(), StorageKind::kSsdMsync);
     }
     {
@@ -189,7 +190,7 @@ TEST(ThrottledStorageTest, ForwardsDataIntact)
 {
     ThrottledStorage dev(std::make_unique<MemStorage>(4096), 0, 0, 0);
     const auto data = pattern(512, 10);
-    dev.write(64, data.data(), data.size());
+    PCCHECK_MUST(dev.write(64, data.data(), data.size()));
     std::vector<std::uint8_t> out(512);
     dev.read(64, out.data(), out.size());
     EXPECT_EQ(out, data);
@@ -202,7 +203,7 @@ TEST(ThrottledStorageTest, WriteChannelPaced)
                          /*write=*/10e6, /*persist=*/0, /*read=*/0);
     const auto data = pattern(100'000, 11);
     Stopwatch watch;
-    dev.write(0, data.data(), data.size());  // ~10 ms at 10 MB/s
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));  // ~10 ms at 10 MB/s
     EXPECT_GE(watch.elapsed(), 0.008);
 }
 
@@ -211,9 +212,9 @@ TEST(ThrottledStorageTest, PersistChannelPaced)
     ThrottledStorage dev(std::make_unique<MemStorage>(1 << 20), 0,
                          /*persist=*/10e6, 0);
     const auto data = pattern(100'000, 12);
-    dev.write(0, data.data(), data.size());
+    PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     Stopwatch watch;
-    dev.persist(0, data.size());
+    PCCHECK_MUST(dev.persist(0, data.size()));
     EXPECT_GE(watch.elapsed(), 0.008);
 }
 

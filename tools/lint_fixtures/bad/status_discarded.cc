@@ -1,0 +1,30 @@
+// Fixture: status-returning storage calls used as bare statements.
+// pccheck-lint: storage-status
+#include <cstdint>
+
+struct StorageStatus {
+    bool ok() const { return true; }
+};
+
+struct Device {
+    StorageStatus write(std::uint64_t, const void*, std::uint64_t);
+    StorageStatus persist(std::uint64_t, std::uint64_t);
+    StorageStatus fence();
+};
+
+struct Store {
+    Device& device();
+    StorageStatus write_slot(int, std::uint64_t, const void*,
+                             std::uint64_t);
+    StorageStatus persist_slot_range(int, std::uint64_t, std::uint64_t);
+};
+
+void
+leaky_publish(Device& device, Store& store, const void* data,
+              std::uint64_t len)
+{
+    device.write(0, data, len);                 // BAD: status dropped
+    store.write_slot(1, 0, data, len);          // BAD: status dropped
+    store.persist_slot_range(1, 0, len);        // BAD: status dropped
+    store.device().fence();                     // BAD: accessor hop
+}

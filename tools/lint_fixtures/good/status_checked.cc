@@ -1,0 +1,45 @@
+// Fixture: every status-returning storage call is consumed.
+// pccheck-lint: storage-status
+#include <cstdint>
+
+#define PCCHECK_MUST(expr)                                            \
+    do {                                                              \
+        if (!(expr).ok()) {                                           \
+            __builtin_trap();                                         \
+        }                                                             \
+    } while (0)
+
+struct StorageStatus {
+    bool ok() const { return true; }
+};
+
+struct Device {
+    StorageStatus write(std::uint64_t, const void*, std::uint64_t);
+    StorageStatus persist(std::uint64_t, std::uint64_t);
+    StorageStatus fence();
+};
+
+struct Store {
+    Device& device();
+    StorageStatus write_slot(int, std::uint64_t, const void*,
+                             std::uint64_t);
+    StorageStatus persist_slot_range(int, std::uint64_t, std::uint64_t);
+};
+
+StorageStatus
+careful_publish(Device& device, Store& store, const void* data,
+                std::uint64_t len)
+{
+    PCCHECK_MUST(device.write(0, data, len));
+    PCCHECK_MUST(store.write_slot(1, 0, data, len));
+    const StorageStatus persisted =
+        store.persist_slot_range(1, 0, len);
+    if (!persisted.ok()) {
+        return persisted;
+    }
+    // A wrapped call may continue onto the next line without being a
+    // bare statement:
+    const StorageStatus fenced =
+        store.device().fence();
+    return fenced;
+}

@@ -26,6 +26,14 @@ enforces:
                            Listing-1 CAS; a plain .store() needs a
                            "pre-concurrency:" comment within the 5
                            preceding lines (constructor recovery path).
+  storage-status-checked   In src/core/, a call to a status-returning
+                           storage op (write/persist/fence/write_slot/
+                           persist_slot_range/publish_pointer/...) must
+                           not discard its StorageStatus: wrap it in
+                           PCCHECK_MUST(...), branch on it, or hand it
+                           to the retry helper. A silently dropped
+                           transient error defeats graceful
+                           degradation.
 
 Usage:
   tools/pccheck_lint.py [--rule RULE] [paths...]
@@ -241,6 +249,61 @@ def rule_check_addr_cas_only(path: str, lines: List[str]) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# storage-status-checked
+
+
+# Methods on StorageDevice / SlotStore / SimGpu that return a
+# [[nodiscard]] StorageStatus (or a PersistResult carrying one).
+STATUS_METHODS = (
+    "write", "persist", "fence", "write_slot", "persist_slot_range",
+    "publish_pointer", "kernel_copy_to_storage",
+    "direct_copy_to_storage",
+)
+STORAGE_STATUS_MARKER = "pccheck-lint: storage-status"
+
+# A bare statement whose first token chain is `recv.method(` or
+# `recv->method(`, optionally through one accessor hop such as
+# `store.device().fence(`. Anything prefixed (PCCHECK_MUST, `=`,
+# `return`, `if (`, a declaration, ...) will not match the anchor.
+BARE_STATUS_CALL_RE = re.compile(
+    r"^\s*\w+(?:\.|->)(?:\w+\(\)(?:\.|->))?("
+    + "|".join(STATUS_METHODS) + r")\s*\(")
+
+
+def starts_statement(lines: List[str], i: int) -> bool:
+    """True when line i begins a statement (it is not a continuation
+    of a wrapped call or assignment from the preceding line)."""
+    for j in range(i - 1, -1, -1):
+        prev = code_of(lines[j]).rstrip()
+        if not prev or is_comment_line(lines[j]):
+            continue
+        return prev.endswith((";", "{", "}", ":"))
+    return True
+
+
+def rule_storage_status_checked(path: str,
+                                lines: List[str]) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    text = "\n".join(lines)
+    if "src/core/" not in norm and STORAGE_STATUS_MARKER not in text:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        match = BARE_STATUS_CALL_RE.match(code_of(line))
+        if match and starts_statement(lines, i):
+            findings.append(Finding(
+                path, i + 1, "storage-status-checked",
+                f"{match.group(1)}() returns a StorageStatus that this "
+                "bare statement discards; wrap it in PCCHECK_MUST(...), "
+                "branch on the status, or route it through "
+                "retry_storage_op() so transient media errors degrade "
+                "gracefully instead of vanishing"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 
 
 RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
@@ -249,6 +312,7 @@ RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
     "relaxed-justification": rule_relaxed_justification,
     "trace-span-under-lock": rule_trace_span_under_lock,
     "check-addr-cas-only": rule_check_addr_cas_only,
+    "storage-status-checked": rule_storage_status_checked,
 }
 
 

@@ -23,6 +23,7 @@ BAD_EXPECTATIONS = {
     "relaxed_unjustified.cc": "relaxed-justification",
     "trace_under_lock.cc": "trace-span-under-lock",
     "check_addr_store.cc": "check-addr-cas-only",
+    "status_discarded.cc": "storage-status-checked",
 }
 
 
@@ -153,6 +154,33 @@ class RuleDetailTests(unittest.TestCase):
         self.assertEqual(
             self._lint_lines("naked-mutex", lines,
                              path="src/util/annotations.h"), [])
+
+    def test_storage_status_rule_skips_files_outside_core(self):
+        lines = ["    device.fence();"]
+        self.assertEqual(
+            self._lint_lines("storage-status-checked", lines,
+                             path="src/storage/mem_storage.cc"), [])
+
+    def test_storage_status_bare_call_in_core_flagged(self):
+        lines = ["    device.fence();"]
+        self.assertEqual(
+            len(self._lint_lines("storage-status-checked", lines,
+                                 path="src/core/orchestrator.cc")), 1)
+
+    def test_storage_status_wrapped_call_is_clean(self):
+        lines = ["    PCCHECK_MUST(device.fence());"]
+        self.assertEqual(
+            self._lint_lines("storage-status-checked", lines,
+                             path="src/core/orchestrator.cc"), [])
+
+    def test_storage_status_continuation_line_is_clean(self):
+        lines = [
+            "    const StorageStatus s =",
+            "        store.persist_slot_range(0, 0, len);",
+        ]
+        self.assertEqual(
+            self._lint_lines("storage-status-checked", lines,
+                             path="src/core/persist_engine.cc"), [])
 
 
 if __name__ == "__main__":
