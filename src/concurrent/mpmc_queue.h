@@ -24,6 +24,11 @@
 
 #include "concurrent/cacheline.h"
 #include "util/check.h"
+#include "util/sync.h"
+
+// pccheck-lint: atomic-seam — this header backs the free-slot queue
+// the model checker explores, so its atomics must go through
+// pccheck::Atomic (raw-atomic-in-core rule).
 
 namespace pccheck {
 
@@ -142,14 +147,14 @@ class MpmcBoundedQueue {
 
   private:
     struct Cell {
-        std::atomic<std::size_t> sequence;
+        Atomic<std::size_t> sequence;
         T value;
     };
 
     std::size_t mask_;
     std::unique_ptr<Cell[]> cells_;
-    alignas(kCacheLine) std::atomic<std::size_t> head_;
-    alignas(kCacheLine) std::atomic<std::size_t> tail_;
+    alignas(kCacheLine) Atomic<std::size_t> head_;
+    alignas(kCacheLine) Atomic<std::size_t> tail_;
 };
 
 }  // namespace pccheck

@@ -22,6 +22,11 @@
 
 #include "concurrent/cacheline.h"
 #include "util/check.h"
+#include "util/sync.h"
+
+// pccheck-lint: atomic-seam — this header backs the free-slot queue
+// the model checker explores, so its atomics must go through
+// pccheck::Atomic (raw-atomic-in-core rule).
 
 namespace pccheck {
 
@@ -137,9 +142,9 @@ class MsQueue {
                   "trivially copyable");
 
     struct Node {
-        std::atomic<T> value{};
-        std::atomic<std::uint64_t> next{0};
-        std::atomic<std::uint64_t> free_next{0};
+        Atomic<T> value{};
+        Atomic<std::uint64_t> next{0};
+        Atomic<std::uint64_t> free_next{0};
     };
 
     static constexpr std::uint64_t kNull = ~0ULL;
@@ -190,9 +195,9 @@ class MsQueue {
     }
 
     std::vector<Node> nodes_;
-    alignas(kCacheLine) std::atomic<std::uint64_t> head_;
-    alignas(kCacheLine) std::atomic<std::uint64_t> tail_;
-    alignas(kCacheLine) std::atomic<std::uint64_t> free_head_;
+    alignas(kCacheLine) Atomic<std::uint64_t> head_;
+    alignas(kCacheLine) Atomic<std::uint64_t> tail_;
+    alignas(kCacheLine) Atomic<std::uint64_t> free_head_;
 };
 
 }  // namespace pccheck

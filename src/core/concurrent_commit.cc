@@ -138,7 +138,17 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
             const std::uint32_t old_slot = slot_of(expected);
             if (published.ok()) {
                 if (old_slot != kNoSlot) {
-                    PCCHECK_CHECK(free_slots_->try_enqueue(old_slot));
+                    // try_enqueue can report a transient "full" while a
+                    // concurrent dequeuer sits between claiming a cell
+                    // and releasing its sequence word (found by
+                    // mc_check, docs/MODEL_CHECKING.md). The queue is
+                    // never arithmetically full here — at most
+                    // slot_count-1 slots are free when a superseded
+                    // slot is recycled — so backing off until the
+                    // dequeuer finishes always terminates.
+                    while (!free_slots_->try_enqueue(old_slot)) {
+                        clock_->sleep_for(kSlotBackoff);
+                    }
                     result.freed_slot = old_slot;
                 }
                 result.published = true;
@@ -166,8 +176,11 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
         }
         // Lines 29-31: a more recent checkpoint is already registered
         // (and its publisher persists it); our data is superseded, so
-        // recycle our own slot.
-        PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+        // recycle our own slot. Same transient-full retry as the
+        // winner path above.
+        while (!free_slots_->try_enqueue(ticket.slot)) {
+            clock_->sleep_for(kSlotBackoff);
+        }
         // relaxed: monitoring counter, no ordering required.
         losses_.fetch_add(1, std::memory_order_relaxed);
         result.freed_slot = ticket.slot;
@@ -178,7 +191,10 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
 void
 ConcurrentCommit::abort(const CheckpointTicket& ticket)
 {
-    PCCHECK_CHECK(free_slots_->try_enqueue(ticket.slot));
+    // Same transient-full retry as commit(); see the winner path.
+    while (!free_slots_->try_enqueue(ticket.slot)) {
+        clock_->sleep_for(kSlotBackoff);
+    }
     // relaxed: monitoring counter, no ordering required.
     aborts_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -34,7 +34,6 @@
  *  - with at most N concurrent writers the protocol is lock-free.
  */
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "core/slot_store.h"
 #include "faults/retry.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace pccheck {
 
@@ -173,13 +173,13 @@ class ConcurrentCommit {
     SlotStore* store_;
     const Clock* clock_;
     std::unique_ptr<FreeSlotQueue> free_slots_;
-    std::atomic<std::uint64_t> g_counter_{0};
-    std::atomic<std::uint64_t> check_addr_;  ///< packed (counter, slot)
-    std::vector<SlotMeta> meta_;             ///< side table, one per slot
-    std::atomic<std::uint64_t> wins_{0};
-    std::atomic<std::uint64_t> losses_{0};
-    std::atomic<std::uint64_t> aborts_{0};
-    std::atomic<std::uint64_t> publish_failures_{0};
+    Atomic<std::uint64_t> g_counter_{0};
+    Atomic<std::uint64_t> check_addr_;  ///< packed (counter, slot)
+    std::vector<SlotMeta> meta_;        ///< side table, one per slot
+    Atomic<std::uint64_t> wins_{0};
+    Atomic<std::uint64_t> losses_{0};
+    Atomic<std::uint64_t> aborts_{0};
+    Atomic<std::uint64_t> publish_failures_{0};
     RetryPolicy retry_;
     std::uint64_t retry_seed_ = 1;
 };

@@ -3,7 +3,6 @@
 #include "core/recovery.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 
 #include "obs/stage.h"
@@ -11,6 +10,7 @@
 #include "util/crc32.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace pccheck {
 namespace {
@@ -250,9 +250,9 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         Seconds request_time;
         std::uint64_t trace_begin_ns;
         std::uint32_t crc = 0;  ///< final value set before last decrement
-        std::atomic<std::size_t> remaining;
+        Atomic<std::size_t> remaining;
         /** Any chunk hit a non-retryable storage failure. */
-        std::atomic<bool> failed{false};
+        Atomic<bool> failed{false};
     };
     const std::size_t chunks =
         static_cast<std::size_t>((len + chunk_bytes_ - 1) / chunk_bytes_);

@@ -1,12 +1,12 @@
 #include "core/persist_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <vector>
 
 #include "obs/stage.h"
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace pccheck {
 namespace {
@@ -163,7 +163,7 @@ PersistEngine::persist_range_async(std::uint32_t slot, Bytes offset,
         return;
     }
     struct Shared {
-        std::atomic<std::size_t> remaining;
+        Atomic<std::size_t> remaining;
         std::function<void(StorageStatus)> done;
         Mutex mu;
         StorageStatus error PCCHECK_GUARDED_BY(mu);

@@ -33,6 +33,8 @@ recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
     return std::nullopt;
 }
 
+#if !defined(PCCHECK_MC)
+
 std::optional<RecoveryResult>
 recover_into_state(StorageDevice& device, TrainingState& state, bool pinned,
                    const Clock& clock)
@@ -62,5 +64,7 @@ recover_into_state(StorageDevice& device, TrainingState& state, bool pinned,
     result->load_time = watch.elapsed();
     return result;
 }
+
+#endif  // !PCCHECK_MC
 
 }  // namespace pccheck

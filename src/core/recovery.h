@@ -13,8 +13,18 @@
 #include <vector>
 
 #include "storage/device.h"
-#include "trainsim/training_state.h"
 #include "util/clock.h"
+
+#if defined(PCCHECK_MC)
+// The model-checking closure (src/mc/) links recover_to_buffer but
+// never restores into a simulated GPU; forward-declaring keeps
+// trainsim/gpusim out of the checker binary.
+namespace pccheck {
+class TrainingState;
+}
+#else
+#include "trainsim/training_state.h"
+#endif
 
 namespace pccheck {
 

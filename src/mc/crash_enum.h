@@ -1,0 +1,87 @@
+#ifndef PCCHECK_MC_CRASH_ENUM_H_
+#define PCCHECK_MC_CRASH_ENUM_H_
+
+/**
+ * @file
+ * Crash-state enumeration over the recorded persist trace.
+ *
+ * One scheduled execution of the commit model records a CrashSnapshot
+ * after every storage operation (write / persist / fence): the
+ * durable image plus the volatile content of every unflushed line.
+ * A real power failure at that instant preserves an ARBITRARY subset
+ * of the unflushed lines (paper §2.3 — cache eviction order is not
+ * program order), so each snapshot induces 2^n candidate post-crash
+ * images. The enumerator materializes each one, runs the real
+ * recovery path (recover_to_buffer) against it, and asserts:
+ *
+ *  - once a commit() has returned with its record durably published
+ *    (the model's publish watermark), EVERY later crash image must
+ *    recover a checkpoint at least that new — the paper's "at least
+ *    one fully persisted checkpoint always exists";
+ *  - any checkpoint recovery returns must be intact: iteration ==
+ *    counter and the payload matches the deterministic pattern
+ *    (recovery's CRC machinery must never accept torn data).
+ *
+ * Beyond `exhaustive_line_limit` unflushed lines the mask space is
+ * sampled (`sampled_masks` seeded draws, always including the empty
+ * and full masks) and the truncation is reported in the result.
+ *
+ * A violating (schedule, crash point, mask) triple is encoded as a
+ * replay token with a crash clause (token.h); replay_crash_token
+ * re-runs exactly that image and returns the same verdict.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "mc/models.h"
+#include "mc/token.h"
+
+namespace pccheck::mc {
+
+/** Bounds for the mask enumeration at each crash point. */
+struct CrashEnumOptions {
+    /** Enumerate all 2^n masks up to this many unflushed lines. */
+    std::size_t exhaustive_line_limit = 12;
+    /** Seeded samples past the limit (plus empty + full masks). */
+    std::size_t sampled_masks = 4096;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one crash enumeration. */
+struct CrashEnumResult {
+    bool violated = false;
+    /** The scheduled run itself violated (no crash clause). */
+    bool schedule_violation = false;
+    std::string message;
+    /** Replay token of the first violation (with crash clause unless
+     *  schedule_violation). */
+    std::string token;
+    std::size_t crash_points = 0;
+    std::size_t images = 0;
+    /** Crash points where the mask space was sampled, not enumerated. */
+    std::size_t sampled_points = 0;
+};
+
+/**
+ * Run the commit model once under @p strategy with snapshotting on,
+ * then enumerate crash images at every recorded storage op. Stops at
+ * the first violation.
+ */
+CrashEnumResult enumerate_crashes(const ModelConfig& config,
+                                  Mutation mutation, Strategy& strategy,
+                                  const CrashEnumOptions& opts =
+                                      CrashEnumOptions());
+
+/**
+ * Deterministically re-run a violating token produced by
+ * enumerate_crashes (schedule prefix + crash clause).
+ * @return the violation message, or an empty string when the token's
+ *         image now passes (e.g. the bug was fixed).
+ */
+std::string replay_crash_token(const ModelConfig& config, Mutation mutation,
+                               const ReplayToken& token);
+
+}  // namespace pccheck::mc
+
+#endif  // PCCHECK_MC_CRASH_ENUM_H_

@@ -1,0 +1,143 @@
+#include "mc/explore.h"
+
+#include <utility>
+
+#include "mc/token.h"
+
+namespace pccheck::mc {
+
+namespace {
+
+int popcount(std::uint32_t v)
+{
+    int n = 0;
+    while (v != 0) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Preemptions along choices[0..i) with @p alt substituted at @p i. */
+int preemptions_with_alt(const RunResult& r, std::size_t i, int alt)
+{
+    int p = 0;
+    for (std::size_t j = 1; j <= i; ++j) {
+        const int chosen = (j == i) ? alt : r.choices[j];
+        const int prev = r.choices[j - 1];
+        if (chosen != prev && ((r.enabled[j] >> prev) & 1u) != 0 &&
+            r.yielded[j] == 0) {
+            ++p;
+        }
+    }
+    return p;
+}
+
+void record_violation(ExploreResult* out, const RunResult& r,
+                      int num_threads, std::uint64_t seed)
+{
+    ++out->violations;
+    if (out->first_token.empty()) {
+        out->first_message = r.message;
+        out->first_token = encode_token(num_threads, r.choices);
+        out->first_seed = seed;
+    }
+}
+
+}  // namespace
+
+int count_preemptions(const std::vector<std::uint8_t>& choices,
+                      const std::vector<std::uint32_t>& enabled,
+                      const std::vector<std::uint8_t>& yielded)
+{
+    int p = 0;
+    for (std::size_t j = 1; j < choices.size(); ++j) {
+        const int prev = choices[j - 1];
+        if (choices[j] != prev && ((enabled[j] >> prev) & 1u) != 0 &&
+            yielded[j] == 0) {
+            ++p;
+        }
+    }
+    return p;
+}
+
+ExploreResult explore_dfs(const RunFn& run_one, int num_threads,
+                          int preemption_bound, std::size_t max_executions,
+                          bool stop_at_first)
+{
+    ExploreResult out;
+    // Each stack entry is a choice prefix; the execution replays it
+    // and continues deterministically. branch_from remembers the
+    // prefix length so siblings are only spawned past it (spawning
+    // earlier would duplicate schedules the parent already covers).
+    struct Frame {
+        std::vector<std::uint8_t> prefix;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{});
+
+    while (!stack.empty()) {
+        if (out.executions >= max_executions) {
+            out.truncated = true;
+            break;
+        }
+        Frame frame = std::move(stack.back());
+        stack.pop_back();
+        const std::size_t branch_from = frame.prefix.size();
+
+        PrefixStrategy strategy(std::move(frame.prefix));
+        RunResult r = run_one(strategy);
+        ++out.executions;
+        if (r.violated) {
+            record_violation(&out, r, num_threads, 0);
+            if (stop_at_first) {
+                break;
+            }
+        }
+
+        for (std::size_t i = branch_from; i < r.choices.size(); ++i) {
+            if (r.yielded[i] != 0 || popcount(r.enabled[i]) <= 1) {
+                continue;
+            }
+            for (int alt = 0; alt < num_threads; ++alt) {
+                if (alt == r.choices[i] ||
+                    ((r.enabled[i] >> alt) & 1u) == 0) {
+                    continue;
+                }
+                if (preemptions_with_alt(r, i, alt) > preemption_bound) {
+                    continue;
+                }
+                std::vector<std::uint8_t> sibling(r.choices.begin(),
+                                                  r.choices.begin() +
+                                                      static_cast<
+                                                          std::ptrdiff_t>(i));
+                sibling.push_back(static_cast<std::uint8_t>(alt));
+                stack.push_back(Frame{std::move(sibling)});
+            }
+        }
+    }
+    return out;
+}
+
+ExploreResult explore_pct(const RunFn& run_one, int num_threads,
+                          std::uint64_t seed, std::size_t schedules,
+                          int depth, std::size_t expected_length,
+                          bool stop_at_first)
+{
+    ExploreResult out;
+    for (std::size_t k = 0; k < schedules; ++k) {
+        const std::uint64_t s = seed + k;
+        PctStrategy strategy(s, num_threads, depth, expected_length);
+        RunResult r = run_one(strategy);
+        ++out.executions;
+        if (r.violated) {
+            record_violation(&out, r, num_threads, s);
+            if (stop_at_first) {
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace pccheck::mc

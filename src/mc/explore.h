@@ -1,0 +1,95 @@
+#ifndef PCCHECK_MC_EXPLORE_H_
+#define PCCHECK_MC_EXPLORE_H_
+
+/**
+ * @file
+ * Exploration drivers over the mc::Scheduler.
+ *
+ * Both drivers are model-agnostic: they take a callback that builds a
+ * fresh model instance, runs one scheduled execution under the
+ * strategy they pass in, applies the model's end-state invariants,
+ * and returns the RunResult. The callback owns the model; the driver
+ * owns the schedule search:
+ *
+ *  - explore_dfs: stateless depth-first enumeration of interleavings
+ *    with a preemption bound (CHESS-style). Maintains a stack of
+ *    choice prefixes; each execution replays its prefix via
+ *    PrefixStrategy and continues deterministically, then every
+ *    schedule point past the prefix spawns sibling prefixes for the
+ *    other enabled threads — unless the switch would exceed the
+ *    preemption bound, or the point is a forced-fairness yield
+ *    (spin-wait backoff: branching there re-explores the same races
+ *    with extra spins in between, exploding the state space without
+ *    adding orderings).
+ *  - explore_pct: probabilistic concurrency testing — one seeded
+ *    PctStrategy execution per seed in [seed, seed + schedules).
+ *    Catches bugs past the DFS bound with provable probability.
+ *
+ * Violations return an encoded replay token (token.h) that
+ * `mc_check --replay` feeds back through PrefixStrategy.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/scheduler.h"
+
+namespace pccheck::mc {
+
+/**
+ * Runs one complete execution under the given strategy and returns
+ * its trace/outcome. Must build a FRESH model each call (the drivers
+ * re-invoke it once per explored schedule) and fold end-state
+ * invariant failures into RunResult::violated / message.
+ */
+using RunFn = std::function<RunResult(Strategy&)>;
+
+/** Outcome of an exploration. */
+struct ExploreResult {
+    std::size_t executions = 0;
+    std::size_t violations = 0;
+    /** DFS only: frontier abandoned at max_executions. */
+    bool truncated = false;
+    /** First violation, when any. */
+    std::string first_message;
+    std::string first_token;
+    /** PCT only: seed of the first failing schedule. */
+    std::uint64_t first_seed = 0;
+};
+
+/**
+ * Exhaustive DFS with preemption bound.
+ *
+ * @param run_one fresh-model execution callback
+ * @param num_threads model thread count (token header)
+ * @param preemption_bound max preemptive switches per schedule
+ * @param max_executions safety valve on the schedule count
+ * @param stop_at_first return at the first violation (replay token
+ *        still recorded when false)
+ */
+ExploreResult explore_dfs(const RunFn& run_one, int num_threads,
+                          int preemption_bound, std::size_t max_executions,
+                          bool stop_at_first = true);
+
+/**
+ * PCT sampling: @p schedules independent executions with seeds
+ * [seed, seed + schedules), depth-@p depth priority schedules.
+ */
+ExploreResult explore_pct(const RunFn& run_one, int num_threads,
+                          std::uint64_t seed, std::size_t schedules,
+                          int depth, std::size_t expected_length,
+                          bool stop_at_first = true);
+
+/**
+ * Number of preemptive context switches in a schedule: points where
+ * the previously running thread was still enabled, was not at a
+ * forced yield, and a different thread was chosen.
+ */
+int count_preemptions(const std::vector<std::uint8_t>& choices,
+                      const std::vector<std::uint32_t>& enabled,
+                      const std::vector<std::uint8_t>& yielded);
+
+}  // namespace pccheck::mc
+
+#endif  // PCCHECK_MC_EXPLORE_H_

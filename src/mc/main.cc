@@ -1,0 +1,353 @@
+/**
+ * @file
+ * mc_check — the PCcheck model-checking harness CLI.
+ *
+ * Modes:
+ *   --mode dfs        exhaustive DFS with a preemption bound
+ *   --mode pct        randomized PCT schedules
+ *   --mode crash      crash-state enumeration over the persist trace
+ *   --mode mutations  meta-check: every weakened variant must FAIL,
+ *                     and its replay token must reproduce the failure
+ *   --mode replay     re-run a --token printed by a failing mode
+ *
+ * Exit code 0 = clean (for mutations: every mutation caught),
+ * 1 = violation found (for mutations: a mutation escaped),
+ * 2 = usage error.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mc/crash_enum.h"
+#include "mc/explore.h"
+#include "mc/models.h"
+#include "mc/token.h"
+
+namespace pccheck::mc {
+namespace {
+
+struct Args {
+    std::string mode = "dfs";
+    std::string model = "listing1";
+    Mutation mutation = Mutation::kNone;
+    int threads = 3;
+    int checkpoints = 1;
+    int bound = 2;
+    std::size_t schedules = 10000;
+    std::size_t max_executions = 2000000;
+    std::uint64_t seed = 1;
+    SlotQueueKind queue = SlotQueueKind::kVyukov;
+    std::string token;
+};
+
+bool parse_mutation(const std::string& name, Mutation* out)
+{
+    if (name == "none") {
+        *out = Mutation::kNone;
+    } else if (name == "blind_store") {
+        *out = Mutation::kBlindStore;
+    } else if (name == "ticket_reuse") {
+        *out = Mutation::kTicketReuse;
+    } else if (name == "no_fence") {
+        *out = Mutation::kNoFence;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char* mutation_name(Mutation m)
+{
+    switch (m) {
+      case Mutation::kNone:
+        return "none";
+      case Mutation::kBlindStore:
+        return "blind_store";
+      case Mutation::kTicketReuse:
+        return "ticket_reuse";
+      case Mutation::kNoFence:
+        return "no_fence";
+    }
+    return "?";
+}
+
+ModelConfig config_from(const Args& args)
+{
+    ModelConfig config;
+    config.threads = args.threads;
+    config.checkpoints_per_thread = args.checkpoints;
+    config.queue_kind = args.queue;
+    config.use_mini = args.model == "mini";
+    return config;
+}
+
+/** Schedule points per execution, for PCT change-point placement. */
+std::size_t expected_length(const Args& args)
+{
+    return static_cast<std::size_t>(args.threads) *
+           static_cast<std::size_t>(args.checkpoints) * 12;
+}
+
+int run_dfs(const Args& args)
+{
+    const ModelConfig config = config_from(args);
+    const ExploreResult r =
+        explore_dfs(make_run_fn(config, args.mutation), args.threads,
+                    args.bound, args.max_executions);
+    std::printf("[mc] dfs model=%s mutation=%s threads=%d bound=%d "
+                "executions=%zu violations=%zu%s\n",
+                args.model.c_str(), mutation_name(args.mutation),
+                args.threads, args.bound, r.executions, r.violations,
+                r.truncated ? " TRUNCATED" : "");
+    if (r.violations != 0) {
+        std::printf("[mc] VIOLATION: %s\n", r.first_message.c_str());
+        std::printf("[mc] replay: %s\n", r.first_token.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int run_pct(const Args& args)
+{
+    const ModelConfig config = config_from(args);
+    const ExploreResult r =
+        explore_pct(make_run_fn(config, args.mutation), args.threads,
+                    args.seed, args.schedules, /*depth=*/3,
+                    expected_length(args));
+    std::printf("[mc] pct model=%s mutation=%s threads=%d schedules=%zu "
+                "violations=%zu\n",
+                args.model.c_str(), mutation_name(args.mutation),
+                args.threads, r.executions, r.violations);
+    if (r.violations != 0) {
+        std::printf("[mc] VIOLATION (seed %llu): %s\n",
+                    static_cast<unsigned long long>(r.first_seed),
+                    r.first_message.c_str());
+        std::printf("[mc] replay: %s\n", r.first_token.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int run_crash(const Args& args)
+{
+    const ModelConfig config = config_from(args);
+    std::size_t points = 0;
+    std::size_t images = 0;
+    for (std::size_t k = 0; k < args.schedules; ++k) {
+        PctStrategy strategy(args.seed + k, args.threads, /*depth=*/3,
+                             expected_length(args));
+        const CrashEnumResult r =
+            enumerate_crashes(config, args.mutation, strategy);
+        points += r.crash_points;
+        images += r.images;
+        if (r.violated) {
+            std::printf("[mc] crash-enum VIOLATION (schedule seed %llu): "
+                        "%s\n",
+                        static_cast<unsigned long long>(args.seed + k),
+                        r.message.c_str());
+            std::printf("[mc] replay: %s\n", r.token.c_str());
+            return 1;
+        }
+    }
+    std::printf("[mc] crash-enum model=%s mutation=%s schedules=%zu "
+                "crash_points=%zu images=%zu violations=0\n",
+                args.model.c_str(), mutation_name(args.mutation),
+                args.schedules, points, images);
+    return 0;
+}
+
+int run_replay(const Args& args)
+{
+    const auto token = decode_token(args.token);
+    if (!token.has_value()) {
+        std::fprintf(stderr, "[mc] bad token: %s\n", args.token.c_str());
+        return 2;
+    }
+    ModelConfig config = config_from(args);
+    config.threads = token->num_threads;
+    std::string message;
+    if (token->crash_op.has_value()) {
+        message = replay_crash_token(config, args.mutation, *token);
+    } else {
+        CommitModel model(config, args.mutation);
+        PrefixStrategy strategy(token->choices);
+        const RunResult r = model.run(strategy);
+        message = r.violated ? r.message : "";
+    }
+    if (!message.empty()) {
+        std::printf("[mc] replay reproduced: %s\n", message.c_str());
+        return 1;
+    }
+    std::printf("[mc] replay found no violation\n");
+    return 0;
+}
+
+/**
+ * One mutation meta-check: run the detection flow that claims to
+ * catch @p mutation, REQUIRE a violation, then replay its token and
+ * require the violation again.
+ * @return true when the mutation was caught and replays.
+ */
+bool check_mutation(const Args& args, Mutation mutation)
+{
+    const char* name = mutation_name(mutation);
+    ModelConfig config = config_from(args);
+
+    std::string token_text;
+    std::string message;
+    if (mutation == Mutation::kNoFence) {
+        // Invisible to scheduling invariants — the crash enumerator
+        // owns this bug class.
+        DefaultStrategy strategy;
+        const CrashEnumResult r =
+            enumerate_crashes(config, mutation, strategy);
+        if (!r.violated) {
+            std::printf("[mc] mutation %s: NOT caught (crash-enum "
+                        "found %zu clean images)\n",
+                        name, r.images);
+            return false;
+        }
+        token_text = r.token;
+        message = r.message;
+    } else {
+        const ExploreResult r =
+            explore_dfs(make_run_fn(config, mutation), args.threads,
+                        args.bound, args.max_executions);
+        if (r.violations == 0) {
+            std::printf("[mc] mutation %s: NOT caught (%zu executions "
+                        "clean)\n",
+                        name, r.executions);
+            return false;
+        }
+        token_text = r.first_token;
+        message = r.first_message;
+    }
+
+    // The token must deterministically reproduce the violation.
+    const auto token = decode_token(token_text);
+    if (!token.has_value()) {
+        std::printf("[mc] mutation %s: bad replay token '%s'\n", name,
+                    token_text.c_str());
+        return false;
+    }
+    std::string replayed;
+    if (token->crash_op.has_value()) {
+        replayed = replay_crash_token(config, mutation, *token);
+    } else {
+        CommitModel model(config, mutation);
+        PrefixStrategy strategy(token->choices);
+        const RunResult r = model.run(strategy);
+        replayed = r.violated ? r.message : "";
+    }
+    if (replayed.empty()) {
+        std::printf("[mc] mutation %s: token '%s' did not replay\n", name,
+                    token_text.c_str());
+        return false;
+    }
+    std::printf("[mc] mutation %s: caught (%s)\n", name, message.c_str());
+    std::printf("[mc] mutation %s: replay %s\n", name, token_text.c_str());
+    return true;
+}
+
+int run_mutations(const Args& args)
+{
+    // kNoFence runs the real algorithm; the others need MiniCommit.
+    bool ok = true;
+    ok = check_mutation(args, Mutation::kBlindStore) && ok;
+    ok = check_mutation(args, Mutation::kTicketReuse) && ok;
+    ok = check_mutation(args, Mutation::kNoFence) && ok;
+    if (ok) {
+        std::printf("[mc] all mutation variants caught\n");
+    }
+    return ok ? 0 : 1;
+}
+
+int usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mc_check [--mode dfs|pct|crash|mutations|replay]\n"
+        "                [--model listing1|mini] "
+        "[--mutation none|blind_store|ticket_reuse|no_fence]\n"
+        "                [--threads N] [--checkpoints N] [--bound N]\n"
+        "                [--schedules N] [--seed N] "
+        "[--queue vyukov|ms|mutex]\n"
+        "                [--token <replay token>]\n");
+    return 2;
+}
+
+int run(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char* value = nullptr;
+        if (flag == "--mode" && (value = next())) {
+            args.mode = value;
+        } else if (flag == "--model" && (value = next())) {
+            args.model = value;
+        } else if (flag == "--mutation" && (value = next())) {
+            if (!parse_mutation(value, &args.mutation)) {
+                return usage();
+            }
+        } else if (flag == "--threads" && (value = next())) {
+            args.threads = std::atoi(value);
+        } else if (flag == "--checkpoints" && (value = next())) {
+            args.checkpoints = std::atoi(value);
+        } else if (flag == "--bound" && (value = next())) {
+            args.bound = std::atoi(value);
+        } else if (flag == "--schedules" && (value = next())) {
+            args.schedules = static_cast<std::size_t>(std::atoll(value));
+        } else if (flag == "--seed" && (value = next())) {
+            args.seed = static_cast<std::uint64_t>(std::atoll(value));
+        } else if (flag == "--queue" && (value = next())) {
+            const std::string q = value;
+            if (q == "vyukov") {
+                args.queue = SlotQueueKind::kVyukov;
+            } else if (q == "ms") {
+                args.queue = SlotQueueKind::kMichaelScott;
+            } else if (q == "mutex") {
+                args.queue = SlotQueueKind::kMutex;
+            } else {
+                return usage();
+            }
+        } else if (flag == "--token" && (value = next())) {
+            args.token = value;
+        } else {
+            return usage();
+        }
+    }
+    if (args.threads < 1 || args.threads > 16 || args.checkpoints < 1) {
+        return usage();
+    }
+    if (args.mode == "dfs") {
+        return run_dfs(args);
+    }
+    if (args.mode == "pct") {
+        return run_pct(args);
+    }
+    if (args.mode == "crash") {
+        return run_crash(args);
+    }
+    if (args.mode == "mutations") {
+        return run_mutations(args);
+    }
+    if (args.mode == "replay") {
+        return run_replay(args);
+    }
+    return usage();
+}
+
+}  // namespace
+}  // namespace pccheck::mc
+
+int main(int argc, char** argv)
+{
+    return pccheck::mc::run(argc, argv);
+}

@@ -1,0 +1,424 @@
+#include "mc/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace pccheck::mc {
+
+namespace {
+
+/** Identity of the calling model thread, set for the lifetime of the
+ *  thread body. Driver threads keep {nullptr, -1} and every shim
+ *  operation they perform runs directly on the std primitives. */
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local int tls_thread = -1;
+
+int lowest_set(std::uint32_t mask)
+{
+    for (int i = 0; i < 32; ++i) {
+        if (mask & (1u << i)) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+}  // namespace
+
+struct Scheduler::Impl {
+    enum class State : std::uint8_t {
+        kReady,
+        kBlockedMutex,
+        kBlockedCond,
+        kFinished,
+    };
+
+    struct ThreadState {
+        State state = State::kReady;
+        /** Mutex flag this thread waits on (kBlockedMutex / the mutex
+         *  re-acquire half of kBlockedCond). */
+        bool* wait_mutex = nullptr;
+        /** CondVar generation counter waited on (kBlockedCond only). */
+        const std::uint64_t* wait_cond = nullptr;
+        std::uint64_t wait_seen = 0;
+    };
+
+    // Handshake: exactly one model thread (the one whose index equals
+    // active_) may run; everyone else blocks on cv_ until picked.
+    std::mutex mu;
+    std::condition_variable cv;
+    int active = -1;
+    bool aborting = false;
+
+    std::vector<ThreadState> threads;
+    Strategy* strategy = nullptr;
+    Options opts;
+    RunResult result;
+
+    /** Bitmask of threads in State::kReady. */
+    std::uint32_t enabled_mask() const
+    {
+        std::uint32_t mask = 0;
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            if (threads[i].state == State::kReady) {
+                mask |= 1u << i;
+            }
+        }
+        return mask;
+    }
+
+    bool all_finished() const
+    {
+        for (const ThreadState& t : threads) {
+            if (t.state != State::kFinished) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void record_abort(std::string message)
+    {
+        if (!aborting) {
+            aborting = true;
+            result.violated = true;
+            result.message = std::move(message);
+            cv.notify_all();
+        }
+    }
+
+    /**
+     * Pick and wake the next thread. Called with mu held by the
+     * thread leaving a schedule point (or by run() for the initial
+     * pick with current == -1). Records the choice in the result
+     * trace. No-op when aborting or everything finished.
+     */
+    void pick_next(std::unique_lock<std::mutex>& lock, int current,
+                   bool yielding)
+    {
+        (void)lock;
+        if (aborting || all_finished()) {
+            active = -1;
+            cv.notify_all();
+            return;
+        }
+        std::uint32_t mask = enabled_mask();
+        if (mask == 0) {
+            record_abort("deadlock: no enabled threads");
+            active = -1;
+            return;
+        }
+        if (result.steps >= opts.max_steps) {
+            record_abort("step limit exceeded (possible livelock)");
+            active = -1;
+            return;
+        }
+        int next = strategy->pick(current, mask, yielding, result.steps);
+        if (next < 0 || next >= static_cast<int>(threads.size()) ||
+            !(mask & (1u << next))) {
+            record_abort("strategy picked a disabled thread");
+            active = -1;
+            return;
+        }
+        result.choices.push_back(static_cast<std::uint8_t>(next));
+        result.enabled.push_back(mask);
+        result.yielded.push_back(yielding ? 1 : 0);
+        ++result.steps;
+        active = next;
+        cv.notify_all();
+    }
+
+    /**
+     * Core schedule point: hand control to the strategy and wait to
+     * be picked again. Called with mu held, by the active thread.
+     */
+    void schedule(std::unique_lock<std::mutex>& lock, int self, bool yielding)
+    {
+        pick_next(lock, self, yielding);
+        wait_for_turn(lock, self);
+    }
+
+    /** Block until self becomes active (and Ready). Throws
+     *  ExecutionAborted when the execution was torn down. */
+    void wait_for_turn(std::unique_lock<std::mutex>& lock, int self)
+    {
+        while (!aborting &&
+               !(active == self && threads[self].state == State::kReady)) {
+            cv.wait(lock);
+        }
+        if (aborting) {
+            throw ExecutionAborted{};
+        }
+    }
+};
+
+Scheduler::Scheduler() : impl_(new Impl) {}
+
+Scheduler::~Scheduler()
+{
+    delete impl_;
+}
+
+Scheduler* Scheduler::current()
+{
+    return tls_scheduler;
+}
+
+int Scheduler::current_thread()
+{
+    return tls_thread;
+}
+
+void Scheduler::fail(std::string message)
+{
+    throw Violation{std::move(message)};
+}
+
+RunResult Scheduler::run(const std::vector<std::function<void()>>& bodies,
+                         Strategy& strategy, const Options& opts)
+{
+    Impl& s = *impl_;
+    s.threads.assign(bodies.size(), Impl::ThreadState{});
+    s.strategy = &strategy;
+    s.opts = opts;
+    s.result = RunResult{};
+    s.aborting = false;
+    s.active = -1;
+
+    std::vector<std::thread> workers;
+    workers.reserve(bodies.size());
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        workers.emplace_back([this, &s, &bodies, i]() {
+            tls_scheduler = this;
+            tls_thread = static_cast<int>(i);
+            const int self = static_cast<int>(i);
+            try {
+                {
+                    // Wait for the initial pick before touching the
+                    // model: bodies run strictly one at a time.
+                    std::unique_lock<std::mutex> lock(s.mu);
+                    s.wait_for_turn(lock, self);
+                }
+                bodies[i]();
+                std::unique_lock<std::mutex> lock(s.mu);
+                s.threads[self].state = Impl::State::kFinished;
+                s.pick_next(lock, self, false);
+            } catch (const Violation& v) {
+                std::unique_lock<std::mutex> lock(s.mu);
+                s.threads[self].state = Impl::State::kFinished;
+                s.record_abort(v.message);
+            } catch (const ExecutionAborted&) {
+                std::unique_lock<std::mutex> lock(s.mu);
+                s.threads[self].state = Impl::State::kFinished;
+                s.cv.notify_all();
+            }
+            tls_scheduler = nullptr;
+            tls_thread = -1;
+        });
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(s.mu);
+        s.pick_next(lock, -1, false);
+        while (!s.all_finished() && !(s.aborting && s.active == -1)) {
+            s.cv.wait(lock);
+            if (s.aborting) {
+                // Finished threads already notified; blocked ones
+                // observe aborting at wake and unwind.
+                s.cv.notify_all();
+            }
+            if (s.all_finished()) {
+                break;
+            }
+        }
+    }
+    for (std::thread& t : workers) {
+        t.join();
+    }
+    return s.result;
+}
+
+void Scheduler::atomic_point()
+{
+    Impl& s = *impl_;
+    const int self = tls_thread;
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.schedule(lock, self, false);
+}
+
+void Scheduler::yield_point()
+{
+    Impl& s = *impl_;
+    const int self = tls_thread;
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.schedule(lock, self, true);
+}
+
+void Scheduler::mutex_acquire(bool* held)
+{
+    Impl& s = *impl_;
+    const int self = tls_thread;
+    std::unique_lock<std::mutex> lock(s.mu);
+    while (*held) {
+        // Barging allowed: on wake, re-check and possibly re-block.
+        s.threads[self].state = Impl::State::kBlockedMutex;
+        s.threads[self].wait_mutex = held;
+        s.pick_next(lock, self, false);
+        s.wait_for_turn(lock, self);
+    }
+    *held = true;
+}
+
+void Scheduler::mutex_release(bool* held)
+{
+    Impl& s = *impl_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    *held = false;
+    for (Impl::ThreadState& t : s.threads) {
+        if (t.state == Impl::State::kBlockedMutex && t.wait_mutex == held) {
+            t.state = Impl::State::kReady;
+            t.wait_mutex = nullptr;
+        }
+    }
+    // No schedule point: the release itself is not a race the DFS
+    // needs to branch on — the next atomic point covers it.
+}
+
+void Scheduler::cond_wait(bool* held, const std::uint64_t* generation,
+                          std::uint64_t seen)
+{
+    Impl& s = *impl_;
+    const int self = tls_thread;
+    std::unique_lock<std::mutex> lock(s.mu);
+    // Release the associated mutex and wake its waiters.
+    *held = false;
+    for (Impl::ThreadState& t : s.threads) {
+        if (t.state == Impl::State::kBlockedMutex && t.wait_mutex == held) {
+            t.state = Impl::State::kReady;
+            t.wait_mutex = nullptr;
+        }
+    }
+    if (*generation == seen) {
+        s.threads[self].state = Impl::State::kBlockedCond;
+        s.threads[self].wait_cond = generation;
+        s.threads[self].wait_seen = seen;
+    }
+    s.pick_next(lock, self, false);
+    s.wait_for_turn(lock, self);
+    s.threads[self].wait_cond = nullptr;
+    // Re-acquire the mutex before returning to the caller.
+    while (*held) {
+        s.threads[self].state = Impl::State::kBlockedMutex;
+        s.threads[self].wait_mutex = held;
+        s.pick_next(lock, self, false);
+        s.wait_for_turn(lock, self);
+    }
+    *held = true;
+}
+
+void Scheduler::cond_notify(const std::uint64_t* generation)
+{
+    Impl& s = *impl_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    for (Impl::ThreadState& t : s.threads) {
+        if (t.state == Impl::State::kBlockedCond &&
+            t.wait_cond == generation) {
+            t.state = Impl::State::kReady;
+            t.wait_cond = nullptr;
+        }
+    }
+}
+
+// ---- strategies ----
+
+int DefaultStrategy::pick(int current, std::uint32_t enabled, bool yielding,
+                          std::size_t step)
+{
+    (void)step;
+    const std::uint32_t self_bit =
+        (current >= 0) ? (1u << current) : 0;
+    if (!yielding && (enabled & self_bit)) {
+        return current;
+    }
+    // Round-robin starting after current so yields make progress.
+    for (int d = 1; d <= 32; ++d) {
+        const int cand = (current + d) & 31;
+        if (enabled & (1u << cand)) {
+            return cand;
+        }
+    }
+    return lowest_set(enabled);
+}
+
+int PrefixStrategy::pick(int current, std::uint32_t enabled, bool yielding,
+                         std::size_t step)
+{
+    if (step < prefix_.size()) {
+        const int want = prefix_[step];
+        if (enabled & (1u << want)) {
+            return want;
+        }
+        diverged_ = true;  // fall through to a legal pick
+    }
+    return fallback_.pick(current, enabled, yielding, step);
+}
+
+PctStrategy::PctStrategy(std::uint64_t seed, int num_threads, int depth,
+                         std::size_t expected_length)
+{
+    Rng rng(seed);
+    priority_.resize(static_cast<std::size_t>(num_threads));
+    // Distinct initial priorities: a random permutation of
+    // [n, 2n) so demotions (successive negative values) always land
+    // below every initial priority.
+    std::vector<std::int64_t> pool;
+    for (int i = 0; i < num_threads; ++i) {
+        pool.push_back(num_threads + i);
+    }
+    for (int i = 0; i < num_threads; ++i) {
+        const std::size_t j =
+            rng.next_below(static_cast<std::uint64_t>(pool.size()));
+        priority_[static_cast<std::size_t>(i)] = pool[j];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    if (expected_length == 0) {
+        expected_length = 1;
+    }
+    for (int c = 1; c < depth; ++c) {
+        change_points_.push_back(
+            rng.next_below(static_cast<std::uint64_t>(expected_length)));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+}
+
+int PctStrategy::pick(int current, std::uint32_t enabled, bool yielding,
+                      std::size_t step)
+{
+    // Priority-change point or forced yield: demote the running
+    // thread below everything seen so far (PCT depth mechanism; the
+    // yield demotion is the standard fair-PCT extension that keeps
+    // spin-waiting threads from monopolizing the schedule).
+    const bool change =
+        std::binary_search(change_points_.begin(), change_points_.end(), step);
+    if (current >= 0 && (change || yielding)) {
+        priority_[static_cast<std::size_t>(current)] = --low_water_;
+    }
+    int best = -1;
+    for (std::size_t i = 0; i < priority_.size(); ++i) {
+        if (!(enabled & (1u << i))) {
+            continue;
+        }
+        if (best < 0 || priority_[i] > priority_[static_cast<std::size_t>(
+                                           best)]) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace pccheck::mc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "util/check.h"
 
@@ -46,15 +47,20 @@ CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
 {
     PCCHECK_CHECK_MSG(offset + len <= size_,
                       "write out of range off=" << offset << " len=" << len);
-    MutexLock lock(mu_);
-    std::memcpy(volatile_.data() + offset, src, len);
-    const Bytes first = line_of(offset);
-    const Bytes last = len ? line_of(offset + len - 1) : first;
-    for (Bytes line = first; line <= last; ++line) {
-        dirty_.insert(line);
-        // Rewriting a line invalidates any in-flight write-back of the
-        // previous value; it must be persisted again.
-        pending_.erase(line);
+    {
+        MutexLock lock(mu_);
+        std::memcpy(volatile_.data() + offset, src, len);
+        const Bytes first = line_of(offset);
+        const Bytes last = len ? line_of(offset + len - 1) : first;
+        for (Bytes line = first; line <= last; ++line) {
+            dirty_.insert(line);
+            // Rewriting a line invalidates any in-flight write-back of
+            // the previous value; it must be persisted again.
+            pending_.erase(line);
+        }
+    }
+    if (post_op_hook_) {
+        post_op_hook_(StorageOp{StorageOp::Kind::kWrite, offset, len});
     }
     return StorageStatus::success();
 }
@@ -75,18 +81,24 @@ CrashSimStorage::persist(Bytes offset, Bytes len)
     if (len == 0) {
         return StorageStatus::success();
     }
-    MutexLock lock(mu_);
-    const Bytes first = line_of(offset);
-    const Bytes last = line_of(offset + len - 1);
-    for (Bytes line = first; line <= last; ++line) {
-        if (kind_ == StorageKind::kSsdMsync) {
-            // msync is synchronously durable.
-            commit_line(line);
-            dirty_.erase(line);
-        } else if (dirty_.erase(line) > 0) {
-            // clwb / nt-store: write-back initiated, durable at fence.
-            pending_.insert(line);
+    {
+        MutexLock lock(mu_);
+        const Bytes first = line_of(offset);
+        const Bytes last = line_of(offset + len - 1);
+        for (Bytes line = first; line <= last; ++line) {
+            if (kind_ == StorageKind::kSsdMsync) {
+                // msync is synchronously durable.
+                commit_line(line);
+                dirty_.erase(line);
+            } else if (dirty_.erase(line) > 0) {
+                // clwb / nt-store: write-back initiated, durable at
+                // fence.
+                pending_.insert(line);
+            }
         }
+    }
+    if (post_op_hook_) {
+        post_op_hook_(StorageOp{StorageOp::Kind::kPersist, offset, len});
     }
     return StorageStatus::success();
 }
@@ -94,11 +106,16 @@ CrashSimStorage::persist(Bytes offset, Bytes len)
 StorageStatus
 CrashSimStorage::fence()
 {
-    MutexLock lock(mu_);
-    for (Bytes line : pending_) {
-        commit_line(line);
+    {
+        MutexLock lock(mu_);
+        for (Bytes line : pending_) {
+            commit_line(line);
+        }
+        pending_.clear();
     }
-    pending_.clear();
+    if (post_op_hook_) {
+        post_op_hook_(StorageOp{StorageOp::Kind::kFence, 0, 0});
+    }
     return StorageStatus::success();
 }
 
@@ -142,6 +159,41 @@ CrashSimStorage::crash_image()
     maybe_evict(pending_);
     maybe_evict(dirty_);
     return image;
+}
+
+std::vector<Bytes>
+CrashSimStorage::unflushed_lines() const
+{
+    MutexLock lock(mu_);
+    std::vector<Bytes> lines;
+    lines.reserve(dirty_.size() + pending_.size());
+    lines.insert(lines.end(), dirty_.begin(), dirty_.end());
+    lines.insert(lines.end(), pending_.begin(), pending_.end());
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+std::vector<std::uint8_t>
+CrashSimStorage::crash_image_keeping(const std::vector<Bytes>& lines) const
+{
+    MutexLock lock(mu_);
+    std::vector<std::uint8_t> image = durable_;
+    for (Bytes line : lines) {
+        PCCHECK_CHECK_MSG(dirty_.count(line) != 0 ||
+                              pending_.count(line) != 0,
+                          "crash_image_keeping: line " << line
+                                                       << " is not unflushed");
+        const Bytes start = line * line_size_;
+        const Bytes len = std::min(line_size_, size_ - start);
+        std::memcpy(image.data() + start, volatile_.data() + start, len);
+    }
+    return image;
+}
+
+void
+CrashSimStorage::set_post_op_hook(std::function<void(const StorageOp&)> hook)
+{
+    post_op_hook_ = std::move(hook);
 }
 
 std::size_t

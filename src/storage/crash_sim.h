@@ -22,6 +22,7 @@
  * crash point, recovery must find one fully persisted checkpoint.
  */
 
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -30,6 +31,14 @@
 #include "util/rng.h"
 
 namespace pccheck {
+
+/** One storage-level event, reported to the post-op hook. */
+struct StorageOp {
+    enum class Kind : std::uint8_t { kWrite, kPersist, kFence };
+    Kind kind = Kind::kWrite;
+    Bytes offset = 0;
+    Bytes len = 0;
+};
 
 /** Storage with volatile/durable shadow images and adversarial crash. */
 class CrashSimStorage final : public StorageDevice {
@@ -69,6 +78,34 @@ class CrashSimStorage final : public StorageDevice {
      */
     std::vector<std::uint8_t> crash_image();
 
+    /**
+     * The crash-enumeration interface (model checker, see
+     * docs/MODEL_CHECKING.md): lines that have NOT durably reached
+     * the media — dirty plus fence-pending — in ascending line order.
+     * A real crash preserves an arbitrary subset of them.
+     */
+    std::vector<Bytes> unflushed_lines() const;
+
+    /**
+     * Deterministic variant of crash_image(): the durable image with
+     * exactly the given unflushed @p lines (values from
+     * unflushed_lines()) taken from the volatile image — one member
+     * of the crash-state set, chosen by the enumerator instead of the
+     * RNG. Does not mutate the device.
+     */
+    std::vector<std::uint8_t> crash_image_keeping(
+        const std::vector<Bytes>& lines) const;
+
+    /**
+     * Observation hook, invoked after every write/persist/fence with
+     * the device lock RELEASED (the hook may call back into const
+     * accessors like unflushed_lines()). Single hook; pass nullptr to
+     * clear. Used by the crash-state enumerator to index crash
+     * points. Not thread-safe against concurrent storage ops — set it
+     * before handing the device to the model.
+     */
+    void set_post_op_hook(std::function<void(const StorageOp&)> hook);
+
     /** Number of lines currently dirty (written, not yet persisted). */
     std::size_t dirty_lines() const;
 
@@ -96,6 +133,8 @@ class CrashSimStorage final : public StorageDevice {
         PCCHECK_GUARDED_BY(mu_);  ///< persisted, awaiting fence
     Rng rng_ PCCHECK_GUARDED_BY(mu_);
     double eviction_probability_;
+    /** Set once before the model runs; called outside mu_. */
+    std::function<void(const StorageOp&)> post_op_hook_;
 };
 
 }  // namespace pccheck

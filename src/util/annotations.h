@@ -17,6 +17,13 @@
  * analysis). Under GCC the macros expand to nothing and the wrappers
  * cost exactly one std::mutex / std::condition_variable_any.
  *
+ * Under -DPCCHECK_MC (the model-checking configuration, see
+ * docs/MODEL_CHECKING.md) Mutex/MutexLock/CondVar alias the
+ * cooperative implementations from src/mc/shim.h instead, so every
+ * locking site in the modeled code becomes a scheduler-visible
+ * operation without any source change. The attribute macros
+ * themselves live in util/tsa.h so the shim can use them too.
+ *
  * Conventions (enforced by tools/pccheck_lint.py, see
  * docs/STATIC_ANALYSIS.md):
  *  - never use std::mutex / std::lock_guard / std::condition_variable
@@ -29,62 +36,28 @@
  *    lambdas — the analysis cannot see a lambda's lock context).
  */
 
+#include "util/tsa.h"
+
+#if defined(PCCHECK_MC)
+
+#include "mc/shim.h"
+
+namespace pccheck {
+
+// Model-checking build: every Mutex in the modeled code routes its
+// lock/unlock/wait through the cooperative mc::Scheduler so thread
+// interleavings around critical sections are explored, not sampled.
+using Mutex = mc::Mutex;
+using MutexLock = mc::MutexLock;
+using CondVar = mc::CondVar;
+
+}  // namespace pccheck
+
+#else  // !PCCHECK_MC
+
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
-
-#if defined(__clang__)
-#define PCCHECK_THREAD_ANNOTATION(x) __attribute__((x))
-#else
-#define PCCHECK_THREAD_ANNOTATION(x)  // no-op: GCC has no TSA
-#endif
-
-/** Marks a type as a lockable capability ("mutex"). */
-#define PCCHECK_CAPABILITY(x) PCCHECK_THREAD_ANNOTATION(capability(x))
-
-/** Marks an RAII type that acquires on construction, releases on
- *  destruction. */
-#define PCCHECK_SCOPED_CAPABILITY PCCHECK_THREAD_ANNOTATION(scoped_lockable)
-
-/** Data member readable/writable only while holding @p x. */
-#define PCCHECK_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(guarded_by(x))
-
-/** Pointer member whose pointee is protected by @p x. */
-#define PCCHECK_PT_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(pt_guarded_by(x))
-
-/** Function that must be called with the capability held. */
-#define PCCHECK_REQUIRES(...) \
-    PCCHECK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
-
-/** Function that acquires the capability (held on return). */
-#define PCCHECK_ACQUIRE(...) \
-    PCCHECK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
-
-/** Function that conditionally acquires; first arg is the success
- *  return value. */
-#define PCCHECK_TRY_ACQUIRE(...) \
-    PCCHECK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
-
-/** Function that releases the capability. */
-#define PCCHECK_RELEASE(...) \
-    PCCHECK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
-
-/** Function that must be called WITHOUT the capability held
- *  (deadlock prevention, e.g. callbacks that re-enter). */
-#define PCCHECK_EXCLUDES(...) \
-    PCCHECK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
-
-/** Runtime assertion that the capability is held (trusted). */
-#define PCCHECK_ASSERT_CAPABILITY(x) \
-    PCCHECK_THREAD_ANNOTATION(assert_capability(x))
-
-/** Accessor returning a reference to the capability. */
-#define PCCHECK_RETURN_CAPABILITY(x) \
-    PCCHECK_THREAD_ANNOTATION(lock_returned(x))
-
-/** Escape hatch; every use needs a justification comment. */
-#define PCCHECK_NO_THREAD_SAFETY_ANALYSIS \
-    PCCHECK_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 namespace pccheck {
 
@@ -171,5 +144,7 @@ class CondVar {
 };
 
 }  // namespace pccheck
+
+#endif  // PCCHECK_MC
 
 #endif  // PCCHECK_UTIL_ANNOTATIONS_H_

@@ -1,0 +1,62 @@
+#ifndef PCCHECK_UTIL_SYNC_H_
+#define PCCHECK_UTIL_SYNC_H_
+
+/**
+ * @file
+ * The atomics seam between production builds and the model checker.
+ *
+ * Algorithm-bearing code (src/core/, the lock-free queues it builds
+ * on) declares its shared words as pccheck::Atomic<T> instead of
+ * std::atomic<T>:
+ *
+ *  - in production builds, Atomic<T> IS std::atomic<T> (a template
+ *    alias — zero overhead, identical codegen, enforced by the
+ *    static_assert below);
+ *  - under -DPCCHECK_MC it becomes pccheck::mc::Atomic<T>
+ *    (src/mc/shim.h), whose every load/store/RMW is a schedule point
+ *    the cooperative mc::Scheduler can preempt, so the checker
+ *    explores thread interleavings deterministically instead of
+ *    sampling them.
+ *
+ * Memory-order arguments keep their std::memory_order type in both
+ * configurations. The checker explores sequentially consistent
+ * interleavings; std::memory_order_relaxed operations are treated as
+ * non-preemption points (monitoring counters — see the relaxed-
+ * justification lint rule and docs/MODEL_CHECKING.md).
+ *
+ * tools/pccheck_lint.py rule raw-atomic-in-core rejects direct
+ * std::atomic/std::mutex use in src/core/ so new code cannot bypass
+ * the seam.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(PCCHECK_MC)
+
+#include "mc/shim.h"
+
+namespace pccheck {
+
+template <typename T>
+using Atomic = mc::Atomic<T>;
+
+}  // namespace pccheck
+
+#else  // !PCCHECK_MC
+
+namespace pccheck {
+
+template <typename T>
+using Atomic = std::atomic<T>;
+
+// The seam must be free in production: the alias IS std::atomic.
+static_assert(std::is_same_v<Atomic<std::uint64_t>,
+                             std::atomic<std::uint64_t>>,
+              "production Atomic<T> must be exactly std::atomic<T>");
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_MC
+
+#endif  // PCCHECK_UTIL_SYNC_H_

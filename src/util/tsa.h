@@ -1,0 +1,70 @@
+#ifndef PCCHECK_UTIL_TSA_H_
+#define PCCHECK_UTIL_TSA_H_
+
+/**
+ * @file
+ * Clang Thread Safety Analysis attribute macros.
+ *
+ * Split out of util/annotations.h so the model-checker shim
+ * (src/mc/shim.h) can annotate its cooperative Mutex/MutexLock with
+ * the same capability attributes without an include cycle:
+ * annotations.h aliases the locking primitives to the shim under
+ * PCCHECK_MC, and the shim needs these macros to define them.
+ *
+ * Under non-Clang compilers every macro expands to nothing.
+ */
+
+#if defined(__clang__)
+#define PCCHECK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PCCHECK_THREAD_ANNOTATION(x)  // no-op: GCC has no TSA
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define PCCHECK_CAPABILITY(x) PCCHECK_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires on construction, releases on
+ *  destruction. */
+#define PCCHECK_SCOPED_CAPABILITY PCCHECK_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define PCCHECK_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define PCCHECK_PT_GUARDED_BY(x) PCCHECK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the capability held. */
+#define PCCHECK_REQUIRES(...) \
+    PCCHECK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capability (held on return). */
+#define PCCHECK_ACQUIRE(...) \
+    PCCHECK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that conditionally acquires; first arg is the success
+ *  return value. */
+#define PCCHECK_TRY_ACQUIRE(...) \
+    PCCHECK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define PCCHECK_RELEASE(...) \
+    PCCHECK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that must be called WITHOUT the capability held
+ *  (deadlock prevention, e.g. callbacks that re-enter). */
+#define PCCHECK_EXCLUDES(...) \
+    PCCHECK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (trusted). */
+#define PCCHECK_ASSERT_CAPABILITY(x) \
+    PCCHECK_THREAD_ANNOTATION(assert_capability(x))
+
+/** Accessor returning a reference to the capability. */
+#define PCCHECK_RETURN_CAPABILITY(x) \
+    PCCHECK_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch; every use needs a justification comment. */
+#define PCCHECK_NO_THREAD_SAFETY_ANALYSIS \
+    PCCHECK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PCCHECK_UTIL_TSA_H_

@@ -1,0 +1,25 @@
+// BAD: raw std::atomic in seam-covered code bypasses the PCCHECK_MC
+// instrumented shim — the model checker never sees these operations.
+// pccheck-lint: atomic-seam
+
+#include <atomic>
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+class EscapedCounter {
+  public:
+    void
+    bump()
+    {
+        // relaxed: fixture; the rule under test is raw-atomic-in-core.
+        value_.fetch_add(1, std::memory_order_relaxed);
+        flag_.test_and_set();
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace pccheck_lint_fixture

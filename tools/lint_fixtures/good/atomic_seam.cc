@@ -1,0 +1,25 @@
+// GOOD: seam-covered code routes its atomics through Atomic<T>
+// (util/sync.h), which resolves to std::atomic in production and to
+// the instrumented mc::Atomic under PCCHECK_MC.
+// pccheck-lint: atomic-seam
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace pccheck_lint_fixture {
+
+class SeamCounter {
+  public:
+    void
+    bump()
+    {
+        // relaxed: monitoring counter, no ordering required.
+        value_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    pccheck::Atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace pccheck_lint_fixture

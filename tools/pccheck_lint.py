@@ -11,10 +11,17 @@ enforces:
                            the same function must be separated from
                            publish_pointer() by a fence() call.
   naked-mutex              std::mutex / std::lock_guard / friends are
-                           banned outside util/annotations.h; use the
-                           capability-annotated Mutex/MutexLock/CondVar
-                           wrappers so Clang thread-safety analysis
-                           sees every locking site.
+                           banned outside util/annotations.h and the
+                           model-checker runtime; use the capability-
+                           annotated Mutex/MutexLock/CondVar wrappers
+                           so Clang thread-safety analysis sees every
+                           locking site.
+  raw-atomic-in-core       std::atomic is banned in src/core/ and in
+                           files carrying the "pccheck-lint:
+                           atomic-seam" marker; use Atomic<T> from
+                           util/sync.h so the PCCHECK_MC build can
+                           swap in the model checker's instrumented
+                           shim.
   relaxed-justification    Every std::memory_order_relaxed use needs a
                            "relaxed:" justification comment on the same
                            line or within the 3 preceding lines.
@@ -60,8 +67,14 @@ HOT_PATH_BASENAMES = {
 }
 HOT_PATH_MARKER = "pccheck-lint: hot-path"
 
-# The one place raw std primitives are allowed: the annotation shims.
-NAKED_MUTEX_ALLOWLIST_SUFFIXES = (os.path.join("util", "annotations.h"),)
+# Raw std primitives are allowed in the annotation shims and in the
+# model-checker runtime (src/mc/scheduler.* IS the substrate that the
+# mc::Mutex shim serializes onto, so it cannot use the shim itself).
+NAKED_MUTEX_ALLOWLIST_SUFFIXES = (
+    os.path.join("util", "annotations.h"),
+    os.path.join("mc", "scheduler.h"),
+    os.path.join("mc", "scheduler.cc"),
+)
 
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
@@ -154,6 +167,43 @@ def rule_naked_mutex(path: str, lines: List[str]) -> List[Finding]:
                 f"raw std::{match.group(1)} outside util/annotations.h; "
                 "use the annotated Mutex/MutexLock/CondVar so thread-"
                 "safety analysis covers this site"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# raw-atomic-in-core
+
+
+# The commit algorithm's atomics must go through pccheck::Atomic
+# (util/sync.h) so the PCCHECK_MC build can swap in the instrumented
+# mc::Atomic shim; a raw std::atomic member silently escapes the model
+# checker. Applies to src/core/ plus any file carrying the seam
+# marker (the lock-free queue headers in src/concurrent/ opt in).
+RAW_ATOMIC_RE = re.compile(r"std::(atomic\s*<|atomic_flag\b)")
+ATOMIC_SEAM_MARKER = "pccheck-lint: atomic-seam"
+# util/sync.h is the seam itself: it defines Atomic<T> AS std::atomic.
+RAW_ATOMIC_ALLOWLIST_SUFFIXES = (os.path.join("util", "sync.h"),)
+
+
+def rule_raw_atomic_in_core(path: str, lines: List[str]) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    text = "\n".join(lines)
+    if "src/core/" not in norm and ATOMIC_SEAM_MARKER not in text:
+        return []
+    if any(norm.endswith(sfx.replace(os.sep, "/"))
+           for sfx in RAW_ATOMIC_ALLOWLIST_SUFFIXES):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        if RAW_ATOMIC_RE.search(code_of(line)):
+            findings.append(Finding(
+                path, i + 1, "raw-atomic-in-core",
+                "raw std::atomic in commit-algorithm code; use "
+                "Atomic<T> from util/sync.h so the PCCHECK_MC build "
+                "can route this operation through the model checker's "
+                "instrumented shim"))
     return findings
 
 
@@ -309,6 +359,7 @@ def rule_storage_status_checked(path: str,
 RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
     "persist-fence-publish": rule_persist_fence_publish,
     "naked-mutex": rule_naked_mutex,
+    "raw-atomic-in-core": rule_raw_atomic_in_core,
     "relaxed-justification": rule_relaxed_justification,
     "trace-span-under-lock": rule_trace_span_under_lock,
     "check-addr-cas-only": rule_check_addr_cas_only,

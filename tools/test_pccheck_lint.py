@@ -20,6 +20,7 @@ ALL_RULES = sorted(pccheck_lint.RULES)
 BAD_EXPECTATIONS = {
     "fence_missing.cc": "persist-fence-publish",
     "naked_mutex.cc": "naked-mutex",
+    "raw_atomic.cc": "raw-atomic-in-core",
     "relaxed_unjustified.cc": "relaxed-justification",
     "trace_under_lock.cc": "trace-span-under-lock",
     "check_addr_store.cc": "check-addr-cas-only",
@@ -154,6 +155,51 @@ class RuleDetailTests(unittest.TestCase):
         self.assertEqual(
             self._lint_lines("naked-mutex", lines,
                              path="src/util/annotations.h"), [])
+
+    def test_naked_mutex_allowlisted_in_mc_scheduler(self):
+        lines = ["    std::mutex mu;", "    std::condition_variable cv;"]
+        self.assertEqual(
+            self._lint_lines("naked-mutex", lines,
+                             path="src/mc/scheduler.cc"), [])
+
+    def test_raw_atomic_skips_files_outside_core_without_marker(self):
+        lines = ["    std::atomic<int> x{0};"]
+        self.assertEqual(
+            self._lint_lines("raw-atomic-in-core", lines,
+                             path="src/obs/trace.h"), [])
+
+    def test_raw_atomic_flagged_in_core(self):
+        lines = ["    std::atomic<std::uint64_t> counter_{0};"]
+        self.assertEqual(
+            len(self._lint_lines("raw-atomic-in-core", lines,
+                                 path="src/core/concurrent_commit.h")), 1)
+
+    def test_raw_atomic_marker_opts_a_file_in(self):
+        lines = [
+            "// pccheck-lint: atomic-seam",
+            "    std::atomic<int> x{0};",
+        ]
+        self.assertEqual(
+            len(self._lint_lines("raw-atomic-in-core", lines,
+                                 path="src/concurrent/some_queue.h")), 1)
+
+    def test_raw_atomic_seam_alias_is_clean(self):
+        lines = [
+            "// pccheck-lint: atomic-seam",
+            "    Atomic<std::uint64_t> counter_{0};",
+        ]
+        self.assertEqual(
+            self._lint_lines("raw-atomic-in-core", lines,
+                             path="src/core/concurrent_commit.h"), [])
+
+    def test_raw_atomic_allowlists_the_seam_header(self):
+        lines = [
+            "// pccheck-lint: atomic-seam",
+            "template <typename T> using Atomic = std::atomic<T>;",
+        ]
+        self.assertEqual(
+            self._lint_lines("raw-atomic-in-core", lines,
+                             path="src/util/sync.h"), [])
 
     def test_storage_status_rule_skips_files_outside_core(self):
         lines = ["    device.fence();"]
