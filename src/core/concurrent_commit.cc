@@ -155,10 +155,25 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
             } else {
                 // The durable record still references old_slot, so it
                 // must NOT be recycled — overwriting it would destroy
-                // the only fully persisted checkpoint. The slot stays
-                // reserved (one slot of capacity lost) until a later
-                // winner publishes durably; that is the price of
-                // keeping the paper's invariant under media failure.
+                // the only fully persisted checkpoint. Roll the
+                // in-memory CHECK_ADDR back instead and recycle OUR
+                // slot: an unpublished winner that kept slots pinned
+                // would drain the free-slot pool under a dead record
+                // store and park begin() forever (the node-loss sweep
+                // hit exactly that). If a newer winner already CASed
+                // past us the rollback fails and that winner owns our
+                // slot — it frees it on its durable publish, or rolls
+                // back to us and at most one slot stays parked until
+                // storage heals.
+                std::uint64_t still_mine = mine;
+                if (check_addr_.compare_exchange_strong(
+                        still_mine, expected,
+                        std::memory_order_acq_rel)) {
+                    while (!free_slots_->try_enqueue(ticket.slot)) {
+                        clock_->sleep_for(kSlotBackoff);
+                    }
+                    result.freed_slot = ticket.slot;
+                }
                 // relaxed: monitoring counter, no ordering required.
                 publish_failures_.fetch_add(1,
                                             std::memory_order_relaxed);
@@ -197,6 +212,23 @@ ConcurrentCommit::abort(const CheckpointTicket& ticket)
     }
     // relaxed: monitoring counter, no ordering required.
     aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ConcurrentCommit::note_replicated(std::uint64_t counter)
+{
+    // Monotonic max: concurrent commits may report out of order.
+    // relaxed: advisory watermark; the durable publish it describes
+    // was already ordered by the commit path's own fences.
+    std::uint64_t seen =
+        replicated_watermark_.load(std::memory_order_relaxed);
+    while (seen < counter) {
+        // relaxed: same advisory monotonic-max loop as above.
+        if (replicated_watermark_.compare_exchange_strong(
+                seen, counter, std::memory_order_relaxed)) {
+            break;
+        }
+    }
 }
 
 void

@@ -57,9 +57,10 @@ struct CheckpointTicket {
 struct CommitResult {
     bool won = false;            ///< became the latest checkpoint
     /** Winner only: the new pointer record is durable. A winner with
-     *  published == false advanced the in-memory CHECK_ADDR but could
-     *  not persist the record (storage failure after retries); the
-     *  previously durable checkpoint remains the recovery target. */
+     *  published == false could not persist the record (storage
+     *  failure after retries); it rolls the in-memory CHECK_ADDR back
+     *  and recycles its slot, so the previously durable checkpoint
+     *  remains the recovery target and capacity is not lost. */
     bool published = false;
     std::uint32_t freed_slot = 0;
 };
@@ -127,6 +128,25 @@ class ConcurrentCommit {
      */
     std::optional<CheckpointPointer> latest_pointer() const;
 
+    /**
+     * Record that checkpoint @p counter is both durably published
+     * locally and replica-quorum-acked — the replication tier's
+     * durable-publish watermark. Monotonic max; called by the
+     * orchestrator only after ReplicationEngine::await_quorum
+     * succeeded and the winner's pointer record is durable, so the
+     * watermark never names a counter an un-acked replica would have
+     * to serve.
+     */
+    void note_replicated(std::uint64_t counter);
+
+    /** Newest counter known durable + quorum-acked (0 before any). */
+    std::uint64_t replicated_watermark() const
+    {
+        // relaxed: advisory watermark for recovery assertions and
+        // monitoring; no ordering required.
+        return replicated_watermark_.load(std::memory_order_relaxed);
+    }
+
     /** Number of checkpoints that won commit so far. */
     std::uint64_t commits_won() const
     {
@@ -180,6 +200,7 @@ class ConcurrentCommit {
     Atomic<std::uint64_t> losses_{0};
     Atomic<std::uint64_t> aborts_{0};
     Atomic<std::uint64_t> publish_failures_{0};
+    Atomic<std::uint64_t> replicated_watermark_{0};
     RetryPolicy retry_;
     std::uint64_t retry_seed_ = 1;
 };

@@ -126,9 +126,19 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
     worker_.join();
     // Drain async persists so pool tasks never outlive the staging
     // arena (members are destroyed in reverse declaration order).
-    MutexLock lock(mu_);
-    while (completed_ + aborted_ != requested_) {
-        complete_cv_.wait(mu_);
+    {
+        MutexLock lock(mu_);
+        while (completed_ + aborted_ != requested_) {
+            complete_cv_.wait(mu_);
+        }
+    }
+    // A completed checkpoint can still have replication in flight: a
+    // met quorum returns await_quorum before slow peers drain, and
+    // watermark advances are queued behind them. Those strand tasks
+    // read this object's staging buffers and release into its
+    // free-buffer queue, so they must finish before members die.
+    if (replication_ != nullptr) {
+        replication_->flush();
     }
 }
 
@@ -228,7 +238,16 @@ PCcheckCheckpointer::acquire_chunk_buffer()
 void
 PCcheckCheckpointer::release_chunk_buffer(std::uint8_t* buffer)
 {
-    PCCHECK_CHECK(free_buffers_->try_enqueue(buffer));
+    // try_enqueue can transiently report "full" while a concurrent
+    // acquirer sits between claiming a cell and releasing its sequence
+    // word (the same race concurrent_commit.cc documents for the
+    // free-slot queue; the replication tier's second releaser thread
+    // makes it easy to hit). The queue is never arithmetically full —
+    // only chunk_count_ buffers exist — so backing off until the
+    // dequeuer finishes always terminates.
+    while (!free_buffers_->try_enqueue(buffer)) {
+        clock_->sleep_for(kBufferBackoff);
+    }
 }
 
 void
@@ -253,6 +272,8 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         Atomic<std::size_t> remaining;
         /** Any chunk hit a non-retryable storage failure. */
         Atomic<bool> failed{false};
+        /** Peer-replication state; null when the tier is detached. */
+        ReplicationEngine::Handle replication;
     };
     const std::size_t chunks =
         static_cast<std::size_t>((len + chunk_bytes_ - 1) / chunk_bytes_);
@@ -268,6 +289,11 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     // relaxed: store precedes the task submissions that share the
     // counter; the pool's queue handoff publishes it.
     inflight->remaining.store(chunks + 1, std::memory_order_relaxed);
+    if (replication_ != nullptr && replication_->config().enabled() &&
+        !config_.direct_to_storage) {
+        inflight->replication =
+            replication_->begin(ticket.counter, iteration, len);
+    }
 
     auto maybe_commit = [](const std::shared_ptr<Inflight>& shared) {
         if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
@@ -284,10 +310,32 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
                 shared->self->on_checkpoint_aborted(shared->iteration);
                 return;
             }
+            // Quorum gate BEFORE the CHECK_ADDR CAS: the commit never
+            // depends on an un-acked replica, and a quorum miss still
+            // commits locally (degraded mode — the counter ticks
+            // inside await_quorum). Bounded: every replication
+            // transfer carries an ack_timeout deadline.
+            bool quorum_ok = true;
+            if (shared->replication != nullptr) {
+                quorum_ok = shared->self->replication_->await_quorum(
+                    shared->replication);
+            }
             // §4.1: the thread finishing the last chunk executes the
             // commit protocol (Listing 1 lines 16-34).
-            shared->self->commit_->commit(shared->ticket, shared->len,
-                                          shared->iteration, shared->crc);
+            const CommitResult commit_result =
+                shared->self->commit_->commit(shared->ticket, shared->len,
+                                              shared->iteration,
+                                              shared->crc);
+            if (shared->replication != nullptr && quorum_ok &&
+                commit_result.won && commit_result.published) {
+                // Ack recorded (await_quorum) + pointer record durable:
+                // only now may the replicated watermark advance, here
+                // and on every acked peer.
+                shared->self->commit_->note_replicated(
+                    shared->ticket.counter);
+                shared->self->replication_->advance_watermark(
+                    shared->replication);
+            }
             shared->self->on_checkpoint_complete(shared->iteration,
                                                  shared->request_time);
             if (Tracer::global().enabled()) {
@@ -368,6 +416,21 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
         return;
     }
 
+    // With replication attached the staged bytes have two consumers —
+    // the local persist engine and the per-peer network fan-out — so
+    // the buffer returns to the pool only when the last of the two
+    // parties releases its hold.
+    struct ChunkHold {
+        PCcheckCheckpointer* self;
+        std::uint8_t* buffer;
+        Atomic<int> parties{0};
+    };
+    const auto release_hold = [](const std::shared_ptr<ChunkHold>& hold) {
+        if (hold->parties.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            hold->self->release_chunk_buffer(hold->buffer);
+        }
+    };
+
     std::uint32_t crc = 0;
     {
         static LatencyHistogram& snap_hist =
@@ -386,14 +449,22 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
             if (config_.compute_crc) {
                 crc = crc32c(buffer, this_len, crc);
             }
+            auto hold = std::make_shared<ChunkHold>();
+            hold->self = this;
+            hold->buffer = buffer;
+            const int parties =
+                inflight->replication != nullptr ? 2 : 1;
+            // relaxed: store precedes the submissions that share the
+            // counter; the queue handoffs publish it.
+            hold->parties.store(parties, std::memory_order_relaxed);
             // ④ hand the chunk to the persist engine; the buffer
-            // returns to the pool as soon as this chunk is durable,
-            // letting the next snapshot overwrite already-persisted
-            // chunks (§3.1).
+            // returns to the pool as soon as this chunk is durable
+            // (and, when replicating, on the wire), letting the next
+            // snapshot overwrite already-persisted chunks (§3.1).
             engine_->persist_range_async(
                 ticket.slot, offset, buffer, this_len,
                 config_.writers_per_checkpoint,
-                [this, inflight, buffer,
+                [inflight, hold, release_hold,
                  maybe_commit](StorageStatus status) {
                     if (!status.ok()) {
                         // relaxed: published to the committing thread
@@ -401,9 +472,17 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
                         inflight->failed.store(
                             true, std::memory_order_relaxed);
                     }
-                    release_chunk_buffer(buffer);
+                    release_hold(hold);
                     maybe_commit(inflight);
                 });
+            if (inflight->replication != nullptr) {
+                // Pipelined per-chunk replication: the same staged
+                // bytes stream to every peer concurrently with the
+                // local persist of this chunk.
+                replication_->send_chunk(
+                    inflight->replication, offset, buffer, this_len,
+                    [hold, release_hold] { release_hold(hold); });
+            }
         }
     }
 
@@ -415,6 +494,13 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     }
     snapshot_cv_.notify_all();
 
+    if (inflight->replication != nullptr) {
+        // Every chunk is on its strand: deliver the final CRC so each
+        // peer can validate and ack. Must precede the CRC-guard drop —
+        // await_quorum in the commit path relies on the seal being
+        // queued behind the last chunk.
+        replication_->seal(inflight->replication, crc);
+    }
     inflight->crc = crc;
     maybe_commit(inflight);  // drop the CRC-guard reference
 }

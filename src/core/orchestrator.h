@@ -37,6 +37,7 @@
 #include "core/persist_engine.h"
 #include "core/slot_store.h"
 #include "gpusim/gpu.h"
+#include "remote/replication.h"
 #include "trainsim/checkpointer.h"
 #include "trainsim/training_state.h"
 #include "util/annotations.h"
@@ -70,6 +71,21 @@ class PCcheckCheckpointer final : public Checkpointer {
     /** The commit protocol (exposed for tests and tools). */
     ConcurrentCommit& commit_protocol() { return *commit_; }
     SlotStore& slot_store() { return *store_; }
+
+    /**
+     * Attach the peer-replication tier (docs/REPLICATION.md). Each
+     * staged chunk then streams to the engine's peers concurrently
+     * with the local persist, and the commit CAS waits for the
+     * engine's write quorum (await_quorum) before publishing the
+     * replicated watermark. Call before any checkpoint is requested;
+     * the engine must outlive the orchestrator. nullptr detaches.
+     * Not used on the direct_to_storage ablation path, which stages
+     * nothing in DRAM for the network to read.
+     */
+    void attach_replication(ReplicationEngine* engine)
+    {
+        replication_ = engine;
+    }
 
     /** DRAM actually allocated for staging buffers (Table 1 audit). */
     Bytes staging_bytes() const { return staging_.size(); }
@@ -109,6 +125,8 @@ class PCcheckCheckpointer final : public Checkpointer {
     std::unique_ptr<SlotStore> store_;
     std::unique_ptr<ConcurrentCommit> commit_;
     std::unique_ptr<PersistEngine> engine_;
+    /** Optional peer-replication tier (not owned; may be null). */
+    ReplicationEngine* replication_ = nullptr;
 
     /** Staging arena + free-buffer queue (step ② of Fig. 5). */
     std::vector<std::uint8_t> staging_;

@@ -28,6 +28,7 @@ recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
         result.counter = pointer.counter;
         result.data_len = pointer.data_len;
         result.load_time = watch.elapsed();
+        result.data_crc = pointer.data_crc;
         return result;
     }
     return std::nullopt;

@@ -34,6 +34,8 @@ struct RecoveryResult {
     std::uint64_t counter = 0;    ///< checkpoint counter that survived
     Bytes data_len = 0;
     Seconds load_time = 0;        ///< l in the §4.2 recovery bound
+    /** CRC-32C recorded with the checkpoint (0 = none computed). */
+    std::uint32_t data_crc = 0;
 };
 
 /**

@@ -69,6 +69,10 @@ parse_action(const std::string& spec, FaultRule* rule)
         rule->stall_seconds = parse_f64(spec.substr(eq + 1), "stall seconds");
     } else if (name == "crash") {
         rule->action = FaultAction::kCrash;
+    } else if (name == "drop") {
+        rule->action = FaultAction::kDrop;
+    } else if (name == "node_loss") {
+        rule->action = FaultAction::kNodeLoss;
     } else {
         fatal("FaultPlan: unknown action '" + name + "'");
     }
@@ -177,11 +181,19 @@ FaultInjector::set_crash_handler(std::function<void()> handler)
     crash_handler_ = std::move(handler);
 }
 
+void
+FaultInjector::set_node_loss_handler(std::function<void()> handler)
+{
+    MutexLock lock(mu_);
+    node_loss_handler_ = std::move(handler);
+}
+
 StorageStatus
 FaultInjector::on_op(const char* point)
 {
     double stall_seconds = 0.0;
     std::function<void()> crash;
+    std::function<void()> node_loss;
     StorageStatus status = StorageStatus::success();
     {
         MutexLock lock(mu_);
@@ -230,6 +242,19 @@ FaultInjector::on_op(const char* point)
                 ++crashes_;
                 crash = crash_handler_;
                 break;
+              case FaultAction::kDrop:
+                // A drop is retryable from the sender's point of view:
+                // resend after the ack deadline.
+                status = StorageStatus::transient_error(point);
+                break;
+              case FaultAction::kNodeLoss:
+                ++node_losses_;
+                node_loss = node_loss_handler_;
+                // The loss is observed by the op itself: the handler
+                // kills the device/NIC, and the killed component fails
+                // this very op (FaultyStorage dead check, SimNetwork
+                // alive check run after on_op returns).
+                break;
             }
             break;  // first firing rule wins
         }
@@ -239,6 +264,9 @@ FaultInjector::on_op(const char* point)
     // not serialize every other fault point behind this op.
     if (crash) {
         crash();
+    }
+    if (node_loss) {
+        node_loss();
     }
     if (stall_seconds > 0.0) {
         backoff_sleep(stall_seconds);
@@ -265,6 +293,13 @@ FaultInjector::crashes() const
 {
     MutexLock lock(mu_);
     return crashes_;
+}
+
+std::uint64_t
+FaultInjector::node_losses() const
+{
+    MutexLock lock(mu_);
+    return node_losses_;
 }
 
 }  // namespace pccheck

@@ -20,7 +20,13 @@
  *  - stall:     the op succeeds but takes extra wall time (tail
  *    latency / a competing flush);
  *  - crash:     fires the registered crash handler (the sweep harness
- *    snapshots the CrashSimStorage durable image there).
+ *    snapshots the CrashSimStorage durable image there);
+ *  - drop:      network: the bytes vanish in flight, the sender only
+ *    learns at the ack deadline (SimNetwork::transfer_for);
+ *  - node_loss: fires the registered node-loss handler, which
+ *    atomically kills one rank's storage (FaultyStorage::kill) and
+ *    NIC (SimNetwork::kill_node) — the full-node failure replica
+ *    recovery exists for.
  */
 
 #include <cstdint>
@@ -40,6 +46,8 @@ enum class FaultAction {
     kPermanent,  ///< return a non-retryable error
     kStall,      ///< delay the op, then let it succeed
     kCrash,      ///< invoke the crash handler, op proceeds
+    kDrop,       ///< network: bytes vanish in flight (retryable error)
+    kNodeLoss,   ///< invoke the node-loss handler, op then fails
 };
 
 /** When a rule fires, relative to the injector's global op counter. */
@@ -83,12 +91,15 @@ class FaultPlan {
      *     point:action[=arg]@trigger[,limit=N]
      *
      * with action one of `transient`, `permanent`, `stall=SECONDS`,
-     * `crash`, and trigger one of `nth=N`, `every=N`, `p=P`,
-     * `window=LO-HI`. Examples:
+     * `crash`, `drop`, `node_loss`, and trigger one of `nth=N`,
+     * `every=N`, `p=P`, `window=LO-HI`. Examples:
      *
      *     storage.persist:transient@p=0.01
      *     *:crash@nth=1234
      *     storage.write:stall=0.005@every=100,limit=3
+     *     net.transfer:drop@p=0.02
+     *     net.transfer:stall=0.001@every=10
+     *     *:node_loss@nth=900,limit=1
      *
      * Calls fatal() on malformed specs.
      */
@@ -125,6 +136,13 @@ class FaultInjector {
     void set_crash_handler(std::function<void()> handler);
 
     /**
+     * Handler invoked (outside the injector lock) by kNodeLoss rules.
+     * The harness wires it to kill one rank's storage and NIC in one
+     * step, so the loss is atomic from the checkpoint path's view.
+     */
+    void set_node_loss_handler(std::function<void()> handler);
+
+    /**
      * Evaluate one op at fault point @p point (a literal with static
      * lifetime; it is kept as error context). Returns the injected
      * error, or success — after applying any stall and firing any
@@ -138,6 +156,8 @@ class FaultInjector {
     std::uint64_t injected() const;
     /** kCrash firings. */
     std::uint64_t crashes() const;
+    /** kNodeLoss firings. */
+    std::uint64_t node_losses() const;
 
   private:
     mutable Mutex mu_;
@@ -146,8 +166,10 @@ class FaultInjector {
     std::uint64_t op_index_ PCCHECK_GUARDED_BY(mu_) = 0;
     std::uint64_t injected_ PCCHECK_GUARDED_BY(mu_) = 0;
     std::uint64_t crashes_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t node_losses_ PCCHECK_GUARDED_BY(mu_) = 0;
     std::vector<std::uint64_t> fired_ PCCHECK_GUARDED_BY(mu_);
     std::function<void()> crash_handler_ PCCHECK_GUARDED_BY(mu_);
+    std::function<void()> node_loss_handler_ PCCHECK_GUARDED_BY(mu_);
 };
 
 }  // namespace pccheck

@@ -1,5 +1,6 @@
 #include "faults/faulty_storage.h"
 
+#include <cstring>
 #include <utility>
 
 #include "util/check.h"
@@ -18,6 +19,11 @@ StorageStatus
 FaultyStorage::write(Bytes offset, const void* src, Bytes len)
 {
     StorageStatus injected = injector_->on_op(kFaultStorageWrite);
+    // Dead check runs after on_op so the op that fired node_loss is
+    // itself the first casualty (the loss is atomic in the op stream).
+    if (dead()) {
+        return StorageStatus::permanent_error(kFaultStorageDead);
+    }
     if (!injected.ok()) {
         return injected;
     }
@@ -27,6 +33,13 @@ FaultyStorage::write(Bytes offset, const void* src, Bytes len)
 void
 FaultyStorage::read(Bytes offset, void* dst, Bytes len) const
 {
+    if (dead()) {
+        // Lost media reads as zeros: no magic, no pointer records, so
+        // SlotStore::open rejects the device and recovery must fall
+        // back to the replica tier.
+        std::memset(dst, 0, len);
+        return;
+    }
     inner_->read(offset, dst, len);
 }
 
@@ -34,6 +47,9 @@ StorageStatus
 FaultyStorage::persist(Bytes offset, Bytes len)
 {
     StorageStatus injected = injector_->on_op(kFaultStoragePersist);
+    if (dead()) {
+        return StorageStatus::permanent_error(kFaultStorageDead);
+    }
     if (!injected.ok()) {
         return injected;
     }
@@ -44,10 +60,20 @@ StorageStatus
 FaultyStorage::fence()
 {
     StorageStatus injected = injector_->on_op(kFaultStorageFence);
+    if (dead()) {
+        return StorageStatus::permanent_error(kFaultStorageDead);
+    }
     if (!injected.ok()) {
         return injected;
     }
     return inner_->fence();
+}
+
+void
+FaultyStorage::kill()
+{
+    // relaxed: see dead().
+    dead_.store(true, std::memory_order_relaxed);
 }
 
 }  // namespace pccheck

@@ -15,8 +15,14 @@
  * Stacks with the other decorators, e.g.
  * FaultyStorage(ThrottledStorage(CrashSimStorage)) gives bandwidth
  * modeling + adversarial crash images + fault schedules in one device.
+ *
+ * kill() puts the decorator into dead-node mode — the storage half of
+ * the node_loss fault action: every write-path op returns a permanent
+ * error and reads see zeros, so a local CHECK_ADDR recovery scan finds
+ * nothing valid and replica-aware recovery must take over.
  */
 
+#include <atomic>
 #include <memory>
 
 #include "faults/fault.h"
@@ -28,6 +34,8 @@ namespace pccheck {
 inline constexpr const char kFaultStorageWrite[] = "storage.write";
 inline constexpr const char kFaultStoragePersist[] = "storage.persist";
 inline constexpr const char kFaultStorageFence[] = "storage.fence";
+/** Error context reported by a killed device. */
+inline constexpr const char kFaultStorageDead[] = "storage.node_loss";
 
 /** Device decorator that evaluates a FaultInjector on the write path. */
 class FaultyStorage final : public StorageDevice {
@@ -50,9 +58,24 @@ class FaultyStorage final : public StorageDevice {
     StorageDevice& inner() { return *inner_; }
     FaultInjector& injector() { return *injector_; }
 
+    /**
+     * Dead-node mode (node_loss): all future write-path ops fail with
+     * a permanent error; reads fill zeros. Irreversible — a lost
+     * node's media does not come back.
+     */
+    void kill();
+
+    bool dead() const
+    {
+        // relaxed: liveness flag; the op that raced past it behaves as
+        // if issued just before the loss.
+        return dead_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::unique_ptr<StorageDevice> inner_;
     std::shared_ptr<FaultInjector> injector_;
+    std::atomic<bool> dead_{false};
 };
 
 }  // namespace pccheck

@@ -1,7 +1,10 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
+#include "faults/fault.h"
 #include "util/check.h"
 
 namespace pccheck {
@@ -13,12 +16,14 @@ SimNetwork::SimNetwork(const NetworkConfig& config, const Clock& clock)
     egress_.reserve(config.nodes);
     ingress_.reserve(config.nodes);
     mailboxes_.reserve(config.nodes);
+    nic_up_.reserve(config.nodes);
     for (int i = 0; i < config.nodes; ++i) {
         egress_.push_back(std::make_unique<BandwidthThrottle>(
             config.nic_bytes_per_sec, clock));
         ingress_.push_back(std::make_unique<BandwidthThrottle>(
             config.nic_bytes_per_sec, clock));
         mailboxes_.push_back(std::make_unique<Mailbox>());
+        nic_up_.push_back(std::make_unique<std::atomic<bool>>(true));
     }
 }
 
@@ -47,6 +52,107 @@ SimNetwork::transfer(int from, int to, Bytes len)
     return watch.elapsed();
 }
 
+std::optional<Seconds>
+SimNetwork::transfer_for(int from, int to, Bytes len, Seconds timeout)
+{
+    check_node(from);
+    check_node(to);
+    Stopwatch watch(clock_);
+    const Seconds deadline = clock_.now() + timeout;
+    // Sleep out the remainder of the timeout: a failed transfer is
+    // only *observed* at the ack deadline, so the caller always pays
+    // exactly `timeout`, mirroring recv_msg_for's modeled-time expiry.
+    const auto expire = [this, deadline]() -> std::optional<Seconds> {
+        const Seconds remain = deadline - clock_.now();
+        if (remain > 0) {
+            clock_.sleep_for(remain);
+        }
+        return std::nullopt;
+    };
+    if (injector_ != nullptr &&
+        !injector_->on_op(kFaultNetTransfer).ok()) {
+        return expire();  // injected drop: the bytes vanish in flight
+    }
+    if (!alive(from) || !alive(to)) {
+        return expire();  // dead NIC on either end: black hole
+    }
+    clock_.sleep_for(config_.latency);
+    if (from != to) {
+        (void)egress_[from]->acquire(len);
+        (void)ingress_[to]->acquire(len);
+    }
+    if (!alive(to)) {
+        return expire();  // receiver died mid-flight (node_loss)
+    }
+    if (clock_.now() > deadline) {
+        return std::nullopt;  // delivered, but the ack deadline passed
+    }
+    // relaxed: monitoring counter, no ordering with transfers needed.
+    bytes_moved_.fetch_add(len, std::memory_order_relaxed);
+    return watch.elapsed();
+}
+
+void
+SimNetwork::set_fault_injector(std::shared_ptr<FaultInjector> injector)
+{
+    injector_ = std::move(injector);
+}
+
+void
+SimNetwork::kill_node(int node)
+{
+    check_node(node);
+    // relaxed: liveness flag only routes traffic; transfers that raced
+    // past the check complete as if the packet was already in flight.
+    nic_up_[node]->store(false, std::memory_order_relaxed);
+}
+
+void
+SimNetwork::revive_node(int node)
+{
+    check_node(node);
+    // relaxed: see kill_node.
+    nic_up_[node]->store(true, std::memory_order_relaxed);
+}
+
+bool
+SimNetwork::alive(int node) const
+{
+    check_node(node);
+    // relaxed: see kill_node.
+    return nic_up_[node]->load(std::memory_order_relaxed);
+}
+
+void
+SimNetwork::set_node_bandwidth(int node, double bytes_per_sec)
+{
+    check_node(node);
+    egress_[node]->set_bytes_per_sec(bytes_per_sec);
+    ingress_[node]->set_bytes_per_sec(bytes_per_sec);
+}
+
+Seconds
+SimNetwork::estimate_transfer(int from, int to, Bytes len) const
+{
+    check_node(from);
+    check_node(to);
+    if (!alive(from) || !alive(to)) {
+        return std::numeric_limits<Seconds>::infinity();
+    }
+    Seconds cost = config_.latency;
+    if (from != to) {
+        const double out_bps = egress_[from]->bytes_per_sec();
+        const double in_bps = ingress_[to]->bytes_per_sec();
+        if (out_bps > 0) {
+            cost += static_cast<Seconds>(len) / out_bps;
+        }
+        if (in_bps > 0) {
+            cost += static_cast<Seconds>(len) / in_bps;
+        }
+    }
+    return cost;
+}
+
 void
 SimNetwork::send_msg(int from, int to, std::uint64_t tag,
                      std::vector<std::uint8_t> payload)
@@ -54,6 +160,9 @@ SimNetwork::send_msg(int from, int to, std::uint64_t tag,
     check_node(from);
     check_node(to);
     clock_.sleep_for(config_.latency);
+    if (!alive(from) || !alive(to)) {
+        return;  // dead NIC on either end: the message is black-holed
+    }
     Mailbox& box = *mailboxes_[to];
     {
         MutexLock lock(box.mu);

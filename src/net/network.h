@@ -13,9 +13,16 @@
  *
  * Two facilities:
  *  - bulk transfer(): blocking, bandwidth-paced byte movement (Gemini
- *    checkpoint traffic, pipeline activations);
+ *    checkpoint traffic, pipeline activations); transfer_for() is the
+ *    deadline-bounded variant replication uses so a dead peer costs
+ *    the ack timeout, never a hang;
  *  - small control messages via per-node mailboxes (checkpoint-ID
  *    consensus in distributed PCcheck).
+ *
+ * Node NICs can be killed (node_loss faults) and revived; transfers
+ * touching a dead NIC black-hole their bytes. A FaultInjector can be
+ * attached to evaluate the "net.transfer" fault point on every
+ * deadline-bounded transfer (drop / stall schedules).
  */
 
 #include <atomic>
@@ -31,6 +38,11 @@
 #include "util/throttle.h"
 
 namespace pccheck {
+
+class FaultInjector;
+
+/** Fault point evaluated on every deadline-bounded transfer. */
+inline constexpr const char kFaultNetTransfer[] = "net.transfer";
 
 /** Small control-plane message. */
 struct NetMessage {
@@ -63,6 +75,54 @@ class SimNetwork {
      * latency. Returns the modeled transfer time in seconds.
      */
     Seconds transfer(int from, int to, Bytes len);
+
+    /**
+     * Deadline-bounded bulk transfer, mirroring recv_msg_for: moves
+     * @p len bytes unless the bytes cannot be delivered and acked
+     * within @p timeout (modeled) seconds. Failure modes — a dead
+     * endpoint NIC, an injected "net.transfer" drop, or bandwidth so
+     * contended the deadline passes mid-flight — all cost the caller
+     * the full timeout (the ack never arrives earlier than the
+     * deadline), never a hang. Returns the modeled transfer time on
+     * success, std::nullopt on expiry. This is the only primitive the
+     * replication tier uses to move checkpoint bytes.
+     */
+    std::optional<Seconds> transfer_for(int from, int to, Bytes len,
+                                        Seconds timeout);
+
+    /**
+     * Attach a fault injector whose "net.transfer" point is evaluated
+     * on every transfer_for() (drop / stall / transient schedules —
+     * see FaultPlan). Plain transfer() keeps its always-succeeds
+     * blocking contract and is not instrumented. Call during setup,
+     * before transfers begin.
+     */
+    void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
+    /**
+     * Kill @p node's NIC: every subsequent transfer_for touching it
+     * times out and its control messages are black-holed. Together
+     * with FaultyStorage::kill() this models the node_loss fault
+     * action (full-node failure).
+     */
+    void kill_node(int node);
+
+    /** Bring a NIC back up (a replacement machine joining as @p node). */
+    void revive_node(int node);
+
+    /** True while @p node's NIC is up. */
+    bool alive(int node) const;
+
+    /** Override one node's NIC bandwidth (egress and ingress). */
+    void set_node_bandwidth(int node, double bytes_per_sec);
+
+    /**
+     * Modeled lower-bound cost of moving @p len bytes @p from → @p to
+     * on an idle fabric: latency plus egress and ingress
+     * serialization. Infinite when either NIC is dead. Replica-aware
+     * recovery uses this to pick the fastest peer path.
+     */
+    Seconds estimate_transfer(int from, int to, Bytes len) const;
 
     /** Post a control message into @p to's mailbox (pays latency only). */
     void send_msg(int from, int to, std::uint64_t tag,
@@ -101,6 +161,10 @@ class SimNetwork {
     std::vector<std::unique_ptr<BandwidthThrottle>> egress_;
     std::vector<std::unique_ptr<BandwidthThrottle>> ingress_;
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    /** Per-node NIC liveness; heap cells because atomics don't move. */
+    std::vector<std::unique_ptr<std::atomic<bool>>> nic_up_;
+    /** Set once during setup (set_fault_injector), read by transfers. */
+    std::shared_ptr<FaultInjector> injector_;
     std::atomic<Bytes> bytes_moved_{0};
 };
 

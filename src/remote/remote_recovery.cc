@@ -1,0 +1,104 @@
+#include "remote/remote_recovery.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+namespace {
+
+/** One restorable peer image, ranked (counter desc, path cost asc). */
+struct Candidate {
+    ReplicaSnapshot snapshot;
+    const ReplicaPeer* peer = nullptr;
+    Seconds path_cost = 0;
+};
+
+}  // namespace
+
+std::optional<RemoteRecoveryResult>
+recover_latest(StorageDevice* local_device, SimNetwork& network,
+               int self_node, const std::vector<ReplicaPeer>& peers,
+               std::vector<std::uint8_t>* out, Seconds fetch_timeout,
+               const Clock& clock)
+{
+    PCCHECK_CHECK(out != nullptr);
+    Stopwatch watch(clock);
+    if (local_device != nullptr) {
+        try {
+            auto local = recover_to_buffer(*local_device, out, clock);
+            if (local.has_value()) {
+                return RemoteRecoveryResult{*local, false, -1};
+            }
+        } catch (const FatalError&) {
+            // Unformatted / wiped media (node_loss): even the arena
+            // header is gone. Fall through to the replica tier.
+        }
+    }
+    // Survey the surviving peers: newest complete counter wins; among
+    // equals, the cheapest modeled network path serves the restore.
+    std::vector<Candidate> candidates;
+    for (const ReplicaPeer& peer : peers) {
+        if (peer.store == nullptr || !network.alive(peer.node)) {
+            continue;
+        }
+        const auto snapshot = peer.store->newest_complete();
+        if (!snapshot.has_value()) {
+            continue;
+        }
+        Candidate candidate;
+        candidate.snapshot = *snapshot;
+        candidate.peer = &peer;
+        candidate.path_cost = network.estimate_transfer(
+            peer.node, self_node, snapshot->data_len);
+        candidates.push_back(candidate);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  if (a.snapshot.counter != b.snapshot.counter) {
+                      return a.snapshot.counter > b.snapshot.counter;
+                  }
+                  return a.path_cost < b.path_cost;
+              });
+    for (const Candidate& candidate : candidates) {
+        const ReplicaSnapshot& snapshot = candidate.snapshot;
+        // Pay for moving the image peer → self; a peer that dies or
+        // stalls past the deadline just means trying the next one.
+        if (!network
+                 .transfer_for(candidate.peer->node, self_node,
+                               snapshot.data_len, fetch_timeout)
+                 .has_value()) {
+            continue;
+        }
+        out->resize(snapshot.data_len);
+        if (!candidate.peer->store->read(snapshot.counter, 0, out->data(),
+                                         snapshot.data_len)) {
+            continue;  // evicted between survey and fetch
+        }
+        if (snapshot.data_crc != 0 &&
+            crc32c(out->data(), out->size()) != snapshot.data_crc) {
+            continue;  // never restore bytes that fail their CRC
+        }
+        LOG_INFO("pccheck: restored checkpoint counter "
+                 << snapshot.counter << " from replica on node "
+                 << candidate.peer->node);
+        MetricsRegistry::global()
+            .counter("pccheck.recovery.replica_restores")
+            .add();
+        RemoteRecoveryResult result;
+        result.result.iteration = snapshot.iteration;
+        result.result.counter = snapshot.counter;
+        result.result.data_len = snapshot.data_len;
+        result.result.load_time = watch.elapsed();
+        result.result.data_crc = snapshot.data_crc;
+        result.from_replica = true;
+        result.source_node = candidate.peer->node;
+        return result;
+    }
+    return std::nullopt;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,206 @@
+#ifndef PCCHECK_REMOTE_REPLICATION_H_
+#define PCCHECK_REMOTE_REPLICATION_H_
+
+/**
+ * @file
+ * Peer-replication engine — the send side of the checkpoint
+ * replication tier (docs/REPLICATION.md).
+ *
+ * Each checkpoint's staged chunks are streamed to every peer's
+ * ReplicaStore over SimNetwork::transfer_for *concurrently with* the
+ * local persist: the orchestrator hands each chunk to send_chunk()
+ * right after handing it to the PersistEngine, so network and storage
+ * pipelines overlap per chunk (Checkmate-style network tier riding
+ * FastPersist-style parallel persist).
+ *
+ * Commit gating: the orchestrator calls await_quorum() before the
+ * CHECK_ADDR CAS. A checkpoint publishes when local persist succeeds
+ * AND `quorum` replicas acked (sealed byte-complete + CRC-valid).
+ * quorum = 0 never gates; a quorum miss (dead peer, drops, DRAM
+ * rejection) still commits locally, ticks
+ * `pccheck.replication.degraded`, and skips the watermark advance —
+ * graceful degradation, mirroring the storage path.
+ *
+ * Every network send is deadline-bounded by `ack_timeout`, so a dead
+ * peer costs one timeout per in-flight transfer, never a hang.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "concurrent/thread_pool.h"
+#include "net/network.h"
+#include "remote/replica_store.h"
+#include "util/annotations.h"
+#include "util/bytes.h"
+#include "util/clock.h"
+#include "util/sync.h"
+
+namespace pccheck {
+
+/** Replication knobs (quorum = 0 reproduces local-only behaviour). */
+struct ReplicationConfig {
+    /** Peer replicas each checkpoint streams to. 0 disables the tier. */
+    int replicas = 0;
+    /** Acks required before the commit CAS may publish (<= replicas). */
+    int quorum = 0;
+    /** Network sub-chunk granularity for each staged chunk. */
+    Bytes chunk_bytes = 256 * kKiB;
+    /** Per-transfer ack deadline — the cost of a dead peer. */
+    Seconds ack_timeout = 0.05;
+
+    bool enabled() const { return replicas > 0; }
+    void validate() const;
+};
+
+/** One replication target: a peer node id plus its DRAM store. */
+struct ReplicaPeer {
+    int node = -1;
+    ReplicaStore* store = nullptr;
+};
+
+/** Streams checkpoint chunks to peer ReplicaStores; thread safe. */
+class ReplicationEngine {
+  public:
+    /**
+     * @param network fabric shared with the rest of the cluster
+     * @param self_node this (sending) node's id
+     * @param config   quorum / chunking / deadline knobs
+     * @param peers    one entry per replica; size must equal
+     *                 config.replicas
+     * @param clock    time source (deadlines, degradation accounting)
+     */
+    ReplicationEngine(SimNetwork& network, int self_node,
+                      const ReplicationConfig& config,
+                      std::vector<ReplicaPeer> peers,
+                      const Clock& clock = MonotonicClock::instance());
+
+    ~ReplicationEngine();
+
+    ReplicationEngine(const ReplicationEngine&) = delete;
+    ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+    /** One checkpoint's replication state; see begin(). */
+    class Inflight {
+      public:
+        std::uint64_t counter() const { return counter_; }
+
+      private:
+        friend class ReplicationEngine;
+        std::uint64_t counter_ = 0;
+        std::uint64_t iteration_ = 0;
+        Bytes total_len_ = 0;
+        mutable Mutex mu_;
+        CondVar cv_;
+        int acked_ PCCHECK_GUARDED_BY(mu_) = 0;
+        int resolved_ PCCHECK_GUARDED_BY(mu_) = 0;  ///< acked or failed
+        std::vector<bool> peer_failed_ PCCHECK_GUARDED_BY(mu_);
+        std::vector<bool> peer_acked_ PCCHECK_GUARDED_BY(mu_);
+    };
+    using Handle = std::shared_ptr<Inflight>;
+
+    /** Open replication for one checkpoint attempt. */
+    Handle begin(std::uint64_t counter, std::uint64_t iteration,
+                 Bytes total_len);
+
+    /**
+     * Stream one staged chunk to every peer, pipelined with the local
+     * persist of the same bytes. @p src must stay valid until @p done
+     * runs (once, after every peer has either stored or failed the
+     * chunk) — the orchestrator shares the staging buffer between this
+     * and the persist engine via a two-party refcount.
+     */
+    void send_chunk(const Handle& handle, Bytes offset, const void* src,
+                    Bytes len, std::function<void()> done);
+
+    /**
+     * Final chunk sent: deliver the checkpoint CRC. Each peer seals
+     * its version (byte-completeness + CRC check) and acks or fails.
+     * Must be called exactly once per handle, after every send_chunk.
+     */
+    void seal(const Handle& handle, std::uint32_t data_crc);
+
+    /**
+     * Block until the write quorum is met or provably missed. Bounded:
+     * every outstanding transfer carries an ack_timeout deadline.
+     * True = `quorum` peers acked; false ticks
+     * `pccheck.replication.degraded`. quorum = 0 returns true
+     * immediately. Call before the commit CAS — never publish a
+     * watermark on an un-acked replica.
+     */
+    bool await_quorum(const Handle& handle);
+
+    /**
+     * The handle's checkpoint is now locally durable (published) and
+     * quorum-acked: advance the durable-publish watermark on every
+     * peer that acked it. Only call after await_quorum(handle)
+     * returned true and the local publish succeeded.
+     */
+    void advance_watermark(const Handle& handle);
+
+    const ReplicationConfig& config() const { return config_; }
+    int self_node() const { return self_; }
+
+    /**
+     * Block until every queued peer task (chunk sends, seals,
+     * watermark advances) has drained. Only meaningful once callers
+     * stop issuing new work — tests and shutdown paths use it to make
+     * the asynchronous strand state observable.
+     */
+    void flush();
+
+    /** Checkpoints that committed without their quorum. */
+    std::uint64_t degraded() const
+    {
+        // relaxed: monitoring counter, no ordering required.
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    /** Total replica acks recorded. */
+    std::uint64_t acks() const
+    {
+        // relaxed: monitoring counter, no ordering required.
+        return acks_.load(std::memory_order_relaxed);
+    }
+
+    /** Total bytes handed to the fabric (includes dropped sends). */
+    Bytes bytes_sent() const
+    {
+        // relaxed: monitoring counter, no ordering required.
+        return bytes_sent_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Per-peer FIFO strand: chunk sends and the seal for one peer run
+     * in order on the shared pool, while peers proceed in parallel.
+     */
+    struct PeerState {
+        ReplicaPeer peer;
+        Mutex mu;
+        std::deque<std::function<void()>> queue PCCHECK_GUARDED_BY(mu);
+        bool running PCCHECK_GUARDED_BY(mu) = false;
+    };
+
+    void enqueue(PeerState& state, std::function<void()> task);
+    void drain(PeerState& state);
+    void mark_peer_failed(const Handle& handle, std::size_t index);
+    void record_ack(const Handle& handle, std::size_t index, bool acked);
+
+    SimNetwork* net_;
+    const int self_;
+    const ReplicationConfig config_;
+    const Clock* clock_;
+    std::vector<std::unique_ptr<PeerState>> peers_;
+    std::unique_ptr<ThreadPool> pool_;
+    Atomic<std::uint64_t> degraded_{0};
+    Atomic<std::uint64_t> acks_{0};
+    Atomic<Bytes> bytes_sent_{0};
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_REMOTE_REPLICATION_H_

@@ -238,10 +238,13 @@ TEST(DegradedModeTest, PermanentErrorsAbortWithoutLeakingSlots)
     }
     EXPECT_GE(stats.aborted + publish_failures, 1u);
 
-    // No slot leak: every slot not pinned by a durable publish
-    // failure is reservable again after the run drains.
+    // No slot leak: a failed publish rolls the in-memory CHECK_ADDR
+    // back and recycles the winner's slot, so after the run drains the
+    // full capacity is reservable — except when two publish failures
+    // raced and one rollback lost, which parks at most one slot until
+    // a later winner publishes durably.
     std::vector<CheckpointTicket> tickets;
-    const std::uint64_t reservable = 2 - publish_failures;
+    const std::uint64_t reservable = publish_failures > 0 ? 1 : 2;
     for (std::uint64_t i = 0; i < reservable; ++i) {
         CheckpointTicket ticket;
         ASSERT_TRUE(checkpointer.commit_protocol().try_begin(&ticket))

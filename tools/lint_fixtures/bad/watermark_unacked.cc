@@ -1,0 +1,13 @@
+// Lint fixture: broken replica-publish ordering. The commit CAS runs
+// before the quorum gate and the watermark advances with no recorded
+// ack — recovery could trust a counter no surviving replica holds.
+// Not compiled; lint input only.
+
+void
+commit_then_hope(Engine& engine, Commit& protocol, const Handle& handle)
+{
+    const CommitResult result =
+        protocol.commit(ticket, len, iteration, crc);
+    engine.advance_watermark(handle);
+    (void)engine.await_quorum(handle);
+}

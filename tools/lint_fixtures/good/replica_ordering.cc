@@ -1,0 +1,24 @@
+// Lint fixture: correct replica-publish ordering. The commit CAS sits
+// behind await_quorum(), the watermark advances only after the quorum
+// gate passed, and the peer-side strand site carries the delegated-
+// ordering justification marker. Not compiled; lint input only.
+
+void
+replicate_and_commit(Engine& engine, Commit& protocol,
+                     const Handle& handle)
+{
+    const bool quorum_ok = engine.await_quorum(handle);
+    const CommitResult result =
+        protocol.commit(ticket, len, iteration, crc);
+    if (quorum_ok && result.won && result.published) {
+        engine.advance_watermark(handle);
+    }
+}
+
+void
+peer_strand_task(Store& store, const Handle& handle)
+{
+    // quorum-acked: the owner only reports counters whose quorum ack
+    // was recorded before the durable publish reached this strand.
+    store.advance_watermark(handle.counter());
+}

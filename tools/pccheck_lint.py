@@ -33,6 +33,18 @@ enforces:
                            Listing-1 CAS; a plain .store() needs a
                            "pre-concurrency:" comment within the 5
                            preceding lines (constructor recovery path).
+  replica-publish-ordering In files that drive the peer-replication
+                           tier (they call await_quorum() or
+                           advance_watermark()), the durable-publish
+                           watermark may only advance after the quorum
+                           ack was recorded: an advance_watermark()
+                           call needs a preceding await_quorum() or
+                           record_ack() in the same function, or a
+                           "quorum-acked:" justification comment within
+                           the 5 preceding lines. Symmetrically, the
+                           commit CAS (a .commit() call) must sit
+                           behind await_quorum() so no CHECK_ADDR
+                           publish ever depends on an un-acked replica.
   storage-status-checked   In src/core/, a call to a status-returning
                            storage op (write/persist/fence/write_slot/
                            persist_slot_range/publish_pointer/...) must
@@ -354,6 +366,87 @@ def rule_storage_status_checked(path: str,
 
 
 # --------------------------------------------------------------------------
+# replica-publish-ordering
+
+
+# Call sites only: [.>] anchors a method call, so declarations and
+# definitions (ReplicationEngine::advance_watermark) never match.
+AWAIT_QUORUM_CALL_RE = re.compile(r"[.>]\s*await_quorum\s*\(")
+ADVANCE_WATERMARK_CALL_RE = re.compile(r"[.>]\s*advance_watermark\s*\(")
+COMMIT_CALL_RE = re.compile(r"[.>]\s*commit\s*\(")
+RECORD_ACK_RE = re.compile(r"\brecord_ack\s*\(")
+QUORUM_MARKER = "quorum-acked:"
+QUORUM_WINDOW = 5
+
+
+def replica_scan_satisfies(lines: List[str], i: int,
+                           patterns: List[re.Pattern]) -> bool:
+    """Walk back from line i to the enclosing function boundary looking
+    for any of @p patterns on a code line."""
+    for j in range(i - 1, -1, -1):
+        prev = lines[j]
+        if is_comment_line(prev):
+            continue
+        prev_code = code_of(prev)
+        if any(p.search(prev_code) for p in patterns):
+            return True
+        # Function boundary: a line starting at column 0 that opens a
+        # new definition ends the backward scan.
+        if prev_code and not prev_code[0].isspace() and \
+                prev_code.rstrip().endswith("{"):
+            return False
+    return False
+
+
+def rule_replica_publish_ordering(path: str,
+                                  lines: List[str]) -> List[Finding]:
+    # The rule applies only to files that drive the replication tier:
+    # they contain an await_quorum() or advance_watermark() call site
+    # on a code line (comments and declarations do not gate).
+    gated = any(
+        not is_comment_line(line) and
+        (AWAIT_QUORUM_CALL_RE.search(code_of(line)) or
+         ADVANCE_WATERMARK_CALL_RE.search(code_of(line)))
+        for line in lines)
+    if not gated:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        code = code_of(line)
+        if ADVANCE_WATERMARK_CALL_RE.search(code):
+            window = lines[max(0, i - QUORUM_WINDOW):i + 1]
+            if any(QUORUM_MARKER in w for w in window):
+                continue
+            if not replica_scan_satisfies(
+                    lines, i, [AWAIT_QUORUM_CALL_RE, RECORD_ACK_RE]):
+                findings.append(Finding(
+                    path, i + 1, "replica-publish-ordering",
+                    "advance_watermark() with no preceding "
+                    "await_quorum()/record_ack() in this function: the "
+                    "durable-publish watermark must never name a "
+                    "counter whose replica ack was not recorded; "
+                    f"justify delegated ordering with a "
+                    f"\"{QUORUM_MARKER}\" comment within "
+                    f"{QUORUM_WINDOW} lines"))
+        elif COMMIT_CALL_RE.search(code):
+            window = lines[max(0, i - QUORUM_WINDOW):i + 1]
+            if any(QUORUM_MARKER in w for w in window):
+                continue
+            if not replica_scan_satisfies(lines, i,
+                                          [AWAIT_QUORUM_CALL_RE]):
+                findings.append(Finding(
+                    path, i + 1, "replica-publish-ordering",
+                    "commit() in a replication-driving function with "
+                    "no preceding await_quorum(): the CHECK_ADDR CAS "
+                    "must not depend on an un-acked replica — gate the "
+                    "commit on the quorum (a miss still commits, "
+                    "degraded)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 
 
 RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
@@ -361,6 +454,7 @@ RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
     "naked-mutex": rule_naked_mutex,
     "raw-atomic-in-core": rule_raw_atomic_in_core,
     "relaxed-justification": rule_relaxed_justification,
+    "replica-publish-ordering": rule_replica_publish_ordering,
     "trace-span-under-lock": rule_trace_span_under_lock,
     "check-addr-cas-only": rule_check_addr_cas_only,
     "storage-status-checked": rule_storage_status_checked,

@@ -25,6 +25,7 @@ BAD_EXPECTATIONS = {
     "trace_under_lock.cc": "trace-span-under-lock",
     "check_addr_store.cc": "check-addr-cas-only",
     "status_discarded.cc": "storage-status-checked",
+    "watermark_unacked.cc": "replica-publish-ordering",
 }
 
 
@@ -218,6 +219,82 @@ class RuleDetailTests(unittest.TestCase):
         self.assertEqual(
             self._lint_lines("storage-status-checked", lines,
                              path="src/core/orchestrator.cc"), [])
+
+    def test_replica_rule_skips_files_without_replication_calls(self):
+        lines = [
+            "void f(Commit& protocol) {",
+            "    protocol.commit(ticket, len, iteration, crc);",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("replica-publish-ordering", lines), [])
+
+    def test_replica_advance_after_await_is_clean(self):
+        lines = [
+            "void f(Engine& e, const Handle& h) {",
+            "    if (e.await_quorum(h)) {",
+            "        e.advance_watermark(h);",
+            "    }",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("replica-publish-ordering", lines), [])
+
+    def test_replica_advance_after_record_ack_is_clean(self):
+        lines = [
+            "void f(Store& s, const Handle& h) {",
+            "    record_ack(h, 0, s.seal(h.counter(), crc));",
+            "    s.advance_watermark(h.counter());",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("replica-publish-ordering", lines), [])
+
+    def test_replica_marker_comment_justifies_delegated_ordering(self):
+        lines = [
+            "void f(Engine& e, Store& s, const Handle& h) {",
+            "    (void)e.await_quorum(h);",
+            "}",
+            "void g(Store& s, const Handle& h) {",
+            "    // quorum-acked: owner gated before reporting.",
+            "    s.advance_watermark(h.counter());",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("replica-publish-ordering", lines), [])
+
+    def test_replica_scan_stops_at_function_boundary(self):
+        lines = [
+            "void f(Engine& e, const Handle& h) {",
+            "    (void)e.await_quorum(h);",
+            "}",
+            "void g(Engine& e, const Handle& h) {",
+            "    e.advance_watermark(h);",
+            "}",
+        ]
+        self.assertEqual(
+            len(self._lint_lines("replica-publish-ordering", lines)), 1)
+
+    def test_replica_commit_before_await_is_flagged(self):
+        lines = [
+            "void f(Engine& e, Commit& p, const Handle& h) {",
+            "    p.commit(ticket, len, iteration, crc);",
+            "    (void)e.await_quorum(h);",
+            "}",
+        ]
+        findings = self._lint_lines("replica-publish-ordering", lines)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 2)
+
+    def test_replica_declaration_does_not_gate_or_match(self):
+        lines = [
+            "class ReplicationEngine {",
+            "    bool await_quorum(const Handle& handle);",
+            "    void advance_watermark(const Handle& handle);",
+            "};",
+        ]
+        self.assertEqual(
+            self._lint_lines("replica-publish-ordering", lines), [])
 
     def test_storage_status_continuation_line_is_clean(self):
         lines = [
