@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Delta-tier sustainability sweep (docs/DELTA_LOG.md): durability
+ * points per second — checkpoints whose bytes are durable when the
+ * call returns — for the full-image tier vs the incremental tier,
+ * across dirty fractions, under the SAME throttled storage bandwidth.
+ *
+ * Full mode: every iteration takes a complete checkpoint
+ * (request_checkpoint + finish), paying m bytes per point. Delta mode:
+ * one full checkpoint every kFullInterval iterations re-bases the
+ * chain; every other iteration seals one delta frame carrying only
+ * the chunks the sparse update dirtied (~f·m bytes). The headline
+ * number is the sustainable checkpoint frequency ratio at small f —
+ * the paper-motivating regime where most of the state is cold between
+ * checkpoints.
+ *
+ * Each configuration runs kReps times; the CSV carries every rep and
+ * BENCH_delta.json the medians (the CI perf gate's input — see
+ * docs/USAGE.md for the BENCH_*.json convention). The run fails (exit
+ * 1) if the delta tier cannot sustain >= 3x the full tier's frequency
+ * at dirty fraction <= 0.10.
+ *
+ * Usage: fig_delta [--smoke] [--trace-out=FILE]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/orchestrator.h"
+#include "core/slot_store.h"
+#include "storage/mem_storage.h"
+#include "storage/throttled_storage.h"
+#include "trainsim/training_state.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+using namespace pccheck;
+using namespace pccheck::bench;
+
+namespace {
+
+constexpr Bytes kState = 1 * kMiB;
+constexpr int kConcurrent = 2;
+constexpr int kSlots = kConcurrent + 1;
+/** Sized for a whole epoch of frames even at dirty fraction 1.0. */
+constexpr Bytes kLogBytes = 32 * kMiB;
+constexpr std::uint64_t kFullInterval = 16;
+constexpr std::uint64_t kSparseSeed = 7;
+constexpr int kReps = 3;
+
+/** Same throttled media for both tiers: ~100 MB/s writes. */
+constexpr double kWriteBps = 100e6;
+constexpr double kPersistBps = 200e6;
+constexpr double kReadBps = 1e9;
+
+struct Rig {
+    Rig()
+    {
+        GpuConfig gpu_config;
+        gpu_config.memory_bytes = 4 * kMiB;
+        gpu_config.pcie_bytes_per_sec = 0;  // isolate storage cost
+        gpu = std::make_unique<SimGpu>(gpu_config);
+        state = std::make_unique<TrainingState>(*gpu, kState);
+        device = std::make_unique<ThrottledStorage>(
+            std::make_unique<MemStorage>(
+                SlotStore::required_size(kSlots, kState, kLogBytes)),
+            kWriteBps, kPersistBps, kReadBps);
+    }
+
+    std::unique_ptr<SimGpu> gpu;
+    std::unique_ptr<TrainingState> state;
+    std::unique_ptr<ThrottledStorage> device;
+};
+
+struct Point {
+    double points_per_sec = 0;  ///< durability points per second
+    std::uint64_t delta_frames = 0;
+    std::uint64_t delta_skipped = 0;
+    Bytes delta_bytes = 0;
+};
+
+/**
+ * One measured run: @p iterations durability points, each preceded by
+ * a sparse update dirtying @p fraction of the state.
+ */
+Point
+run_mode(bool use_delta, double fraction, std::uint64_t iterations)
+{
+    Rig rig;
+    PCcheckConfig config;
+    config.concurrent_checkpoints = kConcurrent;
+    if (use_delta) {
+        config.delta_log_bytes = kLogBytes;
+    }
+    PCcheckCheckpointer checkpointer(*rig.state, *rig.device, config);
+
+    Point out;
+    Stopwatch watch;
+    for (std::uint64_t i = 1; i <= iterations; ++i) {
+        rig.state->sparse_update(i, fraction, kSparseSeed);
+        if (!use_delta || (i - 1) % kFullInterval == 0) {
+            // Full-image durability point (re-bases the chain).
+            checkpointer.request_checkpoint(i);
+            checkpointer.finish();
+        } else {
+            // Incremental durability point: durable when it returns.
+            checkpointer.request_delta(i);
+        }
+    }
+    const Seconds elapsed = watch.elapsed();
+    out.points_per_sec = static_cast<double>(iterations) / elapsed;
+    const CheckpointerStats stats = checkpointer.stats();
+    out.delta_frames = stats.delta_frames;
+    out.delta_skipped = stats.delta_skipped;
+    out.delta_bytes = stats.delta_bytes;
+    return out;
+}
+
+double
+median3(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+/** Metric key suffix for a dirty fraction: 0.10 -> "f10". */
+std::string
+fraction_key(double fraction)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "f%02d",
+                  static_cast<int>(fraction * 100 + 0.5));
+    return buf;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options = parse_bench_args(argc, argv);
+    set_log_level(LogLevel::kWarn);
+    const std::uint64_t iterations = options.smoke ? 8 : 24;
+    const std::vector<double> fractions =
+        options.smoke ? std::vector<double>{0.10, 1.0}
+                      : std::vector<double>{0.01, 0.05, 0.10, 0.25,
+                                            0.50, 1.0};
+
+    CsvWriter csv("fig_delta.csv",
+                  {"dirty_fraction", "mode", "rep", "points_per_sec",
+                   "delta_frames", "delta_skipped", "delta_mib"});
+    announce("fig_delta", csv.path());
+
+    std::printf("=== Delta tier: durability points/sec vs full-image, "
+                "same %.0f MB/s media ===\n", kWriteBps / 1e6);
+    std::printf("%-10s %14s %14s %10s\n", "fraction", "full pts/s",
+                "delta pts/s", "speedup");
+
+    std::vector<std::pair<std::string, double>> metrics;
+    bool ok = true;
+    for (const double fraction : fractions) {
+        std::vector<double> full_reps;
+        std::vector<double> delta_reps;
+        for (int rep = 0; rep < kReps; ++rep) {
+            const Point full = run_mode(false, fraction, iterations);
+            const Point delta = run_mode(true, fraction, iterations);
+            PCCHECK_CHECK_MSG(delta.delta_skipped == 0,
+                              "delta log too small for the sweep");
+            full_reps.push_back(full.points_per_sec);
+            delta_reps.push_back(delta.points_per_sec);
+            csv.row({std::to_string(fraction), "full",
+                     std::to_string(rep),
+                     std::to_string(full.points_per_sec), "0", "0",
+                     "0"});
+            csv.row({std::to_string(fraction), "delta",
+                     std::to_string(rep),
+                     std::to_string(delta.points_per_sec),
+                     std::to_string(delta.delta_frames),
+                     std::to_string(delta.delta_skipped),
+                     std::to_string(static_cast<double>(
+                                        delta.delta_bytes) /
+                                    static_cast<double>(kMiB))});
+        }
+        const double full_med = median3(full_reps);
+        const double delta_med = median3(delta_reps);
+        const double speedup = full_med > 0 ? delta_med / full_med : 0;
+        std::printf("%-10.2f %14.2f %14.2f %9.2fx\n", fraction,
+                    full_med, delta_med, speedup);
+        const std::string key = fraction_key(fraction);
+        metrics.emplace_back("full_points_per_sec_" + key, full_med);
+        metrics.emplace_back("delta_points_per_sec_" + key, delta_med);
+        metrics.emplace_back("delta_speedup_" + key, speedup);
+        // The tentpole claim: >= 3x sustainable checkpoint frequency
+        // at a <= 10% dirty fraction under the same bandwidth.
+        if (fraction <= 0.10 + 1e-9 && speedup < 3.0) {
+            std::printf("FAIL: speedup %.2fx < 3x at fraction %.2f\n",
+                        speedup, fraction);
+            ok = false;
+        }
+    }
+
+    // BENCH_delta.json: the medians, in the normalized metrics schema
+    // tools/bench_compare.py consumes (docs/USAGE.md).
+    FILE* json = std::fopen("BENCH_delta.json", "w");
+    PCCHECK_CHECK(json != nullptr);
+    std::fprintf(json, "{\n  \"bench\": \"fig_delta\",\n");
+    std::fprintf(json, "  \"reps\": %d,\n  \"metrics\": {\n", kReps);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(json, "    \"%s\": %.6f%s\n",
+                     metrics[i].first.c_str(), metrics[i].second,
+                     i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(json, "  }\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_delta.json (%zu metrics, median of %d)\n",
+                metrics.size(), kReps);
+
+    finish_observability(options);
+    return ok ? 0 : 1;
+}

@@ -21,6 +21,17 @@ PCcheckConfig::validate() const
     if (per_writer_bytes_per_sec < 0) {
         fatal("PCcheckConfig: per_writer_bytes_per_sec must be >= 0");
     }
+    if (delta_log_bytes > 0) {
+        if (delta_chunk_bytes == 0) {
+            fatal("PCcheckConfig: delta_chunk_bytes must be > 0");
+        }
+        if (region_offset != 0 || region_bytes != 0) {
+            // Frame chunk offsets are absolute state offsets; sharded
+            // orchestrators would need per-shard logs (ROADMAP).
+            fatal("PCcheckConfig: delta tier requires the whole state "
+                  "(no shard region)");
+        }
+    }
 }
 
 std::string
@@ -33,6 +44,9 @@ PCcheckConfig::to_string() const
         oss << " pipelined(" << format_bytes(chunk_bytes) << ")";
     } else {
         oss << " non-pipelined";
+    }
+    if (delta_log_bytes > 0) {
+        oss << " delta(" << format_bytes(delta_log_bytes) << ")";
     }
     return oss.str();
 }

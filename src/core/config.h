@@ -63,6 +63,21 @@ struct PCcheckConfig {
      */
     bool compute_crc = true;
     /**
+     * Delta-log region size for the incremental checkpoint tier
+     * (docs/DELTA_LOG.md). 0 disables the tier: request_delta() is a
+     * no-op and the device carries only the full-image slot layout.
+     * When > 0 the device must additionally hold this many bytes, and
+     * the orchestrator must own the whole state (no shard region).
+     */
+    Bytes delta_log_bytes = 0;
+    /**
+     * Dirty-tracking granularity: the update path marks, and each
+     * delta frame carries, chunks of this size. Defaults to the
+     * TrainingState marker stride so one sparse update dirties
+     * exactly one chunk.
+     */
+    Bytes delta_chunk_bytes = 4096;
+    /**
      * Transient-storage-error retry schedule (persist stripes and the
      * commit-time pointer publish). Defaults keep checkpoints alive
      * through sporadic EIO-class failures; a permanent error or

@@ -50,29 +50,36 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
 
     const auto slot_count =
         static_cast<std::uint32_t>(config_.concurrent_checkpoints + 1);
+    // The delta region rides behind the slot arena; its expected size
+    // is part of the geometry a reopen must match.
+    const Bytes expected_delta =
+        SlotStore::required_size(slot_count, m, config_.delta_log_bytes) -
+        SlotStore::required_size(slot_count, m);
     // Durability across restarts (invariant I1): never wipe an
     // existing checkpoint. Reopen a compatible layout in place; when
-    // the geometry changed (different N or m), salvage the latest
-    // valid checkpoint, reformat, and republish it before any new
-    // checkpoint can start.
+    // the geometry changed (different N, m, or delta capacity),
+    // salvage the latest valid checkpoint — delta frames replayed on
+    // top (recover_latest) — reformat, and republish it before any
+    // new checkpoint can start.
     bool opened = false;
     std::vector<std::uint8_t> salvaged;
     std::optional<RecoveryResult> salvage_info;
     try {
         SlotStore existing = SlotStore::open(device);
         if (existing.slot_count() == slot_count &&
-            existing.slot_size() == m) {
+            existing.slot_size() == m &&
+            existing.delta_bytes() == expected_delta) {
             store_ = std::make_unique<SlotStore>(existing);
             opened = true;
         } else {
-            salvage_info = recover_to_buffer(device, &salvaged, clock);
+            salvage_info = recover_latest(device, &salvaged, clock);
         }
     } catch (const FatalError&) {
         // Unformatted device: fresh format below.
     }
     if (!opened) {
-        store_ = std::make_unique<SlotStore>(
-            SlotStore::format(device, slot_count, m));
+        store_ = std::make_unique<SlotStore>(SlotStore::format(
+            device, slot_count, m, config_.delta_log_bytes));
         if (salvage_info.has_value() && salvaged.size() <= m) {
             // Salvage runs before training starts; a device that fails
             // here cannot host checkpoints at all, so escalate.
@@ -102,6 +109,17 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
     engine_config.retry_seed = config_.retry_seed;
     engine_ = std::make_unique<PersistEngine>(*store_, engine_config,
                                               clock);
+
+    if (store_->delta_bytes() > 0) {
+        tracker_ = std::make_unique<DirtyTracker>(
+            region_bytes_, config_.delta_chunk_bytes);
+        delta_log_ = std::make_unique<DeltaLog>(
+            device, DeltaRegion{store_->delta_offset(),
+                                store_->delta_bytes()});
+        // From here every stamp/sparse_update feeds the tracker; the
+        // destructor detaches it (the state outlives this object).
+        state_->attach_dirty_tracker(tracker_.get());
+    }
 
     staging_.resize(chunk_count_ * chunk_bytes_);
     free_buffers_ =
@@ -139,6 +157,9 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
     // free-buffer queue, so they must finish before members die.
     if (replication_ != nullptr) {
         replication_->flush();
+    }
+    if (tracker_ != nullptr) {
+        state_->attach_dirty_tracker(nullptr);
     }
 }
 
@@ -178,6 +199,121 @@ PCcheckCheckpointer::request_checkpoint(std::uint64_t iteration)
 }
 
 void
+PCcheckCheckpointer::note_delta_skipped(std::uint64_t iteration,
+                                        const char* reason)
+{
+    LOG_WARN("pccheck: skipped delta frame for iteration " << iteration
+                                                           << ": "
+                                                           << reason);
+    {
+        MutexLock lock(mu_);
+        ++delta_skipped_;
+    }
+    MetricsRegistry::global().counter("pccheck.delta.skipped").add();
+}
+
+void
+PCcheckCheckpointer::request_delta(std::uint64_t iteration)
+{
+    if (delta_log_ == nullptr) {
+        return;  // tier disabled (config.delta_log_bytes == 0)
+    }
+    static LatencyHistogram& delta_hist =
+        MetricsRegistry::global().histogram(
+            "pccheck.stage.delta_append");
+    StageSpan span("checkpoint.delta", delta_hist, "iteration",
+                   iteration);
+
+    // The chain must hang off a DURABLE full checkpoint. Prefer the
+    // newest pointer this process published (its write+persist+fence
+    // completed — the only safe epoch-GC gate; the in-memory
+    // CHECK_ADDR can transiently lead durable state). On a freshly
+    // reopened device, before anything publishes, adopt the pointer
+    // recovery itself would select from media.
+    std::optional<CheckpointPointer> base = store_->last_published();
+    if (!base.has_value() && delta_log_->epoch_base() == 0) {
+        base = store_->recover_pointer();
+    }
+    std::vector<std::uint32_t> chunks;
+    if (base.has_value() &&
+        base->counter != delta_log_->epoch_base()) {
+        // A newer full checkpoint is durably published: this reset IS
+        // the log GC (docs/DELTA_LOG.md), and the candidate set opened
+        // at that checkpoint's begin() — every chunk dirtied after its
+        // snapshot — seeds the new chain. An unknown counter (reopened
+        // device) degrades to all chunks: the first frame is then a
+        // full delta, which is restart-safe.
+        chunks = tracker_->adopt_base(base->counter);
+        delta_log_->reset_epoch(base->counter, base->iteration);
+    } else if (delta_log_->epoch_base() != 0) {
+        chunks = tracker_->collect_frame();
+    } else {
+        note_delta_skipped(iteration, "no durable full checkpoint");
+        return;
+    }
+
+    std::vector<DeltaChunk> refs;
+    refs.reserve(chunks.size());
+    Bytes data_bytes = 0;
+    for (const std::uint32_t c : chunks) {
+        refs.push_back(DeltaChunk{tracker_->chunk_offset(c),
+                                  tracker_->chunk_len(c)});
+        data_bytes += tracker_->chunk_len(c);
+    }
+    const Bytes need = DeltaLog::frame_bytes(
+        static_cast<std::uint32_t>(refs.size()), data_bytes);
+    if (iteration <= delta_log_->last_iteration()) {
+        // Direct-API misuse guard (the training loop never requests a
+        // delta at or before the chain tip): keep the chunks dirty for
+        // the next frame instead of corrupting monotonicity.
+        tracker_->restore(chunks);
+        note_delta_skipped(iteration, "iteration not past chain tip");
+        return;
+    }
+    if (need > delta_log_->free_bytes()) {
+        tracker_->restore(chunks);
+        note_delta_skipped(iteration, "delta log full");
+        return;
+    }
+
+    // Stage the dirty chunk bytes GPU→host, concatenated in ref order.
+    delta_scratch_.resize(data_bytes);
+    const DevPtr src = state_->device_ptr();
+    Bytes off = 0;
+    for (const DeltaChunk& ref : refs) {
+        state_->gpu().copy_to_host(delta_scratch_.data() + off, src,
+                                   region_offset_ + ref.offset, ref.len,
+                                   config_.pinned_memory);
+        off += ref.len;
+    }
+
+    const Backoff backoff(config_.storage_retry,
+                          config_.retry_seed ^ (iteration * 2 + 1));
+    const StorageStatus status = retry_storage_op(
+        [this, iteration, &refs] {
+            return delta_log_->append(iteration, refs,
+                                      delta_scratch_.data());
+        },
+        backoff);
+    if (!status.ok()) {
+        // The frame never sealed (append leaves the head in place on
+        // failure): re-mark the chunks so no update drops out of the
+        // chain, and surface the skip.
+        tracker_->restore(chunks);
+        note_delta_skipped(iteration, "storage failure");
+        return;
+    }
+    {
+        MutexLock lock(mu_);
+        ++delta_frames_;
+        delta_bytes_ += data_bytes;
+    }
+    MetricsRegistry::global().counter("pccheck.delta.frames").add();
+    MetricsRegistry::global().counter("pccheck.delta.bytes").add(
+        data_bytes);
+}
+
+void
 PCcheckCheckpointer::finish()
 {
     MutexLock lock(mu_);
@@ -196,6 +332,9 @@ PCcheckCheckpointer::stats() const
     stats.aborted = aborted_;
     stats.stall_time = stall_time_;
     stats.checkpoint_latency = latency_;
+    stats.delta_frames = delta_frames_;
+    stats.delta_bytes = delta_bytes_;
+    stats.delta_skipped = delta_skipped_;
     return stats;
 }
 
@@ -257,6 +396,13 @@ PCcheckCheckpointer::run_snapshot(const Request& request)
     // reserve a slot. Blocks while N checkpoints are in flight, which
     // stalls training through before_update — the §3.2 backpressure.
     const CheckpointTicket ticket = commit_->begin();
+    if (tracker_ != nullptr) {
+        // Every chunk dirtied from here on is NOT captured by this
+        // snapshot: open a candidate set so that, should the delta
+        // tier later re-base onto this checkpoint, exactly those
+        // chunks make up the first frame (docs/DELTA_LOG.md).
+        tracker_->begin_candidate(ticket.counter);
+    }
     const Bytes len = region_bytes_;
     const DevPtr src = state_->device_ptr();
     const std::uint64_t iteration = state_->iteration();

@@ -36,6 +36,8 @@
 #include "core/config.h"
 #include "core/persist_engine.h"
 #include "core/slot_store.h"
+#include "delta/delta_log.h"
+#include "delta/dirty_tracker.h"
 #include "gpusim/gpu.h"
 #include "remote/replication.h"
 #include "trainsim/checkpointer.h"
@@ -65,12 +67,28 @@ class PCcheckCheckpointer final : public Checkpointer {
     std::string name() const override { return "pccheck"; }
     void before_update(std::uint64_t iteration) override;
     void request_checkpoint(std::uint64_t iteration) override;
+
+    /**
+     * Incremental checkpoint tier (docs/DELTA_LOG.md): synchronously
+     * seal one delta frame holding every chunk dirtied since the last
+     * frame. Requires config.delta_log_bytes > 0 (no-op otherwise)
+     * and a durable full checkpoint to base the chain on (requests
+     * before the first publish are counted as skipped). Runs on the
+     * caller's thread — WAL semantics: when this returns, the frame
+     * is durable or the request was skipped, never half-appended.
+     */
+    void request_delta(std::uint64_t iteration) override;
+
     void finish() override;
     CheckpointerStats stats() const override;
 
     /** The commit protocol (exposed for tests and tools). */
     ConcurrentCommit& commit_protocol() { return *commit_; }
     SlotStore& slot_store() { return *store_; }
+    /** Delta appender; nullptr when the tier is disabled. */
+    DeltaLog* delta_log() { return delta_log_.get(); }
+    /** Dirty tracker; nullptr when the tier is disabled. */
+    DirtyTracker* dirty_tracker() { return tracker_.get(); }
 
     /**
      * Attach the peer-replication tier (docs/REPLICATION.md). Each
@@ -89,11 +107,13 @@ class PCcheckCheckpointer final : public Checkpointer {
 
     /** DRAM actually allocated for staging buffers (Table 1 audit). */
     Bytes staging_bytes() const { return staging_.size(); }
-    /** Device bytes the slot layout occupies (Table 1 audit). */
+    /** Device bytes the layout occupies, delta region included
+     *  (Table 1 audit). */
     Bytes storage_bytes() const
     {
         return SlotStore::required_size(store_->slot_count(),
-                                        store_->slot_size());
+                                        store_->slot_size()) +
+               store_->delta_bytes();
     }
 
   private:
@@ -106,6 +126,7 @@ class PCcheckCheckpointer final : public Checkpointer {
 
     void snapshot_worker();
     void run_snapshot(const Request& request);
+    void note_delta_skipped(std::uint64_t iteration, const char* reason);
     std::uint8_t* acquire_chunk_buffer();
     void release_chunk_buffer(std::uint8_t* buffer);
     void on_checkpoint_complete(std::uint64_t iteration,
@@ -128,6 +149,14 @@ class PCcheckCheckpointer final : public Checkpointer {
     /** Optional peer-replication tier (not owned; may be null). */
     ReplicationEngine* replication_ = nullptr;
 
+    /** Incremental tier (null unless config.delta_log_bytes > 0).
+     *  request_delta runs on the training thread only; the tracker is
+     *  internally synchronized against the snapshot worker. */
+    std::unique_ptr<DirtyTracker> tracker_;
+    std::unique_ptr<DeltaLog> delta_log_;
+    /** Host staging for the dirty chunks of one frame. */
+    std::vector<std::uint8_t> delta_scratch_;
+
     /** Staging arena + free-buffer queue (step ② of Fig. 5). */
     std::vector<std::uint8_t> staging_;
     std::unique_ptr<MpmcBoundedQueue<std::uint8_t*>> free_buffers_;
@@ -146,6 +175,9 @@ class PCcheckCheckpointer final : public Checkpointer {
     std::uint64_t aborted_ PCCHECK_GUARDED_BY(mu_) = 0;
     Seconds stall_time_ PCCHECK_GUARDED_BY(mu_) = 0;
     RunningStat latency_ PCCHECK_GUARDED_BY(mu_);
+    std::uint64_t delta_frames_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t delta_bytes_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t delta_skipped_ PCCHECK_GUARDED_BY(mu_) = 0;
 
     std::thread worker_;
 };

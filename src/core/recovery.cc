@@ -34,6 +34,44 @@ recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
     return std::nullopt;
 }
 
+std::optional<RecoveryResult>
+recover_latest(StorageDevice& device, std::vector<std::uint8_t>* out,
+               const Clock& clock,
+               const std::function<bool(const DeltaFrameInfo&)>& observer)
+{
+    PCCHECK_CHECK(out != nullptr);
+    Stopwatch watch(clock);
+    SlotStore store = SlotStore::open(device);
+    for (const CheckpointPointer& pointer : store.candidate_pointers()) {
+        out->resize(pointer.data_len);
+        store.read_slot(pointer.slot, 0, out->data(), pointer.data_len);
+        if (pointer.data_crc != 0 &&
+            crc32c(out->data(), out->size()) != pointer.data_crc) {
+            continue;  // slot recycled under a stale record; fall back
+        }
+        RecoveryResult result;
+        result.counter = pointer.counter;
+        result.data_len = pointer.data_len;
+        result.data_crc = pointer.data_crc;
+        // Replay the frame chain based on this checkpoint. The replay
+        // stops by itself at the first torn / out-of-order frame, so
+        // a crash mid-append only costs the in-flight frame.
+        const DeltaRegion region{store.delta_offset(),
+                                 store.delta_bytes()};
+        const DeltaReplayStats replay =
+            delta_replay(device, region, pointer.counter,
+                         pointer.iteration, out->data(), out->size(),
+                         observer);
+        result.iteration = replay.frames_applied > 0 ? replay.iteration
+                                                     : pointer.iteration;
+        result.delta_frames = replay.frames_applied;
+        result.delta_seq = replay.last_seq;
+        result.load_time = watch.elapsed();
+        return result;
+    }
+    return std::nullopt;
+}
+
 #if !defined(PCCHECK_MC)
 
 std::optional<RecoveryResult>
@@ -62,6 +100,38 @@ recover_into_state(StorageDevice& device, TrainingState& state, bool pinned,
     state.gpu().copy_to_device(state.device_ptr(), 0, buffer.data(),
                                buffer.size(), pinned);
     state.stamp(result->iteration);
+    result->load_time = watch.elapsed();
+    return result;
+}
+
+std::optional<RecoveryResult>
+recover_latest_into_state(StorageDevice& device, TrainingState& state,
+                          bool pinned, const Clock& clock)
+{
+    Stopwatch watch(clock);
+    std::vector<std::uint8_t> buffer;
+    auto result = recover_latest(device, &buffer, clock);
+    if (!result.has_value()) {
+        return std::nullopt;
+    }
+    PCCHECK_CHECK_MSG(buffer.size() <= state.size(),
+                      "checkpoint larger than training state: "
+                          << buffer.size() << " > " << state.size());
+    // Sparse oracle: every marker must sit at its offset, and none may
+    // exceed the recovered iteration — frames legitimately leave
+    // untouched chunks at older iterations (and an empty frame
+    // advances the iteration without touching any marker), but nothing
+    // may be newer than what the manifest + sealed frames claim.
+    const auto stamped =
+        TrainingState::verify_buffer_sparse(buffer.data(), buffer.size());
+    if (!stamped.has_value()) {
+        return std::nullopt;
+    }
+    PCCHECK_CHECK_MSG(*stamped <= result->iteration,
+                      "state stamped " << *stamped
+                                       << " is newer than recovered "
+                                       << result->iteration);
+    state.restore(buffer.data(), buffer.size(), result->iteration, pinned);
     result->load_time = watch.elapsed();
     return result;
 }

@@ -9,9 +9,11 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "delta/delta_log.h"
 #include "storage/device.h"
 #include "util/clock.h"
 
@@ -36,6 +38,12 @@ struct RecoveryResult {
     Seconds load_time = 0;        ///< l in the §4.2 recovery bound
     /** CRC-32C recorded with the checkpoint (0 = none computed). */
     std::uint32_t data_crc = 0;
+    /** Delta frames replayed on top of the full image (recover_latest
+     *  only; docs/DELTA_LOG.md). iteration then reflects the last
+     *  applied frame, not the base checkpoint. */
+    std::uint64_t delta_frames = 0;
+    /** Sequence number of the last applied frame (0 = none). */
+    std::uint64_t delta_seq = 0;
 };
 
 /**
@@ -47,11 +55,35 @@ std::optional<RecoveryResult> recover_to_buffer(
     const Clock& clock = MonotonicClock::instance());
 
 /**
+ * Three-tier recovery (docs/DELTA_LOG.md): map the latest valid full
+ * checkpoint like recover_to_buffer, then replay its delta-frame
+ * chain in sequence order on top, stopping cleanly at the first torn
+ * or CRC-failing frame. On a device without a delta region this is
+ * exactly recover_to_buffer. @p observer (tests only) sees each
+ * applied frame and may stop the replay early.
+ * @return std::nullopt when the device holds no valid checkpoint.
+ */
+std::optional<RecoveryResult> recover_latest(
+    StorageDevice& device, std::vector<std::uint8_t>* out,
+    const Clock& clock = MonotonicClock::instance(),
+    const std::function<bool(const DeltaFrameInfo&)>& observer = {});
+
+/**
  * Full recovery: load the latest valid checkpoint into @p state's GPU
  * memory (paying the PCIe H2D transfer) and re-mark the state's
  * iteration. @return std::nullopt when no valid checkpoint exists.
  */
 std::optional<RecoveryResult> recover_into_state(
+    StorageDevice& device, TrainingState& state, bool pinned = true,
+    const Clock& clock = MonotonicClock::instance());
+
+/**
+ * Three-tier variant of recover_into_state: base image + delta
+ * replay, validated with the sparse stamp oracle (markers must be
+ * well-placed and no newer than the recovered iteration — delta
+ * frames legitimately leave chunks stamped at older iterations).
+ */
+std::optional<RecoveryResult> recover_latest_into_state(
     StorageDevice& device, TrainingState& state, bool pinned = true,
     const Clock& clock = MonotonicClock::instance());
 

@@ -24,7 +24,12 @@ struct DeviceHeader {
     std::uint32_t slot_count;
     std::uint64_t slot_size;
     std::uint64_t data_offset;
-    std::uint8_t pad[32];
+    /** Delta-log region (docs/DELTA_LOG.md); both zero on devices
+     *  formatted without one — including all pre-delta-tier devices,
+     *  whose pad bytes were written as zero, so version stays 1. */
+    std::uint64_t delta_offset;
+    std::uint64_t delta_len;
+    std::uint8_t pad[16];
 };
 static_assert(sizeof(DeviceHeader) == 64);
 
@@ -49,18 +54,21 @@ record_crc(const RawRecord& rec)
 }  // namespace
 
 SlotStore::SlotStore(StorageDevice& device, std::uint32_t slot_count,
-                     Bytes slot_size)
+                     Bytes slot_size, Bytes delta_offset, Bytes delta_bytes)
     : device_(&device), slot_count_(slot_count), slot_size_(slot_size),
-      data_offset_(kDataAlign),
+      data_offset_(kDataAlign), delta_offset_(delta_offset),
+      delta_bytes_(delta_bytes),
       publish_(std::make_shared<PublishState>())
 {
 }
 
 Bytes
-SlotStore::required_size(std::uint32_t slot_count, Bytes slot_size)
+SlotStore::required_size(std::uint32_t slot_count, Bytes slot_size,
+                         Bytes delta_log_bytes)
 {
-    return kDataAlign + static_cast<Bytes>(slot_count) *
-                            align_up(slot_size, kDataAlign);
+    return kDataAlign +
+           static_cast<Bytes>(slot_count) * align_up(slot_size, kDataAlign) +
+           align_up(delta_log_bytes, kDataAlign);
 }
 
 Bytes
@@ -71,20 +79,27 @@ SlotStore::record_offset(int index)
 
 SlotStore
 SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
-                  Bytes slot_size)
+                  Bytes slot_size, Bytes delta_log_bytes)
 {
     PCCHECK_CHECK(slot_count >= 2);  // N >= 1 concurrent + 1 guaranteed
     PCCHECK_CHECK(slot_size > 0);
-    if (device.size() < required_size(slot_count, slot_size)) {
+    const Bytes needed =
+        required_size(slot_count, slot_size, delta_log_bytes);
+    if (device.size() < needed) {
         fatal("SlotStore: device too small: " + format_bytes(device.size()) +
-              " < " + format_bytes(required_size(slot_count, slot_size)));
+              " < " + format_bytes(needed));
     }
+    const Bytes delta_bytes = align_up(delta_log_bytes, kDataAlign);
+    const Bytes delta_offset =
+        delta_bytes > 0 ? required_size(slot_count, slot_size) : 0;
     DeviceHeader header{};
     header.magic = kMagic;
     header.version = kVersion;
     header.slot_count = slot_count;
     header.slot_size = slot_size;
     header.data_offset = kDataAlign;
+    header.delta_offset = delta_offset;
+    header.delta_len = delta_bytes;
     // Formatting is a setup path: a device that cannot even hold its
     // header is unusable, so errors escalate instead of retrying.
     PCCHECK_MUST(device.write(kHeaderOffset, &header, sizeof(header)));
@@ -97,7 +112,17 @@ SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
 
     PCCHECK_MUST(device.persist(0, kDataAlign));
     PCCHECK_MUST(device.fence());
-    return SlotStore(device, slot_count, slot_size);
+    if (delta_bytes > 0) {
+        // Kill any previous delta chain: zero the first frame header
+        // so replay of the fresh layout stops immediately.
+        const std::uint8_t dead_frame[64] = {};
+        PCCHECK_MUST(
+            device.write(delta_offset, dead_frame, sizeof(dead_frame)));
+        PCCHECK_MUST(device.persist(delta_offset, sizeof(dead_frame)));
+        PCCHECK_MUST(device.fence());
+    }
+    return SlotStore(device, slot_count, slot_size, delta_offset,
+                     delta_bytes);
 }
 
 SlotStore
@@ -118,7 +143,15 @@ SlotStore::open(StorageDevice& device)
         required_size(header.slot_count, header.slot_size)) {
         fatal("SlotStore: header inconsistent with device size");
     }
-    return SlotStore(device, header.slot_count, header.slot_size);
+    if (header.delta_len > 0 &&
+        (header.delta_offset <
+             required_size(header.slot_count, header.slot_size) ||
+         header.delta_offset + header.delta_len > device.size())) {
+        fatal("SlotStore: delta region inconsistent with device size");
+    }
+    return SlotStore(device, header.slot_count, header.slot_size,
+                     header.delta_len > 0 ? header.delta_offset : 0,
+                     header.delta_len);
 }
 
 Bytes
@@ -190,7 +223,18 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     }
     publish_->any = true;
     publish_->last_counter = ptr.counter;
+    publish_->last_ptr = ptr;
     return StorageStatus::success();
+}
+
+std::optional<CheckpointPointer>
+SlotStore::last_published() const
+{
+    MutexLock lock(publish_->mu);
+    if (!publish_->any) {
+        return std::nullopt;
+    }
+    return publish_->last_ptr;
 }
 
 std::vector<CheckpointPointer>

@@ -7,11 +7,15 @@
  *
  * A storage device is formatted as:
  *
- *   [ DeviceHeader | PointerRecord[2] | slot 0 | slot 1 | ... | slot N ]
+ *   [ DeviceHeader | PointerRecord[2] | slot 0 | ... | slot N | delta ]
  *
  * giving N+1 slots of slot_size bytes each — §3.2: "(N+1)·m to allow N
  * concurrent checkpoints and guarantee at least one valid checkpoint
- * at any time".
+ * at any time" — optionally followed by the delta-log region of the
+ * incremental checkpoint tier (docs/DELTA_LOG.md). The header records
+ * the region's offset and length; a zero length (including every
+ * device formatted before the delta tier existed) means no delta
+ * region.
  *
  * The persistent CHECK_ADDR is represented by TWO alternating
  * PointerRecords protected by record checksums (superblock-pair
@@ -47,11 +51,14 @@ struct CheckpointPointer {
 class SlotStore {
   public:
     /**
-     * Format @p device with @p slot_count slots of @p slot_size bytes.
-     * Pre-existing content is discarded. @p device must outlive this.
+     * Format @p device with @p slot_count slots of @p slot_size bytes,
+     * plus an optional delta-log region of @p delta_log_bytes.
+     * Pre-existing content is discarded (including any previous delta
+     * chain: the region's first frame header is invalidated).
+     * @p device must outlive this.
      */
     static SlotStore format(StorageDevice& device, std::uint32_t slot_count,
-                            Bytes slot_size);
+                            Bytes slot_size, Bytes delta_log_bytes = 0);
 
     /**
      * Open an already formatted device (recovery path). Throws
@@ -62,6 +69,11 @@ class SlotStore {
     std::uint32_t slot_count() const { return slot_count_; }
     Bytes slot_size() const { return slot_size_; }
     StorageDevice& device() { return *device_; }
+
+    /** Device offset of the delta-log region (0 when absent). */
+    Bytes delta_offset() const { return delta_offset_; }
+    /** Delta-log region capacity; 0 = device has no delta tier. */
+    Bytes delta_bytes() const { return delta_bytes_; }
 
     /** Device offset of the first byte of @p slot. */
     Bytes slot_offset(std::uint32_t slot) const;
@@ -112,12 +124,22 @@ class SlotStore {
      */
     std::vector<CheckpointPointer> candidate_pointers() const;
 
+    /**
+     * The newest pointer THIS process durably published (nullopt
+     * before the first successful publish). Unlike the advisory
+     * in-memory CHECK_ADDR, this reflects only records whose
+     * write+persist+fence completed — the signal the delta tier's
+     * epoch GC gates on (docs/DELTA_LOG.md).
+     */
+    std::optional<CheckpointPointer> last_published() const;
+
     /** Bytes of device capacity this layout requires. */
-    static Bytes required_size(std::uint32_t slot_count, Bytes slot_size);
+    static Bytes required_size(std::uint32_t slot_count, Bytes slot_size,
+                               Bytes delta_log_bytes = 0);
 
   private:
     SlotStore(StorageDevice& device, std::uint32_t slot_count,
-              Bytes slot_size);
+              Bytes slot_size, Bytes delta_offset, Bytes delta_bytes);
 
     static Bytes record_offset(int index);
 
@@ -128,12 +150,16 @@ class SlotStore {
         Mutex mu;
         std::uint64_t last_counter PCCHECK_GUARDED_BY(mu) = 0;
         bool any PCCHECK_GUARDED_BY(mu) = false;
+        /** Full pointer of the newest durable publish (valid iff any). */
+        CheckpointPointer last_ptr PCCHECK_GUARDED_BY(mu);
     };
 
     StorageDevice* device_;
     std::uint32_t slot_count_;
     Bytes slot_size_;
     Bytes data_offset_;
+    Bytes delta_offset_ = 0;
+    Bytes delta_bytes_ = 0;
     std::shared_ptr<PublishState> publish_;
 };
 

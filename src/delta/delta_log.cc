@@ -1,0 +1,297 @@
+#include "delta/delta_log.h"
+
+#include <cstring>
+
+#include "delta/frame_format.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+
+using delta_wire::header_crc;
+using delta_wire::kFrameMagic;
+using delta_wire::RawChunkRef;
+using delta_wire::RawFrameHeader;
+
+static_assert(sizeof(RawFrameHeader) == DeltaLog::kFrameAlign);
+
+DeltaReplayStats
+delta_replay(const StorageDevice& device, const DeltaRegion& region,
+             std::uint64_t base_counter, std::uint64_t base_iteration,
+             std::uint8_t* image, Bytes image_len,
+             const DeltaReplayObserver& observer)
+{
+    DeltaReplayStats stats;
+    stats.iteration = base_iteration;
+    if (region.bytes == 0) {
+        return stats;
+    }
+    PCCHECK_CHECK(region.offset + region.bytes <= device.size());
+    Bytes head = 0;
+    std::uint64_t expected_seq = 1;
+    std::uint64_t last_iteration = base_iteration;
+    std::vector<std::uint8_t> payload;
+    while (head + sizeof(RawFrameHeader) <= region.bytes) {
+        RawFrameHeader hdr{};
+        device.read(region.offset + head, &hdr, sizeof(hdr));
+        // Stop-at-first-torn-frame rules: anything that fails here is
+        // either an unsealed in-flight frame or a previous epoch's
+        // garbage; frames past it are unreachable by construction
+        // (appends are sealed strictly in order).
+        if (hdr.magic != kFrameMagic ||
+            hdr.header_crc != header_crc(hdr)) {
+            break;  // torn or never-written header
+        }
+        if (hdr.seq != expected_seq || hdr.base_counter != base_counter) {
+            break;  // stale epoch (pre-GC frame) or replayed region
+        }
+        if (hdr.iteration <= last_iteration) {
+            break;  // older timeline re-using this base (post-salvage)
+        }
+        if (hdr.payload_len > region.bytes - head - sizeof(hdr)) {
+            break;  // payload would run off the region
+        }
+        if (static_cast<Bytes>(hdr.chunk_count) * sizeof(RawChunkRef) >
+            hdr.payload_len) {
+            break;
+        }
+        payload.resize(hdr.payload_len);
+        if (!payload.empty()) {
+            device.read(region.offset + head + sizeof(hdr), payload.data(),
+                        payload.size());
+        }
+        if (crc32c(payload.data(), payload.size()) != hdr.payload_crc) {
+            break;  // sealed header over a torn payload
+        }
+        // Validate every chunk ref before applying any of them: a
+        // frame either applies whole or not at all.
+        const Bytes refs_len =
+            static_cast<Bytes>(hdr.chunk_count) * sizeof(RawChunkRef);
+        std::vector<RawChunkRef> refs(hdr.chunk_count);
+        if (refs_len > 0) {  // empty frames carry no refs (UBSan: the
+                             // source pointer must not be null)
+            std::memcpy(refs.data(), payload.data(), refs_len);
+        }
+        Bytes data_off = refs_len;
+        bool valid = true;
+        for (const RawChunkRef& ref : refs) {
+            if (ref.len > image_len || ref.offset > image_len - ref.len ||
+                ref.len > hdr.payload_len - data_off) {
+                valid = false;
+                break;
+            }
+            data_off += ref.len;
+        }
+        if (!valid) {
+            break;
+        }
+        data_off = refs_len;
+        for (const RawChunkRef& ref : refs) {
+            std::memcpy(image + ref.offset, payload.data() + data_off,
+                        ref.len);
+            data_off += ref.len;
+            stats.bytes_applied += ref.len;
+        }
+        ++stats.frames_applied;
+        stats.last_seq = hdr.seq;
+        stats.iteration = hdr.iteration;
+        last_iteration = hdr.iteration;
+        ++expected_seq;
+        head += align_up(sizeof(hdr) + hdr.payload_len,
+                         DeltaLog::kFrameAlign);
+        if (observer) {
+            DeltaFrameInfo info{hdr.seq, hdr.base_counter, hdr.iteration,
+                                hdr.chunk_count, hdr.payload_len};
+            if (!observer(info)) {
+                break;
+            }
+        }
+    }
+    return stats;
+}
+
+DeltaLog::DeltaLog(StorageDevice& device, const DeltaRegion& region)
+    : device_(&device), region_(region)
+{
+    PCCHECK_CHECK(region.bytes >= kFrameAlign);
+    PCCHECK_CHECK_MSG(region.offset + region.bytes <= device.size(),
+                      "delta region past end of device");
+}
+
+Bytes
+DeltaLog::frame_bytes(std::uint32_t chunk_count, Bytes data_bytes)
+{
+    return align_up(sizeof(RawFrameHeader) +
+                        static_cast<Bytes>(chunk_count) *
+                            sizeof(RawChunkRef) +
+                        data_bytes,
+                    kFrameAlign);
+}
+
+Bytes
+DeltaLog::free_bytes() const
+{
+    MutexLock lock(mu_);
+    return region_.bytes - head_;
+}
+
+std::uint64_t
+DeltaLog::epoch_base() const
+{
+    MutexLock lock(mu_);
+    return epoch_base_;
+}
+
+std::uint64_t
+DeltaLog::last_sealed_seq() const
+{
+    MutexLock lock(mu_);
+    return next_seq_ - 1;
+}
+
+std::uint64_t
+DeltaLog::frames_appended() const
+{
+    MutexLock lock(mu_);
+    return frames_appended_;
+}
+
+std::uint64_t
+DeltaLog::last_iteration() const
+{
+    MutexLock lock(mu_);
+    return last_iteration_;
+}
+
+void
+DeltaLog::set_op_probe(std::function<StorageStatus()> probe)
+{
+    MutexLock lock(mu_);
+    op_probe_ = std::move(probe);
+}
+
+void
+DeltaLog::reset_epoch(std::uint64_t base_counter,
+                      std::uint64_t base_iteration)
+{
+    MutexLock lock(mu_);
+    PCCHECK_CHECK_MSG(!epoch_open_ || base_counter > epoch_base_,
+                      "epoch reset must move to a newer checkpoint");
+    head_ = 0;
+    next_seq_ = 1;
+    epoch_base_ = base_counter;
+    last_iteration_ = base_iteration;
+    epoch_open_ = true;
+}
+
+StorageStatus
+DeltaLog::seal_frame(Bytes device_off, const void* header, Bytes len)
+{
+    StorageStatus status = device_->write(device_off, header, len);
+    if (status.ok()) {
+        status = device_->persist(device_off, len);
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    return status;
+}
+
+StorageStatus
+DeltaLog::append(std::uint64_t iteration,
+                 const std::vector<DeltaChunk>& chunks,
+                 const std::uint8_t* data)
+{
+    MutexLock lock(mu_);
+    PCCHECK_CHECK_MSG(epoch_open_,
+                      "append before the first epoch reset");
+    PCCHECK_CHECK_MSG(iteration > last_iteration_,
+                      "delta iteration must be monotonic: "
+                          << iteration << " <= " << last_iteration_);
+    if (op_probe_) {
+        const StorageStatus injected = op_probe_();
+        if (!injected.ok()) {
+            return injected;
+        }
+    }
+    Bytes data_bytes = 0;
+    for (const DeltaChunk& chunk : chunks) {
+        data_bytes += chunk.len;
+    }
+    const auto chunk_count = static_cast<std::uint32_t>(chunks.size());
+    const Bytes total = frame_bytes(chunk_count, data_bytes);
+    PCCHECK_CHECK_MSG(total <= region_.bytes - head_,
+                      "delta log full: need " << total << " have "
+                                              << (region_.bytes - head_));
+
+    const Bytes payload_len =
+        static_cast<Bytes>(chunk_count) * sizeof(RawChunkRef) + data_bytes;
+    std::vector<std::uint8_t> payload(payload_len);
+    Bytes off = 0;
+    for (const DeltaChunk& chunk : chunks) {
+        const RawChunkRef ref{chunk.offset, chunk.len};
+        std::memcpy(payload.data() + off, &ref, sizeof(ref));
+        off += sizeof(ref);
+    }
+    Bytes data_off = 0;
+    for (const DeltaChunk& chunk : chunks) {
+        std::memcpy(payload.data() + off, data + data_off, chunk.len);
+        off += chunk.len;
+        data_off += chunk.len;
+    }
+
+    const Bytes frame_off = region_.offset + head_;
+    // Pre-seal phase, one persist + fence covering all of it: durably
+    // invalidate this slot's (possibly stale) header and the successor
+    // header slot, and land the payload bytes. A reopened device can
+    // carry a sealed chain from a previous process based on this same
+    // checkpoint counter — its tail diverges from this run's timeline
+    // at this frame, so both the header position being written and the
+    // one after it must be dead on media before the seal makes this
+    // frame reachable. Replay then can never cross from the new chain
+    // into the stale one, whichever side of the seal a crash lands on.
+    const bool truncate_next =
+        head_ + total + kFrameAlign <= region_.bytes;
+    const std::uint8_t dead[sizeof(RawFrameHeader)] = {};
+    StorageStatus status = device_->write(frame_off, dead, sizeof(dead));
+    if (status.ok() && !payload.empty()) {
+        status = device_->write(frame_off + sizeof(RawFrameHeader),
+                                payload.data(), payload.size());
+    }
+    if (status.ok() && truncate_next) {
+        status = device_->write(frame_off + total, dead, sizeof(dead));
+    }
+    if (status.ok()) {
+        status = device_->persist(
+            frame_off, truncate_next ? total + kFrameAlign : total);
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    if (!status.ok()) {
+        return status;  // head unchanged: the caller may retry
+    }
+
+    RawFrameHeader hdr{};
+    hdr.magic = kFrameMagic;
+    hdr.seq = next_seq_;
+    hdr.base_counter = epoch_base_;
+    hdr.iteration = iteration;
+    hdr.payload_len = payload_len;
+    hdr.chunk_count = chunk_count;
+    hdr.payload_crc = crc32c(payload.data(), payload.size());
+    hdr.header_crc = header_crc(hdr);
+    // payload-durable: the pre-seal fence above ordered the chunk
+    // bytes (and both dead headers) ahead of this seal.
+    status = seal_frame(frame_off, &hdr, sizeof(hdr));
+    if (!status.ok()) {
+        return status;
+    }
+    head_ += total;
+    ++next_seq_;
+    ++frames_appended_;
+    last_iteration_ = iteration;
+    return StorageStatus::success();
+}
+
+}  // namespace pccheck

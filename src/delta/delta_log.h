@@ -1,0 +1,186 @@
+#ifndef PCCHECK_DELTA_DELTA_LOG_H_
+#define PCCHECK_DELTA_DELTA_LOG_H_
+
+/**
+ * @file
+ * The incremental checkpoint tier's write-ahead log of dirty chunks
+ * (docs/DELTA_LOG.md).
+ *
+ * Three-tier layout on one device: full-image slots hold the data, the
+ * delta log holds CRC-32C-framed, sequence-numbered records of dirty
+ * chunks appended between full checkpoints, and the alternating
+ * pointer records (the manifest) remain the single source of truth —
+ * a delta frame is only meaningful relative to the durable full
+ * checkpoint named by its base_counter.
+ *
+ * Frame layout (64-byte aligned):
+ *
+ *   [ FrameHeader (64 B) | chunk refs | chunk data ]
+ *
+ * Append ordering (the seal discipline, enforced by the
+ * delta-seal-before-manifest lint rule): the payload — plus dead
+ * headers over this frame's slot and its successor's, truncating any
+ * stale chain a reopened device may carry — is written and persisted
+ * FIRST, a fence orders it, and only then is the header, whose
+ * checksum makes the frame visible to replay, written, persisted, and
+ * fenced. A crash between the two leaves an unsealed frame that
+ * replay rejects by checksum; a crash after append returns preserves
+ * the frame in full.
+ *
+ * GC is an epoch reset: once a covering full checkpoint is durably
+ * published (SlotStore::last_published), reset_epoch() moves the head
+ * back to the region start and restarts the sequence at 1. No media
+ * write is needed — stale frames die by base_counter, sequence,
+ * iteration-monotonicity, or checksum mismatch during replay.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/annotations.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** One dirty byte range within the training state. */
+struct DeltaChunk {
+    Bytes offset = 0;  ///< chunk start within the state image
+    Bytes len = 0;     ///< chunk length in bytes
+};
+
+/** Metadata of one sealed (or replayed) frame. */
+struct DeltaFrameInfo {
+    std::uint64_t seq = 0;           ///< 1-based within the epoch
+    std::uint64_t base_counter = 0;  ///< full checkpoint it builds on
+    std::uint64_t iteration = 0;     ///< state iteration after applying
+    std::uint32_t chunk_count = 0;
+    Bytes payload_len = 0;
+};
+
+/** The delta region of a formatted device. */
+struct DeltaRegion {
+    Bytes offset = 0;  ///< device offset of the region's first byte
+    Bytes bytes = 0;   ///< region capacity (0 = no delta tier)
+};
+
+/** Outcome of replaying a frame chain onto a base image. */
+struct DeltaReplayStats {
+    std::uint64_t frames_applied = 0;
+    std::uint64_t last_seq = 0;        ///< seq of the last applied frame
+    std::uint64_t iteration = 0;       ///< iteration of that frame
+    Bytes bytes_applied = 0;           ///< chunk payload bytes applied
+};
+
+/**
+ * Replay observer: called after each applied frame; return false to
+ * stop the scan (used by tests to race GC against an in-flight
+ * replay). May be empty.
+ */
+using DeltaReplayObserver = std::function<bool(const DeltaFrameInfo&)>;
+
+/**
+ * Apply the frame chain based on checkpoint (@p base_counter,
+ * @p base_iteration) to @p image. Scans the region from its start and
+ * stops cleanly at the first frame that is torn (header or payload
+ * CRC mismatch), out of sequence, based on a different checkpoint,
+ * non-monotonic in iteration, or out of bounds — everything at or
+ * past that point is unreachable garbage by construction.
+ *
+ * Free function with no locking so the recovery path (and the MC
+ * closure's driver threads) can run it against a dead device image.
+ */
+DeltaReplayStats delta_replay(const StorageDevice& device,
+                              const DeltaRegion& region,
+                              std::uint64_t base_counter,
+                              std::uint64_t base_iteration,
+                              std::uint8_t* image, Bytes image_len,
+                              const DeltaReplayObserver& observer = {});
+
+/** Appender for the delta region (one writer: the training thread). */
+class DeltaLog {
+  public:
+    /** Frame header size / alignment granularity. */
+    static constexpr Bytes kFrameAlign = 64;
+
+    /**
+     * @param device the formatted device (must outlive this object)
+     * @param region its delta region (bytes > 0)
+     */
+    DeltaLog(StorageDevice& device, const DeltaRegion& region);
+
+    /** Total frame footprint for @p chunk_count chunks of @p data_bytes. */
+    static Bytes frame_bytes(std::uint32_t chunk_count, Bytes data_bytes);
+
+    /** Space left for appends in the current epoch. */
+    Bytes free_bytes() const;
+
+    /** Region capacity. */
+    Bytes capacity() const { return region_.bytes; }
+
+    /** Base counter of the current epoch (0 before the first reset). */
+    std::uint64_t epoch_base() const;
+
+    /** Sequence number of the last sealed frame (0 = none). */
+    std::uint64_t last_sealed_seq() const;
+
+    /** Iteration of the last sealed frame, or the epoch base's when
+     *  none — appends must exceed this (0 before the first epoch). */
+    std::uint64_t last_iteration() const;
+
+    /** Frames sealed over this object's lifetime (across epochs). */
+    std::uint64_t frames_appended() const;
+
+    /**
+     * Start a new epoch on top of durable full checkpoint
+     * (@p base_counter, @p base_iteration): head returns to the region
+     * start and the sequence restarts at 1. This IS the log GC — the
+     * caller must have confirmed the covering checkpoint's pointer
+     * record is durable (SlotStore::last_published) first.
+     */
+    void reset_epoch(std::uint64_t base_counter,
+                     std::uint64_t base_iteration);
+
+    /**
+     * Append one frame: @p chunks describes the dirty ranges and
+     * @p data holds their bytes, concatenated in order. @p iteration
+     * must exceed the previous frame's (and the epoch base's). The
+     * frame is durable iff the call returns success; on error the head
+     * does not advance and the caller may retry the same append.
+     * Requires free_bytes() >= frame_bytes(...) — check before calling.
+     */
+    StorageStatus append(std::uint64_t iteration,
+                         const std::vector<DeltaChunk>& chunks,
+                         const std::uint8_t* data);
+
+    /**
+     * Fault probe evaluated at the top of every append (tests wire it
+     * to FaultInjector::on_op("delta.append")). Empty = no probe.
+     */
+    void set_op_probe(std::function<StorageStatus()> probe);
+
+  private:
+    /** Write + persist + fence the frame header, making it visible to
+     *  replay. Only call after the pre-seal phase (payload + dead
+     *  headers) has been fenced. */
+    StorageStatus seal_frame(Bytes device_off, const void* header,
+                             Bytes len);
+
+    StorageDevice* device_;
+    const DeltaRegion region_;
+
+    mutable Mutex mu_;
+    Bytes head_ PCCHECK_GUARDED_BY(mu_) = 0;  ///< region-relative
+    std::uint64_t next_seq_ PCCHECK_GUARDED_BY(mu_) = 1;
+    std::uint64_t epoch_base_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t last_iteration_ PCCHECK_GUARDED_BY(mu_) = 0;
+    std::uint64_t frames_appended_ PCCHECK_GUARDED_BY(mu_) = 0;
+    bool epoch_open_ PCCHECK_GUARDED_BY(mu_) = false;
+    std::function<StorageStatus()> op_probe_ PCCHECK_GUARDED_BY(mu_);
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_DELTA_DELTA_LOG_H_

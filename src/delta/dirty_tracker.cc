@@ -1,0 +1,130 @@
+#include "delta/dirty_tracker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pccheck {
+
+DirtyTracker::DirtyTracker(Bytes total_bytes, Bytes chunk_bytes)
+    : total_bytes_(total_bytes), chunk_bytes_(chunk_bytes),
+      chunk_count_(static_cast<std::uint32_t>(
+          (total_bytes + chunk_bytes - 1) / chunk_bytes))
+{
+    PCCHECK_CHECK(total_bytes > 0);
+    PCCHECK_CHECK(chunk_bytes > 0);
+    PCCHECK_CHECK_MSG((total_bytes + chunk_bytes - 1) / chunk_bytes <=
+                          0xFFFFFFFFULL,
+                      "chunk count overflows 32 bits");
+    MutexLock lock(mu_);
+    since_frame_.assign(chunk_count_, false);
+}
+
+Bytes
+DirtyTracker::chunk_len(std::uint32_t chunk) const
+{
+    PCCHECK_CHECK(chunk < chunk_count_);
+    return std::min(chunk_bytes_, total_bytes_ - chunk_offset(chunk));
+}
+
+void
+DirtyTracker::mark(Bytes offset, Bytes len)
+{
+    if (len == 0) {
+        return;
+    }
+    PCCHECK_CHECK_MSG(offset + len <= total_bytes_,
+                      "dirty mark past end of state: off=" << offset
+                                                           << " len=" << len);
+    const auto first = static_cast<std::uint32_t>(offset / chunk_bytes_);
+    const auto last =
+        static_cast<std::uint32_t>((offset + len - 1) / chunk_bytes_);
+    MutexLock lock(mu_);
+    for (std::uint32_t c = first; c <= last; ++c) {
+        since_frame_[c] = true;
+        for (auto& [counter, set] : candidates_) {
+            set[c] = true;
+        }
+    }
+}
+
+void
+DirtyTracker::mark_all()
+{
+    MutexLock lock(mu_);
+    since_frame_.assign(chunk_count_, true);
+    for (auto& [counter, set] : candidates_) {
+        set.assign(chunk_count_, true);
+    }
+}
+
+void
+DirtyTracker::begin_candidate(std::uint64_t counter)
+{
+    MutexLock lock(mu_);
+    candidates_[counter].assign(chunk_count_, false);
+}
+
+std::vector<std::uint32_t>
+DirtyTracker::take(std::vector<bool>* set)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = 0; c < chunk_count_; ++c) {
+        if ((*set)[c]) {
+            out.push_back(c);
+        }
+    }
+    set->assign(chunk_count_, false);
+    return out;
+}
+
+std::vector<std::uint32_t>
+DirtyTracker::collect_frame()
+{
+    MutexLock lock(mu_);
+    return take(&since_frame_);
+}
+
+std::vector<std::uint32_t>
+DirtyTracker::adopt_base(std::uint64_t counter)
+{
+    MutexLock lock(mu_);
+    std::vector<std::uint32_t> out;
+    const auto it = candidates_.find(counter);
+    if (it == candidates_.end()) {
+        // Unknown candidate (restart, or the snapshot predates this
+        // tracker): a full delta is always correct, never minimal.
+        out.resize(chunk_count_);
+        for (std::uint32_t c = 0; c < chunk_count_; ++c) {
+            out[c] = c;
+        }
+    } else {
+        out = take(&it->second);
+    }
+    since_frame_.assign(chunk_count_, false);
+    // Older candidates can never be adopted again — the manifest only
+    // moves forward — and the adopted one is consumed.
+    candidates_.erase(candidates_.begin(),
+                      candidates_.upper_bound(counter));
+    return out;
+}
+
+void
+DirtyTracker::restore(const std::vector<std::uint32_t>& chunks)
+{
+    MutexLock lock(mu_);
+    for (const std::uint32_t c : chunks) {
+        PCCHECK_CHECK(c < chunk_count_);
+        since_frame_[c] = true;
+    }
+}
+
+std::size_t
+DirtyTracker::dirty_chunks() const
+{
+    MutexLock lock(mu_);
+    return static_cast<std::size_t>(
+        std::count(since_frame_.begin(), since_frame_.end(), true));
+}
+
+}  // namespace pccheck

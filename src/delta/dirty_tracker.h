@@ -1,0 +1,111 @@
+#ifndef PCCHECK_DELTA_DIRTY_TRACKER_H_
+#define PCCHECK_DELTA_DIRTY_TRACKER_H_
+
+/**
+ * @file
+ * Chunk-granular dirty tracking for the incremental checkpoint tier
+ * (docs/DELTA_LOG.md).
+ *
+ * The training update path marks the byte ranges it mutates; the delta
+ * appender collects "everything dirtied since the previous frame" and
+ * persists exactly those chunks. The subtlety is full checkpoints: the
+ * frame chain re-bases onto whichever full checkpoint publishes next,
+ * and the first frame of the new epoch must cover every chunk dirtied
+ * since THAT checkpoint's snapshot was taken — not since the last
+ * old-epoch frame, which is garbage-collected with its epoch. The
+ * tracker therefore keeps one bitset per in-flight checkpoint
+ * candidate (begin_candidate) alongside the since-last-frame bitset,
+ * and adopt_base() hands back the candidate's accumulated set.
+ *
+ * Thread safe: marks come from the training thread while checkpoint
+ * snapshots begin on the orchestrator worker.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+
+/** Tracks which fixed-size chunks of the state changed. */
+class DirtyTracker {
+  public:
+    /**
+     * Track @p total_bytes of state at @p chunk_bytes granularity.
+     * The final chunk may be short.
+     */
+    DirtyTracker(Bytes total_bytes, Bytes chunk_bytes);
+
+    /** Record a mutation of [offset, offset+len). */
+    void mark(Bytes offset, Bytes len);
+
+    /** Record a whole-state mutation (full re-stamp, recovery). */
+    void mark_all();
+
+    /**
+     * A full-checkpoint attempt with counter @p counter is about to
+     * snapshot the state. From here on, mutations accumulate into this
+     * candidate's set so a later adopt_base(counter) knows what
+     * changed since the snapshot.
+     */
+    void begin_candidate(std::uint64_t counter);
+
+    /**
+     * Chunks dirtied since the last collect (for the next frame of the
+     * current epoch). Clears the since-frame set; on append failure
+     * pass the result back through restore().
+     */
+    std::vector<std::uint32_t> collect_frame();
+
+    /**
+     * Re-base the frame chain onto durable checkpoint @p counter:
+     * returns the chunks dirtied since that candidate's snapshot began
+     * (every chunk if the candidate is unknown, e.g. after a process
+     * restart — a full delta is always safe), clears the since-frame
+     * set, and drops candidates at or below @p counter.
+     */
+    std::vector<std::uint32_t> adopt_base(std::uint64_t counter);
+
+    /**
+     * Undo a collect whose frame could not be appended: the chunks
+     * re-enter the since-frame set so no mutation drops out of the
+     * chain.
+     */
+    void restore(const std::vector<std::uint32_t>& chunks);
+
+    Bytes chunk_bytes() const { return chunk_bytes_; }
+    std::uint32_t chunk_count() const { return chunk_count_; }
+
+    /** Byte length of @p chunk (short for the final chunk). */
+    Bytes chunk_len(std::uint32_t chunk) const;
+    /** State offset of @p chunk's first byte. */
+    Bytes chunk_offset(std::uint32_t chunk) const
+    {
+        return static_cast<Bytes>(chunk) * chunk_bytes_;
+    }
+
+    /** Currently dirty (since the last frame) chunk count. */
+    std::size_t dirty_chunks() const;
+
+  private:
+    std::vector<std::uint32_t> take(std::vector<bool>* set)
+        PCCHECK_REQUIRES(mu_);
+
+    const Bytes total_bytes_;
+    const Bytes chunk_bytes_;
+    const std::uint32_t chunk_count_;
+
+    mutable Mutex mu_;
+    /** Dirty since the last collected frame. */
+    std::vector<bool> since_frame_ PCCHECK_GUARDED_BY(mu_);
+    /** Dirty since each in-flight full checkpoint's snapshot began. */
+    std::map<std::uint64_t, std::vector<bool>> candidates_
+        PCCHECK_GUARDED_BY(mu_);
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_DELTA_DIRTY_TRACKER_H_

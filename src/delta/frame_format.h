@@ -1,0 +1,54 @@
+#ifndef PCCHECK_DELTA_FRAME_FORMAT_H_
+#define PCCHECK_DELTA_FRAME_FORMAT_H_
+
+/**
+ * @file
+ * On-media wire format of one delta-log frame (docs/DELTA_LOG.md).
+ *
+ * Split out of delta_log.cc so the model checker's mutated appenders
+ * and the corruption-injecting tests can build and dissect frames
+ * byte-for-byte without reaching into the appender's internals. The
+ * DeltaLog appender and delta_replay remain the only production users.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+
+namespace pccheck::delta_wire {
+
+/** Frame magic, bumped with any layout change ("PCDLTF\0 1"). */
+constexpr std::uint64_t kFrameMagic = 0x5043444C54460031ULL;
+
+/** Raw on-device frame header (64 bytes, checksum-protected). */
+struct RawFrameHeader {
+    std::uint64_t magic;
+    std::uint64_t seq;
+    std::uint64_t base_counter;
+    std::uint64_t iteration;
+    std::uint64_t payload_len;  ///< bytes following the header
+    std::uint32_t chunk_count;
+    std::uint32_t payload_crc;  ///< CRC-32C of the payload bytes
+    std::uint8_t pad[12];
+    std::uint32_t header_crc;  ///< CRC of all preceding fields
+};
+static_assert(sizeof(RawFrameHeader) == 64);
+
+/** Raw on-device chunk descriptor (payload prefix). */
+struct RawChunkRef {
+    std::uint64_t offset;
+    std::uint64_t len;
+};
+static_assert(sizeof(RawChunkRef) == 16);
+
+/** The checksum sealing a header (covers every preceding field). */
+inline std::uint32_t header_crc(const RawFrameHeader& hdr)
+{
+    return crc32c(&hdr, offsetof(RawFrameHeader, header_crc));
+}
+
+}  // namespace pccheck::delta_wire
+
+#endif  // PCCHECK_DELTA_FRAME_FORMAT_H_

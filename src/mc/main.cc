@@ -6,6 +6,10 @@
  *   --mode dfs        exhaustive DFS with a preemption bound
  *   --mode pct        randomized PCT schedules
  *   --mode crash      crash-state enumeration over the persist trace
+ *   --mode delta-crash  crash-state enumeration of the incremental
+ *                     (delta-log) tier; --delta-mutation selects a
+ *                     weakened appender variant, and with the default
+ *                     "all" the mode is a meta-check like mutations
  *   --mode mutations  meta-check: every weakened variant must FAIL,
  *                     and its replay token must reproduce the failure
  *   --mode replay     re-run a --token printed by a failing mode
@@ -22,6 +26,7 @@
 #include <string>
 
 #include "mc/crash_enum.h"
+#include "mc/delta_enum.h"
 #include "mc/explore.h"
 #include "mc/models.h"
 #include "mc/token.h"
@@ -41,6 +46,8 @@ struct Args {
     std::uint64_t seed = 1;
     SlotQueueKind queue = SlotQueueKind::kVyukov;
     std::string token;
+    /** --mode delta-crash variant selector; "all" = meta-check. */
+    std::string delta_mutation = "all";
 };
 
 bool parse_mutation(const std::string& name, Mutation* out)
@@ -159,6 +166,86 @@ int run_crash(const Args& args)
     return 0;
 }
 
+bool parse_delta_mutation(const std::string& name, DeltaMutation* out)
+{
+    if (name == "none") {
+        *out = DeltaMutation::kNone;
+    } else if (name == "ack_before_payload") {
+        *out = DeltaMutation::kAckBeforePayload;
+    } else if (name == "reset_before_publish") {
+        *out = DeltaMutation::kResetBeforePublish;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char* delta_mutation_name(DeltaMutation m)
+{
+    switch (m) {
+      case DeltaMutation::kNone:
+        return "none";
+      case DeltaMutation::kAckBeforePayload:
+        return "ack_before_payload";
+      case DeltaMutation::kResetBeforePublish:
+        return "reset_before_publish";
+    }
+    return "?";
+}
+
+/** One delta-crash enumeration; @return its exit code contribution. */
+int run_delta_one(const Args& args, DeltaMutation mutation)
+{
+    DeltaModelConfig config;
+    config.storage_seed = args.seed;
+    DeltaEnumOptions opts;
+    opts.seed = args.seed;
+    const DeltaEnumResult r = enumerate_delta_crashes(config, mutation, opts);
+    std::printf("[mc] delta-crash mutation=%s crash_points=%zu images=%zu "
+                "sampled_points=%zu frames=%zu fulls=%zu %s\n",
+                delta_mutation_name(mutation), r.crash_points, r.images,
+                r.sampled_points, r.frames_sealed, r.fulls_published,
+                r.violated ? "VIOLATED" : "clean");
+    if (!r.violated) {
+        return 0;
+    }
+    std::printf("[mc] VIOLATION: %s\n", r.message.c_str());
+    std::printf("[mc] replay: crash_op=%zu mask=0x%llx\n", r.crash_op,
+                static_cast<unsigned long long>(r.crash_mask));
+    // The workload is deterministic: the (crash_op, mask) pair must
+    // reproduce the violation on a fresh run.
+    const std::string replayed =
+        replay_delta_crash(config, mutation, r.crash_op, r.crash_mask);
+    if (replayed.empty()) {
+        std::printf("[mc] delta-crash replay did NOT reproduce\n");
+        return 2;
+    }
+    std::printf("[mc] replay reproduced: %s\n", replayed.c_str());
+    return 1;
+}
+
+int run_delta_crash(const Args& args)
+{
+    if (args.delta_mutation != "all") {
+        DeltaMutation mutation{};
+        if (!parse_delta_mutation(args.delta_mutation, &mutation)) {
+            std::fprintf(stderr, "[mc] bad --delta-mutation %s\n",
+                         args.delta_mutation.c_str());
+            return 2;
+        }
+        return run_delta_one(args, mutation);
+    }
+    // Meta-check: the faithful appender must be clean AND both
+    // weakened variants must be caught (with reproducing replays).
+    bool ok = run_delta_one(args, DeltaMutation::kNone) == 0;
+    ok = run_delta_one(args, DeltaMutation::kAckBeforePayload) == 1 && ok;
+    ok = run_delta_one(args, DeltaMutation::kResetBeforePublish) == 1 && ok;
+    if (ok) {
+        std::printf("[mc] delta tier clean; all delta mutations caught\n");
+    }
+    return ok ? 0 : 1;
+}
+
 int run_replay(const Args& args)
 {
     const auto token = decode_token(args.token);
@@ -269,9 +356,12 @@ int usage()
 {
     std::fprintf(
         stderr,
-        "usage: mc_check [--mode dfs|pct|crash|mutations|replay]\n"
+        "usage: mc_check [--mode "
+        "dfs|pct|crash|delta-crash|mutations|replay]\n"
         "                [--model listing1|mini] "
         "[--mutation none|blind_store|ticket_reuse|no_fence]\n"
+        "                [--delta-mutation "
+        "all|none|ack_before_payload|reset_before_publish]\n"
         "                [--threads N] [--checkpoints N] [--bound N]\n"
         "                [--schedules N] [--seed N] "
         "[--queue vyukov|ms|mutex]\n"
@@ -317,6 +407,8 @@ int run(int argc, char** argv)
             } else {
                 return usage();
             }
+        } else if (flag == "--delta-mutation" && (value = next())) {
+            args.delta_mutation = value;
         } else if (flag == "--token" && (value = next())) {
             args.token = value;
         } else {
@@ -334,6 +426,9 @@ int run(int argc, char** argv)
     }
     if (args.mode == "crash") {
         return run_crash(args);
+    }
+    if (args.mode == "delta-crash") {
+        return run_delta_crash(args);
     }
     if (args.mode == "mutations") {
         return run_mutations(args);

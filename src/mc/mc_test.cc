@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mc/crash_enum.h"
+#include "mc/delta_enum.h"
 #include "mc/explore.h"
 #include "mc/models.h"
 #include "mc/scheduler.h"
@@ -310,6 +311,61 @@ TEST(CrashEnum, MutexQueueVariantClean)
     const CrashEnumResult r =
         enumerate_crashes(config, Mutation::kNone, strategy);
     EXPECT_FALSE(r.violated) << r.message;
+}
+
+TEST(DeltaEnum, FaithfulAppenderHasNoBadImage)
+{
+    const DeltaModelConfig config;
+    const DeltaEnumResult r =
+        enumerate_delta_crashes(config, DeltaMutation::kNone);
+    EXPECT_FALSE(r.violated) << r.message;
+    EXPECT_EQ(r.fulls_published, static_cast<std::size_t>(config.fulls));
+    EXPECT_EQ(r.frames_sealed,
+              static_cast<std::size_t>(config.fulls *
+                                       config.deltas_between));
+    EXPECT_GT(r.crash_points, 0u);
+    EXPECT_GT(r.images, r.crash_points);
+}
+
+TEST(DeltaEnum, AckBeforePayloadCaughtAndReplays)
+{
+    const DeltaModelConfig config;
+    const DeltaEnumResult r = enumerate_delta_crashes(
+        config, DeltaMutation::kAckBeforePayload);
+    ASSERT_TRUE(r.violated);
+    // Deterministic workload: the (crash_op, mask) pair reproduces.
+    const std::string replayed = replay_delta_crash(
+        config, DeltaMutation::kAckBeforePayload, r.crash_op, r.crash_mask);
+    EXPECT_EQ(replayed, r.message);
+    // The same image against the FAITHFUL appender is clean.
+    // (Op indices differ across variants, so re-check the faithful
+    // enumeration end-to-end instead of replaying the same pair.)
+    const DeltaEnumResult fixed =
+        enumerate_delta_crashes(config, DeltaMutation::kNone);
+    EXPECT_FALSE(fixed.violated) << fixed.message;
+}
+
+TEST(DeltaEnum, ResetBeforePublishCaughtAndReplays)
+{
+    const DeltaModelConfig config;
+    const DeltaEnumResult r = enumerate_delta_crashes(
+        config, DeltaMutation::kResetBeforePublish);
+    ASSERT_TRUE(r.violated);
+    const std::string replayed =
+        replay_delta_crash(config, DeltaMutation::kResetBeforePublish,
+                           r.crash_op, r.crash_mask);
+    EXPECT_EQ(replayed, r.message);
+}
+
+TEST(DeltaEnum, DifferentStorageSeedsStayClean)
+{
+    for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+        DeltaModelConfig config;
+        config.storage_seed = seed;
+        const DeltaEnumResult r =
+            enumerate_delta_crashes(config, DeltaMutation::kNone);
+        EXPECT_FALSE(r.violated) << "seed " << seed << ": " << r.message;
+    }
 }
 
 }  // namespace

@@ -33,6 +33,12 @@ struct CheckpointerStats {
                                      ///< failure (slot recycled)
     Seconds stall_time = 0;          ///< training time lost to blocking
     RunningStat checkpoint_latency;  ///< request → durable, seconds
+    /** Delta frames durably sealed (systems with a delta tier). */
+    std::uint64_t delta_frames = 0;
+    /** Chunk payload bytes those frames carried. */
+    std::uint64_t delta_bytes = 0;
+    /** Delta requests dropped (no durable base / log full / error). */
+    std::uint64_t delta_skipped = 0;
 };
 
 /** Abstract checkpointing system plugged into the training loop. */
@@ -54,6 +60,17 @@ class Checkpointer {
      * @p iteration. May block depending on the system's semantics.
      */
     virtual void request_checkpoint(std::uint64_t iteration) = 0;
+
+    /**
+     * Durably log only what changed since the last frame (or full
+     * checkpoint) — the incremental tier of docs/DELTA_LOG.md.
+     * Synchronous WAL semantics: when this returns successfully the
+     * frame is sealed on media. Default: no delta tier, no-op.
+     */
+    virtual void request_delta(std::uint64_t iteration)
+    {
+        (void)iteration;
+    }
 
     /** Drain all outstanding checkpoint work (end of run). */
     virtual void finish() {}

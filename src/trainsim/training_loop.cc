@@ -43,9 +43,17 @@ TrainingLoop::run(std::uint64_t iterations,
         checkpointer.before_update(iter);
         // U: optimizer step mutates (re-stamps) the training state.
         gpu_->launch_kernel(update_time);
-        state_->stamp(iter);
-        if (checkpoint_interval > 0 && iter % checkpoint_interval == 0) {
+        if (sparse_fraction_ > 0) {
+            state_->sparse_update(iter, sparse_fraction_, sparse_seed_);
+        } else {
+            state_->stamp(iter);
+        }
+        const bool full_iter =
+            checkpoint_interval > 0 && iter % checkpoint_interval == 0;
+        if (full_iter) {
             checkpointer.request_checkpoint(iter);
+        } else if (delta_interval_ > 0 && iter % delta_interval_ == 0) {
+            checkpointer.request_delta(iter);
         }
     }
     // Steady-state throughput: the timed window covers the training

@@ -51,11 +51,36 @@ class TrainingLoop {
                        Checkpointer& checkpointer,
                        std::uint64_t start_iteration = 1);
 
+    /**
+     * Request a delta frame (Checkpointer::request_delta) every
+     * @p interval iterations that are not full-checkpoint iterations.
+     * 0 (default) disables the delta tier.
+     */
+    void set_delta_interval(std::uint64_t interval)
+    {
+        delta_interval_ = interval;
+    }
+
+    /**
+     * Replace the full re-stamp of each update with a sparse update
+     * touching @p fraction of the state (TrainingState::sparse_update,
+     * seeded deterministically) — the access pattern the delta tier
+     * is built for. fraction <= 0 restores the full re-stamp.
+     */
+    void set_sparse_updates(double fraction, std::uint64_t seed)
+    {
+        sparse_fraction_ = fraction;
+        sparse_seed_ = seed;
+    }
+
   private:
     SimGpu* gpu_;
     TrainingState* state_;
     ScaledModel model_;
     const Clock* clock_;
+    std::uint64_t delta_interval_ = 0;
+    double sparse_fraction_ = 0;
+    std::uint64_t sparse_seed_ = 1;
 };
 
 /** Ideal (no-checkpoint) throughput for a scaled model, iters/sec. */

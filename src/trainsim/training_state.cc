@@ -1,8 +1,10 @@
 #include "trainsim/training_state.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace pccheck {
 namespace {
@@ -31,6 +33,36 @@ TrainingState::stamp(std::uint64_t iteration)
 {
     stamp_buffer(gpu_->device_data(ptr_), ptr_.size, iteration);
     iteration_ = iteration;
+    if (tracker_ != nullptr) {
+        tracker_->mark_all();
+    }
+}
+
+void
+TrainingState::sparse_update(std::uint64_t iteration, double fraction,
+                             std::uint64_t seed)
+{
+    const std::vector<Bytes> touched = sparse_update_buffer(
+        gpu_->device_data(ptr_), ptr_.size, iteration, fraction, seed);
+    iteration_ = iteration;
+    if (tracker_ != nullptr) {
+        for (const Bytes off : touched) {
+            tracker_->mark(off,
+                           std::min<Bytes>(kMarkerStride, ptr_.size - off));
+        }
+    }
+}
+
+void
+TrainingState::restore(const std::uint8_t* data, Bytes len,
+                       std::uint64_t iteration, bool pinned)
+{
+    PCCHECK_CHECK(len <= ptr_.size);
+    gpu_->copy_to_device(ptr_, 0, data, len, pinned);
+    iteration_ = iteration;
+    if (tracker_ != nullptr) {
+        tracker_->mark_all();
+    }
 }
 
 void
@@ -63,6 +95,65 @@ TrainingState::verify_buffer(const std::uint8_t* data, Bytes len,
         iteration = marker.iteration;
     }
     return iteration;
+}
+
+std::vector<Bytes>
+TrainingState::sparse_update_buffer(std::uint8_t* data, Bytes len,
+                                    std::uint64_t iteration, double fraction,
+                                    std::uint64_t seed)
+{
+    PCCHECK_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                      "sparse fraction out of (0,1]: " << fraction);
+    const Bytes units = (len + kMarkerStride - 1) / kMarkerStride;
+    const auto count = std::max<Bytes>(
+        1, static_cast<Bytes>(fraction * static_cast<double>(units) + 0.5));
+    // Partial Fisher-Yates over the unit indices: a deterministic
+    // sample without replacement, so `fraction` is exact per update.
+    std::vector<Bytes> pool(units);
+    for (Bytes u = 0; u < units; ++u) {
+        pool[u] = u;
+    }
+    Rng rng(seed ^ (iteration * 0x9E3779B97F4A7C15ULL));
+    std::vector<Bytes> touched;
+    touched.reserve(static_cast<std::size_t>(count));
+    for (Bytes k = 0; k < count && k < units; ++k) {
+        const Bytes pick = k + rng.next_below(units - k);
+        std::swap(pool[k], pool[pick]);
+        const Bytes off = pool[k] * kMarkerStride;
+        const Bytes unit_len = std::min<Bytes>(kMarkerStride, len - off);
+        // Unit-specific fill byte: recovery tests rebuild the exact
+        // image from (iteration, seed) on a shadow buffer and memcmp.
+        std::memset(data + off,
+                    static_cast<int>((iteration * 131 + pool[k] * 17) & 0xFF),
+                    unit_len);
+        if (unit_len >= sizeof(Marker)) {
+            Marker marker{kMarkerMagic ^ off, iteration};
+            std::memcpy(data + off, &marker, sizeof(marker));
+        }
+        touched.push_back(off);
+    }
+    return touched;
+}
+
+std::optional<std::uint64_t>
+TrainingState::verify_buffer_sparse(const std::uint8_t* data, Bytes len,
+                                    Bytes base_offset)
+{
+    PCCHECK_CHECK_MSG(base_offset % kMarkerStride == 0,
+                      "shard base offset must be marker-aligned");
+    std::optional<std::uint64_t> newest;
+    for (Bytes off = 0; off + sizeof(Marker) <= len; off += kMarkerStride) {
+        Marker marker;
+        std::memcpy(&marker, data + off, sizeof(marker));
+        if (marker.magic_xor_offset !=
+            (kMarkerMagic ^ (base_offset + off))) {
+            return std::nullopt;  // misplaced or corrupt
+        }
+        if (!newest.has_value() || marker.iteration > *newest) {
+            newest = marker.iteration;
+        }
+    }
+    return newest;
 }
 
 }  // namespace pccheck

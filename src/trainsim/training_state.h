@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "delta/dirty_tracker.h"
 #include "gpusim/gpu.h"
 #include "util/bytes.h"
 
@@ -36,6 +38,36 @@ class TrainingState {
 
     /** Model-update side effect: stamp the state as @p iteration. */
     void stamp(std::uint64_t iteration);
+
+    /**
+     * Sparse model update: touch a deterministic, seeded @p fraction
+     * of the marker-stride units, restamping each with @p iteration
+     * and a unit-specific fill byte. This is the update pattern the
+     * delta tier exists for — most of the state is unchanged between
+     * checkpoints — and the dirty tracker (if attached) learns exactly
+     * the touched units. Deterministic in (size, iteration, fraction,
+     * seed), so tests can replay the sequence onto a shadow buffer.
+     */
+    void sparse_update(std::uint64_t iteration, double fraction,
+                       std::uint64_t seed);
+
+    /**
+     * Feed update marks to @p tracker from now on (stamp marks
+     * everything, sparse_update only the touched units). nullptr
+     * detaches. The tracker must outlive this object or be detached.
+     */
+    void attach_dirty_tracker(DirtyTracker* tracker)
+    {
+        tracker_ = tracker;
+    }
+
+    /**
+     * Adopt recovered bytes: copy @p data to the device and set the
+     * iteration WITHOUT restamping (a delta-recovered image carries
+     * mixed-iteration markers by design). Marks everything dirty.
+     */
+    void restore(const std::uint8_t* data, Bytes len,
+                 std::uint64_t iteration, bool pinned = true);
 
     std::uint64_t iteration() const { return iteration_; }
     DevPtr device_ptr() const { return ptr_; }
@@ -60,10 +92,32 @@ class TrainingState {
     static std::optional<std::uint64_t> verify_buffer(
         const std::uint8_t* data, Bytes len, Bytes base_offset = 0);
 
+    /**
+     * Host-buffer twin of sparse_update (the shadow-image oracle of
+     * the delta tests). @return the touched unit offsets.
+     */
+    static std::vector<Bytes> sparse_update_buffer(std::uint8_t* data,
+                                                   Bytes len,
+                                                   std::uint64_t iteration,
+                                                   double fraction,
+                                                   std::uint64_t seed);
+
+    /**
+     * Verify a buffer produced by sparse updates + delta recovery:
+     * every marker must carry the magic for its offset, but markers
+     * may disagree on iteration (chunks untouched since an older
+     * frame keep their old stamp).
+     * @return the NEWEST stamped iteration, or std::nullopt if any
+     *         marker is misplaced or corrupt.
+     */
+    static std::optional<std::uint64_t> verify_buffer_sparse(
+        const std::uint8_t* data, Bytes len, Bytes base_offset = 0);
+
   private:
     SimGpu* gpu_;
     DevPtr ptr_;
     std::uint64_t iteration_ = 0;
+    DirtyTracker* tracker_ = nullptr;
 };
 
 }  // namespace pccheck

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Bench result extraction and regression gating (docs/USAGE.md).
+
+The repo's perf-gate convention is a normalized BENCH_<name>.json:
+
+    {"bench": "fig_delta", "reps": 3, "metrics": {"<metric>": <number>}}
+
+Metric direction is inferred from the name: names ending in ``_ms``,
+``_seconds``, ``_time`` or ``latency`` are lower-is-better; everything
+else (throughputs, points/sec, speedups) is higher-is-better.
+
+Subcommands:
+
+  extract RAW.json -o BENCH_x.json
+      Normalize a Google Benchmark ``--benchmark_format=json`` file.
+      Per benchmark name, the median across repetitions of real_time
+      (as ``<name>.real_time_ms``) and, when reported, items_per_second
+      (as ``<name>.items_per_sec``) are emitted. Aggregate rows
+      (mean/median/stddev) in the input are ignored — the median is
+      computed here so unrepeated runs normalize identically.
+
+  compare CURRENT.json BASELINE.json [--tolerance 0.15]
+      Exit 1 if any shared metric regressed beyond the tolerance
+      (direction-aware). Metrics present on only one side are listed
+      but do not fail the gate (benches grow new configurations). A
+      missing baseline FILE warns and passes unless --require-baseline
+      is given — a new bench must not turn CI red before its first
+      baseline is checked in.
+
+  median A.json B.json ... -o OUT.json
+      Merge runs of the same bench: per metric, the median across
+      input files (bench trending; reduces noise between gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import statistics
+import sys
+
+LOWER_IS_BETTER = re.compile(
+    r"(_ms|_seconds|_time|latency)$"
+)
+
+
+def metric_improves_downward(name: str) -> bool:
+    """True when smaller values of *name* are better."""
+    return LOWER_IS_BETTER.search(name) is not None
+
+
+def load_metrics(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path}: no 'metrics' object")
+    bad = [k for k, v in metrics.items()
+           if not isinstance(v, (int, float))]
+    if bad:
+        raise ValueError(f"{path}: non-numeric metrics: {bad}")
+    return doc
+
+
+def write_bench_json(path: str, bench: str, metrics: dict,
+                     reps: int | None = None) -> None:
+    doc = {"bench": bench}
+    if reps is not None:
+        doc["reps"] = reps
+    doc["metrics"] = dict(sorted(metrics.items()))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+# ------------------------------------------------------------------ extract
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    with open(args.raw, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    rows = raw.get("benchmarks", [])
+    by_name: dict[str, dict[str, list[float]]] = {}
+    for row in rows:
+        if row.get("aggregate_name"):
+            continue  # medians are recomputed below
+        name = row.get("run_name") or row.get("name")
+        if not name:
+            continue
+        entry = by_name.setdefault(name, {})
+        if "real_time" in row:
+            # Google Benchmark reports in the unit the bench chose.
+            unit = row.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+            entry.setdefault("real_time_ms", []).append(
+                float(row["real_time"]) * scale.get(unit, 1e-6))
+        if "items_per_second" in row:
+            entry.setdefault("items_per_sec", []).append(
+                float(row["items_per_second"]))
+    if not by_name:
+        print(f"bench_compare: {args.raw}: no benchmark rows",
+              file=sys.stderr)
+        return 1
+    metrics = {}
+    reps = 0
+    for name, series in sorted(by_name.items()):
+        for kind, values in series.items():
+            metrics[f"{name}.{kind}"] = statistics.median(values)
+            reps = max(reps, len(values))
+    bench = os.path.splitext(os.path.basename(args.output))[0]
+    write_bench_json(args.output, bench, metrics, reps=reps)
+    print(f"bench_compare: wrote {args.output} "
+          f"({len(metrics)} metrics, median of {reps})")
+    return 0
+
+
+# ------------------------------------------------------------------ compare
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.baseline):
+        msg = (f"bench_compare: baseline {args.baseline} missing — "
+               "skipping the gate (check one in to arm it)")
+        if args.require_baseline:
+            print(msg.replace("skipping the gate "
+                              "(check one in to arm it)",
+                              "FAILING (--require-baseline)"),
+                  file=sys.stderr)
+            return 1
+        print(msg)
+        return 0
+    current = load_metrics(args.current)["metrics"]
+    baseline = load_metrics(args.baseline)["metrics"]
+
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    if not shared:
+        print("bench_compare: no shared metrics between "
+              f"{args.current} and {args.baseline}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    for name in shared:
+        cur, base = current[name], baseline[name]
+        if base == 0:
+            continue
+        if metric_improves_downward(name):
+            ratio = cur / base          # >1 = slower
+            bad = ratio > 1 + args.tolerance
+            direction = "slower"
+        else:
+            ratio = cur / base          # <1 = less throughput
+            bad = ratio < 1 - args.tolerance
+            direction = "less"
+        delta_pct = (ratio - 1) * 100
+        flag = "REGRESSION" if bad else "ok"
+        print(f"  {flag:>10}  {name}: {cur:.4g} vs {base:.4g} "
+              f"({delta_pct:+.1f}%)")
+        if bad:
+            regressions.append((name, delta_pct, direction))
+
+    for name in only_current:
+        print(f"  {'new':>10}  {name}: {current[name]:.4g} "
+              "(no baseline yet)")
+    for name in only_baseline:
+        print(f"  {'gone':>10}  {name}: baseline only")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} metric(s) regressed "
+              f"beyond {args.tolerance:.0%}:", file=sys.stderr)
+        for name, delta_pct, direction in regressions:
+            print(f"  {name}: {abs(delta_pct):.1f}% {direction}",
+                  file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(shared)} metric(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+# ------------------------------------------------------------------- median
+
+
+def cmd_median(args: argparse.Namespace) -> int:
+    docs = [load_metrics(path) for path in args.inputs]
+    names = sorted({n for doc in docs for n in doc["metrics"]})
+    metrics = {}
+    for name in names:
+        values = [doc["metrics"][name] for doc in docs
+                  if name in doc["metrics"]]
+        metrics[name] = statistics.median(values)
+    bench = docs[0].get("bench", "merged")
+    write_bench_json(args.output, bench, metrics, reps=len(docs))
+    print(f"bench_compare: wrote {args.output} "
+          f"({len(metrics)} metrics, median of {len(docs)} runs)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_compare.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("extract", help="normalize gbench JSON")
+    p.add_argument("raw")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("compare", help="gate against a baseline")
+    p.add_argument("current")
+    p.add_argument("baseline")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="allowed fractional regression (default 0.15)")
+    p.add_argument("--require-baseline", action="store_true",
+                   help="fail (instead of warn) on a missing baseline")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("median", help="merge runs (median per metric)")
+    p.add_argument("inputs", nargs="+")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_median)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

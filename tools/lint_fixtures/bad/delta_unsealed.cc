@@ -1,0 +1,33 @@
+// BAD: seals the delta frame header with no fence() ordering the
+// payload bytes first — a crash after the seal lands but before the
+// payload does surfaces a replay-reachable frame with torn chunks.
+
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+struct Device {
+    void write(std::uint64_t off, const void* src, std::uint64_t len);
+    void persist(std::uint64_t off, std::uint64_t len);
+    void fence();
+};
+
+class DeltaAppender {
+public:
+    int seal_frame(std::uint64_t off, const void* header,
+                   std::uint64_t len);
+
+    int
+    append_unordered(std::uint64_t frame_off, const void* payload,
+                     std::uint64_t payload_len, const void* header)
+    {
+        device_->write(frame_off + 64, payload, payload_len);
+        device_->persist(frame_off + 64, payload_len);
+        return seal_frame(frame_off, header, 64);
+    }
+
+private:
+    Device* device_ = nullptr;
+};
+
+}  // namespace pccheck_lint_fixture

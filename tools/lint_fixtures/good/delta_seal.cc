@@ -1,0 +1,43 @@
+// Exemplar of a clean delta seal: the payload persist is ordered
+// ahead of the header seal by an explicit fence(), or the ordering is
+// delegated to the caller and justified with a "payload-durable:"
+// comment (both idioms shown).
+
+#include <cstdint>
+
+namespace pccheck_lint_fixture {
+
+struct Device {
+    void write(std::uint64_t off, const void* src, std::uint64_t len);
+    void persist(std::uint64_t off, std::uint64_t len);
+    void fence();
+};
+
+class DeltaAppender {
+public:
+    int seal_frame(std::uint64_t off, const void* header,
+                   std::uint64_t len);
+
+    int
+    append(std::uint64_t frame_off, const void* payload,
+           std::uint64_t payload_len, const void* header)
+    {
+        device_->write(frame_off + 64, payload, payload_len);
+        device_->persist(frame_off + 64, payload_len);
+        device_->fence();
+        return seal_frame(frame_off, header, 64);
+    }
+
+    int
+    reseal(std::uint64_t frame_off, const void* header)
+    {
+        // payload-durable: the bytes were sealed once already; only
+        // the header is rewritten here.
+        return seal_frame(frame_off, header, 64);
+    }
+
+private:
+    Device* device_ = nullptr;
+};
+
+}  // namespace pccheck_lint_fixture

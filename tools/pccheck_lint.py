@@ -45,6 +45,16 @@ enforces:
                            commit CAS (a .commit() call) must sit
                            behind await_quorum() so no CHECK_ADDR
                            publish ever depends on an un-acked replica.
+  delta-seal-before-manifest
+                           Sealing a delta frame header is what makes
+                           the frame reachable by replay — the chain's
+                           manifest step. A seal_frame() call site must
+                           therefore be ordered behind the fence() that
+                           made the frame payload durable: the nearest
+                           preceding fence() in the same function, or a
+                           "payload-durable:" justification comment
+                           within the 5 preceding lines when the
+                           ordering is delegated to the caller.
   storage-status-checked   In src/core/, a call to a status-returning
                            storage op (write/persist/fence/write_slot/
                            persist_slot_range/publish_pointer/...) must
@@ -447,9 +457,57 @@ def rule_replica_publish_ordering(path: str,
 
 
 # --------------------------------------------------------------------------
+# delta-seal-before-manifest
+
+
+# Call sites only: `= seal_frame(`, `.seal_frame(`, `->seal_frame(`,
+# `return seal_frame(`. Declarations (`StorageStatus seal_frame(...)`)
+# and the definition (`DeltaLog::seal_frame(`) never match.
+SEAL_CALL_RE = re.compile(r"(?:[.>=(]|\breturn\b)\s*seal_frame\s*\(")
+PAYLOAD_DURABLE_MARKER = "payload-durable:"
+SEAL_WINDOW = 5
+
+
+def rule_delta_seal_before_manifest(path: str,
+                                    lines: List[str]) -> List[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line) or not SEAL_CALL_RE.search(code_of(line)):
+            continue
+        window = lines[max(0, i - SEAL_WINDOW):i + 1]
+        if any(PAYLOAD_DURABLE_MARKER in w for w in window):
+            continue
+        # Walk back to the enclosing function boundary looking for the
+        # fence that ordered the payload ahead of this seal.
+        fence_seen = False
+        for j in range(i - 1, -1, -1):
+            prev = lines[j]
+            if is_comment_line(prev):
+                continue
+            prev_code = code_of(prev)
+            if FENCE_RE.search(prev_code):
+                fence_seen = True
+                break
+            if prev_code and not prev_code[0].isspace() and \
+                    prev_code.rstrip().endswith("{"):
+                break
+        if not fence_seen:
+            findings.append(Finding(
+                path, i + 1, "delta-seal-before-manifest",
+                "seal_frame() with no preceding fence() in this "
+                "function: the seal makes the frame reachable by "
+                "replay, so the payload must be durable first — fence "
+                "before sealing, or justify delegated ordering with a "
+                f"\"{PAYLOAD_DURABLE_MARKER}\" comment within "
+                f"{SEAL_WINDOW} lines"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 
 
 RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
+    "delta-seal-before-manifest": rule_delta_seal_before_manifest,
     "persist-fence-publish": rule_persist_fence_publish,
     "naked-mutex": rule_naked_mutex,
     "raw-atomic-in-core": rule_raw_atomic_in_core,

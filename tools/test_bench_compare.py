@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (ctest: bench_compare_unit).
+
+Covers the gate behaviours CI leans on: a missing baseline must warn
+and pass (unless explicitly required), run-to-run noise inside the
+tolerance must not trip the gate, and a real regression must.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+
+
+def write_json(directory, name, doc):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def bench_doc(metrics, bench="fig_delta", reps=3):
+    return {"bench": bench, "reps": reps, "metrics": metrics}
+
+
+def run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = bench_compare.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+class MetricDirectionTest(unittest.TestCase):
+    def test_throughput_names_improve_upward(self):
+        for name in ("delta_points_per_sec_f10", "items_per_sec",
+                     "delta_speedup_f10"):
+            self.assertFalse(
+                bench_compare.metric_improves_downward(name), name)
+
+    def test_time_names_improve_downward(self):
+        for name in ("persist/1MiB.real_time_ms", "load_seconds",
+                     "recover_time", "p99_latency"):
+            self.assertTrue(
+                bench_compare.metric_improves_downward(name), name)
+
+
+class CompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def test_missing_baseline_warns_and_passes(self):
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"pts_per_sec": 100.0}))
+        missing = os.path.join(self.dir.name, "nope.json")
+        code, out, _ = run(["compare", current, missing])
+        self.assertEqual(code, 0)
+        self.assertIn("missing", out)
+        self.assertIn("skipping the gate", out)
+
+    def test_missing_baseline_fails_when_required(self):
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"pts_per_sec": 100.0}))
+        missing = os.path.join(self.dir.name, "nope.json")
+        code, _, err = run(["compare", current, missing,
+                            "--require-baseline"])
+        self.assertEqual(code, 1)
+        self.assertIn("missing", err)
+
+    def test_noisy_run_inside_tolerance_passes(self):
+        # 12% down on throughput, 9% up on a time metric: noisy but
+        # inside the default 15% band on both axes.
+        baseline = write_json(
+            self.dir.name, "base.json",
+            bench_doc({"pts_per_sec": 100.0, "load_time_ms": 50.0}))
+        current = write_json(
+            self.dir.name, "cur.json",
+            bench_doc({"pts_per_sec": 88.0, "load_time_ms": 54.5}))
+        code, out, _ = run(["compare", current, baseline])
+        self.assertEqual(code, 0)
+        self.assertIn("within 15%", out)
+
+    def test_throughput_regression_fails(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"pts_per_sec": 100.0}))
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"pts_per_sec": 80.0}))
+        code, _, err = run(["compare", current, baseline])
+        self.assertEqual(code, 1)
+        self.assertIn("pts_per_sec", err)
+        self.assertIn("20.0% less", err)
+
+    def test_time_regression_fails_upward_only(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"load_time_ms": 50.0}))
+        slower = write_json(self.dir.name, "slow.json",
+                            bench_doc({"load_time_ms": 60.0}))
+        faster = write_json(self.dir.name, "fast.json",
+                            bench_doc({"load_time_ms": 30.0}))
+        self.assertEqual(run(["compare", slower, baseline])[0], 1)
+        self.assertEqual(run(["compare", faster, baseline])[0], 0)
+
+    def test_improvement_beyond_tolerance_passes(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"pts_per_sec": 100.0}))
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"pts_per_sec": 300.0}))
+        self.assertEqual(run(["compare", current, baseline])[0], 0)
+
+    def test_tolerance_flag_tightens_the_gate(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"pts_per_sec": 100.0}))
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"pts_per_sec": 92.0}))
+        self.assertEqual(run(["compare", current, baseline])[0], 0)
+        self.assertEqual(run(["compare", current, baseline,
+                              "--tolerance", "0.05"])[0], 1)
+
+    def test_unmatched_metrics_are_reported_not_fatal(self):
+        baseline = write_json(
+            self.dir.name, "base.json",
+            bench_doc({"pts_per_sec": 100.0, "retired": 1.0}))
+        current = write_json(
+            self.dir.name, "cur.json",
+            bench_doc({"pts_per_sec": 100.0, "fresh": 2.0}))
+        code, out, _ = run(["compare", current, baseline])
+        self.assertEqual(code, 0)
+        self.assertIn("fresh", out)
+        self.assertIn("retired", out)
+
+    def test_no_shared_metrics_is_an_error(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"a": 1.0}))
+        current = write_json(self.dir.name, "cur.json",
+                             bench_doc({"b": 1.0}))
+        self.assertEqual(run(["compare", current, baseline])[0], 1)
+
+    def test_malformed_current_is_a_tool_error(self):
+        baseline = write_json(self.dir.name, "base.json",
+                              bench_doc({"a": 1.0}))
+        broken = write_json(self.dir.name, "cur.json", {"bench": "x"})
+        self.assertEqual(run(["compare", broken, baseline])[0], 2)
+
+
+class ExtractTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    @staticmethod
+    def gbench_row(name, real_time_ms, items=None, aggregate=None):
+        row = {"name": name, "run_name": name,
+               "real_time": real_time_ms, "time_unit": "ms"}
+        if items is not None:
+            row["items_per_second"] = items
+        if aggregate is not None:
+            row["name"] = f"{name}_{aggregate}"
+            row["aggregate_name"] = aggregate
+        return row
+
+    def test_noisy_repetitions_collapse_to_the_median(self):
+        raw = write_json(self.dir.name, "raw.json", {"benchmarks": [
+            self.gbench_row("persist/1MiB", 9.0, items=90.0),
+            self.gbench_row("persist/1MiB", 10.0, items=100.0),
+            self.gbench_row("persist/1MiB", 14.0, items=140.0),
+            # gbench's own aggregates must not be double-counted
+            self.gbench_row("persist/1MiB", 11.0, aggregate="mean"),
+        ]})
+        out = os.path.join(self.dir.name, "BENCH_persist.json")
+        code, _, _ = run(["extract", raw, "-o", out])
+        self.assertEqual(code, 0)
+        with open(out, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        self.assertEqual(doc["bench"], "BENCH_persist")
+        self.assertEqual(doc["reps"], 3)
+        self.assertEqual(doc["metrics"]["persist/1MiB.real_time_ms"],
+                         10.0)
+        self.assertEqual(doc["metrics"]["persist/1MiB.items_per_sec"],
+                         100.0)
+
+    def test_time_units_normalize_to_ms(self):
+        raw = write_json(self.dir.name, "raw.json", {"benchmarks": [
+            {"name": "a", "real_time": 2.5e6, "time_unit": "ns"},
+            {"name": "b", "real_time": 1500.0, "time_unit": "us"},
+        ]})
+        out = os.path.join(self.dir.name, "BENCH_units.json")
+        self.assertEqual(run(["extract", raw, "-o", out])[0], 0)
+        with open(out, encoding="utf-8") as fh:
+            metrics = json.load(fh)["metrics"]
+        self.assertAlmostEqual(metrics["a.real_time_ms"], 2.5)
+        self.assertAlmostEqual(metrics["b.real_time_ms"], 1.5)
+
+    def test_empty_input_is_an_error(self):
+        raw = write_json(self.dir.name, "raw.json", {"benchmarks": []})
+        out = os.path.join(self.dir.name, "BENCH_empty.json")
+        self.assertEqual(run(["extract", raw, "-o", out])[0], 1)
+        self.assertFalse(os.path.exists(out))
+
+    def test_extract_round_trips_through_compare(self):
+        raw = write_json(self.dir.name, "raw.json", {"benchmarks": [
+            self.gbench_row("persist/1MiB", 10.0, items=100.0),
+        ]})
+        base = os.path.join(self.dir.name, "base.json")
+        cur = os.path.join(self.dir.name, "cur.json")
+        self.assertEqual(run(["extract", raw, "-o", base])[0], 0)
+        self.assertEqual(run(["extract", raw, "-o", cur])[0], 0)
+        self.assertEqual(run(["compare", cur, base])[0], 0)
+
+
+class MedianTest(unittest.TestCase):
+    def test_merges_runs_per_metric(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = [
+                write_json(tmp, f"r{i}.json",
+                           bench_doc({"pts_per_sec": value}))
+                for i, value in enumerate([90.0, 100.0, 130.0])
+            ]
+            out = os.path.join(tmp, "merged.json")
+            self.assertEqual(run(["median", *paths, "-o", out])[0], 0)
+            with open(out, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            self.assertEqual(doc["metrics"]["pts_per_sec"], 100.0)
+            self.assertEqual(doc["reps"], 3)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -18,6 +18,7 @@ ALL_RULES = sorted(pccheck_lint.RULES)
 
 # fixture basename -> rule it must trip
 BAD_EXPECTATIONS = {
+    "delta_unsealed.cc": "delta-seal-before-manifest",
     "fence_missing.cc": "persist-fence-publish",
     "naked_mutex.cc": "naked-mutex",
     "raw_atomic.cc": "raw-atomic-in-core",
@@ -295,6 +296,52 @@ class RuleDetailTests(unittest.TestCase):
         ]
         self.assertEqual(
             self._lint_lines("replica-publish-ordering", lines), [])
+
+    def test_delta_seal_declaration_and_definition_do_not_match(self):
+        lines = [
+            "    StorageStatus seal_frame(Bytes off, const void* h,",
+            "                             Bytes len);",
+            "StorageStatus",
+            "DeltaLog::seal_frame(Bytes off, const void* h, Bytes len)",
+            "{",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("delta-seal-before-manifest", lines), [])
+
+    def test_delta_seal_after_fence_is_clean(self):
+        lines = [
+            "int f(Device& d) {",
+            "    d.persist(64, 128);",
+            "    d.fence();",
+            "    return seal_frame(0, hdr, 64);",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("delta-seal-before-manifest", lines), [])
+
+    def test_delta_seal_marker_justifies_delegated_ordering(self):
+        lines = [
+            "int f(Device& d) {",
+            "    // payload-durable: caller fenced before calling.",
+            "    return seal_frame(0, hdr, 64);",
+            "}",
+        ]
+        self.assertEqual(
+            self._lint_lines("delta-seal-before-manifest", lines), [])
+
+    def test_delta_seal_scan_stops_at_function_boundary(self):
+        lines = [
+            "int f(Device& d) {",
+            "    d.fence();",
+            "}",
+            "int g(Device& d) {",
+            "    return seal_frame(0, hdr, 64);",
+            "}",
+        ]
+        findings = self._lint_lines("delta-seal-before-manifest", lines)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 5)
 
     def test_storage_status_continuation_line_is_clean(self):
         lines = [
