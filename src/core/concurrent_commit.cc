@@ -1,6 +1,7 @@
 #include "core/concurrent_commit.h"
 
 #include "obs/stage.h"
+#include "psan/psan_storage.h"
 #include "util/check.h"
 #include "util/metrics.h"
 
@@ -217,6 +218,12 @@ ConcurrentCommit::abort(const CheckpointTicket& ticket)
 void
 ConcurrentCommit::note_replicated(std::uint64_t counter)
 {
+    if (PsanStorage* psan = store_->psan()) {
+        // V1 early-ack: a watermark naming a counter newer than the
+        // newest durable publish would promise replicas data the local
+        // record never made durable.
+        psan->on_watermark_advance(counter);
+    }
     // Monotonic max: concurrent commits may report out of order.
     // relaxed: advisory watermark; the durable publish it describes
     // was already ordered by the commit path's own fences.

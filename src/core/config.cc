@@ -48,6 +48,9 @@ PCcheckConfig::to_string() const
     if (delta_log_bytes > 0) {
         oss << " delta(" << format_bytes(delta_log_bytes) << ")";
     }
+    if (psan) {
+        oss << " psan";
+    }
     return oss.str();
 }
 

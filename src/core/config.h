@@ -11,6 +11,7 @@
 
 #include "core/free_slot_queue.h"
 #include "faults/retry.h"
+#include "psan/psan.h"
 #include "util/bytes.h"
 
 namespace pccheck {
@@ -86,6 +87,14 @@ struct PCcheckConfig {
     RetryPolicy storage_retry;
     /** Seed for deterministic backoff jitter (fault experiments). */
     std::uint64_t retry_seed = 1;
+    /**
+     * Run under the persistence sanitizer (docs/PSAN.md): the
+     * orchestrator interposes a PsanStorage decorator over the device,
+     * checking the durability contract on every storage op. Defaults
+     * to the PCCHECK_PSAN environment variable / CMake option so the
+     * whole existing test corpus runs sanitized without edits.
+     */
+    bool psan = psan::psan_default_enabled();
 
     /** Validate ranges; throws FatalError on nonsense values. */
     void validate() const;

@@ -30,6 +30,15 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
     : state_(&state), device_(&device), config_(config), clock_(&clock)
 {
     config_.validate();
+    if (config_.psan && dynamic_cast<PsanStorage*>(&device) == nullptr) {
+        // Interpose the persistence sanitizer (docs/PSAN.md): every
+        // storage op below this point — formatting, salvage, the
+        // persist engine, the delta log, recovery — flows through the
+        // shadow state machine. Devices already wrapped by the caller
+        // are left alone.
+        psan_device_ = std::make_unique<PsanStorage>(device);
+        device_ = psan_device_.get();
+    }
     region_offset_ = config_.region_offset;
     region_bytes_ = config_.region_bytes > 0 ? config_.region_bytes
                                              : state.size();
@@ -65,21 +74,22 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
     std::vector<std::uint8_t> salvaged;
     std::optional<RecoveryResult> salvage_info;
     try {
-        SlotStore existing = SlotStore::open(device);
+        SlotStore existing = SlotStore::open(*device_);
         if (existing.slot_count() == slot_count &&
             existing.slot_size() == m &&
             existing.delta_bytes() == expected_delta) {
             store_ = std::make_unique<SlotStore>(existing);
             opened = true;
         } else {
-            salvage_info = recover_latest(device, &salvaged, clock);
+            salvage_info = recover_latest(*device_, &salvaged, clock);
         }
     } catch (const FatalError&) {
         // Unformatted device: fresh format below.
     }
     if (!opened) {
+        psan::ScopeLabel psan_label("orchestrator.salvage");
         store_ = std::make_unique<SlotStore>(SlotStore::format(
-            device, slot_count, m, config_.delta_log_bytes));
+            *device_, slot_count, m, config_.delta_log_bytes));
         if (salvage_info.has_value() && salvaged.size() <= m) {
             // Salvage runs before training starts; a device that fails
             // here cannot host checkpoints at all, so escalate.
@@ -87,7 +97,7 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
                                             salvaged.size()));
             PCCHECK_MUST(
                 store_->persist_slot_range(0, 0, salvaged.size()));
-            PCCHECK_MUST(device.fence());
+            PCCHECK_MUST(device_->fence());
             PCCHECK_MUST(store_->publish_pointer(CheckpointPointer{
                 salvage_info->counter, 0, salvaged.size(),
                 salvage_info->iteration,
@@ -114,8 +124,8 @@ PCcheckCheckpointer::PCcheckCheckpointer(TrainingState& state,
         tracker_ = std::make_unique<DirtyTracker>(
             region_bytes_, config_.delta_chunk_bytes);
         delta_log_ = std::make_unique<DeltaLog>(
-            device, DeltaRegion{store_->delta_offset(),
-                                store_->delta_bytes()});
+            *device_, DeltaRegion{store_->delta_offset(),
+                                  store_->delta_bytes()});
         // From here every stamp/sparse_update feeds the tracker; the
         // destructor detaches it (the state outlives this object).
         state_->attach_dirty_tracker(tracker_.get());
@@ -160,6 +170,23 @@ PCcheckCheckpointer::~PCcheckCheckpointer()
     }
     if (tracker_ != nullptr) {
         state_->attach_dirty_tracker(nullptr);
+    }
+}
+
+void
+PCcheckCheckpointer::attach_replication(ReplicationEngine* engine)
+{
+    replication_ = engine;
+    if (engine == nullptr) {
+        return;
+    }
+    if (PsanStorage* psan = store_->psan()) {
+        // Route the engine's peer-side watermark advances through the
+        // sanitizer's early-ack check (V1) without giving remote/ a
+        // psan dependency.
+        engine->set_watermark_guard([psan](std::uint64_t counter) {
+            psan->on_watermark_advance(counter);
+        });
     }
 }
 

@@ -39,6 +39,7 @@
 #include "delta/delta_log.h"
 #include "delta/dirty_tracker.h"
 #include "gpusim/gpu.h"
+#include "psan/psan_storage.h"
 #include "remote/replication.h"
 #include "trainsim/checkpointer.h"
 #include "trainsim/training_state.h"
@@ -100,10 +101,7 @@ class PCcheckCheckpointer final : public Checkpointer {
      * Not used on the direct_to_storage ablation path, which stages
      * nothing in DRAM for the network to read.
      */
-    void attach_replication(ReplicationEngine* engine)
-    {
-        replication_ = engine;
-    }
+    void attach_replication(ReplicationEngine* engine);
 
     /** DRAM actually allocated for staging buffers (Table 1 audit). */
     Bytes staging_bytes() const { return staging_.size(); }
@@ -143,6 +141,10 @@ class PCcheckCheckpointer final : public Checkpointer {
     Bytes region_offset_ = 0;  ///< shard start within the state (§3.1)
     Bytes region_bytes_ = 0;   ///< shard length (m)
 
+    /** Sanitizer interposed over the caller's device when config.psan
+     *  is set (docs/PSAN.md). Declared before store_/delta_log_ so it
+     *  outlives everything holding a pointer into it. */
+    std::unique_ptr<PsanStorage> psan_device_;
     std::unique_ptr<SlotStore> store_;
     std::unique_ptr<ConcurrentCommit> commit_;
     std::unique_ptr<PersistEngine> engine_;

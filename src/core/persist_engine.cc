@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/stage.h"
+#include "psan/psan.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/sync.h"
@@ -60,6 +61,7 @@ PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
             "pccheck.stage.persist_chunk");
     StageSpan span("persist.chunk", chunk_hist, "slot", slot, "len",
                    len);
+    psan::ScopeLabel psan_label("persist_engine.stripe");
     Stopwatch watch(*clock_);
     // A transient error anywhere in the write→persist→fence sequence
     // retries the whole stripe: the write may not have reached the

@@ -1,6 +1,7 @@
 #include "core/recovery.h"
 
 #include "core/slot_store.h"
+#include "psan/psan.h"
 #include "util/check.h"
 #include "util/crc32.h"
 
@@ -12,6 +13,11 @@ recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
 {
     PCCHECK_CHECK(out != nullptr);
     Stopwatch watch(clock);
+    // V5: everything recovery touches from here on must be on durable
+    // media (or untouched pre-existing content) — reading a line only
+    // the volatile domain holds would vanish in a real crash.
+    psan::RecoveryScope psan_scope;
+    psan::ScopeLabel psan_label("recovery.to_buffer");
     SlotStore store = SlotStore::open(device);
     // Newest-first over the valid pointer records; one slot read per
     // candidate, CRC-validated against that same read (no double read
@@ -41,6 +47,9 @@ recover_latest(StorageDevice& device, std::vector<std::uint8_t>* out,
 {
     PCCHECK_CHECK(out != nullptr);
     Stopwatch watch(clock);
+    // V5: see recover_to_buffer.
+    psan::RecoveryScope psan_scope;
+    psan::ScopeLabel psan_label("recovery.latest");
     SlotStore store = SlotStore::open(device);
     for (const CheckpointPointer& pointer : store.candidate_pointers()) {
         out->resize(pointer.data_len);

@@ -38,6 +38,8 @@
 
 namespace pccheck {
 
+class PsanStorage;
+
 /** Committed-checkpoint descriptor (what CHECK_ADDR points to). */
 struct CheckpointPointer {
     std::uint64_t counter = 0;    ///< global checkpoint counter value
@@ -69,6 +71,14 @@ class SlotStore {
     std::uint32_t slot_count() const { return slot_count_; }
     Bytes slot_size() const { return slot_size_; }
     StorageDevice& device() { return *device_; }
+
+    /**
+     * The persistence sanitizer wrapping this store's device, or
+     * nullptr when psan is off (detected at construction; see
+     * docs/PSAN.md). Protocol sites use this to report publish/seal
+     * ordering steps without paying anything in unsanitized builds.
+     */
+    PsanStorage* psan() const { return psan_; }
 
     /** Device offset of the delta-log region (0 when absent). */
     Bytes delta_offset() const { return delta_offset_; }
@@ -155,6 +165,7 @@ class SlotStore {
     };
 
     StorageDevice* device_;
+    PsanStorage* psan_ = nullptr;
     std::uint32_t slot_count_;
     Bytes slot_size_;
     Bytes data_offset_;

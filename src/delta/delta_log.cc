@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "delta/frame_format.h"
+#include "psan/psan.h"
+#include "psan/psan_storage.h"
 #include "util/check.h"
 #include "util/crc32.h"
 
@@ -111,7 +113,8 @@ delta_replay(const StorageDevice& device, const DeltaRegion& region,
 }
 
 DeltaLog::DeltaLog(StorageDevice& device, const DeltaRegion& region)
-    : device_(&device), region_(region)
+    : device_(&device), psan_(dynamic_cast<PsanStorage*>(&device)),
+      region_(region)
 {
     PCCHECK_CHECK(region.bytes >= kFrameAlign);
     PCCHECK_CHECK_MSG(region.offset + region.bytes <= device.size(),
@@ -182,6 +185,11 @@ DeltaLog::reset_epoch(std::uint64_t base_counter,
     epoch_base_ = base_counter;
     last_iteration_ = base_iteration;
     epoch_open_ = true;
+    if (psan_ != nullptr) {
+        // GC: the old epoch's sealed frames are unreachable from the
+        // new base, so overwriting them is no longer a lost update.
+        psan_->on_epoch_reset();
+    }
 }
 
 StorageStatus
@@ -202,6 +210,7 @@ DeltaLog::append(std::uint64_t iteration,
                  const std::vector<DeltaChunk>& chunks,
                  const std::uint8_t* data)
 {
+    psan::ScopeLabel psan_label("delta_log.append");
     MutexLock lock(mu_);
     PCCHECK_CHECK_MSG(epoch_open_,
                       "append before the first epoch reset");
@@ -271,6 +280,12 @@ DeltaLog::append(std::uint64_t iteration,
     if (!status.ok()) {
         return status;  // head unchanged: the caller may retry
     }
+    if (psan_ != nullptr) {
+        // V1: the payload (and dead headers) must be durable before
+        // the seal below makes the frame reachable to replay.
+        psan_->on_seal_begin(frame_off,
+                             truncate_next ? total + kFrameAlign : total);
+    }
 
     RawFrameHeader hdr{};
     hdr.magic = kFrameMagic;
@@ -286,6 +301,11 @@ DeltaLog::append(std::uint64_t iteration,
     status = seal_frame(frame_off, &hdr, sizeof(hdr));
     if (!status.ok()) {
         return status;
+    }
+    if (psan_ != nullptr) {
+        // V2 on the sealed header, then protect the frame against
+        // overwrite until the next epoch reset (V3).
+        psan_->on_seal_durable(frame_off, total);
     }
     head_ += total;
     ++next_seq_;

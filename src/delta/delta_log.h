@@ -45,6 +45,8 @@
 
 namespace pccheck {
 
+class PsanStorage;
+
 /** One dirty byte range within the training state. */
 struct DeltaChunk {
     Bytes offset = 0;  ///< chunk start within the state image
@@ -169,6 +171,8 @@ class DeltaLog {
                              Bytes len);
 
     StorageDevice* device_;
+    /** Sanitizer wrapping the device, nullptr when psan is off. */
+    PsanStorage* psan_ = nullptr;
     const DeltaRegion region_;
 
     mutable Mutex mu_;

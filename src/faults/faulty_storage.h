@@ -23,7 +23,9 @@
  */
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "faults/fault.h"
 #include "storage/device.h"
@@ -54,6 +56,11 @@ class FaultyStorage final : public StorageDevice {
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override;
     StorageKind kind() const override { return inner_->kind(); }
+    void set_observe_hook(
+        std::function<void(const StorageOp&)> hook) override
+    {
+        inner_->set_observe_hook(std::move(hook));
+    }
 
     StorageDevice& inner() { return *inner_; }
     FaultInjector& injector() { return *injector_; }

@@ -360,7 +360,7 @@ void CommitModel::check_end_state()
                 Scheduler::fail(os.str());
             }
         }
-        if (latest_slot != kNoSlot && free.count(latest_slot) != 0) {
+        if (latest_slot != kNoSlot && free.contains(latest_slot)) {
             Scheduler::fail("registered slot is also free");
         }
         const std::size_t expected_free =

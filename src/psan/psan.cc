@@ -1,0 +1,263 @@
+#include "psan/psan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pccheck {
+namespace psan {
+namespace {
+
+/** Thread-local label stack for ScopeLabel (raw pointers: labels are
+ *  string literals with static storage duration). */
+thread_local std::vector<const char*> t_labels;
+
+/** Thread-local RecoveryScope nesting depth. */
+thread_local int t_recovery_depth = 0;
+
+/** Writes the V4 report line at process exit when requested. */
+struct ReportAtExit {
+    ~ReportAtExit()
+    {
+        const char* path = std::getenv("PCCHECK_PSAN_REPORT");
+        if (path == nullptr || path[0] == '\0') {
+            return;
+        }
+        // One JSON object per line, append mode: parallel ctest
+        // processes share the file and tools/psan_report.py merges
+        // the lines.
+        std::ofstream out(path, std::ios::app);
+        if (out) {
+            out << Runtime::global().report_json() << "\n";
+        }
+    }
+};
+
+}  // namespace
+
+const char*
+rule_code(Rule rule)
+{
+    switch (rule) {
+      case Rule::kV1AckBeforePayload:
+        return "V1";
+      case Rule::kV2MissingFence:
+        return "V2";
+      case Rule::kV3LostUpdate:
+        return "V3";
+      case Rule::kV4RedundantFlush:
+        return "V4";
+      case Rule::kV5NondurableRead:
+        return "V5";
+    }
+    return "V?";
+}
+
+std::string
+Violation::to_string() const
+{
+    std::ostringstream oss;
+    oss << "psan: " << rule_code(rule) << " " << message << " range=["
+        << offset << "," << offset + len << ") label="
+        << (label.empty() ? "<none>" : label) << " op=" << op_index;
+    return oss.str();
+}
+
+Runtime&
+Runtime::global()
+{
+    static Runtime runtime;
+    static ReportAtExit report_at_exit;
+    (void)report_at_exit;
+    return runtime;
+}
+
+void
+Runtime::set_trap(Trap trap)
+{
+    MutexLock lock(mu_);
+    trap_ = trap;
+}
+
+Runtime::Trap
+Runtime::trap() const
+{
+    MutexLock lock(mu_);
+    return trap_;
+}
+
+void
+Runtime::report(const Violation& violation)
+{
+    Trap trap;
+    {
+        MutexLock lock(mu_);
+        ++counts_[static_cast<std::size_t>(violation.rule)];
+        trap = trap_;
+        if (trap == Trap::kCollect) {
+            collected_.push_back(violation);
+        }
+    }
+    if (trap == Trap::kAbort) {
+        // Deterministic report: rule code, message, ranges, label, op
+        // index — nothing address- or time-dependent.
+        std::fprintf(stderr, "%s\n", violation.to_string().c_str());
+        std::abort();
+    }
+}
+
+std::uint64_t
+Runtime::violation_count() const
+{
+    MutexLock lock(mu_);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+        if (i != static_cast<std::size_t>(Rule::kV4RedundantFlush)) {
+            total += counts_[i];
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+Runtime::rule_count(Rule rule) const
+{
+    MutexLock lock(mu_);
+    return counts_[static_cast<std::size_t>(rule)];
+}
+
+std::vector<Violation>
+Runtime::take_violations()
+{
+    MutexLock lock(mu_);
+    std::vector<Violation> out;
+    out.swap(collected_);
+    return out;
+}
+
+RedundancyStats&
+Runtime::stats_for(const std::string& label)
+{
+    // Linear scan over a handful of static labels: the table is tiny
+    // (one entry per instrumented site) and stays insertion-ordered.
+    for (auto& entry : redundancy_) {
+        if (entry.first == label) {
+            return entry.second;
+        }
+    }
+    redundancy_.emplace_back(label, RedundancyStats{});
+    return redundancy_.back().second;
+}
+
+void
+Runtime::note_persist(const std::string& label, bool redundant_op,
+                      std::uint64_t redundant_lines)
+{
+    MutexLock lock(mu_);
+    RedundancyStats& stats = stats_for(label);
+    ++stats.persist_ops;
+    if (redundant_op) {
+        ++stats.redundant_persist_ops;
+    }
+    stats.redundant_persist_lines += redundant_lines;
+}
+
+void
+Runtime::note_fence(const std::string& label, bool redundant)
+{
+    MutexLock lock(mu_);
+    RedundancyStats& stats = stats_for(label);
+    ++stats.fence_ops;
+    if (redundant) {
+        ++stats.redundant_fences;
+    }
+}
+
+std::vector<std::pair<std::string, RedundancyStats>>
+Runtime::redundancy_table() const
+{
+    std::vector<std::pair<std::string, RedundancyStats>> table;
+    {
+        MutexLock lock(mu_);
+        table = redundancy_;
+    }
+    std::sort(table.begin(), table.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return table;
+}
+
+std::string
+Runtime::report_json() const
+{
+    std::ostringstream oss;
+    oss << "{\"psan_redundancy\":{";
+    bool first = true;
+    for (const auto& [label, stats] : redundancy_table()) {
+        if (!first) {
+            oss << ",";
+        }
+        first = false;
+        oss << "\"" << (label.empty() ? "<none>" : label) << "\":{"
+            << "\"persist_ops\":" << stats.persist_ops
+            << ",\"redundant_persist_ops\":" << stats.redundant_persist_ops
+            << ",\"redundant_persist_lines\":"
+            << stats.redundant_persist_lines
+            << ",\"fence_ops\":" << stats.fence_ops
+            << ",\"redundant_fences\":" << stats.redundant_fences << "}";
+    }
+    oss << "}}";
+    return oss.str();
+}
+
+ScopeLabel::ScopeLabel(const char* label)
+{
+    t_labels.push_back(label);
+}
+
+ScopeLabel::~ScopeLabel()
+{
+    t_labels.pop_back();
+}
+
+const char*
+ScopeLabel::current()
+{
+    return t_labels.empty() ? "" : t_labels.back();
+}
+
+RecoveryScope::RecoveryScope()
+{
+    ++t_recovery_depth;
+}
+
+RecoveryScope::~RecoveryScope()
+{
+    --t_recovery_depth;
+}
+
+bool
+RecoveryScope::active()
+{
+    return t_recovery_depth > 0;
+}
+
+bool
+psan_default_enabled()
+{
+    const char* env = std::getenv("PCCHECK_PSAN");
+    if (env != nullptr && env[0] != '\0') {
+        return env[0] == '1' || env[0] == 'y' || env[0] == 'Y' ||
+               env[0] == 't' || env[0] == 'T';
+    }
+#if defined(PCCHECK_PSAN_DEFAULT_ON)
+    return true;
+#else
+    return false;
+#endif
+}
+
+}  // namespace psan
+}  // namespace pccheck

@@ -1,0 +1,188 @@
+#ifndef PCCHECK_PSAN_PSAN_H_
+#define PCCHECK_PSAN_PSAN_H_
+
+/**
+ * @file
+ * pccheck-psan: the persistence sanitizer runtime (docs/PSAN.md).
+ *
+ * In the spirit of ASan/TSan, but for the durability lifecycle: every
+ * storage line is shadowed by a state machine
+ *
+ *   Clean → Dirty → FlushPending → Durable
+ *
+ * (see PsanStorage in psan_storage.h) and the commit/seal/publish
+ * sites report their ordering-sensitive steps through lightweight
+ * hooks. Contract violations are reported here, with provenance:
+ * the originating scope label, the device op index, and the line
+ * ranges involved.
+ *
+ * Rules (docs/PSAN.md):
+ *   V1 ack-before-payload  a publish/seal/watermark advance names data
+ *                          whose payload lines are not yet Durable
+ *   V2 missing-fence       a publish/seal record completed without the
+ *                          persist+fence that makes it durable
+ *   V3 lost-update         a write overlaps lines protecting the
+ *                          newest durable checkpoint (live slot or a
+ *                          sealed delta frame of the current epoch)
+ *   V4 redundant-flush     persist/fence work on lines with nothing to
+ *                          flush (perf waste — summary table, never a
+ *                          failure)
+ *   V5 nondurable-read     recovery reads a line never made Durable
+ *
+ * Violations abort with a deterministic report by default; tests
+ * switch the runtime to collect mode and assert on the records.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/bytes.h"
+
+namespace pccheck {
+namespace psan {
+
+/** Durability-contract rules (docs/PSAN.md). V4 is advisory only. */
+enum class Rule : std::uint8_t {
+    kV1AckBeforePayload,
+    kV2MissingFence,
+    kV3LostUpdate,
+    kV4RedundantFlush,  ///< never reported as a violation; stats only
+    kV5NondurableRead,
+};
+
+/** Stable short code ("V1".."V5") for reports and test assertions. */
+const char* rule_code(Rule rule);
+
+/** One detected durability-contract violation, with provenance. */
+struct Violation {
+    Rule rule = Rule::kV1AckBeforePayload;
+    /** Innermost scope label at the faulting op ("" when unlabeled). */
+    std::string label;
+    /** Device op index (per-device monotonic write/persist/fence count). */
+    std::uint64_t op_index = 0;
+    Bytes offset = 0;  ///< first byte of the offending range
+    Bytes len = 0;     ///< length of the offending range
+    std::string message;
+
+    /** Deterministic one-line report (no pointers, no timestamps). */
+    std::string to_string() const;
+};
+
+/** Per-label V4 redundancy aggregate (the report's summary table). */
+struct RedundancyStats {
+    std::uint64_t persist_ops = 0;
+    /** Persist calls covering no Dirty line at all. */
+    std::uint64_t redundant_persist_ops = 0;
+    /** Lines covered by a persist that had nothing to flush. */
+    std::uint64_t redundant_persist_lines = 0;
+    std::uint64_t fence_ops = 0;
+    /** Fences issued with no FlushPending line anywhere (PMEM only). */
+    std::uint64_t redundant_fences = 0;
+};
+
+/**
+ * Process-wide sanitizer runtime: violation sink + V4 aggregation.
+ * Thread-safe. A single instance serves every PsanStorage in the
+ * process so sweep harnesses can assert "psan-clean" in one place.
+ */
+class Runtime {
+  public:
+    enum class Trap {
+        kAbort,    ///< print the deterministic report and abort()
+        kCollect,  ///< store the violation for test inspection
+    };
+
+    static Runtime& global();
+
+    void set_trap(Trap trap);
+    Trap trap() const;
+
+    /** Report a violation; aborts in kAbort mode (V4 never arrives). */
+    void report(const Violation& violation);
+
+    /** Total violations reported since process start (V4 excluded). */
+    std::uint64_t violation_count() const;
+    /** Violations of one rule since process start. */
+    std::uint64_t rule_count(Rule rule) const;
+    /** Drain the collected violations (kCollect mode). */
+    std::vector<Violation> take_violations();
+
+    /** V4 bookkeeping, called by PsanStorage on persist/fence ops. */
+    void note_persist(const std::string& label, bool redundant_op,
+                      std::uint64_t redundant_lines);
+    void note_fence(const std::string& label, bool redundant);
+
+    /** Per-label V4 table, label-sorted (stable report order). */
+    std::vector<std::pair<std::string, RedundancyStats>>
+    redundancy_table() const;
+
+    /**
+     * One JSON object (single line) with the V4 table — the record
+     * tools/psan_report.py merges into bench/baselines/
+     * PSAN_redundancy.json. Appended to $PCCHECK_PSAN_REPORT at
+     * process exit when that variable names a writable path.
+     */
+    std::string report_json() const;
+
+  private:
+    Runtime() = default;
+
+    mutable Mutex mu_;
+    Trap trap_ PCCHECK_GUARDED_BY(mu_) = Trap::kAbort;
+    std::uint64_t counts_[5] PCCHECK_GUARDED_BY(mu_) = {0, 0, 0, 0, 0};
+    std::vector<Violation> collected_ PCCHECK_GUARDED_BY(mu_);
+    std::vector<std::pair<std::string, RedundancyStats>> redundancy_
+        PCCHECK_GUARDED_BY(mu_);
+
+    RedundancyStats& stats_for(const std::string& label)
+        PCCHECK_REQUIRES(mu_);
+};
+
+/**
+ * RAII provenance label for violation reports and the V4 table, e.g.
+ * "slot_store.publish" or "persist_engine.stripe". Labels nest;
+ * reports carry the innermost. Thread-local, so concurrent writers
+ * each carry their own provenance.
+ */
+class ScopeLabel {
+  public:
+    explicit ScopeLabel(const char* label);
+    ~ScopeLabel();
+
+    ScopeLabel(const ScopeLabel&) = delete;
+    ScopeLabel& operator=(const ScopeLabel&) = delete;
+
+    /** Innermost active label on this thread ("" when none). */
+    static const char* current();
+};
+
+/**
+ * RAII marker for recovery code: while in scope (on this thread),
+ * PsanStorage::read() enforces V5 — every line read must be Durable
+ * or Clean (pre-existing media content). Nests.
+ */
+class RecoveryScope {
+  public:
+    RecoveryScope();
+    ~RecoveryScope();
+
+    RecoveryScope(const RecoveryScope&) = delete;
+    RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+    static bool active();
+};
+
+/**
+ * Whether PCcheckConfig::psan should default to enabled: the
+ * PCCHECK_PSAN environment variable ("0"/"1") wins; otherwise the
+ * PCCHECK_PSAN CMake option's compile-time default applies.
+ */
+bool psan_default_enabled();
+
+}  // namespace psan
+}  // namespace pccheck
+
+#endif  // PCCHECK_PSAN_PSAN_H_

@@ -1,0 +1,427 @@
+#include "psan/psan_storage.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pccheck {
+namespace {
+
+/** Sentinel for "no such line" from range scans. */
+constexpr Bytes kNoLine = static_cast<Bytes>(-1);
+
+Bytes
+line_size_for(StorageKind kind)
+{
+    // Mirrors CrashSimStorage: 4 KiB msync pages for SSD, 64 B cache
+    // lines for the PMEM kinds; DRAM gets the cache-line granularity
+    // too (persist commits directly, so the size only affects report
+    // ranges).
+    return kind == StorageKind::kSsdMsync ? Bytes{4096} : Bytes{64};
+}
+
+}  // namespace
+
+PsanStorage::PsanStorage(StorageDevice& inner)
+    : inner_(&inner),
+      kind_(inner.kind()),
+      line_size_(line_size_for(kind_)),
+      fence_commits_(needs_fence(kind_))
+{
+}
+
+PsanStorage::PsanStorage(std::unique_ptr<StorageDevice> inner)
+    : inner_(inner.get()),
+      owned_(std::move(inner)),
+      kind_(owned_->kind()),
+      line_size_(line_size_for(kind_)),
+      fence_commits_(needs_fence(kind_))
+{
+    PCCHECK_CHECK(inner_ != nullptr);
+}
+
+void
+PsanStorage::split_at(Bytes line)
+{
+    auto it = runs_.upper_bound(line);
+    if (it == runs_.begin()) {
+        return;
+    }
+    --it;
+    if (it->first < line && line < it->second.end) {
+        Run tail{it->second.end, it->second.state};
+        it->second.end = line;
+        runs_.emplace(line, tail);
+    }
+}
+
+void
+PsanStorage::coalesce_around(std::map<Bytes, Run>::iterator it)
+{
+    if (it != runs_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end == it->first &&
+            prev->second.state == it->second.state) {
+            prev->second.end = it->second.end;
+            runs_.erase(it);
+            it = prev;
+        }
+    }
+    auto next = std::next(it);
+    if (next != runs_.end() && it->second.end == next->first &&
+        it->second.state == next->second.state) {
+        it->second.end = next->second.end;
+        runs_.erase(next);
+    }
+}
+
+void
+PsanStorage::set_lines(Bytes first, Bytes last, LineState state)
+{
+    if (first >= last) {
+        return;
+    }
+    split_at(first);
+    split_at(last);
+    auto it = runs_.lower_bound(first);
+    while (it != runs_.end() && it->first < last) {
+        it = runs_.erase(it);
+    }
+    if (state != LineState::kClean) {
+        auto inserted = runs_.emplace(first, Run{last, state}).first;
+        coalesce_around(inserted);
+    }
+}
+
+std::uint64_t
+PsanStorage::count_lines_not(Bytes first, Bytes last, LineState state) const
+{
+    if (first >= last) {
+        return 0;
+    }
+    std::uint64_t matching = 0;
+    auto it = runs_.upper_bound(first);
+    if (it != runs_.begin()) {
+        --it;
+    }
+    for (; it != runs_.end() && it->first < last; ++it) {
+        if (it->second.state != state) {
+            continue;
+        }
+        const Bytes begin = it->first > first ? it->first : first;
+        const Bytes end = it->second.end < last ? it->second.end : last;
+        if (begin < end) {
+            matching += end - begin;
+        }
+    }
+    return (last - first) - matching;
+}
+
+Bytes
+PsanStorage::first_unstable(Bytes first, Bytes last) const
+{
+    auto it = runs_.upper_bound(first);
+    if (it != runs_.begin()) {
+        --it;
+    }
+    for (; it != runs_.end() && it->first < last; ++it) {
+        if (it->second.end <= first) {
+            continue;
+        }
+        if (it->second.state == LineState::kDirty ||
+            it->second.state == LineState::kFlushPending) {
+            return it->first > first ? it->first : first;
+        }
+    }
+    return kNoLine;
+}
+
+bool
+PsanStorage::any_flush_pending() const
+{
+    for (const auto& [begin, run] : runs_) {
+        (void)begin;
+        if (run.state == LineState::kFlushPending) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PsanStorage::ranges_overlap(const std::map<Bytes, Bytes>& set, Bytes offset,
+                            Bytes len, Bytes* hit_begin, Bytes* hit_end)
+{
+    if (len == 0 || set.empty()) {
+        return false;
+    }
+    auto it = set.upper_bound(offset);
+    if (it != set.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second > offset) {
+            *hit_begin = prev->first;
+            *hit_end = prev->first + prev->second;
+            return true;
+        }
+    }
+    if (it != set.end() && it->first < offset + len) {
+        *hit_begin = it->first;
+        *hit_end = it->first + it->second;
+        return true;
+    }
+    return false;
+}
+
+void
+PsanStorage::violation(psan::Rule rule, Bytes offset, Bytes len,
+                       const std::string& message) const
+{
+    psan::Violation v;
+    v.rule = rule;
+    v.label = psan::ScopeLabel::current();
+    v.op_index = op_index_;
+    v.offset = offset;
+    v.len = len;
+    v.message = message;
+    psan::Runtime::global().report(v);
+}
+
+StorageStatus
+PsanStorage::write(Bytes offset, const void* src, Bytes len)
+{
+    {
+        MutexLock lock(mu_);
+        ++op_index_;
+        Bytes hit_begin = 0;
+        Bytes hit_end = 0;
+        if (ranges_overlap(slot_protect_, offset, len, &hit_begin,
+                           &hit_end)) {
+            std::ostringstream oss;
+            oss << "lost-update: overwrite of the newest durable "
+                   "checkpoint's payload (protected range ["
+                << hit_begin << "," << hit_end << "), counter "
+                << published_counter_ << ")";
+            violation(psan::Rule::kV3LostUpdate, offset, len, oss.str());
+        } else if (ranges_overlap(delta_protect_, offset, len, &hit_begin,
+                                  &hit_end)) {
+            std::ostringstream oss;
+            oss << "lost-update: overwrite of a sealed delta frame "
+                   "(protected range ["
+                << hit_begin << "," << hit_end << "))";
+            violation(psan::Rule::kV3LostUpdate, offset, len, oss.str());
+        }
+    }
+    StorageStatus status = inner_->write(offset, src, len);
+    if (len != 0) {
+        // Even a failed write leaves the range "not durable" (device.h
+        // contract), so the shadow dirties it unconditionally.
+        MutexLock lock(mu_);
+        set_lines(line_of(offset), line_end_of(offset, len),
+                  LineState::kDirty);
+    }
+    return status;
+}
+
+void
+PsanStorage::read(Bytes offset, void* dst, Bytes len) const
+{
+    if (psan::RecoveryScope::active() && len != 0) {
+        MutexLock lock(mu_);
+        const Bytes line =
+            first_unstable(line_of(offset), line_end_of(offset, len));
+        if (line != kNoLine) {
+            violation(psan::Rule::kV5NondurableRead, line * line_size_,
+                      line_size_,
+                      "nondurable-read: recovery read a line never made "
+                      "durable");
+        }
+    }
+    inner_->read(offset, dst, len);
+}
+
+StorageStatus
+PsanStorage::persist(Bytes offset, Bytes len)
+{
+    const Bytes first = line_of(offset);
+    const Bytes last = line_end_of(offset, len);
+    {
+        MutexLock lock(mu_);
+        ++op_index_;
+        // V4 bookkeeping against the pre-op shadow: a persist is
+        // useful exactly on Dirty lines; everything else it covers
+        // (Clean, FlushPending, already Durable) is wasted flush work.
+        const std::uint64_t redundant =
+            count_lines_not(first, last, LineState::kDirty);
+        psan::Runtime::global().note_persist(psan::ScopeLabel::current(),
+                                             redundant == last - first,
+                                             redundant);
+    }
+    StorageStatus status = inner_->persist(offset, len);
+    if (status.ok() && len != 0) {
+        MutexLock lock(mu_);
+        // Dirty lines advance; lines in other states keep them (a
+        // persist never regresses Durable, and Clean stays absent).
+        split_at(first);
+        split_at(last);
+        std::vector<std::pair<Bytes, Bytes>> dirty;
+        auto it = runs_.lower_bound(first);
+        for (; it != runs_.end() && it->first < last; ++it) {
+            if (it->second.state == LineState::kDirty) {
+                dirty.emplace_back(it->first, it->second.end);
+            }
+        }
+        const LineState next = fence_commits_ ? LineState::kFlushPending
+                                              : LineState::kDurable;
+        for (const auto& [begin, end] : dirty) {
+            set_lines(begin, end, next);
+        }
+    }
+    return status;
+}
+
+StorageStatus
+PsanStorage::fence()
+{
+    if (fence_commits_) {
+        MutexLock lock(mu_);
+        ++op_index_;
+        psan::Runtime::global().note_fence(psan::ScopeLabel::current(),
+                                           !any_flush_pending());
+    } else {
+        MutexLock lock(mu_);
+        ++op_index_;
+        // SSD/DRAM fences are inherent no-ops, never V4-redundant.
+    }
+    StorageStatus status = inner_->fence();
+    if (status.ok() && fence_commits_) {
+        MutexLock lock(mu_);
+        std::vector<std::pair<Bytes, Bytes>> pending;
+        for (const auto& [begin, run] : runs_) {
+            if (run.state == LineState::kFlushPending) {
+                pending.emplace_back(begin, run.end);
+            }
+        }
+        for (const auto& [begin, end] : pending) {
+            set_lines(begin, end, LineState::kDurable);
+        }
+    }
+    return status;
+}
+
+void
+PsanStorage::on_publish_begin(std::uint64_t counter, Bytes payload_off,
+                              Bytes payload_len)
+{
+    MutexLock lock(mu_);
+    const Bytes line = first_unstable(line_of(payload_off),
+                                      line_end_of(payload_off, payload_len));
+    if (line != kNoLine) {
+        std::ostringstream oss;
+        oss << "ack-before-payload: publish of checkpoint " << counter
+            << " reaches payload line " << line
+            << " that is not yet durable";
+        violation(psan::Rule::kV1AckBeforePayload, line * line_size_,
+                  line_size_, oss.str());
+    }
+}
+
+void
+PsanStorage::on_publish_durable(std::uint64_t counter, Bytes record_off,
+                                Bytes record_len, Bytes payload_off,
+                                Bytes payload_len)
+{
+    MutexLock lock(mu_);
+    const Bytes line = first_unstable(line_of(record_off),
+                                      line_end_of(record_off, record_len));
+    if (line != kNoLine) {
+        std::ostringstream oss;
+        oss << "missing-fence: pointer record for checkpoint " << counter
+            << " was published without being made durable";
+        violation(psan::Rule::kV2MissingFence, record_off, record_len,
+                  oss.str());
+    }
+    // The live slot moves: only the newest durably published payload is
+    // protected against overwrite (the superseded slot is legitimately
+    // recycled, and record lines alternate by design).
+    slot_protect_.clear();
+    if (payload_len != 0) {
+        slot_protect_[payload_off] = payload_len;
+    }
+    has_published_ = true;
+    if (counter > published_counter_) {
+        published_counter_ = counter;
+    }
+}
+
+void
+PsanStorage::on_seal_begin(Bytes frame_off, Bytes preseal_len)
+{
+    MutexLock lock(mu_);
+    const Bytes line = first_unstable(line_of(frame_off),
+                                      line_end_of(frame_off, preseal_len));
+    if (line != kNoLine) {
+        std::ostringstream oss;
+        oss << "ack-before-payload: delta frame seal at " << frame_off
+            << " covers payload line " << line
+            << " that is not yet durable";
+        violation(psan::Rule::kV1AckBeforePayload, line * line_size_,
+                  line_size_, oss.str());
+    }
+}
+
+void
+PsanStorage::on_seal_durable(Bytes frame_off, Bytes frame_len)
+{
+    MutexLock lock(mu_);
+    const Bytes header_line = line_of(frame_off);
+    const Bytes line = first_unstable(header_line, header_line + 1);
+    if (line != kNoLine) {
+        violation(psan::Rule::kV2MissingFence, frame_off, line_size_,
+                  "missing-fence: delta frame header sealed without being "
+                  "made durable");
+    }
+    if (frame_len != 0) {
+        delta_protect_[frame_off] = frame_len;
+    }
+}
+
+void
+PsanStorage::on_epoch_reset()
+{
+    MutexLock lock(mu_);
+    delta_protect_.clear();
+}
+
+void
+PsanStorage::on_watermark_advance(std::uint64_t counter)
+{
+    MutexLock lock(mu_);
+    if (!has_published_ || counter > published_counter_) {
+        std::ostringstream oss;
+        oss << "ack-before-payload: replicated watermark advanced to "
+            << counter << " ahead of the newest durable publish "
+            << (has_published_ ? published_counter_ : 0);
+        violation(psan::Rule::kV1AckBeforePayload, 0, 0, oss.str());
+    }
+}
+
+void
+PsanStorage::on_format()
+{
+    MutexLock lock(mu_);
+    slot_protect_.clear();
+    delta_protect_.clear();
+    has_published_ = false;
+    published_counter_ = 0;
+}
+
+std::uint64_t
+PsanStorage::last_published_counter() const
+{
+    MutexLock lock(mu_);
+    return has_published_ ? published_counter_ : 0;
+}
+
+}  // namespace pccheck

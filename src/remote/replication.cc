@@ -276,6 +276,9 @@ void
 ReplicationEngine::advance_watermark(const Handle& handle)
 {
     PCCHECK_CHECK(handle != nullptr);
+    if (watermark_guard_) {
+        watermark_guard_(handle->counter_);
+    }
     for (std::size_t i = 0; i < peers_.size(); ++i) {
         PeerState* state = peers_[i].get();
         enqueue(*state, [state, handle, i] {

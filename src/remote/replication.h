@@ -141,6 +141,20 @@ class ReplicationEngine {
      */
     void advance_watermark(const Handle& handle);
 
+    /**
+     * Observation guard invoked (on the caller's thread) with the
+     * counter of every advance_watermark() before the peer-side
+     * advances are queued. The persistence sanitizer uses this to
+     * enforce ack-before-payload ordering (docs/PSAN.md rule V1)
+     * without this layer depending on psan. Empty = no guard. Set
+     * before replication traffic starts; not thread-safe against
+     * in-flight advances.
+     */
+    void set_watermark_guard(std::function<void(std::uint64_t)> guard)
+    {
+        watermark_guard_ = std::move(guard);
+    }
+
     const ReplicationConfig& config() const { return config_; }
     int self_node() const { return self_; }
 
@@ -199,6 +213,8 @@ class ReplicationEngine {
     Atomic<std::uint64_t> degraded_{0};
     Atomic<std::uint64_t> acks_{0};
     Atomic<Bytes> bytes_sent_{0};
+    /** Set once before traffic starts; called on the advancing thread. */
+    std::function<void(std::uint64_t)> watermark_guard_;
 };
 
 }  // namespace pccheck

@@ -179,8 +179,7 @@ CrashSimStorage::crash_image_keeping(const std::vector<Bytes>& lines) const
     MutexLock lock(mu_);
     std::vector<std::uint8_t> image = durable_;
     for (Bytes line : lines) {
-        PCCHECK_CHECK_MSG(dirty_.count(line) != 0 ||
-                              pending_.count(line) != 0,
+        PCCHECK_CHECK_MSG(dirty_.contains(line) || pending_.contains(line),
                           "crash_image_keeping: line " << line
                                                        << " is not unflushed");
         const Bytes start = line * line_size_;

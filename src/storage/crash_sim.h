@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "storage/device.h"
@@ -31,14 +32,6 @@
 #include "util/rng.h"
 
 namespace pccheck {
-
-/** One storage-level event, reported to the post-op hook. */
-struct StorageOp {
-    enum class Kind : std::uint8_t { kWrite, kPersist, kFence };
-    Kind kind = Kind::kWrite;
-    Bytes offset = 0;
-    Bytes len = 0;
-};
 
 /** Storage with volatile/durable shadow images and adversarial crash. */
 class CrashSimStorage final : public StorageDevice {
@@ -59,6 +52,12 @@ class CrashSimStorage final : public StorageDevice {
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override;
     StorageKind kind() const override { return kind_; }
+    /** Alias for set_post_op_hook (StorageDevice observation API). */
+    void set_observe_hook(
+        std::function<void(const StorageOp&)> hook) override
+    {
+        set_post_op_hook(std::move(hook));
+    }
 
     /**
      * Simulate a power failure: unpersisted lines survive only with

@@ -21,11 +21,26 @@
  */
 
 #include <cstdint>
+#include <functional>
 
 #include "storage/status.h"
 #include "util/bytes.h"
 
 namespace pccheck {
+
+/**
+ * One storage-level event, reported to an observation hook after the
+ * operation completes. Leaf devices notify; decorators MUST forward
+ * set_observe_hook() to the wrapped device so the hook always lands on
+ * the leaf regardless of stacking order (enforced by pccheck_lint rule
+ * storage-decorator-forwards-hooks).
+ */
+struct StorageOp {
+    enum class Kind : std::uint8_t { kWrite, kPersist, kFence };
+    Kind kind = Kind::kWrite;
+    Bytes offset = 0;
+    Bytes len = 0;
+};
 
 /** Persistence semantics of a device. */
 enum class StorageKind {
@@ -69,6 +84,19 @@ class StorageDevice {
 
     /** The persistence semantics this device implements. */
     virtual StorageKind kind() const = 0;
+
+    /**
+     * Install an observation hook invoked after every write/persist/
+     * fence with the device lock released. Single hook; pass nullptr
+     * to clear. Not thread-safe against concurrent storage ops — set
+     * it before handing the device to the protocol. Decorators forward
+     * to the wrapped device; the default is a no-op for devices with
+     * nothing to observe.
+     */
+    virtual void set_observe_hook(std::function<void(const StorageOp&)> hook)
+    {
+        (void)hook;
+    }
 };
 
 /** True when the kind requires an explicit fence after persist(). */

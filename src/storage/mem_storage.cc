@@ -15,6 +15,9 @@ MemStorage::write(Bytes offset, const void* src, Bytes len)
                       "write out of range: off=" << offset << " len=" << len
                                                  << " size=" << data_.size());
     std::memcpy(data_.data() + offset, src, len);
+    if (hook_) {
+        hook_(StorageOp{StorageOp::Kind::kWrite, offset, len});
+    }
     return StorageStatus::success();
 }
 
@@ -31,6 +34,9 @@ StorageStatus
 MemStorage::persist(Bytes offset, Bytes len)
 {
     PCCHECK_CHECK(offset + len <= data_.size());
+    if (hook_) {
+        hook_(StorageOp{StorageOp::Kind::kPersist, offset, len});
+    }
     return StorageStatus::success();
 }
 

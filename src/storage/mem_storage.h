@@ -8,6 +8,8 @@
  * checkpoint target and as the staging-buffer arena in tests.
  */
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "storage/device.h"
@@ -23,8 +25,19 @@ class MemStorage final : public StorageDevice {
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
     void read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
-    StorageStatus fence() override { return StorageStatus::success(); }
+    StorageStatus fence() override
+    {
+        if (hook_) {
+            hook_(StorageOp{StorageOp::Kind::kFence, 0, 0});
+        }
+        return StorageStatus::success();
+    }
     StorageKind kind() const override { return StorageKind::kDram; }
+    void set_observe_hook(
+        std::function<void(const StorageOp&)> hook) override
+    {
+        hook_ = std::move(hook);
+    }
 
     /** Direct pointer into the arena (tests / zero-copy paths). */
     std::uint8_t* raw() { return data_.data(); }
@@ -32,6 +45,8 @@ class MemStorage final : public StorageDevice {
 
   private:
     std::vector<std::uint8_t> data_;
+    /** Set once before handing out the device; invoked post-op. */
+    std::function<void(const StorageOp&)> hook_;
 };
 
 }  // namespace pccheck

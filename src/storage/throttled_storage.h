@@ -19,7 +19,9 @@
  * paper's Figures 12 and 13.
  */
 
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "storage/device.h"
 #include "util/throttle.h"
@@ -47,6 +49,11 @@ class ThrottledStorage final : public StorageDevice {
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override { return inner_->fence(); }
     StorageKind kind() const override { return inner_->kind(); }
+    void set_observe_hook(
+        std::function<void(const StorageOp&)> hook) override
+    {
+        inner_->set_observe_hook(std::move(hook));
+    }
 
     StorageDevice& inner() { return *inner_; }
 

@@ -27,6 +27,7 @@
 #include "core/slot_store.h"
 #include "faults/fault.h"
 #include "faults/faulty_storage.h"
+#include "psan/psan.h"
 #include "storage/crash_sim.h"
 #include "storage/mem_storage.h"
 #include "trainsim/models.h"
@@ -64,6 +65,24 @@ struct SweepConfig {
     std::uint64_t interval = 2;
     /** Extra FaultPlan spec active alongside the crash trigger. */
     std::string noise;
+};
+
+/**
+ * Asserts the enclosing scope reported no psan violations
+ * (docs/PSAN.md). Vacuous when the sanitizer is off; under
+ * PCCHECK_PSAN=1 every seed of the sweep must run contract-clean.
+ */
+class PsanCleanGuard {
+  public:
+    PsanCleanGuard() : before_(psan::Runtime::global().violation_count()) {}
+    ~PsanCleanGuard()
+    {
+        EXPECT_EQ(psan::Runtime::global().violation_count(), before_)
+            << "sweep must be psan-clean";
+    }
+
+  private:
+    std::uint64_t before_;
 };
 
 struct SeedRun {
@@ -203,6 +222,7 @@ check_crash_image(const SeedRun& run, const SweepConfig& sweep,
 
 TEST(CrashSweepTest, InvariantHoldsAtRandomCrashPoints)
 {
+    PsanCleanGuard psan_clean;
     const SweepConfig sweep;
     // Calibrate the op-stream length once (deterministic workload).
     const SeedRun calib = run_training(12345, 0, sweep);
@@ -256,6 +276,7 @@ TEST(CrashSweepTest, InvariantHoldsAtRandomCrashPoints)
 
 TEST(CrashSweepTest, InvariantHoldsUnderTransientNoise)
 {
+    PsanCleanGuard psan_clean;
     // Same sweep with a lossy device: ~1% of persists and 0.5% of
     // writes fail transiently, exercising the retry path while the
     // crash can land inside a retry loop.
@@ -291,6 +312,7 @@ TEST(CrashSweepTest, InvariantHoldsUnderTransientNoise)
 
 TEST(CrashSweepTest, CalibrationRunIsCleanAndDeterministic)
 {
+    PsanCleanGuard psan_clean;
     const SweepConfig sweep;
     const SeedRun a = run_training(42, 0, sweep);
     const SeedRun b = run_training(42, 0, sweep);

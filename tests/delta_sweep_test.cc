@@ -33,6 +33,7 @@
 #include "core/slot_store.h"
 #include "faults/fault.h"
 #include "faults/faulty_storage.h"
+#include "psan/psan.h"
 #include "storage/crash_sim.h"
 #include "storage/mem_storage.h"
 #include "trainsim/models.h"
@@ -72,6 +73,24 @@ struct SweepConfig {
     std::uint64_t main_iters = 14;
     std::uint64_t interval = 4;  ///< fulls; deltas land every iteration
     std::string noise;
+};
+
+/**
+ * Asserts the enclosing scope reported no psan violations
+ * (docs/PSAN.md). Vacuous when the sanitizer is off; under
+ * PCCHECK_PSAN=1 every seed of the sweep must run contract-clean.
+ */
+class PsanCleanGuard {
+  public:
+    PsanCleanGuard() : before_(psan::Runtime::global().violation_count()) {}
+    ~PsanCleanGuard()
+    {
+        EXPECT_EQ(psan::Runtime::global().violation_count(), before_)
+            << "sweep must be psan-clean";
+    }
+
+  private:
+    std::uint64_t before_;
 };
 
 struct SeedRun {
@@ -232,6 +251,7 @@ check_crash_image(const SeedRun& run, const SweepConfig& sweep,
 
 TEST(DeltaSweepTest, InvariantHoldsAtRandomCrashPoints)
 {
+    PsanCleanGuard psan_clean;
     const SweepConfig sweep;
     const SeedRun calib = run_training(54321, 0, sweep);
     ASSERT_GT(calib.ops_total, calib.ops_after_warmup);
@@ -282,6 +302,7 @@ TEST(DeltaSweepTest, InvariantHoldsAtRandomCrashPoints)
 
 TEST(DeltaSweepTest, InvariantHoldsWithAppendFaultNoise)
 {
+    PsanCleanGuard psan_clean;
     // delta.append and the storage ops under it fail transiently; the
     // orchestrator's skip-and-retry path runs while crashes land.
     SweepConfig sweep;
@@ -312,6 +333,7 @@ TEST(DeltaSweepTest, InvariantHoldsWithAppendFaultNoise)
 
 TEST(DeltaSweepTest, CalibrationRunIsCleanAndDeterministic)
 {
+    PsanCleanGuard psan_clean;
     const SweepConfig sweep;
     const SeedRun a = run_training(4242, 0, sweep);
     const SeedRun b = run_training(4242, 0, sweep);

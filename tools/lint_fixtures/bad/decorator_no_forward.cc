@@ -1,0 +1,42 @@
+// Bad: a StorageDevice decorator that forwards every op to inner_
+// but never forwards set_observe_hook(), so an observer installed on
+// the stack silently detaches when this decorator sits above the
+// leaf (storage-decorator-forwards-hooks).
+
+#include <memory>
+#include <utility>
+
+#include "storage/device.h"
+
+namespace pccheck {
+
+class SwallowingStorage final : public StorageDevice {
+  public:
+    explicit SwallowingStorage(std::unique_ptr<StorageDevice> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    Bytes size() const override { return inner_->size(); }
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override
+    {
+        return inner_->write(offset, src, len);
+    }
+    void read(Bytes offset, void* dst, Bytes len) const override
+    {
+        inner_->read(offset, dst, len);
+    }
+    StorageStatus persist(Bytes offset, Bytes len) override
+    {
+        return inner_->persist(offset, len);
+    }
+    StorageStatus fence() override { return inner_->fence(); }
+    StorageKind kind() const override { return inner_->kind(); }
+    // set_observe_hook() not overridden: the base-class no-op eats
+    // the hook and the leaf never sees it.
+
+  private:
+    std::unique_ptr<StorageDevice> inner_;
+};
+
+}  // namespace pccheck

@@ -1,0 +1,62 @@
+// Good: a StorageDevice decorator that forwards the observation hook
+// to its wrapped device, so the installed observer always lands on
+// the leaf regardless of stacking order; and a leaf device with no
+// inner_, which is exempt from the rule.
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "storage/device.h"
+
+namespace pccheck {
+
+class LoggingStorage final : public StorageDevice {
+  public:
+    explicit LoggingStorage(std::unique_ptr<StorageDevice> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    Bytes size() const override { return inner_->size(); }
+    StorageStatus write(Bytes offset, const void* src, Bytes len) override
+    {
+        return inner_->write(offset, src, len);
+    }
+    void read(Bytes offset, void* dst, Bytes len) const override
+    {
+        inner_->read(offset, dst, len);
+    }
+    StorageStatus persist(Bytes offset, Bytes len) override
+    {
+        return inner_->persist(offset, len);
+    }
+    StorageStatus fence() override { return inner_->fence(); }
+    StorageKind kind() const override { return inner_->kind(); }
+    void set_observe_hook(
+        std::function<void(const StorageOp&)> hook) override
+    {
+        inner_->set_observe_hook(std::move(hook));
+    }
+
+  private:
+    std::unique_ptr<StorageDevice> inner_;
+};
+
+class NullStorage final : public StorageDevice {
+  public:
+    Bytes size() const override { return 0; }
+    StorageStatus write(Bytes, const void*, Bytes) override
+    {
+        return StorageStatus::success();
+    }
+    void read(Bytes, void*, Bytes) const override {}
+    StorageStatus persist(Bytes, Bytes) override
+    {
+        return StorageStatus::success();
+    }
+    StorageStatus fence() override { return StorageStatus::success(); }
+    StorageKind kind() const override { return StorageKind::kDram; }
+};
+
+}  // namespace pccheck

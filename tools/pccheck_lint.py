@@ -55,6 +55,17 @@ enforces:
                            "payload-durable:" justification comment
                            within the 5 preceding lines when the
                            ordering is delegated to the caller.
+  storage-decorator-forwards-hooks
+                           A StorageDevice decorator (a subclass
+                           forwarding its ops to a wrapped inner_
+                           device) must forward set_observe_hook() to
+                           the leaf: a decorator that swallows the
+                           hook silently detaches the installed
+                           observer (crash-op indexing, psan
+                           plumbing) depending on stacking order.
+                           Leaf devices are exempt; genuine
+                           exceptions carry a "pccheck-lint:
+                           observe-hook" marker in the class body.
   storage-status-checked   In src/core/, a call to a status-returning
                            storage op (write/persist/fence/write_slot/
                            persist_slot_range/publish_pointer/...) must
@@ -504,6 +515,71 @@ def rule_delta_seal_before_manifest(path: str,
 
 
 # --------------------------------------------------------------------------
+# storage-decorator-forwards-hooks
+
+
+# A StorageDevice decorator (a subclass that forwards its ops to a
+# wrapped `inner_` device) must forward set_observe_hook() to the leaf:
+# a decorator that swallows the hook silently detaches whatever
+# observer the harness installed (crash-op indexing, psan plumbing)
+# depending on stacking order. Leaf devices (no inner_) are exempt —
+# the base-class default applies. Suppress with a
+# "pccheck-lint: observe-hook" marker inside the class body.
+STORAGE_SUBCLASS_RE = re.compile(
+    r"\bclass\s+(\w+)[^;{]*:\s*(?:public\s+)?StorageDevice\b")
+INNER_MEMBER_RE = re.compile(r"\binner_\s*(?:->|;|\()")
+HOOK_FORWARD_RE = re.compile(r"\binner_\s*->\s*set_observe_hook\s*\(")
+OBSERVE_HOOK_MARKER = "pccheck-lint: observe-hook"
+
+
+def class_body_end(lines: List[str], start: int) -> int:
+    """Index one past the line closing the class opened at @p start
+    (brace matching; best-effort on unbalanced input)."""
+    depth = 0
+    opened = False
+    for i in range(start, len(lines)):
+        for ch in code_of(lines[i]):
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return i + 1
+    return len(lines)
+
+
+def rule_storage_decorator_forwards_hooks(path: str,
+                                          lines: List[str]) -> List[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        match = STORAGE_SUBCLASS_RE.search(code_of(line))
+        if not match:
+            continue
+        end = class_body_end(lines, i)
+        body = lines[i:end]
+        if any(OBSERVE_HOOK_MARKER in b for b in body):
+            continue
+        # Decorator detection: the class owns/forwards to an inner_
+        # device. Leaf devices have no inner_ and are exempt.
+        code_body = [code_of(b) for b in body if not is_comment_line(b)]
+        if not any(INNER_MEMBER_RE.search(b) for b in code_body):
+            continue
+        if not any(HOOK_FORWARD_RE.search(b) for b in code_body):
+            findings.append(Finding(
+                path, i + 1, "storage-decorator-forwards-hooks",
+                f"StorageDevice decorator {match.group(1)} does not "
+                "forward set_observe_hook() to its wrapped device: an "
+                "observer installed on the stack would silently detach "
+                "depending on decorator order — add an override that "
+                "calls inner_->set_observe_hook(std::move(hook)), or "
+                f"mark a genuine exception with \"{OBSERVE_HOOK_MARKER}\""))
+    return findings
+
+
+# --------------------------------------------------------------------------
 
 
 RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
@@ -516,6 +592,8 @@ RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
     "trace-span-under-lock": rule_trace_span_under_lock,
     "check-addr-cas-only": rule_check_addr_cas_only,
     "storage-status-checked": rule_storage_status_checked,
+    "storage-decorator-forwards-hooks":
+        rule_storage_decorator_forwards_hooks,
 }
 
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""psan V4 redundancy-report merging (docs/PSAN.md).
+
+Every process running under the persistence sanitizer appends one
+JSON line to $PCCHECK_PSAN_REPORT at exit:
+
+    {"psan_redundancy": {"<label>": {"persist_ops": N,
+        "redundant_persist_ops": N, "redundant_persist_lines": N,
+        "fence_ops": N, "redundant_fences": N}, ...}}
+
+Parallel ctest shards share the file (append mode), so a full-suite
+run leaves one line per test process. This tool merges those lines
+into a single per-label table — the checked-in redundancy baseline
+bench/baselines/PSAN_redundancy.json — and can diff a fresh run
+against that baseline so a NEW redundant persist/fence site fails CI
+while known (documented load-bearing) ones do not.
+
+Subcommands:
+
+  merge REPORT.jsonl [-o OUT.json]
+      Sum the per-label counters across all lines. Output is a
+      stable, label-sorted JSON object of the same shape (single
+      "psan_redundancy" key).
+
+  check REPORT.jsonl BASELINE.json
+      Merge REPORT.jsonl, then exit 1 if any label has
+      redundant_persist_ops or redundant_fences but is absent from
+      the baseline, or exceeds the baseline's redundant counts while
+      the baseline recorded zero. Ratio growth of already-known
+      redundancy does not fail (op counts scale with seeds/iters).
+      A missing baseline file warns and passes unless
+      --require-baseline is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+COUNTERS = (
+    "persist_ops",
+    "redundant_persist_ops",
+    "redundant_persist_lines",
+    "fence_ops",
+    "redundant_fences",
+)
+
+Table = Dict[str, Dict[str, int]]
+
+
+def merge_lines(path: str) -> Table:
+    """Sum per-label counters over every JSON line of @p path.
+
+    Blank lines are skipped; a malformed line is an error (the file
+    is machine-written, so damage means a harness bug).
+    """
+    table: Table = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"psan-report: {path}:{lineno}: bad JSON: {err}")
+            for label, stats in record.get("psan_redundancy", {}).items():
+                into = table.setdefault(
+                    label, {key: 0 for key in COUNTERS})
+                for key in COUNTERS:
+                    into[key] += int(stats.get(key, 0))
+    return table
+
+
+def dump(table: Table) -> str:
+    ordered = {label: {key: table[label][key] for key in COUNTERS}
+               for label in sorted(table)}
+    return json.dumps({"psan_redundancy": ordered}, indent=2) + "\n"
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    table = merge_lines(args.report)
+    text = dump(table)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    current = merge_lines(args.report)
+    if not os.path.exists(args.baseline):
+        print(f"psan-report: baseline {args.baseline} missing",
+              file=sys.stderr)
+        return 1 if args.require_baseline else 0
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f).get("psan_redundancy", {})
+
+    failures = []
+    for label in sorted(current):
+        stats = current[label]
+        redundant = (stats["redundant_persist_ops"],
+                     stats["redundant_fences"])
+        if redundant == (0, 0):
+            continue
+        base = baseline.get(label)
+        if base is None:
+            failures.append(
+                f"{label}: redundant flush work "
+                f"(persists={redundant[0]}, fences={redundant[1]}) at a "
+                "label absent from the baseline — new V4 site")
+            continue
+        for key in ("redundant_persist_ops", "redundant_fences"):
+            if stats[key] > 0 and int(base.get(key, 0)) == 0:
+                failures.append(
+                    f"{label}: {key}={stats[key]} but the baseline "
+                    "records zero — new V4 site at a known label")
+    for failure in failures:
+        print(f"psan-report: {failure}")
+    if failures:
+        print(f"psan-report: {len(failures)} new redundancy site(s); "
+              "remove the redundant persist/fence or re-baseline with "
+              "a load-bearing justification in docs/PSAN.md",
+              file=sys.stderr)
+        return 1
+    print("psan-report: no new redundancy sites")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psan-report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="merge a JSONL report file")
+    merge.add_argument("report")
+    merge.add_argument("-o", "--output")
+    merge.set_defaults(func=cmd_merge)
+
+    check = sub.add_parser("check",
+                           help="gate a report against the baseline")
+    check.add_argument("report")
+    check.add_argument("baseline")
+    check.add_argument("--require-baseline", action="store_true")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

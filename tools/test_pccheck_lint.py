@@ -27,6 +27,7 @@ BAD_EXPECTATIONS = {
     "check_addr_store.cc": "check-addr-cas-only",
     "status_discarded.cc": "storage-status-checked",
     "watermark_unacked.cc": "replica-publish-ordering",
+    "decorator_no_forward.cc": "storage-decorator-forwards-hooks",
 }
 
 
@@ -342,6 +343,84 @@ class RuleDetailTests(unittest.TestCase):
         findings = self._lint_lines("delta-seal-before-manifest", lines)
         self.assertEqual(len(findings), 1)
         self.assertEqual(findings[0].line, 5)
+
+    def test_decorator_rule_exempts_leaf_devices(self):
+        lines = [
+            "class Leaf final : public StorageDevice {",
+            "  public:",
+            "    StorageStatus fence() override { return ok(); }",
+            "};",
+        ]
+        self.assertEqual(
+            self._lint_lines("storage-decorator-forwards-hooks", lines),
+            [])
+
+    def test_decorator_rule_flags_swallowed_hook(self):
+        lines = [
+            "class Wrap final : public StorageDevice {",
+            "    StorageStatus fence() override {",
+            "        return inner_->fence();",
+            "    }",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+        ]
+        findings = self._lint_lines(
+            "storage-decorator-forwards-hooks", lines)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 1)
+
+    def test_decorator_rule_forwarding_is_clean(self):
+        lines = [
+            "class Wrap final : public StorageDevice {",
+            "    void set_observe_hook(Hook hook) override {",
+            "        inner_->set_observe_hook(std::move(hook));",
+            "    }",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+        ]
+        self.assertEqual(
+            self._lint_lines("storage-decorator-forwards-hooks", lines),
+            [])
+
+    def test_decorator_rule_marker_suppresses(self):
+        lines = [
+            "class Wrap final : public StorageDevice {",
+            "    // pccheck-lint: observe-hook — terminal decorator,",
+            "    // nothing downstream can observe.",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+        ]
+        self.assertEqual(
+            self._lint_lines("storage-decorator-forwards-hooks", lines),
+            [])
+
+    def test_decorator_rule_ignores_non_storage_classes(self):
+        lines = [
+            "class Other {",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+        ]
+        self.assertEqual(
+            self._lint_lines("storage-decorator-forwards-hooks", lines),
+            [])
+
+    def test_decorator_rule_second_class_in_file_is_scanned(self):
+        lines = [
+            "class Good final : public StorageDevice {",
+            "    void set_observe_hook(Hook h) override {",
+            "        inner_->set_observe_hook(std::move(h));",
+            "    }",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+            "class Bad final : public StorageDevice {",
+            "    StorageStatus fence() override { return inner_->fence(); }",
+            "    std::unique_ptr<StorageDevice> inner_;",
+            "};",
+        ]
+        findings = self._lint_lines(
+            "storage-decorator-forwards-hooks", lines)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 7)
 
     def test_storage_status_continuation_line_is_clean(self):
         lines = [
