@@ -44,9 +44,10 @@ inspect(StorageDevice& device)
     std::printf("pointer records (newest first):\n");
     for (const auto& pointer : candidates) {
         std::vector<std::uint8_t> data(pointer.data_len);
-        store.read_slot(pointer.slot, 0, data.data(), data.size());
+        const bool readable =
+            store.read_slot(pointer.slot, 0, data.data(), data.size()).ok();
         const bool crc_ok =
-            crc32c(data.data(), data.size()) == pointer.data_crc;
+            readable && crc32c(data.data(), data.size()) == pointer.data_crc;
         const auto stamped =
             TrainingState::verify_buffer(data.data(), data.size());
         std::printf("  counter=%llu slot=%u iteration=%llu len=%s "

@@ -58,9 +58,17 @@ ConcurrentCommit::ConcurrentCommit(SlotStore& store,
         reserved = recovered->slot;
     }
     for (std::uint32_t slot = 0; slot < store.slot_count(); ++slot) {
-        if (slot != reserved) {
-            PCCHECK_CHECK(free_slots_->try_enqueue(slot));
+        if (slot == reserved) {
+            continue;
         }
+        // Quarantined slots stay out of the pool: handing one out as
+        // scratch would overwrite the corrupt-but-repairable payload
+        // the quarantine is preserving. restore_slot() re-admits them
+        // once the scrubber has repaired and released the quarantine.
+        if (store.is_quarantined(slot)) {
+            continue;
+        }
+        PCCHECK_CHECK(free_slots_->try_enqueue(slot));
     }
 }
 
@@ -138,7 +146,16 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
                 backoff);
             const std::uint32_t old_slot = slot_of(expected);
             if (published.ok()) {
-                if (old_slot != kNoSlot) {
+                if (old_slot != kNoSlot &&
+                    store_->is_quarantined(old_slot)) {
+                    // The scrubber quarantined the superseded slot
+                    // while it was still the recovery target. It must
+                    // not re-enter the pool — handing it out as
+                    // scratch would let a fresh checkpoint publish
+                    // into a slot recovery skips. It stays parked
+                    // until the scrubber reclaims it (release +
+                    // restore_slot).
+                } else if (old_slot != kNoSlot) {
                     // try_enqueue can report a transient "full" while a
                     // concurrent dequeuer sits between claiming a cell
                     // and releasing its sequence word (found by
@@ -213,6 +230,18 @@ ConcurrentCommit::abort(const CheckpointTicket& ticket)
     }
     // relaxed: monitoring counter, no ordering required.
     aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ConcurrentCommit::restore_slot(std::uint32_t slot)
+{
+    PCCHECK_CHECK(slot < store_->slot_count());
+    PCCHECK_CHECK_MSG(!store_->is_quarantined(slot),
+                      "restore_slot on a still-quarantined slot");
+    // Same transient-full retry as commit(); see the winner path.
+    while (!free_slots_->try_enqueue(slot)) {
+        clock_->sleep_for(kSlotBackoff);
+    }
 }
 
 void

@@ -113,6 +113,17 @@ class ConcurrentCommit {
      */
     void abort(const CheckpointTicket& ticket);
 
+    /**
+     * Return a repaired slot to the free pool. Quarantined slots are
+     * withheld from the pool at construction (a corrupt slot must not
+     * be handed out as scratch while its quarantine marks the payload
+     * as the last copy worth repairing); after the scrubber repairs
+     * and releases one, this puts it back in service. The slot must be
+     * released from quarantine first and must not be referenced by the
+     * current CHECK_ADDR.
+     */
+    void restore_slot(std::uint32_t slot);
+
     /** Retry schedule for the durable pointer-record publish inside
      *  commit(); jitter is derived from (seed, ticket counter). */
     void set_retry(const RetryPolicy& policy, std::uint64_t seed);

@@ -24,7 +24,10 @@ recover_to_buffer(StorageDevice& device, std::vector<std::uint8_t>* out,
     // on the common path).
     for (const CheckpointPointer& pointer : store.candidate_pointers()) {
         out->resize(pointer.data_len);
-        store.read_slot(pointer.slot, 0, out->data(), pointer.data_len);
+        if (!store.read_slot(pointer.slot, 0, out->data(), pointer.data_len)
+                 .ok()) {
+            continue;  // unreadable slot media; fall back
+        }
         if (pointer.data_crc != 0 &&
             crc32c(out->data(), out->size()) != pointer.data_crc) {
             continue;  // slot recycled under a stale record; fall back
@@ -53,7 +56,10 @@ recover_latest(StorageDevice& device, std::vector<std::uint8_t>* out,
     SlotStore store = SlotStore::open(device);
     for (const CheckpointPointer& pointer : store.candidate_pointers()) {
         out->resize(pointer.data_len);
-        store.read_slot(pointer.slot, 0, out->data(), pointer.data_len);
+        if (!store.read_slot(pointer.slot, 0, out->data(), pointer.data_len)
+                 .ok()) {
+            continue;  // unreadable slot media; fall back
+        }
         if (pointer.data_crc != 0 &&
             crc32c(out->data(), out->size()) != pointer.data_crc) {
             continue;  // slot recycled under a stale record; fall back

@@ -31,7 +31,11 @@ struct DeviceHeader {
      *  whose pad bytes were written as zero, so version stays 1. */
     std::uint64_t delta_offset;
     std::uint64_t delta_len;
-    std::uint8_t pad[16];
+    /** Quarantined-slot bitmap (bit i = slot i corrupt). Devices
+     *  formatted before the quarantine tier wrote these pad bytes as
+     *  zero — an empty quarantine — so version stays 1. */
+    std::uint64_t quarantine_bits;
+    std::uint8_t pad[8];
 };
 static_assert(sizeof(DeviceHeader) == 64);
 
@@ -56,13 +60,17 @@ record_crc(const RawRecord& rec)
 }  // namespace
 
 SlotStore::SlotStore(StorageDevice& device, std::uint32_t slot_count,
-                     Bytes slot_size, Bytes delta_offset, Bytes delta_bytes)
+                     Bytes slot_size, Bytes delta_offset, Bytes delta_bytes,
+                     std::uint64_t quarantine_bits)
     : device_(&device), psan_(dynamic_cast<PsanStorage*>(&device)),
       slot_count_(slot_count), slot_size_(slot_size),
       data_offset_(kDataAlign), delta_offset_(delta_offset),
       delta_bytes_(delta_bytes),
-      publish_(std::make_shared<PublishState>())
+      publish_(std::make_shared<PublishState>()),
+      quarantine_(std::make_shared<QuarantineState>())
 {
+    MutexLock lock(quarantine_->mu);
+    quarantine_->bits = quarantine_bits;
 }
 
 Bytes
@@ -135,7 +143,7 @@ SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
         PCCHECK_MUST(device.fence());
     }
     return SlotStore(device, slot_count, slot_size, delta_offset,
-                     delta_bytes);
+                     delta_bytes, 0);
 }
 
 SlotStore
@@ -145,7 +153,12 @@ SlotStore::open(StorageDevice& device)
     if (device.size() < sizeof(header)) {
         fatal("SlotStore: device smaller than header");
     }
-    device.read(kHeaderOffset, &header, sizeof(header));
+    const StorageStatus header_read =
+        device.read(kHeaderOffset, &header, sizeof(header));
+    if (!header_read.ok()) {
+        fatal(std::string("SlotStore: header unreadable (") +
+              header_read.context() + ")");
+    }
     if (header.magic != kMagic) {
         fatal("SlotStore: bad magic (device not formatted)");
     }
@@ -164,7 +177,7 @@ SlotStore::open(StorageDevice& device)
     }
     return SlotStore(device, header.slot_count, header.slot_size,
                      header.delta_len > 0 ? header.delta_offset : 0,
-                     header.delta_len);
+                     header.delta_len, header.quarantine_bits);
 }
 
 Bytes
@@ -191,12 +204,12 @@ SlotStore::persist_slot_range(std::uint32_t slot, Bytes offset, Bytes len)
     return device_->persist(slot_offset(slot) + offset, len);
 }
 
-void
+StorageStatus
 SlotStore::read_slot(std::uint32_t slot, Bytes offset, void* dst,
                      Bytes len) const
 {
     PCCHECK_CHECK(offset + len <= slot_size_);
-    device_->read(slot_offset(slot) + offset, dst, len);
+    return device_->read(slot_offset(slot) + offset, dst, len);
 }
 
 StorageStatus
@@ -265,17 +278,22 @@ SlotStore::last_published() const
 }
 
 std::vector<CheckpointPointer>
-SlotStore::candidate_pointers() const
+SlotStore::candidate_pointers(bool include_quarantined) const
 {
     std::vector<CheckpointPointer> candidates;
     for (int index = 0; index < 2; ++index) {
         RawRecord rec{};
-        device_->read(record_offset(index), &rec, sizeof(rec));
+        if (!device_->read(record_offset(index), &rec, sizeof(rec)).ok()) {
+            continue;  // unreadable record lines: same as torn
+        }
         if (rec.record_checksum != record_crc(rec)) {
             continue;
         }
         if (rec.slot >= slot_count_ || rec.data_len > slot_size_) {
             continue;
+        }
+        if (!include_quarantined && is_quarantined(rec.slot)) {
+            continue;  // known-corrupt payload awaiting repair
         }
         candidates.push_back(CheckpointPointer{
             rec.counter, rec.slot, rec.data_len, rec.iteration,
@@ -294,12 +312,17 @@ SlotStore::recover_pointer(bool validate_data) const
     std::optional<CheckpointPointer> best;
     for (int index = 0; index < 2; ++index) {
         RawRecord rec{};
-        device_->read(record_offset(index), &rec, sizeof(rec));
+        if (!device_->read(record_offset(index), &rec, sizeof(rec)).ok()) {
+            continue;  // unreadable record lines: same as torn
+        }
         if (rec.record_checksum != record_crc(rec)) {
             continue;  // torn or never written
         }
         if (rec.slot >= slot_count_ || rec.data_len > slot_size_) {
             continue;  // stale garbage that happened to checksum? reject
+        }
+        if (is_quarantined(rec.slot)) {
+            continue;  // known-corrupt payload awaiting repair
         }
         CheckpointPointer ptr{rec.counter, rec.slot, rec.data_len,
                               rec.iteration, rec.data_crc};
@@ -307,7 +330,9 @@ SlotStore::recover_pointer(bool validate_data) const
         // compute_crc = false); skip the data validation then.
         if (validate_data && ptr.data_crc != 0) {
             std::vector<std::uint8_t> data(ptr.data_len);
-            read_slot(ptr.slot, 0, data.data(), ptr.data_len);
+            if (!read_slot(ptr.slot, 0, data.data(), ptr.data_len).ok()) {
+                continue;  // unreadable payload: treat like a torn slot
+            }
             if (crc32c(data.data(), data.size()) != ptr.data_crc) {
                 continue;  // slot was recycled under this stale record
             }
@@ -317,6 +342,111 @@ SlotStore::recover_pointer(bool validate_data) const
         }
     }
     return best;
+}
+
+StorageStatus
+SlotStore::write_quarantine_bits(std::uint64_t bits)
+{
+    const Bytes off = kHeaderOffset + offsetof(DeviceHeader, quarantine_bits);
+    StorageStatus status = device_->write(off, &bits, sizeof(bits));
+    if (status.ok()) {
+        status = device_->persist(off, sizeof(bits));
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    return status;
+}
+
+StorageStatus
+SlotStore::quarantine_slot(std::uint32_t slot)
+{
+    PCCHECK_CHECK_MSG(slot < slot_count_,
+                      "quarantine: slot " << slot << " out of range");
+    if (slot >= 64) {
+        return StorageStatus::permanent_error("slot_store.quarantine_width");
+    }
+    psan::ScopeLabel psan_label("slot_store.quarantine");
+    MutexLock lock(quarantine_->mu);
+    const std::uint64_t bits = quarantine_->bits | (1ull << slot);
+    if (bits != quarantine_->bits) {
+        StorageStatus status = write_quarantine_bits(bits);
+        if (!status.ok()) {
+            // Not durable: keep the cached set unchanged so callers
+            // can retry; the slot stays eligible until then.
+            return status;
+        }
+        quarantine_->bits = bits;
+    }
+    if (psan_ != nullptr) {
+        psan_->on_quarantine(slot_offset(slot), slot_size_);
+    }
+    return StorageStatus::success();
+}
+
+StorageStatus
+SlotStore::release_quarantine(std::uint32_t slot)
+{
+    PCCHECK_CHECK_MSG(slot < slot_count_,
+                      "release_quarantine: slot " << slot << " out of range");
+    if (slot >= 64) {
+        return StorageStatus::permanent_error("slot_store.quarantine_width");
+    }
+    psan::ScopeLabel psan_label("slot_store.release_quarantine");
+    MutexLock lock(quarantine_->mu);
+    const std::uint64_t bits = quarantine_->bits & ~(1ull << slot);
+    if (bits == quarantine_->bits) {
+        return StorageStatus::success();
+    }
+    StorageStatus status = write_quarantine_bits(bits);
+    if (status.ok()) {
+        quarantine_->bits = bits;
+    }
+    return status;
+}
+
+bool
+SlotStore::is_quarantined(std::uint32_t slot) const
+{
+    if (slot >= 64) {
+        return false;
+    }
+    MutexLock lock(quarantine_->mu);
+    return (quarantine_->bits & (1ull << slot)) != 0;
+}
+
+std::vector<std::uint32_t>
+SlotStore::quarantined_slots() const
+{
+    std::vector<std::uint32_t> slots;
+    MutexLock lock(quarantine_->mu);
+    for (std::uint32_t slot = 0; slot < slot_count_ && slot < 64; ++slot) {
+        if ((quarantine_->bits & (1ull << slot)) != 0) {
+            slots.push_back(slot);
+        }
+    }
+    return slots;
+}
+
+StorageStatus
+SlotStore::repair_slot(std::uint32_t slot, const void* src, Bytes len)
+{
+    PCCHECK_CHECK_MSG(len <= slot_size_,
+                      "repair overflow len=" << len);
+    psan::ScopeLabel psan_label("slot_store.repair");
+    // Full persist contract: the salvaged bytes must be durable before
+    // anyone trusts the slot again (release_quarantine / publish).
+    StorageStatus status = device_->write(slot_offset(slot), src, len);
+    if (status.ok()) {
+        status = device_->persist(slot_offset(slot), len);
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    if (status.ok() && psan_ != nullptr) {
+        psan_->on_repair_durable(slot_offset(slot), len);
+    }
+    return status;
 }
 
 }  // namespace pccheck

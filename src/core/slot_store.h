@@ -96,9 +96,11 @@ class SlotStore {
     StorageStatus persist_slot_range(std::uint32_t slot, Bytes offset,
                                      Bytes len);
 
-    /** Read @p len bytes of @p slot at @p offset. */
-    void read_slot(std::uint32_t slot, Bytes offset, void* dst,
-                   Bytes len) const;
+    /** Read @p len bytes of @p slot at @p offset. A failed read means
+     *  the slot's media is unreadable — the caller decides between
+     *  quarantine (recovery/scrub) and abort (protocol paths). */
+    StorageStatus read_slot(std::uint32_t slot, Bytes offset, void* dst,
+                            Bytes len) const;
 
     /**
      * Durably publish @p ptr as the latest checkpoint: writes the
@@ -131,8 +133,12 @@ class SlotStore {
      * All syntactically valid pointer records, newest first, WITHOUT
      * reading the slot data. Callers that will read the data anyway
      * (recovery) validate the CRC themselves against the single read.
+     * Records referencing a quarantined slot are skipped unless
+     * @p include_quarantined — the scrubber passes true to learn the
+     * descriptor (counter, length, CRC) the repair must restore.
      */
-    std::vector<CheckpointPointer> candidate_pointers() const;
+    std::vector<CheckpointPointer> candidate_pointers(
+        bool include_quarantined = false) const;
 
     /**
      * The newest pointer THIS process durably published (nullopt
@@ -143,13 +149,49 @@ class SlotStore {
      */
     std::optional<CheckpointPointer> last_published() const;
 
+    // ---- quarantine (latent-corruption containment) ----
+    //
+    // A slot whose data fails CRC or whose media is unreadable is
+    // QUARANTINED: skipped by recovery, never handed out or recycled
+    // by the commit protocol, until a repair write restores verified
+    // bytes. The quarantine set is a bitmap persisted in the device
+    // header (write+persist+fence), so it survives restart and every
+    // SlotStore opened on the device agrees after reopen. Slots >= 64
+    // cannot be quarantined (bitmap width); quarantine_slot reports
+    // a permanent error for them instead of silently succeeding.
+
+    /** Durably mark @p slot corrupt. Idempotent. Lifts the psan
+     *  lost-update protection on its payload so a salvage write is
+     *  legal. */
+    StorageStatus quarantine_slot(std::uint32_t slot);
+
+    /** Durably return @p slot to service. Call only after its content
+     *  has been re-verified (repair_slot + CRC readback). */
+    StorageStatus release_quarantine(std::uint32_t slot);
+
+    bool is_quarantined(std::uint32_t slot) const;
+
+    /** Quarantined slot indices, ascending. */
+    std::vector<std::uint32_t> quarantined_slots() const;
+
+    /**
+     * Salvage write: replace @p slot's payload with @p len verified
+     * bytes from @p src under the full persist contract
+     * (write→persist→fence), reporting durability to psan. Does NOT
+     * release the quarantine — the caller re-reads and CRC-checks the
+     * slot first, then calls release_quarantine().
+     */
+    StorageStatus repair_slot(std::uint32_t slot, const void* src,
+                              Bytes len);
+
     /** Bytes of device capacity this layout requires. */
     static Bytes required_size(std::uint32_t slot_count, Bytes slot_size,
                                Bytes delta_log_bytes = 0);
 
   private:
     SlotStore(StorageDevice& device, std::uint32_t slot_count,
-              Bytes slot_size, Bytes delta_offset, Bytes delta_bytes);
+              Bytes slot_size, Bytes delta_offset, Bytes delta_bytes,
+              std::uint64_t quarantine_bits);
 
     static Bytes record_offset(int index);
 
@@ -164,6 +206,17 @@ class SlotStore {
         CheckpointPointer last_ptr PCCHECK_GUARDED_BY(mu);
     };
 
+    // Shared by copies (same device): in-memory cache of the durable
+    // quarantine bitmap, so membership tests don't hit the device.
+    struct QuarantineState {
+        mutable Mutex mu;
+        std::uint64_t bits PCCHECK_GUARDED_BY(mu) = 0;
+    };
+
+    /** Durably write @p bits into the header bitmap field. */
+    StorageStatus write_quarantine_bits(std::uint64_t bits)
+        PCCHECK_REQUIRES(quarantine_->mu);
+
     StorageDevice* device_;
     PsanStorage* psan_ = nullptr;
     std::uint32_t slot_count_;
@@ -172,6 +225,7 @@ class SlotStore {
     Bytes delta_offset_ = 0;
     Bytes delta_bytes_ = 0;
     std::shared_ptr<PublishState> publish_;
+    std::shared_ptr<QuarantineState> quarantine_;
 };
 
 }  // namespace pccheck

@@ -35,7 +35,9 @@ delta_replay(const StorageDevice& device, const DeltaRegion& region,
     std::vector<std::uint8_t> payload;
     while (head + sizeof(RawFrameHeader) <= region.bytes) {
         RawFrameHeader hdr{};
-        device.read(region.offset + head, &hdr, sizeof(hdr));
+        if (!device.read(region.offset + head, &hdr, sizeof(hdr)).ok()) {
+            break;  // unreadable header: chain ends here
+        }
         // Stop-at-first-torn-frame rules: anything that fails here is
         // either an unsealed in-flight frame or a previous epoch's
         // garbage; frames past it are unreachable by construction
@@ -58,9 +60,11 @@ delta_replay(const StorageDevice& device, const DeltaRegion& region,
             break;
         }
         payload.resize(hdr.payload_len);
-        if (!payload.empty()) {
-            device.read(region.offset + head + sizeof(hdr), payload.data(),
-                        payload.size());
+        if (!payload.empty() &&
+            !device.read(region.offset + head + sizeof(hdr), payload.data(),
+                         payload.size())
+                 .ok()) {
+            break;  // unreadable payload: treat the frame as torn
         }
         if (crc32c(payload.data(), payload.size()) != hdr.payload_crc) {
             break;  // sealed header over a torn payload
@@ -110,6 +114,91 @@ delta_replay(const StorageDevice& device, const DeltaRegion& region,
         }
     }
     return stats;
+}
+
+std::vector<DeltaFrameScanEntry>
+delta_scan(const StorageDevice& device, const DeltaRegion& region,
+           std::uint64_t base_counter, std::uint64_t base_iteration)
+{
+    std::vector<DeltaFrameScanEntry> entries;
+    if (region.bytes == 0) {
+        return entries;
+    }
+    PCCHECK_CHECK(region.offset + region.bytes <= device.size());
+    Bytes head = 0;
+    std::uint64_t expected_seq = 1;
+    std::uint64_t last_iteration = base_iteration;
+    std::vector<std::uint8_t> payload;
+    while (head + sizeof(RawFrameHeader) <= region.bytes) {
+        RawFrameHeader hdr{};
+        if (!device.read(region.offset + head, &hdr, sizeof(hdr)).ok()) {
+            break;  // unreadable header: chain ends here
+        }
+        // Same chain rules as delta_replay — a frame the replay would
+        // reject for structural reasons is the clean end of the chain,
+        // not rot.
+        if (hdr.magic != kFrameMagic ||
+            hdr.header_crc != header_crc(hdr)) {
+            break;
+        }
+        if (hdr.seq != expected_seq || hdr.base_counter != base_counter) {
+            break;
+        }
+        if (hdr.iteration <= last_iteration) {
+            break;
+        }
+        if (hdr.payload_len > region.bytes - head - sizeof(hdr)) {
+            break;
+        }
+        if (static_cast<Bytes>(hdr.chunk_count) * sizeof(RawChunkRef) >
+            hdr.payload_len) {
+            break;
+        }
+        DeltaFrameScanEntry entry;
+        entry.offset = head;
+        entry.info = DeltaFrameInfo{hdr.seq, hdr.base_counter,
+                                    hdr.iteration, hdr.chunk_count,
+                                    hdr.payload_len};
+        payload.resize(hdr.payload_len);
+        entry.payload_ok =
+            (payload.empty() ||
+             device
+                 .read(region.offset + head + sizeof(hdr), payload.data(),
+                       payload.size())
+                 .ok()) &&
+            crc32c(payload.data(), payload.size()) == hdr.payload_crc;
+        entries.push_back(entry);
+        if (!entry.payload_ok) {
+            break;  // latent rot: everything past it is unreachable
+        }
+        last_iteration = hdr.iteration;
+        ++expected_seq;
+        head += align_up(sizeof(hdr) + hdr.payload_len,
+                         DeltaLog::kFrameAlign);
+    }
+    return entries;
+}
+
+StorageStatus
+delta_truncate(StorageDevice& device, const DeltaRegion& region,
+               Bytes frame_offset)
+{
+    PCCHECK_CHECK(frame_offset + sizeof(RawFrameHeader) <= region.bytes);
+    const Bytes device_off = region.offset + frame_offset;
+    if (auto* psan = dynamic_cast<PsanStorage*>(&device)) {
+        // Lift V3 before the write: killing the header is not a lost
+        // update — the frame (and the tail behind it) is unreachable.
+        psan->on_delta_truncate(device_off);
+    }
+    const std::uint8_t dead[sizeof(RawFrameHeader)] = {};
+    StorageStatus status = device.write(device_off, dead, sizeof(dead));
+    if (status.ok()) {
+        status = device.persist(device_off, sizeof(dead));
+    }
+    if (status.ok()) {
+        status = device.fence();
+    }
+    return status;
 }
 
 DeltaLog::DeltaLog(StorageDevice& device, const DeltaRegion& region)

@@ -83,6 +83,41 @@ struct DeltaReplayStats {
  */
 using DeltaReplayObserver = std::function<bool(const DeltaFrameInfo&)>;
 
+/** One frame's verdict from delta_scan (docs/RECOVERY.md §scrub). */
+struct DeltaFrameScanEntry {
+    Bytes offset = 0;  ///< region-relative offset of the frame
+    DeltaFrameInfo info;
+    /** False = sealed header over a payload that no longer matches its
+     *  CRC (latent rot) or whose media is unreadable. Replay stops at
+     *  this frame; delta_truncate() makes the stop explicit on media. */
+    bool payload_ok = false;
+};
+
+/**
+ * Walk the frame chain of (@p base_counter, @p base_iteration) without
+ * applying it: every chain rule of delta_replay() is enforced except
+ * the payload CRC, which is recorded per frame instead. The scan stops
+ * at the first dead/unsealed header (the chain's clean end) or at the
+ * first payload_ok == false frame — everything past a rotten frame is
+ * unreachable to replay anyway.
+ */
+std::vector<DeltaFrameScanEntry> delta_scan(const StorageDevice& device,
+                                            const DeltaRegion& region,
+                                            std::uint64_t base_counter,
+                                            std::uint64_t base_iteration);
+
+/**
+ * Durably kill the frame at region-relative @p frame_offset (dead
+ * header: write+persist+fence), truncating the chain there. This is
+ * the scrub repair for a sealed-header-torn-payload frame: the bytes
+ * replay could never apply stop looking like a valid chain tail. The
+ * frame's psan lost-update protection (and every later frame's) is
+ * lifted first — they are unreachable once this header dies.
+ */
+StorageStatus delta_truncate(StorageDevice& device,
+                             const DeltaRegion& region,
+                             Bytes frame_offset);
+
 /**
  * Apply the frame chain based on checkpoint (@p base_counter,
  * @p base_iteration) to @p image. Scans the region from its start and

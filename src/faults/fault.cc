@@ -73,10 +73,26 @@ parse_action(const std::string& spec, FaultRule* rule)
         rule->action = FaultAction::kDrop;
     } else if (name == "node_loss") {
         rule->action = FaultAction::kNodeLoss;
+    } else if (name == "bitflip") {
+        rule->action = FaultAction::kBitflip;
+        if (eq == std::string::npos) {
+            fatal("FaultPlan: bitflip needs a byte mask, e.g. bitflip=0x04");
+        }
+        const std::string arg = spec.substr(eq + 1);
+        char* end = nullptr;
+        const unsigned long long mask =
+            std::strtoull(arg.c_str(), &end, 0);  // decimal or 0x-hex
+        if (end == arg.c_str() || *end != '\0' || mask == 0 || mask > 0xff) {
+            fatal("FaultPlan: bitflip mask must be a byte in [1,255]: '" +
+                  arg + "'");
+        }
+        rule->bitflip_mask = static_cast<std::uint8_t>(mask);
+    } else if (name == "unreadable") {
+        rule->action = FaultAction::kUnreadable;
     } else {
         fatal("FaultPlan: unknown action '" + name + "'");
     }
-    if (name != "stall" && eq != std::string::npos) {
+    if (name != "stall" && name != "bitflip" && eq != std::string::npos) {
         fatal("FaultPlan: action '" + name + "' takes no argument");
     }
 }
@@ -191,10 +207,20 @@ FaultInjector::set_node_loss_handler(std::function<void()> handler)
 StorageStatus
 FaultInjector::on_op(const char* point)
 {
+    // Write-path points cannot express data corruption; a kBitflip
+    // rule matching here degrades to a silent no-op by design (the
+    // mask is reported only through on_op_full).
+    return on_op_full(point).status;
+}
+
+FaultOutcome
+FaultInjector::on_op_full(const char* point)
+{
     double stall_seconds = 0.0;
     std::function<void()> crash;
     std::function<void()> node_loss;
     StorageStatus status = StorageStatus::success();
+    std::uint8_t bitflip_mask = 0;
     {
         MutexLock lock(mu_);
         ++op_index_;
@@ -255,6 +281,16 @@ FaultInjector::on_op(const char* point)
                 // this very op (FaultyStorage dead check, SimNetwork
                 // alive check run after on_op returns).
                 break;
+              case FaultAction::kBitflip:
+                // The op "succeeds" — latent corruption is silent at
+                // the device level and only CRC checks can surface it.
+                bitflip_mask = rule.bitflip_mask;
+                break;
+              case FaultAction::kUnreadable:
+                // Unreadable sector: retrying the same LBA keeps
+                // failing, so this is the permanent class.
+                status = StorageStatus::permanent_error(point);
+                break;
             }
             break;  // first firing rule wins
         }
@@ -271,7 +307,7 @@ FaultInjector::on_op(const char* point)
     if (stall_seconds > 0.0) {
         backoff_sleep(stall_seconds);
     }
-    return status;
+    return FaultOutcome{status, bitflip_mask};
 }
 
 std::uint64_t

@@ -48,6 +48,8 @@ enum class FaultAction {
     kCrash,      ///< invoke the crash handler, op proceeds
     kDrop,       ///< network: bytes vanish in flight (retryable error)
     kNodeLoss,   ///< invoke the node-loss handler, op then fails
+    kBitflip,    ///< read path: XOR a byte mask into the data (bit rot)
+    kUnreadable, ///< read path: sector unreadable (permanent error)
 };
 
 /** When a rule fires, relative to the injector's global op counter. */
@@ -75,6 +77,8 @@ struct FaultRule {
     std::uint64_t window_hi = 0;
     /** Max firings; 0 = unlimited. */
     std::uint64_t limit = 0;
+    /** kBitflip byte mask XORed into the read data (non-zero). */
+    std::uint8_t bitflip_mask = 0;
 };
 
 /**
@@ -91,8 +95,10 @@ class FaultPlan {
      *     point:action[=arg]@trigger[,limit=N]
      *
      * with action one of `transient`, `permanent`, `stall=SECONDS`,
-     * `crash`, `drop`, `node_loss`, and trigger one of `nth=N`,
-     * `every=N`, `p=P`, `window=LO-HI`. Examples:
+     * `crash`, `drop`, `node_loss`, `bitflip=MASK` (byte mask, decimal
+     * or 0x-hex, read points only), `unreadable` (read points only),
+     * and trigger one of `nth=N`, `every=N`, `p=P`, `window=LO-HI`.
+     * Examples:
      *
      *     storage.persist:transient@p=0.01
      *     *:crash@nth=1234
@@ -100,6 +106,8 @@ class FaultPlan {
      *     net.transfer:drop@p=0.02
      *     net.transfer:stall=0.001@every=10
      *     *:node_loss@nth=900,limit=1
+     *     storage.read:bitflip=0x04@nth=7,limit=1
+     *     storage.read:unreadable@p=0.05
      *
      * Calls fatal() on malformed specs.
      */
@@ -116,6 +124,18 @@ class FaultPlan {
 
   private:
     std::vector<FaultRule> rules_;
+};
+
+/**
+ * Full result of evaluating one op: the injected status plus read-path
+ * data corruption. A non-zero @p bitflip_mask means the op succeeded
+ * but the bytes it returned are rotted — the decorator XORs the mask
+ * into the data it hands back (silent corruption; only CRC
+ * verification downstream can notice).
+ */
+struct FaultOutcome {
+    StorageStatus status = StorageStatus::success();
+    std::uint8_t bitflip_mask = 0;
 };
 
 /**
@@ -149,6 +169,15 @@ class FaultInjector {
      * crash handler.
      */
     StorageStatus on_op(const char* point);
+
+    /**
+     * Like on_op() but also reports read-path data corruption
+     * (kBitflip). Read-instrumented decorators call this; write-path
+     * points keep the plain on_op(). Both share the single global op
+     * counter, so "crash at op N" and "rot the read at op N" address
+     * the same interleaved op stream.
+     */
+    FaultOutcome on_op_full(const char* point);
 
     /** Total ops observed. */
     std::uint64_t ops() const;

@@ -30,17 +30,28 @@ FaultyStorage::write(Bytes offset, const void* src, Bytes len)
     return inner_->write(offset, src, len);
 }
 
-void
+StorageStatus
 FaultyStorage::read(Bytes offset, void* dst, Bytes len) const
 {
+    const FaultOutcome injected = injector_->on_op_full(kFaultStorageRead);
     if (dead()) {
         // Lost media reads as zeros: no magic, no pointer records, so
         // SlotStore::open rejects the device and recovery must fall
         // back to the replica tier.
         std::memset(dst, 0, len);
-        return;
+        return StorageStatus::permanent_error(kFaultStorageDead);
     }
-    inner_->read(offset, dst, len);
+    if (!injected.status.ok()) {
+        return injected.status;
+    }
+    StorageStatus status = inner_->read(offset, dst, len);
+    if (status.ok() && injected.bitflip_mask != 0 && len > 0) {
+        // Silent bit rot: the device reports success but the payload
+        // is corrupt. Flip the first byte so any CRC over the range
+        // fails deterministically.
+        static_cast<std::uint8_t*>(dst)[0] ^= injected.bitflip_mask;
+    }
+    return status;
 }
 
 StorageStatus

@@ -5,12 +5,15 @@
  * @file
  * Fault-injecting decorator around any StorageDevice.
  *
- * Routes every write/persist/fence through a FaultInjector fault point
- * before delegating to the inner device. An injected error is returned
- * without touching the inner device (the op never happened, matching a
- * failed syscall); stalls and crash triggers let the op proceed after
- * the side effect. Reads are passed through untouched — recovery must
- * be able to inspect the media even when the write path is unhealthy.
+ * Routes every read/write/persist/fence through a FaultInjector fault
+ * point before delegating to the inner device. An injected error is
+ * returned without touching the inner device (the op never happened,
+ * matching a failed syscall); stalls and crash triggers let the op
+ * proceed after the side effect. The read path additionally models
+ * media decay: an `unreadable` rule fails the read with a permanent
+ * error (bad sector) and a `bitflip=MASK` rule lets the read succeed
+ * but XORs the mask into the first returned byte (silent bit rot only
+ * CRC verification can catch).
  *
  * Stacks with the other decorators, e.g.
  * FaultyStorage(ThrottledStorage(CrashSimStorage)) gives bandwidth
@@ -33,6 +36,7 @@
 namespace pccheck {
 
 /** Fault-point names used by FaultyStorage (static lifetime). */
+inline constexpr const char kFaultStorageRead[] = "storage.read";
 inline constexpr const char kFaultStorageWrite[] = "storage.write";
 inline constexpr const char kFaultStoragePersist[] = "storage.persist";
 inline constexpr const char kFaultStorageFence[] = "storage.fence";
@@ -52,7 +56,7 @@ class FaultyStorage final : public StorageDevice {
 
     Bytes size() const override { return inner_->size(); }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override;
     StorageKind kind() const override { return inner_->kind(); }

@@ -140,7 +140,7 @@ DeltaTrace run_model(const DeltaModelConfig& cfg, DeltaMutation mutation)
             const Bytes start = line * line_bytes;
             const Bytes len = std::min(line_bytes, device_size - start);
             std::vector<std::uint8_t> buf(len);
-            device.read(start, buf.data(), len);
+            PCCHECK_MUST(device.read(start, buf.data(), len));
             snap.line_data.push_back(std::move(buf));
         }
         trace.snaps.push_back(std::move(snap));

@@ -10,6 +10,10 @@
  *                     (delta-log) tier; --delta-mutation selects a
  *                     weakened appender variant, and with the default
  *                     "all" the mode is a meta-check like mutations
+ *   --mode recovery-crash  crash-state enumeration over recovery's own
+ *                     quarantine/salvage writes; --recovery-mutation
+ *                     selects a weakened salvage, default "all" is a
+ *                     meta-check like mutations
  *   --mode mutations  meta-check: every weakened variant must FAIL,
  *                     and its replay token must reproduce the failure
  *   --mode replay     re-run a --token printed by a failing mode
@@ -27,6 +31,7 @@
 
 #include "mc/crash_enum.h"
 #include "mc/delta_enum.h"
+#include "mc/recovery_enum.h"
 #include "mc/explore.h"
 #include "mc/models.h"
 #include "mc/token.h"
@@ -48,6 +53,8 @@ struct Args {
     std::string token;
     /** --mode delta-crash variant selector; "all" = meta-check. */
     std::string delta_mutation = "all";
+    /** --mode recovery-crash variant selector; "all" = meta-check. */
+    std::string recovery_mutation = "all";
 };
 
 bool parse_mutation(const std::string& name, Mutation* out)
@@ -246,6 +253,77 @@ int run_delta_crash(const Args& args)
     return ok ? 0 : 1;
 }
 
+bool parse_recovery_mutation(const std::string& name,
+                             RecoveryMutation* out)
+{
+    if (name == "none") {
+        *out = RecoveryMutation::kNone;
+    } else if (name == "repair_over_last_good") {
+        *out = RecoveryMutation::kRepairOverLastGood;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char* recovery_mutation_name(RecoveryMutation m)
+{
+    switch (m) {
+      case RecoveryMutation::kNone:
+        return "none";
+      case RecoveryMutation::kRepairOverLastGood:
+        return "repair_over_last_good";
+    }
+    return "?";
+}
+
+/** One recovery-crash enumeration; @return its exit code. */
+int run_recovery_one(const Args& args, RecoveryMutation mutation)
+{
+    RecoveryModelConfig config;
+    config.storage_seed = args.seed;
+    RecoveryEnumOptions opts;
+    opts.seed = args.seed;
+    const RecoveryEnumResult r =
+        enumerate_recovery_crashes(config, mutation, opts);
+    std::printf("[mc] recovery-crash mutation=%s crash_points=%zu "
+                "images=%zu sampled_points=%zu salvaged=%d %s\n",
+                recovery_mutation_name(mutation), r.crash_points,
+                r.images, r.sampled_points, r.salvaged ? 1 : 0,
+                r.violated ? "VIOLATED" : "clean");
+    if (!r.violated) {
+        return 0;
+    }
+    std::printf("[mc] VIOLATION: %s\n", r.message.c_str());
+    std::printf("[mc] at crash_op=%zu mask=0x%llx\n", r.crash_op,
+                static_cast<unsigned long long>(r.crash_mask));
+    return 1;
+}
+
+int run_recovery_crash(const Args& args)
+{
+    if (args.recovery_mutation != "all") {
+        RecoveryMutation mutation{};
+        if (!parse_recovery_mutation(args.recovery_mutation, &mutation)) {
+            std::fprintf(stderr, "[mc] bad --recovery-mutation %s\n",
+                         args.recovery_mutation.c_str());
+            return 2;
+        }
+        return run_recovery_one(args, mutation);
+    }
+    // Meta-check: the real planner's quarantine+salvage must survive
+    // every crash image, AND the weakened salvage must be caught —
+    // otherwise the checker has no teeth.
+    bool ok = run_recovery_one(args, RecoveryMutation::kNone) == 0;
+    ok = run_recovery_one(args, RecoveryMutation::kRepairOverLastGood) ==
+             1 &&
+         ok;
+    if (ok) {
+        std::printf("[mc] recovery re-entrant; salvage mutation caught\n");
+    }
+    return ok ? 0 : 1;
+}
+
 int run_replay(const Args& args)
 {
     const auto token = decode_token(args.token);
@@ -357,11 +435,13 @@ int usage()
     std::fprintf(
         stderr,
         "usage: mc_check [--mode "
-        "dfs|pct|crash|delta-crash|mutations|replay]\n"
+        "dfs|pct|crash|delta-crash|recovery-crash|mutations|replay]\n"
         "                [--model listing1|mini] "
         "[--mutation none|blind_store|ticket_reuse|no_fence]\n"
         "                [--delta-mutation "
         "all|none|ack_before_payload|reset_before_publish]\n"
+        "                [--recovery-mutation "
+        "all|none|repair_over_last_good]\n"
         "                [--threads N] [--checkpoints N] [--bound N]\n"
         "                [--schedules N] [--seed N] "
         "[--queue vyukov|ms|mutex]\n"
@@ -409,6 +489,8 @@ int run(int argc, char** argv)
             }
         } else if (flag == "--delta-mutation" && (value = next())) {
             args.delta_mutation = value;
+        } else if (flag == "--recovery-mutation" && (value = next())) {
+            args.recovery_mutation = value;
         } else if (flag == "--token" && (value = next())) {
             args.token = value;
         } else {
@@ -429,6 +511,9 @@ int run(int argc, char** argv)
     }
     if (args.mode == "delta-crash") {
         return run_delta_crash(args);
+    }
+    if (args.mode == "recovery-crash") {
+        return run_recovery_crash(args);
     }
     if (args.mode == "mutations") {
         return run_mutations(args);

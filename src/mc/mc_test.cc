@@ -14,6 +14,7 @@
 
 #include "mc/crash_enum.h"
 #include "mc/delta_enum.h"
+#include "mc/recovery_enum.h"
 #include "mc/explore.h"
 #include "mc/models.h"
 #include "mc/scheduler.h"
@@ -366,6 +367,52 @@ TEST(DeltaEnum, DifferentStorageSeedsStayClean)
             enumerate_delta_crashes(config, DeltaMutation::kNone);
         EXPECT_FALSE(r.violated) << "seed " << seed << ": " << r.message;
     }
+}
+
+TEST(RecoveryEnum, FaithfulSalvageSurvivesEveryCrashImage)
+{
+    const RecoveryModelConfig config;
+    const RecoveryEnumResult r =
+        enumerate_recovery_crashes(config, RecoveryMutation::kNone);
+    EXPECT_FALSE(r.violated) << r.message;
+    // The model's planner really did fetch from the peer and salvage —
+    // otherwise the enumeration covered nothing interesting.
+    EXPECT_TRUE(r.salvaged);
+    EXPECT_GT(r.crash_points, 0u);
+    EXPECT_GT(r.images, r.crash_points);
+}
+
+TEST(RecoveryEnum, RepairOverLastGoodBreaksLocalFloor)
+{
+    const RecoveryModelConfig config;
+    const RecoveryEnumResult r = enumerate_recovery_crashes(
+        config, RecoveryMutation::kRepairOverLastGood);
+    ASSERT_TRUE(r.violated);
+    // The weakened salvage destroys the last good local copy while the
+    // rotted one is still quarantined: no local floor remains.
+    EXPECT_NE(r.message.find("no locally recoverable state"),
+              std::string::npos)
+        << r.message;
+}
+
+TEST(RecoveryEnum, DifferentStorageSeedsStayClean)
+{
+    for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+        RecoveryModelConfig config;
+        config.storage_seed = seed;
+        const RecoveryEnumResult r =
+            enumerate_recovery_crashes(config, RecoveryMutation::kNone);
+        EXPECT_FALSE(r.violated) << "seed " << seed << ": " << r.message;
+    }
+}
+
+TEST(RecoveryEnum, MoreCheckpointsStayClean)
+{
+    RecoveryModelConfig config;
+    config.checkpoints = 5;
+    const RecoveryEnumResult r =
+        enumerate_recovery_crashes(config, RecoveryMutation::kNone);
+    EXPECT_FALSE(r.violated) << r.message;
 }
 
 }  // namespace

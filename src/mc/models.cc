@@ -271,7 +271,7 @@ RunResult CommitModel::run(Strategy& strategy)
             const Bytes start = line * line_bytes;
             const Bytes len = std::min(line_bytes, device_size - start);
             std::vector<std::uint8_t> buf(len);
-            state_->device.read(start, buf.data(), len);
+            PCCHECK_MUST(state_->device.read(start, buf.data(), len));
             snap.line_data.push_back(std::move(buf));
         }
         snapshots_.push_back(std::move(snap));

@@ -224,7 +224,7 @@ PsanStorage::write(Bytes offset, const void* src, Bytes len)
     return status;
 }
 
-void
+StorageStatus
 PsanStorage::read(Bytes offset, void* dst, Bytes len) const
 {
     if (psan::RecoveryScope::active() && len != 0) {
@@ -238,7 +238,7 @@ PsanStorage::read(Bytes offset, void* dst, Bytes len) const
                       "durable");
         }
     }
-    inner_->read(offset, dst, len);
+    return inner_->read(offset, dst, len);
 }
 
 StorageStatus
@@ -356,6 +356,40 @@ PsanStorage::on_publish_durable(std::uint64_t counter, Bytes record_off,
 }
 
 void
+PsanStorage::on_quarantine(Bytes payload_off, Bytes payload_len)
+{
+    MutexLock lock(mu_);
+    // The quarantined payload is known-corrupt: overwriting it with a
+    // salvage write is the point, not a lost update. Drop any
+    // protected range that overlaps it.
+    for (auto it = slot_protect_.begin(); it != slot_protect_.end();) {
+        const Bytes begin = it->first;
+        const Bytes end = it->first + it->second;
+        if (begin < payload_off + payload_len && payload_off < end) {
+            it = slot_protect_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+PsanStorage::on_repair_durable(Bytes payload_off, Bytes payload_len)
+{
+    MutexLock lock(mu_);
+    const Bytes line = first_unstable(line_of(payload_off),
+                                      line_end_of(payload_off, payload_len));
+    if (line != kNoLine) {
+        violation(psan::Rule::kV2MissingFence, payload_off, payload_len,
+                  "missing-fence: repaired slot payload was reported "
+                  "durable without persist+fence");
+    }
+    if (payload_len != 0) {
+        slot_protect_[payload_off] = payload_len;
+    }
+}
+
+void
 PsanStorage::on_seal_begin(Bytes frame_off, Bytes preseal_len)
 {
     MutexLock lock(mu_);
@@ -392,6 +426,16 @@ PsanStorage::on_epoch_reset()
 {
     MutexLock lock(mu_);
     delta_protect_.clear();
+}
+
+void
+PsanStorage::on_delta_truncate(Bytes frame_off)
+{
+    MutexLock lock(mu_);
+    // Frames are laid out in append order, so every protected range at
+    // or past the dying header belongs to the unreachable tail.
+    delta_protect_.erase(delta_protect_.lower_bound(frame_off),
+                         delta_protect_.end());
 }
 
 void

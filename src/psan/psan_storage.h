@@ -58,7 +58,7 @@ class PsanStorage final : public StorageDevice {
 
     Bytes size() const override { return inner_->size(); }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override;
     StorageKind kind() const override { return inner_->kind(); }
@@ -113,11 +113,36 @@ class PsanStorage final : public StorageDevice {
     void on_epoch_reset();
 
     /**
+     * The scrubber is about to kill the sealed frame at @p frame_off
+     * (dead-header truncation of a rotten chain tail). Lifts V3
+     * protection for that frame and every later one — nothing at or
+     * past a dead header is reachable to replay.
+     */
+    void on_delta_truncate(Bytes frame_off);
+
+    /**
      * The replicated watermark is advancing to @p counter. V1
      * (early ack): the counter must not exceed the newest durably
      * published checkpoint.
      */
     void on_watermark_advance(std::uint64_t counter);
+
+    /**
+     * The slot payload [payload_off, payload_off+payload_len) was
+     * quarantined (latent corruption detected by recovery or the
+     * scrubber). Lifts V3 lost-update protection for the range so the
+     * in-place salvage write is not reported as an overwrite of the
+     * protected checkpoint; the repair site re-arms protection via
+     * on_repair_durable().
+     */
+    void on_quarantine(Bytes payload_off, Bytes payload_len);
+
+    /**
+     * A repair write into [payload_off, payload_off+payload_len)
+     * reported its persist→fence complete. V2: the range must now be
+     * Durable. On success the range rejoins the V3-protected set.
+     */
+    void on_repair_durable(Bytes payload_off, Bytes payload_len);
 
     /** Device reformat: all protection and publish state resets. */
     void on_format();

@@ -1,23 +1,11 @@
 #include "remote/remote_recovery.h"
 
-#include <algorithm>
-
+#include "core/recovery_planner.h"
+#include "remote/replica_source.h"
 #include "util/check.h"
-#include "util/crc32.h"
 #include "util/logging.h"
-#include "util/metrics.h"
 
 namespace pccheck {
-namespace {
-
-/** One restorable peer image, ranked (counter desc, path cost asc). */
-struct Candidate {
-    ReplicaSnapshot snapshot;
-    const ReplicaPeer* peer = nullptr;
-    Seconds path_cost = 0;
-};
-
-}  // namespace
 
 std::optional<RemoteRecoveryResult>
 recover_latest(StorageDevice* local_device, SimNetwork& network,
@@ -26,79 +14,32 @@ recover_latest(StorageDevice* local_device, SimNetwork& network,
                const Clock& clock)
 {
     PCCHECK_CHECK(out != nullptr);
-    Stopwatch watch(clock);
-    if (local_device != nullptr) {
-        try {
-            auto local = recover_to_buffer(*local_device, out, clock);
-            if (local.has_value()) {
-                return RemoteRecoveryResult{*local, false, -1};
-            }
-        } catch (const FatalError&) {
-            // Unformatted / wiped media (node_loss): even the arena
-            // header is gone. Fall through to the replica tier.
-        }
+    // Delegate to the planner: local slot candidates and peer replica
+    // versions ranked together (counter desc, modeled cost asc), so a
+    // healthy local arena wins ties at zero cost and a wiped one falls
+    // through to the replica tier. Salvage is off — recover_latest
+    // keeps its read-only contract on the local media (callers that
+    // want write-back recovery construct a RecoveryPlanner directly).
+    RecoveryPlanner::Options options;
+    options.salvage = false;
+    RecoveryPlanner planner(local_device, options, clock);
+    ReplicaRecoverySource replicas(network, self_node, peers,
+                                   fetch_timeout);
+    planner.add_source(&replicas);
+    const auto planned = planner.recover(out);
+    if (!planned.has_value()) {
+        return std::nullopt;
     }
-    // Survey the surviving peers: newest complete counter wins; among
-    // equals, the cheapest modeled network path serves the restore.
-    std::vector<Candidate> candidates;
-    for (const ReplicaPeer& peer : peers) {
-        if (peer.store == nullptr || !network.alive(peer.node)) {
-            continue;
-        }
-        const auto snapshot = peer.store->newest_complete();
-        if (!snapshot.has_value()) {
-            continue;
-        }
-        Candidate candidate;
-        candidate.snapshot = *snapshot;
-        candidate.peer = &peer;
-        candidate.path_cost = network.estimate_transfer(
-            peer.node, self_node, snapshot->data_len);
-        candidates.push_back(candidate);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                  if (a.snapshot.counter != b.snapshot.counter) {
-                      return a.snapshot.counter > b.snapshot.counter;
-                  }
-                  return a.path_cost < b.path_cost;
-              });
-    for (const Candidate& candidate : candidates) {
-        const ReplicaSnapshot& snapshot = candidate.snapshot;
-        // Pay for moving the image peer → self; a peer that dies or
-        // stalls past the deadline just means trying the next one.
-        if (!network
-                 .transfer_for(candidate.peer->node, self_node,
-                               snapshot.data_len, fetch_timeout)
-                 .has_value()) {
-            continue;
-        }
-        out->resize(snapshot.data_len);
-        if (!candidate.peer->store->read(snapshot.counter, 0, out->data(),
-                                         snapshot.data_len)) {
-            continue;  // evicted between survey and fetch
-        }
-        if (snapshot.data_crc != 0 &&
-            crc32c(out->data(), out->size()) != snapshot.data_crc) {
-            continue;  // never restore bytes that fail their CRC
-        }
+    if (planned->from_replica) {
         LOG_INFO("pccheck: restored checkpoint counter "
-                 << snapshot.counter << " from replica on node "
-                 << candidate.peer->node);
-        MetricsRegistry::global()
-            .counter("pccheck.recovery.replica_restores")
-            .add();
-        RemoteRecoveryResult result;
-        result.result.iteration = snapshot.iteration;
-        result.result.counter = snapshot.counter;
-        result.result.data_len = snapshot.data_len;
-        result.result.load_time = watch.elapsed();
-        result.result.data_crc = snapshot.data_crc;
-        result.from_replica = true;
-        result.source_node = candidate.peer->node;
-        return result;
+                 << planned->result.counter << " from replica on node "
+                 << planned->source_node);
     }
-    return std::nullopt;
+    RemoteRecoveryResult result;
+    result.result = planned->result;
+    result.from_replica = planned->from_replica;
+    result.source_node = planned->source_node;
+    return result;
 }
 
 }  // namespace pccheck

@@ -1,0 +1,72 @@
+#include "remote/replica_source.h"
+
+#include "remote/replica_store.h"
+
+namespace pccheck {
+
+ReplicaRecoverySource::ReplicaRecoverySource(SimNetwork& network,
+                                             int self_node,
+                                             std::vector<ReplicaPeer> peers,
+                                             Seconds fetch_timeout)
+    : network_(&network),
+      self_node_(self_node),
+      peers_(std::move(peers)),
+      fetch_timeout_(fetch_timeout)
+{
+}
+
+std::vector<RecoveryCandidate>
+ReplicaRecoverySource::survey()
+{
+    std::vector<RecoveryCandidate> candidates;
+    for (const ReplicaPeer& peer : peers_) {
+        if (peer.store == nullptr || !network_->alive(peer.node)) {
+            continue;
+        }
+        const auto snapshot = peer.store->newest_complete();
+        if (!snapshot.has_value()) {
+            continue;
+        }
+        RecoveryCandidate candidate;
+        candidate.counter = snapshot->counter;
+        candidate.iteration = snapshot->iteration;
+        candidate.data_len = snapshot->data_len;
+        candidate.data_crc = snapshot->data_crc;
+        candidate.cost = network_->estimate_transfer(
+            peer.node, self_node_, snapshot->data_len);
+        candidate.local = false;
+        candidate.source_node = peer.node;
+        candidates.push_back(candidate);
+    }
+    return candidates;
+}
+
+bool
+ReplicaRecoverySource::fetch(const RecoveryCandidate& candidate,
+                             std::vector<std::uint8_t>* out)
+{
+    const ReplicaPeer* peer = nullptr;
+    for (const ReplicaPeer& p : peers_) {
+        if (p.node == candidate.source_node) {
+            peer = &p;
+            break;
+        }
+    }
+    if (peer == nullptr || peer->store == nullptr ||
+        !network_->alive(peer->node)) {
+        return false;
+    }
+    // Pay for moving the image peer → self; a peer that dies or stalls
+    // past the deadline just means the planner tries the next one.
+    if (!network_
+             ->transfer_for(peer->node, self_node_, candidate.data_len,
+                            fetch_timeout_)
+             .has_value()) {
+        return false;
+    }
+    out->resize(candidate.data_len);
+    return peer->store->read(candidate.counter, 0, out->data(),
+                             candidate.data_len);
+}
+
+}  // namespace pccheck

@@ -1,0 +1,58 @@
+#ifndef PCCHECK_REMOTE_REPLICA_SOURCE_H_
+#define PCCHECK_REMOTE_REPLICA_SOURCE_H_
+
+/**
+ * @file
+ * RecoverySource adapter over peer ReplicaStores.
+ *
+ * Bridges the replication tier into the RecoveryPlanner: survey()
+ * reports each surviving peer's newest quorum-complete version as one
+ * candidate, costed by the modeled network path so the planner's
+ * (counter desc, cost asc) ranking reproduces the replica tier's
+ * "newest counter, then fastest path" preference. fetch() pays for the
+ * peer → self transfer (bounded by the ack deadline) before copying
+ * the version out of the peer's DRAM; a dead peer, an evicted version,
+ * or a missed deadline is reported as not-fetchable and the planner
+ * falls back to the next candidate. CRC verification of the fetched
+ * bytes stays with the planner.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recovery_planner.h"
+#include "net/network.h"
+#include "remote/replication.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** Peer ReplicaStores as a planner source. */
+class ReplicaRecoverySource final : public RecoverySource {
+  public:
+    /**
+     * @param network   cluster fabric (liveness, path costs, transfers)
+     * @param self_node the recovering node's id
+     * @param peers     replica stores to draw from (borrowed; the
+     *                  vector is copied, the stores must outlive this)
+     * @param fetch_timeout deadline per remote fetch attempt
+     */
+    ReplicaRecoverySource(SimNetwork& network, int self_node,
+                          std::vector<ReplicaPeer> peers,
+                          Seconds fetch_timeout = 1.0);
+
+    const char* name() const override { return "replica"; }
+    std::vector<RecoveryCandidate> survey() override;
+    bool fetch(const RecoveryCandidate& candidate,
+               std::vector<std::uint8_t>* out) override;
+
+  private:
+    SimNetwork* network_;
+    int self_node_;
+    std::vector<ReplicaPeer> peers_;
+    Seconds fetch_timeout_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_REMOTE_REPLICA_SOURCE_H_

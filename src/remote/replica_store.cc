@@ -175,6 +175,33 @@ ReplicaStore::read(std::uint64_t counter, Bytes offset, void* dst,
     return true;
 }
 
+ReplicaStore::ScrubResult
+ReplicaStore::scrub()
+{
+    MutexLock lock(mu_);
+    ScrubResult result;
+    for (auto it = versions_.begin(); it != versions_.end();) {
+        Version& version = it->second;
+        if (!version.complete || version.data_crc == 0) {
+            ++it;
+            continue;
+        }
+        ++result.scanned;
+        if (crc32c(version.data.data(), version.data.size()) ==
+            version.data_crc) {
+            ++it;
+            continue;
+        }
+        // DRAM rot: the version can never serve a restore (the planner
+        // would reject its bytes) and must not shadow older intact
+        // versions via newest_complete — drop it.
+        ++result.dropped;
+        held_ -= version.data.size();
+        it = versions_.erase(it);
+    }
+    return result;
+}
+
 ReplicaStoreStats
 ReplicaStore::stats() const
 {

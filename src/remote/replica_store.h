@@ -96,6 +96,20 @@ class ReplicaStore {
     bool read(std::uint64_t counter, Bytes offset, void* dst,
               Bytes len) const;
 
+    /** Outcome of one replica-side scrub pass. */
+    struct ScrubResult {
+        std::uint64_t scanned = 0;  ///< complete versions re-verified
+        std::uint64_t dropped = 0;  ///< versions failing their CRC
+    };
+
+    /**
+     * Re-verify every complete version's bytes against its sealed
+     * CRC-32C and drop the ones that no longer match (DRAM bit rot has
+     * no in-place repair — the owner's next checkpoint or a quorum
+     * peer re-replicates). Versions sealed without a CRC are skipped.
+     */
+    ScrubResult scrub();
+
     ReplicaStoreStats stats() const;
     Bytes dram_budget() const { return budget_; }
 

@@ -1,0 +1,314 @@
+#include "scrub/scrubber.h"
+
+#include "delta/delta_log.h"
+#include "obs/stage.h"
+#include "psan/psan.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace pccheck {
+
+ScrubReport&
+ScrubReport::operator+=(const ScrubReport& other)
+{
+    scanned += other.scanned;
+    corrupt += other.corrupt;
+    repaired += other.repaired;
+    quarantined += other.quarantined;
+    frames_truncated += other.frames_truncated;
+    replica_dropped += other.replica_dropped;
+    return *this;
+}
+
+Scrubber::Scrubber(SlotStore& store) : Scrubber(store, Options())
+{
+}
+
+Scrubber::Scrubber(SlotStore& store, Options options, const Clock& clock)
+    : store_(&store), options_(options), clock_(&clock)
+{
+}
+
+Scrubber::~Scrubber()
+{
+    stop();
+}
+
+void
+Scrubber::add_repair_source(RecoverySource* source)
+{
+    PCCHECK_CHECK(source != nullptr);
+    sources_.push_back(source);
+}
+
+void
+Scrubber::set_live_state_provider(LiveStateProvider provider)
+{
+    live_state_ = std::move(provider);
+}
+
+void
+Scrubber::set_commit(ConcurrentCommit* commit)
+{
+    commit_ = commit;
+}
+
+void
+Scrubber::add_replica_store(ReplicaStore* replica)
+{
+    PCCHECK_CHECK(replica != nullptr);
+    replicas_.push_back(replica);
+}
+
+bool
+Scrubber::fetch_verified(const CheckpointPointer& ptr,
+                         std::vector<std::uint8_t>* out)
+{
+    // Repair order: quorum peers first (authoritative durable copies),
+    // then the live in-DRAM staging copy. Either way the bytes must
+    // reproduce the record's CRC — a repair that "fixes" a slot with
+    // the wrong image would be worse than the rot.
+    for (RecoverySource* source : sources_) {
+        for (const RecoveryCandidate& candidate : source->survey()) {
+            if (candidate.counter != ptr.counter ||
+                candidate.data_len != ptr.data_len) {
+                continue;
+            }
+            if (!source->fetch(candidate, out)) {
+                continue;
+            }
+            if (ptr.data_crc == 0 ||
+                crc32c(out->data(), out->size()) == ptr.data_crc) {
+                return true;
+            }
+        }
+    }
+    if (live_state_ && live_state_(ptr.counter, out)) {
+        if (out->size() == ptr.data_len &&
+            (ptr.data_crc == 0 ||
+             crc32c(out->data(), out->size()) == ptr.data_crc)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Scrubber::repair_quarantined(const CheckpointPointer& ptr,
+                             ScrubReport* report)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!fetch_verified(ptr, &bytes)) {
+        return false;  // stays quarantined; retried next pass
+    }
+    psan::ScopeLabel psan_label("scrub.repair");
+    if (!store_->repair_slot(ptr.slot, bytes.data(), bytes.size()).ok()) {
+        return false;
+    }
+    // Trust the media, not the write: re-read and re-verify before the
+    // quarantine lifts and recovery starts believing this slot again.
+    std::vector<std::uint8_t> readback(bytes.size());
+    if (!store_->read_slot(ptr.slot, 0, readback.data(), readback.size())
+             .ok()) {
+        return false;
+    }
+    if (crc32c(readback.data(), readback.size()) !=
+        crc32c(bytes.data(), bytes.size())) {
+        return false;
+    }
+    if (!store_->release_quarantine(ptr.slot).ok()) {
+        return false;
+    }
+    LOG_INFO("pccheck: scrub repaired slot " << ptr.slot
+                                             << " (counter " << ptr.counter
+                                             << ")");
+    ++report->repaired;
+    return true;
+}
+
+void
+Scrubber::scrub_slots(ScrubReport* report)
+{
+    const auto all = store_->candidate_pointers(/*include_quarantined=*/
+                                                true);
+    // Verify only the newest record's payload: it is the recovery
+    // target, and the protocol made it durable before publish — a CRC
+    // mismatch there is genuine rot. Older records' slots are recycled
+    // by live commits, so their mismatches are routine, not rot.
+    for (const CheckpointPointer& ptr : all) {
+        if (store_->is_quarantined(ptr.slot)) {
+            continue;  // already known-bad; handled below
+        }
+        ++report->scanned;
+        std::vector<std::uint8_t> data(ptr.data_len);
+        const bool readable =
+            store_->read_slot(ptr.slot, 0, data.data(), data.size()).ok();
+        const bool valid =
+            readable && (ptr.data_crc == 0 ||
+                         crc32c(data.data(), data.size()) == ptr.data_crc);
+        if (!valid) {
+            ++report->corrupt;
+            if (store_->quarantine_slot(ptr.slot).ok()) {
+                ++report->quarantined;
+                LOG_INFO("pccheck: scrub quarantined slot "
+                         << ptr.slot << " (counter " << ptr.counter
+                         << ", "
+                         << (readable ? "torn payload"
+                                      : "unreadable media")
+                         << ")");
+            }
+        }
+        break;  // newest only
+    }
+
+    if (!options_.repair) {
+        return;
+    }
+    // The newest record overall (quarantined or not) names the one
+    // image a repair must restore; every other quarantined slot is
+    // superseded garbage the pool can reclaim.
+    const CheckpointPointer* newest =
+        all.empty() ? nullptr : &all.front();
+    for (std::uint32_t slot : store_->quarantined_slots()) {
+        if (newest != nullptr && newest->slot == slot) {
+            repair_quarantined(*newest, report);
+            continue;
+        }
+        // No live record references this slot: its quarantined bytes
+        // protect nothing. Release it and hand it back to the commit
+        // protocol as free capacity.
+        if (store_->release_quarantine(slot).ok()) {
+            if (commit_ != nullptr) {
+                commit_->restore_slot(slot);
+            }
+            ++report->repaired;
+            LOG_INFO("pccheck: scrub reclaimed superseded slot " << slot);
+        }
+    }
+}
+
+void
+Scrubber::scrub_delta(ScrubReport* report)
+{
+    if (store_->delta_bytes() == 0) {
+        return;
+    }
+    // The chain is only meaningful relative to the newest durable full
+    // checkpoint; with none (or a quarantined one), there is no base
+    // to scan against.
+    const auto candidates = store_->candidate_pointers();
+    if (candidates.empty()) {
+        return;
+    }
+    const CheckpointPointer& base = candidates.front();
+    const DeltaRegion region{store_->delta_offset(), store_->delta_bytes()};
+    const auto entries = delta_scan(store_->device(), region, base.counter,
+                                    base.iteration);
+    report->scanned += entries.size();
+    for (const DeltaFrameScanEntry& entry : entries) {
+        if (entry.payload_ok) {
+            continue;
+        }
+        // Sealed header over rotten payload: replay already refuses to
+        // cross it, so killing the header durably loses nothing and
+        // stops every future scan from re-flagging it.
+        ++report->corrupt;
+        if (options_.repair &&
+            delta_truncate(store_->device(), region, entry.offset).ok()) {
+            ++report->frames_truncated;
+            LOG_INFO("pccheck: scrub truncated rotten delta frame seq "
+                     << entry.info.seq << " at region offset "
+                     << entry.offset);
+        }
+    }
+}
+
+ScrubReport
+Scrubber::scrub_once()
+{
+    static LatencyHistogram& scrub_hist =
+        MetricsRegistry::global().histogram("pccheck.stage.scrub");
+    StageSpan span("scrub.pass", scrub_hist);
+    psan::ScopeLabel psan_label("scrub.pass");
+
+    ScrubReport report;
+    scrub_slots(&report);
+    scrub_delta(&report);
+    for (ReplicaStore* replica : replicas_) {
+        const auto result = replica->scrub();
+        report.scanned += result.scanned;
+        report.corrupt += result.dropped;
+        report.replica_dropped += result.dropped;
+    }
+
+    MetricsRegistry::global().counter("pccheck.scrub.scanned")
+        .add(report.scanned);
+    MetricsRegistry::global().counter("pccheck.scrub.corrupt")
+        .add(report.corrupt);
+    MetricsRegistry::global().counter("pccheck.scrub.repaired")
+        .add(report.repaired);
+    MetricsRegistry::global().counter("pccheck.scrub.quarantined")
+        .add(report.quarantined);
+
+    MutexLock lock(mu_);
+    totals_ += report;
+    return report;
+}
+
+void
+Scrubber::start()
+{
+    MutexLock lock(mu_);
+    if (running_) {
+        return;
+    }
+    running_ = true;
+    stopping_ = false;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+Scrubber::stop()
+{
+    {
+        MutexLock lock(mu_);
+        if (!running_) {
+            return;
+        }
+        stopping_ = true;
+        wake_.notify_all();
+    }
+    thread_.join();
+    MutexLock lock(mu_);
+    running_ = false;
+}
+
+void
+Scrubber::run()
+{
+    for (;;) {
+        {
+            MutexLock lock(mu_);
+            if (stopping_) {
+                return;
+            }
+        }
+        scrub_once();
+        MutexLock lock(mu_);
+        if (stopping_) {
+            return;
+        }
+        wake_.wait_for(mu_, options_.interval);
+    }
+}
+
+ScrubReport
+Scrubber::totals() const
+{
+    MutexLock lock(mu_);
+    return totals_;
+}
+
+}  // namespace pccheck

@@ -1,0 +1,155 @@
+#ifndef PCCHECK_SCRUB_SCRUBBER_H_
+#define PCCHECK_SCRUB_SCRUBBER_H_
+
+/**
+ * @file
+ * Background scrubber: latent-corruption detection and self-healing
+ * repair (docs/RECOVERY.md §scrub).
+ *
+ * A checkpoint that was durable when published can still rot on media
+ * before it is ever read back — exactly the copy recovery depends on.
+ * The scrubber closes that window by re-verifying, on a cadence:
+ *
+ *   - the local slot arena: the newest pointer record's payload is
+ *     re-read and CRC-32C-checked; a torn or unreadable payload is
+ *     quarantined (SlotStore skips it, the commit protocol never
+ *     recycles it) and repair is attempted;
+ *   - quarantined slots from earlier passes or recovery: repair is
+ *     retried every pass until a source produces verified bytes;
+ *   - the delta-frame chain: a sealed header over a payload that no
+ *     longer matches its CRC is latent rot replay would silently stop
+ *     at — the repair durably writes a dead header there, making the
+ *     truncation explicit;
+ *   - attached peer ReplicaStores: complete versions are re-verified
+ *     in DRAM and corrupt ones dropped (ReplicaStore::scrub).
+ *
+ * Repair sources, in order: a registered RecoverySource (quorum peer)
+ * serving the exact counter the record names, then the live-state
+ * provider (the in-DRAM checkpoint staging copy PCcheck already
+ * keeps). Either way the bytes must match the record's CRC, the write
+ * follows the full persist→fence contract (repair_slot), and the slot
+ * is re-read and re-verified from media before release_quarantine()
+ * returns it to service. A slot no record references anymore is
+ * reclaimed outright — released and handed back to the commit
+ * protocol's free pool (restore_slot).
+ *
+ * Counters: pccheck.scrub.{scanned,corrupt,repaired,quarantined}.
+ * Every pass runs under a "scrub.pass" stage span.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_commit.h"
+#include "core/recovery_planner.h"
+#include "core/slot_store.h"
+#include "remote/replica_store.h"
+#include "util/annotations.h"
+#include "util/clock.h"
+
+namespace pccheck {
+
+/** What one scrub pass (or a lifetime of passes) found and fixed. */
+struct ScrubReport {
+    std::uint64_t scanned = 0;     ///< payloads/frames/versions checked
+    std::uint64_t corrupt = 0;     ///< failed re-verification
+    std::uint64_t repaired = 0;    ///< restored to verified service
+    std::uint64_t quarantined = 0; ///< newly quarantined slots
+    std::uint64_t frames_truncated = 0;  ///< rotten delta frames killed
+    std::uint64_t replica_dropped = 0;   ///< DRAM versions dropped
+
+    ScrubReport& operator+=(const ScrubReport& other);
+};
+
+/** Periodic integrity scan + repair over one node's checkpoint state. */
+class Scrubber {
+  public:
+    struct Options {
+        /** Background cadence between passes (start()/stop()). */
+        Seconds interval = 0.05;
+        /** False = detect and quarantine only, never write. */
+        bool repair = true;
+    };
+
+    /**
+     * Serves the checkpoint image for @p counter from live process
+     * state (PCcheck's in-DRAM staging copy). Returns false when that
+     * counter is no longer held. The scrubber CRC-verifies the bytes
+     * against the pointer record before trusting them.
+     */
+    using LiveStateProvider = std::function<bool(
+        std::uint64_t counter, std::vector<std::uint8_t>* out)>;
+
+    explicit Scrubber(SlotStore& store);
+    Scrubber(SlotStore& store, Options options,
+             const Clock& clock = MonotonicClock::instance());
+    ~Scrubber();
+
+    Scrubber(const Scrubber&) = delete;
+    Scrubber& operator=(const Scrubber&) = delete;
+
+    /** Register a repair source (borrowed; e.g. ReplicaRecoverySource).
+     *  Tried in registration order before the live-state provider. */
+    void add_repair_source(RecoverySource* source);
+
+    /** Register the live-state fallback repair source. */
+    void set_live_state_provider(LiveStateProvider provider);
+
+    /**
+     * Attach the commit protocol so a repaired slot that no pointer
+     * record references anymore is returned to the free pool
+     * (ConcurrentCommit::restore_slot). Optional — without it such
+     * slots stay released-but-idle until the next reopen.
+     */
+    void set_commit(ConcurrentCommit* commit);
+
+    /** Attach a peer ReplicaStore hosted by this process for DRAM
+     *  re-verification each pass. */
+    void add_replica_store(ReplicaStore* replica);
+
+    /** One synchronous scan+repair pass. Thread-safe. */
+    ScrubReport scrub_once();
+
+    /** Start/stop the background thread (idempotent). */
+    void start();
+    void stop();
+
+    /** Lifetime totals across every pass (background + manual). */
+    ScrubReport totals() const;
+
+  private:
+    /** Background loop: scrub_once every interval until stop(). */
+    void run();
+    /** Scrub the slot arena; see file comment for the policy. */
+    void scrub_slots(ScrubReport* report);
+    /** Scrub the delta chain under the newest valid base. */
+    void scrub_delta(ScrubReport* report);
+    /** Try to repair one quarantined slot named by @p ptr. */
+    bool repair_quarantined(const CheckpointPointer& ptr,
+                            ScrubReport* report);
+    /** Fetch verified bytes for @p ptr from any repair source. */
+    bool fetch_verified(const CheckpointPointer& ptr,
+                        std::vector<std::uint8_t>* out);
+
+    SlotStore* store_;
+    Options options_;
+    const Clock* clock_;
+    std::vector<RecoverySource*> sources_;
+    LiveStateProvider live_state_;
+    ConcurrentCommit* commit_ = nullptr;
+    std::vector<ReplicaStore*> replicas_;
+
+    mutable Mutex mu_;
+    ScrubReport totals_ PCCHECK_GUARDED_BY(mu_);
+    bool running_ PCCHECK_GUARDED_BY(mu_) = false;
+    bool stopping_ PCCHECK_GUARDED_BY(mu_) = false;
+    CondVar wake_;
+    std::thread thread_;
+};
+
+}  // namespace pccheck
+
+#endif  // PCCHECK_SCRUB_SCRUBBER_H_

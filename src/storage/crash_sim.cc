@@ -65,13 +65,15 @@ CrashSimStorage::write(Bytes offset, const void* src, Bytes len)
     return StorageStatus::success();
 }
 
-void
+StorageStatus
 CrashSimStorage::read(Bytes offset, void* dst, Bytes len) const
 {
-    PCCHECK_CHECK_MSG(offset + len <= size_,
-                      "read out of range off=" << offset << " len=" << len);
+    if (offset + len > size_) {
+        return StorageStatus::permanent_error("crash_sim.read_range");
+    }
     MutexLock lock(mu_);
     std::memcpy(dst, volatile_.data() + offset, len);
+    return StorageStatus::success();
 }
 
 StorageStatus

@@ -48,7 +48,7 @@ class CrashSimStorage final : public StorageDevice {
 
     Bytes size() const override { return size_; }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override;
     StorageKind kind() const override { return kind_; }

@@ -69,8 +69,17 @@ class StorageDevice {
     virtual StorageStatus write(Bytes offset, const void* src,
                                 Bytes len) = 0;
 
-    /** Read @p len bytes at @p offset into @p dst (sees latest writes). */
-    virtual void read(Bytes offset, void* dst, Bytes len) const = 0;
+    /**
+     * Read @p len bytes at @p offset into @p dst (sees latest writes).
+     * Reads are fallible like writes: bit rot surfaces as CRC failure
+     * downstream, but unreadable sectors / truncated mappings / dead
+     * nodes surface here. On a non-ok status the contents of @p dst are
+     * unspecified — callers must not interpret the buffer. Out-of-range
+     * reads return a permanent error rather than aborting so that
+     * recovery can degrade source-by-source (see RecoveryPlanner).
+     */
+    virtual StorageStatus read(Bytes offset, void* dst,
+                               Bytes len) const = 0;
 
     /**
      * Initiate durability for [offset, offset+len). For kSsdMsync the

@@ -57,12 +57,17 @@ FileStorage::write(Bytes offset, const void* src, Bytes len)
     return StorageStatus::success();
 }
 
-void
+StorageStatus
 FileStorage::read(Bytes offset, void* dst, Bytes len) const
 {
-    PCCHECK_CHECK_MSG(offset + len <= size_,
-                      "read out of range off=" << offset << " len=" << len);
+    if (offset + len > size_) {
+        // A truncated or short-mapped device file is a media condition,
+        // not a programming error: recovery must be able to observe it
+        // and fall back to another source instead of dying here.
+        return StorageStatus::permanent_error("file.read_range");
+    }
     std::memcpy(dst, map_ + offset, len);
+    return StorageStatus::success();
 }
 
 StorageStatus

@@ -31,7 +31,10 @@ class FileStorage final : public StorageDevice {
 
     Bytes size() const override { return size_; }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    /** A read past the mapped size (truncated/short device image)
+     *  returns a permanent error instead of aborting, so recovery can
+     *  skip the unreadable candidate and fall back. */
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     /** msync(MS_SYNC) over the page-aligned covering range; a failed
      *  msync surfaces as a transient error (retryable EIO class). */
     StorageStatus persist(Bytes offset, Bytes len) override;

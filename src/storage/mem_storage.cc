@@ -21,13 +21,14 @@ MemStorage::write(Bytes offset, const void* src, Bytes len)
     return StorageStatus::success();
 }
 
-void
+StorageStatus
 MemStorage::read(Bytes offset, void* dst, Bytes len) const
 {
-    PCCHECK_CHECK_MSG(offset + len <= data_.size(),
-                      "read out of range: off=" << offset << " len=" << len
-                                                << " size=" << data_.size());
+    if (offset + len > data_.size()) {
+        return StorageStatus::permanent_error("mem.read_range");
+    }
     std::memcpy(dst, data_.data() + offset, len);
+    return StorageStatus::success();
 }
 
 StorageStatus

@@ -23,7 +23,7 @@ class MemStorage final : public StorageDevice {
 
     Bytes size() const override { return data_.size(); }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override
     {

@@ -28,11 +28,11 @@ ThrottledStorage::write(Bytes offset, const void* src, Bytes len)
     return inner_->write(offset, src, len);
 }
 
-void
+StorageStatus
 ThrottledStorage::read(Bytes offset, void* dst, Bytes len) const
 {
     read_throttle_.acquire(len);
-    inner_->read(offset, dst, len);
+    return inner_->read(offset, dst, len);
 }
 
 StorageStatus

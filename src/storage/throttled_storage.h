@@ -45,7 +45,7 @@ class ThrottledStorage final : public StorageDevice {
 
     Bytes size() const override { return inner_->size(); }
     StorageStatus write(Bytes offset, const void* src, Bytes len) override;
-    void read(Bytes offset, void* dst, Bytes len) const override;
+    StorageStatus read(Bytes offset, void* dst, Bytes len) const override;
     StorageStatus persist(Bytes offset, Bytes len) override;
     StorageStatus fence() override { return inner_->fence(); }
     StorageKind kind() const override { return inner_->kind(); }

@@ -76,9 +76,9 @@ TEST(SlotStoreTest, SlotsDoNotOverlap)
     PCCHECK_MUST(store.write_slot(0, 0, a.data(), a.size()));
     PCCHECK_MUST(store.write_slot(1, 0, b.data(), b.size()));
     std::vector<std::uint8_t> out(5000);
-    store.read_slot(0, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(0, 0, out.data(), out.size()));
     EXPECT_EQ(out, a);
-    store.read_slot(1, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(1, 0, out.data(), out.size()));
     EXPECT_EQ(out, b);
 }
 
@@ -310,7 +310,7 @@ TEST(ConcurrentCommitTest, ParallelWritersMonotonicPointer)
     const auto recovered = store.recover_pointer();
     ASSERT_TRUE(recovered.has_value());
     std::vector<std::uint8_t> data(recovered->data_len);
-    store.read_slot(recovered->slot, 0, data.data(), data.size());
+    PCCHECK_MUST(store.read_slot(recovered->slot, 0, data.data(), data.size()));
     const auto stamped =
         TrainingState::verify_buffer(data.data(), data.size());
     ASSERT_TRUE(stamped.has_value());
@@ -364,7 +364,7 @@ TEST(CrashPropertyTest, RecoveryAlwaysFindsValidCheckpoint)
         ASSERT_TRUE(recovered.has_value()) << "seed " << seed;
         EXPECT_GE(recovered->counter, last_acked) << "seed " << seed;
         std::vector<std::uint8_t> data(recovered->data_len);
-        reopened.read_slot(recovered->slot, 0, data.data(), data.size());
+        PCCHECK_MUST(reopened.read_slot(recovered->slot, 0, data.data(), data.size()));
         const auto stamped =
             TrainingState::verify_buffer(data.data(), data.size());
         ASSERT_TRUE(stamped.has_value()) << "seed " << seed;
@@ -405,7 +405,7 @@ TEST(PersistEngineTest, BlockingPersistWritesAllData)
     ASSERT_TRUE(
         engine.persist_range(1, 0, data.data(), data.size(), 3).ok());
     std::vector<std::uint8_t> out(64 * 1024);
-    store.read_slot(1, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(1, 0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -427,7 +427,7 @@ TEST(PersistEngineTest, AsyncPersistInvokesDone)
         std::this_thread::yield();
     }
     std::vector<std::uint8_t> out(64 * 1024);
-    store.read_slot(0, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(0, 0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -471,7 +471,7 @@ TEST(PersistEngineTest, PmemPathFencesEachStripe)
     // Everything the engine wrote must already be durable.
     crash_device->crash();
     std::vector<std::uint8_t> out(16 * 1024);
-    store.read_slot(0, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(0, 0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 

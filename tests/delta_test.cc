@@ -166,7 +166,7 @@ TEST(DeltaLog, TornPayloadMidRecordStopsAtPrefix)
     std::uint8_t byte = 0;
     const Bytes victim =
         kRegionOff + frame2 + DeltaLog::kFrameAlign + 16 + 50;
-    f.device.read(victim, &byte, 1);
+    PCCHECK_MUST(f.device.read(victim, &byte, 1));
     byte ^= 0xFF;
     ASSERT_TRUE(f.device.write(victim, &byte, 1).ok());
 

@@ -347,7 +347,7 @@ TEST(CxlTest, BehavesLikePmem)
     PCCHECK_MUST(device.persist(0, 1));
     device.crash();  // not fenced: lost
     std::uint8_t out = 0xFF;
-    device.read(0, &out, 1);
+    PCCHECK_MUST(device.read(0, &out, 1));
     EXPECT_EQ(out, 0);
 }
 

@@ -95,7 +95,7 @@ TEST(FaultInjectionTest, SingleBitFlipInRecordDetected)
     // at a time; the checksum must catch each flip (fall back to 1).
     for (Bytes byte = 0; byte < 64; ++byte) {
         std::uint8_t original = 0;
-        device->read(64 + byte, &original, 1);
+        PCCHECK_MUST(device->read(64 + byte, &original, 1));
         const std::uint8_t flipped = original ^ 0x01;
         PCCHECK_MUST(device->write(64 + byte, &flipped, 1));
         std::vector<std::uint8_t> buffer;

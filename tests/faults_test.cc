@@ -59,6 +59,32 @@ TEST(FaultPlanTest, ParsesFullGrammar)
     EXPECT_EQ(d.window_hi, 20u);
 }
 
+TEST(FaultPlanTest, ParsesReadCorruptionActions)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "storage.read:bitflip=0x04@nth=7,limit=1;"
+        "storage.read:unreadable@p=0.05");
+    ASSERT_EQ(plan.rules().size(), 2u);
+
+    const FaultRule& flip = plan.rules()[0];
+    EXPECT_EQ(flip.point, "storage.read");
+    EXPECT_EQ(flip.action, FaultAction::kBitflip);
+    EXPECT_EQ(flip.bitflip_mask, 0x04u);
+    EXPECT_EQ(flip.trigger, FaultTrigger::kNthOp);
+    EXPECT_EQ(flip.nth, 7u);
+    EXPECT_EQ(flip.limit, 1u);
+
+    const FaultRule& dead = plan.rules()[1];
+    EXPECT_EQ(dead.point, "storage.read");
+    EXPECT_EQ(dead.action, FaultAction::kUnreadable);
+    EXPECT_EQ(dead.trigger, FaultTrigger::kProbability);
+    EXPECT_DOUBLE_EQ(dead.probability, 0.05);
+
+    // Decimal masks parse too.
+    const FaultPlan dec = FaultPlan::parse("p:bitflip=128@nth=1");
+    EXPECT_EQ(dec.rules()[0].bitflip_mask, 0x80u);
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs)
 {
     EXPECT_THROW(FaultPlan::parse("nocolon@nth=1"), FatalError);
@@ -70,6 +96,13 @@ TEST(FaultPlanTest, RejectsMalformedSpecs)
     EXPECT_THROW(FaultPlan::parse("p:transient@window=9"), FatalError);
     EXPECT_THROW(FaultPlan::parse("p:transient@nth=1,retries=2"),
                  FatalError);
+    // bitflip needs a mask that is a non-zero byte.
+    EXPECT_THROW(FaultPlan::parse("p:bitflip@nth=1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("p:bitflip=0@nth=1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("p:bitflip=256@nth=1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("p:bitflip=zz@nth=1"), FatalError);
+    // unreadable takes no argument.
+    EXPECT_THROW(FaultPlan::parse("p:unreadable=1@nth=1"), FatalError);
 }
 
 TEST(FaultInjectorTest, NthOpFiresExactlyOnce)
@@ -198,12 +231,12 @@ TEST(FaultyStorageTest, InjectedErrorNeverTouchesInnerDevice)
     const std::uint8_t payload[4] = {0xAA, 0xBB, 0xCC, 0xDD};
     EXPECT_TRUE(device.write(0, payload, sizeof(payload)).is_transient());
     std::uint8_t check[4] = {};
-    device.read(0, check, sizeof(check));
+    PCCHECK_MUST(device.read(0, check, sizeof(check)));
     EXPECT_EQ(check[0], 0);  // the failed write never happened
 
     // Second attempt (the rule fired already) goes through.
     PCCHECK_MUST(device.write(0, payload, sizeof(payload)));
-    device.read(0, check, sizeof(check));
+    PCCHECK_MUST(device.read(0, check, sizeof(check)));
     EXPECT_EQ(check[0], 0xAA);
     PCCHECK_MUST(device.persist(0, sizeof(payload)));
     PCCHECK_MUST(device.fence());

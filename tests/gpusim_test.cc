@@ -185,7 +185,7 @@ TEST(SimGpuTest, DirectCopyToStorageBypassesCompute)
     copier.join();
     EXPECT_GE(watch.elapsed(), 0.015);  // PCIe still paid
     std::vector<std::uint8_t> out(200'000);
-    storage.read(0, out.data(), out.size());
+    PCCHECK_MUST(storage.read(0, out.data(), out.size()));
     EXPECT_EQ(out[123], static_cast<std::uint8_t>(123 * 3));
 }
 

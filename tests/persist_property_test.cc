@@ -63,7 +63,7 @@ TEST_P(PersistEngineProperty, DurableAndExact)
     // zero eviction luck must preserve every byte.
     device.crash();
     std::vector<std::uint8_t> out(size);
-    store.read_slot(1, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(1, 0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -90,7 +90,7 @@ TEST_P(PersistEngineProperty, AsyncDurableAndExact)
     }
     device.crash();
     std::vector<std::uint8_t> out(size);
-    store.read_slot(0, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(0, 0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -125,7 +125,7 @@ TEST_P(OffsetPersistProperty, NeighborsUntouched)
                     .ok());
 
     std::vector<std::uint8_t> out(kSlot);
-    store.read_slot(0, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(0, 0, out.data(), out.size()));
     for (Bytes i = 0; i < kSlot; ++i) {
         const std::uint8_t expected =
             (i >= offset && i < offset + len) ? patch[i - offset]
@@ -209,7 +209,7 @@ TEST_P(TornRecordProperty, FallsBackToOlderRecord)
     // Tear the in-flight record for counter 2 (one flipped bit models
     // a partial sector write caught mid-crash).
     std::uint8_t byte = 0;
-    device.read(record_offset_for(2) + byte_index, &byte, 1);
+    PCCHECK_MUST(device.read(record_offset_for(2) + byte_index, &byte, 1));
     byte ^= static_cast<std::uint8_t>(1u << bit);
     PCCHECK_MUST(device.write(record_offset_for(2) + byte_index, &byte, 1));
     PCCHECK_MUST(device.persist(record_offset_for(2) + byte_index, 1));
@@ -224,7 +224,7 @@ TEST_P(TornRecordProperty, FallsBackToOlderRecord)
 
     // The record it fell back to must reference intact data.
     std::vector<std::uint8_t> out(recovered->data_len);
-    store.read_slot(recovered->slot, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(recovered->slot, 0, out.data(), out.size()));
     EXPECT_EQ(crc32c(out.data(), out.size()), recovered->data_crc);
     EXPECT_EQ(out, old_data);
 }
@@ -252,7 +252,7 @@ TEST(TornRecordProperty, CorruptDataFallsBackWhenValidating)
     // Stomp a byte in the middle of counter 2's slot data (models a
     // slot recycled under a stale record).
     std::uint8_t byte = 0;
-    store.read_slot(1, kSlotSize / 2, &byte, 1);
+    PCCHECK_MUST(store.read_slot(1, kSlotSize / 2, &byte, 1));
     byte ^= 0xFF;
     PCCHECK_MUST(store.write_slot(1, kSlotSize / 2, &byte, 1));
 
@@ -260,7 +260,7 @@ TEST(TornRecordProperty, CorruptDataFallsBackWhenValidating)
     ASSERT_TRUE(validated.has_value());
     EXPECT_EQ(validated->counter, 1u);
     std::vector<std::uint8_t> out(validated->data_len);
-    store.read_slot(validated->slot, 0, out.data(), out.size());
+    PCCHECK_MUST(store.read_slot(validated->slot, 0, out.data(), out.size()));
     EXPECT_EQ(out, old_data);
 
     // Without data validation the (syntactically valid) newest record
@@ -282,7 +282,7 @@ TEST(TornRecordProperty, BothRecordsTornMeansNoCheckpoint)
 
     for (std::uint64_t counter : {1u, 2u}) {
         std::uint8_t byte = 0;
-        device.read(record_offset_for(counter), &byte, 1);
+        PCCHECK_MUST(device.read(record_offset_for(counter), &byte, 1));
         byte ^= 0x01;
         PCCHECK_MUST(device.write(record_offset_for(counter), &byte, 1));
     }

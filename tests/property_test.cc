@@ -175,8 +175,8 @@ TEST_P(SlotSafetyProperty, NoDoubleAllocation)
                 // Re-read: if another ticket got the same slot, the
                 // stamp no longer matches our counter.
                 std::vector<std::uint8_t> readback(kState);
-                store.read_slot(ticket.slot, 0, readback.data(),
-                                readback.size());
+                PCCHECK_MUST(store.read_slot(ticket.slot, 0, readback.data(),
+                                readback.size()));
                 const auto stamped = TrainingState::verify_buffer(
                     readback.data(), readback.size());
                 if (!stamped.has_value() ||
@@ -276,7 +276,7 @@ TEST_P(StorageRoundTrip, PersistedBytesSurvive)
     PCCHECK_MUST(device.fence());
     device.crash();
     std::vector<std::uint8_t> out(size);
-    device.read(4096, out.data(), out.size());
+    PCCHECK_MUST(device.read(4096, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 

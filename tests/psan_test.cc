@@ -318,14 +318,15 @@ TEST_F(PsanTest, MutationRecoveryReadOfNondurableLineFiresV5)
 
     {
         // Outside a recovery scope reads are unrestricted.
-        device.read(128, buf, 64);
+        PCCHECK_MUST(device.read(128, buf, 64));
         EXPECT_TRUE(drain().empty());
     }
     {
         psan::RecoveryScope scope;
-        device.read(0, buf, 64);  // Clean line: stable media content
+        // Clean line: stable media content
+        PCCHECK_MUST(device.read(0, buf, 64));
         EXPECT_TRUE(drain().empty());
-        device.read(128, buf, 64);
+        PCCHECK_MUST(device.read(128, buf, 64));
         expect_one(Rule::kV5NondurableRead, "nondurable-read");
     }
 }

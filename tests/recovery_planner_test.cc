@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the multi-source RecoveryPlanner (docs/RECOVERY.md):
+ * candidate ranking, per-candidate verdict reporting, quarantine of a
+ * corrupt newest local slot, salvage of a remotely restored image, and
+ * the salvage-target policy that refuses to overwrite a live copy.
+ * End-to-end storm coverage lives in tests/recovery_storm_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/recovery_planner.h"
+#include "core/slot_store.h"
+#include "storage/mem_storage.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace pccheck {
+namespace {
+
+constexpr Bytes kState = 512;
+constexpr std::uint32_t kSlots = 2;
+
+std::vector<std::uint8_t>
+image_for(std::uint64_t counter)
+{
+    std::vector<std::uint8_t> image(kState);
+    for (Bytes j = 0; j < kState; ++j) {
+        image[j] = static_cast<std::uint8_t>((counter * 37 + j) & 0xFF);
+    }
+    return image;
+}
+
+/** Publish @p counter into slot counter%kSlots under the full
+ *  write → persist → fence → publish contract. */
+std::vector<std::uint8_t>
+publish(SlotStore& store, StorageDevice& device, std::uint64_t counter)
+{
+    const auto image = image_for(counter);
+    const std::uint32_t slot = static_cast<std::uint32_t>(counter % kSlots);
+    PCCHECK_MUST(store.write_slot(slot, 0, image.data(), image.size()));
+    PCCHECK_MUST(store.persist_slot_range(slot, 0, image.size()));
+    PCCHECK_MUST(device.fence());
+    CheckpointPointer pointer;
+    pointer.counter = counter;
+    pointer.slot = slot;
+    pointer.data_len = image.size();
+    pointer.iteration = counter * 10;
+    pointer.data_crc = crc32c(image.data(), image.size());
+    PCCHECK_MUST(store.publish_pointer(pointer));
+    return image;
+}
+
+/** In-memory RecoverySource: a map of counter → image, with optional
+ *  fetch failure to model a peer dying between survey and transfer. */
+class FakeSource final : public RecoverySource {
+  public:
+    explicit FakeSource(double cost = 5.0) : cost_(cost) {}
+
+    void offer(std::uint64_t counter)
+    {
+        images_[counter] = image_for(counter);
+    }
+    void fail_fetches() { serve_ = false; }
+
+    const char* name() const override { return "fake"; }
+
+    std::vector<RecoveryCandidate> survey() override
+    {
+        std::vector<RecoveryCandidate> out;
+        for (const auto& [counter, image] : images_) {
+            RecoveryCandidate c;
+            c.counter = counter;
+            c.iteration = counter * 10;
+            c.data_len = image.size();
+            c.data_crc = crc32c(image.data(), image.size());
+            c.cost = cost_;
+            c.local = false;
+            c.source_node = 1;
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    bool fetch(const RecoveryCandidate& candidate,
+               std::vector<std::uint8_t>* out) override
+    {
+        ++fetches_;
+        auto it = images_.find(candidate.counter);
+        if (!serve_ || it == images_.end()) {
+            return false;
+        }
+        *out = it->second;
+        return true;
+    }
+
+    int fetches() const { return fetches_; }
+
+  private:
+    double cost_;
+    bool serve_ = true;
+    int fetches_ = 0;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> images_;
+};
+
+/** Durably flip one byte inside a slot's payload, bypassing the
+ *  publish protocol — modeled bit rot at rest. */
+void
+rot_slot(StorageDevice& device, const SlotStore& store, std::uint32_t slot)
+{
+    std::uint8_t byte = 0;
+    const Bytes off = store.slot_offset(slot) + 3;
+    PCCHECK_MUST(device.read(off, &byte, 1));
+    byte ^= 0x10;
+    PCCHECK_MUST(device.write(off, &byte, 1));
+    PCCHECK_MUST(device.persist(off, 1));
+    PCCHECK_MUST(device.fence());
+}
+
+TEST(RecoveryPlannerTest, PlanRanksNewestFirstCostBreaksTies)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 1);
+    publish(store, device, 2);
+
+    FakeSource peer(/*cost=*/5.0);
+    peer.offer(2);  // same counter as the newest local record
+    peer.offer(3);  // strictly newer than anything local
+
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    const std::vector<RecoveryCandidate> ranked = planner.plan();
+    ASSERT_EQ(ranked.size(), 4u);
+    EXPECT_EQ(ranked[0].counter, 3u);
+    EXPECT_FALSE(ranked[0].local);
+    // Counter tie: the free local read outranks the costed fetch.
+    EXPECT_EQ(ranked[1].counter, 2u);
+    EXPECT_TRUE(ranked[1].local);
+    EXPECT_EQ(ranked[2].counter, 2u);
+    EXPECT_FALSE(ranked[2].local);
+    EXPECT_EQ(ranked[3].counter, 1u);
+    EXPECT_STREQ(ranked[2].source, "fake");
+    EXPECT_STREQ(ranked[1].source, "local");
+}
+
+TEST(RecoveryPlannerTest, RecoversNewestLocalAndMarksRestStale)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 1);
+    const auto newest = publish(store, device, 2);
+
+    RecoveryPlanner planner(&device);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 2u);
+    EXPECT_EQ(out, newest);
+    EXPECT_FALSE(planned->from_replica);
+    EXPECT_EQ(planned->slots_quarantined, 0u);
+    ASSERT_EQ(planned->report.size(), 2u);
+    EXPECT_EQ(planned->report[0].verdict, CandidateVerdict::kValid);
+    EXPECT_EQ(planned->report[1].verdict, CandidateVerdict::kStale);
+}
+
+TEST(RecoveryPlannerTest, QuarantinesTornNewestAndFallsBack)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    const auto older = publish(store, device, 1);
+    publish(store, device, 2);
+    rot_slot(device, store, 2 % kSlots);
+
+    RecoveryPlanner planner(&device);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 1u);
+    EXPECT_EQ(out, older);
+    EXPECT_EQ(planned->slots_quarantined, 1u);
+    ASSERT_EQ(planned->report.size(), 2u);
+    EXPECT_EQ(planned->report[0].verdict, CandidateVerdict::kTorn);
+    EXPECT_EQ(planned->report[1].verdict, CandidateVerdict::kValid);
+
+    const SlotStore reopened = SlotStore::open(device);
+    EXPECT_TRUE(reopened.is_quarantined(2 % kSlots));
+}
+
+TEST(RecoveryPlannerTest, SalvagesRemoteImageIntoQuarantinedSlot)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 1);
+    publish(store, device, 2);
+    rot_slot(device, store, 2 % kSlots);
+
+    FakeSource peer;
+    peer.offer(2);
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    // Torn local copy of 2 loses; the peer's copy of 2 wins and is
+    // salvaged back into the slot its quarantine freed up.
+    EXPECT_EQ(planned->result.counter, 2u);
+    EXPECT_EQ(out, image_for(2));
+    EXPECT_TRUE(planned->from_replica);
+    EXPECT_EQ(planned->source_node, 1);
+    EXPECT_TRUE(planned->salvaged);
+    EXPECT_EQ(planned->slots_quarantined, 1u);
+
+    // The salvage released the quarantine and re-published locally:
+    // a planner with no sources now recovers the same bytes.
+    const SlotStore reopened = SlotStore::open(device);
+    EXPECT_TRUE(reopened.quarantined_slots().empty());
+    RecoveryPlanner local_only(&device);
+    std::vector<std::uint8_t> local_out;
+    const auto relocal = local_only.recover(&local_out);
+    ASSERT_TRUE(relocal.has_value());
+    EXPECT_EQ(relocal->result.counter, 2u);
+    EXPECT_EQ(local_out, image_for(2));
+    EXPECT_FALSE(relocal->from_replica);
+}
+
+TEST(RecoveryPlannerTest, RefusesSalvageThatWouldRiskALiveCopy)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 1);
+    publish(store, device, 2);
+
+    // Both slots hold live, CRC-valid copies; the peer has something
+    // newer. Salvaging counter 3 would have to overwrite one of them,
+    // so the planner must restore from the peer WITHOUT salvaging.
+    FakeSource peer;
+    peer.offer(3);
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 3u);
+    EXPECT_EQ(out, image_for(3));
+    EXPECT_TRUE(planned->from_replica);
+    EXPECT_FALSE(planned->salvaged);
+    EXPECT_EQ(planned->slots_quarantined, 0u);
+
+    // Local state is untouched: both copies still recoverable.
+    const SlotStore reopened = SlotStore::open(device);
+    EXPECT_TRUE(reopened.quarantined_slots().empty());
+    RecoveryPlanner local_only(&device);
+    std::vector<std::uint8_t> local_out;
+    const auto relocal = local_only.recover(&local_out);
+    ASSERT_TRUE(relocal.has_value());
+    EXPECT_EQ(relocal->result.counter, 2u);
+    EXPECT_EQ(local_out, image_for(2));
+}
+
+TEST(RecoveryPlannerTest, FailedFetchFallsBackToLocal)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    const auto newest = publish(store, device, 2);
+
+    FakeSource peer;
+    peer.offer(5);
+    peer.fail_fetches();  // peer dies between survey and transfer
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 2u);
+    EXPECT_EQ(out, newest);
+    EXPECT_EQ(planned->report[0].verdict, CandidateVerdict::kUnreadable);
+    EXPECT_EQ(planned->report[1].verdict, CandidateVerdict::kValid);
+    EXPECT_EQ(peer.fetches(), 1);
+}
+
+TEST(RecoveryPlannerTest, EmptyArenaAndNoSourcesYieldsNullopt)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore::format(device, kSlots, kState);
+    RecoveryPlanner planner(&device);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(planner.recover(&out).has_value());
+
+    // Unformatted media is "unreadable before we even rank", not fatal.
+    MemStorage blank(SlotStore::required_size(kSlots, kState));
+    RecoveryPlanner blank_planner(&blank);
+    EXPECT_FALSE(blank_planner.recover(&out).has_value());
+    EXPECT_TRUE(blank_planner.plan().empty());
+}
+
+}  // namespace
+}  // namespace pccheck

@@ -196,9 +196,12 @@ TEST(NodeLossFaultTest, HandlerKillsStorageAndNicAtomically)
     EXPECT_TRUE(device.dead());
     EXPECT_FALSE(network.alive(0));
 
-    // Lost media reads as zeros — recovery must treat it as empty.
+    // Lost media: the read fails permanently AND the buffer reads as
+    // zeros (legacy callers that ignore the status still see no magic,
+    // so SlotStore::open rejects the device either way).
     std::uint8_t probe = 0xFF;
-    device.read(0, &probe, 1);
+    const StorageStatus dead_read = device.read(0, &probe, 1);
+    EXPECT_TRUE(dead_read.is_permanent());
     EXPECT_EQ(probe, 0);
     EXPECT_FALSE(device.persist(0, 1).ok());
     EXPECT_FALSE(network.transfer_for(0, 1, 16, 0.005).has_value());

@@ -38,7 +38,7 @@ TEST(MemStorageTest, WriteReadRoundTrip)
     const auto data = pattern(100, 7);
     PCCHECK_MUST(mem.write(123, data.data(), data.size()));
     std::vector<std::uint8_t> out(100);
-    mem.read(123, out.data(), out.size());
+    PCCHECK_MUST(mem.read(123, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -59,7 +59,7 @@ TEST(CrashSimTest, PersistedDataSurvivesCrash)
     PCCHECK_MUST(dev.fence());
     dev.crash();
     std::vector<std::uint8_t> out(256);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -71,7 +71,7 @@ TEST(CrashSimTest, UnpersistedDataLostWithZeroEviction)
     // No persist. With eviction probability 0 nothing reaches media.
     dev.crash();
     std::vector<std::uint8_t> out(256, 0xFF);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, std::vector<std::uint8_t>(256, 0));
 }
 
@@ -84,7 +84,7 @@ TEST(CrashSimTest, PmemRequiresFenceForDurability)
     EXPECT_EQ(dev.pending_lines(), 1u);
     dev.crash();
     std::vector<std::uint8_t> out(64, 0xFF);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, std::vector<std::uint8_t>(64, 0));  // lost
 }
 
@@ -96,7 +96,7 @@ TEST(CrashSimTest, SsdMsyncIsSynchronouslyDurable)
     PCCHECK_MUST(dev.persist(0, data.size()));  // msync — durable without fence
     dev.crash();
     std::vector<std::uint8_t> out(4096);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -112,7 +112,7 @@ TEST(CrashSimTest, RewriteInvalidatesPendingWriteback)
     PCCHECK_MUST(dev.fence());  // nothing pending for this line anymore
     dev.crash();
     std::vector<std::uint8_t> out(64, 0xFF);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, std::vector<std::uint8_t>(64, 0));
 }
 
@@ -125,7 +125,7 @@ TEST(CrashSimTest, EvictionMayPersistUnflushedLines)
     PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     dev.crash();
     std::vector<std::uint8_t> out(256);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     EXPECT_EQ(out, data);
 }
 
@@ -138,7 +138,7 @@ TEST(CrashSimTest, PartialEvictionTearsData)
     PCCHECK_MUST(dev.write(0, data.data(), data.size()));
     dev.crash();
     std::vector<std::uint8_t> out(32 * 1024);
-    dev.read(0, out.data(), out.size());
+    PCCHECK_MUST(dev.read(0, out.data(), out.size()));
     bool any_survived = false;
     bool any_lost = false;
     for (Bytes line = 0; line < 32 * 1024 / 64; ++line) {
@@ -180,8 +180,44 @@ TEST(FileStorageTest, PersistsAcrossReopen)
     {
         FileStorage file(path, 16384);
         std::vector<std::uint8_t> out(8192);
-        file.read(100, out.data(), out.size());
+        PCCHECK_MUST(file.read(100, out.data(), out.size()));
         EXPECT_EQ(out, data);
+    }
+    std::remove(path.c_str());
+}
+
+// Regression: a device image truncated below what a reader expects
+// (e.g. a checkpoint arena cut short mid-copy) must surface as a
+// permanent StorageStatus from read(), not a process abort. Recovery
+// relies on this to classify the candidate unreadable and fall back.
+TEST(FileStorageTest, ReadPastTruncatedImageIsPermanentError)
+{
+    const std::string path = "/tmp/pccheck_file_storage_trunc_test.bin";
+    const auto data = pattern(4096, 13);
+    {
+        FileStorage file(path, 16384);
+        PCCHECK_MUST(file.write(0, data.data(), data.size()));
+        PCCHECK_MUST(file.persist(0, data.size()));
+    }
+    {
+        // Reopen the same image mapped at a quarter of the original
+        // size, as if the tail never reached the disk.
+        FileStorage file(path, 4096);
+        std::vector<std::uint8_t> out(4096);
+        PCCHECK_MUST(file.read(0, out.data(), out.size()));
+        EXPECT_EQ(out, data);
+
+        // Straddling the mapped size and landing entirely past it are
+        // both permanent faults: retrying cannot make the bytes exist.
+        StorageStatus straddle = file.read(2048, out.data(), out.size());
+        EXPECT_FALSE(straddle.ok());
+        EXPECT_TRUE(straddle.is_permanent());
+        StorageStatus beyond = file.read(8192, out.data(), 64);
+        EXPECT_FALSE(beyond.ok());
+        EXPECT_TRUE(beyond.is_permanent());
+
+        // The device stays usable after a rejected read.
+        PCCHECK_MUST(file.read(0, out.data(), 64));
     }
     std::remove(path.c_str());
 }
@@ -192,7 +228,7 @@ TEST(ThrottledStorageTest, ForwardsDataIntact)
     const auto data = pattern(512, 10);
     PCCHECK_MUST(dev.write(64, data.data(), data.size()));
     std::vector<std::uint8_t> out(512);
-    dev.read(64, out.data(), out.size());
+    PCCHECK_MUST(dev.read(64, out.data(), out.size()));
     EXPECT_EQ(out, data);
     EXPECT_EQ(dev.size(), 4096u);
 }

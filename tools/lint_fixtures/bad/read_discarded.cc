@@ -1,0 +1,27 @@
+// Fixture: fallible reads used as bare statements — the buffer is
+// then consumed whether or not the media produced the bytes.
+// pccheck-lint: read-status
+#include <cstdint>
+
+struct StorageStatus {
+    bool ok() const { return true; }
+};
+
+struct Device {
+    StorageStatus read(std::uint64_t, void*, std::uint64_t);
+};
+
+struct Store {
+    Device& device();
+    StorageStatus read_slot(int, std::uint64_t, void*, std::uint64_t);
+};
+
+std::uint8_t
+leaky_restore(Device& device, Store& store)
+{
+    std::uint8_t buf[64];
+    device.read(0, buf, sizeof buf);        // BAD: status dropped
+    store.read_slot(1, 0, buf, sizeof buf); // BAD: status dropped
+    store.device().read(8, buf, 8);         // BAD: accessor hop
+    return buf[0];
+}

@@ -1,0 +1,39 @@
+// Fixture: every fallible read either aborts via PCCHECK_MUST or
+// feeds a branch that classifies the source unreadable.
+// pccheck-lint: read-status
+#include <cstdint>
+
+#define PCCHECK_MUST(expr)                                            \
+    do {                                                              \
+        if (!(expr).ok()) {                                           \
+            __builtin_trap();                                         \
+        }                                                             \
+    } while (0)
+
+struct StorageStatus {
+    bool ok() const { return true; }
+};
+
+struct Device {
+    StorageStatus read(std::uint64_t, void*, std::uint64_t);
+};
+
+struct Store {
+    Device& device();
+    StorageStatus read_slot(int, std::uint64_t, void*, std::uint64_t);
+};
+
+bool
+careful_restore(Device& device, Store& store)
+{
+    std::uint8_t buf[64];
+    PCCHECK_MUST(device.read(0, buf, sizeof buf));
+    if (!store.read_slot(1, 0, buf, sizeof buf).ok()) {
+        return false;  // candidate is unreadable; fall back
+    }
+    // A wrapped call may continue onto the next line without being a
+    // bare statement:
+    const StorageStatus tail =
+        store.device().read(8, buf, 8);
+    return tail.ok();
+}

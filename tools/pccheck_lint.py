@@ -74,6 +74,16 @@ enforces:
                            to the retry helper. A silently dropped
                            transient error defeats graceful
                            degradation.
+  read-status-checked      Reads are fallible too (docs/RECOVERY.md):
+                           in the recovery-critical trees (src/core/,
+                           src/scrub/, src/remote/) a bare-statement
+                           call to read()/read_slot() that discards
+                           its StorageStatus silently treats whatever
+                           landed in the buffer as the stored bytes —
+                           latent corruption or a dead device becomes
+                           garbage state instead of an unreadable
+                           verdict. Other files opt in with a
+                           "pccheck-lint: read-status" marker.
 
 Usage:
   tools/pccheck_lint.py [--rule RULE] [paths...]
@@ -387,6 +397,46 @@ def rule_storage_status_checked(path: str,
 
 
 # --------------------------------------------------------------------------
+# read-status-checked
+
+
+# Fallible-read methods returning a [[nodiscard]] StorageStatus.
+# Longest-first so the alternation cannot stop at the `read` prefix.
+READ_STATUS_METHODS = ("read_slot", "read")
+READ_STATUS_MARKER = "pccheck-lint: read-status"
+# Recovery-critical trees where a dropped read status turns latent
+# corruption into silent use of garbage bytes.
+READ_STATUS_DIRS = ("src/core/", "src/scrub/", "src/remote/")
+
+BARE_READ_CALL_RE = re.compile(
+    r"^\s*\w+(?:\.|->)(?:\w+\(\)(?:\.|->))?("
+    + "|".join(READ_STATUS_METHODS) + r")\s*\(")
+
+
+def rule_read_status_checked(path: str, lines: List[str]) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    text = "\n".join(lines)
+    if not any(d in norm for d in READ_STATUS_DIRS) and \
+            READ_STATUS_MARKER not in text:
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if is_comment_line(line):
+            continue
+        match = BARE_READ_CALL_RE.match(code_of(line))
+        if match and starts_statement(lines, i):
+            findings.append(Finding(
+                path, i + 1, "read-status-checked",
+                f"{match.group(1)}() returns a StorageStatus that this "
+                "bare statement discards; a read can fail (bit rot, "
+                "truncated image, dead device) and the buffer then "
+                "holds garbage — wrap it in PCCHECK_MUST(...) or "
+                "branch on the status so the caller can classify the "
+                "source unreadable and fall back"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # replica-publish-ordering
 
 
@@ -592,6 +642,7 @@ RULES: dict[str, Callable[[str, List[str]], List[Finding]]] = {
     "trace-span-under-lock": rule_trace_span_under_lock,
     "check-addr-cas-only": rule_check_addr_cas_only,
     "storage-status-checked": rule_storage_status_checked,
+    "read-status-checked": rule_read_status_checked,
     "storage-decorator-forwards-hooks":
         rule_storage_decorator_forwards_hooks,
 }

@@ -26,6 +26,7 @@ BAD_EXPECTATIONS = {
     "trace_under_lock.cc": "trace-span-under-lock",
     "check_addr_store.cc": "check-addr-cas-only",
     "status_discarded.cc": "storage-status-checked",
+    "read_discarded.cc": "read-status-checked",
     "watermark_unacked.cc": "replica-publish-ordering",
     "decorator_no_forward.cc": "storage-decorator-forwards-hooks",
 }
@@ -221,6 +222,56 @@ class RuleDetailTests(unittest.TestCase):
         self.assertEqual(
             self._lint_lines("storage-status-checked", lines,
                              path="src/core/orchestrator.cc"), [])
+
+    def test_read_status_rule_skips_files_outside_recovery_trees(self):
+        lines = ["    device.read(0, buf, 64);"]
+        self.assertEqual(
+            self._lint_lines("read-status-checked", lines,
+                             path="src/storage/mem_storage.cc"), [])
+
+    def test_read_status_bare_read_in_core_flagged(self):
+        lines = ["    store.read_slot(1, 0, buf, 64);"]
+        self.assertEqual(
+            len(self._lint_lines("read-status-checked", lines,
+                                 path="src/core/recovery_planner.cc")), 1)
+
+    def test_read_status_bare_read_in_scrub_flagged(self):
+        lines = ["    device->read(off, buf, 64);"]
+        self.assertEqual(
+            len(self._lint_lines("read-status-checked", lines,
+                                 path="src/scrub/scrubber.cc")), 1)
+
+    def test_read_status_marker_opts_a_file_in(self):
+        lines = [
+            "// pccheck-lint: read-status",
+            "    device.read(0, buf, 64);",
+        ]
+        self.assertEqual(
+            len(self._lint_lines("read-status-checked", lines,
+                                 path="src/trainsim/loader.cc")), 1)
+
+    def test_read_status_checked_uses_are_clean(self):
+        lines = [
+            "    PCCHECK_MUST(device.read(0, buf, 64));",
+            "    if (!store.read_slot(1, 0, buf, 64).ok()) {",
+            "        return false;",
+            "    }",
+            "    return store.read_slot(2, 0, buf, 64).ok();",
+        ]
+        self.assertEqual(
+            self._lint_lines("read-status-checked", lines,
+                             path="src/core/recovery_planner.cc"), [])
+
+    def test_read_status_readback_does_not_match_read_prefix(self):
+        # `readback(...)` and `reader.ready(...)` are not fallible
+        # read calls; the method-name alternation must not prefix-match.
+        lines = [
+            "    image.readback(0, buf, 64);",
+            "    reader.ready(now);",
+        ]
+        self.assertEqual(
+            self._lint_lines("read-status-checked", lines,
+                             path="src/core/recovery_planner.cc"), [])
 
     def test_replica_rule_skips_files_without_replication_calls(self):
         lines = [
