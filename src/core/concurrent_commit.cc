@@ -37,7 +37,8 @@ ConcurrentCommit::ConcurrentCommit(SlotStore& store,
                                    const Clock& clock)
     : store_(&store), clock_(&clock),
       free_slots_(make_slot_queue(queue_kind, store.slot_count())),
-      check_addr_(pack(0, kNoSlot)), meta_(store.slot_count())
+      parked_(store.slot_count()), check_addr_(pack(0, kNoSlot)),
+      meta_(store.slot_count())
 {
     PCCHECK_CHECK(store.slot_count() < kNoSlot);
     // If the device already holds a checkpoint (reopen after crash),
@@ -61,11 +62,14 @@ ConcurrentCommit::ConcurrentCommit(SlotStore& store,
         if (slot == reserved) {
             continue;
         }
-        // Quarantined slots stay out of the pool: handing one out as
-        // scratch would overwrite the corrupt-but-repairable payload
-        // the quarantine is preserving. restore_slot() re-admits them
-        // once the scrubber has repaired and released the quarantine.
+        // Quarantined slots stay out of the pool (parked): handing one
+        // out as scratch would overwrite the corrupt-but-repairable
+        // payload the quarantine is preserving. restore_slot()
+        // re-admits them once the scrubber has repaired and released
+        // the quarantine.
         if (store.is_quarantined(slot)) {
+            // relaxed: constructor, no concurrent access yet.
+            parked_[slot].store(true, std::memory_order_relaxed);
             continue;
         }
         PCCHECK_CHECK(free_slots_->try_enqueue(slot));
@@ -155,6 +159,19 @@ ConcurrentCommit::commit(const CheckpointTicket& ticket, Bytes data_len,
                     // into a slot recovery skips. It stays parked
                     // until the scrubber reclaims it (release +
                     // restore_slot).
+                    parked_[old_slot].store(true,
+                                            std::memory_order_release);
+                    // The scrubber may have released the quarantine
+                    // (and no-op'd its restore) between our check and
+                    // the park — re-admit instead of leaking the slot.
+                    if (!store_->is_quarantined(old_slot) &&
+                        parked_[old_slot].exchange(
+                            false, std::memory_order_acq_rel)) {
+                        while (!free_slots_->try_enqueue(old_slot)) {
+                            clock_->sleep_for(kSlotBackoff);
+                        }
+                        result.freed_slot = old_slot;
+                    }
                 } else if (old_slot != kNoSlot) {
                     // try_enqueue can report a transient "full" while a
                     // concurrent dequeuer sits between claiming a cell
@@ -238,6 +255,13 @@ ConcurrentCommit::restore_slot(std::uint32_t slot)
     PCCHECK_CHECK(slot < store_->slot_count());
     PCCHECK_CHECK_MSG(!store_->is_quarantined(slot),
                       "restore_slot on a still-quarantined slot");
+    // Only a slot this protocol parked may be re-admitted. A slot that
+    // was quarantined while free (or while owned by an in-flight
+    // ticket) was never withheld — enqueueing it here would put it in
+    // the pool twice and let two commits scribble the same slot.
+    if (!parked_[slot].exchange(false, std::memory_order_acq_rel)) {
+        return;
+    }
     // Same transient-full retry as commit(); see the winner path.
     while (!free_slots_->try_enqueue(slot)) {
         clock_->sleep_for(kSlotBackoff);

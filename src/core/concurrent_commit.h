@@ -115,12 +115,18 @@ class ConcurrentCommit {
 
     /**
      * Return a repaired slot to the free pool. Quarantined slots are
-     * withheld from the pool at construction (a corrupt slot must not
-     * be handed out as scratch while its quarantine marks the payload
-     * as the last copy worth repairing); after the scrubber repairs
-     * and releases one, this puts it back in service. The slot must be
-     * released from quarantine first and must not be referenced by the
-     * current CHECK_ADDR.
+     * withheld from the pool (parked) at construction and when a
+     * commit supersedes a quarantined CHECK_ADDR slot (a corrupt slot
+     * must not be handed out as scratch while its quarantine marks the
+     * payload as the last copy worth repairing); after the scrubber
+     * repairs and releases one, this puts it back in service. The slot
+     * must be released from quarantine first.
+     *
+     * Only slots this protocol actually parked are re-admitted: a
+     * restore of a slot that is free or owned by an in-flight ticket
+     * is a no-op, so a stray release/restore can never enqueue the
+     * same slot twice (two commits writing one slot would let a
+     * successful commit publish bytes another writer is clobbering).
      */
     void restore_slot(std::uint32_t slot);
 
@@ -204,6 +210,10 @@ class ConcurrentCommit {
     SlotStore* store_;
     const Clock* clock_;
     std::unique_ptr<FreeSlotQueue> free_slots_;
+    /** Slot i was withheld from the free pool for quarantine (true
+     *  until restore_slot re-admits it). Guards against restoring a
+     *  slot the pool never lost. */
+    std::vector<Atomic<bool>> parked_;
     Atomic<std::uint64_t> g_counter_{0};
     Atomic<std::uint64_t> check_addr_;  ///< packed (counter, slot)
     std::vector<SlotMeta> meta_;        ///< side table, one per slot

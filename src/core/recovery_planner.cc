@@ -130,36 +130,73 @@ RecoveryPlanner::salvage_local(SlotStore& store,
         return false;  // local arena cannot hold this checkpoint
     }
     // Pick a target slot whose loss cannot regress the local floor:
-    // a quarantined slot first (the salvage doubles as its repair),
-    // then a slot no surviving pointer record references, then the
-    // slot referenced by @p chosen's OWN counter — the corrupt copy
-    // this salvage replaces, so a torn write there changes nothing
-    // recovery could have used. Never a live older record's slot: a
-    // crash mid-write would destroy the last good local copy while
-    // the rotten one still fails CRC (the exact failure mode the MC
-    // recovery-crash mutation models).
+    // a quarantined slot no NEWER-counter record references first (the
+    // salvage doubles as its repair), then a slot no surviving pointer
+    // record references, then the slot referenced by @p chosen's OWN
+    // counter — the corrupt copy this salvage replaces, so a torn
+    // write there changes nothing recovery could have used. Never a
+    // live older record's slot: a crash mid-write would destroy the
+    // last good local copy while the rotten one still fails CRC (the
+    // exact failure mode the MC recovery-crash mutation models).
+    //
+    // A quarantined slot still referenced by a record NEWER than
+    // @p chosen is only used as a last resort, and only after that
+    // stale record is durably invalidated: salvaging an older image
+    // under a surviving newer record would make the next recovery
+    // CRC-fail that record as "newest local", re-quarantine the slot
+    // now holding the only valid local copy, and hide the salvaged
+    // record behind the quarantine — local recovery dead despite a
+    // good local copy.
     std::unordered_set<std::uint32_t> referenced;
+    std::unordered_set<std::uint32_t> newer_referenced;
     std::optional<std::uint32_t> same_counter_slot;
-    for (const CheckpointPointer& pointer : store.candidate_pointers()) {
+    const auto records =
+        store.candidate_pointers(/*include_quarantined=*/true);
+    for (const CheckpointPointer& pointer : records) {
         referenced.insert(pointer.slot);
         if (pointer.counter == chosen.counter) {
             same_counter_slot = pointer.slot;
+        }
+        if (pointer.counter > chosen.counter) {
+            newer_referenced.insert(pointer.slot);
         }
     }
     std::optional<std::uint32_t> target;
     const std::vector<std::uint32_t> quarantined =
         store.quarantined_slots();
-    if (!quarantined.empty()) {
-        target = quarantined.front();
-    } else {
+    for (std::uint32_t slot : quarantined) {
+        if (!newer_referenced.contains(slot)) {
+            target = slot;
+            break;
+        }
+    }
+    if (!target.has_value()) {
         for (std::uint32_t slot = 0; slot < store.slot_count(); ++slot) {
             if (!referenced.contains(slot)) {
                 target = slot;
                 break;
             }
         }
-        if (!target.has_value()) {
-            target = same_counter_slot;
+    }
+    if (!target.has_value() && same_counter_slot.has_value() &&
+        !newer_referenced.contains(*same_counter_slot)) {
+        target = same_counter_slot;
+    }
+    if (!target.has_value() && !quarantined.empty()) {
+        // Last resort: only newer-referenced quarantined slots remain.
+        // Retire the stale record(s) first — they name corrupt bytes
+        // this salvage is about to overwrite, so invalidating them
+        // loses nothing recoverable and makes the slot unreferenced
+        // before the write lands. Crash analysis: after the durable
+        // invalidation the local arena holds at most the other (older)
+        // record, exactly what it effectively held already.
+        target = quarantined.front();
+        for (const CheckpointPointer& pointer : records) {
+            if (pointer.slot == *target &&
+                pointer.counter > chosen.counter &&
+                !store.invalidate_record(pointer.counter).ok()) {
+                return false;  // stale record survives; don't salvage
+            }
         }
     }
     if (!target.has_value()) {

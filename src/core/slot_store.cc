@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "psan/psan.h"
@@ -59,18 +60,49 @@ record_crc(const RawRecord& rec)
 
 }  // namespace
 
+std::shared_ptr<SlotStore::QuarantineState>
+SlotStore::quarantine_state_for(const StorageDevice* device,
+                                std::uint64_t header_bits, bool reset)
+{
+    static Mutex* registry_mu = new Mutex;
+    static auto* registry = new std::unordered_map<
+        const StorageDevice*, std::weak_ptr<QuarantineState>>;
+    MutexLock lock(*registry_mu);
+    // Expired entries (every handle on that device destroyed) are
+    // purged so a device allocated at a recycled address starts fresh.
+    for (auto it = registry->begin(); it != registry->end();) {
+        it = it->second.expired() ? registry->erase(it) : std::next(it);
+    }
+    std::weak_ptr<QuarantineState>& entry = (*registry)[device];
+    std::shared_ptr<QuarantineState> state = entry.lock();
+    if (state == nullptr) {
+        state = std::make_shared<QuarantineState>();
+        {
+            MutexLock state_lock(state->mu);
+            state->bits = header_bits;
+        }
+        entry = state;
+    } else if (reset) {
+        MutexLock state_lock(state->mu);
+        state->bits = header_bits;
+    }
+    // A live shared entry is at least as fresh as the header the
+    // caller just read (the cache is only advanced after a durable
+    // header write), so open() adopts it unchanged.
+    return state;
+}
+
 SlotStore::SlotStore(StorageDevice& device, std::uint32_t slot_count,
                      Bytes slot_size, Bytes delta_offset, Bytes delta_bytes,
-                     std::uint64_t quarantine_bits)
+                     std::uint64_t quarantine_bits, bool reset_quarantine)
     : device_(&device), psan_(dynamic_cast<PsanStorage*>(&device)),
       slot_count_(slot_count), slot_size_(slot_size),
       data_offset_(kDataAlign), delta_offset_(delta_offset),
       delta_bytes_(delta_bytes),
       publish_(std::make_shared<PublishState>()),
-      quarantine_(std::make_shared<QuarantineState>())
+      quarantine_(quarantine_state_for(&device, quarantine_bits,
+                                       reset_quarantine))
 {
-    MutexLock lock(quarantine_->mu);
-    quarantine_->bits = quarantine_bits;
 }
 
 Bytes
@@ -143,7 +175,7 @@ SlotStore::format(StorageDevice& device, std::uint32_t slot_count,
         PCCHECK_MUST(device.fence());
     }
     return SlotStore(device, slot_count, slot_size, delta_offset,
-                     delta_bytes, 0);
+                     delta_bytes, 0, /*reset_quarantine=*/true);
 }
 
 SlotStore
@@ -177,7 +209,8 @@ SlotStore::open(StorageDevice& device)
     }
     return SlotStore(device, header.slot_count, header.slot_size,
                      header.delta_len > 0 ? header.delta_offset : 0,
-                     header.delta_len, header.quarantine_bits);
+                     header.delta_len, header.quarantine_bits,
+                     /*reset_quarantine=*/false);
 }
 
 Bytes
@@ -426,6 +459,32 @@ SlotStore::quarantined_slots() const
         }
     }
     return slots;
+}
+
+StorageStatus
+SlotStore::invalidate_record(std::uint64_t counter)
+{
+    const Bytes off = record_offset(static_cast<int>(counter % 2));
+    RawRecord rec{};
+    StorageStatus status = device_->read(off, &rec, sizeof(rec));
+    if (!status.ok()) {
+        return status;
+    }
+    if (rec.record_checksum != record_crc(rec) || rec.counter != counter) {
+        // Already torn, or a different publish owns this parity slot:
+        // nothing stale left to retire.
+        return StorageStatus::success();
+    }
+    psan::ScopeLabel psan_label("slot_store.invalidate_record");
+    rec.record_checksum = ~record_crc(rec);  // deliberately bad
+    status = device_->write(off, &rec, sizeof(rec));
+    if (status.ok()) {
+        status = device_->persist(off, sizeof(rec));
+    }
+    if (status.ok()) {
+        status = device_->fence();
+    }
+    return status;
 }
 
 StorageStatus

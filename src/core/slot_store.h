@@ -184,6 +184,17 @@ class SlotStore {
     StorageStatus repair_slot(std::uint32_t slot, const void* src,
                               Bytes len);
 
+    /**
+     * Durably invalidate the pointer record written for @p counter
+     * (deliberately-bad record checksum, write→persist→fence), iff the
+     * record parity slot still holds exactly that counter — a record
+     * already torn or overwritten by a newer publish is left alone.
+     * Recovery salvage uses this to retire a stale newer record whose
+     * quarantined slot is about to be rewritten with an older image,
+     * so no surviving record can point at bytes it does not describe.
+     */
+    StorageStatus invalidate_record(std::uint64_t counter);
+
     /** Bytes of device capacity this layout requires. */
     static Bytes required_size(std::uint32_t slot_count, Bytes slot_size,
                                Bytes delta_log_bytes = 0);
@@ -191,7 +202,7 @@ class SlotStore {
   private:
     SlotStore(StorageDevice& device, std::uint32_t slot_count,
               Bytes slot_size, Bytes delta_offset, Bytes delta_bytes,
-              std::uint64_t quarantine_bits);
+              std::uint64_t quarantine_bits, bool reset_quarantine);
 
     static Bytes record_offset(int index);
 
@@ -206,12 +217,29 @@ class SlotStore {
         CheckpointPointer last_ptr PCCHECK_GUARDED_BY(mu);
     };
 
-    // Shared by copies (same device): in-memory cache of the durable
-    // quarantine bitmap, so membership tests don't hit the device.
+    // In-memory cache of the durable quarantine bitmap, so membership
+    // tests don't hit the device. Shared by EVERY SlotStore on the
+    // same device — copies and independent open()s alike, via a
+    // process-wide registry keyed by device — so a quarantine taken
+    // through one handle (e.g. RecoveryPlanner's internal open) is
+    // immediately visible to a ConcurrentCommit/Scrubber built on a
+    // handle opened earlier. format() resets the shared state along
+    // with the on-device bitmap.
     struct QuarantineState {
         mutable Mutex mu;
         std::uint64_t bits PCCHECK_GUARDED_BY(mu) = 0;
     };
+
+    /**
+     * Process-wide registry lookup: the QuarantineState shared by all
+     * stores on @p device, created from @p header_bits on first use.
+     * With @p reset (the format path) the cached bits are forced to
+     * @p header_bits even if other handles are live — the on-device
+     * bitmap was just durably rewritten.
+     */
+    static std::shared_ptr<QuarantineState> quarantine_state_for(
+        const StorageDevice* device, std::uint64_t header_bits,
+        bool reset);
 
     /** Durably write @p bits into the header bitmap field. */
     StorageStatus write_quarantine_bits(std::uint64_t bits)

@@ -136,11 +136,12 @@ Scrubber::scrub_slots(ScrubReport* report)
     // Verify only the newest record's payload: it is the recovery
     // target, and the protocol made it durable before publish — a CRC
     // mismatch there is genuine rot. Older records' slots are recycled
-    // by live commits, so their mismatches are routine, not rot.
-    for (const CheckpointPointer& ptr : all) {
-        if (store_->is_quarantined(ptr.slot)) {
-            continue;  // already known-bad; handled below
-        }
+    // by live commits, so their mismatches are routine, not rot —
+    // NEVER fall through to them, even when the newest slot is already
+    // quarantined: rot-checking an older record would quarantine a
+    // slot the commit protocol may be reusing right now.
+    if (!all.empty() && !store_->is_quarantined(all.front().slot)) {
+        const CheckpointPointer ptr = all.front();
         ++report->scanned;
         std::vector<std::uint8_t> data(ptr.data_len);
         const bool readable =
@@ -149,18 +150,28 @@ Scrubber::scrub_slots(ScrubReport* report)
             readable && (ptr.data_crc == 0 ||
                          crc32c(data.data(), data.size()) == ptr.data_crc);
         if (!valid) {
-            ++report->corrupt;
-            if (store_->quarantine_slot(ptr.slot).ok()) {
-                ++report->quarantined;
-                LOG_INFO("pccheck: scrub quarantined slot "
-                         << ptr.slot << " (counter " << ptr.counter
-                         << ", "
-                         << (readable ? "torn payload"
-                                      : "unreadable media")
-                         << ")");
+            // A commit may have published past us between the record
+            // read and the payload read, recycling this slot under the
+            // now-stale record — a routine mismatch, not rot. Only
+            // quarantine while the record is still the newest.
+            const auto now =
+                store_->candidate_pointers(/*include_quarantined=*/true);
+            const bool still_newest = !now.empty() &&
+                                      now.front().counter == ptr.counter &&
+                                      now.front().slot == ptr.slot;
+            if (still_newest) {
+                ++report->corrupt;
+                if (store_->quarantine_slot(ptr.slot).ok()) {
+                    ++report->quarantined;
+                    LOG_INFO("pccheck: scrub quarantined slot "
+                             << ptr.slot << " (counter " << ptr.counter
+                             << ", "
+                             << (readable ? "torn payload"
+                                          : "unreadable media")
+                             << ")");
+                }
             }
         }
-        break;  // newest only
     }
 
     if (!options_.repair) {
@@ -261,28 +272,43 @@ void
 Scrubber::start()
 {
     MutexLock lock(mu_);
+    // An in-progress stop() still owns thread_ (it is being joined
+    // outside the lock): wait for it to finish rather than assigning
+    // over a joinable handle.
+    while (stopping_) {
+        wake_.wait(mu_);
+    }
     if (running_) {
         return;
     }
     running_ = true;
-    stopping_ = false;
     thread_ = std::thread([this] { run(); });
 }
 
 void
 Scrubber::stop()
 {
+    std::thread joinable;
     {
         MutexLock lock(mu_);
+        // Exactly one stop() owns the join: concurrent stop()s (e.g.
+        // an explicit stop racing the destructor) wait here for the
+        // owner instead of double-joining the same handle.
+        while (stopping_) {
+            wake_.wait(mu_);
+        }
         if (!running_) {
             return;
         }
         stopping_ = true;
+        joinable = std::move(thread_);
         wake_.notify_all();
     }
-    thread_.join();
+    joinable.join();
     MutexLock lock(mu_);
     running_ = false;
+    stopping_ = false;
+    wake_.notify_all();
 }
 
 void

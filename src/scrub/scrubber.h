@@ -113,7 +113,10 @@ class Scrubber {
     /** One synchronous scan+repair pass. Thread-safe. */
     ScrubReport scrub_once();
 
-    /** Start/stop the background thread (idempotent). */
+    /** Start/stop the background thread. Idempotent and safe to call
+     *  concurrently: one stop() owns the join, racing callers wait
+     *  for it, and start() during an in-progress stop() waits for the
+     *  old thread to be joined before launching a new one. */
     void start();
     void stop();
 

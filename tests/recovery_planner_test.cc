@@ -190,6 +190,9 @@ TEST(RecoveryPlannerTest, QuarantinesTornNewestAndFallsBack)
 
     const SlotStore reopened = SlotStore::open(device);
     EXPECT_TRUE(reopened.is_quarantined(2 % kSlots));
+    // The quarantine cache is shared per device: the handle opened
+    // BEFORE the planner ran sees it too, without any reopen.
+    EXPECT_TRUE(store.is_quarantined(2 % kSlots));
 }
 
 TEST(RecoveryPlannerTest, SalvagesRemoteImageIntoQuarantinedSlot)
@@ -261,6 +264,97 @@ TEST(RecoveryPlannerTest, RefusesSalvageThatWouldRiskALiveCopy)
     ASSERT_TRUE(relocal.has_value());
     EXPECT_EQ(relocal->result.counter, 2u);
     EXPECT_EQ(local_out, image_for(2));
+}
+
+// Regression: a quarantined slot still referenced by a record NEWER
+// than the salvaged counter must not be the preferred target. Here
+// counter 3's record (torn, quarantined slot 1) survives; salvaging
+// counter 2 into slot 1 would leave that newer record naming bytes it
+// does not describe, and the next local recovery would re-quarantine
+// the slot holding the only valid copy. The planner must instead
+// overwrite counter 2's own torn slot.
+TEST(RecoveryPlannerTest, SalvageAvoidsQuarantinedSlotWithNewerRecord)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 1);  // slot 1 (record later replaced by 3)
+    publish(store, device, 2);  // slot 0
+    publish(store, device, 3);  // slot 1
+    rot_slot(device, store, 0);
+    rot_slot(device, store, 1);
+
+    FakeSource peer;
+    peer.offer(2);  // only counter 2 is restorable anywhere
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 2u);
+    EXPECT_EQ(out, image_for(2));
+    EXPECT_TRUE(planned->salvaged);
+    EXPECT_EQ(planned->slots_quarantined, 1u);  // counter 3's slot
+
+    // The salvage landed in counter 2's own slot (0); counter 3's
+    // record and quarantined slot 1 are untouched.
+    const SlotStore reopened = SlotStore::open(device);
+    EXPECT_TRUE(reopened.is_quarantined(1));
+    EXPECT_FALSE(reopened.is_quarantined(0));
+
+    // Local-only recovery now works and is a fixpoint: counter 2 is
+    // served, nothing new is quarantined.
+    RecoveryPlanner local_only(&device);
+    std::vector<std::uint8_t> local_out;
+    const auto relocal = local_only.recover(&local_out);
+    ASSERT_TRUE(relocal.has_value());
+    EXPECT_EQ(relocal->result.counter, 2u);
+    EXPECT_EQ(local_out, image_for(2));
+    EXPECT_FALSE(relocal->from_replica);
+    EXPECT_EQ(relocal->slots_quarantined, 0u);
+}
+
+// Regression: when the ONLY possible target is a quarantined slot
+// referenced by a newer record, the stale record must be durably
+// invalidated before the salvage write — otherwise it survives as
+// "newest local", CRC-fails on the next recovery, and hides the
+// salvaged copy behind a fresh quarantine.
+TEST(RecoveryPlannerTest, LastResortSalvageRetiresTheStaleNewerRecord)
+{
+    MemStorage device(SlotStore::required_size(kSlots, kState));
+    SlotStore store = SlotStore::format(device, kSlots, kState);
+    publish(store, device, 4);  // slot 0
+    publish(store, device, 5);  // slot 1
+    rot_slot(device, store, 0);
+    rot_slot(device, store, 1);
+
+    FakeSource peer;
+    peer.offer(2);  // older than every local record
+    RecoveryPlanner planner(&device);
+    planner.add_source(&peer);
+    std::vector<std::uint8_t> out;
+    const auto planned = planner.recover(&out);
+    ASSERT_TRUE(planned.has_value());
+    EXPECT_EQ(planned->result.counter, 2u);
+    EXPECT_EQ(out, image_for(2));
+    EXPECT_TRUE(planned->from_replica);
+    EXPECT_TRUE(planned->salvaged);
+
+    // Counter 5's record is retired, its slot repaired and released:
+    // no quarantine survives, and local-only recovery reaches the
+    // salvaged counter 2 as a fixpoint instead of dying on a stale
+    // newer record.
+    const SlotStore reopened = SlotStore::open(device);
+    EXPECT_TRUE(reopened.quarantined_slots().empty());
+    RecoveryPlanner local_only(&device);
+    std::vector<std::uint8_t> local_out;
+    const auto relocal = local_only.recover(&local_out);
+    ASSERT_TRUE(relocal.has_value());
+    EXPECT_EQ(relocal->result.counter, 2u);
+    EXPECT_EQ(local_out, image_for(2));
+    EXPECT_FALSE(relocal->from_replica);
+    EXPECT_EQ(relocal->slots_quarantined, 0u);
+    ASSERT_FALSE(relocal->report.empty());
+    EXPECT_EQ(relocal->report[0].counter, 2u);
 }
 
 TEST(RecoveryPlannerTest, FailedFetchFallsBackToLocal)
