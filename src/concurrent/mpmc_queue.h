@@ -25,6 +25,7 @@
 #include "concurrent/cacheline.h"
 #include "util/check.h"
 #include "util/sync.h"
+#include "util/tsa.h"
 
 // pccheck-lint: atomic-seam — this header backs the free-slot queue
 // the model checker explores, so its atomics must go through
@@ -65,7 +66,7 @@ class MpmcBoundedQueue {
      * Enqueue @p value.
      * @return false if the queue was full (value left unchanged).
      */
-    bool
+    PCCHECK_HOT_PATH bool
     try_enqueue(T value)
     {
         Cell* cell;
@@ -102,7 +103,7 @@ class MpmcBoundedQueue {
      * Dequeue the oldest element.
      * @return std::nullopt if the queue was empty.
      */
-    std::optional<T>
+    PCCHECK_HOT_PATH std::optional<T>
     try_dequeue()
     {
         Cell* cell;

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "concurrent/cacheline.h"
+#include "util/tsa.h"
 
 namespace pccheck {
 
@@ -38,7 +39,7 @@ class SpscRing {
     SpscRing& operator=(const SpscRing&) = delete;
 
     /** Producer side. @return false when full. */
-    bool
+    PCCHECK_HOT_PATH bool
     try_push(T value)
     {
         // relaxed: tail_ is written only by this (producer) thread.
@@ -53,7 +54,7 @@ class SpscRing {
     }
 
     /** Consumer side. @return std::nullopt when empty. */
-    std::optional<T>
+    PCCHECK_HOT_PATH std::optional<T>
     try_pop()
     {
         // relaxed: head_ is written only by this (consumer) thread.

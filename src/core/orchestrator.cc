@@ -193,20 +193,31 @@ PCcheckCheckpointer::attach_replication(ReplicationEngine* engine)
 void
 PCcheckCheckpointer::before_update(std::uint64_t iteration)
 {
-    MutexLock lock(mu_);
-    if (snapshots_pending_ == 0) {
-        return;
+    {
+        MutexLock lock(mu_);
+        if (snapshots_pending_ == 0) {
+            return;
+        }
     }
+    // The span (whose destructor observes a mutex-guarded histogram)
+    // lives outside the lock: mu_ serializes the commit bookkeeping,
+    // and tracing must never extend that critical section
+    // (blocking-under-lock, docs/STATIC_ANALYSIS.md). The re-check
+    // under the lock below handles snapshots that completed in the
+    // window between the two acquisitions.
     static LatencyHistogram& stall_hist =
         MetricsRegistry::global().histogram(
             "pccheck.stage.update_stall");
     StageSpan span("train.update_stall", stall_hist, "iteration",
                    iteration);
     Stopwatch watch(*clock_);
-    while (snapshots_pending_ != 0) {
-        snapshot_cv_.wait(mu_);
+    {
+        MutexLock lock(mu_);
+        while (snapshots_pending_ != 0) {
+            snapshot_cv_.wait(mu_);
+        }
+        stall_time_ += watch.elapsed();
     }
-    stall_time_ += watch.elapsed();
 }
 
 void
@@ -686,19 +697,23 @@ PCcheckCheckpointer::on_checkpoint_complete(std::uint64_t iteration,
     static LatencyHistogram& latency_hist =
         MetricsRegistry::global().histogram(
             "pccheck.stage.checkpoint_latency");
+    static Gauge& latency_gauge =
+        MetricsRegistry::global().gauge("pccheck.checkpoint.latency_s");
+    const Seconds latency = clock_->now() - request_time;
     {
         MutexLock lock(mu_);
         ++completed_;
-        latency_.add(clock_->now() - request_time);
-        latency_hist.observe(clock_->now() - request_time);
-        MetricsRegistry::global()
-            .gauge("pccheck.checkpoint.latency_s")
-            .set(clock_->now() - request_time);
+        latency_.add(latency);
         // Notify under the lock: the destructor destroys this cv as
         // soon as its predicate holds, so an unlocked broadcast could
         // still be executing on a pool thread when the cv dies.
         complete_cv_.notify_all();
     }
+    // Metrics outside mu_: the histogram has its own mutex and the
+    // gauge lookup walks the registry map — neither belongs inside
+    // this object's critical section (blocking-under-lock).
+    latency_hist.observe(latency);
+    latency_gauge.set(latency);
     MetricsRegistry::global()
         .counter("pccheck.checkpoints.completed")
         .add();

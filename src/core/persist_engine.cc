@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/sync.h"
+#include "util/tsa.h"
 
 namespace pccheck {
 namespace {
@@ -49,7 +50,7 @@ PersistEngine::stripe_backoff(std::uint32_t slot, Bytes offset) const
     return Backoff(config_.retry, seed);
 }
 
-StorageStatus
+PCCHECK_HOT_PATH StorageStatus
 PersistEngine::write_stripe(std::uint32_t slot, Bytes offset,
                             const std::uint8_t* src, Bytes len,
                             bool is_pmem)

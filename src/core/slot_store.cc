@@ -254,9 +254,21 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     // publishes with counters of equal parity target the SAME record,
     // and a delayed older publish must not overwrite a newer durable
     // record whose predecessor slot has already been recycled.
-    MutexLock lock(publish_->mu);
-    if (publish_->any && ptr.counter < publish_->last_counter) {
-        return StorageStatus::success();
+    //
+    // Writer turnstile: the claim (and the staleness drop) happens
+    // under mu, but the record's write+persist+fence runs OUTSIDE it,
+    // so last_published readers never block behind device I/O. A
+    // publish that slept through a newer writer's completion re-checks
+    // staleness after every wait and is dropped exactly as before.
+    {
+        MutexLock lock(publish_->mu);
+        while (publish_->writing) {
+            publish_->cv.wait(publish_->mu);
+        }
+        if (publish_->any && ptr.counter < publish_->last_counter) {
+            return StorageStatus::success();
+        }
+        publish_->writing = true;
     }
     psan::ScopeLabel psan_label("slot_store.publish");
     if (psan_ != nullptr) {
@@ -281,23 +293,25 @@ SlotStore::publish_pointer(const CheckpointPointer& ptr)
     if (status.ok()) {
         status = device_->fence();
     }
-    if (!status.ok()) {
-        // Not durable: leave last_counter alone so a retry of this very
-        // publish is not dropped as stale. The previous record is
-        // untouched on media (tearing the new record's slot is handled
-        // by recovery's checksum fallback).
-        return status;
-    }
-    if (psan_ != nullptr) {
+    if (status.ok() && psan_ != nullptr) {
         // V2 on the record lines themselves, then move lost-update
         // protection to this checkpoint's payload.
         psan_->on_publish_durable(ptr.counter, off, sizeof(rec),
                                   slot_offset(ptr.slot), ptr.data_len);
     }
-    publish_->any = true;
-    publish_->last_counter = ptr.counter;
-    publish_->last_ptr = ptr;
-    return StorageStatus::success();
+    MutexLock lock(publish_->mu);
+    publish_->writing = false;
+    if (status.ok()) {
+        publish_->any = true;
+        publish_->last_counter = ptr.counter;
+        publish_->last_ptr = ptr;
+    }
+    // On error last_counter is left alone so a retry of this very
+    // publish is not dropped as stale. The previous record is
+    // untouched on media (tearing the new record's slot is handled by
+    // recovery's checksum fallback).
+    publish_->cv.notify_all();
+    return status;
 }
 
 std::optional<CheckpointPointer>
@@ -400,10 +414,30 @@ SlotStore::quarantine_slot(std::uint32_t slot)
         return StorageStatus::permanent_error("slot_store.quarantine_width");
     }
     psan::ScopeLabel psan_label("slot_store.quarantine");
-    MutexLock lock(quarantine_->mu);
-    const std::uint64_t bits = quarantine_->bits | (1ull << slot);
-    if (bits != quarantine_->bits) {
-        StorageStatus status = write_quarantine_bits(bits);
+    // Writer turnstile (see QuarantineState): the new bitmap value is
+    // computed and claimed under mu, but its write+persist+fence runs
+    // outside the lock so commit-path is_quarantined checks never
+    // stall behind quarantine I/O. Waiters recompute against the
+    // committed bits after every wake, so concurrent writers never
+    // lose each other's updates.
+    std::uint64_t bits = 0;
+    bool need_write = false;
+    {
+        MutexLock lock(quarantine_->mu);
+        while (quarantine_->writing) {
+            quarantine_->cv.wait(quarantine_->mu);
+        }
+        bits = quarantine_->bits | (1ull << slot);
+        need_write = bits != quarantine_->bits;
+        if (need_write) {
+            quarantine_->writing = true;
+        }
+    }
+    if (need_write) {
+        const StorageStatus status = write_quarantine_bits(bits);
+        MutexLock lock(quarantine_->mu);
+        quarantine_->writing = false;
+        quarantine_->cv.notify_all();
         if (!status.ok()) {
             // Not durable: keep the cached set unchanged so callers
             // can retry; the slot stays eligible until then.
@@ -426,12 +460,24 @@ SlotStore::release_quarantine(std::uint32_t slot)
         return StorageStatus::permanent_error("slot_store.quarantine_width");
     }
     psan::ScopeLabel psan_label("slot_store.release_quarantine");
-    MutexLock lock(quarantine_->mu);
-    const std::uint64_t bits = quarantine_->bits & ~(1ull << slot);
-    if (bits == quarantine_->bits) {
-        return StorageStatus::success();
+    // Same writer turnstile as quarantine_slot: claim under mu, run
+    // the bitmap I/O outside it.
+    std::uint64_t bits = 0;
+    {
+        MutexLock lock(quarantine_->mu);
+        while (quarantine_->writing) {
+            quarantine_->cv.wait(quarantine_->mu);
+        }
+        bits = quarantine_->bits & ~(1ull << slot);
+        if (bits == quarantine_->bits) {
+            return StorageStatus::success();
+        }
+        quarantine_->writing = true;
     }
-    StorageStatus status = write_quarantine_bits(bits);
+    const StorageStatus status = write_quarantine_bits(bits);
+    MutexLock lock(quarantine_->mu);
+    quarantine_->writing = false;
+    quarantine_->cv.notify_all();
     if (status.ok()) {
         quarantine_->bits = bits;
     }

@@ -207,10 +207,19 @@ class SlotStore {
     static Bytes record_offset(int index);
 
     // Shared by copies of this SlotStore (which alias the same device):
-    // serializes pointer-record writes and remembers the newest
-    // published counter so stale publishes can be dropped.
+    // serializes pointer-record writers and remembers the newest
+    // published counter so stale publishes can be dropped. Writers are
+    // serialized by the `writing` turnstile, NOT by holding mu across
+    // the record's write+persist+fence — mu is only held for state
+    // transitions, so commit-path readers (last_published) never wait
+    // behind a device fence (docs/STATIC_ANALYSIS.md,
+    // blocking-under-lock).
     struct PublishState {
         Mutex mu;
+        CondVar cv;
+        /** A writer's record I/O is in flight (claimed under mu,
+         *  performed outside it). */
+        bool writing PCCHECK_GUARDED_BY(mu) = false;
         std::uint64_t last_counter PCCHECK_GUARDED_BY(mu) = 0;
         bool any PCCHECK_GUARDED_BY(mu) = false;
         /** Full pointer of the newest durable publish (valid iff any). */
@@ -225,8 +234,15 @@ class SlotStore {
     // immediately visible to a ConcurrentCommit/Scrubber built on a
     // handle opened earlier. format() resets the shared state along
     // with the on-device bitmap.
+    // Like PublishState, bitmap writers serialize through the
+    // `writing` turnstile and run the header write+persist+fence
+    // outside mu, so is_quarantined (on the commit winner's path)
+    // never blocks behind quarantine I/O.
     struct QuarantineState {
         mutable Mutex mu;
+        CondVar cv;
+        /** A writer's bitmap I/O is in flight (claimed under mu). */
+        bool writing PCCHECK_GUARDED_BY(mu) = false;
         std::uint64_t bits PCCHECK_GUARDED_BY(mu) = 0;
     };
 
@@ -241,9 +257,10 @@ class SlotStore {
         const StorageDevice* device, std::uint64_t header_bits,
         bool reset);
 
-    /** Durably write @p bits into the header bitmap field. */
-    StorageStatus write_quarantine_bits(std::uint64_t bits)
-        PCCHECK_REQUIRES(quarantine_->mu);
+    /** Durably write @p bits into the header bitmap field. The caller
+     *  must hold the quarantine writer turnstile (writing == true),
+     *  NOT quarantine_->mu — the I/O runs outside the lock. */
+    StorageStatus write_quarantine_bits(std::uint64_t bits);
 
     StorageDevice* device_;
     PsanStorage* psan_ = nullptr;

@@ -267,6 +267,11 @@ DeltaLog::reset_epoch(std::uint64_t base_counter,
                       std::uint64_t base_iteration)
 {
     MutexLock lock(mu_);
+    // An in-flight append's I/O snapshot (head, seq) must not be
+    // yanked out from under it — wait out the turnstile first.
+    while (appending_) {
+        append_cv_.wait(mu_);
+    }
     PCCHECK_CHECK_MSG(!epoch_open_ || base_counter > epoch_base_,
                       "epoch reset must move to a newer checkpoint");
     head_ = 0;
@@ -294,37 +299,59 @@ DeltaLog::seal_frame(Bytes device_off, const void* header, Bytes len)
     return status;
 }
 
-StorageStatus
+PCCHECK_HOT_PATH StorageStatus
 DeltaLog::append(std::uint64_t iteration,
                  const std::vector<DeltaChunk>& chunks,
                  const std::uint8_t* data)
 {
     psan::ScopeLabel psan_label("delta_log.append");
-    MutexLock lock(mu_);
-    PCCHECK_CHECK_MSG(epoch_open_,
-                      "append before the first epoch reset");
-    PCCHECK_CHECK_MSG(iteration > last_iteration_,
-                      "delta iteration must be monotonic: "
-                          << iteration << " <= " << last_iteration_);
-    if (op_probe_) {
-        const StorageStatus injected = op_probe_();
-        if (!injected.ok()) {
-            return injected;
-        }
-    }
     Bytes data_bytes = 0;
     for (const DeltaChunk& chunk : chunks) {
         data_bytes += chunk.len;
     }
     const auto chunk_count = static_cast<std::uint32_t>(chunks.size());
     const Bytes total = frame_bytes(chunk_count, data_bytes);
-    PCCHECK_CHECK_MSG(total <= region_.bytes - head_,
-                      "delta log full: need " << total << " have "
-                                              << (region_.bytes - head_));
+
+    // Appender turnstile: validate and claim under mu_, then run the
+    // frame I/O outside it so readers (free_bytes, the GC's epoch
+    // checks) never block behind a device fence. The contract says one
+    // writer (the training thread), but serializing here is free and
+    // keeps the head/seq snapshot coherent even if that changes.
+    Bytes head = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t base = 0;
+    {
+        MutexLock lock(mu_);
+        while (appending_) {
+            append_cv_.wait(mu_);
+        }
+        PCCHECK_CHECK_MSG(epoch_open_,
+                          "append before the first epoch reset");
+        PCCHECK_CHECK_MSG(iteration > last_iteration_,
+                          "delta iteration must be monotonic: "
+                              << iteration << " <= " << last_iteration_);
+        if (op_probe_) {
+            const StorageStatus injected = op_probe_();
+            if (!injected.ok()) {
+                return injected;
+            }
+        }
+        PCCHECK_CHECK_MSG(total <= region_.bytes - head_,
+                          "delta log full: need "
+                              << total << " have "
+                              << (region_.bytes - head_));
+        head = head_;
+        seq = next_seq_;
+        base = epoch_base_;
+        appending_ = true;
+    }
 
     const Bytes payload_len =
         static_cast<Bytes>(chunk_count) * sizeof(RawChunkRef) + data_bytes;
-    std::vector<std::uint8_t> payload(payload_len);
+    // pccheck-tidy: disable=hot-path-alloc -- scratch grows to the
+    // high-water frame size once, then every append reuses it.
+    payload_.resize(payload_len);
+    std::vector<std::uint8_t>& payload = payload_;
     Bytes off = 0;
     for (const DeltaChunk& chunk : chunks) {
         const RawChunkRef ref{chunk.offset, chunk.len};
@@ -338,7 +365,7 @@ DeltaLog::append(std::uint64_t iteration,
         data_off += chunk.len;
     }
 
-    const Bytes frame_off = region_.offset + head_;
+    const Bytes frame_off = region_.offset + head;
     // Pre-seal phase, one persist + fence covering all of it: durably
     // invalidate this slot's (possibly stale) header and the successor
     // header slot, and land the payload bytes. A reopened device can
@@ -349,7 +376,7 @@ DeltaLog::append(std::uint64_t iteration,
     // frame reachable. Replay then can never cross from the new chain
     // into the stale one, whichever side of the seal a crash lands on.
     const bool truncate_next =
-        head_ + total + kFrameAlign <= region_.bytes;
+        head + total + kFrameAlign <= region_.bytes;
     const std::uint8_t dead[sizeof(RawFrameHeader)] = {};
     StorageStatus status = device_->write(frame_off, dead, sizeof(dead));
     if (status.ok() && !payload.empty()) {
@@ -366,41 +393,44 @@ DeltaLog::append(std::uint64_t iteration,
     if (status.ok()) {
         status = device_->fence();
     }
-    if (!status.ok()) {
-        return status;  // head unchanged: the caller may retry
+    if (status.ok()) {
+        if (psan_ != nullptr) {
+            // V1: the payload (and dead headers) must be durable
+            // before the seal below makes the frame reachable.
+            psan_->on_seal_begin(
+                frame_off, truncate_next ? total + kFrameAlign : total);
+        }
+        RawFrameHeader hdr{};
+        hdr.magic = kFrameMagic;
+        hdr.seq = seq;
+        hdr.base_counter = base;
+        hdr.iteration = iteration;
+        hdr.payload_len = payload_len;
+        hdr.chunk_count = chunk_count;
+        hdr.payload_crc = crc32c(payload.data(), payload.size());
+        hdr.header_crc = header_crc(hdr);
+        // payload-durable: the pre-seal fence above ordered the chunk
+        // bytes (and both dead headers) ahead of this seal.
+        status = seal_frame(frame_off, &hdr, sizeof(hdr));
     }
-    if (psan_ != nullptr) {
-        // V1: the payload (and dead headers) must be durable before
-        // the seal below makes the frame reachable to replay.
-        psan_->on_seal_begin(frame_off,
-                             truncate_next ? total + kFrameAlign : total);
-    }
-
-    RawFrameHeader hdr{};
-    hdr.magic = kFrameMagic;
-    hdr.seq = next_seq_;
-    hdr.base_counter = epoch_base_;
-    hdr.iteration = iteration;
-    hdr.payload_len = payload_len;
-    hdr.chunk_count = chunk_count;
-    hdr.payload_crc = crc32c(payload.data(), payload.size());
-    hdr.header_crc = header_crc(hdr);
-    // payload-durable: the pre-seal fence above ordered the chunk
-    // bytes (and both dead headers) ahead of this seal.
-    status = seal_frame(frame_off, &hdr, sizeof(hdr));
-    if (!status.ok()) {
-        return status;
-    }
-    if (psan_ != nullptr) {
+    if (status.ok() && psan_ != nullptr) {
         // V2 on the sealed header, then protect the frame against
         // overwrite until the next epoch reset (V3).
         psan_->on_seal_durable(frame_off, total);
     }
-    head_ += total;
-    ++next_seq_;
-    ++frames_appended_;
-    last_iteration_ = iteration;
-    return StorageStatus::success();
+
+    MutexLock lock(mu_);
+    appending_ = false;
+    if (status.ok()) {
+        head_ += total;
+        ++next_seq_;
+        ++frames_appended_;
+        last_iteration_ = iteration;
+    }
+    // On error head_/next_seq_ are unchanged: the caller may retry
+    // this same append.
+    append_cv_.notify_all();
+    return status;
 }
 
 }  // namespace pccheck

@@ -211,6 +211,12 @@ class DeltaLog {
     const DeltaRegion region_;
 
     mutable Mutex mu_;
+    CondVar append_cv_;
+    /** Appender turnstile: an append's frame I/O is in flight. The
+     *  claim/commit happens under mu_, the device writes+fences run
+     *  outside it, so readers (free_bytes, epoch_base, the GC gate)
+     *  never block behind a fence. reset_epoch also waits on this. */
+    bool appending_ PCCHECK_GUARDED_BY(mu_) = false;
     Bytes head_ PCCHECK_GUARDED_BY(mu_) = 0;  ///< region-relative
     std::uint64_t next_seq_ PCCHECK_GUARDED_BY(mu_) = 1;
     std::uint64_t epoch_base_ PCCHECK_GUARDED_BY(mu_) = 0;
@@ -218,6 +224,10 @@ class DeltaLog {
     std::uint64_t frames_appended_ PCCHECK_GUARDED_BY(mu_) = 0;
     bool epoch_open_ PCCHECK_GUARDED_BY(mu_) = false;
     std::function<StorageStatus()> op_probe_ PCCHECK_GUARDED_BY(mu_);
+    /** Payload staging scratch, reused across appends so the hot path
+     *  stops allocating once it reaches its high-water frame size.
+     *  Owned by whichever appender holds the turnstile. */
+    std::vector<std::uint8_t> payload_;
 };
 
 }  // namespace pccheck

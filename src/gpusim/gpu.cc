@@ -107,6 +107,9 @@ SimGpu::launch_kernel(Seconds duration)
 {
     MutexLock lock(compute_mu_);
     PCCHECK_TRACE_SPAN("gpu.kernel");
+    // pccheck-tidy: disable=blocking-under-lock -- compute_mu_ IS the
+    // modeled GPU compute engine: holding it for the kernel's duration
+    // simulates SM occupancy, not a lost-concurrency bug.
     clock_.sleep_for(duration);
 }
 
@@ -121,6 +124,9 @@ SimGpu::kernel_copy_to_storage(StorageDevice& storage, Bytes dst_offset,
     // the SMs busy for the whole transfer (GPM's UVM path).
     const auto charged = static_cast<Bytes>(static_cast<double>(len) /
                                             config_.kernel_copy_factor);
+    // pccheck-tidy: disable=blocking-under-lock -- the copy kernel owns
+    // the SMs for the whole transfer (GPM UVM semantics); compute_mu_
+    // models exactly that occupancy.
     pcie_.acquire(charged);
     // relaxed: monitoring counter, no ordering with the copy needed.
     pcie_bytes_.fetch_add(len, std::memory_order_relaxed);

@@ -45,9 +45,13 @@ ReplicaStore::make_room(Bytes need, std::uint64_t incoming)
         held_ -= victim->second.data.size();
         versions_.erase(victim);
         ++evictions_;
-        MetricsRegistry::global()
-            .counter("pccheck.replication.evictions")
-            .add();
+        // Cached handle: make_room runs under the store's mutex, and a
+        // registry lookup (string ctor + registry mutex) would nest
+        // that lock inside this one on every eviction.
+        static Counter& evictions_counter =
+            MetricsRegistry::global().counter(
+                "pccheck.replication.evictions");
+        evictions_counter.add();
     }
     return true;
 }

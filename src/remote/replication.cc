@@ -142,20 +142,30 @@ ReplicationEngine::record_ack(const Handle& handle, std::size_t index,
         handle->cv_.notify_all();
     }
     if (acked) {
+        // Cached handle: a registry lookup per ack would pay a string
+        // construction and the registry mutex on the strand.
+        static Counter& acks_counter =
+            MetricsRegistry::global().counter("pccheck.replication.acks");
         // relaxed: monitoring counter, no ordering required.
         acks_.fetch_add(1, std::memory_order_relaxed);
-        MetricsRegistry::global()
-            .counter("pccheck.replication.acks")
-            .add();
+        acks_counter.add();
     }
 }
 
-void
+PCCHECK_HOT_PATH void
 ReplicationEngine::send_chunk(const Handle& handle, Bytes offset,
                               const void* src, Bytes len,
                               std::function<void()> done)
 {
     PCCHECK_CHECK(handle != nullptr);
+    // Cached handles: the strand's inner loop runs once per sub-chunk,
+    // so per-call registry lookups (string ctor + registry mutex + map
+    // walk) would serialize senders on the metrics lock.
+    static Counter& bytes_counter =
+        MetricsRegistry::global().counter("pccheck.replication.bytes");
+    static Counter& chunks_counter =
+        MetricsRegistry::global().counter(
+            "pccheck.replication.chunks_sent");
     if (peers_.empty()) {
         if (done) {
             done();
@@ -166,6 +176,8 @@ ReplicationEngine::send_chunk(const Handle& handle, Bytes offset,
         Atomic<int> remaining{0};
         std::function<void()> done;
     };
+    // pccheck-tidy: disable=hot-path-alloc -- one control block per
+    // staged chunk, amortized over chunk_bytes of network I/O.
     auto fanout = std::make_shared<ChunkFanout>();
     // relaxed: the store precedes the task submissions that share the
     // counter; the strand queue handoff publishes it.
@@ -174,6 +186,8 @@ ReplicationEngine::send_chunk(const Handle& handle, Bytes offset,
     fanout->done = std::move(done);
     for (std::size_t i = 0; i < peers_.size(); ++i) {
         PeerState* state = peers_[i].get();
+        // pccheck-tidy: disable=hot-path-alloc -- per-peer task
+        // capture + strand queue node, once per chunk handoff.
         enqueue(*state, [this, state, handle, i, offset, src, len,
                          fanout] {
             bool failed;
@@ -188,9 +202,7 @@ ReplicationEngine::send_chunk(const Handle& handle, Bytes offset,
                         std::min(config_.chunk_bytes, len - sent);
                     // relaxed: monitoring counter, no ordering needed.
                     bytes_sent_.fetch_add(sub, std::memory_order_relaxed);
-                    MetricsRegistry::global()
-                        .counter("pccheck.replication.bytes")
-                        .add(sub);
+                    bytes_counter.add(sub);
                     if (!net_->transfer_for(self_, state->peer.node, sub,
                                             config_.ack_timeout)
                              .has_value()) {
@@ -207,9 +219,7 @@ ReplicationEngine::send_chunk(const Handle& handle, Bytes offset,
                         mark_peer_failed(handle, i);
                         break;
                     }
-                    MetricsRegistry::global()
-                        .counter("pccheck.replication.chunks_sent")
-                        .add();
+                    chunks_counter.add();
                     sent += sub;
                 }
             }

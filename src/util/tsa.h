@@ -67,4 +67,23 @@
 #define PCCHECK_NO_THREAD_SAFETY_ANALYSIS \
     PCCHECK_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/**
+ * Marks a function as checkpoint-hot-path: it runs once per persisted
+ * stripe / queue operation / delta frame, so steady-state heap
+ * allocation, growable-container mutation, throwing constructs, and
+ * per-call MetricsRegistry name lookups are forbidden in it (cache
+ * registry handles in function-local statics instead — see
+ * PersistEngine::write_stripe for the idiom). Enforced by
+ * tools/pccheck_tidy (hot-path-alloc check, docs/STATIC_ANALYSIS.md);
+ * exceptions need a `// pccheck-tidy: disable=hot-path-alloc -- why`
+ * suppression with a justification. Under Clang the annotate attribute
+ * also makes the marker visible to AST tooling; the macro token itself
+ * is what pccheck_tidy keys on, so GCC builds lose nothing.
+ */
+#if defined(__clang__)
+#define PCCHECK_HOT_PATH __attribute__((annotate("pccheck::hot_path")))
+#else
+#define PCCHECK_HOT_PATH  // no-op outside Clang; the token still marks
+#endif
+
 #endif  // PCCHECK_UTIL_TSA_H_

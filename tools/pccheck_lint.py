@@ -85,6 +85,16 @@ enforces:
                            verdict. Other files opt in with a
                            "pccheck-lint: read-status" marker.
 
+Suppressions share one syntax with pccheck-tidy (parsed by
+tools/pccheck_tidy/suppress.py):
+
+  // pccheck-lint: disable=<rule>[,<rule>] -- <justification>
+
+placed on the offending line or the comment line(s) directly above
+it. The justification after ``--`` is mandatory: a suppression
+without one suppresses nothing and is itself reported as a
+``bad-suppression`` finding.
+
 Usage:
   tools/pccheck_lint.py [--rule RULE] [paths...]
 
@@ -99,6 +109,10 @@ import os
 import re
 import sys
 from typing import Callable, List, NamedTuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from pccheck_tidy.suppress import (  # noqa: E402
+    BAD_SUPPRESSION, filter_findings, parse_suppressions)
 
 # Files where the commit fast path lives; the trace-span rule applies
 # only here. Fixture/test files opt in with a "pccheck-lint: hot-path"
@@ -670,6 +684,16 @@ def lint_file(path: str, rules: List[str]) -> List[Finding]:
     findings = []
     for rule in rules:
         findings.extend(RULES[rule](path, lines))
+    # Unified suppression syntax, shared with pccheck-tidy: a matching
+    # "// pccheck-lint: disable=<rule> -- why" silences the finding; a
+    # directive without a justification is itself a finding.
+    supp = parse_suppressions(lines, tool="pccheck-lint")
+    findings, _dropped = filter_findings(
+        findings, supp, line_of=lambda f: f.line,
+        check_of=lambda f: f.rule)
+    for bad in supp.malformed:
+        findings.append(Finding(path, bad.line, BAD_SUPPRESSION,
+                                bad.message))
     return findings
 
 

@@ -1,0 +1,57 @@
+"""pccheck-tidy: AST-grounded persistence & hot-path analysis.
+
+A libclang-driven static analyzer for the PCcheck tree. Unlike
+tools/pccheck_lint.py (regex heuristics, zero dependencies),
+pccheck-tidy parses every translation unit named in
+compile_commands.json with clang.cindex, lowers function bodies to a
+small statement-tree IR (ir.py), and runs path-sensitive checks
+(checks.py) over that IR:
+
+  persistence-ordering   every publish_pointer()/seal_frame()/
+                         advance_watermark()/invalidate_record() call
+                         must be dominated by a fence() on every
+                         intra-procedural path since the last
+                         write/persist; cross-function via call
+                         summaries.
+  blocking-under-lock    no persist/fence/msync, SimNetwork transfer
+                         or recv, sleep_for, thread join, or CondVar
+                         wait while a capability-annotated Mutex is
+                         held (metrics/trace work under a lock is a
+                         softer subcategory of the same check).
+  hot-path-alloc         functions annotated PCCHECK_HOT_PATH
+                         (util/tsa.h) must not allocate: no new /
+                         make_unique / make_shared, no growable-
+                         container construction or mutation, no throw.
+  status-discarded       a StorageStatus produced by a storage op must
+                         be branched on, returned, or forwarded — not
+                         assigned and forgotten, and not dropped as a
+                         bare statement.
+
+The analysis core (ir.py, checks.py, suppress.py, report.py) is pure
+Python and fully unit-testable without libclang; only frontend.py
+imports clang.cindex, lazily. When libclang is unavailable the CLI
+exits with status 3 ("skipped") so local ctest runs degrade cleanly;
+CI installs libclang and gates the tree at zero findings.
+
+Suppression syntax (shared with pccheck-lint via suppress.py):
+
+  // pccheck-tidy: disable=<check>[,<check>] -- <justification>
+
+The justification after ``--`` is mandatory; a suppression without one
+is itself reported as a bad-suppression finding.
+"""
+
+__version__ = "1.0"
+
+CHECK_NAMES = (
+    "persistence-ordering",
+    "blocking-under-lock",
+    "hot-path-alloc",
+    "status-discarded",
+)
+
+# Exit codes for the CLI (cli.py) and CI wiring.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_SKIPPED = 3  # libclang unavailable: analysis did not run

@@ -1,0 +1,19 @@
+"""Directory-execution entry point: ``python3 tools/pccheck_tidy``.
+
+Bootstraps sys.path so the package imports resolve whether the tool
+is invoked as ``python3 tools/pccheck_tidy``, ``python3 -m
+pccheck_tidy`` (from tools/), or via an absolute path from CI.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from pccheck_tidy.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

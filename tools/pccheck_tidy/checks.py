@@ -1,0 +1,471 @@
+"""The four pccheck-tidy checks, run over the statement-tree IR.
+
+All analyses here are pure Python over ir.Function values — no
+libclang. Two of the checks (persistence-ordering and
+blocking-under-lock) are *path-sensitive*: the walker enumerates
+acyclic paths through the statement tree, tracking the value of every
+StorageStatus variable as {ok, not-ok, unknown} and pruning paths
+whose branch constraints contradict what is already known. That is
+what lets the real tree's status ladders —
+
+    StorageStatus s = write(...);
+    if (s.ok()) { s = persist(...); }
+    if (s.ok()) { s = device.fence(); }
+    if (!s.ok()) { return s; }
+    seal_frame(...);            // only reachable with s ok ⇒ fenced
+
+— analyze clean without special-casing, while still catching a
+publish that is genuinely reachable with un-fenced bytes.
+
+Loops unroll 0/1/2 iterations. Path enumeration is capped (PATH_CAP);
+a function that exceeds the cap falls back to a merged linear
+analysis that is pessimistic about branches but never silently
+skipped.
+
+Cross-function effects come from call summaries computed to a
+fixpoint: may_block propagates transitively over the hard-blocking op
+set, while a callee that fences on its success path *clears* the
+caller's dirty state at the call site (optimistic-success semantics —
+justified because the status-discarded check forces every caller to
+branch on the callee's StorageStatus before relying on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .ir import Branch, Function, Loop, Node, Op, OpKind, Seq, flatten_ops
+
+PATH_CAP = 4096
+LOOP_UNROLLS = (0, 1, 2)
+
+PERSISTENCE_ORDERING = "persistence-ordering"
+BLOCKING_UNDER_LOCK = "blocking-under-lock"
+HOT_PATH_ALLOC = "hot-path-alloc"
+STATUS_DISCARDED = "status-discarded"
+
+ALL_CHECKS = (
+    PERSISTENCE_ORDERING,
+    BLOCKING_UNDER_LOCK,
+    HOT_PATH_ALLOC,
+    STATUS_DISCARDED,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    file: str
+    line: int
+    check: str
+    message: str
+    function: str = ""
+
+    def sort_key(self):
+        return (self.file, self.line, self.check, self.message)
+
+
+@dataclass
+class Summary:
+    """Cross-function effect summary used at call sites."""
+
+    writes_dirty: bool = False   # leaves unfenced bytes behind
+    fences_clean: bool = False   # fences on its success path
+    may_block: bool = False      # hard-blocks (directly or transitively)
+    returns_status: bool = False
+
+
+class _PathExplosion(Exception):
+    pass
+
+
+class _Budget:
+    def __init__(self, cap: int) -> None:
+        self.left = cap
+
+    def spend(self, n: int = 1) -> None:
+        self.left -= n
+        if self.left < 0:
+            raise _PathExplosion()
+
+
+# --------------------------------------------------------------------------
+# Path enumeration with StorageStatus feasibility
+
+
+def _paths(node: Node, env: Dict[str, Optional[bool]],
+           budget: _Budget) -> List[Tuple[List[Op], Dict, bool]]:
+    """All (ops, env, terminated) continuations through @p node.
+
+    env maps status-variable name -> True (known ok) / False (known
+    not-ok) / None (unknown). terminated marks paths that hit a RETURN
+    and must not be extended by later siblings.
+    """
+    if isinstance(node, Op):
+        budget.spend()
+        new_env = env
+        if node.kind == OpKind.STATUS_DEF and node.name:
+            new_env = dict(env)
+            new_env[node.name] = None  # fresh value: unknown again
+        return [([node], new_env, node.kind == OpKind.RETURN)]
+
+    if isinstance(node, Seq):
+        results: List[Tuple[List[Op], Dict, bool]] = [([], env, False)]
+        for child in node.children:
+            nxt: List[Tuple[List[Op], Dict, bool]] = []
+            for ops, e, done in results:
+                if done:
+                    nxt.append((ops, e, True))
+                    continue
+                for cops, ce, cdone in _paths(child, e, budget):
+                    budget.spend()
+                    nxt.append((ops + cops, ce, cdone))
+            results = nxt
+        return results
+
+    if isinstance(node, Branch):
+        var = node.cond_status
+        known = env.get(var) if var is not None else None
+        out: List[Tuple[List[Op], Dict, bool]] = []
+        if var is not None and known is not None:
+            # Feasibility pruning: only the branch consistent with the
+            # known value exists.
+            if known == node.cond_true_ok:
+                out.extend(_paths(node.then_branch, env, budget))
+            elif node.else_branch is not None:
+                out.extend(_paths(node.else_branch, env, budget))
+            else:
+                out.append(([], env, False))
+            return out
+        if var is not None:
+            then_env = dict(env)
+            then_env[var] = node.cond_true_ok
+            else_env = dict(env)
+            else_env[var] = not node.cond_true_ok
+        else:
+            then_env, else_env = env, env
+        out.extend(_paths(node.then_branch, then_env, budget))
+        if node.else_branch is not None:
+            out.extend(_paths(node.else_branch, else_env, budget))
+        else:
+            out.append(([], else_env, False))
+        return out
+
+    if isinstance(node, Loop):
+        out: List[Tuple[List[Op], Dict, bool]] = []
+        once = _paths(node.body, env, budget)
+        for n in LOOP_UNROLLS:
+            if n == 0:
+                out.append(([], env, False))
+            elif n == 1:
+                out.extend(once)
+            else:
+                for ops1, e1, done1 in once:
+                    if done1:
+                        continue  # already covered by the 1-unroll
+                    for ops2, e2, done2 in _paths(node.body, e1, budget):
+                        budget.spend()
+                        out.append((ops1 + ops2, e2, done2))
+        return out
+
+    raise TypeError(f"not an IR node: {node!r}")
+
+
+def enumerate_paths(func: Function,
+                    cap: int = PATH_CAP) -> Optional[List[List[Op]]]:
+    """Feasible op paths through @p func, or None when over the cap."""
+    try:
+        budget = _Budget(cap * 8)  # op-level budget, generous per path
+        raw = _paths(func.body, {}, budget)
+        if len(raw) > cap:
+            return None
+        return [ops for ops, _env, _done in raw]
+    except _PathExplosion:
+        return None
+
+
+# --------------------------------------------------------------------------
+# persistence-ordering
+
+
+def _ordering_scan(ops: Iterable[Op], func: Function,
+                   summaries: Dict[str, Summary]) -> List[Finding]:
+    findings: List[Finding] = []
+    dirty = False
+    dirty_line = 0
+    dirty_what = ""
+    for op in ops:
+        if op.kind in (OpKind.WRITE, OpKind.PERSIST):
+            dirty = True
+            dirty_line = op.line
+            dirty_what = op.detail or op.kind
+        elif op.kind == OpKind.FENCE:
+            dirty = False
+        elif op.kind == OpKind.CALL and op.name:
+            s = summaries.get(op.name)
+            if s is not None:
+                if s.fences_clean:
+                    # Optimistic success-path semantics: the callee
+                    # fences before returning ok, and status-discarded
+                    # forces the caller to branch on that status.
+                    dirty = False
+                elif s.writes_dirty:
+                    dirty = True
+                    dirty_line = op.line
+                    dirty_what = f"call to {op.name}"
+        elif op.kind == OpKind.PUBLISH:
+            if dirty:
+                findings.append(Finding(
+                    func.file, op.line, PERSISTENCE_ORDERING,
+                    f"{op.detail or 'publish'} is reachable with "
+                    f"un-fenced bytes: {dirty_what} at line {dirty_line} "
+                    "has no dominating fence() on this path — the "
+                    "pointer record could become durable before the "
+                    "data it names", func.name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# blocking-under-lock
+
+
+_HARD_BLOCK_KINDS = (OpKind.BLOCK, OpKind.PERSIST, OpKind.FENCE)
+
+
+def _blocking_scan(ops: Iterable[Op], func: Function,
+                   summaries: Dict[str, Summary]) -> List[Finding]:
+    findings: List[Finding] = []
+    held: Dict[str, int] = {lock: func.line for lock in func.requires}
+
+    def holders(exclude: Optional[str] = None) -> str:
+        names = [f"{name} (held since line {line})"
+                 for name, line in held.items() if name != exclude]
+        return ", ".join(names)
+
+    for op in ops:
+        if op.kind == OpKind.ACQUIRE and op.name:
+            held[op.name] = op.line
+        elif op.kind == OpKind.RELEASE and op.name:
+            held.pop(op.name, None)
+        elif op.kind == OpKind.CV_WAIT:
+            # wait(mu) releases mu for the duration — only *other*
+            # locks still held make the wait a blocking-under-lock.
+            others = holders(exclude=op.released)
+            if others:
+                findings.append(Finding(
+                    func.file, op.line, BLOCKING_UNDER_LOCK,
+                    f"condition-variable wait while holding {others}: "
+                    "the wait only releases its own mutex, so every "
+                    "other holder is stalled for the full wait",
+                    func.name))
+        elif op.kind in _HARD_BLOCK_KINDS:
+            if held:
+                findings.append(Finding(
+                    func.file, op.line, BLOCKING_UNDER_LOCK,
+                    f"{op.detail or op.kind} while holding {holders()}: "
+                    "device/network/sleep latency lands inside the "
+                    "critical section and serializes every waiter",
+                    func.name))
+        elif op.kind == OpKind.METRIC:
+            if held:
+                findings.append(Finding(
+                    func.file, op.line, BLOCKING_UNDER_LOCK,
+                    f"metrics/trace work ({op.detail or 'op'}) while "
+                    f"holding {holders()}: registry lookups and span "
+                    "bookkeeping take the metrics mutex and lengthen "
+                    "the critical section — hoist to a static handle "
+                    "or move outside the lock", func.name))
+        elif op.kind == OpKind.CALL and op.name and held:
+            s = summaries.get(op.name)
+            if s is not None and s.may_block:
+                findings.append(Finding(
+                    func.file, op.line, BLOCKING_UNDER_LOCK,
+                    f"call to {op.name} (which may block) while "
+                    f"holding {holders()}", func.name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# hot-path-alloc (flat: allocation anywhere in an annotated function)
+
+
+def _hot_path_scan(func: Function) -> List[Finding]:
+    if not func.hot_path:
+        return []
+    findings = []
+    for op in flatten_ops(func.body):
+        if op.kind == OpKind.ALLOC:
+            findings.append(Finding(
+                func.file, op.line, HOT_PATH_ALLOC,
+                f"{op.detail or 'allocation'} in PCCHECK_HOT_PATH "
+                f"function {func.name}: hot paths must not take the "
+                "allocator lock, grow containers, or throw — "
+                "preallocate, reuse a scratch member, or justify with "
+                "a suppression", func.name))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# status-discarded (flat: defs must be followed by a use)
+
+
+def _status_scan(func: Function) -> List[Finding]:
+    findings: List[Finding] = []
+    # Events in *tree order* (source order): a branch condition like
+    # ``if (s.ok())`` is a use of s even when the frontend only
+    # recorded it as the Branch's cond_status.
+    events: Dict[str, List[Tuple[str, Op]]] = {}
+
+    def record(var: str, kind: str, op: Op) -> None:
+        events.setdefault(var, []).append((kind, op))
+
+    def walk(node: Node) -> Set[str]:
+        """Record events; returns vars defined anywhere in @p node."""
+        defined: Set[str] = set()
+        if isinstance(node, Op):
+            if node.kind == OpKind.STATUS_DROP:
+                findings.append(Finding(
+                    func.file, node.line, STATUS_DISCARDED,
+                    f"StorageStatus from {node.detail or 'storage op'} "
+                    "discarded as a bare statement: a transient error "
+                    "vanishes instead of degrading gracefully — branch "
+                    "on it, return it, or wrap it in PCCHECK_MUST",
+                    func.name))
+            elif node.kind == OpKind.STATUS_DEF and node.name:
+                record(node.name, "def", node)
+                defined.add(node.name)
+            elif node.kind in (OpKind.STATUS_USE, OpKind.RETURN) and \
+                    node.name:
+                record(node.name, "use", node)
+        elif isinstance(node, Seq):
+            for child in node.children:
+                defined |= walk(child)
+        elif isinstance(node, Branch):
+            if node.cond_status:
+                record(node.cond_status, "use",
+                       Op(OpKind.STATUS_USE, node.line,
+                          name=node.cond_status))
+            then_defined = walk(node.then_branch)
+            defined |= then_defined
+            if node.else_branch is not None:
+                # The two arms are exclusive: a def in the then-arm is
+                # not "overwritten" by a def in the else-arm. Barrier
+                # the then-arm's defs before walking the else-arm so
+                # the linear scan cannot pair them — erring toward a
+                # missed finding, never a false one.
+                for var in then_defined:
+                    record(var, "barrier", Op(OpKind.STATUS_USE,
+                                              node.line, name=var))
+                else_defined = walk(node.else_branch)
+                for var in else_defined:
+                    record(var, "barrier", Op(OpKind.STATUS_USE,
+                                              node.line, name=var))
+                defined |= else_defined
+        elif isinstance(node, Loop):
+            defined |= walk(node.body)
+        return defined
+
+    walk(func.body)
+    for var, evs in events.items():
+        pending: Optional[Op] = None
+        for kind, op in evs:
+            if kind == "def":
+                if pending is not None:
+                    findings.append(_unused_def(func, var, pending))
+                pending = op
+            else:
+                pending = None
+        if pending is not None:
+            findings.append(_unused_def(func, var, pending))
+    return findings
+
+
+def _unused_def(func: Function, var: str, op: Op) -> Finding:
+    return Finding(
+        func.file, op.line, STATUS_DISCARDED,
+        f"StorageStatus '{var}' assigned here"
+        f"{f' from {op.detail}' if op.detail else ''} but never "
+        "branched on, returned, or forwarded afterwards: the error is "
+        "computed and then ignored", func.name)
+
+
+# --------------------------------------------------------------------------
+# Call summaries (fixpoint)
+
+
+def compute_summaries(functions: List[Function]) -> Dict[str, Summary]:
+    summaries: Dict[str, Summary] = {}
+    calls: Dict[str, Set[str]] = {}
+    for func in functions:
+        ops = flatten_ops(func.body)
+        s = Summary(returns_status=func.returns_status)
+        callees: Set[str] = set()
+        for op in ops:
+            if op.kind in (OpKind.WRITE, OpKind.PERSIST):
+                s.writes_dirty = True
+            if op.kind == OpKind.FENCE:
+                s.fences_clean = True
+            if op.kind in (OpKind.BLOCK, OpKind.CV_WAIT, OpKind.PERSIST,
+                           OpKind.FENCE):
+                s.may_block = True
+            if op.kind == OpKind.CALL and op.name:
+                callees.add(op.name)
+        summaries[func.name] = s
+        calls[func.name] = callees
+
+    # Fixpoint: may_block propagates over the call graph (hard-
+    # blocking only — metrics findings never propagate: a callee that
+    # merely touches the registry is not "blocking" at its call site).
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            s = summaries[name]
+            if s.may_block:
+                continue
+            if any(summaries.get(c, Summary()).may_block for c in callees):
+                s.may_block = True
+                changed = True
+    return summaries
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+
+def check_function(func: Function, summaries: Dict[str, Summary],
+                   checks: Iterable[str] = ALL_CHECKS) -> List[Finding]:
+    selected = set(checks)
+    findings: List[Finding] = []
+
+    if PERSISTENCE_ORDERING in selected or BLOCKING_UNDER_LOCK in selected:
+        paths = enumerate_paths(func)
+        scans = [flatten_ops(func.body)] if paths is None else paths
+        seen: Set[Tuple] = set()
+        for ops in scans:
+            path_findings: List[Finding] = []
+            if PERSISTENCE_ORDERING in selected:
+                path_findings += _ordering_scan(ops, func, summaries)
+            if BLOCKING_UNDER_LOCK in selected:
+                path_findings += _blocking_scan(ops, func, summaries)
+            for f in path_findings:
+                key = (f.line, f.check, f.message)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(f)
+
+    if HOT_PATH_ALLOC in selected:
+        findings += _hot_path_scan(func)
+    if STATUS_DISCARDED in selected:
+        findings += _status_scan(func)
+    return findings
+
+
+def analyze(functions: List[Function],
+            checks: Iterable[str] = ALL_CHECKS) -> List[Finding]:
+    """Run @p checks over every function; returns sorted findings."""
+    summaries = compute_summaries(functions)
+    findings: List[Finding] = []
+    for func in functions:
+        findings.extend(check_function(func, summaries, checks))
+    return sorted(findings, key=Finding.sort_key)

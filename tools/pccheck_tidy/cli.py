@@ -1,0 +1,308 @@
+"""pccheck-tidy command-line driver.
+
+Usage:
+  python3 tools/pccheck_tidy [paths...] [options] [-- <compile args>]
+
+Modes:
+  Tree mode (default): loads compile_commands.json (auto-discovered at
+  build/compile_commands.json or via --compile-commands), parses every
+  listed TU whose source lives under the given paths (default: src/,
+  always excluding src/mc/ — the cooperative model-checker scheduler
+  deliberately blocks under its locks), lowers all function
+  definitions, and runs the four checks globally so call summaries
+  cross TU boundaries.
+
+  Fixture mode: when every positional path is a single .cc/.h file
+  that is NOT in the compile database, each is parsed standalone with
+  the default flags (-std=c++20 -I src) plus anything after ``--``.
+  This is how the test fixtures run.
+
+Exit codes:
+  0  clean          1  findings          2  usage/setup error
+  3  skipped (libclang unavailable — analysis did not run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shlex
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import (CHECK_NAMES, EXIT_CLEAN, EXIT_FINDINGS, EXIT_SKIPPED,
+               EXIT_USAGE)
+from .checks import ALL_CHECKS, Finding, analyze
+from .report import print_human, to_json
+from .suppress import BAD_SUPPRESSION, filter_findings, parse_suppressions
+
+DEFAULT_EXCLUDES = (os.path.join("src", "mc") + os.sep,)
+DEFAULT_FIXTURE_ARGS = ("-std=c++20", "-x", "c++", "-Isrc")
+
+
+def find_compile_commands(explicit: Optional[str],
+                          root: str) -> Optional[str]:
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    for cand in ("build/compile_commands.json", "compile_commands.json"):
+        path = os.path.join(root, cand)
+        if os.path.isfile(path):
+            return path
+    return None
+
+
+def clang_args_from_entry(entry: Dict) -> List[str]:
+    """Compiler argv -> libclang parse args (drop -c/-o/source/argv0)."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    source = entry.get("file", "")
+    args: List[str] = []
+    skip_next = False
+    for i, arg in enumerate(argv):
+        if i == 0:
+            continue  # the compiler binary
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c",):
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if arg in ("-MD", "-MMD"):
+            continue
+        if arg == source or os.path.basename(arg) == \
+                os.path.basename(source) and arg.endswith(
+                    (".cc", ".cpp", ".c")):
+            continue
+        args.append(arg)
+    directory = entry.get("directory")
+    if directory:
+        args.append(f"-working-directory={directory}")
+    return args
+
+
+def in_scope(path: str, roots: Sequence[str],
+             excludes: Sequence[str]) -> bool:
+    rpath = os.path.realpath(path)
+    norm = rpath.replace(os.sep, "/")
+    for exc in excludes:
+        if ("/" + exc.replace(os.sep, "/")).rstrip("/") + "/" in \
+                norm + "/":
+            return False
+    for root in roots:
+        rroot = os.path.realpath(root)
+        if rpath == rroot or rpath.startswith(rroot + os.sep):
+            return True
+    return False
+
+
+def apply_suppressions(findings: List[Finding], repo_root: str,
+                       scanned: Sequence[str] = ()
+                       ) -> Tuple[List[Finding], int]:
+    """Filter per-file suppressions; malformed ones become findings.
+
+    Every file in @p scanned is parsed for directives even when it has
+    no findings — a malformed suppression in an otherwise-clean file
+    must still be reported.
+    """
+    by_file: Dict[str, List[Finding]] = {}
+    for f in findings:
+        by_file.setdefault(f.file, []).append(f)
+    for path in scanned:
+        by_file.setdefault(path, [])
+    kept: List[Finding] = []
+    suppressed = 0
+    for path, file_findings in by_file.items():
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            kept.extend(file_findings)
+            continue
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        keep, dropped = filter_findings(
+            file_findings, supp,
+            line_of=lambda f: f.line, check_of=lambda f: f.check)
+        kept.extend(keep)
+        suppressed += len(dropped)
+        for bad in supp.malformed:
+            kept.append(Finding(
+                file=path, line=bad.line, check=BAD_SUPPRESSION,
+                message=bad.message))
+    return kept, suppressed
+
+
+def relativize(findings: List[Finding], root: str) -> List[Finding]:
+    out = []
+    rroot = os.path.realpath(root)
+    for f in findings:
+        path = os.path.realpath(f.file)
+        if path.startswith(rroot + os.sep):
+            path = os.path.relpath(path, rroot)
+        out.append(Finding(file=path, line=f.line, check=f.check,
+                           message=f.message, function=f.function))
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    extra_args: List[str] = []
+    if "--" in raw:
+        split = raw.index("--")
+        raw, extra_args = raw[:split], raw[split + 1:]
+
+    parser = argparse.ArgumentParser(
+        prog="pccheck-tidy", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyze "
+                             "(default: src, excluding src/mc)")
+    parser.add_argument("--check", action="append",
+                        choices=sorted(CHECK_NAMES),
+                        help="run only this check (repeatable)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write findings as JSON ('-' = stdout)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print check names and exit")
+    parser.add_argument("--include-mc", action="store_true",
+                        help="do not exclude src/mc/ (the cooperative "
+                             "scheduler blocks under locks by design)")
+    args = parser.parse_args(raw)
+
+    if args.list_checks:
+        print("\n".join(sorted(CHECK_NAMES)))
+        return EXIT_CLEAN
+
+    from .frontend import (load_cindex, lower_translation_unit,
+                           parse_source, _FileCache)
+    cindex = load_cindex()
+    if cindex is None:
+        print("pccheck-tidy: SKIPPED (libclang unavailable); install "
+              "python3-clang + libclang to run the analysis",
+              file=sys.stderr)
+        if args.json:
+            payload = to_json([], suppressed=0, files_scanned=0,
+                              checks=args.check or ALL_CHECKS,
+                              skipped_reason="libclang unavailable")
+            _write_json(args.json, payload)
+        return EXIT_SKIPPED
+
+    root = os.path.realpath(args.root)
+    roots = args.paths or [os.path.join(root, "src")]
+    excludes = () if args.include_mc else DEFAULT_EXCLUDES
+    checks = args.check or list(ALL_CHECKS)
+
+    # Partition positional paths: compile-DB-covered sources vs
+    # standalone fixture files.
+    db_path = find_compile_commands(args.compile_commands, root)
+    db_entries: List[Dict] = []
+    if db_path:
+        try:
+            with open(db_path, encoding="utf-8") as fh:
+                db_entries = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"pccheck-tidy: cannot read {db_path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    db_files = {os.path.realpath(os.path.join(e.get("directory", root),
+                                              e.get("file", "")))
+                for e in db_entries}
+
+    standalone = [p for p in (args.paths or [])
+                  if os.path.isfile(p) and
+                  os.path.realpath(p) not in db_files]
+    tree_mode = not standalone or any(os.path.isdir(p)
+                                      for p in (args.paths or []))
+
+    if tree_mode and not db_entries and not standalone:
+        print("pccheck-tidy: no compile_commands.json found — "
+              "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "
+              "(or pass --compile-commands)", file=sys.stderr)
+        return EXIT_USAGE
+
+    files = _FileCache()
+    seen: Set[Tuple[str, int, str]] = set()
+    functions = []
+    scanned: Set[str] = set()
+    parse_errors = 0
+
+    if tree_mode:
+        for entry in db_entries:
+            src = os.path.realpath(os.path.join(
+                entry.get("directory", root), entry.get("file", "")))
+            if not in_scope(src, roots, excludes):
+                continue
+            tu_args = clang_args_from_entry(entry) + extra_args
+            try:
+                tu, errors = parse_source(cindex, src, tu_args)
+            except Exception as exc:  # noqa: BLE001
+                print(f"pccheck-tidy: parse failed for {src}: {exc}",
+                      file=sys.stderr)
+                parse_errors += 1
+                continue
+            for err in errors:
+                print(f"pccheck-tidy: {err}", file=sys.stderr)
+            scanned.add(src)
+            functions.extend(lower_translation_unit(
+                cindex, tu, src_root=os.path.join(root, "src"),
+                files=files, seen=seen))
+
+    for src in standalone:
+        tu_args = list(DEFAULT_FIXTURE_ARGS) + extra_args
+        try:
+            tu, errors = parse_source(cindex, src, tu_args)
+        except Exception as exc:  # noqa: BLE001
+            print(f"pccheck-tidy: parse failed for {src}: {exc}",
+                  file=sys.stderr)
+            parse_errors += 1
+            continue
+        for err in errors:
+            print(f"pccheck-tidy: {err}", file=sys.stderr)
+        scanned.add(os.path.realpath(src))
+        functions.extend(lower_translation_unit(
+            cindex, tu, src_root=os.path.dirname(os.path.realpath(src)),
+            files=files, seen=seen))
+
+    all_findings = analyze(functions, checks)
+    # Findings are only reported for files actually in scope: headers
+    # pulled in from outside the requested roots feed summaries but do
+    # not gate.
+    scoped = [f for f in all_findings
+              if os.path.realpath(f.file) in scanned or
+              in_scope(f.file, roots, excludes)]
+    scoped, suppressed = apply_suppressions(scoped, root,
+                                            scanned=sorted(scanned))
+    scoped = relativize(sorted(scoped, key=Finding.sort_key), root)
+
+    if args.json:
+        payload = to_json(scoped, suppressed=suppressed,
+                          files_scanned=len(scanned), checks=checks)
+        _write_json(args.json, payload)
+    if args.json != "-":
+        print_human(scoped, suppressed=suppressed,
+                    files_scanned=len(scanned))
+
+    if parse_errors:
+        return EXIT_USAGE
+    return EXIT_FINDINGS if scoped else EXIT_CLEAN
+
+
+def _write_json(dest: str, payload: str) -> None:
+    if dest == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

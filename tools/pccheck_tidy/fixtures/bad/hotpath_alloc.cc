@@ -1,0 +1,31 @@
+// pccheck-tidy fixture: allocations inside a PCCHECK_HOT_PATH
+// function — each of the four flagged shapes (throw, container
+// construction, make_unique, container growth) takes the allocator
+// lock or unwinds, which the persist-engine inner loop cannot afford.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "util/tsa.h"
+
+namespace pccheck_tidy_fixture {
+
+PCCHECK_HOT_PATH std::uint64_t
+checksum_batch(const std::uint64_t* words, std::size_t count)
+{
+    if (words == nullptr) {
+        // expect: [hot-path-alloc]
+        throw std::invalid_argument("null batch");
+    }
+    std::vector<std::uint64_t> copy(words, words + count);
+    auto boxed_total = std::make_unique<std::uint64_t>(0);
+    for (std::uint64_t w : copy) {
+        *boxed_total += w;
+    }
+    copy.push_back(*boxed_total);
+    return copy.back();
+}
+
+}  // namespace pccheck_tidy_fixture

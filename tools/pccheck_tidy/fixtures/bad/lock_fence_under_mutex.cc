@@ -1,0 +1,56 @@
+// pccheck-tidy fixture: the pre-turnstile publish_pointer() shape —
+// the record write, persist, and fence all execute while the
+// serializing mutex is held, so every concurrent committer stalls for
+// the full device latency (the §5.2 regression the turnstile fixed).
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/device.h"
+#include "storage/status.h"
+#include "util/annotations.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::CheckpointPointer;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+using pccheck::StorageDevice;
+using pccheck::StorageStatus;
+
+class LockedRecordWriter {
+  public:
+    explicit LockedRecordWriter(StorageDevice& dev) : dev_(dev) {}
+
+    StorageStatus publish(const CheckpointPointer& ptr);
+
+  private:
+    StorageDevice& dev_;
+    Mutex mu_;
+    std::uint64_t last_counter_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+StorageStatus
+LockedRecordWriter::publish(const CheckpointPointer& ptr)
+{
+    MutexLock lock(mu_);
+    if (ptr.counter <= last_counter_) {
+        return StorageStatus::success();
+    }
+    StorageStatus status = dev_.write(0, &ptr, sizeof(ptr));
+    if (!status.ok()) {
+        return status;
+    }
+    // expect: [blocking-under-lock]
+    status = dev_.persist(0, sizeof(ptr));
+    if (!status.ok()) {
+        return status;
+    }
+    status = dev_.fence();
+    if (!status.ok()) {
+        return status;
+    }
+    last_counter_ = ptr.counter;
+    return StorageStatus::success();
+}
+
+}  // namespace pccheck_tidy_fixture

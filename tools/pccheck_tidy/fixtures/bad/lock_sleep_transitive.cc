@@ -1,0 +1,45 @@
+// pccheck-tidy fixture: transitive blocking — the function holding
+// the mutex never blocks directly, but it calls a helper whose
+// summary says may_block (Clock::sleep_for), so the sleep lands
+// inside the critical section two frames up.
+#include <cstdint>
+
+#include "util/annotations.h"
+#include "util/clock.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Clock;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+
+void
+backoff_briefly(const Clock& clock)
+{
+    clock.sleep_for(0.01);
+}
+
+class RetryQueue {
+  public:
+    explicit RetryQueue(const Clock& clock) : clock_(clock) {}
+
+    void drain();
+
+  private:
+    const Clock& clock_;
+    Mutex mu_;
+    std::uint64_t pending_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+void
+RetryQueue::drain()
+{
+    MutexLock lock(mu_);
+    while (pending_ > 0) {
+        --pending_;
+        // expect: [blocking-under-lock]
+        backoff_briefly(clock_);
+    }
+}
+
+}  // namespace pccheck_tidy_fixture

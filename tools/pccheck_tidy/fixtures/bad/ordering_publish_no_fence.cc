@@ -1,0 +1,33 @@
+// pccheck-tidy fixture: a pointer-record publish reachable with
+// un-fenced slot bytes. The write and persist land, but no fence()
+// orders them before the record becomes durable — the exact torn
+// state PCcheck's commit protocol (§4.1) exists to prevent.
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/status.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Bytes;
+using pccheck::CheckpointPointer;
+using pccheck::SlotStore;
+using pccheck::StorageStatus;
+
+StorageStatus
+publish_without_fence(SlotStore& store, const std::uint8_t* src, Bytes len)
+{
+    StorageStatus status = store.write_slot(0, 0, src, len);
+    if (status.ok()) {
+        status = store.persist_slot_range(0, 0, len);
+    }
+    if (!status.ok()) {
+        return status;
+    }
+    // Missing: store.device().fence() between the persist above and
+    // the publish below.
+    // expect: [persistence-ordering]
+    return store.publish_pointer(CheckpointPointer{1, 0, len, 1, 0});
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,35 @@
+// pccheck-tidy fixture: regression shape for the by-name metrics
+// lookup under a hot mutex (the replication/replica_store counter
+// hoists fixed in this PR): MetricsRegistry::counter() takes the
+// registry mutex and hashes the name inside the caller's critical
+// section.
+#include <cstdint>
+
+#include "util/annotations.h"
+#include "util/metrics.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::MetricsRegistry;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+
+class CommitTracker {
+  public:
+    void on_commit(std::uint64_t bytes);
+
+  private:
+    Mutex mu_;
+    std::uint64_t committed_bytes_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+void
+CommitTracker::on_commit(std::uint64_t bytes)
+{
+    MutexLock lock(mu_);
+    committed_bytes_ += bytes;
+    // expect: [blocking-under-lock]
+    MetricsRegistry::global().counter("fixture.commit.bytes").add(bytes);
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,39 @@
+// pccheck-tidy fixture: regression shape for the before_update()
+// StageSpan-under-lock fix — constructing a span inside the critical
+// section puts tracer bookkeeping (and two clock reads) on every
+// waiter's critical path.
+#include <cstdint>
+
+#include "obs/stage.h"
+#include "util/annotations.h"
+#include "util/metrics.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::LatencyHistogram;
+using pccheck::MetricsRegistry;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+using pccheck::StageSpan;
+
+class SpanUnderLock {
+  public:
+    void update(std::uint64_t iteration);
+
+  private:
+    Mutex mu_;
+    std::uint64_t iteration_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+void
+SpanUnderLock::update(std::uint64_t iteration)
+{
+    static LatencyHistogram& hist =
+        MetricsRegistry::global().histogram("fixture.stage.update");
+    MutexLock lock(mu_);
+    // expect: [blocking-under-lock]
+    StageSpan span("fixture.update", hist, "iteration", iteration);
+    iteration_ = iteration;
+}
+
+}  // namespace pccheck_tidy_fixture

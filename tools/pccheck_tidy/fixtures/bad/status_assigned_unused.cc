@@ -1,0 +1,27 @@
+// pccheck-tidy fixture: a StorageStatus computed and then silently
+// overwritten — the write's error is lost before anyone branches on
+// it, so a transient device glitch becomes invisible corruption.
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/status.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Bytes;
+using pccheck::SlotStore;
+using pccheck::StorageStatus;
+
+StorageStatus
+overwrite_unchecked(SlotStore& store, const std::uint8_t* src, Bytes len)
+{
+    // expect: [status-discarded]
+    StorageStatus status = store.write_slot(0, 0, src, len);
+    status = store.persist_slot_range(0, 0, len);
+    if (!status.ok()) {
+        return status;
+    }
+    return StorageStatus::success();
+}
+
+}  // namespace pccheck_tidy_fixture

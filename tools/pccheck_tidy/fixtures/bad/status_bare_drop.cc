@@ -1,0 +1,21 @@
+// pccheck-tidy fixture: a StorageStatus-returning call used as a bare
+// statement. [[nodiscard]] makes this a compiler warning; pccheck-tidy
+// makes it a CI-gating finding, because a dropped storage error turns
+// into corrupt recovery state instead of a visible failure.
+#include <cstdint>
+
+#include "core/slot_store.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Bytes;
+using pccheck::SlotStore;
+
+void
+fire_and_forget(SlotStore& store, const std::uint8_t* src, Bytes len)
+{
+    // expect: [status-discarded]
+    store.write_slot(0, 0, src, len);
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,28 @@
+// pccheck-tidy fixture: a suppression without the mandatory
+// " -- <justification>" tail. It must NOT silence the finding it sits
+// on, and must itself be reported, so both hot-path-alloc and
+// bad-suppression appear for this file.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/tsa.h"
+
+namespace pccheck_tidy_fixture {
+
+PCCHECK_HOT_PATH std::uint64_t
+sum_with_unjustified_suppression(const std::uint64_t* words,
+                                 std::size_t count)
+{
+    // expect: [bad-suppression]
+    // expect: [hot-path-alloc]
+    // pccheck-tidy: disable=hot-path-alloc
+    std::vector<std::uint64_t> copy(words, words + count);
+    std::uint64_t total = 0;
+    for (std::uint64_t w : copy) {
+        total += w;
+    }
+    return total;
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,45 @@
+// pccheck-tidy fixture: CondVar::wait(mu) releases the mutex it is
+// given for the duration of the sleep — waiting on your OWN mutex in
+// a predicate loop is the correct turnstile idiom and must not be
+// reported as blocking-under-lock.
+#include <cstdint>
+
+#include "util/annotations.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::CondVar;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+
+class DrainBarrier {
+  public:
+    void arrive();
+    void wait_drained();
+
+  private:
+    Mutex mu_;
+    CondVar cv_;
+    std::uint64_t inflight_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+void
+DrainBarrier::arrive()
+{
+    MutexLock lock(mu_);
+    if (inflight_ > 0) {
+        --inflight_;
+    }
+    cv_.notify_all();
+}
+
+void
+DrainBarrier::wait_drained()
+{
+    MutexLock lock(mu_);
+    while (inflight_ != 0) {
+        cv_.wait(mu_);
+    }
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,71 @@
+// pccheck-tidy fixture: the turnstile publish — claim the write token
+// under the mutex, do all device I/O with the mutex released, relock
+// only to commit the counter and wake waiters. This is the shape the
+// real publish_pointer()/quarantine paths use; it must analyze clean
+// for both blocking-under-lock and persistence-ordering.
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/device.h"
+#include "storage/status.h"
+#include "util/annotations.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::CheckpointPointer;
+using pccheck::CondVar;
+using pccheck::Mutex;
+using pccheck::MutexLock;
+using pccheck::StorageDevice;
+using pccheck::StorageStatus;
+
+class TurnstileRecordWriter {
+  public:
+    explicit TurnstileRecordWriter(StorageDevice& dev) : dev_(dev) {}
+
+    StorageStatus publish(const CheckpointPointer& ptr);
+
+  private:
+    StorageDevice& dev_;
+    Mutex mu_;
+    CondVar cv_;
+    bool writing_ PCCHECK_GUARDED_BY(mu_) = false;
+    std::uint64_t last_counter_ PCCHECK_GUARDED_BY(mu_) = 0;
+};
+
+StorageStatus
+TurnstileRecordWriter::publish(const CheckpointPointer& ptr)
+{
+    {
+        MutexLock lock(mu_);
+        while (writing_) {
+            cv_.wait(mu_);
+        }
+        if (ptr.counter <= last_counter_) {
+            return StorageStatus::success();
+        }
+        writing_ = true;
+    }
+
+    // Device I/O runs with mu_ released: concurrent committers only
+    // contend for the claim/commit instants.
+    StorageStatus status = dev_.write(0, &ptr, sizeof(ptr));
+    if (status.ok()) {
+        status = dev_.persist(0, sizeof(ptr));
+    }
+    if (status.ok()) {
+        status = dev_.fence();
+    }
+
+    {
+        MutexLock lock(mu_);
+        writing_ = false;
+        if (status.ok()) {
+            last_counter_ = ptr.counter;
+        }
+        cv_.notify_all();
+    }
+    return status;
+}
+
+}  // namespace pccheck_tidy_fixture

@@ -1,0 +1,54 @@
+// pccheck-tidy fixture: the canonical commit ladder. Every publish
+// path is dominated by a fence, threaded through the usual
+// StorageStatus ok-checks — the path-sensitive walker must prove the
+// only path reaching publish_pointer() is the fully-fenced one.
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/status.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Bytes;
+using pccheck::CheckpointPointer;
+using pccheck::SlotStore;
+using pccheck::StorageStatus;
+
+StorageStatus
+publish_fenced(SlotStore& store, const std::uint8_t* src, Bytes len)
+{
+    StorageStatus status = store.write_slot(0, 0, src, len);
+    if (!status.ok()) {
+        return status;
+    }
+    status = store.persist_slot_range(0, 0, len);
+    if (!status.ok()) {
+        return status;
+    }
+    status = store.device().fence();
+    if (!status.ok()) {
+        return status;
+    }
+    return store.publish_pointer(CheckpointPointer{1, 0, len, 1, 0});
+}
+
+// The ok-ladder variant the real tree uses (nested success guards
+// instead of early returns) must also analyze clean: the publish is
+// only reachable on the all-ok path, which passed through fence().
+StorageStatus
+publish_fenced_nested(SlotStore& store, const std::uint8_t* src, Bytes len)
+{
+    StorageStatus status = store.write_slot(0, 0, src, len);
+    if (status.ok()) {
+        status = store.persist_slot_range(0, 0, len);
+    }
+    if (status.ok()) {
+        status = store.device().fence();
+    }
+    if (!status.ok()) {
+        return status;
+    }
+    return store.publish_pointer(CheckpointPointer{2, 0, len, 2, 0});
+}
+
+}  // namespace pccheck_tidy_fixture

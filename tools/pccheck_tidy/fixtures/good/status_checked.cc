@@ -1,0 +1,33 @@
+// pccheck-tidy fixture: every StorageStatus is branched on, returned,
+// or forwarded — including the declare-then-assign-in-both-arms idiom
+// (exclusive arms are not a dead store) and a status forwarded via
+// return. Must analyze clean.
+#include <cstdint>
+
+#include "core/slot_store.h"
+#include "storage/status.h"
+
+namespace pccheck_tidy_fixture {
+
+using pccheck::Bytes;
+using pccheck::SlotStore;
+using pccheck::StorageStatus;
+
+StorageStatus
+write_one_of(SlotStore& store, bool to_alt, const std::uint8_t* src,
+             Bytes len)
+{
+    StorageStatus status;
+    if (to_alt) {
+        status = store.write_slot(1, 0, src, len);
+    } else {
+        status = store.write_slot(0, 0, src, len);
+    }
+    if (!status.ok()) {
+        return status;
+    }
+    status = store.persist_slot_range(0, 0, len);
+    return status;
+}
+
+}  // namespace pccheck_tidy_fixture

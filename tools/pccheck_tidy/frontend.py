@@ -1,0 +1,743 @@
+"""clang.cindex frontend: lowers C++ function bodies to the IR.
+
+This is the only module that touches libclang, and it loads it
+lazily: ``load_cindex()`` returns None when the bindings or the
+shared library are missing, and callers degrade (ctest skips, the CLI
+exits with EXIT_SKIPPED). Everything downstream of the lowering —
+path walking, checks, suppressions, reporting — is pure Python.
+
+Lowering philosophy: *conservative classification, optimistic
+defaults*. An AST construct only becomes an IR op when it matches a
+known PCcheck primitive by name AND its trigger token actually
+appears in the use-site source line (the line-text guard). The guard
+is what keeps macro expansions honest: ``PCCHECK_CHECK(...)`` expands
+to an ostringstream and ``LOG_INFO(...)`` to string appends, but the
+use-site line contains neither ``new`` nor a container token, so
+neither is misattributed to the caller. Anything unrecognized lowers
+to nothing (or a bare CALL edge), which errs toward missing an exotic
+finding rather than flooding CI with false positives.
+
+Deliberate modeling decisions, shared with checks.py:
+
+ - Lambda bodies become *separate* pseudo-functions (they run later,
+   under whatever locks exist at invocation, not at capture). The
+   single exception is a lambda passed to retry_storage_op(), which
+   invokes it synchronously — that body is inlined into the host so
+   the host's summary sees its write/persist/fence sequence.
+ - Static-local initializers are skipped entirely: the
+   ``static Counter& c = MetricsRegistry::global().counter(...)``
+   hoist idiom runs once, so its registry lookup is not a per-call
+   metrics op.
+ - Calls into the psan observer subsystem produce no CALL edge: psan
+   verifies the durability contract, it does not participate in it,
+   so its journal writes must not dirty the caller's fence state.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ir import Branch, Function, Loop, Node, Op, OpKind, Seq
+
+# ---------------------------------------------------------------------------
+# Classification tables
+
+PUBLISH_NAMES = {
+    "publish_pointer": "publish_pointer()",
+    "seal_frame": "seal_frame()",
+    "advance_watermark": "advance_watermark()",
+    "invalidate_record": "invalidate_record()",
+}
+PERSIST_NAMES = {"persist_slot_range", "persist", "msync"}
+FENCE_NAMES = {"fence"}
+# Primitive mutations of persistent bytes. Higher-level writers
+# (repair_slot, write_quarantine_bits, ...) are NOT listed: they are
+# analyzed functions whose summaries carry their own fence behaviour.
+WRITE_NAMES = {"write", "write_slot"}
+# Hard-blocking leaf calls. Everything else blocking is reached
+# transitively through call summaries.
+BLOCK_NAMES = {"sleep_for", "transfer", "transfer_for", "recv", "join"}
+CV_WAIT_NAMES = {"wait", "wait_for"}
+ALLOC_CALL_NAMES = {"make_unique", "make_shared"}
+CONTAINER_MUTATORS = {
+    "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+    "resize", "reserve", "insert", "append", "assign",
+}
+METRIC_LOOKUP_NAMES = {"counter", "gauge", "histogram"}
+METRIC_RECORD_NAMES = {"observe"}
+CONTAINER_TYPE_RE = re.compile(
+    r"\bstd::(vector|deque|map|unordered_map|unordered_set|set|string)\b")
+STATUS_TYPE = "StorageStatus"
+# Synchronous invokers: a lambda argument runs inline, in the caller.
+INLINE_INVOKERS = {"retry_storage_op"}
+# Observer subsystems excluded from call-summary effects.
+EFFECT_EXCLUDED_COMPONENTS = {"psan"}
+
+
+def load_cindex():
+    """Import clang.cindex and verify libclang actually loads.
+
+    @return the cindex module, or None with a reason printed to
+            stderr when unavailable.
+    """
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        print("pccheck-tidy: python clang bindings not importable "
+              "(pip/apt package python3-clang)", file=sys.stderr)
+        return None
+    try:
+        cindex.Index.create()
+    except Exception as exc:  # noqa: BLE001 - cindex raises LibclangError
+        # Try a couple of well-known library names before giving up.
+        for name in ("libclang.so", "libclang-18.so", "libclang-17.so",
+                     "libclang-16.so", "libclang-15.so", "libclang-14.so"):
+            try:
+                cindex.Config.set_library_file(name)
+                cindex.Index.create()
+                return cindex
+            except Exception:  # noqa: BLE001
+                cindex.Config.loaded = False
+                continue
+        print(f"pccheck-tidy: libclang unavailable: {exc}",
+              file=sys.stderr)
+        return None
+    return cindex
+
+
+class _FileCache:
+    def __init__(self) -> None:
+        self._lines: Dict[str, List[str]] = {}
+
+    def line(self, path: str, lineno: int) -> str:
+        if path not in self._lines:
+            try:
+                with open(path, encoding="utf-8",
+                          errors="replace") as f:
+                    self._lines[path] = f.read().splitlines()
+            except OSError:
+                self._lines[path] = []
+        lines = self._lines[path]
+        return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+    def lines(self, path: str) -> List[str]:
+        self.line(path, 1)
+        return self._lines.get(path, [])
+
+
+def _tokens_text(cursor) -> str:
+    try:
+        return "".join(t.spelling for t in cursor.get_tokens())
+    except Exception:  # noqa: BLE001 - token fetch can fail on odd extents
+        return ""
+
+
+def qualified_name(cursor) -> str:
+    parts: List[str] = []
+    c = cursor
+    while c is not None and c.kind is not None:
+        kind_name = c.kind.name if hasattr(c.kind, "name") else ""
+        if kind_name == "TRANSLATION_UNIT":
+            break
+        if c.spelling:
+            parts.append(c.spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _is_effect_excluded(name: str) -> bool:
+    return any(part in EFFECT_EXCLUDED_COMPONENTS
+               for part in name.split("::"))
+
+
+class Lowerer:
+    """Lowers one function definition (and its lambdas) to IR."""
+
+    def __init__(self, cindex, files: _FileCache) -> None:
+        self.ci = cindex
+        self.files = files
+        self.K = cindex.CursorKind
+
+    # -- public ------------------------------------------------------------
+
+    def lower_function(self, cursor, hot_override: Optional[bool] = None,
+                       name_override: Optional[str] = None
+                       ) -> List[Function]:
+        """@return the Function for @p cursor plus one per lambda."""
+        body = None
+        for child in cursor.get_children():
+            if child.kind == self.K.COMPOUND_STMT:
+                body = child
+        loc = cursor.location
+        fname = name_override or qualified_name(cursor) or cursor.spelling
+        func = Function(
+            name=fname,
+            file=loc.file.name if loc.file else "<unknown>",
+            line=loc.line,
+            hot_path=(hot_override if hot_override is not None
+                      else self._is_hot(cursor)),
+            requires=self._requires(cursor),
+            returns_status=STATUS_TYPE in
+            (cursor.result_type.spelling or ""),
+        )
+        self._status_vars: Set[str] = set()
+        for child in cursor.get_children():
+            if child.kind == self.K.PARM_DECL and \
+                    STATUS_TYPE in (child.type.spelling or ""):
+                self._status_vars.add(child.spelling)
+        self._lambdas: List[Tuple[object, str]] = []
+        if body is not None:
+            func.body = Seq(self._lower_compound(body))
+        out = [func]
+        # Lambdas become separate pseudo-functions; they inherit the
+        # host's hot-path bit (a hot loop's lambda is the hot loop).
+        for lam, lam_name in self._lambdas:
+            sub = Lowerer(self.ci, self.files)
+            out.extend(sub.lower_function(
+                lam, hot_override=func.hot_path, name_override=lam_name))
+        return out
+
+    # -- declaration-level scans -------------------------------------------
+
+    def _decl_cursors(self, cursor):
+        yield cursor
+        try:
+            canonical = cursor.canonical
+            if canonical is not None and canonical != cursor:
+                yield canonical
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _pre_body_tokens(self, cursor) -> List[str]:
+        toks: List[str] = []
+        try:
+            for tok in cursor.get_tokens():
+                if tok.spelling == "{":
+                    break
+                toks.append(tok.spelling)
+        except Exception:  # noqa: BLE001
+            pass
+        return toks
+
+    def _is_hot(self, cursor) -> bool:
+        for c in self._decl_cursors(cursor):
+            for child in c.get_children():
+                kind_name = child.kind.name if hasattr(child.kind, "name") \
+                    else ""
+                if kind_name == "ANNOTATE_ATTR" and \
+                        child.spelling == "pccheck::hot_path":
+                    return True
+            if "PCCHECK_HOT_PATH" in self._pre_body_tokens(c):
+                return True
+        return False
+
+    def _requires(self, cursor) -> Tuple[str, ...]:
+        locks: List[str] = []
+        for c in self._decl_cursors(cursor):
+            toks = self._pre_body_tokens(c)
+            for i, tok in enumerate(toks):
+                if tok != "PCCHECK_REQUIRES":
+                    continue
+                depth = 0
+                inner: List[str] = []
+                for t in toks[i + 1:]:
+                    if t == "(":
+                        depth += 1
+                        if depth == 1:
+                            continue
+                    elif t == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    if depth >= 1:
+                        inner.append(t)
+                joined = "".join(inner)
+                for lock in joined.split(","):
+                    if lock and lock not in locks:
+                        locks.append(lock)
+        return tuple(locks)
+
+    # -- statement lowering ------------------------------------------------
+
+    def _lower_compound(self, cursor) -> List[Node]:
+        nodes: List[Node] = []
+        scope_locks: List[Tuple[str, int]] = []
+        for child in cursor.get_children():
+            lock = self._mutex_lock_decl(child)
+            if lock is not None:
+                name, line = lock
+                nodes.append(Op(OpKind.ACQUIRE, line,
+                               detail="MutexLock", name=name))
+                scope_locks.append((name, line))
+                continue
+            nodes.extend(self._lower_stmt(child))
+        end_line = cursor.extent.end.line
+        for name, _line in reversed(scope_locks):
+            nodes.append(Op(OpKind.RELEASE, end_line,
+                           detail="scope end", name=name))
+        return nodes
+
+    def _mutex_lock_decl(self, cursor) -> Optional[Tuple[str, int]]:
+        """DECL_STMT declaring a MutexLock -> (lock expr, line)."""
+        if cursor.kind != self.K.DECL_STMT:
+            return None
+        for child in cursor.get_children():
+            if child.kind == self.K.VAR_DECL and \
+                    "MutexLock" in (child.type.spelling or ""):
+                arg = ""
+                text = _tokens_text(child)
+                m = re.search(r"[({](.*)[)}]", text)
+                if m:
+                    arg = m.group(1)
+                return (arg or child.spelling, child.location.line)
+        return None
+
+    def _lower_stmt(self, cursor) -> List[Node]:
+        K = self.K
+        kind = cursor.kind
+        if kind == K.COMPOUND_STMT:
+            return [Seq(self._lower_compound(cursor))]
+        if kind == K.IF_STMT:
+            return self._lower_if(cursor)
+        if kind in (K.WHILE_STMT, K.FOR_STMT, K.DO_STMT,
+                    K.CXX_FOR_RANGE_STMT):
+            children = list(cursor.get_children())
+            if not children:
+                return []
+            body = children[-1]
+            pre: List[Node] = []
+            for header in children[:-1]:
+                pre.extend(self._lower_stmt(header))
+            loop_body = Seq(self._lower_stmt(body))
+            return pre + [Loop(loop_body, line=cursor.location.line)]
+        if kind == K.RETURN_STMT:
+            nodes: List[Node] = []
+            ret_name = None
+            for child in cursor.get_children():
+                nodes.extend(self._lower_expr(child))
+                if child.kind == K.DECL_REF_EXPR and \
+                        child.spelling in self._status_vars:
+                    ret_name = child.spelling
+                elif child.kind == K.UNEXPOSED_EXPR:
+                    grand = list(child.get_children())
+                    if len(grand) == 1 and \
+                            grand[0].kind == K.DECL_REF_EXPR and \
+                            grand[0].spelling in self._status_vars:
+                        ret_name = grand[0].spelling
+            nodes.append(Op(OpKind.RETURN, cursor.location.line,
+                           name=ret_name))
+            return nodes
+        if kind == K.DECL_STMT:
+            nodes = []
+            for child in cursor.get_children():
+                if child.kind == K.VAR_DECL:
+                    nodes.extend(self._lower_var_decl(child))
+                else:
+                    nodes.extend(self._lower_stmt(child))
+            return nodes
+        if kind in (K.SWITCH_STMT, K.CXX_TRY_STMT, K.CXX_CATCH_STMT,
+                    K.CASE_STMT, K.DEFAULT_STMT, K.LABEL_STMT):
+            nodes = []
+            for child in cursor.get_children():
+                nodes.extend(self._lower_stmt(child))
+            return nodes
+        if kind in (K.BREAK_STMT, K.CONTINUE_STMT, K.NULL_STMT):
+            return []
+        # Expression statement (or anything else): lower as expression,
+        # with bare-statement StorageStatus drop detection.
+        nodes = self._lower_expr(cursor)
+        if self._is_bare_status_call(cursor):
+            nodes.append(Op(
+                OpKind.STATUS_DROP, cursor.location.line,
+                detail=f"{cursor.spelling or 'call'}()"))
+        return nodes
+
+    def _is_bare_status_call(self, cursor) -> bool:
+        if cursor.kind != self.K.CALL_EXPR:
+            return False
+        if cursor.spelling == "operator=":
+            return False
+        return STATUS_TYPE in (cursor.type.spelling or "")
+
+    def _lower_if(self, cursor) -> List[Node]:
+        children = list(cursor.get_children())
+        if not children:
+            return []
+        cond = children[0]
+        then_c = children[1] if len(children) > 1 else None
+        else_c = children[2] if len(children) > 2 else None
+        nodes = self._lower_expr(cond)
+        var, true_ok = self._status_condition(cond)
+        then_node = Seq(self._lower_stmt(then_c)) if then_c is not None \
+            else Seq([])
+        else_node = Seq(self._lower_stmt(else_c)) if else_c is not None \
+            else None
+        nodes.append(Branch(then_branch=then_node, else_branch=else_node,
+                            cond_status=var, cond_true_ok=true_ok,
+                            line=cursor.location.line))
+        return nodes
+
+    def _status_condition(self, cond) -> Tuple[Optional[str], bool]:
+        """Match conditions of the exact shape s.ok() / !s.ok()."""
+        text = _tokens_text(cond)
+        while text.startswith("(") and text.endswith(")"):
+            text = text[1:-1]
+        negated = False
+        if text.startswith("!"):
+            negated = True
+            text = text[1:]
+        m = re.fullmatch(r"(\w+)\.ok\(\)", text)
+        if m and m.group(1) in self._status_vars:
+            return m.group(1), not negated
+        return None, True
+
+    # -- declarations ------------------------------------------------------
+
+    def _lower_var_decl(self, cursor) -> List[Node]:
+        K = self.K
+        type_spelling = cursor.type.spelling or ""
+        line = cursor.location.line
+        file = cursor.location.file.name if cursor.location.file else ""
+        line_text = self.files.line(file, line)
+        is_static = False
+        try:
+            is_static = cursor.storage_class == \
+                self.ci.StorageClass.STATIC
+        except Exception:  # noqa: BLE001
+            pass
+        if is_static:
+            # The static-local hoist idiom: the initializer runs once
+            # under the C++ static-init guard, so its registry lookup
+            # or allocation is not a per-call op.
+            return []
+
+        nodes: List[Node] = []
+        init_children = list(cursor.get_children())
+        for child in init_children:
+            if child.kind not in (K.TYPE_REF, K.NAMESPACE_REF,
+                                  K.TEMPLATE_REF):
+                nodes.extend(self._lower_expr(child))
+
+        if STATUS_TYPE in type_spelling:
+            self._status_vars.add(cursor.spelling)
+            # An initializer-less declaration (``StorageStatus s;`` —
+            # default success, assigned in both arms of a later if)
+            # computes nothing, so losing it is not a discarded error.
+            has_init = any(c.kind not in (K.TYPE_REF, K.NAMESPACE_REF,
+                                          K.TEMPLATE_REF)
+                           for c in init_children)
+            if has_init:
+                nodes.append(Op(OpKind.STATUS_DEF, line,
+                               detail=self._init_callee(init_children),
+                               name=cursor.spelling))
+            return nodes
+        if "StageSpan" in type_spelling and "StageSpan" in line_text:
+            nodes.append(Op(OpKind.METRIC, line,
+                           detail="StageSpan construction"))
+            return nodes
+        if CONTAINER_TYPE_RE.search(type_spelling) and \
+                "&" not in type_spelling and \
+                cursor.spelling and cursor.spelling in line_text and \
+                any(c.kind not in (K.TYPE_REF, K.NAMESPACE_REF,
+                                   K.TEMPLATE_REF)
+                    for c in init_children):
+            nodes.append(Op(
+                OpKind.ALLOC, line,
+                detail=f"container construction "
+                       f"({type_spelling.split('<')[0].strip()})"))
+        return nodes
+
+    def _init_callee(self, children) -> str:
+        K = self.K
+        stack = list(children)
+        while stack:
+            c = stack.pop(0)
+            if c.kind == K.CALL_EXPR and c.spelling and \
+                    c.spelling != "operator=":
+                return f"{c.spelling}()"
+            stack.extend(list(c.get_children()))
+        return ""
+
+    # -- expressions -------------------------------------------------------
+
+    def _lower_expr(self, cursor) -> List[Node]:
+        K = self.K
+        kind = cursor.kind
+        line = cursor.location.line
+        file = cursor.location.file.name if cursor.location.file else ""
+        line_text = self.files.line(file, line)
+
+        if kind == K.LAMBDA_EXPR:
+            lam_name = f"<lambda@{file.split(os.sep)[-1]}:{line}>"
+            self._lambdas.append((cursor, lam_name))
+            return []
+
+        if kind == K.CXX_NEW_EXPR:
+            nodes = []
+            for child in cursor.get_children():
+                nodes.extend(self._lower_expr(child))
+            if "new" in line_text:
+                nodes.append(Op(OpKind.ALLOC, line,
+                               detail="new-expression"))
+            return nodes
+
+        if kind == K.CXX_THROW_EXPR:
+            nodes = []
+            for child in cursor.get_children():
+                nodes.extend(self._lower_expr(child))
+            if "throw" in line_text:
+                nodes.append(Op(OpKind.ALLOC, line,
+                               detail="throw (unwinding + exception "
+                                      "object)"))
+            return nodes
+
+        if kind == K.DECL_REF_EXPR:
+            if cursor.spelling in self._status_vars:
+                return [Op(OpKind.STATUS_USE, line,
+                           name=cursor.spelling)]
+            return []
+
+        if kind == K.VAR_DECL:
+            return self._lower_var_decl(cursor)
+
+        if kind == K.CALL_EXPR:
+            return self._lower_call(cursor, line, line_text)
+
+        # Token-level assignment detection for `s = expr` on tracked
+        # status variables (covers BINARY_OPERATOR representations).
+        if kind == K.BINARY_OPERATOR:
+            assign = self._try_status_assign(cursor)
+            if assign is not None:
+                return assign
+
+        nodes: List[Node] = []
+        for child in cursor.get_children():
+            nodes.extend(self._lower_expr(child))
+        return nodes
+
+    def _try_status_assign(self, cursor) -> Optional[List[Node]]:
+        toks = []
+        try:
+            for i, tok in enumerate(cursor.get_tokens()):
+                toks.append(tok.spelling)
+                if i >= 2:
+                    break
+        except Exception:  # noqa: BLE001
+            return None
+        if len(toks) >= 2 and toks[0] in self._status_vars and \
+                toks[1] == "=":
+            nodes: List[Node] = []
+            children = list(cursor.get_children())
+            skipped_lhs = False
+            for child in children:
+                if not skipped_lhs and \
+                        child.kind == self.K.DECL_REF_EXPR and \
+                        child.spelling == toks[0]:
+                    skipped_lhs = True
+                    continue
+                nodes.extend(self._lower_expr(child))
+            nodes.append(Op(OpKind.STATUS_DEF, cursor.location.line,
+                           detail=self._init_callee(children),
+                           name=toks[0]))
+            return nodes
+        return None
+
+    def _first_arg_text(self, cursor) -> str:
+        try:
+            args = list(cursor.get_arguments())
+        except Exception:  # noqa: BLE001
+            args = []
+        if args:
+            return _tokens_text(args[0])
+        return ""
+
+    def _lower_call(self, cursor, line: int, line_text: str) -> List[Node]:
+        K = self.K
+        name = cursor.spelling or ""
+
+        # `s = ...` over a class type shows up as operator= CALL_EXPR.
+        if name == "operator=":
+            assign = self._try_status_assign(cursor)
+            if assign is not None:
+                return assign
+            nodes = []
+            for child in cursor.get_children():
+                nodes.extend(self._lower_expr(child))
+            return nodes
+
+        # Synchronous invokers run their lambda argument inline.
+        if name in INLINE_INVOKERS:
+            nodes: List[Node] = []
+            for child in cursor.get_children():
+                if child.kind == K.LAMBDA_EXPR:
+                    for grand in child.get_children():
+                        if grand.kind == K.COMPOUND_STMT:
+                            nodes.append(Seq(self._lower_compound(grand)))
+                elif child.kind == K.UNEXPOSED_EXPR:
+                    lams = [g for g in child.get_children()
+                            if g.kind == K.LAMBDA_EXPR]
+                    if lams:
+                        for lam in lams:
+                            for grand in lam.get_children():
+                                if grand.kind == K.COMPOUND_STMT:
+                                    nodes.append(
+                                        Seq(self._lower_compound(grand)))
+                    else:
+                        nodes.extend(self._lower_expr(child))
+                else:
+                    nodes.extend(self._lower_expr(child))
+            return nodes
+
+        # Arguments first (including the implicit object argument):
+        # their ops happen before the call.
+        nodes = []
+        for child in cursor.get_children():
+            nodes.extend(self._lower_expr(child))
+
+        if name in PUBLISH_NAMES:
+            nodes.append(Op(OpKind.PUBLISH, line,
+                           detail=PUBLISH_NAMES[name]))
+        elif name in FENCE_NAMES:
+            nodes.append(Op(OpKind.FENCE, line, detail="fence()"))
+        elif name in PERSIST_NAMES:
+            nodes.append(Op(OpKind.PERSIST, line, detail=f"{name}()"))
+        elif name in WRITE_NAMES and (
+                name != "write" or
+                "Device" in self._member_base_type(cursor) or
+                "Storage" in self._member_base_type(cursor)):
+            nodes.append(Op(OpKind.WRITE, line, detail=f"{name}()"))
+        elif name in BLOCK_NAMES and name in line_text:
+            nodes.append(Op(OpKind.BLOCK, line, detail=f"{name}()"))
+        elif name in CV_WAIT_NAMES and name in line_text:
+            released = self._first_arg_text(cursor)
+            nodes.append(Op(OpKind.CV_WAIT, line,
+                           detail=f"{name}()", released=released or None))
+        elif name in ALLOC_CALL_NAMES and name in line_text:
+            nodes.append(Op(OpKind.ALLOC, line, detail=f"{name}()"))
+        elif name in CONTAINER_MUTATORS and name in line_text and \
+                self._object_is_container(cursor):
+            nodes.append(Op(OpKind.ALLOC, line,
+                           detail=f"container growth ({name})"))
+        elif name in METRIC_LOOKUP_NAMES and f"{name}(" in line_text and \
+                self._object_is_registry(cursor):
+            nodes.append(Op(OpKind.METRIC, line,
+                           detail=f"MetricsRegistry::{name}() lookup"))
+        elif name in METRIC_RECORD_NAMES and f"{name}(" in line_text and \
+                self._object_is_histogram(cursor):
+            nodes.append(Op(OpKind.METRIC, line,
+                           detail="LatencyHistogram::observe()"))
+        else:
+            callee = cursor.referenced
+            if callee is not None:
+                qname = qualified_name(callee)
+                if qname and not _is_effect_excluded(qname):
+                    nodes.append(Op(OpKind.CALL, line, name=qname))
+        return nodes
+
+    def _object_type(self, cursor) -> str:
+        children = list(cursor.get_children())
+        if not children:
+            return ""
+        base = children[0]
+        while base.kind == self.K.MEMBER_REF_EXPR:
+            inner = list(base.get_children())
+            if not inner:
+                break
+            return base.type.spelling or ""
+        return base.type.spelling or ""
+
+    def _member_base_type(self, cursor) -> str:
+        """Type of the object a member call is invoked on."""
+        children = list(cursor.get_children())
+        if not children:
+            return ""
+        member = children[0]
+        if member.kind == self.K.MEMBER_REF_EXPR:
+            inner = list(member.get_children())
+            if inner:
+                return inner[0].type.spelling or ""
+        return member.type.spelling or ""
+
+    def _object_is_container(self, cursor) -> bool:
+        return bool(CONTAINER_TYPE_RE.search(
+            self._member_base_type(cursor)))
+
+    def _object_is_registry(self, cursor) -> bool:
+        return "MetricsRegistry" in self._member_base_type(cursor)
+
+    def _object_is_histogram(self, cursor) -> bool:
+        return "LatencyHistogram" in self._member_base_type(cursor)
+
+
+# ---------------------------------------------------------------------------
+# Translation-unit driver
+
+
+FUNCTION_KIND_NAMES = {
+    "FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+    "FUNCTION_TEMPLATE", "CONVERSION_FUNCTION",
+}
+CONTAINER_KIND_NAMES = {
+    "NAMESPACE", "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE",
+    "CLASS_TEMPLATE_PARTIAL_SPECIALIZATION", "UNEXPOSED_DECL",
+    "LINKAGE_SPEC",
+}
+
+
+def lower_translation_unit(cindex, tu, src_root: str,
+                           files: Optional[_FileCache] = None,
+                           seen: Optional[Set[Tuple[str, int, str]]] = None
+                           ) -> List[Function]:
+    """All Functions defined under @p src_root in @p tu.
+
+    @param seen cross-TU dedup set of (file, line, name) — header-
+                defined functions appear in many TUs but are lowered
+                once.
+    """
+    files = files or _FileCache()
+    seen = seen if seen is not None else set()
+    src_root = os.path.realpath(src_root)
+    out: List[Function] = []
+
+    def visit(cursor) -> None:
+        kind_name = cursor.kind.name if hasattr(cursor.kind, "name") else ""
+        if kind_name in CONTAINER_KIND_NAMES or \
+                kind_name == "TRANSLATION_UNIT":
+            for child in cursor.get_children():
+                visit(child)
+            return
+        if kind_name not in FUNCTION_KIND_NAMES:
+            return
+        if not cursor.is_definition():
+            return
+        loc = cursor.location
+        if loc.file is None:
+            return
+        path = os.path.realpath(loc.file.name)
+        if not path.startswith(src_root + os.sep):
+            return
+        key = (path, loc.line, cursor.spelling)
+        if key in seen:
+            return
+        seen.add(key)
+        try:
+            out.extend(Lowerer(cindex, files).lower_function(cursor))
+        except Exception as exc:  # noqa: BLE001 - keep the sweep alive
+            print(f"pccheck-tidy: warning: failed to lower "
+                  f"{path}:{loc.line} {cursor.spelling}: {exc}",
+                  file=sys.stderr)
+
+    visit(tu.cursor)
+    return out
+
+
+def parse_source(cindex, path: str, args: Sequence[str]):
+    """Parse one TU; returns (tu, [diagnostic strings])."""
+    index = cindex.Index.create()
+    tu = index.parse(path, args=list(args))
+    errors = [str(d) for d in tu.diagnostics
+              if d.severity >= cindex.Diagnostic.Error]
+    return tu, errors

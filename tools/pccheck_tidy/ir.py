@@ -1,0 +1,187 @@
+"""Statement-tree IR for pccheck-tidy.
+
+The frontend (frontend.py) lowers each function body from the clang
+AST into this IR; the checks (checks.py) only ever see the IR, which
+keeps every analysis unit-testable without libclang.
+
+The IR is deliberately small. A function body is a tree of:
+
+  Seq(children)       straight-line sequence
+  Branch(...)         two-way branch; when the condition is a test of
+                      a tracked StorageStatus variable (``s.ok()`` or
+                      ``!s.ok()``) the branch records which variable
+                      and polarity so the path walker can prune
+                      infeasible paths
+  Loop(body)          any loop; the walker unrolls 0/1/2 iterations
+  Op(...)             leaf operation
+
+Ops carry a *kind* (OpKind), the 1-based source line, a short human
+detail string, and kind-specific payload fields:
+
+  name       status variable (STATUS_DEF/STATUS_USE), lock expression
+             (ACQUIRE/RELEASE/CV_WAIT), or callee name (CALL)
+  released   CV_WAIT only: the lock expression the wait releases
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class OpKind:
+    """Leaf-operation kinds. Plain strings so IR dumps read well."""
+
+    WRITE = "write"            # mutates persistent bytes (write/write_slot)
+    PERSIST = "persist"        # persist_slot_range / persist / msync
+    FENCE = "fence"            # fence()
+    PUBLISH = "publish"        # publish_pointer/seal_frame/
+    #                            advance_watermark/invalidate_record
+    ALLOC = "alloc"            # heap alloc / container growth / throw
+    BLOCK = "block"            # hard-blocking call (sleep, transfer, join)
+    METRIC = "metric"          # metrics/trace op (StageSpan, observe,
+    #                            registry lookup)
+    ACQUIRE = "acquire"        # MutexLock ctor / mu.lock()
+    RELEASE = "release"        # MutexLock scope end / mu.unlock()
+    CV_WAIT = "cv_wait"        # cv.wait(mu): blocks, releases `released`
+    STATUS_DEF = "status_def"  # StorageStatus var assigned
+    STATUS_USE = "status_use"  # status var branched on / forwarded
+    STATUS_DROP = "status_drop"  # status-returning call as bare statement
+    CALL = "call"              # call into another analyzed function
+    RETURN = "return"          # return statement (name = returned var)
+
+
+ALL_OP_KINDS = frozenset(
+    v for k, v in vars(OpKind).items() if not k.startswith("_"))
+
+
+@dataclass
+class Op:
+    kind: str
+    line: int
+    detail: str = ""
+    name: Optional[str] = None
+    released: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_OP_KINDS:
+            raise ValueError(f"unknown OpKind: {self.kind!r}")
+
+
+@dataclass
+class Seq:
+    children: List["Node"] = field(default_factory=list)
+
+
+@dataclass
+class Branch:
+    """Two-way branch.
+
+    cond_status: name of the StorageStatus variable tested, when the
+        condition is (a negation of) ``var.ok()``; None otherwise.
+    cond_true_ok: with cond_status set, the value ``var.ok()`` must
+        have for the *then* branch to run (False for ``if (!s.ok())``).
+    """
+
+    then_branch: "Node"
+    else_branch: Optional["Node"] = None
+    cond_status: Optional[str] = None
+    cond_true_ok: bool = True
+    line: int = 0
+
+
+@dataclass
+class Loop:
+    body: "Node"
+    line: int = 0
+
+
+Node = Union[Op, Seq, Branch, Loop]
+
+
+@dataclass
+class Function:
+    """One analyzed function (or lambda, flattened into its host)."""
+
+    name: str
+    file: str
+    line: int
+    body: Seq = field(default_factory=Seq)
+    hot_path: bool = False
+    # Lock expressions required held at entry (PCCHECK_REQUIRES).
+    requires: Tuple[str, ...] = ()
+    # True when the function's return type is StorageStatus — callers
+    # dropping the result matter.
+    returns_status: bool = False
+
+
+def flatten_ops(node: Node) -> List[Op]:
+    """All leaf ops in source order, ignoring control flow."""
+    out: List[Op] = []
+
+    def walk(n: Node) -> None:
+        if isinstance(n, Op):
+            out.append(n)
+        elif isinstance(n, Seq):
+            for child in n.children:
+                walk(child)
+        elif isinstance(n, Branch):
+            walk(n.then_branch)
+            if n.else_branch is not None:
+                walk(n.else_branch)
+        elif isinstance(n, Loop):
+            walk(n.body)
+
+    walk(node)
+    return out
+
+
+def dump(node: Node, indent: int = 0) -> str:
+    """Debug pretty-printer for IR trees."""
+    pad = "  " * indent
+    if isinstance(node, Op):
+        bits = [node.kind]
+        if node.name:
+            bits.append(f"name={node.name}")
+        if node.released:
+            bits.append(f"released={node.released}")
+        if node.detail:
+            bits.append(f"({node.detail})")
+        return f"{pad}@{node.line} {' '.join(bits)}"
+    if isinstance(node, Seq):
+        lines = [f"{pad}seq"]
+        lines += [dump(c, indent + 1) for c in node.children]
+        return "\n".join(lines)
+    if isinstance(node, Branch):
+        cond = "?"
+        if node.cond_status:
+            cond = f"{'' if node.cond_true_ok else '!'}" \
+                   f"{node.cond_status}.ok()"
+        lines = [f"{pad}branch@{node.line} {cond}", dump(node.then_branch,
+                                                         indent + 1)]
+        if node.else_branch is not None:
+            lines.append(f"{pad}else")
+            lines.append(dump(node.else_branch, indent + 1))
+        return "\n".join(lines)
+    if isinstance(node, Loop):
+        return f"{pad}loop@{node.line}\n" + dump(node.body, indent + 1)
+    raise TypeError(f"not an IR node: {node!r}")
+
+
+def count_paths(node: Node, loop_unrolls: Sequence[int] = (0, 1, 2)) -> int:
+    """Number of acyclic paths the walker would enumerate (pre-cap)."""
+    if isinstance(node, Op):
+        return 1
+    if isinstance(node, Seq):
+        total = 1
+        for child in node.children:
+            total *= count_paths(child, loop_unrolls)
+        return total
+    if isinstance(node, Branch):
+        other = (count_paths(node.else_branch, loop_unrolls)
+                 if node.else_branch is not None else 1)
+        return count_paths(node.then_branch, loop_unrolls) + other
+    if isinstance(node, Loop):
+        body = count_paths(node.body, loop_unrolls)
+        return sum(body ** n for n in loop_unrolls)
+    raise TypeError(f"not an IR node: {node!r}")

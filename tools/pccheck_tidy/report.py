@@ -1,0 +1,67 @@
+"""Finding reporters: human-readable lines and machine JSON.
+
+The human format mirrors pccheck-lint ("path:line: [check] message")
+so editors and CI log scrapers treat both tools the same. The JSON
+format is stable — CI uploads it as an artifact and downstream
+tooling (dashboards, diff-against-baseline) parses it — so every
+field below is part of the tool's contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable, List
+
+from .checks import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def human_lines(findings: Iterable[Finding]) -> List[str]:
+    return [f"{f.file}:{f.line}: [{f.check}] {f.message}"
+            for f in findings]
+
+
+def print_human(findings: List[Finding], *, suppressed: int = 0,
+                files_scanned: int = 0, stream=None) -> None:
+    stream = stream or sys.stdout
+    for line in human_lines(findings):
+        print(line, file=stream)
+    summary = (f"pccheck-tidy: {len(findings)} finding(s) across "
+               f"{files_scanned} file(s)")
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    print(summary, file=sys.stderr)
+
+
+def to_json(findings: List[Finding], *, suppressed: int = 0,
+            files_scanned: int = 0, checks: Iterable[str] = (),
+            skipped_reason: str = "") -> str:
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "pccheck-tidy",
+        "checks": sorted(checks),
+        "files_scanned": files_scanned,
+        "suppressed": suppressed,
+        "skipped_reason": skipped_reason,
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "check": f.check,
+                "message": f.message,
+                "function": f.function,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def from_json(text: str) -> List[Finding]:
+    """Inverse of to_json for tests and baseline diffing."""
+    payload = json.loads(text)
+    return [Finding(file=f["file"], line=f["line"], check=f["check"],
+                    message=f["message"], function=f.get("function", ""))
+            for f in payload["findings"]]

@@ -1,0 +1,120 @@
+"""Unified suppression-comment parsing for pccheck-tidy and pccheck-lint.
+
+One syntax for both tools:
+
+  // <tool>: disable=<check>[,<check>...] -- <justification>
+
+where <tool> is ``pccheck-tidy`` or ``pccheck-lint``. A suppression on
+its own comment line applies to the next code line (consecutive
+comment lines chain through); a trailing suppression applies to its
+own line. The justification after ``--`` is mandatory — a suppression
+that omits it does not suppress anything and is itself reported as a
+``bad-suppression`` finding, so every silenced diagnostic carries its
+reason in the diff.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+BAD_SUPPRESSION = "bad-suppression"
+
+_DIRECTIVE_RE = re.compile(
+    r"//\s*(?P<tool>pccheck-(?:tidy|lint))\s*:\s*disable\s*=\s*"
+    r"(?P<checks>[A-Za-z0-9_,\s-]+?)"
+    r"(?:\s*--\s*(?P<why>.*?))?\s*$")
+
+
+class BadSuppression(NamedTuple):
+    line: int  # 1-based
+    message: str
+
+
+class SuppressionSet(NamedTuple):
+    """Parsed suppressions for one file.
+
+    by_line maps a 1-based *code* line to the set of check names
+    suppressed there. malformed lists directives that do not suppress
+    (missing justification, empty check list).
+    """
+
+    by_line: Dict[int, Set[str]]
+    malformed: List[BadSuppression]
+
+    def is_suppressed(self, line: int, check: str) -> bool:
+        return check in self.by_line.get(line, ())
+
+
+def _is_pure_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*") or \
+        stripped.startswith("/*")
+
+
+def parse_suppressions(lines: List[str], tool: str) -> SuppressionSet:
+    """Parse suppression directives for @p tool out of @p lines.
+
+    @param lines  file contents, split into lines (no newlines)
+    @param tool   "pccheck-tidy" or "pccheck-lint"
+    """
+    by_line: Dict[int, Set[str]] = {}
+    malformed: List[BadSuppression] = []
+    # Pending checks from standalone comment lines, waiting for the
+    # next code line.
+    pending: Set[str] = set()
+
+    for i, line in enumerate(lines):
+        lineno = i + 1
+        match = _DIRECTIVE_RE.search(line)
+        directive_checks: Set[str] = set()
+        if match and match.group("tool") == tool:
+            checks = {c.strip() for c in match.group("checks").split(",")
+                      if c.strip()}
+            why = (match.group("why") or "").strip()
+            if not checks:
+                malformed.append(BadSuppression(
+                    lineno, f"{tool} suppression names no checks"))
+            elif not why:
+                malformed.append(BadSuppression(
+                    lineno,
+                    f"{tool} suppression for "
+                    f"{', '.join(sorted(checks))} has no justification: "
+                    "append \" -- <reason>\" (mandatory)"))
+            else:
+                directive_checks = checks
+
+        if _is_pure_comment(line):
+            pending |= directive_checks
+            continue
+
+        # A code line: it receives any pending standalone suppressions
+        # plus its own trailing directive.
+        effective = pending | directive_checks
+        if line.strip() and effective:
+            by_line.setdefault(lineno, set()).update(effective)
+            pending = set()
+        elif not line.strip():
+            # Blank lines break the comment→code chain so a stray
+            # suppression cannot silently latch onto distant code.
+            if pending:
+                pending = set()
+        # else: code line with no suppressions — also breaks chains.
+
+    return SuppressionSet(by_line=by_line, malformed=malformed)
+
+
+def filter_findings(findings, suppressions: SuppressionSet,
+                    line_of, check_of) -> Tuple[list, list]:
+    """Split @p findings into (kept, suppressed) via the parsed set.
+
+    @param line_of   callable finding -> 1-based line
+    @param check_of  callable finding -> check/rule name
+    """
+    kept, dropped = [], []
+    for f in findings:
+        if suppressions.is_suppressed(line_of(f), check_of(f)):
+            dropped.append(f)
+        else:
+            kept.append(f)
+    return kept, dropped

@@ -1,0 +1,643 @@
+#!/usr/bin/env python3
+"""Tests for tools/pccheck_tidy.
+
+Two layers, mirroring the tool's own split:
+
+  * Pure-Python tests over the statement-tree IR — path enumeration
+    with StorageStatus feasibility, the four check scans, call-summary
+    fixpoint, suppression parsing, reporters, CLI helpers. These always
+    run; no libclang required.
+  * Fixture tests that parse the .cc files under pccheck_tidy/fixtures/
+    with libclang against the real src/ headers and assert every
+    ``// expect: [check]`` marker fires (bad/) or that the file is
+    clean (good/). Skipped with a message when libclang is missing.
+
+Run directly (python3 tools/test_pccheck_tidy.py) or via ctest
+(pccheck_tidy_unit).
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+sys.path.insert(0, TOOLS_DIR)
+
+from pccheck_tidy.checks import (  # noqa: E402
+    BLOCKING_UNDER_LOCK, HOT_PATH_ALLOC, PERSISTENCE_ORDERING,
+    STATUS_DISCARDED, Finding, Summary, analyze, check_function,
+    compute_summaries, enumerate_paths)
+from pccheck_tidy.cli import (  # noqa: E402
+    DEFAULT_EXCLUDES, apply_suppressions, clang_args_from_entry, in_scope)
+from pccheck_tidy.ir import (  # noqa: E402
+    Branch, Function, Loop, Op, OpKind, Seq, count_paths, flatten_ops)
+from pccheck_tidy.report import from_json, human_lines, to_json  # noqa: E402
+from pccheck_tidy.suppress import (  # noqa: E402
+    BAD_SUPPRESSION, filter_findings, parse_suppressions)
+
+FIXTURE_DIR = os.path.join(TOOLS_DIR, "pccheck_tidy", "fixtures")
+EXPECT_RE = re.compile(r"//\s*expect:\s*\[([a-z-]+)\]")
+
+
+def make_func(body, name="f", hot=False, requires=(),
+              returns_status=False):
+    return Function(name=name, file="test.cc", line=1, body=Seq(body),
+                    hot_path=hot, requires=tuple(requires),
+                    returns_status=returns_status)
+
+
+def run_checks(func, summaries=None, checks=None):
+    summaries = summaries if summaries is not None else {}
+    if checks is None:
+        return check_function(func, summaries)
+    return check_function(func, summaries, checks)
+
+
+def checks_of(findings):
+    return sorted({f.check for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# Path enumeration
+
+
+class PathEnumerationTest(unittest.TestCase):
+    def test_straight_line_single_path(self):
+        func = make_func([Op(OpKind.WRITE, 1), Op(OpKind.FENCE, 2)])
+        paths = enumerate_paths(func)
+        self.assertEqual(len(paths), 1)
+        self.assertEqual([op.kind for op in paths[0]],
+                         [OpKind.WRITE, OpKind.FENCE])
+
+    def test_branch_doubles_paths(self):
+        func = make_func([
+            Branch(then_branch=Seq([Op(OpKind.WRITE, 2)]),
+                   else_branch=Seq([Op(OpKind.FENCE, 3)])),
+        ])
+        self.assertEqual(len(enumerate_paths(func)), 2)
+
+    def test_return_terminates_path(self):
+        func = make_func([
+            Branch(then_branch=Seq([Op(OpKind.RETURN, 2)]), line=1),
+            Op(OpKind.PUBLISH, 4),
+        ])
+        paths = enumerate_paths(func)
+        kinds = sorted(tuple(op.kind for op in p) for p in paths)
+        # The taken-branch path stops at RETURN; only the fallthrough
+        # path reaches the publish.
+        self.assertIn((OpKind.RETURN,), kinds)
+        self.assertIn((OpKind.PUBLISH,), kinds)
+
+    def test_status_feasibility_prunes_contradiction(self):
+        # if (s.ok()) { } ... if (!s.ok()) { return } publish
+        # With no redefinition between the two tests, a path through
+        # the first then-arm cannot also take the second then-arm.
+        func = make_func([
+            Op(OpKind.STATUS_DEF, 1, name="s"),
+            Branch(then_branch=Seq([]), cond_status="s",
+                   cond_true_ok=True, line=2),
+            Branch(then_branch=Seq([Op(OpKind.RETURN, 3)]),
+                   cond_status="s", cond_true_ok=False, line=3),
+            Op(OpKind.PUBLISH, 4),
+        ])
+        paths = enumerate_paths(func)
+        for ops in paths:
+            kinds = [op.kind for op in ops]
+            if OpKind.RETURN in kinds:
+                self.assertNotIn(OpKind.PUBLISH, kinds)
+
+    def test_status_redefinition_resets_knowledge(self):
+        # s tested ok, then reassigned: the second test must fork.
+        func = make_func([
+            Op(OpKind.STATUS_DEF, 1, name="s"),
+            Branch(then_branch=Seq([Op(OpKind.STATUS_DEF, 2, name="s")]),
+                   cond_status="s", cond_true_ok=True, line=2),
+            Branch(then_branch=Seq([Op(OpKind.RETURN, 3)]),
+                   cond_status="s", cond_true_ok=False, line=3),
+            Op(OpKind.PUBLISH, 4),
+        ])
+        kinds = sorted(tuple(op.kind for op in p)
+                       for p in enumerate_paths(func))
+        # Path: s ok -> redefined -> not ok -> return (feasible only
+        # because the redefinition reset the env).
+        self.assertIn((OpKind.STATUS_DEF, OpKind.STATUS_DEF,
+                       OpKind.RETURN), kinds)
+
+    def test_loop_unrolls_zero_one_two(self):
+        func = make_func([Loop(Seq([Op(OpKind.WRITE, 2)]))])
+        lengths = sorted(len(p) for p in enumerate_paths(func))
+        self.assertEqual(lengths, [0, 1, 2])
+
+    def test_path_explosion_returns_none(self):
+        body = [Branch(then_branch=Seq([Op(OpKind.WRITE, i)]),
+                       else_branch=Seq([Op(OpKind.FENCE, i)]))
+                for i in range(14)]  # 2^14 paths > PATH_CAP
+        self.assertIsNone(enumerate_paths(make_func(body)))
+
+    def test_count_paths_matches(self):
+        node = Seq([Branch(then_branch=Seq([Op(OpKind.WRITE, 1)]),
+                           else_branch=Seq([Op(OpKind.FENCE, 2)])),
+                    Loop(Seq([Op(OpKind.PERSIST, 3)]))])
+        self.assertEqual(count_paths(node), 2 * 3)
+
+
+# ---------------------------------------------------------------------------
+# persistence-ordering
+
+
+class OrderingTest(unittest.TestCase):
+    def test_publish_after_write_no_fence_flags(self):
+        func = make_func([Op(OpKind.WRITE, 1), Op(OpKind.PUBLISH, 2)])
+        findings = run_checks(func)
+        self.assertEqual(checks_of(findings), [PERSISTENCE_ORDERING])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_publish_after_persist_no_fence_flags(self):
+        func = make_func([Op(OpKind.PERSIST, 1), Op(OpKind.PUBLISH, 2)])
+        self.assertEqual(checks_of(run_checks(func)),
+                         [PERSISTENCE_ORDERING])
+
+    def test_fence_dominates_publish_clean(self):
+        func = make_func([Op(OpKind.WRITE, 1), Op(OpKind.PERSIST, 2),
+                          Op(OpKind.FENCE, 3), Op(OpKind.PUBLISH, 4)])
+        self.assertEqual(run_checks(func), [])
+
+    def test_unfenced_path_through_branch_flags(self):
+        # fence only on the then-arm; the else path publishes dirty.
+        func = make_func([
+            Op(OpKind.WRITE, 1),
+            Branch(then_branch=Seq([Op(OpKind.FENCE, 2)]),
+                   else_branch=Seq([])),
+            Op(OpKind.PUBLISH, 4),
+        ])
+        self.assertEqual(checks_of(run_checks(func)),
+                         [PERSISTENCE_ORDERING])
+
+    def test_status_ladder_clean(self):
+        # The real tree's idiom: publish only reachable with s known ok,
+        # and the only ok path passed through fence().
+        func = make_func([
+            Op(OpKind.WRITE, 1),
+            Op(OpKind.STATUS_DEF, 1, name="s"),
+            Branch(then_branch=Seq([Op(OpKind.FENCE, 2),
+                                    Op(OpKind.STATUS_DEF, 2, name="s")]),
+                   cond_status="s", cond_true_ok=True, line=2),
+            Branch(then_branch=Seq([Op(OpKind.RETURN, 3)]),
+                   cond_status="s", cond_true_ok=False, line=3),
+            Op(OpKind.PUBLISH, 4),
+        ])
+        findings = [f for f in run_checks(func)
+                    if f.check == PERSISTENCE_ORDERING]
+        # One infeasible-looking path remains: s ok -> fence -> s
+        # redefined -> s ok again -> publish. That path is fenced...
+        # and the s-not-ok path returned. So: clean.
+        self.assertEqual(findings, [])
+
+    def test_callee_fence_summary_clears_dirty(self):
+        func = make_func([Op(OpKind.WRITE, 1),
+                          Op(OpKind.CALL, 2, name="repair_slot"),
+                          Op(OpKind.PUBLISH, 3)])
+        summaries = {"repair_slot": Summary(writes_dirty=True,
+                                            fences_clean=True)}
+        self.assertEqual(run_checks(func, summaries), [])
+
+    def test_callee_write_summary_dirties(self):
+        func = make_func([Op(OpKind.CALL, 1, name="raw_append"),
+                          Op(OpKind.PUBLISH, 2)])
+        summaries = {"raw_append": Summary(writes_dirty=True)}
+        self.assertEqual(checks_of(run_checks(func, summaries)),
+                         [PERSISTENCE_ORDERING])
+
+    def test_unknown_callee_ignored(self):
+        func = make_func([Op(OpKind.CALL, 1, name="mystery"),
+                          Op(OpKind.PUBLISH, 2)])
+        self.assertEqual(run_checks(func, {}), [])
+
+
+# ---------------------------------------------------------------------------
+# blocking-under-lock
+
+
+class BlockingTest(unittest.TestCase):
+    def test_fence_under_lock_flags(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                          Op(OpKind.FENCE, 2),
+                          Op(OpKind.RELEASE, 3, name="mu_")])
+        findings = run_checks(func, checks=[BLOCKING_UNDER_LOCK])
+        self.assertEqual(checks_of(findings), [BLOCKING_UNDER_LOCK])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_io_after_release_clean(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                          Op(OpKind.RELEASE, 2, name="mu_"),
+                          Op(OpKind.PERSIST, 3), Op(OpKind.FENCE, 4)])
+        self.assertEqual(run_checks(func, checks=[BLOCKING_UNDER_LOCK]),
+                         [])
+
+    def test_sleep_under_lock_flags(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                          Op(OpKind.BLOCK, 2, detail="sleep_for()")])
+        self.assertEqual(
+            checks_of(run_checks(func, checks=[BLOCKING_UNDER_LOCK])),
+            [BLOCKING_UNDER_LOCK])
+
+    def test_cv_wait_own_mutex_clean(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                          Op(OpKind.CV_WAIT, 2, released="mu_")])
+        self.assertEqual(run_checks(func, checks=[BLOCKING_UNDER_LOCK]),
+                         [])
+
+    def test_cv_wait_with_second_lock_flags(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="registry_mu_"),
+                          Op(OpKind.ACQUIRE, 2, name="mu_"),
+                          Op(OpKind.CV_WAIT, 3, released="mu_")])
+        findings = run_checks(func, checks=[BLOCKING_UNDER_LOCK])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("registry_mu_", findings[0].message)
+
+    def test_requires_seeds_held_locks(self):
+        func = make_func([Op(OpKind.FENCE, 2)], requires=("mu_",))
+        self.assertEqual(
+            checks_of(run_checks(func, checks=[BLOCKING_UNDER_LOCK])),
+            [BLOCKING_UNDER_LOCK])
+
+    def test_metric_under_lock_flags_with_hoist_hint(self):
+        func = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                          Op(OpKind.METRIC, 2,
+                             detail="MetricsRegistry::counter() lookup")])
+        findings = run_checks(func, checks=[BLOCKING_UNDER_LOCK])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("hoist", findings[0].message)
+
+    def test_metric_outside_lock_clean(self):
+        func = make_func([Op(OpKind.METRIC, 1)])
+        self.assertEqual(run_checks(func, checks=[BLOCKING_UNDER_LOCK]),
+                         [])
+
+    def test_transitive_may_block_flags_call_site(self):
+        blocker = make_func([Op(OpKind.BLOCK, 1)], name="backoff")
+        caller = make_func([Op(OpKind.ACQUIRE, 1, name="mu_"),
+                            Op(OpKind.CALL, 2, name="backoff")],
+                           name="drain")
+        summaries = compute_summaries([blocker, caller])
+        findings = run_checks(caller, summaries,
+                              checks=[BLOCKING_UNDER_LOCK])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("backoff", findings[0].message)
+
+
+# ---------------------------------------------------------------------------
+# call summaries
+
+
+class SummaryTest(unittest.TestCase):
+    def test_direct_effects(self):
+        func = make_func([Op(OpKind.WRITE, 1), Op(OpKind.FENCE, 2)],
+                         name="w", returns_status=True)
+        s = compute_summaries([func])["w"]
+        self.assertTrue(s.writes_dirty)
+        self.assertTrue(s.fences_clean)
+        self.assertTrue(s.may_block)  # fence is a device round trip
+        self.assertTrue(s.returns_status)
+
+    def test_may_block_two_level_fixpoint(self):
+        c = make_func([Op(OpKind.BLOCK, 1)], name="c")
+        b = make_func([Op(OpKind.CALL, 1, name="c")], name="b")
+        a = make_func([Op(OpKind.CALL, 1, name="b")], name="a")
+        summaries = compute_summaries([a, b, c])
+        self.assertTrue(summaries["a"].may_block)
+
+    def test_metric_does_not_propagate_block(self):
+        m = make_func([Op(OpKind.METRIC, 1)], name="m")
+        a = make_func([Op(OpKind.CALL, 1, name="m")], name="a")
+        summaries = compute_summaries([a, m])
+        self.assertFalse(summaries["a"].may_block)
+        self.assertFalse(summaries["m"].may_block)
+
+    def test_publish_does_not_dirty(self):
+        func = make_func([Op(OpKind.PUBLISH, 1)], name="p")
+        self.assertFalse(compute_summaries([func])["p"].writes_dirty)
+
+
+# ---------------------------------------------------------------------------
+# hot-path-alloc
+
+
+class HotPathTest(unittest.TestCase):
+    def test_alloc_in_hot_function_flags(self):
+        func = make_func([Op(OpKind.ALLOC, 3, detail="new-expression")],
+                         hot=True)
+        findings = run_checks(func, checks=[HOT_PATH_ALLOC])
+        self.assertEqual(checks_of(findings), [HOT_PATH_ALLOC])
+        self.assertEqual(findings[0].line, 3)
+
+    def test_alloc_in_cold_function_clean(self):
+        func = make_func([Op(OpKind.ALLOC, 3)], hot=False)
+        self.assertEqual(run_checks(func, checks=[HOT_PATH_ALLOC]), [])
+
+    def test_alloc_inside_branch_and_loop_flags(self):
+        func = make_func(
+            [Loop(Seq([Branch(then_branch=Seq([Op(OpKind.ALLOC, 5)]))]))],
+            hot=True)
+        self.assertEqual(len(run_checks(func, checks=[HOT_PATH_ALLOC])), 1)
+
+
+# ---------------------------------------------------------------------------
+# status-discarded
+
+
+class StatusTest(unittest.TestCase):
+    def test_dead_reassign_flags_first_def(self):
+        func = make_func([Op(OpKind.STATUS_DEF, 1, name="s"),
+                          Op(OpKind.STATUS_DEF, 2, name="s"),
+                          Op(OpKind.STATUS_USE, 3, name="s")])
+        findings = run_checks(func, checks=[STATUS_DISCARDED])
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 1)
+
+    def test_def_never_used_flags(self):
+        func = make_func([Op(OpKind.STATUS_DEF, 1, name="s")])
+        self.assertEqual(
+            checks_of(run_checks(func, checks=[STATUS_DISCARDED])),
+            [STATUS_DISCARDED])
+
+    def test_bare_drop_flags(self):
+        func = make_func([Op(OpKind.STATUS_DROP, 2,
+                             detail="write_slot()")])
+        findings = run_checks(func, checks=[STATUS_DISCARDED])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("bare statement", findings[0].message)
+
+    def test_branch_condition_counts_as_use(self):
+        func = make_func([
+            Op(OpKind.STATUS_DEF, 1, name="s"),
+            Branch(then_branch=Seq([Op(OpKind.RETURN, 2, name="s")]),
+                   cond_status="s", cond_true_ok=False, line=2),
+        ])
+        self.assertEqual(run_checks(func, checks=[STATUS_DISCARDED]), [])
+
+    def test_exclusive_arm_defs_not_paired(self):
+        # if (flag) s = a(); else s = b();  — not a dead store.
+        func = make_func([
+            Branch(then_branch=Seq([Op(OpKind.STATUS_DEF, 2, name="s")]),
+                   else_branch=Seq([Op(OpKind.STATUS_DEF, 3, name="s")]),
+                   line=1),
+            Op(OpKind.STATUS_USE, 4, name="s"),
+        ])
+        self.assertEqual(run_checks(func, checks=[STATUS_DISCARDED]), [])
+
+    def test_reassign_within_one_arm_still_flags(self):
+        func = make_func([
+            Branch(then_branch=Seq([
+                Op(OpKind.STATUS_DEF, 2, name="s"),
+                Op(OpKind.STATUS_DEF, 3, name="s"),
+            ])),
+            Op(OpKind.STATUS_USE, 4, name="s"),
+        ])
+        findings = run_checks(func, checks=[STATUS_DISCARDED])
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 2)
+
+    def test_return_of_var_counts_as_use(self):
+        func = make_func([Op(OpKind.STATUS_DEF, 1, name="s"),
+                          Op(OpKind.RETURN, 2, name="s")])
+        self.assertEqual(run_checks(func, checks=[STATUS_DISCARDED]), [])
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_standalone_applies_to_next_code_line(self):
+        lines = ["// pccheck-tidy: disable=hot-path-alloc -- warmup",
+                 "std::vector<int> v(n);"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertTrue(supp.is_suppressed(2, "hot-path-alloc"))
+        self.assertFalse(supp.is_suppressed(1, "hot-path-alloc"))
+        self.assertEqual(supp.malformed, [])
+
+    def test_chains_through_comment_lines(self):
+        lines = ["// pccheck-tidy: disable=status-discarded -- probe",
+                 "// more prose about why",
+                 "do_thing();"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertTrue(supp.is_suppressed(3, "status-discarded"))
+
+    def test_blank_line_breaks_chain(self):
+        lines = ["// pccheck-tidy: disable=status-discarded -- probe",
+                 "",
+                 "do_thing();"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertFalse(supp.is_suppressed(3, "status-discarded"))
+
+    def test_trailing_applies_to_own_line(self):
+        lines = ["x(); // pccheck-tidy: disable=blocking-under-lock"
+                 " -- modeled occupancy"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertTrue(supp.is_suppressed(1, "blocking-under-lock"))
+
+    def test_multi_check_list(self):
+        lines = ["// pccheck-tidy: disable=hot-path-alloc,"
+                 "blocking-under-lock -- both justified",
+                 "x();"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertTrue(supp.is_suppressed(2, "hot-path-alloc"))
+        self.assertTrue(supp.is_suppressed(2, "blocking-under-lock"))
+
+    def test_missing_justification_is_malformed_and_inert(self):
+        lines = ["// pccheck-tidy: disable=hot-path-alloc", "x();"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertFalse(supp.is_suppressed(2, "hot-path-alloc"))
+        self.assertEqual(len(supp.malformed), 1)
+        self.assertIn("justification", supp.malformed[0].message)
+
+    def test_other_tool_directive_ignored(self):
+        lines = ["// pccheck-lint: disable=trace-span-under-lock -- x",
+                 "x();"]
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        self.assertFalse(supp.is_suppressed(2, "trace-span-under-lock"))
+        self.assertEqual(supp.malformed, [])
+
+    def test_filter_findings_splits(self):
+        findings = [Finding("a.cc", 2, "hot-path-alloc", "m"),
+                    Finding("a.cc", 3, "hot-path-alloc", "m")]
+        supp = parse_suppressions(
+            ["x();", "y(); // pccheck-tidy: disable=hot-path-alloc -- ok",
+             "z();"], tool="pccheck-tidy")
+        kept, dropped = filter_findings(
+            findings, supp, line_of=lambda f: f.line,
+            check_of=lambda f: f.check)
+        self.assertEqual([f.line for f in kept], [3])
+        self.assertEqual([f.line for f in dropped], [2])
+
+    def test_malformed_reported_even_in_finding_free_file(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "clean.cc")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("// pccheck-tidy: disable=hot-path-alloc\n"
+                         "int x;\n")
+            kept, suppressed = apply_suppressions([], tmp, scanned=[path])
+        self.assertEqual(suppressed, 0)
+        self.assertEqual(len(kept), 1)
+        self.assertEqual(kept[0].check, BAD_SUPPRESSION)
+
+
+# ---------------------------------------------------------------------------
+# reporters
+
+
+class ReportTest(unittest.TestCase):
+    def test_human_format_matches_lint(self):
+        f = Finding("src/a.cc", 7, "persistence-ordering", "boom")
+        self.assertEqual(human_lines([f]),
+                         ["src/a.cc:7: [persistence-ordering] boom"])
+
+    def test_json_round_trip(self):
+        findings = [Finding("src/a.cc", 7, "persistence-ordering",
+                            "boom", function="f"),
+                    Finding("src/b.cc", 9, "hot-path-alloc", "alloc")]
+        text = to_json(findings, suppressed=2, files_scanned=3,
+                       checks=["persistence-ordering", "hot-path-alloc"])
+        payload = json.loads(text)
+        self.assertEqual(payload["schema_version"], 1)
+        self.assertEqual(payload["tool"], "pccheck-tidy")
+        self.assertEqual(payload["files_scanned"], 3)
+        self.assertEqual(payload["suppressed"], 2)
+        self.assertEqual(from_json(text), findings)
+
+    def test_skipped_reason_recorded(self):
+        payload = json.loads(to_json([], skipped_reason="libclang "
+                                                        "unavailable"))
+        self.assertEqual(payload["skipped_reason"], "libclang unavailable")
+        self.assertEqual(payload["findings"], [])
+
+
+# ---------------------------------------------------------------------------
+# CLI helpers
+
+
+class CliHelperTest(unittest.TestCase):
+    def test_clang_args_from_entry_strips_compile_only_flags(self):
+        entry = {"directory": "/repo/build",
+                 "command": "g++ -Isrc -std=c++20 -MD -MF obj/a.d "
+                            "-o obj/a.o -c ../src/a.cc",
+                 "file": "../src/a.cc"}
+        args = clang_args_from_entry(entry)
+        self.assertIn("-Isrc", args)
+        self.assertIn("-std=c++20", args)
+        self.assertIn("-working-directory=/repo/build", args)
+        for banned in ("-c", "-o", "obj/a.o", "-MD", "-MF", "obj/a.d",
+                       "../src/a.cc", "g++"):
+            self.assertNotIn(banned, args)
+
+    def test_clang_args_from_arguments_list(self):
+        entry = {"directory": "/b",
+                 "arguments": ["clang++", "-std=c++20", "-c", "x.cc",
+                               "-o", "x.o"],
+                 "file": "x.cc"}
+        args = clang_args_from_entry(entry)
+        self.assertEqual(args, ["-std=c++20", "-working-directory=/b"])
+
+    def test_in_scope_excludes_src_mc(self):
+        src = os.path.join(REPO_ROOT, "src")
+        self.assertTrue(in_scope(os.path.join(src, "core", "x.cc"),
+                                 [src], DEFAULT_EXCLUDES))
+        self.assertFalse(in_scope(os.path.join(src, "mc", "shim.cc"),
+                                  [src], DEFAULT_EXCLUDES))
+        self.assertFalse(in_scope("/elsewhere/x.cc", [src],
+                                  DEFAULT_EXCLUDES))
+
+
+# ---------------------------------------------------------------------------
+# libclang fixture tests
+
+
+def _load_cindex_quiet():
+    import io
+    from contextlib import redirect_stderr
+    from pccheck_tidy.frontend import load_cindex
+    with redirect_stderr(io.StringIO()):
+        return load_cindex()
+
+
+CINDEX = _load_cindex_quiet()
+
+
+@unittest.skipIf(CINDEX is None,
+                 "libclang unavailable (install python3-clang + libclang)")
+class FixtureTest(unittest.TestCase):
+    """Parse each fixture against the real src/ headers and assert the
+    ``// expect: [check]`` markers (bad/) or cleanliness (good/)."""
+
+    maxDiff = None
+
+    @classmethod
+    def _analyze(cls, path):
+        from pccheck_tidy.frontend import (_FileCache,
+                                           lower_translation_unit,
+                                           parse_source)
+        args = ["-std=c++20", "-x", "c++",
+                "-I" + os.path.join(REPO_ROOT, "src")]
+        tu, errors = parse_source(CINDEX, path, args)
+        if errors:
+            raise AssertionError(
+                f"{path} does not compile against src/ headers:\n" +
+                "\n".join(errors))
+        funcs = lower_translation_unit(
+            CINDEX, tu, src_root=os.path.dirname(path),
+            files=_FileCache(), seen=set())
+        findings = analyze(funcs)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        supp = parse_suppressions(lines, tool="pccheck-tidy")
+        kept, _ = filter_findings(findings, supp,
+                                  line_of=lambda f: f.line,
+                                  check_of=lambda f: f.check)
+        for bad in supp.malformed:
+            kept.append(Finding(file=path, line=bad.line,
+                                check=BAD_SUPPRESSION,
+                                message=bad.message))
+        return kept
+
+    @staticmethod
+    def _expected_checks(path):
+        with open(path, encoding="utf-8") as fh:
+            return set(EXPECT_RE.findall(fh.read()))
+
+    def test_bad_fixtures_flag_expected_checks(self):
+        pattern = os.path.join(FIXTURE_DIR, "bad", "*.cc")
+        paths = sorted(glob.glob(pattern))
+        self.assertGreaterEqual(len(paths), 9)
+        for path in paths:
+            with self.subTest(fixture=os.path.basename(path)):
+                expected = self._expected_checks(path)
+                self.assertTrue(expected,
+                                f"{path} has no // expect: markers")
+                found = {f.check for f in self._analyze(path)}
+                missing = expected - found
+                self.assertFalse(
+                    missing,
+                    f"{path}: expected {sorted(missing)} not reported "
+                    f"(got {sorted(found)})")
+
+    def test_good_fixtures_are_clean(self):
+        pattern = os.path.join(FIXTURE_DIR, "good", "*.cc")
+        paths = sorted(glob.glob(pattern))
+        self.assertGreaterEqual(len(paths), 6)
+        for path in paths:
+            with self.subTest(fixture=os.path.basename(path)):
+                findings = self._analyze(path)
+                self.assertEqual(
+                    findings, [],
+                    f"{path} should be clean, got:\n" +
+                    "\n".join(human_lines(findings)))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
